@@ -1,0 +1,134 @@
+// Command madbench regenerates the paper's evaluation tables and figures
+// (DESIGN.md §3): the Figure 4 timing table, the Figure 5 scaling series,
+// the Table 1 method inventory, the Table 2 SGD-model suite, the Table 3
+// text-analytics matrix, and the §4.4 overhead and speedup
+// micro-experiments.
+//
+// Usage:
+//
+//	madbench -exp all
+//	madbench -exp figure4 -rows 50000 -trials 5
+//	madbench -exp figure4 -csv out.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"madlib/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|figure4|figure5|table1|table2|table3|overhead|speedup")
+	rows := flag.Int("rows", 0, "rows per dataset (0 = experiment default; paper used 10M)")
+	trials := flag.Int("trials", 0, "timing trials per cell (0 = default)")
+	csvPath := flag.String("csv", "", "also write figure4/figure5 rows as CSV to this path")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		fmt.Print(experiments.Table1())
+		return nil
+	})
+
+	run("figure4", func() error {
+		cfg := experiments.Figure4Config{Rows: *rows, Trials: *trials}
+		res, err := experiments.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure4(res))
+		if *csvPath != "" {
+			return writeCSV(*csvPath, res)
+		}
+		return nil
+	})
+
+	run("figure5", func() error {
+		cfg := experiments.Figure4Config{Rows: *rows, Trials: *trials}
+		res, err := experiments.Figure5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure5(res))
+		if *csvPath != "" {
+			return writeCSV(*csvPath, res)
+		}
+		return nil
+	})
+
+	run("overhead", func() error {
+		res, err := experiments.Overhead(*rows)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Query overhead (§4.4a): empty query %v, bulk query (%d rows) %v — fixed overhead is %.2f%% of bulk\n",
+			res.EmptyQuery, res.Rows, res.BulkQuery, res.OverheadFraction*100)
+		return nil
+	})
+
+	run("speedup", func() error {
+		res, err := experiments.Speedup(*rows, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSpeedup(res))
+		return nil
+	})
+
+	run("table2", func() error {
+		res, err := experiments.Table2(*rows)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable2(res))
+		return nil
+	})
+
+	run("table3", func() error {
+		res, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable3(res))
+		return nil
+	})
+}
+
+func writeCSV(path string, rows []experiments.Figure4Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"segments", "vars", "rows", "version", "sim_ns", "wall_ns"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Segments), strconv.Itoa(r.Vars), strconv.Itoa(r.Rows),
+			r.Version.String(),
+			strconv.FormatInt(r.SimTime.Nanoseconds(), 10),
+			strconv.FormatInt(r.WallTime.Nanoseconds(), 10),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command madgen writes synthetic datasets as CSV, for feeding the madlib
+// CLI or external tools. The generators are the same ones the tests and
+// benchmark harness use (internal/datagen).
+//
+// Usage:
+//
+//	madgen -kind regression -rows 10000 -vars 5 -o data.csv
+//	madgen -kind logistic   -rows 10000 -vars 4 -o clicks.csv
+//	madgen -kind clusters   -rows 5000 -k 4 -dim 3 -o points.csv
+//	madgen -kind baskets    -rows 2000 -items 12 -o baskets.csv
+//	madgen -kind stream     -rows 100000 -universe 1000 -o stream.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"madlib/internal/datagen"
+)
+
+func main() {
+	kind := flag.String("kind", "regression", "dataset: regression|logistic|clusters|baskets|stream")
+	rows := flag.Int("rows", 10000, "number of rows / baskets")
+	vars := flag.Int("vars", 5, "independent variables incl. intercept (regression/logistic)")
+	k := flag.Int("k", 4, "cluster count (clusters)")
+	dim := flag.Int("dim", 3, "point dimension (clusters)")
+	items := flag.Int("items", 12, "item universe (baskets)")
+	universe := flag.Int("universe", 1000, "value universe (stream)")
+	std := flag.Float64("std", 0.5, "noise / within-cluster std")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = csv.NewWriter(f)
+	}
+	defer w.Flush()
+
+	switch *kind {
+	case "regression":
+		gen := datagen.NewRegression(*seed, *rows, *vars, *std)
+		writeXY(w, gen.X, gen.Y)
+	case "logistic":
+		gen := datagen.NewLogistic(*seed, *rows, *vars)
+		writeXY(w, gen.X, gen.Y)
+	case "clusters":
+		gen := datagen.NewClusters(*seed, *rows, *k, *dim, *std)
+		header := make([]string, *dim)
+		for d := range header {
+			header[d] = fmt.Sprintf("x%d", d)
+		}
+		check(w.Write(append(header, "label")))
+		for i, p := range gen.Points {
+			rec := make([]string, 0, *dim+1)
+			for _, v := range p {
+				rec = append(rec, formatF(v))
+			}
+			rec = append(rec, strconv.Itoa(gen.Label[i]))
+			check(w.Write(rec))
+		}
+	case "baskets":
+		check(w.Write([]string{"basket", "item"}))
+		for b, basket := range datagen.Baskets(*seed, *rows, *items) {
+			for _, item := range basket {
+				check(w.Write([]string{strconv.Itoa(b), item}))
+			}
+		}
+	case "stream":
+		check(w.Write([]string{"v"}))
+		for _, v := range datagen.StreamValues(*seed, *rows, *universe) {
+			check(w.Write([]string{strconv.FormatInt(v, 10)}))
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func writeXY(w *csv.Writer, xs [][]float64, ys []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	header := []string{"y"}
+	for j := range xs[0] {
+		header = append(header, fmt.Sprintf("x%d", j))
+	}
+	check(w.Write(header))
+	for i := range xs {
+		rec := []string{formatF(ys[i])}
+		for _, v := range xs[i] {
+			rec = append(rec, formatF(v))
+		}
+		check(w.Write(rec))
+	}
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "madgen: %v\n", err)
+	os.Exit(1)
+}

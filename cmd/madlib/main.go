@@ -1,0 +1,417 @@
+// Command madlib runs library methods over CSV files — the closest
+// command-line analogue of MADlib's psql session in §4.1.
+//
+// Usage:
+//
+//	madlib linregr    -in data.csv -label y -features x0,x1,x2
+//	madlib logregr    -in clicks.csv -label y -features x0,x1 -solver irls
+//	madlib kmeans     -in points.csv -features x0,x1,x2 -k 4
+//	madlib naivebayes -in data.csv -label class -features a0,a1
+//	madlib c45        -in data.csv -label class -features f0,f1
+//	madlib svm        -in data.csv -label y -features x0,x1
+//	madlib profile    -in any.csv
+//	madlib quantile   -in stream.csv -col v -phi 0.5
+//	madlib distinct   -in stream.csv -col v
+//	madlib assoc      -in baskets.csv -basket basket -item item
+//
+// The CSV must have a header row. Feature columns must be numeric.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"madlib"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	in := fs.String("in", "", "input CSV file (required)")
+	label := fs.String("label", "", "label/target column")
+	features := fs.String("features", "", "comma-separated feature columns")
+	col := fs.String("col", "", "value column (quantile/distinct)")
+	basket := fs.String("basket", "basket", "basket id column (assoc)")
+	item := fs.String("item", "item", "item column (assoc)")
+	k := fs.Int("k", 3, "cluster count (kmeans)")
+	phi := fs.Float64("phi", 0.5, "quantile fraction")
+	solver := fs.String("solver", "irls", "logregr solver: irls|cg|igd")
+	minSupport := fs.Float64("min-support", 0.1, "assoc minimum support")
+	minConfidence := fs.Float64("min-confidence", 0.5, "assoc minimum confidence")
+	segments := fs.Int("segments", 4, "engine segments")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	header, records, err := readCSV(*in)
+	if err != nil {
+		fatal(err)
+	}
+	db := madlib.Open(madlib.Config{Segments: *segments})
+
+	switch cmd {
+	case "linregr":
+		mustCols(*label, *features)
+		if err := loadLabeled(db, header, records, *label, *features, false); err != nil {
+			fatal(err)
+		}
+		res, err := db.LinRegr("data", "y", "x")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+	case "logregr":
+		mustCols(*label, *features)
+		if err := loadLabeled(db, header, records, *label, *features, false); err != nil {
+			fatal(err)
+		}
+		opts := madlib.LogRegrOptions{}
+		switch *solver {
+		case "irls":
+			opts.Solver = madlib.IRLS
+		case "cg":
+			opts.Solver = madlib.CG
+		case "igd":
+			opts.Solver = madlib.IGD
+		default:
+			fatal(fmt.Errorf("unknown solver %q", *solver))
+		}
+		res, err := db.LogRegr("data", "y", "x", opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("coef          %v\nstd_err       %v\nz_stats       %v\np_values      %v\nodds_ratios   %v\nlog_likelihood %.4f\niterations    %d\n",
+			res.Coef, res.StdErr, res.ZStats, res.PValues, res.OddsRatios, res.LogLikelihood, res.Iterations)
+	case "kmeans":
+		if *features == "" {
+			fatal(fmt.Errorf("-features is required"))
+		}
+		if err := loadVectors(db, header, records, *features); err != nil {
+			fatal(err)
+		}
+		res, err := db.KMeans("data", "coords", madlib.KMeansOptions{K: *k})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("converged after %d iterations, objective %.4f\n", res.Iterations, res.Objective)
+		for i, c := range res.Centroids {
+			fmt.Printf("centroid %d (n=%d): %v\n", i, res.Sizes[i], rounded(c))
+		}
+	case "naivebayes":
+		mustCols(*label, *features)
+		if err := loadClassed(db, header, records, *label, *features); err != nil {
+			fatal(err)
+		}
+		m, err := db.NaiveBayes("data", "class", "attrs", madlib.BayesOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("classes %v priors %v\n", m.Classes, rounded(m.Priors))
+	case "c45":
+		mustCols(*label, *features)
+		if err := loadClassed(db, header, records, *label, *features); err != nil {
+			fatal(err)
+		}
+		m, err := db.C45("data", "class", "attrs", madlib.TreeOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tree: %d nodes, depth %d, classes %v\n", m.Size(), m.Depth(), m.Classes)
+	case "svm":
+		mustCols(*label, *features)
+		if err := loadLabeled(db, header, records, *label, *features, true); err != nil {
+			fatal(err)
+		}
+		m, err := db.SVM("data", "y", "x", madlib.SVMOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("weights %v (final mean loss %.4f)\n", rounded(m.Weights), m.LossHistory[len(m.LossHistory)-1])
+	case "profile":
+		if err := loadGeneric(db, header, records); err != nil {
+			fatal(err)
+		}
+		res, err := db.Profile("data")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+	case "quantile":
+		if *col == "" {
+			fatal(fmt.Errorf("-col is required"))
+		}
+		if err := loadGeneric(db, header, records); err != nil {
+			fatal(err)
+		}
+		q, err := db.Quantile("data", *col, *phi)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("quantile(%.3g) = %v\n", *phi, q)
+	case "distinct":
+		if *col == "" {
+			fatal(fmt.Errorf("-col is required"))
+		}
+		if err := loadGeneric(db, header, records); err != nil {
+			fatal(err)
+		}
+		n, err := db.DistinctCount("data", *col)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("distinct(%s) ≈ %d\n", *col, n)
+	case "assoc":
+		if err := loadBaskets(db, header, records, *basket, *item); err != nil {
+			fatal(err)
+		}
+		res, err := db.AssocRules("data", "basket", "item", madlib.AssocOptions{
+			MinSupport: *minSupport, MinConfidence: *minConfidence,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d baskets, %d frequent itemsets, %d rules\n", res.Baskets, len(res.Itemsets), len(res.Rules))
+		for i, r := range res.Rules {
+			if i >= 20 {
+				fmt.Printf("... %d more\n", len(res.Rules)-20)
+				break
+			}
+			fmt.Println(r.String())
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: madlib <linregr|logregr|kmeans|naivebayes|c45|svm|profile|quantile|distinct|assoc> -in file.csv [flags]")
+	os.Exit(2)
+}
+
+func mustCols(label, features string) {
+	if label == "" || features == "" {
+		fatal(fmt.Errorf("-label and -features are required"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "madlib: %v\n", err)
+	os.Exit(1)
+}
+
+func readCSV(path string) ([]string, [][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	all, err := r.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(all) < 1 {
+		return nil, nil, fmt.Errorf("%s: empty file", path)
+	}
+	return all[0], all[1:], nil
+}
+
+func colIndexes(header []string, names string) ([]int, error) {
+	var out []int
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := -1
+		for i, h := range header {
+			if h == name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("column %q not in header %v", name, header)
+		}
+		out = append(out, found)
+	}
+	return out, nil
+}
+
+// loadLabeled builds table data(y Float, x Vector). With signed=true, 0/1
+// labels are remapped to ±1 (SVM convention).
+func loadLabeled(db *madlib.DB, header []string, records [][]string, label, features string, signed bool) error {
+	li, err := colIndexes(header, label)
+	if err != nil {
+		return err
+	}
+	fi, err := colIndexes(header, features)
+	if err != nil {
+		return err
+	}
+	t, err := db.CreateTable("data", madlib.Schema{
+		{Name: "y", Kind: madlib.Float}, {Name: "x", Kind: madlib.Vector},
+	})
+	if err != nil {
+		return err
+	}
+	for ln, rec := range records {
+		y, err := strconv.ParseFloat(rec[li[0]], 64)
+		if err != nil {
+			return fmt.Errorf("row %d: label: %w", ln+2, err)
+		}
+		if signed && y == 0 {
+			y = -1
+		}
+		x := make([]float64, len(fi))
+		for j, ci := range fi {
+			if x[j], err = strconv.ParseFloat(rec[ci], 64); err != nil {
+				return fmt.Errorf("row %d: feature %s: %w", ln+2, header[ci], err)
+			}
+		}
+		if err := t.Insert(y, x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadVectors builds table data(coords Vector, centroid_id Int).
+func loadVectors(db *madlib.DB, header []string, records [][]string, features string) error {
+	fi, err := colIndexes(header, features)
+	if err != nil {
+		return err
+	}
+	t, err := db.CreateTable("data", madlib.Schema{
+		{Name: "coords", Kind: madlib.Vector}, {Name: "centroid_id", Kind: madlib.Int},
+	})
+	if err != nil {
+		return err
+	}
+	for ln, rec := range records {
+		x := make([]float64, len(fi))
+		for j, ci := range fi {
+			if x[j], err = strconv.ParseFloat(rec[ci], 64); err != nil {
+				return fmt.Errorf("row %d: %s: %w", ln+2, header[ci], err)
+			}
+		}
+		if err := t.Insert(x, int64(-1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadClassed builds table data(class String, attrs Vector).
+func loadClassed(db *madlib.DB, header []string, records [][]string, label, features string) error {
+	li, err := colIndexes(header, label)
+	if err != nil {
+		return err
+	}
+	fi, err := colIndexes(header, features)
+	if err != nil {
+		return err
+	}
+	t, err := db.CreateTable("data", madlib.Schema{
+		{Name: "class", Kind: madlib.String}, {Name: "attrs", Kind: madlib.Vector},
+	})
+	if err != nil {
+		return err
+	}
+	for ln, rec := range records {
+		x := make([]float64, len(fi))
+		for j, ci := range fi {
+			if x[j], err = strconv.ParseFloat(rec[ci], 64); err != nil {
+				return fmt.Errorf("row %d: %s: %w", ln+2, header[ci], err)
+			}
+		}
+		if err := t.Insert(rec[li[0]], x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadGeneric builds table data with per-column inferred kinds: Float if
+// every value parses as a number, else String.
+func loadGeneric(db *madlib.DB, header []string, records [][]string) error {
+	numeric := make([]bool, len(header))
+	for j := range header {
+		numeric[j] = len(records) > 0
+		for _, rec := range records {
+			if _, err := strconv.ParseFloat(rec[j], 64); err != nil {
+				numeric[j] = false
+				break
+			}
+		}
+	}
+	schema := make(madlib.Schema, len(header))
+	for j, name := range header {
+		kind := madlib.String
+		if numeric[j] {
+			kind = madlib.Float
+		}
+		schema[j] = madlib.Column{Name: name, Kind: kind}
+	}
+	t, err := db.CreateTable("data", schema)
+	if err != nil {
+		return err
+	}
+	for _, rec := range records {
+		vals := make([]any, len(header))
+		for j := range header {
+			if numeric[j] {
+				v, _ := strconv.ParseFloat(rec[j], 64)
+				vals[j] = v
+			} else {
+				vals[j] = rec[j]
+			}
+		}
+		if err := t.Insert(vals...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadBaskets builds table data(basket Int, item String).
+func loadBaskets(db *madlib.DB, header []string, records [][]string, basket, item string) error {
+	bi, err := colIndexes(header, basket)
+	if err != nil {
+		return err
+	}
+	ii, err := colIndexes(header, item)
+	if err != nil {
+		return err
+	}
+	t, err := db.CreateTable("data", madlib.Schema{
+		{Name: "basket", Kind: madlib.Int}, {Name: "item", Kind: madlib.String},
+	})
+	if err != nil {
+		return err
+	}
+	for ln, rec := range records {
+		id, err := strconv.ParseInt(rec[bi[0]], 10, 64)
+		if err != nil {
+			return fmt.Errorf("row %d: basket id: %w", ln+2, err)
+		}
+		if err := t.Insert(id, rec[ii[0]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rounded(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(int(v*10000+0.5)) / 10000
+	}
+	return out
+}

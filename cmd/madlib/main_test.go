@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"madlib"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadCSV(t *testing.T) {
+	path := writeCSV(t, "a,b\n1,2\n3,4\n")
+	header, records, err := readCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 2 || header[0] != "a" || len(records) != 2 {
+		t.Fatalf("header=%v records=%v", header, records)
+	}
+	if _, _, err := readCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	empty := writeCSV(t, "")
+	if _, _, err := readCSV(empty); err == nil {
+		t.Fatal("empty file should fail")
+	}
+}
+
+func TestColIndexes(t *testing.T) {
+	header := []string{"y", "x0", "x1"}
+	idx, err := colIndexes(header, "x1, y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0] != 2 || idx[1] != 0 {
+		t.Fatalf("idx = %v", idx)
+	}
+	if _, err := colIndexes(header, "nope"); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+}
+
+func TestLoadLabeled(t *testing.T) {
+	path := writeCSV(t, "y,x0,x1\n1,2,3\n0,4,5\n")
+	header, records, err := readCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := madlib.Open(madlib.Config{Segments: 2})
+	if err := loadLabeled(db, header, records, "y", "x0,x1", true); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Count() != 2 {
+		t.Fatalf("rows = %d", tbl.Count())
+	}
+	// signed=true remaps label 0 to -1.
+	rows := db.Engine().Rows(tbl)
+	sawNeg := false
+	for _, r := range rows {
+		if r[0].(float64) == -1 {
+			sawNeg = true
+		}
+	}
+	if !sawNeg {
+		t.Fatal("signed remap did not produce -1 label")
+	}
+}
+
+func TestLoadLabeledBadValues(t *testing.T) {
+	path := writeCSV(t, "y,x0\nok,2\n")
+	header, records, _ := readCSV(path)
+	db := madlib.Open(madlib.Config{Segments: 1})
+	if err := loadLabeled(db, header, records, "y", "x0", false); err == nil {
+		t.Fatal("non-numeric label should fail")
+	}
+	path = writeCSV(t, "y,x0\n1,bad\n")
+	header, records, _ = readCSV(path)
+	db2 := madlib.Open(madlib.Config{Segments: 1})
+	if err := loadLabeled(db2, header, records, "y", "x0", false); err == nil {
+		t.Fatal("non-numeric feature should fail")
+	}
+}
+
+func TestLoadGenericInference(t *testing.T) {
+	path := writeCSV(t, "num,txt\n1.5,hello\n2.5,world\n")
+	header, records, _ := readCSV(path)
+	db := madlib.Open(madlib.Config{Segments: 2})
+	if err := loadGeneric(db, header, records); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("data")
+	schema := tbl.Schema()
+	if schema[0].Kind != madlib.Float {
+		t.Fatalf("numeric column inferred as %v", schema[0].Kind)
+	}
+	if schema[1].Kind != madlib.String {
+		t.Fatalf("text column inferred as %v", schema[1].Kind)
+	}
+}
+
+func TestLoadVectorsAndBaskets(t *testing.T) {
+	path := writeCSV(t, "x0,x1\n1,2\n3,4\n")
+	header, records, _ := readCSV(path)
+	db := madlib.Open(madlib.Config{Segments: 2})
+	if err := loadVectors(db, header, records, "x0,x1"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("data")
+	if tbl.Count() != 2 {
+		t.Fatalf("vector rows = %d", tbl.Count())
+	}
+
+	path = writeCSV(t, "basket,item\n1,milk\n1,bread\n2,milk\n")
+	header, records, _ = readCSV(path)
+	db2 := madlib.Open(madlib.Config{Segments: 2})
+	if err := loadBaskets(db2, header, records, "basket", "item"); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, _ := db2.Table("data")
+	if tbl2.Count() != 3 {
+		t.Fatalf("basket rows = %d", tbl2.Count())
+	}
+	// Bad basket id.
+	path = writeCSV(t, "basket,item\nxx,milk\n")
+	header, records, _ = readCSV(path)
+	db3 := madlib.Open(madlib.Config{Segments: 1})
+	if err := loadBaskets(db3, header, records, "basket", "item"); err == nil {
+		t.Fatal("non-integer basket id should fail")
+	}
+}
+
+func TestLoadClassed(t *testing.T) {
+	path := writeCSV(t, "class,f0\nyes,1\nno,0\n")
+	header, records, _ := readCSV(path)
+	db := madlib.Open(madlib.Config{Segments: 2})
+	if err := loadClassed(db, header, records, "class", "f0"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("data")
+	if tbl.Count() != 2 {
+		t.Fatalf("classed rows = %d", tbl.Count())
+	}
+}
+
+func TestRounded(t *testing.T) {
+	got := rounded([]float64{1.23456, 2.0}) // rounds to 4 decimals
+	if got[0] != 1.2346 || got[1] != 2 {
+		t.Fatalf("rounded = %v", got)
+	}
+}

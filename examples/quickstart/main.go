@@ -1,0 +1,44 @@
+// Quickstart reproduces the paper's §4.1.1 psql session: load (x, y)
+// points into a table and run SELECT (linregr(y, x)).* FROM data,
+// printing the same composite record — coefficients, R², standard errors,
+// t statistics, p-values, and the condition number of XᵀX.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"madlib"
+)
+
+func main() {
+	db := madlib.Open(madlib.Config{Segments: 4})
+
+	data, err := db.CreateTable("data", madlib.Schema{
+		{Name: "y", Kind: madlib.Float},
+		{Name: "x", Kind: madlib.Vector},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// y = 1.73 + 2.24·x + noise — the ballpark of the paper's example
+	// output (coef {1.7307, 2.2428}).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 10
+		y := 1.73 + 2.24*x + rng.NormFloat64()*1.4
+		if err := data.Insert(y, []float64{1, x}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := db.LinRegr("data", "y", "x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("psql# SELECT (linregr(y, x)).* FROM data;")
+	fmt.Println("-[ RECORD 1 ]+--------------------------------------------")
+	fmt.Println(res)
+}

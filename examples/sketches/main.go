@@ -1,0 +1,72 @@
+// Sketches demonstrates the descriptive-statistics modules over a skewed
+// event stream: Count-Min point and heavy-hitter queries, Flajolet-Martin
+// distinct counting, exact and Greenwald-Khanna approximate quantiles, and
+// whole-table profiling — the Table 1 "Descriptive Statistics" row.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"madlib"
+	"madlib/internal/datagen"
+)
+
+func main() {
+	db := madlib.Open(madlib.Config{Segments: 4})
+
+	// A Zipf-skewed event stream: a few heavy hitters, a long tail.
+	const n = 200000
+	events, err := db.CreateTable("events", madlib.Schema{
+		{Name: "key", Kind: madlib.Int},
+		{Name: "latency", Kind: madlib.Float},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := map[int64]int{}
+	for i, v := range datagen.StreamValues(3, n, 5000) {
+		truth[v]++
+		latency := 1 + float64(i%1000)/100
+		if err := events.Insert(v, latency); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Count-Min: point queries never undercount; error ≤ εN.
+	cm, err := db.CountMinSketch("events", "key", 0.0005, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Count-Min sketch (ε=0.0005) ===")
+	for _, key := range []int64{1, 2, 10, 100, 4000} {
+		fmt.Printf("key %5d: estimated %7d, true %7d\n", key, cm.Count(key), truth[key])
+	}
+
+	// FM distinct count.
+	distinct, err := db.DistinctCount("events", "key")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== Flajolet-Martin ===\ndistinct keys ≈ %d (true %d)\n", distinct, len(truth))
+
+	// Quantiles: exact vs streaming GK.
+	exact, err := db.Quantile("events", "latency", 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, err := db.ApproxQuantiles("events", "latency", 0.01, []float64{0.5, 0.95, 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== Quantiles ===\np95 exact %.3f | GK p50 %.3f, p95 %.3f, p99 %.3f\n",
+		exact, approx[0], approx[1], approx[2])
+
+	// Templated-query profiling of the whole table.
+	prof, err := db.Profile("events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Profile ===")
+	fmt.Print(prof.Format())
+}

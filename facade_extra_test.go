@@ -1,0 +1,202 @@
+package madlib_test
+
+import (
+	"math"
+	"testing"
+
+	"madlib"
+	"madlib/internal/engine"
+)
+
+func TestFacadeBootstrap(t *testing.T) {
+	db := madlib.Open(madlib.Config{Segments: 3})
+	tbl, err := db.CreateTable("b", madlib.Schema{{Name: "x", Kind: madlib.Float}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tbl.Insert(float64(i % 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meanAgg := engine.FuncAggregate{
+		InitFn: func() any { return [2]float64{} },
+		TransitionFn: func(s any, r engine.Row) any {
+			st := s.([2]float64)
+			return [2]float64{st[0] + r.Float(0), st[1] + 1}
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.([2]float64), b.([2]float64)
+			return [2]float64{sa[0] + sb[0], sa[1] + sb[1]}
+		},
+		FinalFn: func(s any) (any, error) {
+			st := s.([2]float64)
+			return st[0] / st[1], nil
+		},
+	}
+	res, err := db.Bootstrap("b", meanAgg, madlib.BootstrapOptions{Iterations: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True mean of 0..9 uniform is 4.5.
+	if math.Abs(res.Mean-4.5) > 0.2 {
+		t.Fatalf("bootstrap mean = %v", res.Mean)
+	}
+	if _, err := db.Bootstrap("missing", meanAgg, madlib.BootstrapOptions{}); err == nil {
+		t.Fatal("missing table should fail")
+	}
+}
+
+func TestFacadeConjugateGradient(t *testing.T) {
+	a := &madlib.Matrix{Rows: 2, Cols: 2, Data: []float64{4, 1, 1, 3}}
+	x, err := madlib.SolveConjugateGradient(a, []float64{1, 2}, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A·x = b.
+	if math.Abs(4*x[0]+x[1]-1) > 1e-8 || math.Abs(x[0]+3*x[1]-2) > 1e-8 {
+		t.Fatalf("CG solution %v", x)
+	}
+}
+
+func TestFacadeSparseVectors(t *testing.T) {
+	v := madlib.NewSparseVector([]float64{0, 0, 0, 7, 7})
+	if v.RunCount() != 2 || v.Len() != 5 {
+		t.Fatalf("svec: %v", v)
+	}
+	parsed, err := madlib.ParseSparseVector("{3,2}:{0,7}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.String() != v.String() {
+		t.Fatalf("%q != %q", parsed.String(), v.String())
+	}
+	if _, err := madlib.ParseSparseVector("garbage"); err == nil {
+		t.Fatal("bad svec should fail")
+	}
+}
+
+func TestFacadeGroupedRegression(t *testing.T) {
+	db := madlib.Open(madlib.Config{Segments: 2})
+	tbl, _ := db.CreateTable("g", madlib.Schema{
+		{Name: "region", Kind: madlib.String},
+		{Name: "y", Kind: madlib.Float},
+		{Name: "x", Kind: madlib.Vector},
+	})
+	for i := 0; i < 60; i++ {
+		v := float64(i)
+		if err := tbl.Insert("west", 2*v, []float64{1, v}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Insert("east", -3*v, []float64{1, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.LinRegrGroupBy("g", "y", "x", func(r madlib.Row) string { return r.Str(0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got["west"].Coef[1]-2) > 1e-9 || math.Abs(got["east"].Coef[1]+3) > 1e-9 {
+		t.Fatalf("grouped slopes: west %v east %v", got["west"].Coef[1], got["east"].Coef[1])
+	}
+	if _, err := db.LinRegrGroupBy("missing", "y", "x", nil); err == nil {
+		t.Fatal("missing table should fail")
+	}
+}
+
+func TestFacadeLogRegrPerGroup(t *testing.T) {
+	db := madlib.Open(madlib.Config{Segments: 2})
+	tbl, _ := db.CreateTable("lg", madlib.Schema{
+		{Name: "g", Kind: madlib.String},
+		{Name: "y", Kind: madlib.Float},
+		{Name: "x", Kind: madlib.Vector},
+	})
+	// Group "pos": y mostly 1 iff x>0; group "neg": the reverse. A 10%
+	// label flip keeps the data non-separable so the MLE is finite.
+	for i := -200; i < 200; i++ {
+		v := float64(i) / 20
+		yPos, yNeg := 0.0, 1.0
+		if v > 0 {
+			yPos, yNeg = 1, 0
+		}
+		if i%10 == 0 { // flip
+			yPos, yNeg = 1-yPos, 1-yNeg
+		}
+		if err := tbl.Insert("pos", yPos, []float64{1, v}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Insert("neg", yNeg, []float64{1, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.LogRegrPerGroup("lg", "y", "x", func(r madlib.Row) string { return r.Str(0) },
+		madlib.LogRegrOptions{MaxIterations: 30, Tolerance: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["pos"].Coef[1] <= 0 || got["neg"].Coef[1] >= 0 {
+		t.Fatalf("group slopes: pos %v, neg %v", got["pos"].Coef[1], got["neg"].Coef[1])
+	}
+	if _, err := db.LogRegrPerGroup("missing", "y", "x", nil, madlib.LogRegrOptions{}); err == nil {
+		t.Fatal("missing table should fail")
+	}
+}
+
+func TestFacadeDropTable(t *testing.T) {
+	db := madlib.Open(madlib.Config{Segments: 2})
+	if _, err := db.CreateTable("tmp", madlib.Schema{{Name: "x", Kind: madlib.Float}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("tmp"); err == nil {
+		t.Fatal("dropped table still visible")
+	}
+	if _, err := db.LinRegrWithVersion("tmp", "y", "x", madlib.V03); err == nil {
+		t.Fatal("version query on missing table should fail")
+	}
+	if _, err := db.SVM("tmp", "y", "x", madlib.SVMOptions{}); err == nil {
+		t.Fatal("SVM on missing table should fail")
+	}
+	if _, err := db.SVDMF("tmp", "i", "j", "v", madlib.SVDMFOptions{Rank: 1}); err == nil {
+		t.Fatal("SVDMF on missing table should fail")
+	}
+	if _, err := db.LDA("tmp", "d", "w", madlib.LDAOptions{Topics: 2}); err == nil {
+		t.Fatal("LDA on missing table should fail")
+	}
+	if _, err := db.AssocRules("tmp", "b", "i", madlib.AssocOptions{}); err == nil {
+		t.Fatal("assoc on missing table should fail")
+	}
+	if _, err := db.KMeans("tmp", "coords", madlib.KMeansOptions{K: 2}); err == nil {
+		t.Fatal("kmeans on missing table should fail")
+	}
+	if _, err := db.NaiveBayes("tmp", "c", "a", madlib.BayesOptions{}); err == nil {
+		t.Fatal("bayes on missing table should fail")
+	}
+	if _, err := db.C45("tmp", "c", "f", madlib.TreeOptions{}); err == nil {
+		t.Fatal("c45 on missing table should fail")
+	}
+	if _, err := db.LogRegr("tmp", "y", "x", madlib.LogRegrOptions{}); err == nil {
+		t.Fatal("logregr on missing table should fail")
+	}
+	if _, err := db.ApproxQuantiles("tmp", "x", 0.01, []float64{0.5}); err == nil {
+		t.Fatal("quantiles on missing table should fail")
+	}
+}
+
+func TestFacadeSVMModes(t *testing.T) {
+	// The mode constants exist and select distinct behaviours.
+	if madlib.SVMClassification == madlib.SVMRegression || madlib.SVMRegression == madlib.SVMNovelty {
+		t.Fatal("SVM mode constants collide")
+	}
+	if madlib.UDAOnly == madlib.AssignmentTable {
+		t.Fatal("kmeans pattern constants collide")
+	}
+	if madlib.PlusPlus == madlib.Random {
+		t.Fatal("kmeans seeding constants collide")
+	}
+}

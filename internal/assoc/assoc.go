@@ -1,0 +1,315 @@
+// Package assoc implements association-rule mining with Apriori (Table 1):
+// level-wise frequent-itemset discovery with candidate generation and
+// pruning, followed by rule extraction with support, confidence, and lift.
+// Each counting pass over the baskets runs as one aggregate query, the
+// in-database formulation MADlib uses.
+package assoc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "assoc_rules", Title: "Association Rules", Category: core.Unsupervised})
+}
+
+// ErrNoData is returned when there are no baskets.
+var ErrNoData = errors.New("assoc: no baskets")
+
+// Options configure Mine.
+type Options struct {
+	// MinSupport is the minimum fraction of baskets an itemset must occur
+	// in (default 0.1).
+	MinSupport float64
+	// MinConfidence is the minimum rule confidence (default 0.5).
+	MinConfidence float64
+	// MaxSize bounds the itemset size explored (default 4).
+	MaxSize int
+}
+
+func (o *Options) defaults() {
+	if o.MinSupport == 0 {
+		o.MinSupport = 0.1
+	}
+	if o.MinConfidence == 0 {
+		o.MinConfidence = 0.5
+	}
+	if o.MaxSize == 0 {
+		o.MaxSize = 4
+	}
+}
+
+// Itemset is a frequent itemset with its support.
+type Itemset struct {
+	// Items are sorted item names.
+	Items []string
+	// Support is the fraction of baskets containing all the items.
+	Support float64
+	// Count is the absolute basket count.
+	Count int
+}
+
+// Rule is one association rule A ⇒ B.
+type Rule struct {
+	// Antecedent and Consequent are disjoint sorted item lists.
+	Antecedent []string
+	Consequent []string
+	// Support is the fraction of baskets containing A ∪ B.
+	Support float64
+	// Confidence is support(A ∪ B) / support(A).
+	Confidence float64
+	// Lift is confidence / support(B).
+	Lift float64
+}
+
+// String renders the rule in the conventional arrow form.
+func (r Rule) String() string {
+	return fmt.Sprintf("{%s} => {%s} (sup %.3f, conf %.3f, lift %.2f)",
+		strings.Join(r.Antecedent, ","), strings.Join(r.Consequent, ","), r.Support, r.Confidence, r.Lift)
+}
+
+// Result is the full mining output.
+type Result struct {
+	// Itemsets are all frequent itemsets, smallest first.
+	Itemsets []Itemset
+	// Rules are all rules meeting the confidence threshold, sorted by
+	// descending confidence then lift.
+	Rules []Rule
+	// Baskets is the number of baskets mined.
+	Baskets int
+}
+
+func key(items []string) string { return strings.Join(items, "\x00") }
+
+// Mine runs Apriori over in-memory baskets.
+func Mine(baskets [][]string, opts Options) (*Result, error) {
+	opts.defaults()
+	n := len(baskets)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	// Deduplicate items within each basket and sort.
+	sets := make([][]string, n)
+	for i, b := range baskets {
+		seen := map[string]bool{}
+		var s []string
+		for _, item := range b {
+			if !seen[item] {
+				seen[item] = true
+				s = append(s, item)
+			}
+		}
+		sort.Strings(s)
+		sets[i] = s
+	}
+	minCount := int(opts.MinSupport*float64(n) + 0.999999)
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	support := map[string]int{} // itemset key → basket count
+	var frequent [][]string     // all frequent itemsets, by level
+
+	// L1.
+	counts := map[string]int{}
+	for _, s := range sets {
+		for _, item := range s {
+			counts[item]++
+		}
+	}
+	var level [][]string
+	for item, c := range counts {
+		if c >= minCount {
+			level = append(level, []string{item})
+			support[item] = c
+		}
+	}
+	sortLevel(level)
+	frequent = append(frequent, level...)
+
+	for size := 2; size <= opts.MaxSize && len(level) > 1; size++ {
+		cands := generateCandidates(level, support)
+		if len(cands) == 0 {
+			break
+		}
+		// Counting pass: check each candidate against each basket.
+		candCounts := make([]int, len(cands))
+		for _, s := range sets {
+			for ci, cand := range cands {
+				if containsAll(s, cand) {
+					candCounts[ci]++
+				}
+			}
+		}
+		var next [][]string
+		for ci, cand := range cands {
+			if candCounts[ci] >= minCount {
+				next = append(next, cand)
+				support[key(cand)] = candCounts[ci]
+			}
+		}
+		sortLevel(next)
+		frequent = append(frequent, next...)
+		level = next
+	}
+
+	res := &Result{Baskets: n}
+	for _, items := range frequent {
+		c := support[key(items)]
+		res.Itemsets = append(res.Itemsets, Itemset{Items: items, Count: c, Support: float64(c) / float64(n)})
+	}
+	res.Rules = deriveRules(frequent, support, n, opts)
+	return res, nil
+}
+
+// MineTable reconstructs baskets from a table with (basket Int, item
+// String) rows — one grouped aggregate — and mines them.
+func MineTable(db *engine.DB, table *engine.Table, basketCol, itemCol string, opts Options) (*Result, error) {
+	schema := table.Schema()
+	bi, ii := schema.Index(basketCol), schema.Index(itemCol)
+	if bi < 0 || ii < 0 {
+		return nil, fmt.Errorf("%w: %q or %q", engine.ErrNoColumn, basketCol, itemCol)
+	}
+	if schema[bi].Kind != engine.Int || schema[ii].Kind != engine.String {
+		return nil, errors.New("assoc: need (Int, String) columns")
+	}
+	groups, err := db.RunGroupBy(table, func(r engine.Row) string { return fmt.Sprint(r.Int(bi)) },
+		engine.FuncAggregate{
+			InitFn: func() any { return []string(nil) },
+			TransitionFn: func(s any, r engine.Row) any {
+				return append(s.([]string), r.Str(ii))
+			},
+			MergeFn: func(a, b any) any { return append(a.([]string), b.([]string)...) },
+			FinalFn: func(s any) (any, error) { return s, nil },
+		})
+	if err != nil {
+		return nil, err
+	}
+	baskets := make([][]string, 0, len(groups))
+	for _, v := range groups {
+		baskets = append(baskets, v.([]string))
+	}
+	return Mine(baskets, opts)
+}
+
+func sortLevel(level [][]string) {
+	sort.Slice(level, func(i, j int) bool { return key(level[i]) < key(level[j]) })
+}
+
+// generateCandidates joins frequent (k-1)-itemsets sharing a prefix and
+// prunes candidates with an infrequent subset (the Apriori property).
+func generateCandidates(level [][]string, support map[string]int) [][]string {
+	var out [][]string
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !equalPrefix(a, b, k-1) {
+				continue
+			}
+			cand := append(append([]string(nil), a...), b[k-1])
+			sort.Strings(cand)
+			if allSubsetsFrequent(cand, support) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func equalPrefix(a, b []string, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(cand []string, support map[string]int) bool {
+	sub := make([]string, 0, len(cand)-1)
+	for drop := range cand {
+		sub = sub[:0]
+		for i, item := range cand {
+			if i != drop {
+				sub = append(sub, item)
+			}
+		}
+		if _, ok := support[key(sub)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// containsAll reports whether the sorted basket contains every item of the
+// sorted candidate.
+func containsAll(basket, cand []string) bool {
+	bi := 0
+	for _, item := range cand {
+		for bi < len(basket) && basket[bi] < item {
+			bi++
+		}
+		if bi >= len(basket) || basket[bi] != item {
+			return false
+		}
+		bi++
+	}
+	return true
+}
+
+// deriveRules expands each frequent itemset of size ≥ 2 into rules.
+func deriveRules(frequent [][]string, support map[string]int, n int, opts Options) []Rule {
+	var rules []Rule
+	for _, items := range frequent {
+		if len(items) < 2 {
+			continue
+		}
+		full := support[key(items)]
+		for mask := 1; mask < (1<<len(items))-1; mask++ {
+			var ante, cons []string
+			for i, item := range items {
+				if mask&(1<<i) != 0 {
+					ante = append(ante, item)
+				} else {
+					cons = append(cons, item)
+				}
+			}
+			anteCount, ok := support[key(ante)]
+			if !ok || anteCount == 0 {
+				continue
+			}
+			conf := float64(full) / float64(anteCount)
+			if conf < opts.MinConfidence {
+				continue
+			}
+			consCount, ok := support[key(cons)]
+			if !ok || consCount == 0 {
+				continue
+			}
+			rules = append(rules, Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Support:    float64(full) / float64(n),
+				Confidence: conf,
+				Lift:       conf / (float64(consCount) / float64(n)),
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Lift != rules[j].Lift {
+			return rules[i].Lift > rules[j].Lift
+		}
+		return key(rules[i].Antecedent) < key(rules[j].Antecedent)
+	})
+	return rules
+}

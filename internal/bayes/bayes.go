@@ -1,0 +1,243 @@
+// Package bayes implements Naive Bayes classification over categorical
+// attributes (Table 1). Training is a pair of grouped aggregate queries —
+// class priors and per-(class, attribute, value) counts — so it
+// parallelizes exactly like any other UDA; classification applies
+// log-space smoothing arithmetic to the collected counts.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "naive_bayes", Title: "Naive Bayes Classification", Category: core.Supervised})
+}
+
+// ErrNoData is returned when training sees no rows.
+var ErrNoData = errors.New("bayes: no training rows")
+
+// ErrUnknownClass is returned when classification is asked about a class
+// never seen in training.
+var ErrUnknownClass = errors.New("bayes: unknown class")
+
+// Model is a trained Naive Bayes classifier.
+type Model struct {
+	// Classes lists class labels in sorted order.
+	Classes []string
+	// Priors holds P(class), aligned with Classes.
+	Priors []float64
+	// Attrs is the number of attributes.
+	Attrs int
+	// Laplace is the smoothing pseudo-count used at prediction time.
+	Laplace float64
+
+	classIdx   map[string]int
+	classCount []float64
+	// counts[class][attr][value] = occurrences.
+	counts [][]map[float64]float64
+	// distinct[attr] = number of distinct values seen for the attribute
+	// (the smoothing denominator's support size).
+	distinct []map[float64]bool
+	total    float64
+}
+
+// Options configure training.
+type Options struct {
+	// Laplace is the smoothing pseudo-count (default 1).
+	Laplace float64
+}
+
+// trainState accumulates all counts in one pass.
+type trainState struct {
+	classCount map[string]float64
+	counts     map[string][]map[float64]float64 // class → attr → value → count
+	attrs      int
+	err        error
+}
+
+// Train fits the classifier from a table with a String class column and a
+// Vector attributes column holding categorical codes.
+func Train(db *engine.DB, table *engine.Table, classCol, attrsCol string, opts Options) (*Model, error) {
+	if opts.Laplace == 0 {
+		opts.Laplace = 1
+	}
+	schema := table.Schema()
+	ci, ai := schema.Index(classCol), schema.Index(attrsCol)
+	if ci < 0 || ai < 0 {
+		return nil, fmt.Errorf("%w: %q or %q", engine.ErrNoColumn, classCol, attrsCol)
+	}
+	if schema[ci].Kind != engine.String || schema[ai].Kind != engine.Vector {
+		return nil, fmt.Errorf("bayes: need (%s, %s) columns", engine.String, engine.Vector)
+	}
+	v, err := db.Run(table, engine.FuncAggregate{
+		InitFn: func() any {
+			return &trainState{classCount: map[string]float64{}, counts: map[string][]map[float64]float64{}}
+		},
+		TransitionFn: func(s any, row engine.Row) any {
+			st := s.(*trainState)
+			if st.err != nil {
+				return st
+			}
+			class := row.Str(ci)
+			attrs := row.Vector(ai)
+			if st.attrs == 0 {
+				st.attrs = len(attrs)
+			}
+			if len(attrs) != st.attrs {
+				st.err = fmt.Errorf("bayes: row has %d attributes, expected %d", len(attrs), st.attrs)
+				return st
+			}
+			st.classCount[class]++
+			per := st.counts[class]
+			if per == nil {
+				per = make([]map[float64]float64, st.attrs)
+				for i := range per {
+					per[i] = map[float64]float64{}
+				}
+				st.counts[class] = per
+			}
+			for i, v := range attrs {
+				per[i][v]++
+			}
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*trainState), b.(*trainState)
+			if sa.err != nil {
+				return sa
+			}
+			if sb.err != nil {
+				return sb
+			}
+			if sa.attrs == 0 {
+				return sb
+			}
+			if sb.attrs != 0 && sb.attrs != sa.attrs {
+				sa.err = fmt.Errorf("bayes: segments disagree on attribute count")
+				return sa
+			}
+			for c, n := range sb.classCount {
+				sa.classCount[c] += n
+			}
+			for c, per := range sb.counts {
+				dst := sa.counts[c]
+				if dst == nil {
+					sa.counts[c] = per
+					continue
+				}
+				for i := range per {
+					for v, n := range per[i] {
+						dst[i][v] += n
+					}
+				}
+			}
+			return sa
+		},
+		FinalFn: func(s any) (any, error) { return s, nil },
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := v.(*trainState)
+	if st.err != nil {
+		return nil, st.err
+	}
+	if len(st.classCount) == 0 {
+		return nil, ErrNoData
+	}
+	m := &Model{Attrs: st.attrs, Laplace: opts.Laplace, classIdx: map[string]int{}}
+	for c := range st.classCount {
+		m.Classes = append(m.Classes, c)
+	}
+	sort.Strings(m.Classes)
+	m.distinct = make([]map[float64]bool, st.attrs)
+	for i := range m.distinct {
+		m.distinct[i] = map[float64]bool{}
+	}
+	for i, c := range m.Classes {
+		m.classIdx[c] = i
+		m.classCount = append(m.classCount, st.classCount[c])
+		m.total += st.classCount[c]
+		m.counts = append(m.counts, st.counts[c])
+		for a := 0; a < st.attrs; a++ {
+			for val := range st.counts[c][a] {
+				m.distinct[a][val] = true
+			}
+		}
+	}
+	m.Priors = make([]float64, len(m.Classes))
+	for i := range m.Classes {
+		m.Priors[i] = m.classCount[i] / m.total
+	}
+	return m, nil
+}
+
+// LogPosterior returns the unnormalized log posterior of class given attrs.
+func (m *Model) LogPosterior(class string, attrs []float64) (float64, error) {
+	ci, ok := m.classIdx[class]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownClass, class)
+	}
+	if len(attrs) != m.Attrs {
+		return 0, fmt.Errorf("bayes: %d attributes, model expects %d", len(attrs), m.Attrs)
+	}
+	lp := math.Log(m.Priors[ci])
+	for a, v := range attrs {
+		count := m.counts[ci][a][v]
+		support := float64(len(m.distinct[a]))
+		if support == 0 {
+			support = 1
+		}
+		p := (count + m.Laplace) / (m.classCount[ci] + m.Laplace*support)
+		lp += math.Log(p)
+	}
+	return lp, nil
+}
+
+// Classify returns the most probable class for attrs.
+func (m *Model) Classify(attrs []float64) (string, error) {
+	best, bestClass := math.Inf(-1), ""
+	for _, c := range m.Classes {
+		lp, err := m.LogPosterior(c, attrs)
+		if err != nil {
+			return "", err
+		}
+		if lp > best {
+			best, bestClass = lp, c
+		}
+	}
+	return bestClass, nil
+}
+
+// Probabilities returns the normalized posterior distribution over classes.
+func (m *Model) Probabilities(attrs []float64) (map[string]float64, error) {
+	lps := make([]float64, len(m.Classes))
+	maxLp := math.Inf(-1)
+	for i, c := range m.Classes {
+		lp, err := m.LogPosterior(c, attrs)
+		if err != nil {
+			return nil, err
+		}
+		lps[i] = lp
+		if lp > maxLp {
+			maxLp = lp
+		}
+	}
+	var z float64
+	out := make(map[string]float64, len(m.Classes))
+	for i := range lps {
+		e := math.Exp(lps[i] - maxLp)
+		out[m.Classes[i]] = e
+		z += e
+	}
+	for c := range out {
+		out[c] /= z
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package bayes
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+// loadWeather builds the classic play-tennis-style categorical dataset:
+// attr0 = outlook (0 sunny, 1 overcast, 2 rain), attr1 = windy (0/1).
+func loadWeather(t *testing.T, db *engine.DB) *engine.Table {
+	t.Helper()
+	tbl, err := db.CreateTable("weather", engine.Schema{
+		{Name: "class", Kind: engine.String},
+		{Name: "attrs", Kind: engine.Vector},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		class string
+		attrs []float64
+	}{
+		{"no", []float64{0, 0}}, {"no", []float64{0, 1}},
+		{"yes", []float64{1, 0}}, {"yes", []float64{1, 1}},
+		{"yes", []float64{2, 0}}, {"no", []float64{2, 1}},
+		{"yes", []float64{2, 0}}, {"yes", []float64{1, 0}},
+		{"no", []float64{0, 0}}, {"yes", []float64{2, 0}},
+	}
+	for _, r := range rows {
+		if err := tbl.Insert(r.class, r.attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestTrainAndClassify(t *testing.T) {
+	db := engine.Open(3)
+	tbl := loadWeather(t, db)
+	m, err := Train(db, tbl, "class", "attrs", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Classes) != 2 || m.Classes[0] != "no" || m.Classes[1] != "yes" {
+		t.Fatalf("classes = %v", m.Classes)
+	}
+	// Priors: 4 no, 6 yes.
+	if math.Abs(m.Priors[0]-0.4) > 1e-12 || math.Abs(m.Priors[1]-0.6) > 1e-12 {
+		t.Fatalf("priors = %v", m.Priors)
+	}
+	// Overcast + calm is always "yes" in training.
+	got, err := m.Classify([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "yes" {
+		t.Fatalf("Classify(overcast,calm) = %q", got)
+	}
+	// Sunny + windy leans "no".
+	got, _ = m.Classify([]float64{0, 1})
+	if got != "no" {
+		t.Fatalf("Classify(sunny,windy) = %q", got)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	db := engine.Open(2)
+	tbl := loadWeather(t, db)
+	m, err := Train(db, tbl, "class", "attrs", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Probabilities([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestLaplaceSmoothingHandlesUnseenValues(t *testing.T) {
+	db := engine.Open(2)
+	tbl := loadWeather(t, db)
+	m, err := Train(db, tbl, "class", "attrs", Options{Laplace: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attribute value 99 never appears; smoothed posterior must be finite.
+	lp, err := m.LogPosterior("yes", []float64{99, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Fatalf("unsmoothed posterior: %v", lp)
+	}
+}
+
+func TestRecoverGenerativeModel(t *testing.T) {
+	// Generate data from a known naive-Bayes model and verify high accuracy.
+	db := engine.Open(4)
+	tbl, _ := db.CreateTable("d", engine.Schema{
+		{Name: "class", Kind: engine.String},
+		{Name: "attrs", Kind: engine.Vector},
+	})
+	rng := rand.New(rand.NewSource(1))
+	sample := func(class string) []float64 {
+		attrs := make([]float64, 3)
+		for a := range attrs {
+			p := 0.8 // P(attr = classBit)
+			bit := 0.0
+			if class == "b" {
+				bit = 1
+			}
+			if rng.Float64() < p {
+				attrs[a] = bit
+			} else {
+				attrs[a] = 1 - bit
+			}
+		}
+		return attrs
+	}
+	for i := 0; i < 2000; i++ {
+		class := "a"
+		if i%2 == 0 {
+			class = "b"
+		}
+		if err := tbl.Insert(class, sample(class)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := Train(db, tbl, "class", "attrs", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	trials := 1000
+	for i := 0; i < trials; i++ {
+		class := "a"
+		if i%2 == 0 {
+			class = "b"
+		}
+		got, err := m.Classify(sample(class))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == class {
+			correct++
+		}
+	}
+	// Bayes-optimal accuracy for 3 attrs at p=0.8 is ~89.6%.
+	if acc := float64(correct) / float64(trials); acc < 0.8 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestSegmentInvariance(t *testing.T) {
+	var ref *Model
+	for _, segs := range []int{1, 5} {
+		db := engine.Open(segs)
+		tbl := loadWeather(t, db)
+		m, err := Train(db, tbl, "class", "attrs", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = m
+			continue
+		}
+		for i := range ref.Priors {
+			if math.Abs(m.Priors[i]-ref.Priors[i]) > 1e-12 {
+				t.Fatalf("segments=%d priors %v vs %v", segs, m.Priors, ref.Priors)
+			}
+		}
+		lpA, _ := m.LogPosterior("yes", []float64{0, 1})
+		lpB, _ := ref.LogPosterior("yes", []float64{0, 1})
+		if math.Abs(lpA-lpB) > 1e-12 {
+			t.Fatal("posterior differs across segment counts")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := engine.Open(2)
+	empty, _ := db.CreateTable("e", engine.Schema{
+		{Name: "class", Kind: engine.String},
+		{Name: "attrs", Kind: engine.Vector},
+	})
+	if _, err := Train(db, empty, "class", "attrs", Options{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := Train(db, empty, "nope", "attrs", Options{}); err == nil {
+		t.Fatal("missing column should fail")
+	}
+	tbl := loadWeather(t, db)
+	m, err := Train(db, tbl, "class", "attrs", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LogPosterior("martian", []float64{0, 0}); !errors.Is(err, ErrUnknownClass) {
+		t.Fatalf("want ErrUnknownClass, got %v", err)
+	}
+	if _, err := m.Classify([]float64{0}); err == nil {
+		t.Fatal("wrong arity should fail")
+	}
+}
+
+func TestMismatchedAttributeWidth(t *testing.T) {
+	db := engine.Open(1)
+	tbl, _ := db.CreateTable("d", engine.Schema{
+		{Name: "class", Kind: engine.String},
+		{Name: "attrs", Kind: engine.Vector},
+	})
+	if err := tbl.Insert("a", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert("a", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(db, tbl, "class", "attrs", Options{}); err == nil {
+		t.Fatal("mismatched widths should fail")
+	}
+}

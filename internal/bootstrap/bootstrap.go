@@ -1,0 +1,193 @@
+// Package bootstrap implements m-of-n bootstrap resampling of an arbitrary
+// aggregate statistic, the counted-iteration pattern of §3.1.2: "In order
+// to drive a fixed number n of independent iterations, it is often
+// simplest (and very efficient) to declare a virtual table with n rows
+// (e.g., via PostgreSQL's generate_series), and join it with a view
+// representing a single iteration. This approach was used to implement
+// m-of-n Bootstrap sampling in the original MAD Skills paper."
+//
+// Each virtual-table row drives one resample. Instead of materializing a
+// sample, each data row enters the iteration's aggregate Poisson(m/n)
+// times — the standard in-database bootstrap construction, exact in
+// distribution as n grows — with the per-(row, iteration) count drawn from
+// a deterministic hash so runs are reproducible and segment-parallel.
+package bootstrap
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "bootstrap", Title: "Bootstrap (m-of-n)", Category: core.Support})
+}
+
+// ErrNoData is returned when the source table is empty.
+var ErrNoData = errors.New("bootstrap: no data rows")
+
+// Options configure Run.
+type Options struct {
+	// Iterations is the number of bootstrap resamples (default 100).
+	Iterations int
+	// SampleFraction is m/n, the expected fraction of rows entering each
+	// resample (default 1.0 — the classic n-of-n bootstrap).
+	SampleFraction float64
+	// Seed drives the deterministic resampling.
+	Seed int64
+}
+
+// Result summarizes the bootstrap distribution of the statistic.
+type Result struct {
+	// Estimates holds one statistic value per resample.
+	Estimates []float64
+	// Mean is the bootstrap mean.
+	Mean float64
+	// StdErr is the bootstrap standard error (sample std of Estimates).
+	StdErr float64
+	// CILow and CIHigh are the 2.5th and 97.5th percentile estimates.
+	CILow, CIHigh float64
+}
+
+// Run draws opts.Iterations resamples of the table and evaluates the
+// scalar aggregate on each. The aggregate's Final must return a value
+// convertible to float64 (float64 or int64).
+func Run(db *engine.DB, table *engine.Table, agg engine.Aggregate, opts Options) (*Result, error) {
+	if opts.Iterations == 0 {
+		opts.Iterations = 100
+	}
+	if opts.SampleFraction == 0 {
+		opts.SampleFraction = 1
+	}
+	if opts.SampleFraction < 0 {
+		return nil, errors.New("bootstrap: negative SampleFraction")
+	}
+	if table.Count() == 0 {
+		return nil, ErrNoData
+	}
+	// The virtual iteration table (generate_series) — one row per
+	// resample, exactly the §3.1.2 pattern. The join with "a view
+	// representing a single iteration" is the loop below.
+	series, err := db.GenerateSeries("bootstrap_iterations", 1, int64(opts.Iterations))
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = db.DropTable(series.Name()) }()
+
+	res := &Result{}
+	for _, row := range db.Rows(series) {
+		iter := row[0].(int64)
+		resample := resampleAggregate(agg, opts.Seed, iter, opts.SampleFraction)
+		v, err := db.Run(table, resample)
+		if err != nil {
+			return nil, err
+		}
+		f, ok := toFloat(v)
+		if !ok {
+			return nil, errors.New("bootstrap: statistic is not numeric")
+		}
+		res.Estimates = append(res.Estimates, f)
+	}
+	summarize(res)
+	return res, nil
+}
+
+// resampleAggregate wraps agg so each row's transition is applied
+// Poisson(fraction) times, with counts drawn from a splitmix-style hash of
+// (seed, iteration, segment-local row index, row content position).
+func resampleAggregate(agg engine.Aggregate, seed, iter int64, fraction float64) engine.Aggregate {
+	type segState struct {
+		inner any
+		// rowCounter distinguishes rows within a segment; combined with
+		// the per-segment pointer identity via the first transition's
+		// index it stays deterministic for a fixed table layout.
+		rowCounter uint64
+	}
+	return engine.FuncAggregate{
+		InitFn: func() any { return &segState{inner: agg.Init()} },
+		TransitionFn: func(s any, row engine.Row) any {
+			st := s.(*segState)
+			st.rowCounter++
+			h := mix(uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(iter)<<32 ^ st.rowCounter ^ uint64(row.Index())<<1)
+			k := poisson(h, fraction)
+			for i := 0; i < k; i++ {
+				st.inner = agg.Transition(st.inner, row)
+			}
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*segState), b.(*segState)
+			sa.inner = agg.Merge(sa.inner, sb.inner)
+			return sa
+		},
+		FinalFn: func(s any) (any, error) { return agg.Final(s.(*segState).inner) },
+	}
+}
+
+// mix is a splitmix64 finalizer.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// poisson draws Poisson(lambda) by inversion from one uniform hash value.
+// For the lambdas used here (≈1) the tail beyond ~16 is negligible.
+func poisson(h uint64, lambda float64) int {
+	u := float64(h>>11) / float64(1<<53)
+	p := math.Exp(-lambda)
+	cdf := p
+	k := 0
+	for u > cdf && k < 64 {
+		k++
+		p *= lambda / float64(k)
+		cdf += p
+	}
+	return k
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+func summarize(res *Result) {
+	n := float64(len(res.Estimates))
+	var sum float64
+	for _, v := range res.Estimates {
+		sum += v
+	}
+	res.Mean = sum / n
+	var ss float64
+	for _, v := range res.Estimates {
+		d := v - res.Mean
+		ss += d * d
+	}
+	if n > 1 {
+		res.StdErr = math.Sqrt(ss / (n - 1))
+	}
+	sorted := append([]float64(nil), res.Estimates...)
+	sort.Float64s(sorted)
+	lo := int(0.025 * n)
+	hi := int(0.975*n) - 1
+	if hi < 0 {
+		hi = 0
+	}
+	if hi >= len(sorted) {
+		hi = len(sorted) - 1
+	}
+	res.CILow, res.CIHigh = sorted[lo], sorted[hi]
+}

@@ -1,0 +1,180 @@
+package bootstrap
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+func meanAgg(col int) engine.Aggregate {
+	type state struct {
+		sum float64
+		n   int64
+	}
+	return engine.FuncAggregate{
+		InitFn: func() any { return &state{} },
+		TransitionFn: func(s any, r engine.Row) any {
+			st := s.(*state)
+			st.sum += r.Float(col)
+			st.n++
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*state), b.(*state)
+			sa.sum += sb.sum
+			sa.n += sb.n
+			return sa
+		},
+		FinalFn: func(s any) (any, error) {
+			st := s.(*state)
+			if st.n == 0 {
+				return 0.0, nil
+			}
+			return st.sum / float64(st.n), nil
+		},
+	}
+}
+
+func TestBootstrapMeanStdErr(t *testing.T) {
+	// For the sample mean of n iid values with std σ, the bootstrap
+	// standard error should approximate σ/√n.
+	db := engine.Open(4)
+	tbl, _ := db.CreateTable("d", engine.Schema{{Name: "x", Kind: engine.Float}})
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	sigma := 3.0
+	var trueSum float64
+	for i := 0; i < n; i++ {
+		v := 10 + rng.NormFloat64()*sigma
+		trueSum += v
+		if err := tbl.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trueMean := trueSum / float64(n)
+	res, err := Run(db, tbl, meanAgg(0), Options{Iterations: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 200 {
+		t.Fatalf("estimates = %d", len(res.Estimates))
+	}
+	if math.Abs(res.Mean-trueMean) > 0.05 {
+		t.Fatalf("bootstrap mean %v vs sample mean %v", res.Mean, trueMean)
+	}
+	want := sigma / math.Sqrt(float64(n))
+	if res.StdErr < want/2 || res.StdErr > want*2 {
+		t.Fatalf("bootstrap stderr %v, analytic %v", res.StdErr, want)
+	}
+	// CI must bracket the mean and be ordered.
+	if res.CILow > res.Mean || res.CIHigh < res.Mean {
+		t.Fatalf("CI [%v, %v] does not bracket mean %v", res.CILow, res.CIHigh, res.Mean)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	db := engine.Open(3)
+	tbl, _ := db.CreateTable("d", engine.Schema{{Name: "x", Kind: engine.Float}})
+	for i := 0; i < 100; i++ {
+		if err := tbl.Insert(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := Run(db, tbl, meanAgg(0), Options{Iterations: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(db, tbl, meanAgg(0), Options{Iterations: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Estimates {
+		if a.Estimates[i] != b.Estimates[i] {
+			t.Fatalf("non-deterministic resample at %d", i)
+		}
+	}
+	c, err := Run(db, tbl, meanAgg(0), Options{Iterations: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Estimates {
+		if a.Estimates[i] == c.Estimates[i] {
+			same++
+		}
+	}
+	if same == len(a.Estimates) {
+		t.Fatal("different seeds produced identical resamples")
+	}
+}
+
+func TestBootstrapSubsampling(t *testing.T) {
+	// m-of-n with fraction 0.5: subsample variability should exceed the
+	// full-sample bootstrap's.
+	db := engine.Open(2)
+	tbl, _ := db.CreateTable("d", engine.Schema{{Name: "x", Kind: engine.Float}})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if err := tbl.Insert(rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := Run(db, tbl, meanAgg(0), Options{Iterations: 150, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Run(db, tbl, meanAgg(0), Options{Iterations: 150, Seed: 5, SampleFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.StdErr <= full.StdErr {
+		t.Fatalf("half-sample stderr %v should exceed full %v", half.StdErr, full.StdErr)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	db := engine.Open(2)
+	empty, _ := db.CreateTable("e", engine.Schema{{Name: "x", Kind: engine.Float}})
+	if _, err := Run(db, empty, meanAgg(0), Options{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	tbl, _ := db.CreateTable("d", engine.Schema{{Name: "x", Kind: engine.Float}})
+	if err := tbl.Insert(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(db, tbl, meanAgg(0), Options{SampleFraction: -1}); err == nil {
+		t.Fatal("negative fraction should fail")
+	}
+	// Non-numeric statistic.
+	strAgg := engine.FuncAggregate{
+		InitFn:       func() any { return "" },
+		TransitionFn: func(s any, _ engine.Row) any { return s },
+		MergeFn:      func(a, _ any) any { return a },
+		FinalFn:      func(s any) (any, error) { return s, nil },
+	}
+	if _, err := Run(db, tbl, strAgg, Options{Iterations: 2}); err == nil {
+		t.Fatal("non-numeric statistic should fail")
+	}
+	// No leftover series table.
+	for _, name := range db.TableNames() {
+		if name == "bootstrap_iterations" {
+			t.Fatal("iteration series table leaked")
+		}
+	}
+}
+
+func TestPoissonMeanApproximately(t *testing.T) {
+	// The hash-driven Poisson(1) should have mean ≈ 1 over many draws.
+	var total int
+	n := 100000
+	for i := 0; i < n; i++ {
+		total += poisson(mix(uint64(i)*0x9e3779b97f4a7c15), 1.0)
+	}
+	mean := float64(total) / float64(n)
+	if mean < 0.97 || mean > 1.03 {
+		t.Fatalf("Poisson(1) empirical mean = %v", mean)
+	}
+}

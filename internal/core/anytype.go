@@ -1,0 +1,237 @@
+// Package core implements the MADlib framework proper: the abstraction
+// layer that bridges database values to math types (the Go analogue of the
+// paper's C++ abstraction layer, §3.3), the driver-function controller for
+// multipass iterative algorithms (§3.1.2, Figure 3), templated-query
+// helpers (§3.1.3), and the method registry that backs the Table-1
+// inventory.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"madlib/internal/engine"
+)
+
+// ErrTypeBridge is returned by checked accessors when the stored value does
+// not match the requested type.
+var ErrTypeBridge = errors.New("core: type bridge mismatch")
+
+// AnyType is the bridged datum type, mirroring MADlib's AnyType: a wrapper
+// around a database value with typed accessors. Listing 1 of the paper
+// reads `args[0]`, `args[1].getAs<double>()`,
+// `args[2].getAs<MappedColumnVector>()`; the equivalents here are
+// At(0), At(1).Float(), At(2).Vector().
+type AnyType struct {
+	v any
+}
+
+// Value wraps an arbitrary value into an AnyType.
+func Value(v any) AnyType { return AnyType{v: v} }
+
+// Null returns an AnyType holding no value.
+func Null() AnyType { return AnyType{} }
+
+// IsNull reports whether the datum holds no value.
+func (a AnyType) IsNull() bool { return a.v == nil }
+
+// Raw returns the underlying value.
+func (a AnyType) Raw() any { return a.v }
+
+// Float unwraps a float64 ("getAs<double>"). It panics on mismatch, the
+// way MADlib's C++ layer throws; use CheckedFloat for an error return.
+func (a AnyType) Float() float64 {
+	x, ok := a.v.(float64)
+	if !ok {
+		panic(fmt.Sprintf("core: AnyType holds %T, want float64", a.v))
+	}
+	return x
+}
+
+// CheckedFloat is Float with an error instead of a panic.
+func (a AnyType) CheckedFloat() (float64, error) {
+	x, ok := a.v.(float64)
+	if !ok {
+		return 0, fmt.Errorf("%w: %T is not float64", ErrTypeBridge, a.v)
+	}
+	return x, nil
+}
+
+// Vector unwraps a []float64 without copying — the analogue of
+// MappedColumnVector, which "wraps an immutable array (again, no
+// unnecessary copying)". The caller must treat it as immutable.
+func (a AnyType) Vector() []float64 {
+	x, ok := a.v.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("core: AnyType holds %T, want []float64", a.v))
+	}
+	return x
+}
+
+// CheckedVector is Vector with an error instead of a panic.
+func (a AnyType) CheckedVector() ([]float64, error) {
+	x, ok := a.v.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T is not []float64", ErrTypeBridge, a.v)
+	}
+	return x, nil
+}
+
+// Int unwraps an int64.
+func (a AnyType) Int() int64 {
+	x, ok := a.v.(int64)
+	if !ok {
+		panic(fmt.Sprintf("core: AnyType holds %T, want int64", a.v))
+	}
+	return x
+}
+
+// Str unwraps a string.
+func (a AnyType) Str() string {
+	x, ok := a.v.(string)
+	if !ok {
+		panic(fmt.Sprintf("core: AnyType holds %T, want string", a.v))
+	}
+	return x
+}
+
+// Bool unwraps a bool.
+func (a AnyType) Bool() bool {
+	x, ok := a.v.(bool)
+	if !ok {
+		panic(fmt.Sprintf("core: AnyType holds %T, want bool", a.v))
+	}
+	return x
+}
+
+// Composite is a tuple of datums — the analogue of the paper's
+// `AnyType tuple; tuple << coef << decomposition.conditionNo();`.
+type Composite struct {
+	fields []AnyType
+}
+
+// NewComposite returns an empty tuple.
+func NewComposite() *Composite { return &Composite{} }
+
+// Append adds a field and returns the composite for chaining.
+func (c *Composite) Append(v any) *Composite {
+	c.fields = append(c.fields, Value(v))
+	return c
+}
+
+// Len returns the number of fields.
+func (c *Composite) Len() int { return len(c.fields) }
+
+// Field returns the i-th field.
+func (c *Composite) Field(i int) AnyType { return c.fields[i] }
+
+// Args bridges one engine row into AnyType-style positional access,
+// according to a binding of argument positions to table columns. Building
+// an Args per row is deliberately where the abstraction layer's per-row
+// marshalling cost lives; the v0.1alpha reproduction bypasses it.
+type Args struct {
+	row  engine.Row
+	cols []int
+	// kinds lets accessors unwrap without consulting the table schema.
+	kinds []engine.Kind
+}
+
+// Binding precomputes a column binding for repeated row bridging.
+type Binding struct {
+	cols  []int
+	kinds []engine.Kind
+}
+
+// BindColumns resolves the named columns in the schema, returning an error
+// listing the first missing column — the up-front validation the paper says
+// templated SQL makes necessary (§3.1.3).
+func BindColumns(schema engine.Schema, names ...string) (*Binding, error) {
+	b := &Binding{cols: make([]int, len(names)), kinds: make([]engine.Kind, len(names))}
+	for i, n := range names {
+		ci := schema.Index(n)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: column %q not in schema", engine.ErrNoColumn, n)
+		}
+		b.cols[i] = ci
+		b.kinds[i] = schema[ci].Kind
+	}
+	return b, nil
+}
+
+// Bridge wraps a row with the binding, yielding positional AnyType access.
+func (b *Binding) Bridge(row engine.Row) Args {
+	return Args{row: row, cols: b.cols, kinds: b.kinds}
+}
+
+// At returns the i-th bound argument as an AnyType. The value is boxed at
+// this point — one interface allocation per access, the honest Go analogue
+// of AnyType's value marshalling.
+func (a Args) At(i int) AnyType {
+	col := a.cols[i]
+	switch a.kinds[i] {
+	case engine.Float:
+		return Value(a.row.Float(col))
+	case engine.Vector:
+		return Value(a.row.Vector(col))
+	case engine.Int:
+		return Value(a.row.Int(col))
+	case engine.String:
+		return Value(a.row.Str(col))
+	case engine.Bool:
+		return Value(a.row.Bool(col))
+	}
+	return Null()
+}
+
+// Float is a fused accessor that skips the AnyType boxing. The v0.3
+// abstraction layer earned its speed by exactly this kind of fused,
+// zero-copy path ("the abstraction layer itself has been tuned for
+// efficient value marshalling").
+func (a Args) Float(i int) float64 { return a.row.Float(a.cols[i]) }
+
+// Vector is the fused zero-copy vector accessor.
+func (a Args) Vector(i int) []float64 { return a.row.Vector(a.cols[i]) }
+
+// Allocator is the resource-management shim of the abstraction layer: it
+// stands in for "layering C++ object allocation/deallocation over
+// DBMS-managed memory interfaces" and lets tests and benchmarks observe
+// how much transient memory an implementation churns.
+type Allocator struct {
+	allocations atomic.Int64
+	floatsAlloc atomic.Int64
+}
+
+// AllocVector returns a fresh zeroed vector of length n, counting the
+// allocation.
+func (al *Allocator) AllocVector(n int) []float64 {
+	al.allocations.Add(1)
+	al.floatsAlloc.Add(int64(n))
+	return make([]float64, n)
+}
+
+// Allocations returns how many vectors have been allocated.
+func (al *Allocator) Allocations() int64 { return al.allocations.Load() }
+
+// FloatsAllocated returns how many float64 slots have been allocated.
+func (al *Allocator) FloatsAllocated() int64 { return al.floatsAlloc.Load() }
+
+// BackendGate simulates the per-call locking into the DBMS backend that
+// made MADlib v0.2.1beta slow ("runtime overhead ... mostly due to locking
+// and calls into the DBMS backend"). The v0.2.1beta linregr reproduction
+// takes this lock once per row; v0.3 does not.
+type BackendGate struct {
+	mu    sync.Mutex
+	calls atomic.Int64
+}
+
+// Enter acquires and releases the backend lock, counting the call.
+func (g *BackendGate) Enter() {
+	g.mu.Lock()
+	g.calls.Add(1)
+	g.mu.Unlock() //nolint:staticcheck // intentional empty critical section: models lock traffic
+}
+
+// Calls returns the number of backend round trips taken.
+func (g *BackendGate) Calls() int64 { return g.calls.Load() }

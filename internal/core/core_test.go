@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+func TestAnyTypeAccessors(t *testing.T) {
+	if got := Value(1.5).Float(); got != 1.5 {
+		t.Fatalf("Float = %v", got)
+	}
+	if got := Value(int64(7)).Int(); got != 7 {
+		t.Fatalf("Int = %v", got)
+	}
+	if got := Value("hi").Str(); got != "hi" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := Value(true).Bool(); !got {
+		t.Fatal("Bool wrong")
+	}
+	v := Value([]float64{1, 2}).Vector()
+	if len(v) != 2 || v[1] != 2 {
+		t.Fatalf("Vector = %v", v)
+	}
+	if !Null().IsNull() || Value(1.0).IsNull() {
+		t.Fatal("IsNull wrong")
+	}
+}
+
+func TestAnyTypePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Value("nope").Float()
+}
+
+func TestCheckedAccessors(t *testing.T) {
+	if _, err := Value("x").CheckedFloat(); !errors.Is(err, ErrTypeBridge) {
+		t.Fatalf("want ErrTypeBridge, got %v", err)
+	}
+	if _, err := Value(1.0).CheckedVector(); !errors.Is(err, ErrTypeBridge) {
+		t.Fatalf("want ErrTypeBridge, got %v", err)
+	}
+	got, err := Value(2.0).CheckedFloat()
+	if err != nil || got != 2 {
+		t.Fatalf("CheckedFloat = %v, %v", got, err)
+	}
+}
+
+func TestComposite(t *testing.T) {
+	c := NewComposite().Append([]float64{1, 2}).Append(3.5)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Field(1).Float() != 3.5 {
+		t.Fatal("Field(1) wrong")
+	}
+	if c.Field(0).Vector()[0] != 1 {
+		t.Fatal("Field(0) wrong")
+	}
+}
+
+func TestBindingAndBridge(t *testing.T) {
+	db := engine.Open(2)
+	tbl, err := db.CreateTable("data", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+		{Name: "label", Kind: engine.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(1.0, []float64{2, 3}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	bind, err := BindColumns(tbl.Schema(), "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawX []float64
+	var sawY float64
+	err = db.ForEachSegment(tbl, func(_ int, row engine.Row) error {
+		args := bind.Bridge(row)
+		sawX = args.At(0).Vector()
+		sawY = args.At(1).Float()
+		// Fused accessors agree with boxed ones.
+		if args.Float(1) != sawY {
+			t.Error("fused Float disagrees")
+		}
+		if &args.Vector(0)[0] != &sawX[0] {
+			t.Error("fused Vector should be zero-copy")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawY != 1 || sawX[1] != 3 {
+		t.Fatalf("bridged values wrong: %v %v", sawY, sawX)
+	}
+	if _, err := BindColumns(tbl.Schema(), "missing"); !errors.Is(err, engine.ErrNoColumn) {
+		t.Fatalf("want ErrNoColumn, got %v", err)
+	}
+}
+
+func TestAllocatorCounts(t *testing.T) {
+	var al Allocator
+	v := al.AllocVector(5)
+	if len(v) != 5 {
+		t.Fatal("AllocVector size wrong")
+	}
+	al.AllocVector(3)
+	if al.Allocations() != 2 || al.FloatsAllocated() != 8 {
+		t.Fatalf("counters = %d, %d", al.Allocations(), al.FloatsAllocated())
+	}
+}
+
+func TestBackendGate(t *testing.T) {
+	var g BackendGate
+	for i := 0; i < 10; i++ {
+		g.Enter()
+	}
+	if g.Calls() != 10 {
+		t.Fatalf("Calls = %d", g.Calls())
+	}
+}
+
+func TestRunIterativeConverges(t *testing.T) {
+	db := engine.Open(2)
+	// Iterate x <- x/2 starting at 16 until change is small: state halves
+	// each step and converges geometrically.
+	spec := IterativeSpec{
+		Name:         "halving",
+		InitialState: []float64{16},
+		Step: func(prev []float64) ([]float64, error) {
+			return []float64{prev[0] / 2}, nil
+		},
+		Converged: func(prev, cur []float64, _ int) (bool, error) {
+			return math.Abs(cur[0]-prev[0]) < 0.01, nil
+		},
+		MaxIterations: 50,
+	}
+	res, err := RunIterative(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State[0] > 0.01 {
+		t.Fatalf("final state %v not converged", res.State)
+	}
+	if res.Iterations < 10 {
+		t.Fatalf("converged suspiciously fast: %d iterations", res.Iterations)
+	}
+	// The Figure-3 control flow: create, then (insert, check)*, then final.
+	if res.Trace[0] != "CREATE TEMP TABLE iterative_algorithm" {
+		t.Fatalf("trace[0] = %q", res.Trace[0])
+	}
+	if res.Trace[len(res.Trace)-1] != "SELECT FINAL RESULT" {
+		t.Fatalf("trace end = %q", res.Trace[len(res.Trace)-1])
+	}
+	if res.Trace[1] != "INSERT iteration 1" || res.Trace[2] != "CONVERGENCE CHECK 1" {
+		t.Fatalf("trace body = %v", res.Trace[1:3])
+	}
+	// The temp table must have been dropped on exit.
+	for _, name := range db.TableNames() {
+		t.Fatalf("leftover table %q", name)
+	}
+}
+
+func TestRunIterativeNoConvergence(t *testing.T) {
+	db := engine.Open(1)
+	spec := IterativeSpec{
+		Name:          "diverge",
+		InitialState:  []float64{1},
+		Step:          func(prev []float64) ([]float64, error) { return []float64{prev[0] + 1}, nil },
+		Converged:     func(_, _ []float64, _ int) (bool, error) { return false, nil },
+		MaxIterations: 5,
+	}
+	if _, err := RunIterative(db, spec); !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+}
+
+func TestRunIterativeStepError(t *testing.T) {
+	db := engine.Open(1)
+	boom := errors.New("boom")
+	spec := IterativeSpec{
+		Name:          "err",
+		InitialState:  []float64{1},
+		Step:          func([]float64) ([]float64, error) { return nil, boom },
+		Converged:     func(_, _ []float64, _ int) (bool, error) { return true, nil },
+		MaxIterations: 5,
+	}
+	if _, err := RunIterative(db, spec); !errors.Is(err, boom) {
+		t.Fatalf("want wrapped step error, got %v", err)
+	}
+}
+
+func TestRunIterativeValidation(t *testing.T) {
+	db := engine.Open(1)
+	if _, err := RunIterative(db, IterativeSpec{}); err == nil {
+		t.Fatal("missing Step/Converged should error")
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if got := RelativeChange([]float64{0, 0}, []float64{0, 0}); got != 0 {
+		t.Fatalf("RelativeChange same = %v", got)
+	}
+	got := RelativeChange([]float64{3, 4}, []float64{3, 4 + 5})
+	// ||diff||=5, ||prev||=5 → 5/6.
+	if math.Abs(got-5.0/6.0) > 1e-12 {
+		t.Fatalf("RelativeChange = %v", got)
+	}
+	if got := RelativeChange([]float64{1}, []float64{1, 2}); got != 1 {
+		t.Fatalf("mismatched lengths should return 1, got %v", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	RegisterMethod(MethodInfo{Name: "test_method_x", Title: "Test Method", Category: Support})
+	m, ok := LookupMethod("test_method_x")
+	if !ok || m.Title != "Test Method" {
+		t.Fatalf("lookup failed: %v %v", m, ok)
+	}
+	found := false
+	for _, mi := range Methods() {
+		if mi.Name == "test_method_x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Methods() missing registered method")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	RegisterMethod(MethodInfo{Name: "test_method_x"})
+}
+
+func TestValidateIdentifier(t *testing.T) {
+	for _, ok := range []string{"x", "foo_bar", "_a1", "T2"} {
+		if err := ValidateIdentifier(ok); err != nil {
+			t.Fatalf("%q should be valid: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "1x", "a-b", "a b", "a;drop", "名"} {
+		if err := ValidateIdentifier(bad); err == nil {
+			t.Fatalf("%q should be invalid", bad)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"madlib/internal/engine"
+)
+
+// ErrNoConvergence is returned when an iterative method exhausts its
+// iteration budget without satisfying its convergence test.
+var ErrNoConvergence = errors.New("core: did not converge within iteration limit")
+
+// IterativeSpec describes one iterative algorithm for the driver controller,
+// decoupling the algorithm (one UDA step + a convergence test) from the
+// iteration machinery, the way MADlib's Python driver UDFs do.
+type IterativeSpec struct {
+	// Name labels the temp state table.
+	Name string
+	// InitialState is iteration 0's inter-iteration state.
+	InitialState []float64
+	// Step runs one iteration: given the source table and the previous
+	// inter-iteration state, produce the next state. In MADlib this is the
+	// generated `INSERT INTO iterative_algorithm SELECT iteration+1,
+	// <agg>(...)` statement.
+	Step func(prev []float64) ([]float64, error)
+	// Converged inspects the previous and current states after each
+	// iteration — the `internal_..._did_converge` probe of Figure 3.
+	Converged func(prev, cur []float64, iteration int) (bool, error)
+	// MaxIterations bounds the loop; 0 means 100.
+	MaxIterations int
+}
+
+// IterativeResult reports the outcome of a driver-controlled iteration.
+type IterativeResult struct {
+	// State is the final inter-iteration state.
+	State []float64
+	// Iterations is how many steps ran.
+	Iterations int
+	// Trace lists the driver's control-flow steps, matching the activity
+	// diagram in Figure 3 of the paper. Tests assert on it.
+	Trace []string
+}
+
+// RunIterative executes the driver-function pattern of §3.1.2 against a
+// database: create a temp table for inter-iteration state, loop (insert the
+// next state row; probe convergence), then read the final state out —
+// with all bulk work inside Step's aggregation queries and only the small
+// state vector crossing the driver boundary.
+func RunIterative(db *engine.DB, spec IterativeSpec) (*IterativeResult, error) {
+	if spec.Step == nil || spec.Converged == nil {
+		return nil, errors.New("core: IterativeSpec needs Step and Converged")
+	}
+	maxIter := spec.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	res := &IterativeResult{}
+	// CREATE TEMP TABLE iterative_algorithm AS SELECT 0 AS iteration,
+	// <initial> AS state (Figure 3, first box).
+	stateTable, err := db.CreateTempTable(spec.Name+"_iterative_algorithm", engine.Schema{
+		{Name: "iteration", Kind: engine.Int},
+		{Name: "state", Kind: engine.Vector},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = db.DropTable(stateTable.Name()) }()
+	res.Trace = append(res.Trace, "CREATE TEMP TABLE iterative_algorithm")
+	if err := stateTable.Insert(int64(0), clone(spec.InitialState)); err != nil {
+		return nil, err
+	}
+
+	prev := clone(spec.InitialState)
+	for iter := 1; iter <= maxIter; iter++ {
+		// INSERT INTO iterative_algorithm SELECT iteration+1, step(...).
+		cur, err := spec.Step(prev)
+		if err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", iter, err)
+		}
+		if err := stateTable.Insert(int64(iter), clone(cur)); err != nil {
+			return nil, err
+		}
+		res.Trace = append(res.Trace, fmt.Sprintf("INSERT iteration %d", iter))
+		res.Iterations = iter
+
+		// SELECT internal_..._did_converge(state) WHERE iteration = current.
+		done, err := spec.Converged(prev, cur, iter)
+		if err != nil {
+			return nil, fmt.Errorf("convergence check %d: %w", iter, err)
+		}
+		res.Trace = append(res.Trace, fmt.Sprintf("CONVERGENCE CHECK %d", iter))
+		prev = cur
+		if done {
+			break
+		}
+		if iter == maxIter {
+			return nil, fmt.Errorf("%w after %d iterations", ErrNoConvergence, maxIter)
+		}
+	}
+	// SELECT internal_..._result(state) WHERE iteration = current
+	// (Figure 3, final box): read the last state row back out of the temp
+	// table, which is the only data crossing into the driver.
+	final, err := latestState(db, stateTable)
+	if err != nil {
+		return nil, err
+	}
+	res.State = final
+	res.Trace = append(res.Trace, "SELECT FINAL RESULT")
+	return res, nil
+}
+
+// latestState fetches the state vector with the maximum iteration number
+// via an aggregate query, keeping even this probe inside the engine.
+func latestState(db *engine.DB, t *engine.Table) ([]float64, error) {
+	type pair struct {
+		iter  int64
+		state []float64
+	}
+	v, err := db.Run(t, engine.FuncAggregate{
+		InitFn: func() any { return pair{iter: -1} },
+		TransitionFn: func(s any, r engine.Row) any {
+			p := s.(pair)
+			if it := r.Int(0); it > p.iter {
+				p.iter = it
+				p.state = r.Vector(1)
+			}
+			return p
+		},
+		MergeFn: func(a, b any) any {
+			pa, pb := a.(pair), b.(pair)
+			if pb.iter > pa.iter {
+				return pb
+			}
+			return pa
+		},
+		FinalFn: func(s any) (any, error) {
+			p := s.(pair)
+			if p.iter < 0 {
+				return nil, errors.New("core: empty iteration table")
+			}
+			return p.state, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return clone(v.([]float64)), nil
+}
+
+func clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// RelativeChange returns ||cur-prev|| / (||prev|| + 1), the default
+// convergence metric MADlib's drivers use for coefficient vectors.
+func RelativeChange(prev, cur []float64) float64 {
+	if len(prev) != len(cur) {
+		return 1
+	}
+	var num, den float64
+	for i := range prev {
+		d := cur[i] - prev[i]
+		num += d * d
+		den += prev[i] * prev[i]
+	}
+	return math.Sqrt(num) / (math.Sqrt(den) + 1)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+)
+
+// Category labels a method with its Table-1 grouping.
+type Category string
+
+// The four categories of Table 1.
+const (
+	Supervised   Category = "Supervised Learning"
+	Unsupervised Category = "Unsupervised Learning"
+	Descriptive  Category = "Descriptive Statistics"
+	Support      Category = "Support Modules"
+)
+
+// MethodInfo describes one library method for the registry.
+type MethodInfo struct {
+	// Name is the method's public name (e.g. "linregr").
+	Name string
+	// Title is the human-readable Table-1 row (e.g. "Linear Regression").
+	Title string
+	// Category is the Table-1 grouping.
+	Category Category
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]MethodInfo{}
+)
+
+// RegisterMethod adds a method to the global registry; method packages call
+// it from init. Registering the same name twice panics, catching copy-paste
+// mistakes at package-load time.
+func RegisterMethod(m MethodInfo) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[m.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate method registration %q", m.Name))
+	}
+	registry[m.Name] = m
+}
+
+// Methods returns all registered methods sorted by category then title —
+// the programmatic Table 1.
+func Methods() []MethodInfo {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]MethodInfo, 0, len(registry))
+	for _, m := range registry {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Category != out[j].Category {
+			return out[i].Category < out[j].Category
+		}
+		return out[i].Title < out[j].Title
+	})
+	return out
+}
+
+// LookupMethod returns the registered method with the given name.
+func LookupMethod(name string) (MethodInfo, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	m, ok := registry[name]
+	return m, ok
+}
+
+var identRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// ValidateIdentifier rejects table/column names that could not be spliced
+// into a generated query. The paper notes that templated SQL surfaces
+// syntax errors only at execution, "often leading to error messages that
+// are enigmatic to the user", so MADlib validates identifiers up front
+// (§3.1.3); this is that check.
+func ValidateIdentifier(name string) error {
+	if !identRe.MatchString(name) {
+		return fmt.Errorf("core: invalid identifier %q", name)
+	}
+	return nil
+}

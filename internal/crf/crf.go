@@ -1,0 +1,513 @@
+// Package crf implements the Florida/Berkeley statistical text analytics
+// layer of §5.2: a linear-chain conditional random field with the five
+// feature classes the paper enumerates (dictionary, regex, edge, word,
+// position), trained by stochastic gradient descent on the convex
+// framework of internal/sgd (the Table-2 "Labeling (CRF)" objective), with
+// Viterbi top-k inference and MCMC inference (Gibbs and
+// Metropolis-Hastings) as in Table 3.
+package crf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+	"madlib/internal/sgd"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "crf", Title: "Conditional Random Fields", Category: core.Supervised})
+}
+
+// Token is one word with its label.
+type Token struct {
+	Word string
+	Tag  string
+}
+
+// Sentence is a labelled token sequence.
+type Sentence []Token
+
+// ErrNoData is returned for an empty training corpus.
+var ErrNoData = errors.New("crf: empty corpus")
+
+// ExtractorOptions configure the feature extractor.
+type ExtractorOptions struct {
+	// Dictionaries maps a dictionary name to its word set ("does this
+	// token exist in a provided dictionary?").
+	Dictionaries map[string][]string
+	// Regexes maps a pattern name to its expression ("does this token
+	// match a provided regular expression?").
+	Regexes map[string]string
+}
+
+// Extractor computes the §5.2 feature classes for a token in context.
+type Extractor struct {
+	dicts   map[string]map[string]bool
+	regexes map[string]*regexp.Regexp
+	names   []string // deterministic ordering of dicts+regexes
+}
+
+// NewExtractor compiles the dictionaries and regexes. With zero options it
+// still produces word, edge, and position features.
+func NewExtractor(opts ExtractorOptions) (*Extractor, error) {
+	ex := &Extractor{dicts: map[string]map[string]bool{}, regexes: map[string]*regexp.Regexp{}}
+	for name, words := range opts.Dictionaries {
+		set := map[string]bool{}
+		for _, w := range words {
+			set[strings.ToLower(w)] = true
+		}
+		ex.dicts[name] = set
+		ex.names = append(ex.names, "dict:"+name)
+	}
+	for name, pattern := range opts.Regexes {
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("crf: regex %q: %w", name, err)
+		}
+		ex.regexes[name] = re
+		ex.names = append(ex.names, "re:"+name)
+	}
+	sort.Strings(ex.names)
+	return ex, nil
+}
+
+// observations returns the tag-independent observation predicates firing
+// at position t: word identity, dictionary hits, regex hits, and position
+// markers. Node features are these predicates crossed with the tag.
+func (ex *Extractor) observations(words []string, t int) []string {
+	obs := []string{"word:" + words[t]}
+	lower := strings.ToLower(words[t])
+	for name, set := range ex.dicts {
+		if set[lower] {
+			obs = append(obs, "dict:"+name)
+		}
+	}
+	for name, re := range ex.regexes {
+		if re.MatchString(words[t]) {
+			obs = append(obs, "re:"+name)
+		}
+	}
+	if t == 0 {
+		obs = append(obs, "pos:first")
+	}
+	if t == len(words)-1 {
+		obs = append(obs, "pos:last")
+	}
+	sort.Strings(obs)
+	return obs
+}
+
+// Model is a trained linear-chain CRF.
+type Model struct {
+	// Tags is the label alphabet in sorted order.
+	Tags []string
+	// Weights is the trained parameter vector.
+	Weights []float64
+
+	ex       *Extractor
+	tagIdx   map[string]int
+	featIdx  map[string]int
+	featName []string
+	// edgeBase[a][b] is the weight index of edge feature a→b.
+	edgeBase [][]int
+}
+
+// TrainOptions configure training.
+type TrainOptions struct {
+	// Extractor supplies dictionaries/regexes; nil uses an empty one.
+	Extractor *Extractor
+	// StepSize is the SGD rate (default 0.1).
+	StepSize float64
+	// L2 is the Gaussian-prior strength (default 1e-3).
+	L2 float64
+	// MaxPasses bounds SGD passes (default 30).
+	MaxPasses int
+	// Tolerance is the per-pass loss stability threshold (default 1e-4).
+	Tolerance float64
+}
+
+// sentenceSep joins words/tags into single String cells for table storage.
+const sentenceSep = "\x1f"
+
+// LoadCorpus creates an engine table with one row per sentence (words and
+// tags joined by an unexposed separator), the layout TrainTable expects.
+func LoadCorpus(db *engine.DB, name string, corpus []Sentence) (*engine.Table, error) {
+	t, err := db.CreateTable(name, engine.Schema{
+		{Name: "words", Kind: engine.String},
+		{Name: "tags", Kind: engine.String},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sent := range corpus {
+		words := make([]string, len(sent))
+		tags := make([]string, len(sent))
+		for i, tok := range sent {
+			words[i] = tok.Word
+			tags[i] = tok.Tag
+		}
+		if err := t.Insert(strings.Join(words, sentenceSep), strings.Join(tags, sentenceSep)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Train fits a CRF on an in-memory corpus by staging it into a throwaway
+// single-segment database and calling TrainTable — convenience for tests
+// and small corpora.
+func Train(corpus []Sentence, opts TrainOptions) (*Model, error) {
+	if len(corpus) == 0 {
+		return nil, ErrNoData
+	}
+	db := engine.Open(1)
+	t, err := LoadCorpus(db, "corpus", corpus)
+	if err != nil {
+		return nil, err
+	}
+	return TrainTable(db, t, "words", "tags", opts)
+}
+
+// TrainTable fits a CRF from a table of (words, tags) sentence rows.
+// Feature construction scans the corpus once; training then runs the
+// Table-2 CRF objective through the SGD framework, one aggregate query per
+// pass.
+func TrainTable(db *engine.DB, table *engine.Table, wordsCol, tagsCol string, opts TrainOptions) (*Model, error) {
+	if opts.Extractor == nil {
+		var err error
+		opts.Extractor, err = NewExtractor(ExtractorOptions{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.StepSize == 0 {
+		opts.StepSize = 0.1
+	}
+	if opts.L2 == 0 {
+		opts.L2 = 1e-3
+	}
+	if opts.MaxPasses == 0 {
+		opts.MaxPasses = 30
+	}
+	if opts.Tolerance == 0 {
+		opts.Tolerance = 1e-4
+	}
+	schema := table.Schema()
+	wi, ti := schema.Index(wordsCol), schema.Index(tagsCol)
+	if wi < 0 || ti < 0 {
+		return nil, fmt.Errorf("%w: %q or %q", engine.ErrNoColumn, wordsCol, tagsCol)
+	}
+	if schema[wi].Kind != engine.String || schema[ti].Kind != engine.String {
+		return nil, errors.New("crf: need String word/tag columns")
+	}
+
+	m := &Model{ex: opts.Extractor, tagIdx: map[string]int{}, featIdx: map[string]int{}}
+	// Pass 1 (one scan): collect the tag alphabet and observation
+	// predicates so the feature index covers predicate × every tag.
+	type scanState struct {
+		tags map[string]bool
+		obs  map[string]bool
+		rows int64
+	}
+	v, err := db.Run(table, engine.FuncAggregate{
+		InitFn: func() any { return &scanState{tags: map[string]bool{}, obs: map[string]bool{}} },
+		TransitionFn: func(s any, row engine.Row) any {
+			st := s.(*scanState)
+			words := strings.Split(row.Str(wi), sentenceSep)
+			tags := strings.Split(row.Str(ti), sentenceSep)
+			for _, tag := range tags {
+				st.tags[tag] = true
+			}
+			for t := range words {
+				for _, o := range m.ex.observations(words, t) {
+					st.obs[o] = true
+				}
+			}
+			st.rows++
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*scanState), b.(*scanState)
+			for k := range sb.tags {
+				sa.tags[k] = true
+			}
+			for k := range sb.obs {
+				sa.obs[k] = true
+			}
+			sa.rows += sb.rows
+			return sa
+		},
+		FinalFn: func(s any) (any, error) { return s, nil },
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := v.(*scanState)
+	if st.rows == 0 {
+		return nil, ErrNoData
+	}
+	for tag := range st.tags {
+		m.Tags = append(m.Tags, tag)
+	}
+	sort.Strings(m.Tags)
+	for i, tag := range m.Tags {
+		m.tagIdx[tag] = i
+	}
+	obsList := make([]string, 0, len(st.obs))
+	for o := range st.obs {
+		obsList = append(obsList, o)
+	}
+	sort.Strings(obsList)
+	intern := func(name string) int {
+		if id, ok := m.featIdx[name]; ok {
+			return id
+		}
+		id := len(m.featName)
+		m.featIdx[name] = id
+		m.featName = append(m.featName, name)
+		return id
+	}
+	for _, o := range obsList {
+		for _, tag := range m.Tags {
+			intern(o + ":" + tag)
+		}
+	}
+	nt := len(m.Tags)
+	m.edgeBase = make([][]int, nt)
+	for a := 0; a < nt; a++ {
+		m.edgeBase[a] = make([]int, nt)
+		for b := 0; b < nt; b++ {
+			m.edgeBase[a][b] = intern("edge:" + m.Tags[a] + ":" + m.Tags[b])
+		}
+	}
+
+	// Pass 2..N: SGD on the negative log-likelihood.
+	model := &crfObjective{m: m}
+	extract := func(r engine.Row) any {
+		return labelled{
+			words: strings.Split(r.Str(wi), sentenceSep),
+			tags:  strings.Split(r.Str(ti), sentenceSep),
+		}
+	}
+	res, err := sgd.Train(db, table, extract, model, sgd.Options{
+		StepSize:  opts.StepSize,
+		L2:        opts.L2,
+		MaxPasses: opts.MaxPasses,
+		Tolerance: opts.Tolerance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.Weights = res.Weights
+	return m, nil
+}
+
+// labelled is the SGD example type.
+type labelled struct {
+	words []string
+	tags  []string
+}
+
+// crfObjective adapts the CRF negative log-likelihood to sgd.Model.
+type crfObjective struct {
+	m *Model
+}
+
+func (o *crfObjective) Dim() int { return len(o.m.featName) }
+
+// LossAndGrad computes −log p(tags|words) and its gradient
+// (expected − observed feature counts) via forward-backward.
+func (o *crfObjective) LossAndGrad(w []float64, example any, grad []float64) float64 {
+	ex := example.(labelled)
+	m := o.m
+	n := len(ex.words)
+	if n == 0 || len(ex.tags) != n {
+		return 0
+	}
+	nodeFeats, nodeScores, edgeScores := m.scores(w, ex.words)
+	logAlpha, logZ := forward(nodeScores, edgeScores)
+	logBeta := backward(nodeScores, edgeScores)
+	nt := len(m.Tags)
+
+	// Node terms: expected − observed.
+	pathScore := 0.0
+	for t := 0; t < n; t++ {
+		obsTag, ok := m.tagIdx[ex.tags[t]]
+		if !ok {
+			// Unseen tag at train time cannot happen (alphabet built from
+			// the corpus); guard anyway.
+			return 0
+		}
+		for b := 0; b < nt; b++ {
+			p := math.Exp(logAlpha[t][b] + logBeta[t][b] - logZ)
+			for _, f := range nodeFeats[t][b] {
+				grad[f] += p
+			}
+			if b == obsTag {
+				for _, f := range nodeFeats[t][b] {
+					grad[f]--
+				}
+			}
+		}
+		pathScore += nodeScores[t][obsTag]
+		if t > 0 {
+			prev := m.tagIdx[ex.tags[t-1]]
+			pathScore += edgeScores[prev][obsTag]
+		}
+	}
+	// Edge terms.
+	for t := 1; t < n; t++ {
+		for a := 0; a < nt; a++ {
+			for b := 0; b < nt; b++ {
+				p := math.Exp(logAlpha[t-1][a] + edgeScores[a][b] + nodeScores[t][b] + logBeta[t][b] - logZ)
+				grad[m.edgeBase[a][b]] += p
+			}
+		}
+		prev, cur := m.tagIdx[ex.tags[t-1]], m.tagIdx[ex.tags[t]]
+		grad[m.edgeBase[prev][cur]]--
+	}
+	return logZ - pathScore
+}
+
+// scores precomputes, for a sentence, each position×tag node feature list
+// and score, plus the tag×tag edge score matrix, under weights w.
+func (m *Model) scores(w []float64, words []string) (nodeFeats [][][]int, nodeScores [][]float64, edgeScores [][]float64) {
+	n := len(words)
+	nt := len(m.Tags)
+	nodeFeats = make([][][]int, n)
+	nodeScores = make([][]float64, n)
+	for t := 0; t < n; t++ {
+		obs := m.ex.observations(words, t)
+		nodeFeats[t] = make([][]int, nt)
+		nodeScores[t] = make([]float64, nt)
+		for b, tag := range m.Tags {
+			var feats []int
+			var score float64
+			for _, o := range obs {
+				if f, ok := m.featIdx[o+":"+tag]; ok {
+					feats = append(feats, f)
+					score += w[f]
+				}
+			}
+			nodeFeats[t][b] = feats
+			nodeScores[t][b] = score
+		}
+	}
+	edgeScores = make([][]float64, nt)
+	for a := 0; a < nt; a++ {
+		edgeScores[a] = make([]float64, nt)
+		for b := 0; b < nt; b++ {
+			edgeScores[a][b] = w[m.edgeBase[a][b]]
+		}
+	}
+	return nodeFeats, nodeScores, edgeScores
+}
+
+// forward computes log-alphas and logZ.
+func forward(nodeScores, edgeScores [][]float64) (logAlpha [][]float64, logZ float64) {
+	n := len(nodeScores)
+	nt := len(nodeScores[0])
+	logAlpha = make([][]float64, n)
+	logAlpha[0] = append([]float64(nil), nodeScores[0]...)
+	for t := 1; t < n; t++ {
+		logAlpha[t] = make([]float64, nt)
+		for b := 0; b < nt; b++ {
+			acc := math.Inf(-1)
+			for a := 0; a < nt; a++ {
+				acc = logSumExp2(acc, logAlpha[t-1][a]+edgeScores[a][b])
+			}
+			logAlpha[t][b] = acc + nodeScores[t][b]
+		}
+	}
+	logZ = math.Inf(-1)
+	for _, v := range logAlpha[n-1] {
+		logZ = logSumExp2(logZ, v)
+	}
+	return logAlpha, logZ
+}
+
+// backward computes log-betas.
+func backward(nodeScores, edgeScores [][]float64) [][]float64 {
+	n := len(nodeScores)
+	nt := len(nodeScores[0])
+	logBeta := make([][]float64, n)
+	logBeta[n-1] = make([]float64, nt) // zeros
+	for t := n - 2; t >= 0; t-- {
+		logBeta[t] = make([]float64, nt)
+		for a := 0; a < nt; a++ {
+			acc := math.Inf(-1)
+			for b := 0; b < nt; b++ {
+				acc = logSumExp2(acc, edgeScores[a][b]+nodeScores[t+1][b]+logBeta[t+1][b])
+			}
+			logBeta[t][a] = acc
+		}
+	}
+	return logBeta
+}
+
+func logSumExp2(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// Marginals returns the exact per-position tag marginals P(y_t = tag)
+// via forward-backward — the reference the MCMC tests compare against.
+func (m *Model) Marginals(words []string) [][]float64 {
+	if len(words) == 0 {
+		return nil
+	}
+	_, nodeScores, edgeScores := m.scores(m.Weights, words)
+	logAlpha, logZ := forward(nodeScores, edgeScores)
+	logBeta := backward(nodeScores, edgeScores)
+	n := len(words)
+	nt := len(m.Tags)
+	out := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		out[t] = make([]float64, nt)
+		for b := 0; b < nt; b++ {
+			out[t][b] = math.Exp(logAlpha[t][b] + logBeta[t][b] - logZ)
+		}
+	}
+	return out
+}
+
+// LogLikelihood returns log p(tags|words) under the trained model.
+func (m *Model) LogLikelihood(words, tags []string) (float64, error) {
+	if len(words) != len(tags) {
+		return 0, fmt.Errorf("crf: %d words vs %d tags", len(words), len(tags))
+	}
+	if len(words) == 0 {
+		return 0, nil
+	}
+	_, nodeScores, edgeScores := m.scores(m.Weights, words)
+	_, logZ := forward(nodeScores, edgeScores)
+	score := 0.0
+	for t := range words {
+		b, ok := m.tagIdx[tags[t]]
+		if !ok {
+			return 0, fmt.Errorf("crf: unknown tag %q", tags[t])
+		}
+		score += nodeScores[t][b]
+		if t > 0 {
+			score += edgeScores[m.tagIdx[tags[t-1]]][b]
+		}
+	}
+	return score - logZ, nil
+}
+
+// FeatureCount returns the size of the trained feature space.
+func (m *Model) FeatureCount() int { return len(m.featName) }

@@ -1,0 +1,378 @@
+package crf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"madlib/internal/datagen"
+	"madlib/internal/engine"
+)
+
+// corpus converts datagen tagged sentences into crf Sentences.
+func corpus(seed int64, n, meanLen int) []Sentence {
+	raw := datagen.NewCorpus(seed, n, meanLen)
+	out := make([]Sentence, len(raw))
+	for i, sent := range raw {
+		s := make(Sentence, len(sent))
+		for j, tok := range sent {
+			s[j] = Token{Word: tok.Word, Tag: tok.Tag}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func accuracy(m *Model, test []Sentence) float64 {
+	correct, total := 0, 0
+	for _, sent := range test {
+		words := make([]string, len(sent))
+		for i, tok := range sent {
+			words[i] = tok.Word
+		}
+		pred := m.Viterbi(words)
+		for i := range sent {
+			if pred[i] == sent[i].Tag {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestTrainAndTag(t *testing.T) {
+	train := corpus(1, 300, 8)
+	test := corpus(99, 50, 8)
+	m, err := Train(train, TrainOptions{MaxPasses: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tags) != 4 {
+		t.Fatalf("tags = %v", m.Tags)
+	}
+	if acc := accuracy(m, test); acc < 0.9 {
+		t.Fatalf("held-out accuracy = %v", acc)
+	}
+}
+
+func TestGradientMatchesNumeric(t *testing.T) {
+	// Finite-difference check of LossAndGrad on a tiny corpus.
+	train := corpus(2, 3, 4)
+	m, err := Train(train, TrainOptions{MaxPasses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := &crfObjective{m: m}
+	sent := train[0]
+	words := make([]string, len(sent))
+	tags := make([]string, len(sent))
+	for i, tok := range sent {
+		words[i] = tok.Word
+		tags[i] = tok.Tag
+	}
+	ex := labelled{words: words, tags: tags}
+	rng := rand.New(rand.NewSource(3))
+	w := make([]float64, obj.Dim())
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.1
+	}
+	grad := make([]float64, len(w))
+	obj.LossAndGrad(w, ex, grad)
+	const h = 1e-6
+	checked := 0
+	for i := 0; i < len(w) && checked < 25; i++ {
+		if grad[i] == 0 {
+			continue
+		}
+		checked++
+		wp := append([]float64(nil), w...)
+		wm := append([]float64(nil), w...)
+		wp[i] += h
+		wm[i] -= h
+		gp := make([]float64, len(w))
+		gm := make([]float64, len(w))
+		lp := obj.LossAndGrad(wp, ex, gp)
+		lm := obj.LossAndGrad(wm, ex, gm)
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-grad[i]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("grad[%d] = %v, numeric %v", i, grad[i], numeric)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d nonzero gradient entries checked", checked)
+	}
+}
+
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	train := corpus(4, 100, 6)
+	m, err := Train(train, TrainOptions{MaxPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		sent := corpus(int64(100+trial), 1, 4)[0]
+		if len(sent) > 5 {
+			sent = sent[:5]
+		}
+		words := make([]string, len(sent))
+		for i, tok := range sent {
+			words[i] = tok.Word
+		}
+		got := m.ViterbiTopK(words, 1)[0]
+		want := m.BruteForceBest(words)
+		if math.Abs(got.Score-want.Score) > 1e-9 {
+			t.Fatalf("Viterbi score %v != brute force %v for %v", got.Score, want.Score, words)
+		}
+	}
+}
+
+func TestViterbiTopKOrdered(t *testing.T) {
+	train := corpus(5, 100, 6)
+	m, err := Train(train, TrainOptions{MaxPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"the", "dog", "runs"}
+	paths := m.ViterbiTopK(words, 5)
+	if len(paths) != 5 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Score > paths[i-1].Score+1e-12 {
+			t.Fatalf("paths out of order: %v", paths)
+		}
+	}
+	// Paths must be distinct.
+	seen := map[string]bool{}
+	for _, p := range paths {
+		k := ""
+		for _, tag := range p.Tags {
+			k += tag + "|"
+		}
+		if seen[k] {
+			t.Fatalf("duplicate path %v", p.Tags)
+		}
+		seen[k] = true
+	}
+	// Top-1 equals Viterbi.
+	v := m.Viterbi(words)
+	for i := range v {
+		if v[i] != paths[0].Tags[i] {
+			t.Fatal("top-1 disagrees with Viterbi")
+		}
+	}
+}
+
+func TestMarginalsNormalize(t *testing.T) {
+	train := corpus(6, 100, 6)
+	m, err := Train(train, TrainOptions{MaxPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg := m.Marginals([]string{"a", "fast", "analyst", "builds"})
+	for t2, dist := range marg {
+		var sum float64
+		for _, p := range dist {
+			if p < -1e-12 || p > 1+1e-12 {
+				t.Fatalf("marginal out of range at %d: %v", t2, dist)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("marginals at %d sum to %v", t2, sum)
+		}
+	}
+}
+
+func TestGibbsMatchesForwardBackward(t *testing.T) {
+	train := corpus(7, 200, 7)
+	m, err := Train(train, TrainOptions{MaxPasses: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"the", "big", "dog", "sees", "a", "tree"}
+	exact := m.Marginals(words)
+	est := m.Gibbs(words, MCMCOptions{Sweeps: 4000, BurnIn: 500, Seed: 1})
+	for t2 := range exact {
+		for b := range exact[t2] {
+			if math.Abs(est.Marginals[t2][b]-exact[t2][b]) > 0.05 {
+				t.Fatalf("Gibbs marginal[%d][%d] = %v, exact %v", t2, b, est.Marginals[t2][b], exact[t2][b])
+			}
+		}
+	}
+	if len(est.MAP) != len(words) {
+		t.Fatalf("MAP length %d", len(est.MAP))
+	}
+}
+
+func TestMetropolisHastingsMatchesForwardBackward(t *testing.T) {
+	train := corpus(8, 200, 7)
+	m, err := Train(train, TrainOptions{MaxPasses: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"every", "cat", "scans", "the", "database"}
+	exact := m.Marginals(words)
+	est := m.MetropolisHastings(words, MCMCOptions{Sweeps: 8000, BurnIn: 1000, Seed: 2})
+	for t2 := range exact {
+		for b := range exact[t2] {
+			if math.Abs(est.Marginals[t2][b]-exact[t2][b]) > 0.08 {
+				t.Fatalf("MH marginal[%d][%d] = %v, exact %v", t2, b, est.Marginals[t2][b], exact[t2][b])
+			}
+		}
+	}
+	if est.Proposed == 0 || est.Accepted == 0 || est.Accepted > est.Proposed {
+		t.Fatalf("MH acceptance bookkeeping: %d/%d", est.Accepted, est.Proposed)
+	}
+}
+
+func TestDictionaryAndRegexFeaturesHelp(t *testing.T) {
+	// Build a corpus where a tag is determined by dictionary membership of
+	// an otherwise-unseen word; extractor features must generalize.
+	dict := []string{"alice", "bob", "carol", "dave"}
+	var train []Sentence
+	for i := 0; i < 50; i++ {
+		name := dict[i%len(dict)]
+		train = append(train, Sentence{
+			{Word: "the", Tag: "DET"},
+			{Word: name, Tag: "NAME"},
+			{Word: "runs", Tag: "VERB"},
+		})
+		train = append(train, Sentence{
+			{Word: "the", Tag: "DET"},
+			{Word: "dog", Tag: "NOUN"},
+			{Word: "runs", Tag: "VERB"},
+		})
+	}
+	ex, err := NewExtractor(ExtractorOptions{
+		Dictionaries: map[string][]string{"names": dict},
+		Regexes:      map[string]string{"capitalized": `^[A-Z]`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(train, TrainOptions{Extractor: ex, MaxPasses: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "carol" was seen; the dictionary feature should push NAME even for a
+	// seen-but-ambiguous context, and crucially the unseen word "dave" in
+	// dictionary still gets NAME.
+	pred := m.Viterbi([]string{"the", "dave", "runs"})
+	if pred[1] != "NAME" {
+		t.Fatalf("dictionary word tagged %q", pred[1])
+	}
+	pred = m.Viterbi([]string{"the", "dog", "runs"})
+	if pred[1] != "NOUN" {
+		t.Fatalf("plain word tagged %q", pred[1])
+	}
+}
+
+func TestTrainTableMultiSegment(t *testing.T) {
+	db := engine.Open(4)
+	train := corpus(9, 200, 7)
+	tbl, err := LoadCorpus(db, "corpus", train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainTable(db, tbl, "words", "tags", TrainOptions{MaxPasses: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, corpus(77, 30, 7)); acc < 0.85 {
+		t.Fatalf("multi-segment accuracy = %v", acc)
+	}
+}
+
+func TestLogLikelihood(t *testing.T) {
+	train := corpus(10, 100, 6)
+	m, err := Train(train, TrainOptions{MaxPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"the", "dog", "runs"}
+	best := m.Viterbi(words)
+	llBest, err := m.LogLikelihood(words, best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llBest > 0 {
+		t.Fatalf("log-likelihood %v > 0", llBest)
+	}
+	// Any other labeling scores no higher.
+	other := []string{"VERB", "VERB", "VERB"}
+	llOther, err := m.LogLikelihood(words, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llOther > llBest+1e-9 {
+		t.Fatalf("non-Viterbi labeling scored higher: %v > %v", llOther, llBest)
+	}
+	if _, err := m.LogLikelihood(words, []string{"DET"}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := m.LogLikelihood(words, []string{"X", "Y", "Z"}); err == nil {
+		t.Fatal("unknown tag should fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(nil, TrainOptions{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := NewExtractor(ExtractorOptions{Regexes: map[string]string{"bad": "("}}); err == nil {
+		t.Fatal("bad regex should fail")
+	}
+	db := engine.Open(1)
+	tbl, _ := db.CreateTable("c", engine.Schema{
+		{Name: "words", Kind: engine.String},
+		{Name: "tags", Kind: engine.String},
+	})
+	if _, err := TrainTable(db, tbl, "zz", "tags", TrainOptions{}); err == nil {
+		t.Fatal("missing column should fail")
+	}
+	if _, err := TrainTable(db, tbl, "words", "tags", TrainOptions{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+}
+
+func BenchmarkViterbi(b *testing.B) {
+	train := corpus(11, 200, 8)
+	m, err := Train(train, TrainOptions{MaxPasses: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := []string{"the", "fast", "analyst", "builds", "a", "sparse", "model"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Viterbi(words)
+	}
+}
+
+func BenchmarkGibbsSweep(b *testing.B) {
+	train := corpus(12, 200, 8)
+	m, err := Train(train, TrainOptions{MaxPasses: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := []string{"the", "fast", "analyst", "builds", "a", "sparse", "model"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Gibbs(words, MCMCOptions{Sweeps: 1, BurnIn: 0, Seed: int64(i)})
+	}
+}
+
+func BenchmarkTrainPass(b *testing.B) {
+	train := corpus(13, 100, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(train, TrainOptions{MaxPasses: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

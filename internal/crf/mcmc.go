@@ -1,0 +1,198 @@
+package crf
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MCMCOptions configure the samplers.
+type MCMCOptions struct {
+	// Sweeps is the number of full passes over the sequence after burn-in
+	// (default 500).
+	Sweeps int
+	// BurnIn is the number of discarded initial sweeps (default 100).
+	BurnIn int
+	// Seed drives the sampler.
+	Seed int64
+}
+
+func (o *MCMCOptions) defaults() {
+	if o.Sweeps == 0 {
+		o.Sweeps = 500
+	}
+	if o.BurnIn == 0 {
+		o.BurnIn = 100
+	}
+}
+
+// MCMCResult reports a sampling run.
+type MCMCResult struct {
+	// Marginals[t][tag] estimates P(y_t = tag | words).
+	Marginals [][]float64
+	// MAP is the most frequently sampled complete sequence.
+	MAP []string
+	// Accepted counts accepted proposals (Metropolis-Hastings only).
+	Accepted int64
+	// Proposed counts proposals (Metropolis-Hastings only).
+	Proposed int64
+}
+
+// Gibbs runs the Gibbs sampler of §5.2's "MCMC Inference": each sweep
+// resamples every position's tag from its full conditional given its
+// neighbours, accumulating marginal estimates after burn-in.
+func (m *Model) Gibbs(words []string, opts MCMCOptions) *MCMCResult {
+	opts.defaults()
+	n := len(words)
+	if n == 0 {
+		return &MCMCResult{}
+	}
+	_, nodeScores, edgeScores := m.scores(m.Weights, words)
+	nt := len(m.Tags)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	state := make([]int, n)
+	for t := range state {
+		state[t] = rng.Intn(nt)
+	}
+	counts := make([][]float64, n)
+	for t := range counts {
+		counts[t] = make([]float64, nt)
+	}
+	seqCounts := map[string]int{}
+	probs := make([]float64, nt)
+	encode := func() string {
+		out := make([]byte, n)
+		for i, b := range state {
+			out[i] = byte(b)
+		}
+		return string(out)
+	}
+	total := opts.BurnIn + opts.Sweeps
+	for sweep := 0; sweep < total; sweep++ {
+		for t := 0; t < n; t++ {
+			maxLog := math.Inf(-1)
+			for b := 0; b < nt; b++ {
+				s := nodeScores[t][b]
+				if t > 0 {
+					s += edgeScores[state[t-1]][b]
+				}
+				if t < n-1 {
+					s += edgeScores[b][state[t+1]]
+				}
+				probs[b] = s
+				if s > maxLog {
+					maxLog = s
+				}
+			}
+			var z float64
+			for b := 0; b < nt; b++ {
+				probs[b] = math.Exp(probs[b] - maxLog)
+				z += probs[b]
+			}
+			u := rng.Float64() * z
+			b := 0
+			for ; b < nt-1; b++ {
+				u -= probs[b]
+				if u <= 0 {
+					break
+				}
+			}
+			state[t] = b
+		}
+		if sweep >= opts.BurnIn {
+			for t := 0; t < n; t++ {
+				counts[t][state[t]]++
+			}
+			seqCounts[encode()]++
+		}
+	}
+	return m.finishMCMC(counts, seqCounts, float64(opts.Sweeps), n)
+}
+
+// MetropolisHastings runs a single-site random-proposal MH chain: each
+// step proposes a new tag at a random position and accepts with the usual
+// min(1, exp(Δscore)) rule. One "sweep" is n proposals.
+func (m *Model) MetropolisHastings(words []string, opts MCMCOptions) *MCMCResult {
+	opts.defaults()
+	n := len(words)
+	if n == 0 {
+		return &MCMCResult{}
+	}
+	_, nodeScores, edgeScores := m.scores(m.Weights, words)
+	nt := len(m.Tags)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	state := make([]int, n)
+	for t := range state {
+		state[t] = rng.Intn(nt)
+	}
+	localScore := func(t, b int) float64 {
+		s := nodeScores[t][b]
+		if t > 0 {
+			s += edgeScores[state[t-1]][b]
+		}
+		if t < n-1 {
+			s += edgeScores[b][state[t+1]]
+		}
+		return s
+	}
+	counts := make([][]float64, n)
+	for t := range counts {
+		counts[t] = make([]float64, nt)
+	}
+	seqCounts := map[string]int{}
+	encode := func() string {
+		out := make([]byte, n)
+		for i, b := range state {
+			out[i] = byte(b)
+		}
+		return string(out)
+	}
+	res := &MCMCResult{}
+	total := opts.BurnIn + opts.Sweeps
+	for sweep := 0; sweep < total; sweep++ {
+		for step := 0; step < n; step++ {
+			t := rng.Intn(n)
+			cur := state[t]
+			prop := rng.Intn(nt)
+			if prop == cur {
+				continue
+			}
+			res.Proposed++
+			delta := localScore(t, prop) - localScore(t, cur)
+			if delta >= 0 || rng.Float64() < math.Exp(delta) {
+				state[t] = prop
+				res.Accepted++
+			}
+		}
+		if sweep >= opts.BurnIn {
+			for t := 0; t < n; t++ {
+				counts[t][state[t]]++
+			}
+			seqCounts[encode()]++
+		}
+	}
+	fin := m.finishMCMC(counts, seqCounts, float64(opts.Sweeps), n)
+	fin.Accepted, fin.Proposed = res.Accepted, res.Proposed
+	return fin
+}
+
+func (m *Model) finishMCMC(counts [][]float64, seqCounts map[string]int, samples float64, n int) *MCMCResult {
+	res := &MCMCResult{Marginals: counts}
+	for t := range counts {
+		for b := range counts[t] {
+			counts[t][b] /= samples
+		}
+	}
+	bestSeq, bestCount := "", -1
+	for seq, c := range seqCounts {
+		if c > bestCount || (c == bestCount && seq < bestSeq) {
+			bestSeq, bestCount = seq, c
+		}
+	}
+	if bestSeq != "" {
+		res.MAP = make([]string, n)
+		for i := 0; i < n; i++ {
+			res.MAP[i] = m.Tags[bestSeq[i]]
+		}
+	}
+	return res
+}

@@ -1,0 +1,127 @@
+package crf
+
+import (
+	"math"
+	"sort"
+)
+
+// Viterbi returns the most likely tag sequence for words (Table 3's
+// "most-likely inference over a CRF").
+func (m *Model) Viterbi(words []string) []string {
+	paths := m.ViterbiTopK(words, 1)
+	if len(paths) == 0 {
+		return nil
+	}
+	return paths[0].Tags
+}
+
+// Path is one decoded sequence with its unnormalized log score.
+type Path struct {
+	Tags  []string
+	Score float64
+}
+
+// ViterbiTopK returns the k highest-scoring tag sequences, best first —
+// the top-k Viterbi variant §5.2 mentions ("the top-k most likely
+// labelings of a document").
+func (m *Model) ViterbiTopK(words []string, k int) []Path {
+	n := len(words)
+	if n == 0 || k < 1 {
+		return nil
+	}
+	_, nodeScores, edgeScores := m.scores(m.Weights, words)
+	nt := len(m.Tags)
+
+	// cell holds the best-k partial paths ending in a given tag.
+	type entry struct {
+		score   float64
+		prevTag int // -1 at t = 0
+		prevIdx int // index into the previous cell's list
+	}
+	cells := make([][][]entry, n)
+	cells[0] = make([][]entry, nt)
+	for b := 0; b < nt; b++ {
+		cells[0][b] = []entry{{score: nodeScores[0][b], prevTag: -1}}
+	}
+	for t := 1; t < n; t++ {
+		cells[t] = make([][]entry, nt)
+		for b := 0; b < nt; b++ {
+			var cands []entry
+			for a := 0; a < nt; a++ {
+				for pi, pe := range cells[t-1][a] {
+					cands = append(cands, entry{
+						score:   pe.score + edgeScores[a][b] + nodeScores[t][b],
+						prevTag: a,
+						prevIdx: pi,
+					})
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+			if len(cands) > k {
+				cands = cands[:k]
+			}
+			cells[t][b] = cands
+		}
+	}
+	// Collect final candidates across tags.
+	type final struct {
+		tag, idx int
+		score    float64
+	}
+	var finals []final
+	for b := 0; b < nt; b++ {
+		for i, e := range cells[n-1][b] {
+			finals = append(finals, final{tag: b, idx: i, score: e.score})
+		}
+	}
+	sort.Slice(finals, func(i, j int) bool { return finals[i].score > finals[j].score })
+	if len(finals) > k {
+		finals = finals[:k]
+	}
+	out := make([]Path, 0, len(finals))
+	for _, f := range finals {
+		tags := make([]string, n)
+		tag, idx := f.tag, f.idx
+		for t := n - 1; t >= 0; t-- {
+			tags[t] = m.Tags[tag]
+			e := cells[t][tag][idx]
+			tag, idx = e.prevTag, e.prevIdx
+		}
+		out = append(out, Path{Tags: tags, Score: f.score})
+	}
+	return out
+}
+
+// BruteForceBest enumerates every tag sequence and returns the best — the
+// exponential-time reference the Viterbi tests compare against. Only
+// usable for tiny inputs.
+func (m *Model) BruteForceBest(words []string) Path {
+	n := len(words)
+	nt := len(m.Tags)
+	_, nodeScores, edgeScores := m.scores(m.Weights, words)
+	best := Path{Score: math.Inf(-1)}
+	assign := make([]int, n)
+	var rec func(t int, score float64)
+	rec = func(t int, score float64) {
+		if t == n {
+			if score > best.Score {
+				tags := make([]string, n)
+				for i, b := range assign {
+					tags[i] = m.Tags[b]
+				}
+				best = Path{Tags: tags, Score: score}
+			}
+			return
+		}
+		for b := 0; b < nt; b++ {
+			s := score + nodeScores[t][b]
+			if t > 0 {
+				s += edgeScores[assign[t-1]][b]
+			}
+			assign[t] = b
+			rec(t+1, s)
+		}
+	}
+	rec(0, 0)
+	return best
+}

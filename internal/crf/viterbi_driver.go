@@ -1,0 +1,97 @@
+package crf
+
+import (
+	"fmt"
+
+	"madlib/internal/engine"
+)
+
+// ViterbiViaDriver is the paper's second Viterbi implementation (§5.2):
+// instead of an in-memory dynamic program, a driver function advances one
+// token position per iteration, staging each DP layer (per-tag best scores
+// and backpointers) as a row of a temporary table — "a Python UDF that
+// uses iterations to drive the recursion in Viterbi. This iterative
+// implementation runs over both PostgreSQL and Greenplum." The backtrace
+// then reads the staged layers back out of the engine.
+//
+// It returns exactly the same sequence as Viterbi; the in-memory version
+// is the test oracle.
+func (m *Model) ViterbiViaDriver(db *engine.DB, words []string) ([]string, error) {
+	n := len(words)
+	if n == 0 {
+		return nil, nil
+	}
+	nt := len(m.Tags)
+	_, nodeScores, edgeScores := m.scores(m.Weights, words)
+
+	// CREATE TEMP TABLE viterbi_layers(position, scores, backptrs).
+	layers, err := db.CreateTempTable("viterbi_layers", engine.Schema{
+		{Name: "position", Kind: engine.Int},
+		{Name: "scores", Kind: engine.Vector},
+		{Name: "backptrs", Kind: engine.Vector},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = db.DropTable(layers.Name()) }()
+
+	// Iteration 0: initial layer.
+	cur := make([]float64, nt)
+	copy(cur, nodeScores[0])
+	if err := layers.Insert(int64(0), append([]float64(nil), cur...), make([]float64, nt)); err != nil {
+		return nil, err
+	}
+	// Driver loop: one iteration per token position. Each step consumes
+	// only the previous inter-iteration state (the last layer's scores) —
+	// never the bulk table — and stages its output layer.
+	for t := 1; t < n; t++ {
+		next := make([]float64, nt)
+		back := make([]float64, nt)
+		for b := 0; b < nt; b++ {
+			bestScore, bestPrev := cur[0]+edgeScores[0][b], 0
+			for a := 1; a < nt; a++ {
+				if s := cur[a] + edgeScores[a][b]; s > bestScore {
+					bestScore, bestPrev = s, a
+				}
+			}
+			next[b] = bestScore + nodeScores[t][b]
+			back[b] = float64(bestPrev)
+		}
+		if err := layers.Insert(int64(t), append([]float64(nil), next...), back); err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+
+	// Backtrace: fetch all layers from the engine (ordered by position),
+	// pick the best final tag, and walk the backpointers.
+	type layer struct {
+		scores, back []float64
+	}
+	byPos := make([]layer, n)
+	err = db.ForEachSegment(layers, func(_ int, row engine.Row) error {
+		pos := int(row.Int(0))
+		if pos < 0 || pos >= n {
+			return fmt.Errorf("crf: corrupt layer position %d", pos)
+		}
+		byPos[pos] = layer{scores: row.Vector(1), back: row.Vector(2)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := 0
+	for b := 1; b < nt; b++ {
+		if byPos[n-1].scores[b] > byPos[n-1].scores[best] {
+			best = b
+		}
+	}
+	tags := make([]string, n)
+	for t := n - 1; t >= 0; t-- {
+		tags[t] = m.Tags[best]
+		if t > 0 {
+			best = int(byPos[t].back[best])
+		}
+	}
+	return tags, nil
+}

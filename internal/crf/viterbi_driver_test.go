@@ -1,0 +1,47 @@
+package crf
+
+import (
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+// The driver-based Viterbi (the paper's iterative second implementation)
+// must agree exactly with the in-memory dynamic program.
+func TestViterbiViaDriverMatchesInMemory(t *testing.T) {
+	train := corpus(21, 150, 7)
+	m, err := Train(train, TrainOptions{MaxPasses: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(4)
+	sentences := [][]string{
+		{"the"},
+		{"the", "dog"},
+		{"the", "fast", "analyst", "builds", "a", "sparse", "model"},
+		{"every", "database", "scans", "the", "noisy", "tree"},
+	}
+	for _, words := range sentences {
+		want := m.Viterbi(words)
+		got, err := m.ViterbiViaDriver(db, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("length %d != %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("driver Viterbi %v != in-memory %v for %v", got, want, words)
+			}
+		}
+	}
+	// Empty input.
+	if tags, err := m.ViterbiViaDriver(db, nil); err != nil || tags != nil {
+		t.Fatalf("empty input: %v, %v", tags, err)
+	}
+	// No leftover temp tables.
+	if names := db.TableNames(); len(names) != 0 {
+		t.Fatalf("leaked tables: %v", names)
+	}
+}

@@ -1,0 +1,367 @@
+// Package datagen produces the synthetic workloads the benchmark harness
+// and tests run against: Gaussian regression designs (the Figure 4/5
+// workload), logistic-labelled points, mixtures of Gaussians for
+// clustering, market baskets for association rules, ratings matrices for
+// recommendation, and tagged token sequences for the text-analytics
+// experiments. Everything is deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"madlib/internal/engine"
+)
+
+// Regression holds a generated regression dataset and its ground truth.
+type Regression struct {
+	X    [][]float64
+	Y    []float64
+	Coef []float64 // the true coefficient vector used to generate Y
+}
+
+// NewRegression generates n rows of a k-variable linear model
+// y = <coef, x> + noise, with x[0] fixed at 1 (intercept column) and the
+// remaining variables standard normal. Noise is N(0, noiseStd²).
+func NewRegression(seed int64, n, k int, noiseStd float64) *Regression {
+	rng := rand.New(rand.NewSource(seed))
+	coef := make([]float64, k)
+	for i := range coef {
+		coef[i] = rng.NormFloat64() * 2
+	}
+	r := &Regression{Coef: coef, X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, k)
+		x[0] = 1
+		for j := 1; j < k; j++ {
+			x[j] = rng.NormFloat64()
+		}
+		var y float64
+		for j := 0; j < k; j++ {
+			y += coef[j] * x[j]
+		}
+		y += rng.NormFloat64() * noiseStd
+		r.X[i] = x
+		r.Y[i] = y
+	}
+	return r
+}
+
+// LoadRegression creates table name with columns (y Float, x Vector) and
+// inserts the dataset.
+func (r *Regression) LoadRegression(db *engine.DB, name string) (*engine.Table, error) {
+	t, err := db.CreateTable(name, engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range r.X {
+		if err := t.Insert(r.Y[i], r.X[i]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Classification holds a generated binary-labelled dataset.
+type Classification struct {
+	X    [][]float64
+	Y    []float64 // labels in {0,1}
+	Coef []float64 // true logistic coefficients
+}
+
+// NewLogistic generates n rows with Pr[y=1|x] = sigmoid(<coef, x>), x[0]=1.
+func NewLogistic(seed int64, n, k int) *Classification {
+	rng := rand.New(rand.NewSource(seed))
+	coef := make([]float64, k)
+	for i := range coef {
+		coef[i] = rng.NormFloat64() * 1.5
+	}
+	c := &Classification{Coef: coef, X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, k)
+		x[0] = 1
+		for j := 1; j < k; j++ {
+			x[j] = rng.NormFloat64()
+		}
+		var z float64
+		for j := 0; j < k; j++ {
+			z += coef[j] * x[j]
+		}
+		p := 1 / (1 + math.Exp(-z))
+		if rng.Float64() < p {
+			c.Y[i] = 1
+		}
+		c.X[i] = x
+	}
+	return c
+}
+
+// NewMargin generates a linearly separable ±1-labelled dataset with the
+// given margin, for SVM tests: y = sign(<w,x>+b) with |<w,x>+b| ≥ margin.
+func NewMargin(seed int64, n, k int, margin float64) *Classification {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, k)
+	var norm float64
+	for i := range w {
+		w[i] = rng.NormFloat64()
+		norm += w[i] * w[i]
+	}
+	norm = math.Sqrt(norm)
+	for i := range w {
+		w[i] /= norm
+	}
+	c := &Classification{Coef: w, X: make([][]float64, 0, n), Y: make([]float64, 0, n)}
+	for len(c.X) < n {
+		x := make([]float64, k)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 3
+		}
+		var z float64
+		for j := range x {
+			z += w[j] * x[j]
+		}
+		if math.Abs(z) < margin {
+			continue
+		}
+		y := 1.0
+		if z < 0 {
+			y = -1
+		}
+		c.X = append(c.X, x)
+		c.Y = append(c.Y, y)
+	}
+	return c
+}
+
+// Load creates table name with columns (y Float, x Vector).
+func (c *Classification) Load(db *engine.DB, name string) (*engine.Table, error) {
+	t, err := db.CreateTable(name, engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range c.X {
+		if err := t.Insert(c.Y[i], c.X[i]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Clusters holds points drawn from a mixture of spherical Gaussians.
+type Clusters struct {
+	Points  [][]float64
+	Label   []int // generating component of each point
+	Centers [][]float64
+}
+
+// NewClusters draws n points from k Gaussian components with the given
+// within-cluster standard deviation; centers are spread on a scaled lattice
+// so they are well separated when std is small.
+func NewClusters(seed int64, n, k, dim int, std float64) *Clusters {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Clusters{Centers: make([][]float64, k)}
+	for j := 0; j < k; j++ {
+		center := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			center[d] = float64(rng.Intn(21)-10) * 2
+		}
+		c.Centers[j] = center
+	}
+	c.Points = make([][]float64, n)
+	c.Label = make([]int, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(k)
+		p := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = c.Centers[j][d] + rng.NormFloat64()*std
+		}
+		c.Points[i] = p
+		c.Label[i] = j
+	}
+	return c
+}
+
+// Load creates table name with columns (coords Vector, centroid_id Int),
+// the §4.3 points-table layout.
+func (c *Clusters) Load(db *engine.DB, name string) (*engine.Table, error) {
+	t, err := db.CreateTable(name, engine.Schema{
+		{Name: "coords", Kind: engine.Vector},
+		{Name: "centroid_id", Kind: engine.Int},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range c.Points {
+		if err := t.Insert(p, int64(-1)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Baskets generates market baskets for association-rule mining. Each basket
+// draws from `nItems` items; the rule base plants correlated pairs
+// (item2i → item2i+1 with high confidence) so Apriori has structure to find.
+func Baskets(seed int64, nBaskets, nItems int) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]string, nBaskets)
+	for b := range out {
+		var basket []string
+		for i := 0; i < nItems; i += 2 {
+			if rng.Float64() < 0.3 {
+				basket = append(basket, fmt.Sprintf("item%d", i))
+				if rng.Float64() < 0.8 { // planted rule: item_i ⇒ item_{i+1}
+					basket = append(basket, fmt.Sprintf("item%d", i+1))
+				}
+			} else if rng.Float64() < 0.1 {
+				basket = append(basket, fmt.Sprintf("item%d", i+1))
+			}
+		}
+		if len(basket) == 0 {
+			// A neutral filler keeps baskets non-empty without polluting
+			// the planted pair statistics.
+			basket = append(basket, "filler")
+		}
+		out[b] = basket
+	}
+	return out
+}
+
+// Ratings holds a synthetic low-rank ratings matrix sample.
+type Ratings struct {
+	Rows, Cols int
+	Rank       int
+	Entries    []RatingEntry
+}
+
+// RatingEntry is one observed (i, j, value) cell.
+type RatingEntry struct {
+	I, J  int
+	Value float64
+}
+
+// NewRatings samples `count` observed entries of an (rows×cols) matrix of
+// exact rank `rank` plus N(0, noise²) perturbation.
+func NewRatings(seed int64, rows, cols, rank, count int, noise float64) *Ratings {
+	rng := rand.New(rand.NewSource(seed))
+	l := make([][]float64, rows)
+	r := make([][]float64, cols)
+	for i := range l {
+		l[i] = make([]float64, rank)
+		for k := range l[i] {
+			l[i][k] = rng.NormFloat64()
+		}
+	}
+	for j := range r {
+		r[j] = make([]float64, rank)
+		for k := range r[j] {
+			r[j][k] = rng.NormFloat64()
+		}
+	}
+	out := &Ratings{Rows: rows, Cols: cols, Rank: rank}
+	for c := 0; c < count; c++ {
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		var v float64
+		for k := 0; k < rank; k++ {
+			v += l[i][k] * r[j][k]
+		}
+		out.Entries = append(out.Entries, RatingEntry{I: i, J: j, Value: v + rng.NormFloat64()*noise})
+	}
+	return out
+}
+
+// TaggedToken is one token with its part-of-speech-style label.
+type TaggedToken struct {
+	Word string
+	Tag  string
+}
+
+// TagSet is the label alphabet of the synthetic corpus.
+var TagSet = []string{"DET", "NOUN", "VERB", "ADJ"}
+
+var corpusLexicon = map[string][]string{
+	"DET":  {"the", "a", "this", "that", "every"},
+	"NOUN": {"dog", "cat", "house", "tree", "analyst", "database", "model", "query"},
+	"VERB": {"runs", "sees", "builds", "scans", "fits", "joins"},
+	"ADJ":  {"big", "small", "fast", "sparse", "noisy"},
+}
+
+// tagTransitions is the Markov chain over tags used to generate sentences;
+// it is strongly structured (DET→NOUN, NOUN→VERB, …) so that sequence
+// models have signal to learn.
+var tagTransitions = map[string][]string{
+	"":     {"DET", "DET", "DET", "NOUN"},
+	"DET":  {"NOUN", "NOUN", "NOUN", "ADJ"},
+	"ADJ":  {"NOUN", "NOUN", "ADJ"},
+	"NOUN": {"VERB", "VERB", "VERB", "NOUN"},
+	"VERB": {"DET", "DET", "ADJ", "NOUN"},
+}
+
+// NewCorpus generates nSent synthetic tagged sentences of the given mean
+// length. Sentences follow the DET→(ADJ)→NOUN→VERB grammar above, giving
+// CRF training a learnable transition structure.
+func NewCorpus(seed int64, nSent, meanLen int) [][]TaggedToken {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]TaggedToken, nSent)
+	for s := range out {
+		n := meanLen/2 + rng.Intn(meanLen)
+		if n < 2 {
+			n = 2
+		}
+		sent := make([]TaggedToken, n)
+		prev := ""
+		for i := 0; i < n; i++ {
+			choices := tagTransitions[prev]
+			tag := choices[rng.Intn(len(choices))]
+			words := corpusLexicon[tag]
+			sent[i] = TaggedToken{Word: words[rng.Intn(len(words))], Tag: tag}
+			prev = tag
+		}
+		out[s] = sent
+	}
+	return out
+}
+
+// Names returns a list of person-like entity names plus `n` misspelled
+// variants of each for the approximate-string-matching (ER) experiments.
+func Names(seed int64, n int) (canonical []string, mentions []string) {
+	rng := rand.New(rand.NewSource(seed))
+	canonical = []string{"Tim Tebow", "Joe Hellerstein", "Grace Hopper", "Ada Lovelace", "Alan Turing"}
+	alphabet := "abcdefghijklmnopqrstuvwxyz"
+	for _, name := range canonical {
+		for i := 0; i < n; i++ {
+			b := []byte(name)
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0: // substitute
+				b[pos] = alphabet[rng.Intn(len(alphabet))]
+			case 1: // delete
+				b = append(b[:pos], b[pos+1:]...)
+			default: // insert
+				b = append(b[:pos], append([]byte{alphabet[rng.Intn(len(alphabet))]}, b[pos:]...)...)
+			}
+			mentions = append(mentions, string(b))
+		}
+	}
+	return canonical, mentions
+}
+
+// StreamValues generates n values from a Zipf-like distribution over
+// `universe` distinct integers — the skewed stream the sketch experiments
+// use (heavy hitters + long tail).
+func StreamValues(seed int64, n, universe int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1, uint64(universe-1))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+func TestRegressionDeterministicAndShaped(t *testing.T) {
+	a := NewRegression(5, 100, 4, 0.1)
+	b := NewRegression(5, 100, 4, 0.1)
+	if len(a.X) != 100 || len(a.X[0]) != 4 || len(a.Y) != 100 {
+		t.Fatalf("shape: %d×%d", len(a.X), len(a.X[0]))
+	}
+	for i := range a.X {
+		if a.X[i][0] != 1 {
+			t.Fatal("intercept column not 1")
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c := NewRegression(6, 100, 4, 0.1)
+	if c.Y[0] == a.Y[0] && c.Y[1] == a.Y[1] && c.Y[2] == a.Y[2] {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestRegressionLoad(t *testing.T) {
+	db := engine.Open(3)
+	gen := NewRegression(1, 50, 3, 0.1)
+	tbl, err := gen.LoadRegression(db, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Count() != 50 {
+		t.Fatalf("rows = %d", tbl.Count())
+	}
+}
+
+func TestLogisticLabelsAndBalance(t *testing.T) {
+	gen := NewLogistic(2, 5000, 3)
+	ones := 0
+	for _, y := range gen.Y {
+		if y != 0 && y != 1 {
+			t.Fatalf("label %v not in {0,1}", y)
+		}
+		if y == 1 {
+			ones++
+		}
+	}
+	// Should not be degenerate.
+	if ones < 500 || ones > 4500 {
+		t.Fatalf("label balance: %d/5000 positives", ones)
+	}
+}
+
+func TestMarginRespectsMargin(t *testing.T) {
+	gen := NewMargin(3, 500, 4, 0.5)
+	for i, x := range gen.X {
+		var z float64
+		for j := range x {
+			z += gen.Coef[j] * x[j]
+		}
+		if math.Abs(z) < 0.5 {
+			t.Fatalf("row %d violates margin: %v", i, z)
+		}
+		if gen.Y[i] != math.Copysign(1, z) {
+			t.Fatalf("row %d mislabelled", i)
+		}
+	}
+}
+
+func TestClustersLabelsMatchCenters(t *testing.T) {
+	gen := NewClusters(4, 1000, 3, 2, 0.1)
+	if len(gen.Centers) != 3 {
+		t.Fatalf("centers = %d", len(gen.Centers))
+	}
+	// With tiny std, every point is far closer to its own center.
+	for i, p := range gen.Points {
+		own := dist2(p, gen.Centers[gen.Label[i]])
+		for c := range gen.Centers {
+			if c != gen.Label[i] && dist2(p, gen.Centers[c]) < own {
+				// Lattice centers can coincide; only fail if they differ.
+				if dist2(gen.Centers[c], gen.Centers[gen.Label[i]]) > 1e-9 {
+					t.Fatalf("point %d closer to foreign center", i)
+				}
+			}
+		}
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestBasketsNonEmpty(t *testing.T) {
+	baskets := Baskets(5, 300, 10)
+	if len(baskets) != 300 {
+		t.Fatalf("baskets = %d", len(baskets))
+	}
+	for i, b := range baskets {
+		if len(b) == 0 {
+			t.Fatalf("basket %d empty", i)
+		}
+	}
+}
+
+func TestRatingsBounds(t *testing.T) {
+	r := NewRatings(6, 10, 8, 2, 100, 0.1)
+	if len(r.Entries) != 100 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	for _, e := range r.Entries {
+		if e.I < 0 || e.I >= 10 || e.J < 0 || e.J >= 8 {
+			t.Fatalf("cell out of range: %+v", e)
+		}
+	}
+}
+
+func TestCorpusGrammar(t *testing.T) {
+	corpus := NewCorpus(7, 50, 8)
+	if len(corpus) != 50 {
+		t.Fatalf("sentences = %d", len(corpus))
+	}
+	valid := map[string]bool{}
+	for _, tag := range TagSet {
+		valid[tag] = true
+	}
+	for _, sent := range corpus {
+		if len(sent) < 2 {
+			t.Fatalf("sentence too short: %v", sent)
+		}
+		for _, tok := range sent {
+			if !valid[tok.Tag] {
+				t.Fatalf("unknown tag %q", tok.Tag)
+			}
+			if tok.Word == "" {
+				t.Fatal("empty word")
+			}
+		}
+	}
+}
+
+func TestNamesVariants(t *testing.T) {
+	canonical, mentions := Names(8, 4)
+	if len(mentions) != len(canonical)*4 {
+		t.Fatalf("mentions = %d", len(mentions))
+	}
+	for _, m := range mentions {
+		if m == "" {
+			t.Fatal("empty mention")
+		}
+	}
+}
+
+func TestStreamValuesSkewed(t *testing.T) {
+	vals := StreamValues(9, 10000, 100)
+	counts := map[int64]int{}
+	for _, v := range vals {
+		if v < 0 || v >= 100 {
+			t.Fatalf("value %d outside universe", v)
+		}
+		counts[v]++
+	}
+	// Zipf: the most common value should dominate the median one.
+	if counts[0] < 10*counts[50]+1 {
+		t.Fatalf("stream not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}

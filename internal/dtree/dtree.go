@@ -1,0 +1,482 @@
+// Package dtree implements C4.5 decision trees (Table 1): gain-ratio
+// splits over numeric and categorical attributes, and pessimistic-error
+// post-pruning with the classic confidence-factor upper bound.
+//
+// Training materializes the (features, label) pairs out of the engine with
+// a single scan and builds the tree in memory — mirroring MADlib's C4.5,
+// which stages training data into internal tables before its recursive
+// partitioning. Classification is pure in-memory traversal.
+package dtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+	"madlib/internal/stats"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "c45", Title: "Decision Trees (C4.5)", Category: core.Supervised})
+}
+
+// FeatureKind declares how an attribute is split.
+type FeatureKind int
+
+const (
+	// Numeric features split on a threshold (x[f] <= t).
+	Numeric FeatureKind = iota
+	// Categorical features split multiway on exact values.
+	Categorical
+)
+
+// ErrNoData is returned when training sees no rows.
+var ErrNoData = errors.New("dtree: no training rows")
+
+// Options configure training.
+type Options struct {
+	// FeatureKinds declares each feature's kind; nil means all Numeric.
+	FeatureKinds []FeatureKind
+	// MaxDepth bounds the tree (default 12).
+	MaxDepth int
+	// MinRows is the minimum rows needed to attempt a split (default 4).
+	MinRows int
+	// MinLeaf is the minimum rows each branch of a split must receive
+	// (default 2), C4.5's minimum-objects-per-branch rule.
+	MinLeaf int
+	// Prune enables pessimistic-error pruning (default on; set NoPrune to
+	// disable).
+	NoPrune bool
+	// ConfidenceFactor is the C4.5 CF for the pruning upper bound
+	// (default 0.25).
+	ConfidenceFactor float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 12
+	}
+	if o.MinRows == 0 {
+		o.MinRows = 4
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 2
+	}
+	if o.ConfidenceFactor == 0 {
+		o.ConfidenceFactor = 0.25
+	}
+}
+
+// Node is one tree node.
+type Node struct {
+	// Leaf marks terminal nodes.
+	Leaf bool
+	// Class is the majority class at this node.
+	Class string
+	// N is the number of training rows that reached the node.
+	N int
+	// Errors is the number of those rows not of the majority class.
+	Errors int
+
+	// Feature is the split attribute (internal nodes).
+	Feature int
+	// Kind is the split attribute's kind.
+	Kind FeatureKind
+	// Threshold splits numeric features: x[Feature] <= Threshold goes Left.
+	Threshold float64
+	// Left and Right are the numeric children.
+	Left, Right *Node
+	// Children maps categorical values to subtrees.
+	Children map[float64]*Node
+}
+
+// Model is a trained tree.
+type Model struct {
+	Root    *Node
+	Classes []string
+	opts    Options
+}
+
+// Train fits a tree from a table with a String class column and a Vector
+// features column.
+func Train(db *engine.DB, table *engine.Table, classCol, featCol string, opts Options) (*Model, error) {
+	schema := table.Schema()
+	ci, fi := schema.Index(classCol), schema.Index(featCol)
+	if ci < 0 || fi < 0 {
+		return nil, fmt.Errorf("%w: %q or %q", engine.ErrNoColumn, classCol, featCol)
+	}
+	if schema[ci].Kind != engine.String || schema[fi].Kind != engine.Vector {
+		return nil, fmt.Errorf("dtree: need (%s, %s) columns", engine.String, engine.Vector)
+	}
+	// Stage the training set out of the engine in one parallel scan.
+	nSegs := len(table.Segments())
+	perSegX := make([][][]float64, nSegs)
+	perSegY := make([][]string, nSegs)
+	err := db.ForEachSegment(table, func(seg int, row engine.Row) error {
+		perSegX[seg] = append(perSegX[seg], row.Vector(fi))
+		perSegY[seg] = append(perSegY[seg], row.Str(ci))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var x [][]float64
+	var y []string
+	for s := range perSegX {
+		x = append(x, perSegX[s]...)
+		y = append(y, perSegY[s]...)
+	}
+	return Build(x, y, opts)
+}
+
+// Build fits a tree from in-memory data.
+func Build(x [][]float64, y []string, opts Options) (*Model, error) {
+	opts.defaults()
+	if len(x) == 0 {
+		return nil, ErrNoData
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("dtree: %d rows vs %d labels", len(x), len(y))
+	}
+	nf := len(x[0])
+	for i := range x {
+		if len(x[i]) != nf {
+			return nil, fmt.Errorf("dtree: row %d has %d features, expected %d", i, len(x[i]), nf)
+		}
+	}
+	if opts.FeatureKinds == nil {
+		opts.FeatureKinds = make([]FeatureKind, nf)
+	}
+	if len(opts.FeatureKinds) != nf {
+		return nil, fmt.Errorf("dtree: %d FeatureKinds for %d features", len(opts.FeatureKinds), nf)
+	}
+	classSet := map[string]bool{}
+	for _, c := range y {
+		classSet[c] = true
+	}
+	m := &Model{opts: opts}
+	for c := range classSet {
+		m.Classes = append(m.Classes, c)
+	}
+	sort.Strings(m.Classes)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.Root = m.grow(x, y, idx, 0)
+	if !opts.NoPrune {
+		m.prune(m.Root)
+	}
+	return m, nil
+}
+
+// entropy computes the Shannon entropy of the label distribution of idx.
+func entropy(y []string, idx []int) float64 {
+	counts := map[string]int{}
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	n := float64(len(idx))
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+func majority(y []string, idx []int) (string, int) {
+	counts := map[string]int{}
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best, bestC := -1, ""
+	// Deterministic tie-break by class name.
+	keys := make([]string, 0, len(counts))
+	for c := range counts {
+		keys = append(keys, c)
+	}
+	sort.Strings(keys)
+	for _, c := range keys {
+		if counts[c] > best {
+			best, bestC = counts[c], c
+		}
+	}
+	return bestC, len(idx) - best
+}
+
+type split struct {
+	feature   int
+	kind      FeatureKind
+	threshold float64
+	gainRatio float64
+	gain      float64
+	parts     map[float64][]int // categorical partitions
+	left      []int             // numeric partitions
+	right     []int
+}
+
+// grow recursively builds the tree over the row subset idx.
+func (m *Model) grow(x [][]float64, y []string, idx []int, depth int) *Node {
+	class, errs := majority(y, idx)
+	node := &Node{Leaf: true, Class: class, N: len(idx), Errors: errs}
+	// depth counts edges from the root; MaxDepth bounds nodes on a path,
+	// so a node at depth d may split only while d+1 < MaxDepth.
+	if errs == 0 || len(idx) < m.opts.MinRows || depth+1 >= m.opts.MaxDepth {
+		return node
+	}
+	best := m.bestSplit(x, y, idx)
+	if best == nil {
+		return node
+	}
+	node.Leaf = false
+	node.Feature = best.feature
+	node.Kind = best.kind
+	if best.kind == Numeric {
+		node.Threshold = best.threshold
+		node.Left = m.grow(x, y, best.left, depth+1)
+		node.Right = m.grow(x, y, best.right, depth+1)
+	} else {
+		node.Children = map[float64]*Node{}
+		for v, part := range best.parts {
+			node.Children[v] = m.grow(x, y, part, depth+1)
+		}
+	}
+	return node
+}
+
+// bestSplit evaluates candidate splits and applies C4.5's selection rule:
+// among candidates whose information gain is at least the mean candidate
+// gain (the guard against high-ratio sliver splits), pick the one with the
+// highest gain ratio. Returns nil when no admissible split exists.
+func (m *Model) bestSplit(x [][]float64, y []string, idx []int) *split {
+	baseH := entropy(y, idx)
+	n := float64(len(idx))
+	var cands []*split
+	for f := range m.opts.FeatureKinds {
+		var cand *split
+		if m.opts.FeatureKinds[f] == Categorical {
+			cand = categoricalSplit(x, y, idx, f, baseH, n, m.opts.MinLeaf)
+		} else {
+			cand = numericSplit(x, y, idx, f, baseH, n, m.opts.MinLeaf)
+		}
+		if cand != nil {
+			cands = append(cands, cand)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	var meanGain float64
+	for _, c := range cands {
+		meanGain += c.gain
+	}
+	meanGain /= float64(len(cands))
+	var best *split
+	for _, c := range cands {
+		if c.gain+1e-12 < meanGain {
+			continue
+		}
+		if best == nil || c.gainRatio > best.gainRatio {
+			best = c
+		}
+	}
+	return best
+}
+
+func categoricalSplit(x [][]float64, y []string, idx []int, f int, baseH, n float64, minLeaf int) *split {
+	parts := map[float64][]int{}
+	for _, i := range idx {
+		v := x[i][f]
+		parts[v] = append(parts[v], i)
+	}
+	if len(parts) < 2 {
+		return nil
+	}
+	// C4.5 requires at least two branches with minLeaf cases each.
+	adequate := 0
+	for _, part := range parts {
+		if len(part) >= minLeaf {
+			adequate++
+		}
+	}
+	if adequate < 2 {
+		return nil
+	}
+	var cond, splitInfo float64
+	for _, part := range parts {
+		w := float64(len(part)) / n
+		cond += w * entropy(y, part)
+		splitInfo -= w * math.Log2(w)
+	}
+	gain := baseH - cond
+	if gain <= 1e-12 || splitInfo <= 1e-12 {
+		return nil
+	}
+	return &split{feature: f, kind: Categorical, gain: gain, gainRatio: gain / splitInfo, parts: parts}
+}
+
+func numericSplit(x [][]float64, y []string, idx []int, f int, baseH, n float64, minLeaf int) *split {
+	ordered := append([]int(nil), idx...)
+	sort.Slice(ordered, func(a, b int) bool { return x[ordered[a]][f] < x[ordered[b]][f] })
+	// Running class counts left of the cut.
+	leftCounts := map[string]int{}
+	rightCounts := map[string]int{}
+	for _, i := range ordered {
+		rightCounts[y[i]]++
+	}
+	var best *split
+	for cut := 1; cut < len(ordered); cut++ {
+		prev := ordered[cut-1]
+		leftCounts[y[prev]]++
+		rightCounts[y[prev]]--
+		if cut < minLeaf || len(ordered)-cut < minLeaf {
+			continue // each branch must receive at least minLeaf rows
+		}
+		if x[ordered[cut]][f] == x[prev][f] {
+			continue // not a boundary between distinct values
+		}
+		nl, nr := float64(cut), n-float64(cut)
+		hl := countEntropy(leftCounts, nl)
+		hr := countEntropy(rightCounts, nr)
+		gain := baseH - (nl/n)*hl - (nr/n)*hr
+		if gain <= 1e-12 {
+			continue
+		}
+		wl, wr := nl/n, nr/n
+		splitInfo := -wl*math.Log2(wl) - wr*math.Log2(wr)
+		if splitInfo <= 1e-12 {
+			continue
+		}
+		gr := gain / splitInfo
+		if best == nil || gr > best.gainRatio {
+			threshold := (x[prev][f] + x[ordered[cut]][f]) / 2
+			best = &split{feature: f, kind: Numeric, threshold: threshold, gain: gain, gainRatio: gr,
+				left: append([]int(nil), ordered[:cut]...), right: append([]int(nil), ordered[cut:]...)}
+		}
+	}
+	return best
+}
+
+func countEntropy(counts map[string]int, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// pessimisticErrors is C4.5's upper confidence bound on the error count of
+// a leaf covering n rows with e observed errors.
+func (m *Model) pessimisticErrors(e, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	z := stats.NormalQuantile(1 - m.opts.ConfidenceFactor)
+	f := float64(e) / float64(n)
+	nn := float64(n)
+	ucf := (f + z*z/(2*nn) + z*math.Sqrt(f*(1-f)/nn+z*z/(4*nn*nn))) / (1 + z*z/nn)
+	return ucf * nn
+}
+
+// prune applies bottom-up pessimistic pruning: replace a subtree with a
+// leaf when the leaf's estimated errors do not exceed the subtree's.
+func (m *Model) prune(node *Node) float64 {
+	if node.Leaf {
+		return m.pessimisticErrors(node.Errors, node.N)
+	}
+	var subtree float64
+	if node.Kind == Numeric {
+		subtree = m.prune(node.Left) + m.prune(node.Right)
+	} else {
+		for _, child := range node.Children {
+			subtree += m.prune(child)
+		}
+	}
+	asLeaf := m.pessimisticErrors(node.Errors, node.N)
+	if asLeaf <= subtree+1e-12 {
+		node.Leaf = true
+		node.Left, node.Right, node.Children = nil, nil, nil
+		return asLeaf
+	}
+	return subtree
+}
+
+// Classify routes x down the tree. Unseen categorical values fall back to
+// the node's majority class.
+func (m *Model) Classify(x []float64) (string, error) {
+	node := m.Root
+	for !node.Leaf {
+		if node.Feature >= len(x) {
+			return "", fmt.Errorf("dtree: input has %d features, split needs %d", len(x), node.Feature+1)
+		}
+		if node.Kind == Numeric {
+			if x[node.Feature] <= node.Threshold {
+				node = node.Left
+			} else {
+				node = node.Right
+			}
+		} else {
+			child, ok := node.Children[x[node.Feature]]
+			if !ok {
+				return node.Class, nil
+			}
+			node = child
+		}
+	}
+	return node.Class, nil
+}
+
+// Size returns the number of nodes in the tree.
+func (m *Model) Size() int { return countNodes(m.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	total := 1
+	if n.Kind == Numeric {
+		total += countNodes(n.Left) + countNodes(n.Right)
+	} else {
+		for _, c := range n.Children {
+			total += countNodes(c)
+		}
+	}
+	return total
+}
+
+// Depth returns the maximum depth of the tree (a lone leaf has depth 1).
+func (m *Model) Depth() int { return depthOf(m.Root) }
+
+func depthOf(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	best := 0
+	if n.Kind == Numeric {
+		best = max(depthOf(n.Left), depthOf(n.Right))
+	} else {
+		for _, c := range n.Children {
+			if d := depthOf(c); d > best {
+				best = d
+			}
+		}
+	}
+	return best + 1
+}

@@ -1,0 +1,268 @@
+package dtree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+func TestTwoLevelNumericRule(t *testing.T) {
+	// y = pos iff f0 <= 0.5 and f1 > 0.5 — needs two levels of numeric
+	// splits, each with positive information gain (unlike pure XOR, which
+	// greedy entropy splitting provably cannot start on).
+	var x [][]float64
+	var y []string
+	for i := 0; i < 200; i++ {
+		a, b := float64(i%2), float64((i/2)%2)
+		x = append(x, []float64{a, b})
+		if a == 0 && b == 1 {
+			y = append(y, "pos")
+		} else {
+			y = append(y, "neg")
+		}
+	}
+	m, err := Build(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		got, err := m.Classify(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != y[i] {
+			t.Fatalf("Classify(%v) = %q, want %q", x[i], got, y[i])
+		}
+	}
+	if m.Depth() < 2 {
+		t.Fatalf("rule needs two levels, got depth %d", m.Depth())
+	}
+}
+
+func TestPureXORHasNoGreedySplit(t *testing.T) {
+	// Balanced XOR gives every single-feature split exactly zero gain, so
+	// a greedy C4.5 must return a single leaf — the textbook limitation.
+	var x [][]float64
+	var y []string
+	for i := 0; i < 200; i++ {
+		a, b := float64(i%2), float64((i/2)%2)
+		x = append(x, []float64{a, b})
+		if a != b {
+			y = append(y, "pos")
+		} else {
+			y = append(y, "neg")
+		}
+	}
+	m, err := Build(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Root.Leaf {
+		t.Fatalf("greedy split on balanced XOR should be impossible, got %+v", m.Root)
+	}
+}
+
+func TestCategoricalSplit(t *testing.T) {
+	// Class is fully determined by a 3-way categorical attribute.
+	var x [][]float64
+	var y []string
+	labels := map[float64]string{0: "a", 1: "b", 2: "c"}
+	for i := 0; i < 90; i++ {
+		v := float64(i % 3)
+		x = append(x, []float64{v, rand.New(rand.NewSource(int64(i))).Float64()})
+		y = append(y, labels[v])
+	}
+	m, err := Build(x, y, Options{FeatureKinds: []FeatureKind{Categorical, Numeric}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range labels {
+		got, err := m.Classify([]float64{v, 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Classify(cat=%v) = %q, want %q", v, got, want)
+		}
+	}
+	// Root should split on the categorical feature.
+	if m.Root.Leaf || m.Root.Feature != 0 || m.Root.Kind != Categorical {
+		t.Fatalf("root = %+v", m.Root)
+	}
+	// Unseen category falls back to majority.
+	if _, err := m.Classify([]float64{99, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruningShrinksNoiseTree(t *testing.T) {
+	// Labels are pure noise: an unpruned tree overfits wildly, pruning
+	// should collapse it substantially.
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []string
+	for i := 0; i < 400; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		if rng.Float64() < 0.5 {
+			y = append(y, "a")
+		} else {
+			y = append(y, "b")
+		}
+	}
+	unpruned, err := Build(x, y, Options{NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Build(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Size() >= unpruned.Size() {
+		t.Fatalf("pruned %d nodes vs unpruned %d", pruned.Size(), unpruned.Size())
+	}
+}
+
+func TestGeneralization(t *testing.T) {
+	// Learn y = (f0 > 0.5) with noisy irrelevant features; holdout accuracy
+	// should be high.
+	rng := rand.New(rand.NewSource(7))
+	gen := func(n int) ([][]float64, []string) {
+		var x [][]float64
+		var y []string
+		for i := 0; i < n; i++ {
+			row := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			x = append(x, row)
+			if row[0] > 0.5 {
+				y = append(y, "hi")
+			} else {
+				y = append(y, "lo")
+			}
+		}
+		return x, y
+	}
+	xTrain, yTrain := gen(500)
+	xTest, yTest := gen(300)
+	m, err := Build(xTrain, yTrain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range xTest {
+		got, err := m.Classify(xTest[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == yTest[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xTest)); acc < 0.95 {
+		t.Fatalf("holdout accuracy = %v", acc)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var x [][]float64
+	var y []string
+	for i := 0; i < 300; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64()})
+		if rng.Float64() < 0.5 {
+			y = append(y, "a")
+		} else {
+			y = append(y, "b")
+		}
+	}
+	m, err := Build(x, y, Options{MaxDepth: 3, NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() > 3 {
+		t.Fatalf("depth = %d, limit 3", m.Depth())
+	}
+}
+
+func TestPureLeafStopsEarly(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []string{"same", "same", "same"}
+	m, err := Build(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Root.Leaf || m.Root.Class != "same" || m.Size() != 1 {
+		t.Fatalf("pure data should give a single leaf: %+v", m.Root)
+	}
+}
+
+func TestTrainFromEngine(t *testing.T) {
+	db := engine.Open(3)
+	tbl, _ := db.CreateTable("d", engine.Schema{
+		{Name: "class", Kind: engine.String},
+		{Name: "features", Kind: engine.Vector},
+	})
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		class := "lo"
+		if v > 0.6 {
+			class = "hi"
+		}
+		if err := tbl.Insert(class, []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := Train(db, tbl, "class", "features", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Classify([]float64{0.9}); got != "hi" {
+		t.Fatalf("Classify(0.9) = %q", got)
+	}
+	if got, _ := m.Classify([]float64{0.1}); got != "lo" {
+		t.Fatalf("Classify(0.1) = %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Build(nil, nil, Options{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := Build([][]float64{{1}}, []string{"a", "b"}, Options{}); err == nil {
+		t.Fatal("row/label mismatch should fail")
+	}
+	if _, err := Build([][]float64{{1}, {1, 2}}, []string{"a", "b"}, Options{}); err == nil {
+		t.Fatal("ragged rows should fail")
+	}
+	if _, err := Build([][]float64{{1}}, []string{"a"}, Options{FeatureKinds: []FeatureKind{Numeric, Numeric}}); err == nil {
+		t.Fatal("FeatureKinds arity mismatch should fail")
+	}
+	db := engine.Open(1)
+	tbl, _ := db.CreateTable("d", engine.Schema{{Name: "class", Kind: engine.String}, {Name: "features", Kind: engine.Vector}})
+	if _, err := Train(db, tbl, "zz", "features", Options{}); err == nil {
+		t.Fatal("missing column should fail")
+	}
+}
+
+func TestClassifyShortInput(t *testing.T) {
+	var x [][]float64
+	var y []string
+	for i := 0; i < 50; i++ {
+		x = append(x, []float64{float64(i), float64(50 - i)})
+		if i < 25 {
+			y = append(y, "a")
+		} else {
+			y = append(y, "b")
+		}
+	}
+	m, err := Build(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Root.Leaf {
+		t.Fatal("expected a split")
+	}
+	if _, err := m.Classify([]float64{}); err == nil {
+		t.Fatal("short input should error")
+	}
+}

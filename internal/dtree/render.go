@@ -1,0 +1,86 @@
+package dtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the tree as indented C4.5-style rules, e.g.
+//
+//	f0 <= 0.5:
+//	  f1 <= 2: a (12/0)
+//	  f1 > 2: b (9/1)
+//	f0 > 0.5: c (30/2)
+//
+// Leaf annotations are (rows/errors) from training.
+func (m *Model) String() string {
+	var b strings.Builder
+	renderNode(&b, m.Root, 0)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.Leaf {
+		fmt.Fprintf(b, "%s%s (%d/%d)\n", indent, n.Class, n.N, n.Errors)
+		return
+	}
+	if n.Kind == Numeric {
+		fmt.Fprintf(b, "%sf%d <= %g:\n", indent, n.Feature, n.Threshold)
+		renderNode(b, n.Left, depth+1)
+		fmt.Fprintf(b, "%sf%d > %g:\n", indent, n.Feature, n.Threshold)
+		renderNode(b, n.Right, depth+1)
+		return
+	}
+	vals := make([]float64, 0, len(n.Children))
+	for v := range n.Children {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	for _, v := range vals {
+		fmt.Fprintf(b, "%sf%d = %g:\n", indent, n.Feature, v)
+		renderNode(b, n.Children[v], depth+1)
+	}
+}
+
+// Rule is one root-to-leaf decision path.
+type Rule struct {
+	// Conditions are human-readable conjuncts, e.g. "f0 <= 0.5".
+	Conditions []string
+	// Class is the leaf's prediction.
+	Class string
+	// N and Errors are the leaf's training row and error counts.
+	N, Errors int
+}
+
+// Rules flattens the tree into its decision rules, in left-to-right leaf
+// order — the rule-set view C4.5 popularized.
+func (m *Model) Rules() []Rule {
+	var out []Rule
+	var walk func(n *Node, conds []string)
+	walk = func(n *Node, conds []string) {
+		if n.Leaf {
+			out = append(out, Rule{
+				Conditions: append([]string(nil), conds...),
+				Class:      n.Class, N: n.N, Errors: n.Errors,
+			})
+			return
+		}
+		if n.Kind == Numeric {
+			walk(n.Left, append(conds, fmt.Sprintf("f%d <= %g", n.Feature, n.Threshold)))
+			walk(n.Right, append(conds, fmt.Sprintf("f%d > %g", n.Feature, n.Threshold)))
+			return
+		}
+		vals := make([]float64, 0, len(n.Children))
+		for v := range n.Children {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		for _, v := range vals {
+			walk(n.Children[v], append(conds, fmt.Sprintf("f%d = %g", n.Feature, v)))
+		}
+	}
+	walk(m.Root, nil)
+	return out
+}

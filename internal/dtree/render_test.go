@@ -1,0 +1,104 @@
+package dtree
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildThresholdTree(t *testing.T) *Model {
+	t.Helper()
+	var x [][]float64
+	var y []string
+	for i := 0; i < 100; i++ {
+		v := float64(i)
+		class := "lo"
+		if v > 49.5 {
+			class = "hi"
+		}
+		x = append(x, []float64{v})
+		y = append(y, class)
+	}
+	m, err := Build(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStringRendering(t *testing.T) {
+	m := buildThresholdTree(t)
+	s := m.String()
+	if !strings.Contains(s, "f0 <= ") || !strings.Contains(s, "f0 > ") {
+		t.Fatalf("rendering missing split:\n%s", s)
+	}
+	if !strings.Contains(s, "lo (") || !strings.Contains(s, "hi (") {
+		t.Fatalf("rendering missing leaves:\n%s", s)
+	}
+}
+
+func TestRulesCoverAllLeaves(t *testing.T) {
+	m := buildThresholdTree(t)
+	rules := m.Rules()
+	if len(rules) < 2 {
+		t.Fatalf("rules = %v", rules)
+	}
+	totalRows := 0
+	classes := map[string]bool{}
+	for _, r := range rules {
+		totalRows += r.N
+		classes[r.Class] = true
+		if len(r.Conditions) == 0 {
+			t.Fatalf("internal split produced unconditioned rule: %+v", r)
+		}
+	}
+	if totalRows != 100 {
+		t.Fatalf("rules cover %d rows", totalRows)
+	}
+	if !classes["lo"] || !classes["hi"] {
+		t.Fatalf("rule classes = %v", classes)
+	}
+}
+
+func TestRulesCategorical(t *testing.T) {
+	var x [][]float64
+	var y []string
+	labels := map[float64]string{0: "a", 1: "b", 2: "c"}
+	for i := 0; i < 60; i++ {
+		v := float64(i % 3)
+		x = append(x, []float64{v})
+		y = append(y, labels[v])
+	}
+	m, err := Build(x, y, Options{FeatureKinds: []FeatureKind{Categorical}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := m.Rules()
+	if len(rules) != 3 {
+		t.Fatalf("expected 3 categorical rules, got %v", rules)
+	}
+	for _, r := range rules {
+		if !strings.Contains(r.Conditions[0], "f0 = ") {
+			t.Fatalf("categorical condition wrong: %v", r.Conditions)
+		}
+		if r.Errors != 0 {
+			t.Fatalf("pure split has errors: %+v", r)
+		}
+	}
+	if s := m.String(); !strings.Contains(s, "f0 = 1:") {
+		t.Fatalf("categorical rendering wrong:\n%s", s)
+	}
+}
+
+func TestSingleLeafRendering(t *testing.T) {
+	m, err := Build([][]float64{{1}, {2}}, []string{"only", "only"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.String(); !strings.Contains(got, "only (2/0)") {
+		t.Fatalf("leaf rendering: %q", got)
+	}
+	rules := m.Rules()
+	if len(rules) != 1 || len(rules[0].Conditions) != 0 {
+		t.Fatalf("single-leaf rules: %+v", rules)
+	}
+}

@@ -1,0 +1,441 @@
+// Package engine implements the shared-nothing parallel database substrate
+// that MADlib assumes underneath it (paper §1, §3.1): typed tables
+// partitioned across N segments, each segment processed by its own worker,
+// with two-phase user-defined aggregation (transition on each segment,
+// merge across segments, final once), grouped aggregation, filters,
+// projections, in-place updates, temp tables and a catalog.
+//
+// A "segment" corresponds to a Greenplum segment: a query process that owns
+// one horizontal partition of every table. Our segments are goroutines, so
+// the paper's parallel-speedup experiments (Figures 4 and 5) sweep the
+// engine's segment count the way the authors swept their cluster's.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the column types the engine stores. The set mirrors what
+// the paper's methods need: DOUBLE PRECISION, DOUBLE PRECISION[] (vectors),
+// BIGINT, TEXT, and BOOLEAN.
+type Kind int
+
+const (
+	// Float is a DOUBLE PRECISION column.
+	Float Kind = iota
+	// Vector is a DOUBLE PRECISION[] column.
+	Vector
+	// Int is a BIGINT column.
+	Int
+	// String is a TEXT column.
+	String
+	// Bool is a BOOLEAN column.
+	Bool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Float:
+		return "double precision"
+	case Vector:
+		return "double precision[]"
+	case Int:
+		return "bigint"
+	case String:
+		return "text"
+	case Bool:
+		return "boolean"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Index returns the position of the named column, or -1 when absent.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndex is Index but panics on a missing column; used by method code
+// after validation has already happened.
+func (s Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("engine: no column %q", name))
+	}
+	return i
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema { return append(Schema(nil), s...) }
+
+// Errors reported by the engine.
+var (
+	ErrNoTable     = errors.New("engine: no such table")
+	ErrTableExists = errors.New("engine: table already exists")
+	ErrNoColumn    = errors.New("engine: no such column")
+	ErrType        = errors.New("engine: value does not match column type")
+	ErrArity       = errors.New("engine: wrong number of values for schema")
+)
+
+// colData is the columnar storage for one column within one segment. Only
+// the slice matching the column's Kind is used.
+type colData struct {
+	floats []float64
+	vecs   [][]float64
+	ints   []int64
+	strs   []string
+	bools  []bool
+}
+
+func (c *colData) truncate() {
+	c.floats = c.floats[:0]
+	c.vecs = c.vecs[:0]
+	c.ints = c.ints[:0]
+	c.strs = c.strs[:0]
+	c.bools = c.bools[:0]
+}
+
+// Segment is one horizontal partition of a table. All rows of a segment are
+// processed by a single worker during parallel execution, so per-segment
+// state needs no synchronization — the same contract Greenplum gives a
+// transition function.
+type Segment struct {
+	cols []colData
+	n    int
+}
+
+// Len returns the number of rows stored in the segment.
+func (s *Segment) Len() int { return s.n }
+
+// Floats exposes the raw float column storage of the segment. This is the
+// "bypass the abstraction layer" path used by the v0.1alpha reproduction,
+// which modeled hand-written C working directly on the datum array.
+func (s *Segment) Floats(col int) []float64 { return s.cols[col].floats }
+
+// Vectors exposes the raw vector column storage of the segment.
+func (s *Segment) Vectors(col int) [][]float64 { return s.cols[col].vecs }
+
+// Ints exposes the raw int column storage of the segment.
+func (s *Segment) Ints(col int) []int64 { return s.cols[col].ints }
+
+// Strings exposes the raw string column storage of the segment.
+func (s *Segment) Strings(col int) []string { return s.cols[col].strs }
+
+// Row is a lightweight cursor pointing at one row of one segment. Accessors
+// fetch typed values by column index; vector access is zero-copy.
+type Row struct {
+	seg *Segment
+	idx int
+}
+
+// Float returns the float64 value in the given column.
+func (r Row) Float(col int) float64 { return r.seg.cols[col].floats[r.idx] }
+
+// Vector returns the []float64 value in the given column without copying.
+// Callers must not retain or mutate it beyond the current call unless they
+// own the table.
+func (r Row) Vector(col int) []float64 { return r.seg.cols[col].vecs[r.idx] }
+
+// Int returns the int64 value in the given column.
+func (r Row) Int(col int) int64 { return r.seg.cols[col].ints[r.idx] }
+
+// Str returns the string value in the given column.
+func (r Row) Str(col int) string { return r.seg.cols[col].strs[r.idx] }
+
+// Bool returns the bool value in the given column.
+func (r Row) Bool(col int) bool { return r.seg.cols[col].bools[r.idx] }
+
+// Index returns the row's position within its segment.
+func (r Row) Index() int { return r.idx }
+
+// Table is a named, schema-typed, segment-partitioned relation.
+type Table struct {
+	name   string
+	schema Schema
+	segs   []*Segment
+	temp   bool
+
+	mu        sync.Mutex
+	nextSeg   int   // round-robin insertion pointer
+	totalRows int64 // maintained on insert for O(1) Count
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema (callers must not mutate it).
+func (t *Table) Schema() Schema { return t.schema }
+
+// Temp reports whether the table was created as a temporary table.
+func (t *Table) Temp() bool { return t.temp }
+
+// Segments returns the table's segments.
+func (t *Table) Segments() []*Segment { return t.segs }
+
+// Count returns the total number of rows across all segments.
+func (t *Table) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totalRows
+}
+
+func newSegment(schema Schema) *Segment {
+	return &Segment{cols: make([]colData, len(schema))}
+}
+
+// appendValue validates v against column kind k and appends it to c.
+func appendValue(c *colData, k Kind, v any) error {
+	switch k {
+	case Float:
+		switch x := v.(type) {
+		case float64:
+			c.floats = append(c.floats, x)
+		case int:
+			c.floats = append(c.floats, float64(x))
+		case int64:
+			c.floats = append(c.floats, float64(x))
+		default:
+			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
+		}
+	case Vector:
+		x, ok := v.([]float64)
+		if !ok {
+			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
+		}
+		c.vecs = append(c.vecs, x)
+	case Int:
+		switch x := v.(type) {
+		case int64:
+			c.ints = append(c.ints, x)
+		case int:
+			c.ints = append(c.ints, int64(x))
+		default:
+			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
+		}
+	case String:
+		x, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
+		}
+		c.strs = append(c.strs, x)
+	case Bool:
+		x, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
+		}
+		c.bools = append(c.bools, x)
+	}
+	return nil
+}
+
+// Insert appends one row, distributing rows round-robin across segments
+// (the engine's default distribution policy).
+func (t *Table) Insert(values ...any) error {
+	if len(values) != len(t.schema) {
+		return fmt.Errorf("%w: got %d values for %d columns", ErrArity, len(values), len(t.schema))
+	}
+	t.mu.Lock()
+	seg := t.segs[t.nextSeg]
+	t.nextSeg = (t.nextSeg + 1) % len(t.segs)
+	t.totalRows++
+	t.mu.Unlock()
+	for i, v := range values {
+		if err := appendValue(&seg.cols[i], t.schema[i].Kind, v); err != nil {
+			return fmt.Errorf("column %q: %w", t.schema[i].Name, err)
+		}
+	}
+	seg.n++
+	return nil
+}
+
+// InsertHashed appends one row, routing it to a segment by the hash of the
+// given key, so equal keys co-locate (DISTRIBUTED BY semantics).
+func (t *Table) InsertHashed(key uint64, values ...any) error {
+	if len(values) != len(t.schema) {
+		return fmt.Errorf("%w: got %d values for %d columns", ErrArity, len(values), len(t.schema))
+	}
+	seg := t.segs[int(key%uint64(len(t.segs)))]
+	t.mu.Lock()
+	t.totalRows++
+	t.mu.Unlock()
+	for i, v := range values {
+		if err := appendValue(&seg.cols[i], t.schema[i].Kind, v); err != nil {
+			return fmt.Errorf("column %q: %w", t.schema[i].Name, err)
+		}
+	}
+	seg.n++
+	return nil
+}
+
+// Truncate removes all rows but keeps the schema and segment structure.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.segs {
+		for i := range s.cols {
+			s.cols[i].truncate()
+		}
+		s.n = 0
+	}
+	t.totalRows = 0
+	t.nextSeg = 0
+}
+
+// DB is the database instance: a catalog of tables and a fixed segment
+// count that controls the parallelism of every query.
+type DB struct {
+	segments int
+
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	tempSeq int64
+
+	// Statistics counters used by the overhead experiments (§4.4).
+	queries     atomic.Int64
+	rowsScanned atomic.Int64
+}
+
+// Open creates a database with the given number of segments (at least 1).
+func Open(segments int) *DB {
+	if segments < 1 {
+		segments = 1
+	}
+	return &DB{segments: segments, tables: make(map[string]*Table)}
+}
+
+// SegmentCount returns the number of segments the database was opened with.
+func (db *DB) SegmentCount() int { return db.segments }
+
+// QueriesExecuted returns the number of engine queries run so far.
+func (db *DB) QueriesExecuted() int64 { return db.queries.Load() }
+
+// RowsScanned returns the total number of rows fed through transition
+// functions so far.
+func (db *DB) RowsScanned() int64 { return db.rowsScanned.Load() }
+
+// CreateTable registers a new permanent table.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	return db.createTable(name, schema, false)
+}
+
+// CreateTempTable registers a table flagged as temporary; the driver
+// framework (internal/core) uses these for inter-iteration state exactly as
+// the paper's Python drivers use CREATE TEMP TABLE (§3.1.2).
+func (db *DB) CreateTempTable(prefix string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	db.tempSeq++
+	name := fmt.Sprintf("%s_tmp_%d", prefix, db.tempSeq)
+	db.mu.Unlock()
+	return db.createTable(name, schema, true)
+}
+
+func (db *DB) createTable(name string, schema Schema, temp bool) (*Table, error) {
+	if len(schema) == 0 {
+		return nil, errors.New("engine: empty schema")
+	}
+	seen := map[string]bool{}
+	for _, c := range schema {
+		if c.Name == "" {
+			return nil, errors.New("engine: empty column name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("engine: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	t := &Table{name: name, schema: schema.Clone(), temp: temp}
+	t.segs = make([]*Segment, db.segments)
+	for i := range t.segs {
+		t.segs[i] = newSegment(schema)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// DropTable removes a table from the catalog.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// DropTempTables drops every temporary table, as a session end would.
+func (db *DB) DropTempTables() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for name, t := range db.tables {
+		if t.temp {
+			delete(db.tables, name)
+		}
+	}
+}
+
+// TableNames returns the sorted names of all catalog tables; the profile
+// module's templated queries start here (§3.1.3).
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GenerateSeries creates (or replaces) a table with a single Int column "i"
+// holding from..to inclusive, reproducing the counted-iteration virtual
+// table pattern of §3.1.2 (PostgreSQL's generate_series).
+func (db *DB) GenerateSeries(name string, from, to int64) (*Table, error) {
+	db.mu.Lock()
+	delete(db.tables, name)
+	db.mu.Unlock()
+	t, err := db.CreateTable(name, Schema{{Name: "i", Kind: Int}})
+	if err != nil {
+		return nil, err
+	}
+	for i := from; i <= to; i++ {
+		if err := t.Insert(i); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,479 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sumAgg is a simple SUM(col) aggregate used across tests.
+func sumAgg(col int) Aggregate {
+	return FuncAggregate{
+		InitFn:       func() any { return 0.0 },
+		TransitionFn: func(s any, r Row) any { return s.(float64) + r.Float(col) },
+		MergeFn:      func(a, b any) any { return a.(float64) + b.(float64) },
+		FinalFn:      func(s any) (any, error) { return s, nil },
+	}
+}
+
+func fill(t *testing.T, tbl *Table, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := tbl.Insert(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCreateInsertCount(t *testing.T) {
+	db := Open(4)
+	tbl, err := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, tbl, 10)
+	if got := tbl.Count(); got != 10 {
+		t.Fatalf("Count = %d", got)
+	}
+	// Round-robin should balance rows across the 4 segments.
+	for i, seg := range tbl.Segments() {
+		if seg.Len() < 2 || seg.Len() > 3 {
+			t.Fatalf("segment %d has %d rows, want 2-3", i, seg.Len())
+		}
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := Open(2)
+	if _, err := db.CreateTable("t", nil); err == nil {
+		t.Fatal("empty schema should fail")
+	}
+	if _, err := db.CreateTable("t", Schema{{Name: "", Kind: Float}}); err == nil {
+		t.Fatal("empty column name should fail")
+	}
+	if _, err := db.CreateTable("t", Schema{{Name: "a", Kind: Float}, {Name: "a", Kind: Int}}); err == nil {
+		t.Fatal("duplicate column should fail")
+	}
+	if _, err := db.CreateTable("t", Schema{{Name: "a", Kind: Float}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", Schema{{Name: "a", Kind: Float}}); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("want ErrTableExists, got %v", err)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	db := Open(2)
+	tbl, _ := db.CreateTable("t", Schema{
+		{Name: "f", Kind: Float}, {Name: "v", Kind: Vector},
+		{Name: "i", Kind: Int}, {Name: "s", Kind: String}, {Name: "b", Kind: Bool},
+	})
+	if err := tbl.Insert(1.5, []float64{1, 2}, int64(3), "x", true); err != nil {
+		t.Fatal(err)
+	}
+	// int promotes into Float and Int columns.
+	if err := tbl.Insert(2, []float64{}, 4, "y", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert("bad", []float64{}, 1, "z", true); !errors.Is(err, ErrType) {
+		t.Fatalf("want ErrType, got %v", err)
+	}
+	if err := tbl.Insert(1.0); !errors.Is(err, ErrArity) {
+		t.Fatalf("want ErrArity, got %v", err)
+	}
+}
+
+func TestRunSum(t *testing.T) {
+	db := Open(3)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	fill(t, tbl, 100)
+	got, err := db.Run(tbl, sumAgg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(float64) != 4950 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestRunEmptyTable(t *testing.T) {
+	db := Open(4)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	got, err := db.Run(tbl, sumAgg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(float64) != 0 {
+		t.Fatalf("sum of empty = %v", got)
+	}
+}
+
+// The core correctness property of the whole engine: a well-formed UDA
+// returns the same answer regardless of segment count or row order.
+// This is the data-parallelism contract from §3.1.1.
+func TestSegmentInvarianceProperty(t *testing.T) {
+	f := func(seed int64, nRows uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, int(nRows))
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		var ref float64
+		haveRef := false
+		for _, segs := range []int{1, 2, 3, 7, 16} {
+			db := Open(segs)
+			tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+			perm := rng.Perm(len(vals))
+			for _, p := range perm {
+				if err := tbl.Insert(vals[p]); err != nil {
+					return false
+				}
+			}
+			got, err := db.Run(tbl, sumAgg(0))
+			if err != nil {
+				return false
+			}
+			// Compare with tolerance: float addition order varies.
+			if !haveRef {
+				ref, haveRef = got.(float64), true
+			} else if diff := got.(float64) - ref; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFiltered(t *testing.T) {
+	db := Open(4)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	fill(t, tbl, 10)
+	got, err := db.RunFiltered(tbl, func(r Row) bool { return r.Float(0) >= 5 }, sumAgg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(float64) != 5+6+7+8+9 {
+		t.Fatalf("filtered sum = %v", got)
+	}
+}
+
+func TestRunGroupBy(t *testing.T) {
+	db := Open(4)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "g", Kind: String}, {Name: "x", Kind: Float}})
+	for i := 0; i < 20; i++ {
+		g := "even"
+		if i%2 == 1 {
+			g = "odd"
+		}
+		if err := tbl.Insert(g, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.RunGroupBy(tbl, func(r Row) string { return r.Str(0) }, sumAgg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("groups = %d", len(got))
+	}
+	if got["even"].(float64) != 90 || got["odd"].(float64) != 100 {
+		t.Fatalf("group sums = %v", got)
+	}
+}
+
+func TestGroupByMatchesManualPartition(t *testing.T) {
+	f := func(seed int64, nRows uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := Open(1 + rng.Intn(8))
+		tbl, _ := db.CreateTable("t", Schema{{Name: "g", Kind: Int}, {Name: "x", Kind: Float}})
+		want := map[string]float64{}
+		for i := 0; i < int(nRows); i++ {
+			g := int64(rng.Intn(4))
+			v := rng.Float64()
+			if err := tbl.Insert(g, v); err != nil {
+				return false
+			}
+			want[fmt.Sprint(g)] += v
+		}
+		got, err := db.RunGroupBy(tbl, func(r Row) string { return fmt.Sprint(r.Int(0)) }, sumAgg(1))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, w := range want {
+			g, ok := got[k]
+			if !ok {
+				return false
+			}
+			if d := g.(float64) - w; d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectInto(t *testing.T) {
+	db := Open(3)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}, {Name: "tag", Kind: String}})
+	for i := 0; i < 10; i++ {
+		if err := tbl.Insert(float64(i), fmt.Sprint(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := db.SelectInto("evens", tbl, func(r Row) bool { return r.Str(1) == "0" }, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 5 {
+		t.Fatalf("selected %d rows", out.Count())
+	}
+	if len(out.Schema()) != 1 || out.Schema()[0].Name != "x" {
+		t.Fatalf("projected schema wrong: %v", out.Schema())
+	}
+	sum, err := db.Run(out, sumAgg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.(float64) != 0+2+4+6+8 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if _, err := db.SelectInto("bad", tbl, nil, []string{"nope"}); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("want ErrNoColumn, got %v", err)
+	}
+}
+
+func TestUpdateInt(t *testing.T) {
+	db := Open(2)
+	tbl, _ := db.CreateTable("points", Schema{{Name: "x", Kind: Float}, {Name: "cid", Kind: Int}})
+	for i := 0; i < 6; i++ {
+		if err := tbl.Insert(float64(i), int64(-1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := db.UpdateInt(tbl, "cid", func(r Row) int64 {
+		if r.Float(0) < 3 {
+			return 0
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.CountWhere(tbl, func(r Row) bool { return r.Int(1) == 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("cluster-1 count = %d", n)
+	}
+	if err := db.UpdateInt(tbl, "x", func(Row) int64 { return 0 }); !errors.Is(err, ErrType) {
+		t.Fatalf("updating float col as int should fail, got %v", err)
+	}
+	if err := db.UpdateInt(tbl, "zz", func(Row) int64 { return 0 }); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("want ErrNoColumn, got %v", err)
+	}
+}
+
+func TestUpdateFloat(t *testing.T) {
+	db := Open(2)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	fill(t, tbl, 4)
+	if err := db.UpdateFloat(tbl, "x", func(r Row) float64 { return r.Float(0) * 2 }); err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := db.Run(tbl, sumAgg(0))
+	if sum.(float64) != 12 {
+		t.Fatalf("sum after update = %v", sum)
+	}
+}
+
+func TestGenerateSeries(t *testing.T) {
+	db := Open(4)
+	tbl, err := db.GenerateSeries("s", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Count() != 10 {
+		t.Fatalf("series count = %d", tbl.Count())
+	}
+	n, _ := db.CountWhere(tbl, func(r Row) bool { return r.Int(0) >= 4 })
+	if n != 7 {
+		t.Fatalf("count >= 4: %d", n)
+	}
+	// Replacing an existing series is allowed.
+	if _, err := db.GenerateSeries("s", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTempTablesAndCatalog(t *testing.T) {
+	db := Open(2)
+	if _, err := db.CreateTable("perm", Schema{{Name: "x", Kind: Float}}); err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := db.CreateTempTable("iter", Schema{{Name: "state", Kind: Vector}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tmp.Temp() {
+		t.Fatal("temp flag lost")
+	}
+	names := db.TableNames()
+	if len(names) != 2 {
+		t.Fatalf("catalog = %v", names)
+	}
+	db.DropTempTables()
+	if n := db.TableNames(); len(n) != 1 || n[0] != "perm" {
+		t.Fatalf("after DropTempTables: %v", n)
+	}
+	if _, err := db.Table("missing"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("want ErrNoTable, got %v", err)
+	}
+	if err := db.DropTable("perm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("perm"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+func TestInsertHashedColocation(t *testing.T) {
+	db := Open(4)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "k", Kind: Int}, {Name: "x", Kind: Float}})
+	for i := 0; i < 40; i++ {
+		key := uint64(i % 4)
+		if err := tbl.InsertHashed(key, int64(i%4), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All rows with the same key must land in the same segment.
+	for _, seg := range tbl.Segments() {
+		seen := map[int64]bool{}
+		for r := 0; r < seg.Len(); r++ {
+			seen[seg.Ints(0)[r]] = true
+		}
+		if len(seen) > 1 {
+			t.Fatalf("segment mixes keys: %v", seen)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	db := Open(2)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	fill(t, tbl, 5)
+	tbl.Truncate()
+	if tbl.Count() != 0 {
+		t.Fatalf("count after truncate = %d", tbl.Count())
+	}
+	fill(t, tbl, 3)
+	if tbl.Count() != 3 {
+		t.Fatalf("count after refill = %d", tbl.Count())
+	}
+}
+
+func TestForEachSegmentOrdering(t *testing.T) {
+	db := Open(3)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	fill(t, tbl, 30)
+	// Within a segment rows must appear in insertion order (monotone x for
+	// round-robin inserts).
+	last := map[int]float64{}
+	var mu = make([]float64, 3) // just storage; no locking needed per contract
+	_ = mu
+	err := db.ForEachSegment(tbl, func(seg int, r Row) error {
+		if prev, ok := last[seg]; ok && r.Float(0) <= prev {
+			return fmt.Errorf("segment %d out of order: %v after %v", seg, r.Float(0), prev)
+		}
+		last[seg] = r.Float(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowsMaterialization(t *testing.T) {
+	db := Open(2)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "v", Kind: Vector}, {Name: "s", Kind: String}})
+	if err := tbl.Insert([]float64{1, 2}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert([]float64{3}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	rows := db.Rows(tbl)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if _, ok := row[0].([]float64); !ok {
+			t.Fatalf("vector column wrong type: %T", row[0])
+		}
+	}
+}
+
+func TestStatisticsCounters(t *testing.T) {
+	db := Open(2)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	fill(t, tbl, 10)
+	q0, r0 := db.QueriesExecuted(), db.RowsScanned()
+	if _, err := db.Run(tbl, sumAgg(0)); err != nil {
+		t.Fatal(err)
+	}
+	if db.QueriesExecuted() != q0+1 {
+		t.Fatal("query counter not incremented")
+	}
+	if db.RowsScanned() != r0+10 {
+		t.Fatalf("rows scanned = %d, want %d", db.RowsScanned(), r0+10)
+	}
+}
+
+func TestOpenClampsSegments(t *testing.T) {
+	if db := Open(0); db.SegmentCount() != 1 {
+		t.Fatal("segments should clamp to 1")
+	}
+}
+
+func BenchmarkRunSum(b *testing.B) {
+	db := Open(8)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	for i := 0; i < 100000; i++ {
+		if err := tbl.Insert(float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	agg := sumAgg(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Run(tbl, agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryOverheadEmptyTable(b *testing.B) {
+	// §4.4: "The overhead for a single query is very low and only a
+	// fraction of a second." This measures our fixed per-query cost.
+	db := Open(8)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	agg := sumAgg(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Run(tbl, agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

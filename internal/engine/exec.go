@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Aggregate is the engine's user-defined aggregate contract, identical to
+// the three-function pattern the paper describes in §3.1.1:
+//
+//  1. Transition folds one row into a transition state.
+//  2. Merge combines two transition states (needed for parallel execution).
+//  3. Final transforms a transition state into the output value.
+//
+// Init produces the identity state handed to the first Transition call on
+// each segment. Transition may mutate and return its input state (the fast
+// path) or return a fresh one. An aggregate is correct under parallelism
+// iff Transition is insensitive to row order and Merge is associative and
+// commutative with Init as identity — properties the engine's tests check.
+type Aggregate interface {
+	Init() any
+	Transition(state any, row Row) any
+	Merge(a, b any) any
+	Final(state any) (any, error)
+}
+
+// FuncAggregate adapts three closures (plus Init) into an Aggregate,
+// the lightweight way method packages declare UDAs.
+type FuncAggregate struct {
+	InitFn       func() any
+	TransitionFn func(state any, row Row) any
+	MergeFn      func(a, b any) any
+	FinalFn      func(state any) (any, error)
+}
+
+// Init implements Aggregate.
+func (f FuncAggregate) Init() any { return f.InitFn() }
+
+// Transition implements Aggregate.
+func (f FuncAggregate) Transition(state any, row Row) any { return f.TransitionFn(state, row) }
+
+// Merge implements Aggregate.
+func (f FuncAggregate) Merge(a, b any) any { return f.MergeFn(a, b) }
+
+// Final implements Aggregate.
+func (f FuncAggregate) Final(state any) (any, error) { return f.FinalFn(state) }
+
+// parallelSegments runs fn once per segment concurrently and collects the
+// first error. Each invocation owns its segment exclusively for the call.
+func (db *DB) parallelSegments(t *Table, fn func(segIdx int, seg *Segment) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(t.segs))
+	for i, seg := range t.segs {
+		wg.Add(1)
+		go func(i int, seg *Segment) {
+			defer wg.Done()
+			errs[i] = fn(i, seg)
+		}(i, seg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes a user-defined aggregate over the whole table:
+// SELECT agg(...) FROM t. Transition runs segment-parallel; the per-segment
+// states are merged left-to-right and the merged state finalized.
+func (db *DB) Run(t *Table, agg Aggregate) (any, error) {
+	db.queries.Add(1)
+	states := make([]any, len(t.segs))
+	err := db.parallelSegments(t, func(i int, seg *Segment) error {
+		state := agg.Init()
+		for r := 0; r < seg.n; r++ {
+			state = agg.Transition(state, Row{seg: seg, idx: r})
+		}
+		states[i] = state
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := states[0]
+	for _, s := range states[1:] {
+		merged = agg.Merge(merged, s)
+	}
+	return agg.Final(merged)
+}
+
+// RunFiltered is Run restricted to rows satisfying pred
+// (SELECT agg(...) FROM t WHERE pred).
+func (db *DB) RunFiltered(t *Table, pred func(Row) bool, agg Aggregate) (any, error) {
+	db.queries.Add(1)
+	states := make([]any, len(t.segs))
+	err := db.parallelSegments(t, func(i int, seg *Segment) error {
+		state := agg.Init()
+		for r := 0; r < seg.n; r++ {
+			row := Row{seg: seg, idx: r}
+			if pred(row) {
+				state = agg.Transition(state, row)
+			}
+		}
+		states[i] = state
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := states[0]
+	for _, s := range states[1:] {
+		merged = agg.Merge(merged, s)
+	}
+	return agg.Final(merged)
+}
+
+// GroupResult is one group's aggregate output.
+type GroupResult struct {
+	Key   string
+	Value any
+}
+
+// RunGroupBy executes SELECT key, agg(...) FROM t GROUP BY key. The key
+// function projects each row to a group key. Partial per-key states are
+// built segment-parallel and merged across segments, mirroring a parallel
+// hash aggregate.
+func (db *DB) RunGroupBy(t *Table, key func(Row) string, agg Aggregate) (map[string]any, error) {
+	db.queries.Add(1)
+	partials := make([]map[string]any, len(t.segs))
+	err := db.parallelSegments(t, func(i int, seg *Segment) error {
+		local := make(map[string]any)
+		for r := 0; r < seg.n; r++ {
+			row := Row{seg: seg, idx: r}
+			k := key(row)
+			state, ok := local[k]
+			if !ok {
+				state = agg.Init()
+			}
+			local[k] = agg.Transition(state, row)
+		}
+		partials[i] = local
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := partials[0]
+	for _, local := range partials[1:] {
+		for k, s := range local {
+			if existing, ok := merged[k]; ok {
+				merged[k] = agg.Merge(existing, s)
+			} else {
+				merged[k] = s
+			}
+		}
+	}
+	out := make(map[string]any, len(merged))
+	for k, s := range merged {
+		v, err := agg.Final(s)
+		if err != nil {
+			return nil, fmt.Errorf("group %q: %w", k, err)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// ForEachSegment runs fn sequentially within each segment but parallel
+// across segments. fn receives every row of its segment in order and may
+// keep segment-local state without locking.
+func (db *DB) ForEachSegment(t *Table, fn func(segIdx int, row Row) error) error {
+	db.queries.Add(1)
+	return db.parallelSegments(t, func(i int, seg *Segment) error {
+		for r := 0; r < seg.n; r++ {
+			if err := fn(i, Row{seg: seg, idx: r}); err != nil {
+				return err
+			}
+		}
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+}
+
+// Rows returns all rows of the table materialized as []any slices in
+// segment order. Intended for small results (model tables, test probes) —
+// bulk data should stay inside the engine, as §3.1.2 insists.
+func (db *DB) Rows(t *Table) [][]any {
+	db.queries.Add(1)
+	var out [][]any
+	for _, seg := range t.segs {
+		for r := 0; r < seg.n; r++ {
+			row := make([]any, len(t.schema))
+			for c, col := range t.schema {
+				switch col.Kind {
+				case Float:
+					row[c] = seg.cols[c].floats[r]
+				case Vector:
+					row[c] = seg.cols[c].vecs[r]
+				case Int:
+					row[c] = seg.cols[c].ints[r]
+				case String:
+					row[c] = seg.cols[c].strs[r]
+				case Bool:
+					row[c] = seg.cols[c].bools[r]
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// SelectInto creates a new table from the rows of t that satisfy pred,
+// carrying over the projected columns — CREATE TABLE dst AS SELECT cols
+// FROM t WHERE pred. A nil pred keeps every row; nil cols keeps every
+// column. The projection preserves each row's segment, so no data moves
+// between segments (a local scan, as in Greenplum).
+func (db *DB) SelectInto(dst string, t *Table, pred func(Row) bool, cols []string) (*Table, error) {
+	db.queries.Add(1)
+	var idxs []int
+	if cols == nil {
+		idxs = make([]int, len(t.schema))
+		for i := range idxs {
+			idxs[i] = i
+		}
+	} else {
+		for _, name := range cols {
+			i := t.schema.Index(name)
+			if i < 0 {
+				return nil, fmt.Errorf("%w: %q", ErrNoColumn, name)
+			}
+			idxs = append(idxs, i)
+		}
+	}
+	schema := make(Schema, len(idxs))
+	for i, src := range idxs {
+		schema[i] = t.schema[src]
+	}
+	out, err := db.createTable(dst, schema, t.temp)
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	var mu sync.Mutex
+	err = db.parallelSegments(t, func(i int, seg *Segment) error {
+		dseg := out.segs[i]
+		var kept int64
+		for r := 0; r < seg.n; r++ {
+			row := Row{seg: seg, idx: r}
+			if pred != nil && !pred(row) {
+				continue
+			}
+			for di, src := range idxs {
+				switch t.schema[src].Kind {
+				case Float:
+					dseg.cols[di].floats = append(dseg.cols[di].floats, seg.cols[src].floats[r])
+				case Vector:
+					dseg.cols[di].vecs = append(dseg.cols[di].vecs, seg.cols[src].vecs[r])
+				case Int:
+					dseg.cols[di].ints = append(dseg.cols[di].ints, seg.cols[src].ints[r])
+				case String:
+					dseg.cols[di].strs = append(dseg.cols[di].strs, seg.cols[src].strs[r])
+				case Bool:
+					dseg.cols[di].bools = append(dseg.cols[di].bools, seg.cols[src].bools[r])
+				}
+			}
+			dseg.n++
+			kept++
+		}
+		db.rowsScanned.Add(int64(seg.n))
+		mu.Lock()
+		total += kept
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.mu.Lock()
+	out.totalRows = total
+	out.mu.Unlock()
+	return out, nil
+}
+
+// UpdateInt rewrites an Int column in place: UPDATE t SET col = fn(row).
+// The paper's k-means variant uses exactly this to store each point's
+// current centroid id (§4.3). Updates run segment-parallel.
+func (db *DB) UpdateInt(t *Table, col string, fn func(Row) int64) error {
+	ci := t.schema.Index(col)
+	if ci < 0 {
+		return fmt.Errorf("%w: %q", ErrNoColumn, col)
+	}
+	if t.schema[ci].Kind != Int {
+		return fmt.Errorf("%w: %q is %s", ErrType, col, t.schema[ci].Kind)
+	}
+	db.queries.Add(1)
+	return db.parallelSegments(t, func(i int, seg *Segment) error {
+		for r := 0; r < seg.n; r++ {
+			seg.cols[ci].ints[r] = fn(Row{seg: seg, idx: r})
+		}
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+}
+
+// UpdateFloat rewrites a Float column in place.
+func (db *DB) UpdateFloat(t *Table, col string, fn func(Row) float64) error {
+	ci := t.schema.Index(col)
+	if ci < 0 {
+		return fmt.Errorf("%w: %q", ErrNoColumn, col)
+	}
+	if t.schema[ci].Kind != Float {
+		return fmt.Errorf("%w: %q is %s", ErrType, col, t.schema[ci].Kind)
+	}
+	db.queries.Add(1)
+	return db.parallelSegments(t, func(i int, seg *Segment) error {
+		for r := 0; r < seg.n; r++ {
+			seg.cols[ci].floats[r] = fn(Row{seg: seg, idx: r})
+		}
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+}
+
+// CountWhere returns the number of rows satisfying pred.
+func (db *DB) CountWhere(t *Table, pred func(Row) bool) (int64, error) {
+	v, err := db.RunFiltered(t, pred, FuncAggregate{
+		InitFn:       func() any { return int64(0) },
+		TransitionFn: func(s any, _ Row) any { return s.(int64) + 1 },
+		MergeFn:      func(a, b any) any { return a.(int64) + b.(int64) },
+		FinalFn:      func(s any) (any, error) { return s, nil },
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(int64), nil
+}

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestRunInstrumentedMatchesRun(t *testing.T) {
+	db := Open(4)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	for i := 0; i < 1000; i++ {
+		if err := tbl.Insert(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := db.Run(tbl, sumAgg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, qs, err := db.RunInstrumented(tbl, sumAgg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(float64) != want.(float64) {
+		t.Fatalf("instrumented result %v != %v", got, want)
+	}
+	if qs.Rows != 1000 {
+		t.Fatalf("rows = %d", qs.Rows)
+	}
+	if qs.WallTime <= 0 || qs.MaxSegmentTime <= 0 || qs.TotalSegmentTime < qs.MaxSegmentTime {
+		t.Fatalf("implausible stats: %+v", qs)
+	}
+}
+
+func TestRunSimulatedMatchesRun(t *testing.T) {
+	db := Open(6)
+	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+	for i := 0; i < 600; i++ {
+		if err := tbl.Insert(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := db.Run(tbl, sumAgg(0))
+	got, qs, err := db.RunSimulated(tbl, sumAgg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(float64) != want.(float64) {
+		t.Fatalf("simulated result %v != %v", got, want)
+	}
+	if qs.Rows != 600 {
+		t.Fatalf("rows = %d", qs.Rows)
+	}
+	// Sequential execution: wall time covers the whole scan, so it must be
+	// at least the per-segment total minus timer granularity.
+	if qs.WallTime < qs.MaxSegmentTime {
+		t.Fatalf("wall %v < max segment %v", qs.WallTime, qs.MaxSegmentTime)
+	}
+}
+
+// The critical-path metric must shrink as segments increase: with the same
+// data spread over more segments, the slowest segment holds fewer rows.
+func TestSimulatedCriticalPathShrinks(t *testing.T) {
+	work := func(segs int) int {
+		db := Open(segs)
+		tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
+		for i := 0; i < 9000; i++ {
+			if err := tbl.Insert(float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		maxRows := 0
+		for _, seg := range tbl.Segments() {
+			if seg.Len() > maxRows {
+				maxRows = seg.Len()
+			}
+		}
+		return maxRows
+	}
+	if r1, r6 := work(1), work(6); r6*6 != r1 {
+		t.Fatalf("rows per segment should divide evenly: 1 seg %d, 6 segs %d", r1, r6)
+	}
+}

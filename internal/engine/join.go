@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// HashJoin performs an inner equi-join of two tables into a new table:
+//
+//	CREATE TABLE dst AS
+//	SELECT l.*, r.* FROM left l JOIN right r ON l.leftKey = r.rightKey
+//
+// The join keys must be Int or String columns of matching kind. The right
+// side is broadcast: its rows are hashed into one in-memory table that
+// every left segment probes, the plan a parallel DBMS picks when the right
+// side is small (dimension tables, group keys — the §4.2.1 "join
+// construct"). Output rows stay on their left row's segment, so the join
+// is local and needs no data movement on the probe side.
+//
+// Column-name collisions are resolved by prefixing right-side columns with
+// the right table's name and an underscore.
+func (db *DB) HashJoin(dst string, left *Table, leftKey string, right *Table, rightKey string) (*Table, error) {
+	lk := left.schema.Index(leftKey)
+	if lk < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoColumn, leftKey)
+	}
+	rk := right.schema.Index(rightKey)
+	if rk < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoColumn, rightKey)
+	}
+	kind := left.schema[lk].Kind
+	if kind != right.schema[rk].Kind {
+		return nil, fmt.Errorf("%w: join keys %s vs %s", ErrType, kind, right.schema[rk].Kind)
+	}
+	if kind != Int && kind != String {
+		return nil, fmt.Errorf("%w: join keys must be Int or String, got %s", ErrType, kind)
+	}
+
+	// Output schema: all left columns, then all right columns with
+	// collisions prefixed.
+	taken := map[string]bool{}
+	schema := make(Schema, 0, len(left.schema)+len(right.schema))
+	for _, c := range left.schema {
+		taken[c.Name] = true
+		schema = append(schema, c)
+	}
+	for _, c := range right.schema {
+		name := c.Name
+		if taken[name] {
+			name = right.name + "_" + name
+		}
+		if taken[name] {
+			return nil, fmt.Errorf("engine: cannot disambiguate column %q", c.Name)
+		}
+		taken[name] = true
+		schema = append(schema, Column{Name: name, Kind: c.Kind})
+	}
+	out, err := db.createTable(dst, schema, left.temp || right.temp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build side: broadcast hash table over the right rows.
+	type ref struct {
+		seg *Segment
+		idx int
+	}
+	build := map[any][]ref{}
+	for _, seg := range right.segs {
+		for r := 0; r < seg.n; r++ {
+			var key any
+			if kind == Int {
+				key = seg.cols[rk].ints[r]
+			} else {
+				key = seg.cols[rk].strs[r]
+			}
+			build[key] = append(build[key], ref{seg: seg, idx: r})
+		}
+		db.rowsScanned.Add(int64(seg.n))
+	}
+
+	// Probe side: segment-parallel scan of the left table; matches append
+	// into the output segment with the same index.
+	nl := len(left.schema)
+	err = db.parallelSegments(left, func(i int, seg *Segment) error {
+		dseg := out.segs[i]
+		for r := 0; r < seg.n; r++ {
+			var key any
+			if kind == Int {
+				key = seg.cols[lk].ints[r]
+			} else {
+				key = seg.cols[lk].strs[r]
+			}
+			for _, m := range build[key] {
+				for c, col := range left.schema {
+					copyCell(&dseg.cols[c], col.Kind, seg, c, r)
+				}
+				for c, col := range right.schema {
+					copyCell(&dseg.cols[nl+c], col.Kind, m.seg, c, m.idx)
+				}
+				dseg.n++
+			}
+		}
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, seg := range out.segs {
+		total += int64(seg.n)
+	}
+	out.mu.Lock()
+	out.totalRows = total
+	out.mu.Unlock()
+	db.queries.Add(1)
+	return out, nil
+}
+
+// copyCell appends the (src, col, row) cell into dst.
+func copyCell(dst *colData, kind Kind, src *Segment, col, row int) {
+	switch kind {
+	case Float:
+		dst.floats = append(dst.floats, src.cols[col].floats[row])
+	case Vector:
+		dst.vecs = append(dst.vecs, src.cols[col].vecs[row])
+	case Int:
+		dst.ints = append(dst.ints, src.cols[col].ints[row])
+	case String:
+		dst.strs = append(dst.strs, src.cols[col].strs[row])
+	case Bool:
+		dst.bools = append(dst.bools, src.cols[col].bools[row])
+	}
+}

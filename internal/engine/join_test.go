@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+)
+
+func buildJoinTables(t *testing.T, db *DB) (*Table, *Table) {
+	t.Helper()
+	facts, err := db.CreateTable("facts", Schema{
+		{Name: "k", Kind: Int},
+		{Name: "x", Kind: Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := facts.Insert(int64(i%3), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dims, err := db.CreateTable("dims", Schema{
+		{Name: "k", Kind: Int},
+		{Name: "name", Kind: String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"zero", "one", "two"} {
+		if err := dims.Insert(int64(i), name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return facts, dims
+}
+
+func TestHashJoinInner(t *testing.T) {
+	db := Open(3)
+	facts, dims := buildJoinTables(t, db)
+	out, err := db.HashJoin("joined", facts, "k", dims, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 12 {
+		t.Fatalf("joined rows = %d", out.Count())
+	}
+	// Collided key column is prefixed.
+	schema := out.Schema()
+	if schema.Index("k") < 0 || schema.Index("dims_k") < 0 || schema.Index("name") < 0 {
+		t.Fatalf("joined schema = %v", schema)
+	}
+	// Every row's name matches its key.
+	names := []string{"zero", "one", "two"}
+	ki, ni := schema.Index("k"), schema.Index("name")
+	err = db.ForEachSegment(out, func(_ int, r Row) error {
+		if names[r.Int(ki)] != r.Str(ni) {
+			t.Errorf("key %d joined to %q", r.Int(ki), r.Str(ni))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashJoinDropsUnmatched(t *testing.T) {
+	db := Open(2)
+	facts, _ := db.CreateTable("f", Schema{{Name: "k", Kind: Int}})
+	dims, _ := db.CreateTable("d", Schema{{Name: "k", Kind: Int}})
+	for i := 0; i < 6; i++ {
+		if err := facts.Insert(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dims.Insert(int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dims.Insert(int64(4)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.HashJoin("j", facts, "k", dims, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 2 {
+		t.Fatalf("inner join kept %d rows", out.Count())
+	}
+}
+
+func TestHashJoinDuplicateBuildKeys(t *testing.T) {
+	// One-to-many: each left row matches every duplicate right row.
+	db := Open(2)
+	left, _ := db.CreateTable("l", Schema{{Name: "k", Kind: String}})
+	right, _ := db.CreateTable("r", Schema{{Name: "k", Kind: String}, {Name: "v", Kind: Float}})
+	if err := left.Insert("a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := right.Insert("a", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := db.HashJoin("j", left, "k", right, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count() != 3 {
+		t.Fatalf("one-to-many join produced %d rows", out.Count())
+	}
+}
+
+func TestHashJoinErrors(t *testing.T) {
+	db := Open(2)
+	a, _ := db.CreateTable("a", Schema{{Name: "k", Kind: Int}, {Name: "f", Kind: Float}})
+	b, _ := db.CreateTable("b", Schema{{Name: "k", Kind: String}})
+	if _, err := db.HashJoin("x1", a, "zz", b, "k"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("want ErrNoColumn, got %v", err)
+	}
+	if _, err := db.HashJoin("x2", a, "k", b, "zz"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("want ErrNoColumn, got %v", err)
+	}
+	if _, err := db.HashJoin("x3", a, "k", b, "k"); !errors.Is(err, ErrType) {
+		t.Fatalf("mismatched key kinds: %v", err)
+	}
+	if _, err := db.HashJoin("x4", a, "f", a, "f"); !errors.Is(err, ErrType) {
+		t.Fatalf("float keys should fail: %v", err)
+	}
+}

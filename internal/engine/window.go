@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// WindowSpec describes an ordered, partitioned window computation — the
+// §3.1.2 "Window Aggregates for Stateful Iteration" pattern: "For settings
+// where the current iteration depends on previous iterations, SQL's
+// windowed aggregate feature can be used to carry state across
+// iterations", the construction Wang et al. used for in-database MCMC.
+type WindowSpec struct {
+	// PartitionBy groups rows; nil puts everything in one partition
+	// (keyed "").
+	PartitionBy func(Row) string
+	// OrderBy orders rows within each partition (required).
+	OrderBy func(a, b Row) bool
+}
+
+// RunWindow folds each partition's rows in order, carrying state across
+// rows and emitting one output value per row:
+//
+//	SELECT step(...) OVER (PARTITION BY p ORDER BY o) FROM t
+//
+// init produces each partition's starting state; step consumes the state
+// and a row, returning the updated state and that row's output value.
+// Partitions are processed in parallel; within a partition the fold is
+// strictly sequential in the specified order.
+func (db *DB) RunWindow(t *Table, spec WindowSpec, init func() any, step func(state any, row Row) (any, any)) (map[string][]any, error) {
+	if spec.OrderBy == nil {
+		return nil, fmt.Errorf("engine: RunWindow requires OrderBy")
+	}
+	db.queries.Add(1)
+	// Gather row handles per partition. Row handles are stable: they
+	// reference (segment, index) positions.
+	parts := map[string][]Row{}
+	for _, seg := range t.segs {
+		for r := 0; r < seg.n; r++ {
+			row := Row{seg: seg, idx: r}
+			key := ""
+			if spec.PartitionBy != nil {
+				key = spec.PartitionBy(row)
+			}
+			parts[key] = append(parts[key], row)
+		}
+		db.rowsScanned.Add(int64(seg.n))
+	}
+	out := make(map[string][]any, len(parts))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for key, rows := range parts {
+		wg.Add(1)
+		go func(key string, rows []Row) {
+			defer wg.Done()
+			sort.SliceStable(rows, func(i, j int) bool { return spec.OrderBy(rows[i], rows[j]) })
+			state := init()
+			vals := make([]any, len(rows))
+			for i, row := range rows {
+				state, vals[i] = step(state, row)
+			}
+			mu.Lock()
+			out[key] = vals
+			mu.Unlock()
+		}(key, rows)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,256 @@
+// Package lda implements Latent Dirichlet Allocation with a collapsed
+// Gibbs sampler (Table 1). Documents are bags of word ids; the sampler
+// maintains document-topic and topic-word count matrices and resamples
+// each token's topic from its collapsed conditional. The training corpus
+// can be staged out of an engine table with one scan.
+package lda
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "lda", Title: "Latent Dirichlet Allocation", Category: core.Unsupervised})
+}
+
+// ErrNoData is returned for an empty corpus.
+var ErrNoData = errors.New("lda: empty corpus")
+
+// Options configure Train.
+type Options struct {
+	// Topics is the number of topics K (required).
+	Topics int
+	// Vocab is the vocabulary size; 0 infers max word id + 1.
+	Vocab int
+	// Alpha is the document-topic Dirichlet prior (default 50/K).
+	Alpha float64
+	// Beta is the topic-word Dirichlet prior (default 0.01).
+	Beta float64
+	// Iterations is the number of Gibbs sweeps (default 200).
+	Iterations int
+	// Seed drives the sampler.
+	Seed int64
+}
+
+// Model is a trained LDA model.
+type Model struct {
+	// Topics is K.
+	Topics int
+	// Vocab is the vocabulary size.
+	Vocab int
+	// DocTopic[d][k] counts document d's tokens assigned to topic k.
+	DocTopic [][]int
+	// TopicWord[k][w] counts word w's assignments to topic k.
+	TopicWord [][]int
+	// TopicTotal[k] is the total token count of topic k.
+	TopicTotal []int
+	// Assignments[d][i] is the sampled topic of token i in document d.
+	Assignments [][]int
+	// LogLikelihoodHistory traces the (unnormalized) corpus log-likelihood
+	// over sweeps; it should trend upward.
+	LogLikelihoodHistory []float64
+
+	alpha, beta float64
+	docs        [][]int
+}
+
+// Train runs the collapsed Gibbs sampler over in-memory documents.
+func Train(docs [][]int, opts Options) (*Model, error) {
+	if opts.Topics < 1 {
+		return nil, errors.New("lda: Topics must be at least 1")
+	}
+	if len(docs) == 0 {
+		return nil, ErrNoData
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 50 / float64(opts.Topics)
+	}
+	if opts.Beta == 0 {
+		opts.Beta = 0.01
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 200
+	}
+	vocab := opts.Vocab
+	tokens := 0
+	for d, doc := range docs {
+		if len(doc) == 0 {
+			return nil, fmt.Errorf("lda: document %d is empty", d)
+		}
+		tokens += len(doc)
+		for _, w := range doc {
+			if w < 0 {
+				return nil, fmt.Errorf("lda: negative word id %d", w)
+			}
+			if w >= vocab {
+				if opts.Vocab > 0 {
+					return nil, fmt.Errorf("lda: word id %d outside vocab %d", w, opts.Vocab)
+				}
+				vocab = w + 1
+			}
+		}
+	}
+	if tokens == 0 {
+		return nil, ErrNoData
+	}
+	k := opts.Topics
+	m := &Model{
+		Topics: k, Vocab: vocab, alpha: opts.Alpha, beta: opts.Beta, docs: docs,
+		DocTopic:   make([][]int, len(docs)),
+		TopicWord:  make([][]int, k),
+		TopicTotal: make([]int, k),
+	}
+	for t := range m.TopicWord {
+		m.TopicWord[t] = make([]int, vocab)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m.Assignments = make([][]int, len(docs))
+	for d, doc := range docs {
+		m.DocTopic[d] = make([]int, k)
+		m.Assignments[d] = make([]int, len(doc))
+		for i, w := range doc {
+			t := rng.Intn(k)
+			m.Assignments[d][i] = t
+			m.DocTopic[d][t]++
+			m.TopicWord[t][w]++
+			m.TopicTotal[t]++
+		}
+	}
+	probs := make([]float64, k)
+	vb := float64(vocab) * opts.Beta
+	for sweep := 0; sweep < opts.Iterations; sweep++ {
+		for d, doc := range docs {
+			for i, w := range doc {
+				old := m.Assignments[d][i]
+				m.DocTopic[d][old]--
+				m.TopicWord[old][w]--
+				m.TopicTotal[old]--
+				var sum float64
+				for t := 0; t < k; t++ {
+					p := (float64(m.DocTopic[d][t]) + opts.Alpha) *
+						(float64(m.TopicWord[t][w]) + opts.Beta) /
+						(float64(m.TopicTotal[t]) + vb)
+					probs[t] = p
+					sum += p
+				}
+				u := rng.Float64() * sum
+				t := 0
+				for ; t < k-1; t++ {
+					u -= probs[t]
+					if u <= 0 {
+						break
+					}
+				}
+				m.Assignments[d][i] = t
+				m.DocTopic[d][t]++
+				m.TopicWord[t][w]++
+				m.TopicTotal[t]++
+			}
+		}
+		if sweep%10 == 0 || sweep == opts.Iterations-1 {
+			m.LogLikelihoodHistory = append(m.LogLikelihoodHistory, m.logLikelihood())
+		}
+	}
+	return m, nil
+}
+
+// TrainTable stages a corpus from a table with (doc Int, word Int) rows
+// and trains on it.
+func TrainTable(db *engine.DB, table *engine.Table, docCol, wordCol string, opts Options) (*Model, error) {
+	schema := table.Schema()
+	di, wi := schema.Index(docCol), schema.Index(wordCol)
+	if di < 0 || wi < 0 {
+		return nil, fmt.Errorf("%w: %q or %q", engine.ErrNoColumn, docCol, wordCol)
+	}
+	if schema[di].Kind != engine.Int || schema[wi].Kind != engine.Int {
+		return nil, errors.New("lda: need (Int, Int) columns")
+	}
+	groups, err := db.RunGroupBy(table, func(r engine.Row) string { return fmt.Sprint(r.Int(di)) },
+		engine.FuncAggregate{
+			InitFn:       func() any { return []int(nil) },
+			TransitionFn: func(s any, r engine.Row) any { return append(s.([]int), int(r.Int(wi))) },
+			MergeFn:      func(a, b any) any { return append(a.([]int), b.([]int)...) },
+			FinalFn:      func(s any) (any, error) { return s, nil },
+		})
+	if err != nil {
+		return nil, err
+	}
+	if len(groups) == 0 {
+		return nil, ErrNoData
+	}
+	keys := make([]string, 0, len(groups))
+	for g := range groups {
+		keys = append(keys, g)
+	}
+	sort.Strings(keys)
+	docs := make([][]int, 0, len(groups))
+	for _, g := range keys {
+		docs = append(docs, groups[g].([]int))
+	}
+	return Train(docs, opts)
+}
+
+// logLikelihood computes the corpus token log-likelihood under the current
+// counts (up to a constant).
+func (m *Model) logLikelihood() float64 {
+	var ll float64
+	vb := float64(m.Vocab) * m.beta
+	ka := float64(m.Topics) * m.alpha
+	for d, doc := range m.docs {
+		docLen := float64(len(doc))
+		for _, w := range doc {
+			var p float64
+			for t := 0; t < m.Topics; t++ {
+				theta := (float64(m.DocTopic[d][t]) + m.alpha) / (docLen + ka)
+				phi := (float64(m.TopicWord[t][w]) + m.beta) / (float64(m.TopicTotal[t]) + vb)
+				p += theta * phi
+			}
+			ll += math.Log(p)
+		}
+	}
+	return ll
+}
+
+// TopicDistribution returns the smoothed word distribution of topic t.
+func (m *Model) TopicDistribution(t int) []float64 {
+	out := make([]float64, m.Vocab)
+	den := float64(m.TopicTotal[t]) + float64(m.Vocab)*m.beta
+	for w := 0; w < m.Vocab; w++ {
+		out[w] = (float64(m.TopicWord[t][w]) + m.beta) / den
+	}
+	return out
+}
+
+// DocDistribution returns the smoothed topic mixture of document d.
+func (m *Model) DocDistribution(d int) []float64 {
+	out := make([]float64, m.Topics)
+	total := 0
+	for _, c := range m.DocTopic[d] {
+		total += c
+	}
+	den := float64(total) + float64(m.Topics)*m.alpha
+	for t := 0; t < m.Topics; t++ {
+		out[t] = (float64(m.DocTopic[d][t]) + m.alpha) / den
+	}
+	return out
+}
+
+// TopWords returns the n highest-probability word ids of topic t.
+func (m *Model) TopWords(t, n int) []int {
+	ids := make([]int, m.Vocab)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool { return m.TopicWord[t][ids[a]] > m.TopicWord[t][ids[b]] })
+	if n > len(ids) {
+		n = len(ids)
+	}
+	return ids[:n]
+}

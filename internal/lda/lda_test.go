@@ -1,0 +1,225 @@
+package lda
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+// twoTopicCorpus builds documents drawn from two disjoint vocabularies:
+// words 0-9 (topic A) and 10-19 (topic B). Each document is pure.
+func twoTopicCorpus(seed int64, nDocs, docLen int) ([][]int, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([][]int, nDocs)
+	truth := make([]int, nDocs)
+	for d := range docs {
+		topic := d % 2
+		truth[d] = topic
+		doc := make([]int, docLen)
+		for i := range doc {
+			doc[i] = topic*10 + rng.Intn(10)
+		}
+		docs[d] = doc
+	}
+	return docs, truth
+}
+
+func TestRecoverTwoTopics(t *testing.T) {
+	docs, truth := twoTopicCorpus(1, 60, 50)
+	m, err := Train(docs, Options{Topics: 2, Iterations: 150, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each learned topic should concentrate on one vocabulary half.
+	// Identify which learned topic corresponds to true topic 0.
+	dist0 := m.TopicDistribution(0)
+	var lowMass0 float64
+	for w := 0; w < 10; w++ {
+		lowMass0 += dist0[w]
+	}
+	topicForTrue0 := 0
+	if lowMass0 < 0.5 {
+		topicForTrue0 = 1
+	}
+	// Documents must be assigned dominantly to the matching topic.
+	correct := 0
+	for d := range docs {
+		mix := m.DocDistribution(d)
+		var got int
+		if mix[1] > mix[0] {
+			got = 1
+		}
+		want := topicForTrue0
+		if truth[d] == 1 {
+			want = 1 - topicForTrue0
+		}
+		if got == want {
+			correct++
+		}
+	}
+	if correct < 55 {
+		t.Fatalf("only %d/60 documents recovered", correct)
+	}
+	// Topic purity: each topic's mass concentrated on its half.
+	for k := 0; k < 2; k++ {
+		dist := m.TopicDistribution(k)
+		var low float64
+		for w := 0; w < 10; w++ {
+			low += dist[w]
+		}
+		if low > 0.1 && low < 0.9 {
+			t.Fatalf("topic %d not separated: low-half mass %v", k, low)
+		}
+	}
+}
+
+func TestLogLikelihoodImproves(t *testing.T) {
+	docs, _ := twoTopicCorpus(2, 40, 40)
+	m, err := Train(docs, Options{Topics: 2, Iterations: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.LogLikelihoodHistory
+	if len(h) < 2 {
+		t.Fatalf("history too short: %v", h)
+	}
+	if h[len(h)-1] <= h[0] {
+		t.Fatalf("log-likelihood did not improve: %v → %v", h[0], h[len(h)-1])
+	}
+}
+
+func TestDistributionsNormalize(t *testing.T) {
+	docs, _ := twoTopicCorpus(3, 10, 30)
+	m, err := Train(docs, Options{Topics: 3, Iterations: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		var sum float64
+		for _, p := range m.TopicDistribution(k) {
+			if p < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("topic %d distribution sums to %v", k, sum)
+		}
+	}
+	for d := 0; d < 10; d++ {
+		var sum float64
+		for _, p := range m.DocDistribution(d) {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("doc %d mixture sums to %v", d, sum)
+		}
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	docs, _ := twoTopicCorpus(4, 40, 50)
+	m, err := Train(docs, Options{Topics: 2, Iterations: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		top := m.TopWords(k, 5)
+		if len(top) != 5 {
+			t.Fatalf("TopWords returned %d", len(top))
+		}
+		// All top words should come from the same vocabulary half.
+		half := top[0] / 10
+		for _, w := range top {
+			if w/10 != half {
+				t.Fatalf("topic %d mixes halves: %v", k, top)
+			}
+		}
+	}
+}
+
+func TestCountInvariants(t *testing.T) {
+	docs, _ := twoTopicCorpus(5, 20, 25)
+	m, err := Train(docs, Options{Topics: 4, Iterations: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total counts must equal the corpus token count from all views.
+	tokens := 0
+	for _, d := range docs {
+		tokens += len(d)
+	}
+	var fromTopics int
+	for _, c := range m.TopicTotal {
+		fromTopics += c
+	}
+	if fromTopics != tokens {
+		t.Fatalf("TopicTotal sums to %d, corpus has %d", fromTopics, tokens)
+	}
+	var fromDocs int
+	for d := range docs {
+		for _, c := range m.DocTopic[d] {
+			fromDocs += c
+		}
+	}
+	if fromDocs != tokens {
+		t.Fatalf("DocTopic sums to %d", fromDocs)
+	}
+}
+
+func TestTrainTable(t *testing.T) {
+	db := engine.Open(3)
+	tbl, _ := db.CreateTable("corpus", engine.Schema{
+		{Name: "doc", Kind: engine.Int},
+		{Name: "word", Kind: engine.Int},
+	})
+	docs, _ := twoTopicCorpus(6, 20, 30)
+	for d, doc := range docs {
+		for _, w := range doc {
+			if err := tbl.Insert(int64(d), int64(w)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m, err := TrainTable(db, tbl, "doc", "word", Options{Topics: 2, Iterations: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vocab != 20 {
+		t.Fatalf("vocab = %d", m.Vocab)
+	}
+	if len(m.DocTopic) != 20 {
+		t.Fatalf("docs = %d", len(m.DocTopic))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(nil, Options{Topics: 2}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := Train([][]int{{1}}, Options{Topics: 0}); err == nil {
+		t.Fatal("Topics=0 should fail")
+	}
+	if _, err := Train([][]int{{}}, Options{Topics: 2}); err == nil {
+		t.Fatal("empty document should fail")
+	}
+	if _, err := Train([][]int{{-1}}, Options{Topics: 2}); err == nil {
+		t.Fatal("negative word id should fail")
+	}
+	if _, err := Train([][]int{{5}}, Options{Topics: 2, Vocab: 3}); err == nil {
+		t.Fatal("word outside declared vocab should fail")
+	}
+}
+
+func BenchmarkGibbsSweep(b *testing.B) {
+	docs, _ := twoTopicCorpus(7, 100, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(docs, Options{Topics: 4, Iterations: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

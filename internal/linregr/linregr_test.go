@@ -1,0 +1,337 @@
+package linregr
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"madlib/internal/datagen"
+	"madlib/internal/engine"
+)
+
+func loadXY(t *testing.T, db *engine.DB, name string, xs [][]float64, ys []float64) *engine.Table {
+	t.Helper()
+	tbl, err := db.CreateTable(name, engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if err := tbl.Insert(ys[i], xs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestExactFitSimple(t *testing.T) {
+	// y = 2 + 3x exactly; R² must be 1 and coefficients exact.
+	db := engine.Open(3)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 10; i++ {
+		xs = append(xs, []float64{1, float64(i)})
+		ys = append(ys, 2+3*float64(i))
+	}
+	tbl := loadXY(t, db, "d", xs, ys)
+	res, err := Run(db, tbl, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Coef[0]-2) > 1e-9 || math.Abs(res.Coef[1]-3) > 1e-9 {
+		t.Fatalf("coef = %v", res.Coef)
+	}
+	if math.Abs(res.R2-1) > 1e-9 {
+		t.Fatalf("R² = %v", res.R2)
+	}
+	if res.NumRows != 10 {
+		t.Fatalf("NumRows = %d", res.NumRows)
+	}
+}
+
+func TestRecoversTrueCoefficients(t *testing.T) {
+	db := engine.Open(4)
+	gen := datagen.NewRegression(42, 5000, 5, 0.1)
+	tbl, err := gen.LoadRegression(db, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(db, tbl, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gen.Coef {
+		if math.Abs(res.Coef[i]-gen.Coef[i]) > 0.05 {
+			t.Fatalf("coef[%d] = %v, true %v", i, res.Coef[i], gen.Coef[i])
+		}
+	}
+	if res.R2 < 0.99 {
+		t.Fatalf("R² = %v for low-noise data", res.R2)
+	}
+	// Every true coefficient is large relative to noise → tiny p-values.
+	for i, p := range res.PValues {
+		if p > 1e-6 {
+			t.Fatalf("p-value[%d] = %v for strong signal", i, p)
+		}
+	}
+}
+
+func TestThreeVersionsAgree(t *testing.T) {
+	db := engine.Open(4)
+	gen := datagen.NewRegression(7, 1000, 8, 0.5)
+	tbl, err := gen.LoadRegression(db, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(db, tbl, "y", "x", WithVersion(V03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Version{V01Alpha, V021Beta} {
+		res, err := Run(db, tbl, "y", "x", WithVersion(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		for i := range base.Coef {
+			if math.Abs(res.Coef[i]-base.Coef[i]) > 1e-8 {
+				t.Fatalf("%v coef[%d] = %v, v0.3 %v", v, i, res.Coef[i], base.Coef[i])
+			}
+		}
+		if math.Abs(res.R2-base.R2) > 1e-8 {
+			t.Fatalf("%v R² = %v vs %v", v, res.R2, base.R2)
+		}
+		for i := range base.StdErr {
+			if math.Abs(res.StdErr[i]-base.StdErr[i]) > 1e-8 {
+				t.Fatalf("%v std_err disagrees", v)
+			}
+		}
+	}
+}
+
+func TestSegmentInvariance(t *testing.T) {
+	gen := datagen.NewRegression(3, 500, 4, 0.3)
+	var ref *Result
+	for _, segs := range []int{1, 2, 6, 24} {
+		db := engine.Open(segs)
+		tbl, err := gen.LoadRegression(db, "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(db, tbl, "y", "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for i := range ref.Coef {
+			if math.Abs(res.Coef[i]-ref.Coef[i]) > 1e-9 {
+				t.Fatalf("segments=%d coef differs: %v vs %v", segs, res.Coef, ref.Coef)
+			}
+		}
+	}
+}
+
+func TestNoiseCoefficientInsignificant(t *testing.T) {
+	// Include a pure-noise variable; its p-value should usually be large.
+	db := engine.Open(2)
+	gen := datagen.NewRegression(11, 2000, 3, 1.0)
+	// Zero out the effect of the last variable by regenerating y without it.
+	for i := range gen.X {
+		gen.Y[i] -= gen.Coef[2] * gen.X[i][2]
+	}
+	tbl, err := gen.LoadRegression(db, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(db, tbl, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValues[2] < 0.001 {
+		t.Fatalf("noise variable got p-value %v", res.PValues[2])
+	}
+}
+
+func TestRankDeficientDesign(t *testing.T) {
+	// Third column duplicates the second: XᵀX is singular, so the
+	// pseudo-inverse path must produce a usable (minimum-norm) fit.
+	db := engine.Open(2)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		v := float64(i) / 10
+		xs = append(xs, []float64{1, v, v})
+		ys = append(ys, 1+2*v)
+	}
+	tbl := loadXY(t, db, "d", xs, ys)
+	res, err := Run(db, tbl, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must be exact even though individual coefficients are not
+	// identifiable: b1+b2 should be 2.
+	if math.Abs(res.Coef[1]+res.Coef[2]-2) > 1e-6 {
+		t.Fatalf("b1+b2 = %v", res.Coef[1]+res.Coef[2])
+	}
+	if math.Abs(res.R2-1) > 1e-6 {
+		t.Fatalf("R² = %v", res.R2)
+	}
+}
+
+func TestNaNScreeningV03(t *testing.T) {
+	db := engine.Open(2)
+	xs := [][]float64{{1, 1}, {1, math.NaN()}, {1, 2}}
+	ys := []float64{3, 99, 5}
+	tbl := loadXY(t, db, "d", xs, ys)
+	res, err := Run(db, tbl, "y", "x", WithVersion(V03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows != 2 {
+		t.Fatalf("NaN row not screened: NumRows = %d", res.NumRows)
+	}
+	// y = 1 + 2x fits the two clean points exactly.
+	if math.Abs(res.Coef[0]-1) > 1e-9 || math.Abs(res.Coef[1]-2) > 1e-9 {
+		t.Fatalf("coef = %v", res.Coef)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	db := engine.Open(2)
+	tbl := loadXY(t, db, "d", nil, nil)
+	if _, err := Run(db, tbl, "y", "x"); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+}
+
+func TestMismatchedWidths(t *testing.T) {
+	db := engine.Open(1)
+	xs := [][]float64{{1, 2}, {1, 2, 3}}
+	ys := []float64{1, 2}
+	tbl := loadXY(t, db, "d", xs, ys)
+	if _, err := Run(db, tbl, "y", "x"); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}
+
+func TestColumnValidation(t *testing.T) {
+	db := engine.Open(1)
+	tbl, _ := db.CreateTable("d", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+		{Name: "s", Kind: engine.String},
+	})
+	if _, err := Run(db, tbl, "nope", "x"); err == nil {
+		t.Fatal("missing y column should fail")
+	}
+	if _, err := Run(db, tbl, "y", "s"); err == nil {
+		t.Fatal("non-vector x column should fail")
+	}
+	if _, err := Run(db, tbl, "s", "x"); err == nil {
+		t.Fatal("non-float y column should fail")
+	}
+}
+
+func TestGroupedRegression(t *testing.T) {
+	// Two groups with different slopes; grouped linregr must fit each.
+	db := engine.Open(3)
+	tbl, _ := db.CreateTable("d", engine.Schema{
+		{Name: "g", Kind: engine.String},
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	for i := 0; i < 40; i++ {
+		v := float64(i)
+		if err := tbl.Insert("a", 1+2*v, []float64{1, v}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Insert("b", 5-1*v, []float64{1, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := RunGroupBy(db, tbl, "y", "x", func(r engine.Row) string { return r.Str(0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("groups = %d", len(got))
+	}
+	if math.Abs(got["a"].Coef[1]-2) > 1e-9 {
+		t.Fatalf("group a slope = %v", got["a"].Coef[1])
+	}
+	if math.Abs(got["b"].Coef[1]+1) > 1e-9 {
+		t.Fatalf("group b slope = %v", got["b"].Coef[1])
+	}
+}
+
+func TestResultString(t *testing.T) {
+	db := engine.Open(2)
+	gen := datagen.NewRegression(5, 200, 2, 0.2)
+	tbl, _ := gen.LoadRegression(db, "d")
+	res, err := Run(db, tbl, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, field := range []string{"coef", "r2", "std_err", "t_stats", "p_values", "condition_no"} {
+		if !strings.Contains(s, field) {
+			t.Fatalf("String() missing %q:\n%s", field, s)
+		}
+	}
+}
+
+func TestConditionNumberScalesWithCollinearity(t *testing.T) {
+	db := engine.Open(2)
+	// Nearly-collinear design should have a much larger condition number
+	// than an orthogonal-ish one.
+	var xs1, xs2 [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		v := float64(i%20) / 10
+		w := float64((i*7)%20) / 10
+		xs1 = append(xs1, []float64{1, v, w})           // independent-ish
+		xs2 = append(xs2, []float64{1, v, v + 0.001*w}) // nearly collinear
+		ys = append(ys, v+w)
+	}
+	t1 := loadXY(t, db, "d1", xs1, ys)
+	t2 := loadXY(t, db, "d2", xs2, ys)
+	r1, err := Run(db, t1, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(db, t2, "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ConditionNo < 100*r1.ConditionNo {
+		t.Fatalf("collinear condition %v not ≫ independent %v", r2.ConditionNo, r1.ConditionNo)
+	}
+}
+
+func benchVersion(b *testing.B, v Version, k int) {
+	db := engine.Open(4)
+	gen := datagen.NewRegression(1, 20000, k, 0.5)
+	tbl, err := gen.LoadRegression(db, "d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(db, tbl, "y", "x", WithVersion(v)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkV03K10(b *testing.B)      { benchVersion(b, V03, 10) }
+func BenchmarkV01AlphaK10(b *testing.B) { benchVersion(b, V01Alpha, 10) }
+func BenchmarkV021BetaK10(b *testing.B) { benchVersion(b, V021Beta, 10) }
+func BenchmarkV03K80(b *testing.B)      { benchVersion(b, V03, 80) }
+func BenchmarkV01AlphaK80(b *testing.B) { benchVersion(b, V01Alpha, 80) }
+func BenchmarkV021BetaK80(b *testing.B) { benchVersion(b, V021Beta, 80) }

@@ -1,0 +1,406 @@
+// Package logregr implements binary logistic regression, the paper's §4.2
+// example of a multipass iterative method: each iteration is one
+// user-defined aggregate over the data, and a driver function (the
+// internal/core controller reproducing Figure 3) loops iterations until the
+// coefficients converge, with inter-iteration state staged through a
+// temporary table.
+//
+// Three solvers are provided, matching MADlib v0.3's logregr variants:
+//
+//   - IRLS — iteratively reweighted least squares (Newton's method), the
+//     default: β ← (XᵀDX)⁻¹ XᵀDz per iteration.
+//   - CG — nonlinear conjugate gradient on the log-likelihood.
+//   - IGD — incremental (stochastic) gradient descent with per-segment
+//     chains averaged each pass (the model-averaging scheme the paper cites
+//     as fitting the aggregate computational model).
+package logregr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"madlib/internal/array"
+	"madlib/internal/core"
+	"madlib/internal/engine"
+	"madlib/internal/matrix"
+	"madlib/internal/stats"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "logregr", Title: "Logistic Regression", Category: core.Supervised})
+}
+
+// Solver selects the optimization algorithm.
+type Solver int
+
+const (
+	// IRLS is Newton's method via iteratively reweighted least squares.
+	IRLS Solver = iota
+	// CG is nonlinear conjugate gradient.
+	CG
+	// IGD is incremental gradient descent with segment model averaging.
+	IGD
+)
+
+// String returns the MADlib optimizer name.
+func (s Solver) String() string {
+	switch s {
+	case IRLS:
+		return "irls"
+	case CG:
+		return "cg"
+	case IGD:
+		return "igd"
+	}
+	return fmt.Sprintf("solver(%d)", int(s))
+}
+
+// ErrNoData is returned when the table holds no rows.
+var ErrNoData = errors.New("logregr: no data rows")
+
+// Result is the logregr output record: coefficients plus Wald inference,
+// matching MADlib's logregr output columns.
+type Result struct {
+	// Coef are the fitted log-odds coefficients.
+	Coef []float64
+	// LogLikelihood is the final log-likelihood.
+	LogLikelihood float64
+	// StdErr are Wald standard errors from the inverse Fisher information.
+	StdErr []float64
+	// ZStats are the Wald z statistics.
+	ZStats []float64
+	// PValues are two-sided normal p-values.
+	PValues []float64
+	// OddsRatios are exp(Coef).
+	OddsRatios []float64
+	// NumRows is the number of rows used.
+	NumRows int64
+	// Iterations is how many passes over the data the solver took.
+	Iterations int
+	// Trace is the driver's Figure-3 control-flow trace.
+	Trace []string
+}
+
+// Options configure Run.
+type Options struct {
+	// Solver picks the optimizer (default IRLS).
+	Solver Solver
+	// Tolerance is the relative-change convergence threshold
+	// (default 1e-8).
+	Tolerance float64
+	// MaxIterations bounds the driver loop (default 100).
+	MaxIterations int
+	// StepSize is the initial IGD learning rate (default 0.1).
+	StepSize float64
+}
+
+func (o *Options) defaults() {
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-8
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+	if o.StepSize == 0 {
+		o.StepSize = 0.1
+	}
+}
+
+func sigma(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// irlsState is the per-iteration aggregate state: XᵀDX, XᵀDz-style sums
+// evaluated at the current coefficients.
+type irlsState struct {
+	k       int
+	numRows int64
+	grad    []float64 // Σ x (y - μ)
+	hess    []float64 // Σ w x xᵀ (lower triangle), w = μ(1-μ)
+	loglik  float64
+	err     error
+}
+
+// irlsAggregate computes gradient, Hessian, and log-likelihood at coef in
+// one pass — the logregr_irls_step UDA from Figure 3.
+func irlsAggregate(bind *core.Binding, coef []float64) engine.Aggregate {
+	k := len(coef)
+	return engine.FuncAggregate{
+		InitFn: func() any {
+			return &irlsState{k: k, grad: make([]float64, k), hess: make([]float64, k*k)}
+		},
+		TransitionFn: func(s any, row engine.Row) any {
+			st := s.(*irlsState)
+			if st.err != nil {
+				return st
+			}
+			args := bind.Bridge(row)
+			y := args.Float(0)
+			x := args.Vector(1)
+			if len(x) != k {
+				st.err = fmt.Errorf("logregr: row width %d != %d", len(x), k)
+				return st
+			}
+			z := array.Dot(coef, x)
+			mu := sigma(z)
+			st.numRows++
+			// Log-likelihood: y log μ + (1-y) log(1-μ), computed stably.
+			if y >= 0.5 {
+				st.loglik += -math.Log1p(math.Exp(-z))
+			} else {
+				st.loglik += -z - math.Log1p(math.Exp(-z))
+			}
+			array.Axpy(y-mu, x, st.grad)
+			w := mu * (1 - mu)
+			for i := 0; i < k; i++ {
+				wxi := w * x[i]
+				row := st.hess[i*k : i*k+i+1]
+				for j := 0; j <= i; j++ {
+					row[j] += wxi * x[j]
+				}
+			}
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*irlsState), b.(*irlsState)
+			if sa.err != nil {
+				return sa
+			}
+			if sb.err != nil {
+				return sb
+			}
+			sa.numRows += sb.numRows
+			sa.loglik += sb.loglik
+			array.AddTo(sa.grad, sb.grad)
+			array.AddTo(sa.hess, sb.hess)
+			return sa
+		},
+		FinalFn: func(s any) (any, error) {
+			st := s.(*irlsState)
+			if st.err != nil {
+				return nil, st.err
+			}
+			return st, nil
+		},
+	}
+}
+
+// runIRLSStep evaluates one Newton step: β' = β + (XᵀDX)⁺ g.
+func runIRLSStep(db *engine.DB, t *engine.Table, bind *core.Binding, coef []float64) ([]float64, *irlsState, error) {
+	v, err := db.Run(t, irlsAggregate(bind, coef))
+	if err != nil {
+		return nil, nil, err
+	}
+	st := v.(*irlsState)
+	if st.numRows == 0 {
+		return nil, nil, ErrNoData
+	}
+	k := st.k
+	array.SymmetrizeLower(st.hess, k)
+	h := matrix.FromFlat(k, k, st.hess)
+	pinv, _, err := matrix.PseudoInverse(h)
+	if err != nil {
+		return nil, nil, fmt.Errorf("logregr: %w", err)
+	}
+	step, err := pinv.MulVec(st.grad)
+	if err != nil {
+		return nil, nil, err
+	}
+	next := array.Clone(coef)
+	array.AddTo(next, step)
+	return next, st, nil
+}
+
+// Run fits the model: SELECT * FROM logregr('y', 'x', table). The label
+// column must hold 0/1 values; x is the feature vector (include a constant
+// 1 component for an intercept).
+func Run(db *engine.DB, table *engine.Table, yCol, xCol string, opts Options) (*Result, error) {
+	opts.defaults()
+	schema := table.Schema()
+	bind, err := core.BindColumns(schema, yCol, xCol)
+	if err != nil {
+		return nil, err
+	}
+	if schema[schema.Index(yCol)].Kind != engine.Float {
+		return nil, fmt.Errorf("logregr: column %q must be %s", yCol, engine.Float)
+	}
+	if schema[schema.Index(xCol)].Kind != engine.Vector {
+		return nil, fmt.Errorf("logregr: column %q must be %s", xCol, engine.Vector)
+	}
+	k, err := vectorWidth(db, table, bind)
+	if err != nil {
+		return nil, err
+	}
+
+	var stepFn func(prev []float64) ([]float64, error)
+	stateLen := k
+	converged := func(prev, cur []float64, _ int) (bool, error) {
+		return core.RelativeChange(prev, cur) < opts.Tolerance, nil
+	}
+	switch opts.Solver {
+	case IRLS:
+		stepFn = func(prev []float64) ([]float64, error) {
+			next, _, err := runIRLSStep(db, table, bind, prev)
+			return next, err
+		}
+	case CG:
+		cg := &cgDriver{db: db, t: table, bind: bind, k: k}
+		stepFn = cg.step
+	case IGD:
+		igd := &igdDriver{db: db, t: table, bind: bind, k: k, step0: opts.StepSize}
+		stepFn = igd.step
+		// The IGD state carries the pass log-likelihood as an extra slot;
+		// convergence watches its relative change (see igdDriver.step).
+		stateLen = k + 1
+		converged = func(prev, cur []float64, iter int) (bool, error) {
+			if iter < 2 {
+				return false, nil // slot 0 of the initial state is not a loglik
+			}
+			llPrev, llCur := prev[k], cur[k]
+			return math.Abs(llCur-llPrev) < opts.Tolerance*(math.Abs(llPrev)+1), nil
+		}
+	default:
+		return nil, fmt.Errorf("logregr: unknown solver %v", opts.Solver)
+	}
+
+	spec := core.IterativeSpec{
+		Name:          "logregr_" + opts.Solver.String(),
+		InitialState:  make([]float64, stateLen),
+		Step:          stepFn,
+		MaxIterations: opts.MaxIterations,
+		Converged:     converged,
+	}
+	iter, err := core.RunIterative(db, spec)
+	if err != nil {
+		return nil, err
+	}
+	iter.State = iter.State[:k] // strip any solver-private state slots
+	return finalize(db, table, bind, iter)
+}
+
+// vectorWidth probes the width of the feature vector (first row wins),
+// erroring on an empty table.
+func vectorWidth(db *engine.DB, t *engine.Table, bind *core.Binding) (int, error) {
+	v, err := db.Run(t, engine.FuncAggregate{
+		InitFn: func() any { return -1 },
+		TransitionFn: func(s any, row engine.Row) any {
+			if s.(int) >= 0 {
+				return s
+			}
+			return len(bind.Bridge(row).Vector(1))
+		},
+		MergeFn: func(a, b any) any {
+			if a.(int) >= 0 {
+				return a
+			}
+			return b
+		},
+		FinalFn: func(s any) (any, error) { return s, nil },
+	})
+	if err != nil {
+		return 0, err
+	}
+	k := v.(int)
+	if k < 0 {
+		return 0, ErrNoData
+	}
+	if k == 0 {
+		return 0, errors.New("logregr: zero-width feature vector")
+	}
+	return k, nil
+}
+
+// finalize computes the inference statistics at the converged coefficients.
+func finalize(db *engine.DB, t *engine.Table, bind *core.Binding, iter *core.IterativeResult) (*Result, error) {
+	coef := iter.State
+	_, st, err := runIRLSStep(db, t, bind, coef)
+	if err != nil {
+		return nil, err
+	}
+	k := st.k
+	// st.hess was symmetrized inside runIRLSStep.
+	fisher := matrix.FromFlat(k, k, st.hess)
+	cov, _, err := matrix.PseudoInverse(fisher)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Coef:          coef,
+		LogLikelihood: st.loglik,
+		NumRows:       st.numRows,
+		Iterations:    iter.Iterations,
+		Trace:         iter.Trace,
+		StdErr:        make([]float64, k),
+		ZStats:        make([]float64, k),
+		PValues:       make([]float64, k),
+		OddsRatios:    make([]float64, k),
+	}
+	for i := 0; i < k; i++ {
+		v := cov.At(i, i)
+		if v < 0 {
+			v = 0
+		}
+		res.StdErr[i] = math.Sqrt(v)
+		if res.StdErr[i] > 0 {
+			res.ZStats[i] = coef[i] / res.StdErr[i]
+		} else {
+			res.ZStats[i] = math.NaN()
+		}
+		res.PValues[i] = 2 * (1 - stats.NormalCDF(math.Abs(res.ZStats[i])))
+		res.OddsRatios[i] = math.Exp(coef[i])
+	}
+	return res, nil
+}
+
+// Predict returns σ(<coef, x>), the modelled Pr[y=1|x].
+func Predict(coef, x []float64) float64 { return sigma(array.Dot(coef, x)) }
+
+// RunPerGroup fits one logistic regression per group key. As §4.2.1 notes,
+// logregr is a driver function rather than a true aggregate, so unlike
+// linregr it cannot compose with GROUP BY; "to perform multiple logistic
+// regressions at once, one needs to use a join construct instead". This
+// helper emulates that construct: it enumerates the distinct keys, carves
+// each group's rows into a temporary table (the join of the source with
+// one key), and runs the full driver loop per group.
+func RunPerGroup(db *engine.DB, table *engine.Table, yCol, xCol string, key func(engine.Row) string, opts Options) (map[string]*Result, error) {
+	// Distinct keys via one aggregate pass.
+	v, err := db.Run(table, engine.FuncAggregate{
+		InitFn: func() any { return map[string]bool{} },
+		TransitionFn: func(s any, row engine.Row) any {
+			m := s.(map[string]bool)
+			m[key(row)] = true
+			return m
+		},
+		MergeFn: func(a, b any) any {
+			ma := a.(map[string]bool)
+			for k := range b.(map[string]bool) {
+				ma[k] = true
+			}
+			return ma
+		},
+		FinalFn: func(s any) (any, error) { return s, nil },
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := v.(map[string]bool)
+	out := make(map[string]*Result, len(keys))
+	seq := 0
+	for k := range keys {
+		seq++
+		part, err := db.SelectInto(fmt.Sprintf("%s_logregr_group_%d", table.Name(), seq), table,
+			func(row engine.Row) bool { return key(row) == k }, nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(db, part, yCol, xCol, opts)
+		dropErr := db.DropTable(part.Name())
+		if err != nil {
+			return nil, fmt.Errorf("group %q: %w", k, err)
+		}
+		if dropErr != nil {
+			return nil, dropErr
+		}
+		out[k] = res
+	}
+	return out, nil
+}

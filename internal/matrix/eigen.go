@@ -1,0 +1,340 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and
+// the matching orthonormal eigenvectors as matrix columns. This mirrors the
+// SymmetricPositiveDefiniteEigenDecomposition class the paper's Listing 2
+// wraps around Eigen's self-adjoint solver.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("%w: EigenSym needs square matrix", ErrShape)
+	}
+	// Verify symmetry within a loose tolerance; callers accumulate the lower
+	// triangle and symmetrize, so exact symmetry is expected.
+	scale := a.MaxAbs()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-8*(1+scale) {
+				return nil, nil, fmt.Errorf("matrix: EigenSym input not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	m := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagonalNorm(m)
+		if off <= 1e-14*(1+scale) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) <= 1e-16*(1+scale) {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) on both sides of m and
+// accumulates it into v.
+func rotate(m, v *Matrix, p, q int, c, s float64) {
+	n := m.Rows
+	for k := 0; k < n; k++ {
+		mkp, mkq := m.At(k, p), m.At(k, q)
+		m.Set(k, p, c*mkp-s*mkq)
+		m.Set(k, q, s*mkp+c*mkq)
+	}
+	for k := 0; k < n; k++ {
+		mpk, mqk := m.At(p, k), m.At(q, k)
+		m.Set(p, k, c*mpk-s*mqk)
+		m.Set(q, k, s*mpk+c*mqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagonalNorm(m *Matrix) float64 {
+	var s float64
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// PseudoInverse returns the Moore-Penrose pseudo-inverse of a symmetric
+// matrix via its eigendecomposition, together with its condition number
+// (ratio of largest to smallest *retained* eigenvalue magnitude). Eigenvalues
+// below tol·max|λ| are treated as zero, exactly as MADlib's
+// ComputePseudoInverse handles rank-deficient XᵀX.
+func PseudoInverse(a *Matrix) (pinv *Matrix, conditionNo float64, err error) {
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := a.Rows
+	var maxAbs float64
+	for _, v := range vals {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	if maxAbs == 0 {
+		// Zero matrix: pseudo-inverse is zero, condition number is defined as +Inf.
+		return New(n, n), math.Inf(1), nil
+	}
+	tol := 1e-12 * maxAbs * float64(n)
+	minRetained := math.Inf(1)
+	inv := make([]float64, n)
+	for i, v := range vals {
+		if math.Abs(v) <= tol {
+			inv[i] = 0
+			continue
+		}
+		inv[i] = 1 / v
+		if av := math.Abs(v); av < minRetained {
+			minRetained = av
+		}
+	}
+	conditionNo = maxAbs / minRetained
+	// pinv = V · diag(inv) · Vᵀ
+	pinv = New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += vecs.At(i, k) * inv[k] * vecs.At(j, k)
+			}
+			pinv.Set(i, j, s)
+		}
+	}
+	return pinv, conditionNo, nil
+}
+
+// ConditionNumber returns the 2-norm condition number of a symmetric matrix.
+func ConditionNumber(a *Matrix) (float64, error) {
+	_, cond, err := PseudoInverse(a)
+	return cond, err
+}
+
+// SVD computes the thin singular value decomposition A = U·diag(σ)·Vᵀ for an
+// m×n matrix with m ≥ n, via the eigendecomposition of AᵀA. Singular values
+// are returned in descending order; U is m×r and V is n×r where r = n.
+// Tiny singular values are kept (as ~0) so the caller can truncate.
+func SVD(a *Matrix) (u *Matrix, sigma []float64, v *Matrix, err error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		// Decompose the transpose and swap U and V.
+		ut, s, vt, err := SVD(a.T())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return vt, s, ut, nil
+	}
+	at := a.T()
+	ata, err := Mul(at, a)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	vals, vecs, err := EigenSym(ata)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sigma = make([]float64, n)
+	for i, lambda := range vals {
+		if lambda < 0 {
+			lambda = 0 // numerical noise
+		}
+		sigma[i] = math.Sqrt(lambda)
+	}
+	v = vecs
+	// U = A·V·diag(1/σ); columns with σ≈0 are left zero.
+	u = New(m, n)
+	av, err := Mul(a, v)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var maxSigma float64
+	for _, s := range sigma {
+		if s > maxSigma {
+			maxSigma = s
+		}
+	}
+	for j := 0; j < n; j++ {
+		if sigma[j] <= 1e-12*(1+maxSigma) {
+			continue
+		}
+		inv := 1 / sigma[j]
+		for i := 0; i < m; i++ {
+			u.Set(i, j, av.At(i, j)*inv)
+		}
+	}
+	return u, sigma, v, nil
+}
+
+// InverseSPD inverts a symmetric positive-definite matrix via its Cholesky
+// factor — O(n³/3) plain loops, far cheaper than the Jacobi
+// eigendecomposition path. Returns ErrSingular when A is not positive
+// definite; callers fall back to PseudoInverse.
+func InverseSPD(a *Matrix) (*Matrix, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return InverseFromCholesky(l)
+}
+
+// InverseFromCholesky inverts A given its Cholesky factor L (A = L·Lᵀ) by
+// solving for the n unit vectors.
+func InverseFromCholesky(l *Matrix) (*Matrix, error) {
+	n := l.Rows
+	inv := New(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := SolveCholesky(l, e)
+		if err != nil {
+			return nil, err
+		}
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// ConditionSPD estimates the 2-norm condition number of a symmetric
+// positive-definite matrix by power iteration for the largest eigenvalue
+// and inverse iteration (through the supplied Cholesky factor) for the
+// smallest — O(n²) per iteration instead of a full eigendecomposition.
+func ConditionSPD(a *Matrix, chol *Matrix) (float64, error) {
+	n := a.Rows
+	if n == 0 {
+		return math.NaN(), fmt.Errorf("%w: empty matrix", ErrShape)
+	}
+	lambdaMax, err := powerIteration(n, func(v []float64) ([]float64, error) { return a.MulVec(v) })
+	if err != nil {
+		return 0, err
+	}
+	invLambdaMin, err := powerIteration(n, func(v []float64) ([]float64, error) { return SolveCholesky(chol, v) })
+	if err != nil {
+		return 0, err
+	}
+	if invLambdaMin <= 0 {
+		return math.Inf(1), nil
+	}
+	return lambdaMax * invLambdaMin, nil
+}
+
+// powerIteration estimates the dominant eigenvalue of the linear operator.
+func powerIteration(n int, apply func(v []float64) ([]float64, error)) (float64, error) {
+	v := make([]float64, n)
+	for i := range v {
+		// Deterministic non-degenerate start vector.
+		v[i] = 1 + float64(i%7)/7
+	}
+	normalize(v)
+	lambda := 0.0
+	for iter := 0; iter < 60; iter++ {
+		w, err := apply(v)
+		if err != nil {
+			return 0, err
+		}
+		next := 0.0
+		for i := range w {
+			next += v[i] * w[i]
+		}
+		norm := normalize(w)
+		if norm == 0 {
+			return 0, nil
+		}
+		copy(v, w)
+		if iter > 3 && math.Abs(next-lambda) <= 1e-6*(math.Abs(next)+1e-300) {
+			return next, nil
+		}
+		lambda = next
+	}
+	return lambda, nil
+}
+
+func normalize(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	s = math.Sqrt(s)
+	if s == 0 {
+		return 0
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return s
+}
+
+// ClosestColumn returns the index of the column of m closest (in Euclidean
+// distance) to vector x, and that distance. It reproduces MADlib's
+// closest_column(a, b) UDF from the k-means discussion (§4.3).
+func ClosestColumn(m *Matrix, x []float64) (int, float64, error) {
+	if m.Rows != len(x) {
+		return -1, 0, fmt.Errorf("%w: ClosestColumn matrix %d×%d vs vec(%d)", ErrShape, m.Rows, m.Cols, len(x))
+	}
+	if m.Cols == 0 {
+		return -1, 0, fmt.Errorf("matrix: ClosestColumn on empty matrix")
+	}
+	best, bi := math.Inf(1), -1
+	for j := 0; j < m.Cols; j++ {
+		var d float64
+		for i := 0; i < m.Rows; i++ {
+			diff := m.At(i, j) - x[i]
+			d += diff * diff
+		}
+		if d < best {
+			best, bi = d, j
+		}
+	}
+	return bi, math.Sqrt(best), nil
+}

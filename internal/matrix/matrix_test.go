@@ -1,0 +1,457 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func matApprox(t *testing.T, got, want *Matrix, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %d×%d != %d×%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if !approx(got.Data[i], want.Data[i], tol) {
+			t.Fatalf("entry %d: %v != %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	matApprox(t, got, want, 0)
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := Mul(a, b); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %+v", at)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}})
+	s, err := Add(a, b)
+	if err != nil || s.At(0, 1) != 6 {
+		t.Fatalf("Add: %v %v", s, err)
+	}
+	d, err := Sub(b, a)
+	if err != nil || d.At(0, 0) != 2 {
+		t.Fatalf("Sub: %v %v", d, err)
+	}
+	a.Scale(10)
+	if a.At(0, 0) != 10 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestSolveLU(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLU(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=3, x+3y=5 → x=0.8, y=1.4
+	if !approx(x[0], 0.8, 1e-12) || !approx(x[1], 1.4, 1e-12) {
+		t.Fatalf("SolveLU = %v", x)
+	}
+}
+
+func TestSolveLUPivoting(t *testing.T) {
+	// Zero on the diagonal forces a pivot.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLU(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("SolveLU with pivot = %v", x)
+	}
+}
+
+func TestSolveLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLU(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestInverseIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		a := New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Make it diagonally dominant so it is invertible.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		prod, err := Mul(a, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := Identity(n)
+		diff, _ := Sub(prod, id)
+		if diff.MaxAbs() > 1e-9 {
+			t.Fatalf("trial %d: A·A⁻¹ deviates from I by %v", trial, diff.MaxAbs())
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := Inverse(a); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := l.T()
+	prod, _ := Mul(l, lt)
+	matApprox(t, prod, a, 1e-12)
+	x, err := SolveCholesky(l, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A·x = b.
+	b, _ := a.MulVec(x)
+	if !approx(b[0], 2, 1e-12) || !approx(b[1], 3, 1e-12) {
+		t.Fatalf("SolveCholesky residual: %v", b)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 3, 1e-10) || !approx(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// Check A·v = λ·v for the leading eigenvector.
+	v0 := vecs.Col(0)
+	av, _ := a.MulVec(v0)
+	for i := range av {
+		if !approx(av[i], 3*v0[i], 1e-10) {
+			t.Fatalf("A·v != λv: %v vs %v", av, v0)
+		}
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(8)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct V·diag(vals)·Vᵀ.
+		rec := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += vecs.At(i, k) * vals[k] * vecs.At(j, k)
+				}
+				rec.Set(i, j, s)
+			}
+		}
+		diff, _ := Sub(rec, a)
+		if diff.MaxAbs() > 1e-8 {
+			t.Fatalf("trial %d: reconstruction error %v", trial, diff.MaxAbs())
+		}
+		// Eigenvalues must be sorted descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Fatal("expected error for asymmetric input")
+	}
+}
+
+func TestPseudoInverseFullRank(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 2}})
+	pinv, cond, err := PseudoInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pinv.At(0, 0), 0.25, 1e-10) || !approx(pinv.At(1, 1), 0.5, 1e-10) {
+		t.Fatalf("pinv = %+v", pinv)
+	}
+	if !approx(cond, 2, 1e-10) {
+		t.Fatalf("condition number = %v, want 2", cond)
+	}
+}
+
+func TestPseudoInverseRankDeficient(t *testing.T) {
+	// Rank-1 symmetric matrix: [[1,1],[1,1]].
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	pinv, _, err := PseudoInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moore-Penrose pseudo-inverse is [[.25,.25],[.25,.25]].
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !approx(pinv.At(i, j), 0.25, 1e-10) {
+				t.Fatalf("pinv = %+v", pinv)
+			}
+		}
+	}
+	// A · A⁺ · A = A (defining property).
+	ap, _ := Mul(a, pinv)
+	apa, _ := Mul(ap, a)
+	diff, _ := Sub(apa, a)
+	if diff.MaxAbs() > 1e-9 {
+		t.Fatalf("A·A⁺·A != A, error %v", diff.MaxAbs())
+	}
+}
+
+func TestPseudoInverseZeroMatrix(t *testing.T) {
+	a := New(3, 3)
+	pinv, cond, err := PseudoInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinv.MaxAbs() != 0 {
+		t.Fatal("pseudo-inverse of zero should be zero")
+	}
+	if !math.IsInf(cond, 1) {
+		t.Fatalf("condition of zero matrix = %v", cond)
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		m := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(m) // m >= n
+		a := New(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		u, sigma, v, err := SVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct U·diag(σ)·Vᵀ.
+		rec := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < len(sigma); k++ {
+					s += u.At(i, k) * sigma[k] * v.At(j, k)
+				}
+				rec.Set(i, j, s)
+			}
+		}
+		diff, _ := Sub(rec, a)
+		if diff.MaxAbs() > 1e-7 {
+			t.Fatalf("trial %d: SVD reconstruction error %v", trial, diff.MaxAbs())
+		}
+		for i := 1; i < len(sigma); i++ {
+			if sigma[i] > sigma[i-1]+1e-12 {
+				t.Fatalf("singular values not sorted: %v", sigma)
+			}
+		}
+	}
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}) // 2×3, wide
+	u, sigma, v, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := New(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < len(sigma); k++ {
+				s += u.At(i, k) * sigma[k] * v.At(j, k)
+			}
+			rec.Set(i, j, s)
+		}
+	}
+	diff, _ := Sub(rec, a)
+	if diff.MaxAbs() > 1e-8 {
+		t.Fatalf("wide SVD reconstruction error %v", diff.MaxAbs())
+	}
+}
+
+func TestClosestColumn(t *testing.T) {
+	// Columns: (0,0), (10,0), (0,10).
+	m := FromRows([][]float64{{0, 10, 0}, {0, 0, 10}})
+	idx, dist, err := ClosestColumn(m, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("closest column = %d, want 0", idx)
+	}
+	if !approx(dist, math.Sqrt(2), 1e-12) {
+		t.Fatalf("distance = %v", dist)
+	}
+	if _, _, err := ClosestColumn(m, []float64{1}); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, _, err := ClosestColumn(New(2, 0), []float64{1, 1}); err == nil {
+		t.Fatal("expected error for empty matrix")
+	}
+}
+
+// Property: (Aᵀ)ᵀ = A.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(vals [12]float64) bool {
+		a := FromFlat(3, 4, vals[:])
+		att := a.T().T()
+		for i := range a.Data {
+			va, vb := a.Data[i], att.Data[i]
+			if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveLU(A, b) satisfies A·x ≈ b for well-conditioned A.
+func TestSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a := New(n, n)
+		b := make([]float64, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLU(a, b)
+		if err != nil {
+			return false
+		}
+		ax, _ := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInverse40(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 40
+	a := New(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+50)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Inverse(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenSym20(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 20
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSym(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := New(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a, _ := Mul(b.T(), b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	return a
+}
+
+func TestInverseSPDMatchesGaussJordan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomSPD(rng, n)
+		want, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := InverseSPD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff, _ := Sub(got, want)
+		if diff.MaxAbs() > 1e-8 {
+			t.Fatalf("trial %d: SPD inverse deviates by %v", trial, diff.MaxAbs())
+		}
+	}
+}
+
+func TestInverseSPDRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := InverseSPD(a); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestInverseFromCholesky(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := InverseFromCholesky(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := Mul(a, inv)
+	diff, _ := Sub(prod, Identity(2))
+	if diff.MaxAbs() > 1e-12 {
+		t.Fatalf("A·A⁻¹ off by %v", diff.MaxAbs())
+	}
+}
+
+func TestConditionSPDMatchesEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ConditionSPD(a, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, _, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := vals[0] / vals[n-1]
+		// Power iteration is an estimate; require 10% relative agreement.
+		if math.Abs(got-want) > 0.1*want {
+			t.Fatalf("trial %d: ConditionSPD %v vs eigen %v", trial, got, want)
+		}
+	}
+}
+
+func TestConditionSPDDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{100, 0}, {0, 1}})
+	l, _ := Cholesky(a)
+	got, err := ConditionSPD(a, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1 {
+		t.Fatalf("condition = %v, want 100", got)
+	}
+}

@@ -1,0 +1,206 @@
+// Package optim provides the Conjugate Gradient support module of Table 1:
+// a linear CG solver for symmetric positive-definite systems (the
+// workhorse behind large least-squares solves) and a nonlinear CG
+// minimizer for smooth convex objectives, plus plain gradient descent and
+// a Newton step helper used by the iterative methods.
+package optim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"madlib/internal/array"
+	"madlib/internal/core"
+	"madlib/internal/matrix"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "conjugate_gradient", Title: "Conjugate Gradient Optimization", Category: core.Support})
+}
+
+// ErrNoConvergence is returned when an iteration budget is exhausted.
+var ErrNoConvergence = errors.New("optim: did not converge")
+
+// SolveCG solves A·x = b for symmetric positive-definite A with the
+// conjugate-gradient method. matvec computes A·v without materializing A,
+// so callers can stream the product through aggregate queries.
+func SolveCG(matvec func(v []float64) []float64, b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	n := len(b)
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	x := make([]float64, n)
+	r := array.Clone(b) // r = b - A·0
+	p := array.Clone(r)
+	rs := array.Dot(r, r)
+	normB := array.Norm2(b)
+	if normB == 0 {
+		return x, 0, nil
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		ap := matvec(p)
+		pap := array.Dot(p, ap)
+		if pap <= 0 {
+			return nil, iter, fmt.Errorf("optim: matrix not positive definite (pᵀAp = %v)", pap)
+		}
+		alpha := rs / pap
+		array.Axpy(alpha, p, x)
+		array.Axpy(-alpha, ap, r)
+		rsNew := array.Dot(r, r)
+		if math.Sqrt(rsNew) <= tol*normB {
+			return x, iter, nil
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return nil, maxIter, ErrNoConvergence
+}
+
+// SolveCGMatrix is SolveCG for an explicit matrix.
+func SolveCGMatrix(a *matrix.Matrix, b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	if a.Rows != a.Cols || a.Rows != len(b) {
+		return nil, 0, fmt.Errorf("optim: shape mismatch %d×%d vs %d", a.Rows, a.Cols, len(b))
+	}
+	return SolveCG(func(v []float64) []float64 {
+		out, err := a.MulVec(v)
+		if err != nil {
+			panic(err) // shapes validated above
+		}
+		return out
+	}, b, tol, maxIter)
+}
+
+// Objective is a smooth function with gradient, for the nonlinear solvers.
+type Objective func(x []float64) (value float64, grad []float64)
+
+// MinimizeOptions configure the nonlinear minimizers.
+type MinimizeOptions struct {
+	// Tolerance on the gradient norm (default 1e-8).
+	Tolerance float64
+	// MaxIterations (default 500).
+	MaxIterations int
+	// InitialStep for line searches (default 1).
+	InitialStep float64
+}
+
+func (o *MinimizeOptions) defaults() {
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-8
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 500
+	}
+	if o.InitialStep == 0 {
+		o.InitialStep = 1
+	}
+}
+
+// MinimizeCG minimizes f from x0 with Polak-Ribière nonlinear conjugate
+// gradient and a backtracking Armijo line search.
+func MinimizeCG(f Objective, x0 []float64, opts MinimizeOptions) ([]float64, int, error) {
+	opts.defaults()
+	x := array.Clone(x0)
+	val, grad := f(x)
+	dir := make([]float64, len(x))
+	for i := range dir {
+		dir[i] = -grad[i]
+	}
+	prevGrad := array.Clone(grad)
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if array.Norm2(grad) <= opts.Tolerance {
+			return x, iter - 1, nil
+		}
+		// Line search along dir.
+		step := opts.InitialStep
+		dg := array.Dot(grad, dir)
+		if dg >= 0 { // not a descent direction: restart with steepest descent
+			for i := range dir {
+				dir[i] = -grad[i]
+			}
+			dg = -array.Dot(grad, grad)
+		}
+		var cand []float64
+		var candVal float64
+		var candGrad []float64
+		ok := false
+		for probe := 0; probe < 40; probe++ {
+			cand = array.Clone(x)
+			array.Axpy(step, dir, cand)
+			candVal, candGrad = f(cand)
+			if candVal <= val+1e-4*step*dg {
+				ok = true
+				break
+			}
+			step /= 2
+		}
+		if !ok {
+			// No further progress possible at machine precision.
+			return x, iter, nil
+		}
+		// Polak-Ribière beta with automatic restart.
+		num, den := 0.0, 0.0
+		for i := range candGrad {
+			num += candGrad[i] * (candGrad[i] - prevGrad[i])
+			den += prevGrad[i] * prevGrad[i]
+		}
+		beta := 0.0
+		if den > 0 {
+			beta = num / den
+		}
+		if beta < 0 {
+			beta = 0
+		}
+		for i := range dir {
+			dir[i] = -candGrad[i] + beta*dir[i]
+		}
+		x, val = cand, candVal
+		copy(prevGrad, grad)
+		copy(grad, candGrad)
+	}
+	return x, opts.MaxIterations, ErrNoConvergence
+}
+
+// GradientDescent minimizes f with fixed-schedule steepest descent
+// (step/√k), the baseline the paper's §5.1 describes.
+func GradientDescent(f Objective, x0 []float64, step float64, opts MinimizeOptions) ([]float64, int, error) {
+	opts.defaults()
+	x := array.Clone(x0)
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		_, grad := f(x)
+		if array.Norm2(grad) <= opts.Tolerance {
+			return x, iter - 1, nil
+		}
+		alpha := step / math.Sqrt(float64(iter))
+		array.Axpy(-alpha, grad, x)
+	}
+	// Gradient descent with a decaying schedule is allowed to stop at the
+	// iteration budget; report the point reached.
+	_, grad := f(x)
+	if array.Norm2(grad) <= opts.Tolerance*10 {
+		return x, opts.MaxIterations, nil
+	}
+	return x, opts.MaxIterations, ErrNoConvergence
+}
+
+// NewtonStep returns x - H⁻¹g for one damped-Newton iteration, using the
+// pseudo-inverse so rank-deficient Hessians degrade gracefully.
+func NewtonStep(x, grad []float64, hessian *matrix.Matrix) ([]float64, error) {
+	pinv, _, err := matrix.PseudoInverse(hessian)
+	if err != nil {
+		return nil, err
+	}
+	step, err := pinv.MulVec(grad)
+	if err != nil {
+		return nil, err
+	}
+	out := array.Clone(x)
+	array.Axpy(-1, step, out)
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"madlib/internal/array"
+	"madlib/internal/matrix"
+)
+
+func TestSolveCGMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		// Random SPD matrix: BᵀB + I.
+		b := matrix.New(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a, _ := matrix.Mul(b.T(), b)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		want, err := matrix.SolveLU(a, rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, iters, err := SolveCGMatrix(a, rhs, 1e-12, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iters > 10*n {
+			t.Fatalf("CG took %d iterations for n=%d", iters, n)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("trial %d: CG %v vs LU %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveCGZeroRHS(t *testing.T) {
+	a := matrix.Identity(3)
+	x, iters, err := SolveCGMatrix(a, []float64{0, 0, 0}, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 0 || array.Norm2(x) != 0 {
+		t.Fatalf("zero rhs: x=%v iters=%d", x, iters)
+	}
+}
+
+func TestSolveCGRejectsIndefinite(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, _, err := SolveCGMatrix(a, []float64{1, 1}, 1e-10, 0); err == nil {
+		t.Fatal("indefinite matrix should fail")
+	}
+}
+
+func TestSolveCGShapeError(t *testing.T) {
+	a := matrix.New(2, 3)
+	if _, _, err := SolveCGMatrix(a, []float64{1, 1}, 0, 0); err == nil {
+		t.Fatal("non-square should fail")
+	}
+}
+
+// quadratic builds f(x) = ½xᵀAx - bᵀx with known minimum A⁻¹b.
+func quadratic(a *matrix.Matrix, b []float64) Objective {
+	return func(x []float64) (float64, []float64) {
+		ax, _ := a.MulVec(x)
+		val := 0.5*array.Dot(x, ax) - array.Dot(b, x)
+		grad := array.Sub(ax, b)
+		return val, grad
+	}
+}
+
+func TestMinimizeCGQuadratic(t *testing.T) {
+	a := matrix.FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	want, _ := matrix.SolveLU(a, b)
+	got, _, err := MinimizeCG(quadratic(a, b), []float64{5, -7}, MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("MinimizeCG %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinimizeCGRosenbrockValley(t *testing.T) {
+	// The classic banana function; minimum at (1, 1).
+	f := func(x []float64) (float64, []float64) {
+		a, b := x[0], x[1]
+		val := (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+		grad := []float64{
+			-2*(1-a) - 400*a*(b-a*a),
+			200 * (b - a*a),
+		}
+		return val, grad
+	}
+	got, _, err := MinimizeCG(f, []float64{-1.2, 1}, MinimizeOptions{MaxIterations: 5000, Tolerance: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-1) > 1e-3 || math.Abs(got[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock minimum %v", got)
+	}
+}
+
+func TestGradientDescentQuadratic(t *testing.T) {
+	a := matrix.FromRows([][]float64{{2, 0}, {0, 2}})
+	b := []float64{2, -4}
+	got, _, err := GradientDescent(quadratic(a, b), []float64{0, 0}, 0.4, MinimizeOptions{MaxIterations: 2000, Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-1) > 1e-3 || math.Abs(got[1]+2) > 1e-3 {
+		t.Fatalf("GD minimum %v", got)
+	}
+}
+
+func TestNewtonStepExactOnQuadratic(t *testing.T) {
+	// For a quadratic, one Newton step from anywhere lands on the minimum.
+	a := matrix.FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	want, _ := matrix.SolveLU(a, b)
+	x0 := []float64{10, -10}
+	ax, _ := a.MulVec(x0)
+	grad := array.Sub(ax, b)
+	got, err := NewtonStep(x0, grad, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("Newton step %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkSolveCG100(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100
+	m := matrix.New(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	a, _ := matrix.Mul(m.T(), m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SolveCGMatrix(a, rhs, 1e-10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package quantile implements the Table-1 quantile module: an exact
+// sort-based aggregate for moderate data and a Greenwald-Khanna (GK)
+// ε-approximate streaming summary whose per-segment instances merge, so
+// quantiles run as a parallel UDA like everything else.
+package quantile
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "quantile", Title: "Quantiles", Category: core.Descriptive})
+}
+
+// ErrNoData is returned when asking quantiles of an empty stream.
+var ErrNoData = errors.New("quantile: empty input")
+
+// Exact returns the φ-quantile of xs by sorting a copy: the value at rank
+// ceil(φ·n) (1-based), matching MADlib's quantile() semantics.
+func Exact(xs []float64, phi float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if phi < 0 || phi > 1 {
+		return 0, fmt.Errorf("quantile: phi %v outside [0,1]", phi)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(phi*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank], nil
+}
+
+// gkTuple is one GK summary entry: v with g = rmin(v)-rmin(prev) and
+// delta = rmax(v)-rmin(v).
+type gkTuple struct {
+	v     float64
+	g     int64
+	delta int64
+}
+
+// GK is a Greenwald-Khanna ε-approximate quantile summary.
+type GK struct {
+	eps     float64
+	n       int64
+	tuples  []gkTuple
+	pending []float64 // buffered inserts, flushed in sorted batches
+}
+
+// NewGK creates a summary with rank error at most ε·n for a single stream
+// (merging two summaries degrades the bound to the sum of their errors).
+func NewGK(eps float64) (*GK, error) {
+	if eps <= 0 || eps >= 0.5 {
+		return nil, fmt.Errorf("quantile: need 0 < ε < 0.5, got %v", eps)
+	}
+	return &GK{eps: eps}, nil
+}
+
+// Insert adds one value to the summary.
+func (g *GK) Insert(v float64) {
+	g.pending = append(g.pending, v)
+	if len(g.pending) >= int(1/(2*g.eps)) {
+		g.flush()
+	}
+}
+
+// N returns how many values have been inserted.
+func (g *GK) N() int64 { return g.n + int64(len(g.pending)) }
+
+// flush inserts buffered values into the tuple list and compresses.
+func (g *GK) flush() {
+	if len(g.pending) == 0 {
+		return
+	}
+	sort.Float64s(g.pending)
+	out := make([]gkTuple, 0, len(g.tuples)+len(g.pending))
+	ti := 0
+	for _, v := range g.pending {
+		for ti < len(g.tuples) && g.tuples[ti].v <= v {
+			out = append(out, g.tuples[ti])
+			ti++
+		}
+		var delta int64
+		if len(out) == 0 || ti >= len(g.tuples) {
+			delta = 0 // new min or max is exact
+		} else {
+			delta = int64(2*g.eps*float64(g.n+1)) - 1
+			if delta < 0 {
+				delta = 0
+			}
+		}
+		out = append(out, gkTuple{v: v, g: 1, delta: delta})
+		g.n++
+	}
+	out = append(out, g.tuples[ti:]...)
+	g.tuples = out
+	g.pending = g.pending[:0]
+	g.compress()
+}
+
+// compress merges adjacent tuples whose combined uncertainty stays within
+// the 2εn budget.
+func (g *GK) compress() {
+	if len(g.tuples) < 3 {
+		return
+	}
+	budget := int64(2 * g.eps * float64(g.n))
+	out := g.tuples[:1] // keep minimum exact
+	for i := 1; i < len(g.tuples)-1; i++ {
+		t := g.tuples[i]
+		last := &out[len(out)-1]
+		// Try merging t into the NEXT tuple (standard GK merges forward);
+		// equivalently accumulate into the following entry when safe.
+		next := g.tuples[i+1]
+		if t.g+next.g+next.delta <= budget && len(out) >= 1 {
+			g.tuples[i+1].g += t.g
+			continue
+		}
+		_ = last
+		out = append(out, t)
+	}
+	out = append(out, g.tuples[len(g.tuples)-1])
+	g.tuples = out
+}
+
+// Quantile returns a value whose rank is within ε·n of φ·n.
+func (g *GK) Quantile(phi float64) (float64, error) {
+	g.flush()
+	if g.n == 0 {
+		return 0, ErrNoData
+	}
+	if phi < 0 || phi > 1 {
+		return 0, fmt.Errorf("quantile: phi %v outside [0,1]", phi)
+	}
+	target := int64(phi*float64(g.n) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	bound := int64(g.eps * float64(g.n))
+	var rmin int64
+	for i, t := range g.tuples {
+		rmin += t.g
+		rmax := rmin + t.delta
+		if target-rmin <= bound && rmax-target <= bound {
+			return t.v, nil
+		}
+		if i == len(g.tuples)-1 {
+			return t.v, nil
+		}
+	}
+	return g.tuples[len(g.tuples)-1].v, nil
+}
+
+// Merge folds other into g. The merged summary's rank error is bounded by
+// the sum of the two summaries' errors (the classical GK merge bound).
+func (g *GK) Merge(other *GK) {
+	other.flush()
+	g.flush()
+	merged := make([]gkTuple, 0, len(g.tuples)+len(other.tuples))
+	i, j := 0, 0
+	for i < len(g.tuples) && j < len(other.tuples) {
+		if g.tuples[i].v <= other.tuples[j].v {
+			merged = append(merged, g.tuples[i])
+			i++
+		} else {
+			merged = append(merged, other.tuples[j])
+			j++
+		}
+	}
+	merged = append(merged, g.tuples[i:]...)
+	merged = append(merged, other.tuples[j:]...)
+	g.tuples = merged
+	g.n += other.n
+	g.compress()
+}
+
+// ExactAggregate computes the exact φ-quantiles of a Float column by
+// collecting per-segment sorted runs and merging — CPU O(n log n), memory
+// O(n); use GKAggregate for large streams.
+func ExactAggregate(col int, phis []float64) engine.Aggregate {
+	return engine.FuncAggregate{
+		InitFn: func() any { return []float64(nil) },
+		TransitionFn: func(s any, row engine.Row) any {
+			return append(s.([]float64), row.Float(col))
+		},
+		MergeFn: func(a, b any) any { return append(a.([]float64), b.([]float64)...) },
+		FinalFn: func(s any) (any, error) {
+			xs := s.([]float64)
+			out := make([]float64, len(phis))
+			for i, phi := range phis {
+				q, err := Exact(xs, phi)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = q
+			}
+			return out, nil
+		},
+	}
+}
+
+// GKAggregateInt is GKAggregate over an Int column (values widen to
+// float64).
+func GKAggregateInt(col int, eps float64, phis []float64) engine.Aggregate {
+	agg := GKAggregate(col, eps, phis).(engine.FuncAggregate)
+	agg.TransitionFn = func(s any, row engine.Row) any {
+		gk := s.(*GK)
+		gk.Insert(float64(row.Int(col)))
+		return gk
+	}
+	return agg
+}
+
+// GKAggregate computes ε-approximate φ-quantiles of a Float column with
+// bounded memory per segment.
+func GKAggregate(col int, eps float64, phis []float64) engine.Aggregate {
+	return engine.FuncAggregate{
+		InitFn: func() any {
+			gk, err := NewGK(eps)
+			if err != nil {
+				panic(err) // validated by callers
+			}
+			return gk
+		},
+		TransitionFn: func(s any, row engine.Row) any {
+			gk := s.(*GK)
+			gk.Insert(row.Float(col))
+			return gk
+		},
+		MergeFn: func(a, b any) any {
+			ga := a.(*GK)
+			ga.Merge(b.(*GK))
+			return ga
+		},
+		FinalFn: func(s any) (any, error) {
+			gk := s.(*GK)
+			out := make([]float64, len(phis))
+			for i, phi := range phis {
+				q, err := gk.Quantile(phi)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = q
+			}
+			return out, nil
+		},
+	}
+}

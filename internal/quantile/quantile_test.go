@@ -1,0 +1,212 @@
+package quantile
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"madlib/internal/engine"
+)
+
+func TestExactKnown(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	tests := []struct {
+		phi  float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.8, 4}, {1, 5},
+	}
+	for _, tc := range tests {
+		got, err := Exact(xs, tc.phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("Exact(%v) = %v, want %v", tc.phi, got, tc.want)
+		}
+	}
+}
+
+func TestExactErrors(t *testing.T) {
+	if _, err := Exact(nil, 0.5); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := Exact([]float64{1}, 1.5); err == nil {
+		t.Fatal("phi out of range should fail")
+	}
+}
+
+// rankError computes the true rank error of a reported quantile value.
+func rankError(sorted []float64, v float64, phi float64) float64 {
+	n := len(sorted)
+	// Range of ranks v could occupy.
+	lo := sort.SearchFloat64s(sorted, v)
+	hi := sort.Search(n, func(i int) bool { return sorted[i] > v })
+	target := phi * float64(n)
+	bestErr := math.Inf(1)
+	for _, r := range []float64{float64(lo), float64(hi)} {
+		if e := math.Abs(r - target); e < bestErr {
+			bestErr = e
+		}
+	}
+	if float64(lo) <= target && target <= float64(hi) {
+		bestErr = 0
+	}
+	return bestErr
+}
+
+func TestGKSingleStreamBound(t *testing.T) {
+	eps := 0.01
+	gk, err := NewGK(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := 50000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+		gk.Insert(vals[i])
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, err := gk.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := rankError(sorted, got, phi); e > 2*eps*float64(n) {
+			t.Fatalf("phi=%v rank error %v exceeds 2εn=%v", phi, e, 2*eps*float64(n))
+		}
+	}
+	// The summary must be far smaller than the stream.
+	if len(gk.tuples) > n/10 {
+		t.Fatalf("summary holds %d tuples for %d values", len(gk.tuples), n)
+	}
+}
+
+func TestGKMergeBound(t *testing.T) {
+	eps := 0.02
+	a, _ := NewGK(eps)
+	b, _ := NewGK(eps)
+	rng := rand.New(rand.NewSource(2))
+	n := 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+		if i%2 == 0 {
+			a.Insert(vals[i])
+		} else {
+			b.Insert(vals[i])
+		}
+	}
+	a.Merge(b)
+	if a.N() != int64(n) {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		got, err := a.Quantile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Merged error bound: sum of both summaries' ε plus slack.
+		if e := rankError(sorted, got, phi); e > 3*eps*float64(n) {
+			t.Fatalf("phi=%v merged rank error %v", phi, e)
+		}
+	}
+}
+
+func TestGKValidation(t *testing.T) {
+	for _, eps := range []float64{0, 0.5, -1} {
+		if _, err := NewGK(eps); err == nil {
+			t.Fatalf("eps=%v should fail", eps)
+		}
+	}
+	gk, _ := NewGK(0.1)
+	if _, err := gk.Quantile(0.5); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	gk.Insert(1)
+	if _, err := gk.Quantile(-0.1); err == nil {
+		t.Fatal("phi out of range should fail")
+	}
+}
+
+func TestGKQuantilePropertyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gk, _ := NewGK(0.05)
+		for i := 0; i < 500; i++ {
+			gk.Insert(rng.Float64())
+		}
+		prev := math.Inf(-1)
+		for _, phi := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			q, err := gk.Quantile(phi)
+			if err != nil || q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregatesOverEngine(t *testing.T) {
+	db := engine.Open(4)
+	tbl, _ := db.CreateTable("q", engine.Schema{{Name: "v", Kind: engine.Float}})
+	n := 10000
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 10
+		if err := tbl.Insert(vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phis := []float64{0.25, 0.5, 0.75}
+	exactV, err := db.Run(tbl, ExactAggregate(0, phis))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkV, err := db.Run(tbl, GKAggregate(0, 0.01, phis))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, approx := exactV.([]float64), gkV.([]float64)
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for i, phi := range phis {
+		if e := rankError(sorted, exact[i], phi); e > 1 {
+			t.Fatalf("exact quantile phi=%v off by rank %v", phi, e)
+		}
+		// Parallel GK merges 4 segment summaries: generous bound.
+		if e := rankError(sorted, approx[i], phi); e > 5*0.01*float64(n) {
+			t.Fatalf("GK quantile phi=%v rank error %v", phi, e)
+		}
+	}
+}
+
+func TestExactAggregateEmptyTable(t *testing.T) {
+	db := engine.Open(2)
+	tbl, _ := db.CreateTable("q", engine.Schema{{Name: "v", Kind: engine.Float}})
+	if _, err := db.Run(tbl, ExactAggregate(0, []float64{0.5})); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+}
+
+func BenchmarkGKInsert(b *testing.B) {
+	gk, _ := NewGK(0.01)
+	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gk.Insert(rng.Float64())
+	}
+}

@@ -1,0 +1,186 @@
+package sgd
+
+import (
+	"math"
+
+	"madlib/internal/array"
+	"madlib/internal/engine"
+)
+
+// LabeledExample is the (u, y) tuple of the Table-2 regression and
+// classification objectives.
+type LabeledExample struct {
+	X []float64
+	Y float64
+}
+
+// ExtractLabeled builds an extractor for tables with (y Float, x Vector)
+// columns at the given indexes.
+func ExtractLabeled(yIdx, xIdx int) func(engine.Row) any {
+	return func(r engine.Row) any {
+		return LabeledExample{X: r.Vector(xIdx), Y: r.Float(yIdx)}
+	}
+}
+
+// LeastSquares is Table 2's "Least Squares": Σ (xᵀu − y)².
+type LeastSquares struct {
+	// K is the feature dimension.
+	K int
+}
+
+// Dim implements Model.
+func (m LeastSquares) Dim() int { return m.K }
+
+// LossAndGrad implements Model.
+func (m LeastSquares) LossAndGrad(w []float64, example any, grad []float64) float64 {
+	ex := example.(LabeledExample)
+	r := array.Dot(w, ex.X) - ex.Y
+	array.Axpy(2*r, ex.X, grad)
+	return r * r
+}
+
+// Lasso is Table 2's "Lasso": Σ (xᵀu − y)² + μ‖x‖₁, with the L1 term
+// handled by a proximal soft-threshold step.
+type Lasso struct {
+	K  int
+	Mu float64
+}
+
+// Dim implements Model.
+func (m Lasso) Dim() int { return m.K }
+
+// LossAndGrad implements Model: the smooth part only; L1 enters via Prox.
+func (m Lasso) LossAndGrad(w []float64, example any, grad []float64) float64 {
+	ex := example.(LabeledExample)
+	r := array.Dot(w, ex.X) - ex.Y
+	array.Axpy(2*r, ex.X, grad)
+	return r*r + m.Mu*array.Norm1(w)
+}
+
+// Prox applies soft thresholding at level alpha·Mu.
+func (m Lasso) Prox(w []float64, alpha float64) {
+	t := alpha * m.Mu
+	for i, v := range w {
+		switch {
+		case v > t:
+			w[i] = v - t
+		case v < -t:
+			w[i] = v + t
+		default:
+			w[i] = 0
+		}
+	}
+}
+
+// Logistic is Table 2's "Logistic Regression": Σ log(1 + exp(−y·xᵀu)) with
+// y ∈ {−1, +1}.
+type Logistic struct {
+	K int
+}
+
+// Dim implements Model.
+func (m Logistic) Dim() int { return m.K }
+
+// LossAndGrad implements Model.
+func (m Logistic) LossAndGrad(w []float64, example any, grad []float64) float64 {
+	ex := example.(LabeledExample)
+	z := ex.Y * array.Dot(w, ex.X)
+	// d/dw log(1+e^{-z}) = -y x σ(-z)
+	s := 1 / (1 + math.Exp(z))
+	array.Axpy(-ex.Y*s, ex.X, grad)
+	if z > 0 {
+		return math.Log1p(math.Exp(-z))
+	}
+	return -z + math.Log1p(math.Exp(z))
+}
+
+// HingeSVM is Table 2's "Classification (SVM)": Σ (1 − y·xᵀu)₊.
+type HingeSVM struct {
+	K int
+}
+
+// Dim implements Model.
+func (m HingeSVM) Dim() int { return m.K }
+
+// LossAndGrad implements Model (subgradient at the hinge point).
+func (m HingeSVM) LossAndGrad(w []float64, example any, grad []float64) float64 {
+	ex := example.(LabeledExample)
+	margin := ex.Y * array.Dot(w, ex.X)
+	if margin >= 1 {
+		return 0
+	}
+	array.Axpy(-ex.Y, ex.X, grad)
+	return 1 - margin
+}
+
+// RatingExample is the (i, j, value) cell of the recommendation objective.
+type RatingExample struct {
+	I, J  int
+	Value float64
+}
+
+// ExtractRating builds an extractor for tables with (i Int, j Int, v Float)
+// columns at the given indexes.
+func ExtractRating(iIdx, jIdx, vIdx int) func(engine.Row) any {
+	return func(r engine.Row) any {
+		return RatingExample{I: int(r.Int(iIdx)), J: int(r.Int(jIdx)), Value: r.Float(vIdx)}
+	}
+}
+
+// LowRank is Table 2's "Recommendation": Σ (LᵢᵀRⱼ − Mᵢⱼ)² + μ‖L,R‖²_F. The
+// weight vector packs L (Rows×Rank) followed by R (Cols×Rank).
+type LowRank struct {
+	Rows, Cols, Rank int
+	Mu               float64
+}
+
+// Dim implements Model.
+func (m LowRank) Dim() int { return (m.Rows + m.Cols) * m.Rank }
+
+// LossAndGrad implements Model. Only the touched factor rows receive
+// gradient mass, which is what makes SGD effective here.
+func (m LowRank) LossAndGrad(w []float64, example any, grad []float64) float64 {
+	ex := example.(RatingExample)
+	li := w[ex.I*m.Rank : (ex.I+1)*m.Rank]
+	off := m.Rows * m.Rank
+	rj := w[off+ex.J*m.Rank : off+(ex.J+1)*m.Rank]
+	pred := array.Dot(li, rj)
+	e := pred - ex.Value
+	gl := grad[ex.I*m.Rank : (ex.I+1)*m.Rank]
+	gr := grad[off+ex.J*m.Rank : off+(ex.J+1)*m.Rank]
+	for k := 0; k < m.Rank; k++ {
+		gl[k] += 2*e*rj[k] + 2*m.Mu*li[k]
+		gr[k] += 2*e*li[k] + 2*m.Mu*rj[k]
+	}
+	reg := m.Mu * (array.Dot(li, li) + array.Dot(rj, rj))
+	return e*e + reg
+}
+
+// Predict returns LᵢᵀRⱼ under weights w.
+func (m LowRank) Predict(w []float64, i, j int) float64 {
+	li := w[i*m.Rank : (i+1)*m.Rank]
+	off := m.Rows * m.Rank
+	rj := w[off+j*m.Rank : off+(j+1)*m.Rank]
+	return array.Dot(li, rj)
+}
+
+// InitWeights returns small random-ish deterministic factors so the
+// low-rank problem does not start at the saddle point w = 0 (where the
+// gradient vanishes identically).
+func (m LowRank) InitWeights(scale float64) []float64 {
+	w := make([]float64, m.Dim())
+	// A fixed low-discrepancy fill keeps runs deterministic.
+	x := 0.5
+	for i := range w {
+		x = math.Mod(x*9301.0+49297.0, 233280.0)
+		w[i] = scale * (x/233280.0 - 0.5)
+	}
+	return w
+}
+
+// TrainLowRank is a convenience wrapper that starts from non-zero factors,
+// since w = 0 is a saddle point of the factorization objective.
+func TrainLowRank(db *engine.DB, table *engine.Table, extract func(engine.Row) any, model LowRank, opts Options) (*Result, error) {
+	opts.Start = model.InitWeights(0.5)
+	return Train(db, table, extract, model, opts)
+}

@@ -1,0 +1,239 @@
+// Package sgd implements the Wisconsin convex-optimization abstraction of
+// §5.1: a model is specified as a decomposable convex objective
+// f(w) = Σᵢ fᵢ(w) where each database tuple encodes one term fᵢ, and a
+// single generic incremental-gradient-descent (IGD) runner trains any such
+// model as a sequence of aggregate queries. "Using this approach, we were
+// able to add in implementations of all the models in Table 2 in a matter
+// of days" — the Table-2 models (least squares, lasso, logistic
+// regression, SVM, low-rank recommendation, CRF labeling) are provided in
+// this package and internal/crf.
+package sgd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "convex_sgd", Title: "Convex Optimization (SGD)", Category: core.Support})
+}
+
+// Model is one convex objective term family: given the current weights and
+// one example, it reports the term's loss and accumulates its gradient.
+type Model interface {
+	// Dim is the weight-vector dimension.
+	Dim() int
+	// LossAndGrad returns fᵢ(w) and ADDS ∇fᵢ(w) into grad (callers zero it).
+	LossAndGrad(w []float64, example any, grad []float64) float64
+}
+
+// Proximal is implemented by models with a non-smooth regularizer handled
+// by a proximal step after each gradient update (e.g. lasso's L1).
+type Proximal interface {
+	// Prox applies the proximal operator for step size alpha in place.
+	Prox(w []float64, alpha float64)
+}
+
+// ErrNoData is returned when the table holds no rows.
+var ErrNoData = errors.New("sgd: no training rows")
+
+// Options configure Train.
+type Options struct {
+	// StepSize is the initial learning rate (default 0.1). The effective
+	// rate decays as StepSize/√pass, the diminishing schedule the paper's
+	// convergence guarantee requires (α → 0, e.g. "α = 1/k").
+	StepSize float64
+	// L2 is an L2 regularization weight applied as per-step shrinkage.
+	L2 float64
+	// MaxPasses bounds data passes (default 50).
+	MaxPasses int
+	// Tolerance stops when the relative per-pass loss change falls below
+	// it (default 1e-4).
+	Tolerance float64
+	// NoAveraging disables cross-segment model averaging: the merge keeps
+	// the first segment's chain instead. Exists for the ablation bench.
+	NoAveraging bool
+	// Start is an optional warm-start weight vector (copied); nil starts
+	// at zero. Models whose zero vector is a saddle point (LowRank) need
+	// this.
+	Start []float64
+}
+
+func (o *Options) defaults() {
+	if o.StepSize == 0 {
+		o.StepSize = 0.1
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 50
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-4
+	}
+}
+
+// Result reports a training run.
+type Result struct {
+	// Weights is the trained model.
+	Weights []float64
+	// LossHistory is the mean per-example loss of each pass (measured at
+	// the pre-update weights as the chain scans).
+	LossHistory []float64
+	// Passes is the number of passes run.
+	Passes int
+	// NumRows is the number of examples per pass.
+	NumRows int64
+}
+
+// chainState is one segment's SGD chain.
+type chainState struct {
+	w    []float64
+	grad []float64 // scratch
+	loss float64
+	n    int64
+}
+
+// Train runs IGD over the table. extract converts an engine row into the
+// model's example type; it runs inside the transition function, so it sees
+// zero-copy column data.
+func Train(db *engine.DB, table *engine.Table, extract func(engine.Row) any, model Model, opts Options) (*Result, error) {
+	opts.defaults()
+	dim := model.Dim()
+	if dim <= 0 {
+		return nil, fmt.Errorf("sgd: model dimension %d", dim)
+	}
+	res := &Result{Weights: make([]float64, dim)}
+	if opts.Start != nil {
+		if len(opts.Start) != dim {
+			return nil, fmt.Errorf("sgd: Start has %d weights, model needs %d", len(opts.Start), dim)
+		}
+		copy(res.Weights, opts.Start)
+	}
+	prox, hasProx := model.(Proximal)
+	for pass := 1; pass <= opts.MaxPasses; pass++ {
+		alpha := opts.StepSize / math.Sqrt(float64(pass))
+		w0 := append([]float64(nil), res.Weights...)
+		agg := engine.FuncAggregate{
+			InitFn: func() any {
+				return &chainState{w: append([]float64(nil), w0...), grad: make([]float64, dim)}
+			},
+			TransitionFn: func(s any, row engine.Row) any {
+				st := s.(*chainState)
+				ex := extract(row)
+				for i := range st.grad {
+					st.grad[i] = 0
+				}
+				st.loss += model.LossAndGrad(st.w, ex, st.grad)
+				if opts.L2 > 0 {
+					shrink := 1 - alpha*opts.L2
+					if shrink < 0 {
+						shrink = 0
+					}
+					for i := range st.w {
+						st.w[i] *= shrink
+					}
+				}
+				for i := range st.w {
+					st.w[i] -= alpha * st.grad[i]
+				}
+				if hasProx {
+					prox.Prox(st.w, alpha)
+				}
+				st.n++
+				return st
+			},
+			MergeFn: func(a, b any) any {
+				sa, sb := a.(*chainState), b.(*chainState)
+				total := sa.n + sb.n
+				if total == 0 {
+					return sa
+				}
+				if opts.NoAveraging {
+					// Keep the chain that saw rows; losses still combine.
+					if sa.n == 0 {
+						sb.loss += sa.loss
+						return sb
+					}
+					sa.loss += sb.loss
+					sa.n = total
+					return sa
+				}
+				wa := float64(sa.n) / float64(total)
+				wb := float64(sb.n) / float64(total)
+				for i := range sa.w {
+					sa.w[i] = wa*sa.w[i] + wb*sb.w[i]
+				}
+				sa.loss += sb.loss
+				sa.n = total
+				return sa
+			},
+			FinalFn: func(s any) (any, error) { return s, nil },
+		}
+		v, err := db.Run(table, agg)
+		if err != nil {
+			return nil, err
+		}
+		st := v.(*chainState)
+		if st.n == 0 {
+			return nil, ErrNoData
+		}
+		res.Weights = st.w
+		if hasProx {
+			// Cross-segment averaging blends exact zeros into small
+			// residuals; re-applying the proximal operator to the merged
+			// model restores the sparsity pattern at each pass boundary.
+			prox.Prox(res.Weights, alpha)
+		}
+		res.NumRows = st.n
+		res.Passes = pass
+		meanLoss := st.loss / float64(st.n)
+		res.LossHistory = append(res.LossHistory, meanLoss)
+		if pass >= 2 {
+			prev := res.LossHistory[pass-2]
+			if math.Abs(prev-meanLoss) < opts.Tolerance*(math.Abs(prev)+1e-12) {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// MeanLoss evaluates the mean per-example loss of weights w over the table
+// without updating them (one aggregate query).
+func MeanLoss(db *engine.DB, table *engine.Table, extract func(engine.Row) any, model Model, w []float64) (float64, error) {
+	type acc struct {
+		loss float64
+		n    int64
+		grad []float64 // per-segment scratch, discarded
+	}
+	v, err := db.Run(table, engine.FuncAggregate{
+		InitFn: func() any { return &acc{grad: make([]float64, len(w))} },
+		TransitionFn: func(s any, row engine.Row) any {
+			st := s.(*acc)
+			for i := range st.grad {
+				st.grad[i] = 0
+			}
+			st.loss += model.LossAndGrad(w, extract(row), st.grad)
+			st.n++
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*acc), b.(*acc)
+			sa.loss += sb.loss
+			sa.n += sb.n
+			return sa
+		},
+		FinalFn: func(s any) (any, error) { return s, nil },
+	})
+	if err != nil {
+		return 0, err
+	}
+	st := v.(*acc)
+	if st.n == 0 {
+		return 0, ErrNoData
+	}
+	return st.loss / float64(st.n), nil
+}

@@ -1,0 +1,248 @@
+package sgd
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"madlib/internal/datagen"
+	"madlib/internal/engine"
+)
+
+func loadLabeled(t *testing.T, db *engine.DB, name string, xs [][]float64, ys []float64) *engine.Table {
+	t.Helper()
+	tbl, err := db.CreateTable(name, engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if err := tbl.Insert(ys[i], xs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestLeastSquaresRecovers(t *testing.T) {
+	db := engine.Open(4)
+	gen := datagen.NewRegression(1, 5000, 4, 0.05)
+	tbl, _ := gen.LoadRegression(db, "d")
+	res, err := Train(db, tbl, ExtractLabeled(0, 1), LeastSquares{K: 4}, Options{StepSize: 0.05, MaxPasses: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gen.Coef {
+		if math.Abs(res.Weights[i]-gen.Coef[i]) > 0.1 {
+			t.Fatalf("w[%d] = %v, true %v", i, res.Weights[i], gen.Coef[i])
+		}
+	}
+	// Loss decreases overall.
+	first, last := res.LossHistory[0], res.LossHistory[len(res.LossHistory)-1]
+	if last > first/4 {
+		t.Fatalf("loss %v → %v did not fall enough", first, last)
+	}
+}
+
+func TestLassoSparsifies(t *testing.T) {
+	// True model uses only feature 1 of 6; lasso should zero most of the
+	// irrelevant weights, plain least squares should not.
+	db := engine.Open(3)
+	gen := datagen.NewRegression(2, 4000, 6, 0.05)
+	for i := range gen.X {
+		// Rebuild y from feature 1 only (plus intercept).
+		gen.Y[i] = 2*gen.X[i][0] + 3*gen.X[i][1]
+	}
+	tbl, _ := gen.LoadRegression(db, "d")
+	lasso, err := Train(db, tbl, ExtractLabeled(0, 1), Lasso{K: 6, Mu: 2.0}, Options{StepSize: 0.05, MaxPasses: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, w := range lasso.Weights[2:] {
+		if w == 0 {
+			zeros++
+		}
+	}
+	if zeros < 2 {
+		t.Fatalf("lasso left irrelevant weights dense: %v", lasso.Weights)
+	}
+	// L1 regularization biases coefficients toward zero by roughly Mu/2
+	// for standardized features, so require the signal weight to stay
+	// clearly active rather than match the generator exactly.
+	if lasso.Weights[1] < 1.5 {
+		t.Fatalf("lasso lost the signal weight: %v", lasso.Weights)
+	}
+}
+
+func TestLogisticMatchesGenerator(t *testing.T) {
+	db := engine.Open(4)
+	gen := datagen.NewLogistic(3, 10000, 3)
+	// Convert labels to ±1 for the Table-2 objective.
+	tbl, _ := db.CreateTable("d", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	for i := range gen.X {
+		y := -1.0
+		if gen.Y[i] == 1 {
+			y = 1
+		}
+		if err := tbl.Insert(y, gen.X[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Train(db, tbl, ExtractLabeled(0, 1), Logistic{K: 3}, Options{StepSize: 0.5, MaxPasses: 120, Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gen.Coef {
+		if math.Abs(res.Weights[i]-gen.Coef[i]) > 0.25 {
+			t.Fatalf("w[%d] = %v, true %v", i, res.Weights[i], gen.Coef[i])
+		}
+	}
+}
+
+func TestHingeSVMSeparates(t *testing.T) {
+	db := engine.Open(3)
+	gen := datagen.NewMargin(4, 3000, 4, 0.5)
+	tbl, _ := gen.Load(db, "d")
+	res, err := Train(db, tbl, ExtractLabeled(0, 1), HingeSVM{K: 4}, Options{StepSize: 0.2, MaxPasses: 40, L2: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range gen.X {
+		score := 0.0
+		for j := range res.Weights {
+			score += res.Weights[j] * gen.X[i][j]
+		}
+		if (score >= 0 && gen.Y[i] > 0) || (score < 0 && gen.Y[i] < 0) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(gen.X)); acc < 0.97 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestLowRankFactorization(t *testing.T) {
+	db := engine.Open(3)
+	ratings := datagen.NewRatings(5, 40, 30, 3, 6000, 0.01)
+	tbl, _ := db.CreateTable("r", engine.Schema{
+		{Name: "i", Kind: engine.Int},
+		{Name: "j", Kind: engine.Int},
+		{Name: "v", Kind: engine.Float},
+	})
+	for _, e := range ratings.Entries {
+		if err := tbl.Insert(int64(e.I), int64(e.J), e.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model := LowRank{Rows: 40, Cols: 30, Rank: 3, Mu: 1e-4}
+	res, err := TrainLowRank(db, tbl, ExtractRating(0, 1, 2), model, Options{StepSize: 0.05, MaxPasses: 200, Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RMSE over the observed entries should approach the noise floor.
+	var sse float64
+	for _, e := range ratings.Entries {
+		d := model.Predict(res.Weights, e.I, e.J) - e.Value
+		sse += d * d
+	}
+	rmse := math.Sqrt(sse / float64(len(ratings.Entries)))
+	if rmse > 0.2 {
+		t.Fatalf("RMSE = %v", rmse)
+	}
+}
+
+func TestMeanLoss(t *testing.T) {
+	db := engine.Open(2)
+	xs := [][]float64{{1, 0}, {1, 1}}
+	ys := []float64{1, 3}
+	tbl := loadLabeled(t, db, "d", xs, ys)
+	// w = (1, 2) fits exactly: loss 0.
+	loss, err := MeanLoss(db, tbl, ExtractLabeled(0, 1), LeastSquares{K: 2}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	// w = 0: loss = (1² + 3²)/2 = 5.
+	loss, err = MeanLoss(db, tbl, ExtractLabeled(0, 1), LeastSquares{K: 2}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 5 {
+		t.Fatalf("loss = %v", loss)
+	}
+}
+
+func TestAveragingAblation(t *testing.T) {
+	// With averaging disabled, only one segment's chain survives each
+	// pass; on a multi-segment table both settings must still learn, but
+	// they are different algorithms and may differ numerically.
+	db := engine.Open(4)
+	gen := datagen.NewRegression(6, 3000, 3, 0.1)
+	tbl, _ := gen.LoadRegression(db, "d")
+	avg, err := Train(db, tbl, ExtractLabeled(0, 1), LeastSquares{K: 3}, Options{StepSize: 0.05, MaxPasses: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noavg, err := Train(db, tbl, ExtractLabeled(0, 1), LeastSquares{K: 3}, Options{StepSize: 0.05, MaxPasses: 40, NoAveraging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gen.Coef {
+		if math.Abs(avg.Weights[i]-gen.Coef[i]) > 0.2 {
+			t.Fatalf("averaged w[%d] = %v, true %v", i, avg.Weights[i], gen.Coef[i])
+		}
+		if math.Abs(noavg.Weights[i]-gen.Coef[i]) > 0.4 {
+			t.Fatalf("no-averaging w[%d] = %v, true %v", i, noavg.Weights[i], gen.Coef[i])
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := engine.Open(2)
+	empty, _ := db.CreateTable("e", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	if _, err := Train(db, empty, ExtractLabeled(0, 1), LeastSquares{K: 2}, Options{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := Train(db, empty, ExtractLabeled(0, 1), LeastSquares{K: 0}, Options{}); err == nil {
+		t.Fatal("zero-dim model should fail")
+	}
+	if _, err := Train(db, empty, ExtractLabeled(0, 1), LeastSquares{K: 2}, Options{Start: []float64{1}}); err == nil {
+		t.Fatal("bad Start length should fail")
+	}
+	if _, err := MeanLoss(db, empty, ExtractLabeled(0, 1), LeastSquares{K: 2}, []float64{0, 0}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+}
+
+func benchModel(b *testing.B, model Model, passes int) {
+	db := engine.Open(4)
+	gen := datagen.NewRegression(9, 10000, 8, 0.1)
+	tbl, err := gen.LoadRegression(db, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(db, tbl, ExtractLabeled(0, 1), model, Options{MaxPasses: passes, Tolerance: 1e-12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeastSquaresPass(b *testing.B) { benchModel(b, LeastSquares{K: 8}, 1) }
+func BenchmarkLassoPass(b *testing.B)        { benchModel(b, Lasso{K: 8, Mu: 0.1}, 1) }
+func BenchmarkLogisticPass(b *testing.B)     { benchModel(b, Logistic{K: 8}, 1) }
+func BenchmarkHingePass(b *testing.B)        { benchModel(b, HingeSVM{K: 8}, 1) }

@@ -1,0 +1,306 @@
+// Package sketch implements the two streaming synopses of Table 1 — the
+// Count-Min sketch (point counts, dyadic range counts, most-frequent
+// values) and the Flajolet-Martin distinct-count sketch — both as
+// mergeable structures so they run as parallel user-defined aggregates.
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "cmsketch", Title: "Count-Min Sketch", Category: core.Descriptive})
+	core.RegisterMethod(core.MethodInfo{Name: "fmsketch", Title: "Flajolet-Martin Sketch", Category: core.Descriptive})
+}
+
+// ErrIncompatible is returned when merging sketches of different shapes.
+var ErrIncompatible = errors.New("sketch: incompatible sketch parameters")
+
+// CountMin is a Count-Min sketch over int64 items: Count(x) overestimates
+// the true frequency by at most ε·N with probability 1-δ.
+type CountMin struct {
+	width int
+	depth int
+	cells [][]uint64
+	total uint64
+}
+
+// NewCountMin builds a sketch with error ε (fraction of the stream) and
+// failure probability δ.
+func NewCountMin(epsilon, delta float64) (*CountMin, error) {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("sketch: need 0<ε<1 and 0<δ<1, got %v, %v", epsilon, delta)
+	}
+	width := int(math.Ceil(math.E / epsilon))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	cm := &CountMin{width: width, depth: depth}
+	cm.cells = make([][]uint64, depth)
+	for i := range cm.cells {
+		cm.cells[i] = make([]uint64, width)
+	}
+	return cm, nil
+}
+
+func (cm *CountMin) hash(item int64, row int) int {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(item))
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(row)*0x9e3779b97f4a7c15)
+	_, _ = h.Write(buf[:])
+	return int(h.Sum64() % uint64(cm.width))
+}
+
+// Add registers count occurrences of item.
+func (cm *CountMin) Add(item int64, count uint64) {
+	for r := 0; r < cm.depth; r++ {
+		cm.cells[r][cm.hash(item, r)] += count
+	}
+	cm.total += count
+}
+
+// Count returns the (over-)estimate of item's frequency.
+func (cm *CountMin) Count(item int64) uint64 {
+	min := uint64(math.MaxUint64)
+	for r := 0; r < cm.depth; r++ {
+		if c := cm.cells[r][cm.hash(item, r)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Total returns the stream length seen so far.
+func (cm *CountMin) Total() uint64 { return cm.total }
+
+// Merge adds other's cells into cm; the sketches must share parameters.
+func (cm *CountMin) Merge(other *CountMin) error {
+	if cm.width != other.width || cm.depth != other.depth {
+		return ErrIncompatible
+	}
+	for r := range cm.cells {
+		for c := range cm.cells[r] {
+			cm.cells[r][c] += other.cells[r][c]
+		}
+	}
+	cm.total += other.total
+	return nil
+}
+
+// Clone returns a deep copy.
+func (cm *CountMin) Clone() *CountMin {
+	out := &CountMin{width: cm.width, depth: cm.depth, total: cm.total}
+	out.cells = make([][]uint64, cm.depth)
+	for i := range cm.cells {
+		out.cells[i] = append([]uint64(nil), cm.cells[i]...)
+	}
+	return out
+}
+
+// dyadicLevels covers non-negative int64 values.
+const dyadicLevels = 63
+
+// RangeCountMin augments Count-Min with one sketch per dyadic level so
+// range counts decompose into at most 2·levels point queries — the
+// classical CM range-query construction MADlib's cmsketch module uses.
+type RangeCountMin struct {
+	levels []*CountMin
+}
+
+// NewRangeCountMin builds the dyadic stack with per-level parameters ε, δ.
+func NewRangeCountMin(epsilon, delta float64) (*RangeCountMin, error) {
+	rc := &RangeCountMin{}
+	for l := 0; l < dyadicLevels; l++ {
+		cm, err := NewCountMin(epsilon, delta)
+		if err != nil {
+			return nil, err
+		}
+		rc.levels = append(rc.levels, cm)
+	}
+	return rc, nil
+}
+
+// Add registers a non-negative value.
+func (rc *RangeCountMin) Add(value int64) error {
+	if value < 0 {
+		return fmt.Errorf("sketch: range sketch requires non-negative values, got %d", value)
+	}
+	v := value
+	for l := 0; l < dyadicLevels; l++ {
+		rc.levels[l].Add(v, 1)
+		v >>= 1
+	}
+	return nil
+}
+
+// CountRange estimates how many values fall in [lo, hi], inclusive.
+func (rc *RangeCountMin) CountRange(lo, hi int64) uint64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		return 0
+	}
+	var total uint64
+	// Greedy dyadic decomposition of [lo, hi].
+	for lo <= hi {
+		// Find the largest level whose block starting at lo fits in [lo,hi].
+		level := 0
+		for level+1 < dyadicLevels {
+			size := int64(1) << (level + 1)
+			if lo%size != 0 || lo+size-1 > hi {
+				break
+			}
+			level++
+		}
+		total += rc.levels[level].Count(lo >> level)
+		lo += int64(1) << level
+	}
+	return total
+}
+
+// Merge combines the per-level sketches.
+func (rc *RangeCountMin) Merge(other *RangeCountMin) error {
+	if len(rc.levels) != len(other.levels) {
+		return ErrIncompatible
+	}
+	for l := range rc.levels {
+		if err := rc.levels[l].Merge(other.levels[l]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FrequentValue is one most-frequent-value candidate.
+type FrequentValue struct {
+	Value int64
+	Count uint64
+}
+
+// MFV tracks the most frequent values of a stream using a Count-Min sketch
+// for counting plus a bounded candidate set — MADlib's mfvsketch.
+type MFV struct {
+	cm   *CountMin
+	k    int
+	cand map[int64]struct{}
+}
+
+// NewMFV tracks up to k candidates with the given CM parameters.
+func NewMFV(k int, epsilon, delta float64) (*MFV, error) {
+	if k < 1 {
+		return nil, errors.New("sketch: MFV needs k >= 1")
+	}
+	cm, err := NewCountMin(epsilon, delta)
+	if err != nil {
+		return nil, err
+	}
+	return &MFV{cm: cm, k: k, cand: map[int64]struct{}{}}, nil
+}
+
+// Add registers one occurrence of item.
+func (m *MFV) Add(item int64) {
+	m.cm.Add(item, 1)
+	if _, ok := m.cand[item]; ok {
+		return
+	}
+	if len(m.cand) < m.k*4 {
+		m.cand[item] = struct{}{}
+		return
+	}
+	// Evict the weakest candidate if the newcomer beats it.
+	weakest, weakestCount := int64(0), uint64(math.MaxUint64)
+	for c := range m.cand {
+		if n := m.cm.Count(c); n < weakestCount {
+			weakest, weakestCount = c, n
+		}
+	}
+	if m.cm.Count(item) > weakestCount {
+		delete(m.cand, weakest)
+		m.cand[item] = struct{}{}
+	}
+}
+
+// Top returns the k highest-count candidates in descending count order.
+func (m *MFV) Top() []FrequentValue {
+	out := make([]FrequentValue, 0, len(m.cand))
+	for c := range m.cand {
+		out = append(out, FrequentValue{Value: c, Count: m.cm.Count(c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if len(out) > m.k {
+		out = out[:m.k]
+	}
+	return out
+}
+
+// Merge folds other into m.
+func (m *MFV) Merge(other *MFV) error {
+	if err := m.cm.Merge(other.cm); err != nil {
+		return err
+	}
+	for c := range other.cand {
+		m.cand[c] = struct{}{}
+	}
+	// Re-trim the candidate set.
+	if len(m.cand) > m.k*4 {
+		all := m.topAll()
+		m.cand = map[int64]struct{}{}
+		for i := 0; i < m.k*4 && i < len(all); i++ {
+			m.cand[all[i].Value] = struct{}{}
+		}
+	}
+	return nil
+}
+
+func (m *MFV) topAll() []FrequentValue {
+	out := make([]FrequentValue, 0, len(m.cand))
+	for c := range m.cand {
+		out = append(out, FrequentValue{Value: c, Count: m.cm.Count(c)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// CountMinAggregate wraps a CM sketch as an engine aggregate over an Int
+// column, demonstrating the standard mergeable-synopsis UDA pattern.
+func CountMinAggregate(col int, epsilon, delta float64) engine.Aggregate {
+	return engine.FuncAggregate{
+		InitFn: func() any {
+			cm, err := NewCountMin(epsilon, delta)
+			if err != nil {
+				panic(err) // parameters are validated by callers
+			}
+			return cm
+		},
+		TransitionFn: func(s any, row engine.Row) any {
+			cm := s.(*CountMin)
+			cm.Add(row.Int(col), 1)
+			return cm
+		},
+		MergeFn: func(a, b any) any {
+			ca := a.(*CountMin)
+			if err := ca.Merge(b.(*CountMin)); err != nil {
+				panic(err) // same parameters by construction
+			}
+			return ca
+		},
+		FinalFn: func(s any) (any, error) { return s, nil },
+	}
+}

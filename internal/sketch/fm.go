@@ -1,0 +1,138 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/bits"
+
+	"madlib/internal/engine"
+)
+
+// fmNumMaps is the number of PCSA bitmaps (stochastic averaging).
+const fmNumMaps = 64
+
+// fmPhi is the Flajolet-Martin magic constant.
+const fmPhi = 0.77351
+
+// fmExactThreshold is the cardinality up to which the sketch stays exact.
+// MADlib's fmsketch does the same: small cardinalities are tracked exactly
+// in a compact "sortasort" structure and the sketch switches to FM bitmaps
+// only once that overflows, because the PCSA estimator is biased when the
+// distinct count is comparable to the number of bitmaps.
+const fmExactThreshold = 4096
+
+// FM is a Flajolet-Martin distinct-count sketch (PCSA variant): each item
+// hashes to one of 64 bitmaps and sets the bit at the position of the
+// number of trailing zeros of its hash remainder; the estimate averages
+// the lowest unset-bit positions. Below fmExactThreshold distinct items
+// the sketch answers exactly from a hash set maintained alongside the
+// bitmaps. Bitmaps OR together and exact sets union, so FM merges across
+// segments like any other transition state.
+type FM struct {
+	maps  [fmNumMaps]uint64
+	exact map[uint64]struct{} // nil once overflowed
+}
+
+// NewFM returns an empty sketch.
+func NewFM() *FM { return &FM{exact: map[uint64]struct{}{}} }
+
+func fmHash(item int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(item))
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}
+
+// AddInt registers an int64 item.
+func (f *FM) AddInt(item int64) { f.addHash(fmHash(item)) }
+
+// AddString registers a string item.
+func (f *FM) AddString(item string) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(item))
+	f.addHash(h.Sum64())
+}
+
+// AddFloat registers a float64 item (by bit pattern).
+func (f *FM) AddFloat(item float64) { f.addHash(fmHash(int64(math.Float64bits(item)))) }
+
+func (f *FM) addHash(h uint64) {
+	bucket := h % fmNumMaps
+	rest := h / fmNumMaps
+	pos := bits.TrailingZeros64(rest | (1 << 63)) // cap at 63
+	f.maps[bucket] |= 1 << pos
+	if f.exact != nil {
+		f.exact[h] = struct{}{}
+		if len(f.exact) > fmExactThreshold {
+			f.exact = nil // overflow: bitmaps take over
+		}
+	}
+}
+
+// Estimate returns the number of distinct items seen: exact below the
+// overflow threshold, PCSA-estimated above.
+func (f *FM) Estimate() int64 {
+	if f.exact != nil {
+		return int64(len(f.exact))
+	}
+	var sum float64
+	for _, m := range f.maps {
+		// Position of the lowest zero bit.
+		r := bits.TrailingZeros64(^m)
+		sum += float64(r)
+	}
+	mean := sum / fmNumMaps
+	return int64(math.Round(fmNumMaps / fmPhi * math.Pow(2, mean)))
+}
+
+// Merge folds the other sketch into f: bitmaps OR, exact sets union (and
+// overflow to bitmaps when the union grows past the threshold).
+func (f *FM) Merge(other *FM) {
+	for i := range f.maps {
+		f.maps[i] |= other.maps[i]
+	}
+	if f.exact == nil || other.exact == nil {
+		f.exact = nil
+		return
+	}
+	for h := range other.exact {
+		f.exact[h] = struct{}{}
+	}
+	if len(f.exact) > fmExactThreshold {
+		f.exact = nil
+	}
+}
+
+// FMAggregate wraps an FM sketch as an engine aggregate counting distinct
+// values of a column of any kind.
+func FMAggregate(col int, kind engine.Kind) engine.Aggregate {
+	return engine.FuncAggregate{
+		InitFn: func() any { return NewFM() },
+		TransitionFn: func(s any, row engine.Row) any {
+			f := s.(*FM)
+			switch kind {
+			case engine.Int:
+				f.AddInt(row.Int(col))
+			case engine.String:
+				f.AddString(row.Str(col))
+			case engine.Float:
+				f.AddFloat(row.Float(col))
+			case engine.Bool:
+				if row.Bool(col) {
+					f.AddInt(1)
+				} else {
+					f.AddInt(0)
+				}
+			}
+			return f
+		},
+		MergeFn: func(a, b any) any {
+			fa := a.(*FM)
+			fa.Merge(b.(*FM))
+			return fa
+		},
+		FinalFn: func(s any) (any, error) { return s.(*FM).Estimate(), nil },
+	}
+}

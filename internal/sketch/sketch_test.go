@@ -1,0 +1,287 @@
+package sketch
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"madlib/internal/datagen"
+	"madlib/internal/engine"
+)
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm, err := NewCountMin(0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[int64]uint64{}
+	for _, v := range datagen.StreamValues(1, 50000, 1000) {
+		cm.Add(v, 1)
+		truth[v]++
+	}
+	for v, want := range truth {
+		got := cm.Count(v)
+		if got < want {
+			t.Fatalf("undercount for %d: %d < %d", v, got, want)
+		}
+	}
+	if cm.Total() != 50000 {
+		t.Fatalf("total = %d", cm.Total())
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	eps := 0.005
+	cm, err := NewCountMin(eps, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[int64]uint64{}
+	n := 100000
+	for _, v := range datagen.StreamValues(2, n, 2000) {
+		cm.Add(v, 1)
+		truth[v]++
+	}
+	// Allow a small number of items to exceed the bound (probability δ
+	// each); with δ=0.01 and ~2000 items, a handful may fail.
+	over := 0
+	for v, want := range truth {
+		if float64(cm.Count(v)-want) > eps*float64(n) {
+			over++
+		}
+	}
+	if over > len(truth)/20 {
+		t.Fatalf("%d of %d items exceed the εN bound", over, len(truth))
+	}
+}
+
+func TestCountMinMergeEqualsSingle(t *testing.T) {
+	a, _ := NewCountMin(0.01, 0.01)
+	b, _ := NewCountMin(0.01, 0.01)
+	whole, _ := NewCountMin(0.01, 0.01)
+	vals := datagen.StreamValues(3, 10000, 500)
+	for i, v := range vals {
+		whole.Add(v, 1)
+		if i%2 == 0 {
+			a.Add(v, 1)
+		} else {
+			b.Add(v, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []int64{1, 2, 5, 100, 499} {
+		if a.Count(probe) != whole.Count(probe) {
+			t.Fatalf("merged count %d != whole %d for %d", a.Count(probe), whole.Count(probe), probe)
+		}
+	}
+}
+
+func TestCountMinIncompatibleMerge(t *testing.T) {
+	a, _ := NewCountMin(0.01, 0.01)
+	b, _ := NewCountMin(0.1, 0.01)
+	if err := a.Merge(b); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("want ErrIncompatible, got %v", err)
+	}
+}
+
+func TestCountMinParamValidation(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}, {-1, 0.5}} {
+		if _, err := NewCountMin(bad[0], bad[1]); err == nil {
+			t.Fatalf("params %v should fail", bad)
+		}
+	}
+}
+
+func TestRangeCountMin(t *testing.T) {
+	rc, err := NewRangeCountMin(0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert 0..999 once each.
+	for v := int64(0); v < 1000; v++ {
+		if err := rc.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		lo, hi int64
+		want   uint64
+	}{
+		{0, 999, 1000},
+		{0, 0, 1},
+		{100, 199, 100},
+		{500, 999, 500},
+		{1000, 2000, 0},
+		{5, 4, 0},
+	}
+	for _, tc := range tests {
+		got := rc.CountRange(tc.lo, tc.hi)
+		// CM overestimates only; allow a 5% cushion.
+		if got < tc.want || float64(got) > float64(tc.want)*1.05+5 {
+			t.Fatalf("CountRange(%d,%d) = %d, want ≈%d", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+	if err := rc.Add(-1); err == nil {
+		t.Fatal("negative value should fail")
+	}
+}
+
+func TestMFVFindsHeavyHitters(t *testing.T) {
+	m, err := NewMFV(3, 0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy: 0 (5000), 1 (3000), 2 (1000); tail: 3..1002 once each.
+	for i := 0; i < 5000; i++ {
+		m.Add(0)
+	}
+	for i := 0; i < 3000; i++ {
+		m.Add(1)
+	}
+	for i := 0; i < 1000; i++ {
+		m.Add(2)
+	}
+	for v := int64(3); v < 1003; v++ {
+		m.Add(v)
+	}
+	top := m.Top()
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Value != 0 || top[1].Value != 1 || top[2].Value != 2 {
+		t.Fatalf("top order = %v", top)
+	}
+	if top[0].Count < 5000 || top[0].Count > 5200 {
+		t.Fatalf("top count = %d", top[0].Count)
+	}
+}
+
+func TestMFVMerge(t *testing.T) {
+	a, _ := NewMFV(2, 0.001, 0.01)
+	b, _ := NewMFV(2, 0.001, 0.01)
+	for i := 0; i < 100; i++ {
+		a.Add(7)
+		b.Add(9)
+	}
+	for i := 0; i < 60; i++ {
+		b.Add(7)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	top := a.Top()
+	if top[0].Value != 7 || top[0].Count != 160 {
+		t.Fatalf("merged top = %v", top)
+	}
+}
+
+func TestFMAccuracy(t *testing.T) {
+	for _, distinct := range []int{100, 1000, 10000} {
+		f := NewFM()
+		for v := 0; v < distinct; v++ {
+			// Add duplicates; they must not change the estimate.
+			f.AddInt(int64(v))
+			f.AddInt(int64(v))
+		}
+		est := float64(f.Estimate())
+		ratio := est / float64(distinct)
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Fatalf("FM estimate %v for %d distinct (ratio %v)", est, distinct, ratio)
+		}
+	}
+}
+
+func TestFMDuplicateInsensitiveProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		a, b := NewFM(), NewFM()
+		for _, v := range vals {
+			a.AddInt(v)
+		}
+		for i := 0; i < 3; i++ { // b sees everything three times
+			for _, v := range vals {
+				b.AddInt(v)
+			}
+		}
+		return a.Estimate() == b.Estimate()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFMMergeEqualsUnion(t *testing.T) {
+	a, b, u := NewFM(), NewFM(), NewFM()
+	for v := int64(0); v < 500; v++ {
+		a.AddInt(v)
+		u.AddInt(v)
+	}
+	for v := int64(300); v < 900; v++ {
+		b.AddInt(v)
+		u.AddInt(v)
+	}
+	a.Merge(b)
+	if a.Estimate() != u.Estimate() {
+		t.Fatalf("merged %d != union %d", a.Estimate(), u.Estimate())
+	}
+}
+
+func TestFMStringAndFloat(t *testing.T) {
+	f := NewFM()
+	f.AddString("alpha")
+	f.AddString("alpha")
+	f.AddString("beta")
+	f.AddFloat(3.25)
+	if est := f.Estimate(); est < 1 || est > 12 {
+		t.Fatalf("small-cardinality estimate = %d", est)
+	}
+}
+
+func TestAggregatesOverEngine(t *testing.T) {
+	db := engine.Open(4)
+	tbl, _ := db.CreateTable("s", engine.Schema{{Name: "v", Kind: engine.Int}})
+	truth := map[int64]uint64{}
+	for _, v := range datagen.StreamValues(4, 20000, 300) {
+		if err := tbl.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+		truth[v]++
+	}
+	// Count-Min as a UDA.
+	v, err := db.Run(tbl, CountMinAggregate(0, 0.001, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := v.(*CountMin)
+	for _, probe := range []int64{0, 1, 2, 10} {
+		if cm.Count(probe) < truth[probe] {
+			t.Fatalf("UDA sketch undercounts %d", probe)
+		}
+	}
+	// FM as a UDA.
+	fv, err := db.Run(tbl, FMAggregate(0, engine.Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := fv.(int64)
+	if ratio := float64(est) / float64(len(truth)); ratio < 0.6 || ratio > 1.5 {
+		t.Fatalf("FM UDA estimate %d for %d distinct", est, len(truth))
+	}
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm, _ := NewCountMin(0.001, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm.Add(int64(i%1000), 1)
+	}
+}
+
+func BenchmarkFMAdd(b *testing.B) {
+	f := NewFM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.AddInt(int64(i))
+	}
+}

@@ -1,0 +1,332 @@
+// Package sparse implements a run-length-encoded sparse vector, mirroring
+// the custom C sparse-vector library the paper describes in §3.2: "We chose
+// to write our own sparse matrix library in C for MADlib, which implements a
+// run-length encoding scheme."
+//
+// A Vector stores consecutive equal values as (value, count) runs. Text
+// feature vectors and indicator encodings — the workloads that motivated the
+// original library — compress extremely well under this scheme because they
+// are dominated by long runs of zeros.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"madlib/internal/core"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "svec", Title: "Sparse Vectors", Category: core.Support})
+}
+
+// ErrDimension is returned when two vectors that must agree in length do not.
+var ErrDimension = errors.New("sparse: dimension mismatch")
+
+// run is a single (value, count) pair of the encoding.
+type run struct {
+	value float64
+	count int
+}
+
+// Vector is a run-length-encoded vector of float64.
+// The zero value is an empty (length-0) vector ready to use.
+type Vector struct {
+	runs   []run
+	length int
+}
+
+// FromDense builds a Vector from a dense slice, coalescing consecutive
+// equal values into runs. NaN values are allowed and compare equal to each
+// other for run-building purposes (bitwise intent: repeated NaN compresses).
+func FromDense(x []float64) *Vector {
+	v := &Vector{}
+	for _, val := range x {
+		v.Append(val, 1)
+	}
+	return v
+}
+
+// New returns an empty vector.
+func New() *Vector { return &Vector{} }
+
+// Repeat returns a vector holding value repeated n times (a single run).
+func Repeat(value float64, n int) *Vector {
+	if n <= 0 {
+		return &Vector{}
+	}
+	return &Vector{runs: []run{{value, n}}, length: n}
+}
+
+func sameValue(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+// Append adds count copies of value to the end of the vector, merging with
+// the final run when the values match.
+func (v *Vector) Append(value float64, count int) {
+	if count <= 0 {
+		return
+	}
+	v.length += count
+	if n := len(v.runs); n > 0 && sameValue(v.runs[n-1].value, value) {
+		v.runs[n-1].count += count
+		return
+	}
+	v.runs = append(v.runs, run{value, count})
+}
+
+// Len returns the logical (dense) length of the vector.
+func (v *Vector) Len() int { return v.length }
+
+// RunCount returns the number of runs in the encoding; the compression ratio
+// is Len()/RunCount() for non-empty vectors.
+func (v *Vector) RunCount() int { return len(v.runs) }
+
+// At returns the i-th logical element. It panics if i is out of range.
+func (v *Vector) At(i int) float64 {
+	if i < 0 || i >= v.length {
+		panic(fmt.Sprintf("sparse: index %d out of range [0,%d)", i, v.length))
+	}
+	for _, r := range v.runs {
+		if i < r.count {
+			return r.value
+		}
+		i -= r.count
+	}
+	panic("sparse: corrupt run-length encoding")
+}
+
+// Dense materializes the vector into a new dense slice.
+func (v *Vector) Dense() []float64 {
+	out := make([]float64, 0, v.length)
+	for _, r := range v.runs {
+		for i := 0; i < r.count; i++ {
+			out = append(out, r.value)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	return &Vector{runs: append([]run(nil), v.runs...), length: v.length}
+}
+
+// NNZ returns the number of logically non-zero elements.
+func (v *Vector) NNZ() int {
+	n := 0
+	for _, r := range v.runs {
+		if r.value != 0 {
+			n += r.count
+		}
+	}
+	return n
+}
+
+// Scale multiplies every element by alpha in place. Scaling by zero
+// collapses the vector to a single zero run.
+func (v *Vector) Scale(alpha float64) {
+	if alpha == 0 && v.length > 0 {
+		v.runs = []run{{0, v.length}}
+		return
+	}
+	for i := range v.runs {
+		v.runs[i].value *= alpha
+	}
+	v.normalize()
+}
+
+// normalize merges adjacent runs with equal values (which can appear after
+// element-wise operations).
+func (v *Vector) normalize() {
+	if len(v.runs) < 2 {
+		return
+	}
+	out := v.runs[:1]
+	for _, r := range v.runs[1:] {
+		if sameValue(out[len(out)-1].value, r.value) {
+			out[len(out)-1].count += r.count
+		} else {
+			out = append(out, r)
+		}
+	}
+	v.runs = out
+}
+
+// zip walks two equal-length vectors run-by-run, invoking f on each maximal
+// stretch where both inputs are constant. It is the workhorse for all binary
+// operations and runs in O(runs(a)+runs(b)) rather than O(n).
+func zip(a, b *Vector, f func(av, bv float64, count int)) error {
+	if a.length != b.length {
+		return ErrDimension
+	}
+	ai, bi := 0, 0
+	arem, brem := 0, 0
+	if len(a.runs) > 0 {
+		arem = a.runs[0].count
+	}
+	if len(b.runs) > 0 {
+		brem = b.runs[0].count
+	}
+	for ai < len(a.runs) && bi < len(b.runs) {
+		step := arem
+		if brem < step {
+			step = brem
+		}
+		f(a.runs[ai].value, b.runs[bi].value, step)
+		arem -= step
+		brem -= step
+		if arem == 0 {
+			ai++
+			if ai < len(a.runs) {
+				arem = a.runs[ai].count
+			}
+		}
+		if brem == 0 {
+			bi++
+			if bi < len(b.runs) {
+				brem = b.runs[bi].count
+			}
+		}
+	}
+	return nil
+}
+
+// Dot returns the inner product of two equal-length vectors, computed
+// run-by-run in O(runs) time.
+func Dot(a, b *Vector) (float64, error) {
+	var s float64
+	err := zip(a, b, func(av, bv float64, count int) {
+		s += av * bv * float64(count)
+	})
+	return s, err
+}
+
+// Add returns a+b as a new RLE vector.
+func Add(a, b *Vector) (*Vector, error) {
+	out := &Vector{}
+	err := zip(a, b, func(av, bv float64, count int) {
+		out.Append(av+bv, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Mul returns the element-wise product of a and b as a new RLE vector.
+func Mul(a, b *Vector) (*Vector, error) {
+	out := &Vector{}
+	err := zip(a, b, func(av, bv float64, count int) {
+		out.Append(av*bv, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Norm2 returns the Euclidean norm.
+func (v *Vector) Norm2() float64 {
+	var s float64
+	for _, r := range v.runs {
+		s += r.value * r.value * float64(r.count)
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm.
+func (v *Vector) Norm1() float64 {
+	var s float64
+	for _, r := range v.runs {
+		s += math.Abs(r.value) * float64(r.count)
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func (v *Vector) Sum() float64 {
+	var s float64
+	for _, r := range v.runs {
+		s += r.value * float64(r.count)
+	}
+	return s
+}
+
+// Concat appends other to v in place.
+func (v *Vector) Concat(other *Vector) {
+	for _, r := range other.runs {
+		v.Append(r.value, r.count)
+	}
+}
+
+// String renders the vector in MADlib's svec text notation, e.g.
+// "{3,2,1}:{0,5,0}" meaning 3 zeros, 2 fives, 1 zero.
+func (v *Vector) String() string {
+	var counts, values []string
+	for _, r := range v.runs {
+		counts = append(counts, fmt.Sprintf("%d", r.count))
+		values = append(values, trimFloat(r.value))
+	}
+	return "{" + strings.Join(counts, ",") + "}:{" + strings.Join(values, ",") + "}"
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// Parse parses MADlib svec notation "{c1,c2,...}:{v1,v2,...}".
+func Parse(s string) (*Vector, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("sparse: malformed svec %q", s)
+	}
+	counts, err := parseBraceList(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	values, err := parseBraceList(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) != len(values) {
+		return nil, fmt.Errorf("sparse: svec %q has %d counts but %d values", s, len(counts), len(values))
+	}
+	v := &Vector{}
+	for i := range counts {
+		c := int(counts[i])
+		if c <= 0 || float64(c) != counts[i] {
+			return nil, fmt.Errorf("sparse: svec %q has invalid count %v", s, counts[i])
+		}
+		v.Append(values[i], c)
+	}
+	return v, nil
+}
+
+func parseBraceList(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return nil, fmt.Errorf("sparse: malformed list %q", s)
+	}
+	body := s[1 : len(s)-1]
+	if body == "" {
+		return nil, nil
+	}
+	fields := strings.Split(body, ",")
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &v); err != nil {
+			return nil, fmt.Errorf("sparse: bad number %q: %v", f, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,304 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"madlib/internal/array"
+)
+
+func TestFromDenseRoundtrip(t *testing.T) {
+	tests := [][]float64{
+		nil,
+		{0},
+		{1, 1, 1},
+		{0, 0, 5, 5, 0},
+		{1, 2, 3, 4},
+		{0, 0, 0, 0, 0, 0, 7},
+	}
+	for _, in := range tests {
+		v := FromDense(in)
+		out := v.Dense()
+		if len(out) != len(in) {
+			t.Fatalf("roundtrip length %d != %d", len(out), len(in))
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("roundtrip mismatch at %d: %v != %v", i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestCompression(t *testing.T) {
+	v := FromDense([]float64{0, 0, 0, 5, 5, 0})
+	if v.RunCount() != 3 {
+		t.Fatalf("RunCount = %d, want 3", v.RunCount())
+	}
+	if v.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", v.Len())
+	}
+	if v.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", v.NNZ())
+	}
+}
+
+func TestAt(t *testing.T) {
+	v := FromDense([]float64{0, 0, 5, 5, 9})
+	for i, want := range []float64{0, 0, 5, 5, 9} {
+		if got := v.At(i); got != want {
+			t.Fatalf("At(%d) = %v, want %v", i, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	v.At(5)
+}
+
+func TestRepeat(t *testing.T) {
+	v := Repeat(3, 4)
+	if v.Len() != 4 || v.RunCount() != 1 || v.Sum() != 12 {
+		t.Fatalf("Repeat wrong: %v", v)
+	}
+	if Repeat(1, 0).Len() != 0 {
+		t.Fatal("Repeat(x,0) should be empty")
+	}
+}
+
+func TestDotMatchesDense(t *testing.T) {
+	a := []float64{0, 0, 2, 2, 0, 1}
+	b := []float64{1, 1, 0, 3, 3, 3}
+	got, err := Dot(FromDense(a), FromDense(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := array.Dot(a, b); got != want {
+		t.Fatalf("Dot = %v, want %v", got, want)
+	}
+}
+
+func TestDotDimensionMismatch(t *testing.T) {
+	if _, err := Dot(Repeat(1, 3), Repeat(1, 4)); err != ErrDimension {
+		t.Fatalf("want ErrDimension, got %v", err)
+	}
+}
+
+func TestAddMul(t *testing.T) {
+	a := FromDense([]float64{0, 0, 1, 1})
+	b := FromDense([]float64{2, 2, 2, 2})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := []float64{2, 2, 3, 3}
+	for i, w := range wantSum {
+		if sum.At(i) != w {
+			t.Fatalf("Add at %d = %v, want %v", i, sum.At(i), w)
+		}
+	}
+	if sum.RunCount() != 2 {
+		t.Fatalf("Add result should stay compressed, RunCount = %d", sum.RunCount())
+	}
+	prod, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProd := []float64{0, 0, 2, 2}
+	for i, w := range wantProd {
+		if prod.At(i) != w {
+			t.Fatalf("Mul at %d = %v, want %v", i, prod.At(i), w)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := FromDense([]float64{1, 2, 2})
+	v.Scale(2)
+	if v.At(0) != 2 || v.At(1) != 4 || v.At(2) != 4 {
+		t.Fatalf("Scale wrong: %v", v.Dense())
+	}
+	v.Scale(0)
+	if v.RunCount() != 1 || v.Sum() != 0 {
+		t.Fatalf("Scale(0) should collapse to one zero run: %d runs", v.RunCount())
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := FromDense([]float64{3, 0, -4})
+	if got := v.Norm2(); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Fatalf("Norm1 = %v", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromDense([]float64{1, 1})
+	b := FromDense([]float64{1, 2})
+	a.Concat(b)
+	want := []float64{1, 1, 1, 2}
+	for i, w := range want {
+		if a.At(i) != w {
+			t.Fatalf("Concat at %d = %v", i, a.At(i))
+		}
+	}
+	if a.RunCount() != 2 {
+		t.Fatalf("Concat should merge boundary runs, RunCount = %d", a.RunCount())
+	}
+}
+
+func TestStringParseRoundtrip(t *testing.T) {
+	v := FromDense([]float64{0, 0, 0, 5, 5, 0})
+	s := v.String()
+	if s != "{3,2,1}:{0,5,0}" {
+		t.Fatalf("String = %q", s)
+	}
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != v.Len() {
+		t.Fatalf("Parse length %d != %d", back.Len(), v.Len())
+	}
+	for i := 0; i < v.Len(); i++ {
+		if back.At(i) != v.At(i) {
+			t.Fatalf("Parse mismatch at %d", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "{1}", "{1}:{2,3}", "{a}:{1}", "{0}:{1}", "1,2:3,4", "{1:{2}"}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromDense([]float64{1, 1, 2})
+	b := a.Clone()
+	b.Scale(10)
+	if a.At(0) != 1 {
+		t.Fatal("Clone aliases runs")
+	}
+}
+
+func TestNaNRunsCompress(t *testing.T) {
+	n := math.NaN()
+	v := FromDense([]float64{n, n, n})
+	if v.RunCount() != 1 {
+		t.Fatalf("NaN runs should compress, got %d runs", v.RunCount())
+	}
+	if !math.IsNaN(v.At(1)) {
+		t.Fatal("NaN lost")
+	}
+}
+
+// Property: RLE roundtrip is exact for vectors drawn from a small alphabet
+// (which produces interesting run structure).
+func TestRoundtripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dense := make([]float64, int(n))
+		for i := range dense {
+			dense[i] = float64(rng.Intn(3)) // alphabet {0,1,2} → long runs
+		}
+		v := FromDense(dense)
+		out := v.Dense()
+		if len(out) != len(dense) {
+			return false
+		}
+		for i := range dense {
+			if out[i] != dense[i] {
+				return false
+			}
+		}
+		return v.RunCount() <= len(dense) || len(dense) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sparse Dot equals dense Dot.
+func TestDotEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, int(n))
+		b := make([]float64, int(n))
+		for i := range a {
+			a[i] = float64(rng.Intn(4))
+			b[i] = float64(rng.Intn(4))
+		}
+		got, err := Dot(FromDense(a), FromDense(b))
+		if err != nil {
+			return false
+		}
+		want := array.Dot(a, b)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, int(n))
+		b := make([]float64, int(n))
+		for i := range a {
+			a[i] = float64(rng.Intn(3))
+			b[i] = float64(rng.Intn(3))
+		}
+		ab, err1 := Add(FromDense(a), FromDense(b))
+		ba, err2 := Add(FromDense(b), FromDense(a))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < ab.Len(); i++ {
+			if ab.At(i) != ba.At(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSparseDotRLE(b *testing.B) {
+	// 10k elements, heavily compressed (1% non-zero clusters).
+	dense := make([]float64, 10000)
+	for i := 0; i < len(dense); i += 200 {
+		dense[i] = 1
+	}
+	v := FromDense(dense)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dot(v, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseDotSameData(b *testing.B) {
+	dense := make([]float64, 10000)
+	for i := 0; i < len(dense); i += 200 {
+		dense[i] = 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		array.Dot(dense, dense)
+	}
+}

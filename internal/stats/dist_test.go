@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNormalCDFKnown(t *testing.T) {
+	tests := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{1, 0.8413447461},
+		{-2.5, 0.0062096653},
+	}
+	for _, tc := range tests {
+		if got := NormalCDF(tc.x); !approx(got, tc.want, 1e-9) {
+			t.Fatalf("NormalCDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); !approx(got, p, 1e-10) {
+			t.Fatalf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("quantile at 0/1 should be ±Inf")
+	}
+}
+
+func TestChiSquareCDFKnown(t *testing.T) {
+	// Known: chi2(k=2) CDF at x is 1 - exp(-x/2).
+	for _, x := range []float64{0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquareCDF(x, 2); !approx(got, want, 1e-12) {
+			t.Fatalf("ChiSquareCDF(%v, 2) = %v, want %v", x, got, want)
+		}
+	}
+	// 95th percentile of chi2(1) is 3.841458821.
+	if got := ChiSquareCDF(3.841458821, 1); !approx(got, 0.95, 1e-8) {
+		t.Fatalf("ChiSquareCDF(3.8415,1) = %v", got)
+	}
+	if ChiSquareCDF(-1, 3) != 0 {
+		t.Fatal("negative x should give 0")
+	}
+}
+
+func TestStudentTCDFKnown(t *testing.T) {
+	// t with nu=1 is Cauchy: CDF(x) = 1/2 + atan(x)/π.
+	for _, x := range []float64{-2, -1, 0, 0.5, 3} {
+		want := 0.5 + math.Atan(x)/math.Pi
+		if got := StudentTCDF(x, 1); !approx(got, want, 1e-10) {
+			t.Fatalf("StudentTCDF(%v,1) = %v, want %v", x, got, want)
+		}
+	}
+	// Large nu approaches the normal.
+	if got := StudentTCDF(1.96, 1e6); !approx(got, NormalCDF(1.96), 1e-5) {
+		t.Fatalf("t with huge nu should match normal, got %v", got)
+	}
+	// 97.5th percentile of t(10) is 2.228138852.
+	if got := StudentTCDF(2.228138852, 10); !approx(got, 0.975, 1e-8) {
+		t.Fatalf("StudentTCDF(2.2281,10) = %v", got)
+	}
+}
+
+func TestStudentTPValue(t *testing.T) {
+	// Two-sided p at the 97.5th percentile must be 0.05.
+	if got := StudentTPValue(2.228138852, 10); !approx(got, 0.05, 1e-8) {
+		t.Fatalf("p-value = %v, want 0.05", got)
+	}
+	// Symmetric in t.
+	if got1, got2 := StudentTPValue(1.3, 7), StudentTPValue(-1.3, 7); !approx(got1, got2, 1e-14) {
+		t.Fatalf("p-value not symmetric: %v vs %v", got1, got2)
+	}
+	if got := StudentTPValue(0, 5); !approx(got, 1, 1e-12) {
+		t.Fatalf("p-value at t=0 should be 1, got %v", got)
+	}
+}
+
+func TestFCDFKnown(t *testing.T) {
+	// F(d1=2, d2=2) CDF at x is x/(1+x).
+	for _, x := range []float64{0.5, 1, 2, 10} {
+		want := x / (1 + x)
+		if got := FCDF(x, 2, 2); !approx(got, want, 1e-10) {
+			t.Fatalf("FCDF(%v,2,2) = %v, want %v", x, got, want)
+		}
+	}
+	// 95th percentile of F(5,10) is 3.325835.
+	if got := FCDF(3.325835, 5, 10); !approx(got, 0.95, 1e-6) {
+		t.Fatalf("FCDF(3.3258,5,10) = %v", got)
+	}
+	if got := FPValue(3.325835, 5, 10); !approx(got, 0.05, 1e-6) {
+		t.Fatalf("FPValue = %v", got)
+	}
+}
+
+func TestCDFMonotonicityProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		x, y := math.Mod(math.Abs(a), 10), math.Mod(math.Abs(b), 10)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		return NormalCDF(x) <= NormalCDF(y)+1e-15 &&
+			ChiSquareCDF(x, 3) <= ChiSquareCDF(y, 3)+1e-15 &&
+			StudentTCDF(x, 5) <= StudentTCDF(y, 5)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFRangeProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 100)
+		for _, p := range []float64{NormalCDF(x), StudentTCDF(x, 4), ChiSquareCDF(x, 4), FCDF(x, 3, 7)} {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Variance(xs); !approx(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !approx(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("degenerate inputs should be NaN")
+	}
+}

@@ -1,0 +1,165 @@
+// Package svdmf implements MADlib's "SVD Matrix Factorization" module
+// (Table 1): low-rank factorization of a sparsely observed matrix by
+// incremental gradient descent, the same algorithm MADlib v0.3 shipped
+// under that name (it is not a true singular value decomposition — for
+// that, see internal/matrix.SVD). The optimization runs on the convex-
+// programming framework of internal/sgd, making it also the working
+// "Recommendation" entry of Table 2.
+package svdmf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+	"madlib/internal/sgd"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "svdmf", Title: "SVD Matrix Factorization", Category: core.Unsupervised})
+}
+
+// ErrNoData is returned for empty ratings tables.
+var ErrNoData = errors.New("svdmf: no rating cells")
+
+// Options configure Factorize.
+type Options struct {
+	// Rank is the factorization rank (required).
+	Rank int
+	// Mu is the Frobenius regularization weight (default 1e-4).
+	Mu float64
+	// StepSize is the initial IGD rate (default 0.05).
+	StepSize float64
+	// MaxPasses bounds data passes (default 100).
+	MaxPasses int
+	// Tolerance stops on relative loss stability (default 1e-5).
+	Tolerance float64
+}
+
+// Model is a trained factorization.
+type Model struct {
+	// Rows and Cols are the matrix dimensions inferred from the data.
+	Rows, Cols int
+	// Rank is the factorization rank.
+	Rank int
+	// RMSE is the final root-mean-squared error over observed cells.
+	RMSE float64
+	// Passes is the number of IGD passes run.
+	Passes int
+
+	weights []float64
+	lowRank sgd.LowRank
+}
+
+// Factorize learns factors from a table with (i Int, j Int, v Float)
+// columns naming one observed cell per row.
+func Factorize(db *engine.DB, table *engine.Table, iCol, jCol, vCol string, opts Options) (*Model, error) {
+	if opts.Rank < 1 {
+		return nil, errors.New("svdmf: Rank must be at least 1")
+	}
+	if opts.Mu == 0 {
+		opts.Mu = 1e-4
+	}
+	if opts.StepSize == 0 {
+		opts.StepSize = 0.05
+	}
+	if opts.MaxPasses == 0 {
+		opts.MaxPasses = 100
+	}
+	if opts.Tolerance == 0 {
+		opts.Tolerance = 1e-5
+	}
+	schema := table.Schema()
+	ii, ji, vi := schema.Index(iCol), schema.Index(jCol), schema.Index(vCol)
+	if ii < 0 || ji < 0 || vi < 0 {
+		return nil, fmt.Errorf("%w: %q, %q or %q", engine.ErrNoColumn, iCol, jCol, vCol)
+	}
+	if schema[ii].Kind != engine.Int || schema[ji].Kind != engine.Int || schema[vi].Kind != engine.Float {
+		return nil, errors.New("svdmf: need (Int, Int, Float) columns")
+	}
+	// Probe matrix dimensions with one aggregate.
+	type dims struct{ maxI, maxJ, n int64 }
+	dv, err := db.Run(table, engine.FuncAggregate{
+		InitFn: func() any { return dims{maxI: -1, maxJ: -1} },
+		TransitionFn: func(s any, row engine.Row) any {
+			d := s.(dims)
+			if i := row.Int(ii); i > d.maxI {
+				d.maxI = i
+			}
+			if j := row.Int(ji); j > d.maxJ {
+				d.maxJ = j
+			}
+			d.n++
+			return d
+		},
+		MergeFn: func(a, b any) any {
+			da, db := a.(dims), b.(dims)
+			if db.maxI > da.maxI {
+				da.maxI = db.maxI
+			}
+			if db.maxJ > da.maxJ {
+				da.maxJ = db.maxJ
+			}
+			da.n += db.n
+			return da
+		},
+		FinalFn: func(s any) (any, error) { return s, nil },
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := dv.(dims)
+	if d.n == 0 {
+		return nil, ErrNoData
+	}
+	lr := sgd.LowRank{Rows: int(d.maxI) + 1, Cols: int(d.maxJ) + 1, Rank: opts.Rank, Mu: opts.Mu}
+	res, err := sgd.TrainLowRank(db, table, sgd.ExtractRating(ii, ji, vi), lr, sgd.Options{
+		StepSize:  opts.StepSize,
+		MaxPasses: opts.MaxPasses,
+		Tolerance: opts.Tolerance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Rows: lr.Rows, Cols: lr.Cols, Rank: opts.Rank, Passes: res.Passes, weights: res.Weights, lowRank: lr}
+	// Final RMSE over the observed cells, via one more aggregate.
+	mse, err := sgd.MeanLoss(db, table, sgd.ExtractRating(ii, ji, vi), noRegModel{lr}, res.Weights)
+	if err != nil {
+		return nil, err
+	}
+	m.RMSE = math.Sqrt(mse)
+	return m, nil
+}
+
+// noRegModel evaluates the squared error without the regularization term,
+// so RMSE reflects reconstruction only.
+type noRegModel struct{ lr sgd.LowRank }
+
+func (n noRegModel) Dim() int { return n.lr.Dim() }
+
+func (n noRegModel) LossAndGrad(w []float64, ex any, grad []float64) float64 {
+	r := ex.(sgd.RatingExample)
+	d := n.lr.Predict(w, r.I, r.J) - r.Value
+	return d * d
+}
+
+// Predict returns the reconstructed cell (i, j).
+func (m *Model) Predict(i, j int) (float64, error) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		return 0, fmt.Errorf("svdmf: cell (%d,%d) outside %d×%d", i, j, m.Rows, m.Cols)
+	}
+	return m.lowRank.Predict(m.weights, i, j), nil
+}
+
+// RowFactor returns the learned factor vector for row i.
+func (m *Model) RowFactor(i int) []float64 {
+	return m.weights[i*m.Rank : (i+1)*m.Rank]
+}
+
+// ColFactor returns the learned factor vector for column j.
+func (m *Model) ColFactor(j int) []float64 {
+	off := m.Rows * m.Rank
+	return m.weights[off+j*m.Rank : off+(j+1)*m.Rank]
+}

@@ -1,0 +1,105 @@
+package svdmf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"madlib/internal/datagen"
+	"madlib/internal/engine"
+)
+
+func loadRatings(t *testing.T, db *engine.DB, r *datagen.Ratings) *engine.Table {
+	t.Helper()
+	tbl, err := db.CreateTable("ratings", engine.Schema{
+		{Name: "i", Kind: engine.Int},
+		{Name: "j", Kind: engine.Int},
+		{Name: "v", Kind: engine.Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r.Entries {
+		if err := tbl.Insert(int64(e.I), int64(e.J), e.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestFactorizeLowRankMatrix(t *testing.T) {
+	db := engine.Open(3)
+	ratings := datagen.NewRatings(1, 30, 25, 2, 5000, 0.01)
+	tbl := loadRatings(t, db, ratings)
+	m, err := Factorize(db, tbl, "i", "j", "v", Options{Rank: 2, MaxPasses: 300, Tolerance: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 30 || m.Cols != 25 {
+		t.Fatalf("dims = %d×%d", m.Rows, m.Cols)
+	}
+	if m.RMSE > 0.15 {
+		t.Fatalf("RMSE = %v", m.RMSE)
+	}
+	// Predictions on observed cells should track the data.
+	var worst float64
+	for _, e := range ratings.Entries[:200] {
+		p, err := m.Predict(e.I, e.J)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(p - e.Value); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.0 {
+		t.Fatalf("worst absolute error %v", worst)
+	}
+}
+
+func TestFactorsHaveRequestedRank(t *testing.T) {
+	db := engine.Open(2)
+	ratings := datagen.NewRatings(2, 10, 8, 2, 500, 0.05)
+	tbl := loadRatings(t, db, ratings)
+	m, err := Factorize(db, tbl, "i", "j", "v", Options{Rank: 3, MaxPasses: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.RowFactor(0)) != 3 || len(m.ColFactor(0)) != 3 {
+		t.Fatalf("factor lengths %d, %d", len(m.RowFactor(0)), len(m.ColFactor(0)))
+	}
+}
+
+func TestPredictBounds(t *testing.T) {
+	db := engine.Open(2)
+	ratings := datagen.NewRatings(3, 5, 5, 1, 100, 0.01)
+	tbl := loadRatings(t, db, ratings)
+	m, err := Factorize(db, tbl, "i", "j", "v", Options{Rank: 1, MaxPasses: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(5, 0); err == nil {
+		t.Fatal("out-of-range row should fail")
+	}
+	if _, err := m.Predict(0, -1); err == nil {
+		t.Fatal("out-of-range col should fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := engine.Open(2)
+	tbl, _ := db.CreateTable("r", engine.Schema{
+		{Name: "i", Kind: engine.Int},
+		{Name: "j", Kind: engine.Int},
+		{Name: "v", Kind: engine.Float},
+	})
+	if _, err := Factorize(db, tbl, "i", "j", "v", Options{Rank: 2}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := Factorize(db, tbl, "i", "j", "v", Options{Rank: 0}); err == nil {
+		t.Fatal("Rank=0 should fail")
+	}
+	if _, err := Factorize(db, tbl, "zz", "j", "v", Options{Rank: 1}); err == nil {
+		t.Fatal("missing column should fail")
+	}
+}

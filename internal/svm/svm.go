@@ -1,0 +1,223 @@
+// Package svm implements support vector machines via incremental gradient
+// descent (Table 1), in the three modes MADlib v0.3 shipped: binary
+// classification (hinge loss), regression (ε-insensitive loss), and
+// novelty detection (one-class). Each training pass is one aggregate query
+// with per-segment SGD chains averaged at merge time, the same
+// macro-pattern as logregr's IGD solver.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"madlib/internal/array"
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "svm", Title: "Support Vector Machines", Category: core.Supervised})
+}
+
+// Mode selects the SVM variant.
+type Mode int
+
+const (
+	// Classification trains a binary ±1 classifier with hinge loss.
+	Classification Mode = iota
+	// Regression trains with ε-insensitive loss.
+	Regression
+	// Novelty trains a one-class detector: points scoring below the
+	// learned threshold are novel.
+	Novelty
+)
+
+// ErrNoData is returned when training sees no rows.
+var ErrNoData = errors.New("svm: no training rows")
+
+// Options configure training.
+type Options struct {
+	// Mode selects the variant (default Classification).
+	Mode Mode
+	// Lambda is the L2 regularization strength (default 1e-4).
+	Lambda float64
+	// Epsilon is the regression insensitivity band (default 0.1).
+	Epsilon float64
+	// Nu controls the novelty margin fraction (default 0.1).
+	Nu float64
+	// StepSize is the initial learning rate (default 0.1).
+	StepSize float64
+	// Passes is the number of IGD passes over the data (default 20).
+	Passes int
+}
+
+func (o *Options) defaults() {
+	if o.Lambda == 0 {
+		o.Lambda = 1e-4
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.Nu == 0 {
+		o.Nu = 0.1
+	}
+	if o.StepSize == 0 {
+		o.StepSize = 0.1
+	}
+	if o.Passes == 0 {
+		o.Passes = 20
+	}
+}
+
+// Model is a trained linear SVM.
+type Model struct {
+	// Weights is the weight vector (same width as the feature vectors).
+	Weights []float64
+	// Rho is the novelty-detection offset (Novelty mode only).
+	Rho float64
+	// Mode records the trained variant.
+	Mode Mode
+	// LossHistory is the average loss per pass.
+	LossHistory []float64
+	// NumRows is the number of training rows.
+	NumRows int64
+}
+
+type passState struct {
+	w    []float64
+	rho  float64
+	loss float64
+	n    int64
+}
+
+// Train fits the model. For Classification, yCol must hold ±1 labels; for
+// Regression, real targets; for Novelty, yCol is ignored (may be any Float
+// column).
+func Train(db *engine.DB, table *engine.Table, yCol, xCol string, opts Options) (*Model, error) {
+	opts.defaults()
+	schema := table.Schema()
+	bind, err := core.BindColumns(schema, yCol, xCol)
+	if err != nil {
+		return nil, err
+	}
+	if schema[schema.Index(xCol)].Kind != engine.Vector {
+		return nil, fmt.Errorf("svm: column %q must be %s", xCol, engine.Vector)
+	}
+	if schema[schema.Index(yCol)].Kind != engine.Float {
+		return nil, fmt.Errorf("svm: column %q must be %s", yCol, engine.Float)
+	}
+	// Probe width.
+	k := -1
+	err = db.ForEachSegment(table, func(_ int, row engine.Row) error {
+		if k < 0 {
+			k = len(bind.Bridge(row).Vector(1))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if k < 0 {
+		return nil, ErrNoData
+	}
+	m := &Model{Mode: opts.Mode, Weights: make([]float64, k)}
+	for pass := 1; pass <= opts.Passes; pass++ {
+		alpha := opts.StepSize / math.Sqrt(float64(pass))
+		w0 := array.Clone(m.Weights)
+		rho0 := m.Rho
+		agg := engine.FuncAggregate{
+			InitFn: func() any { return &passState{w: array.Clone(w0), rho: rho0} },
+			TransitionFn: func(s any, row engine.Row) any {
+				st := s.(*passState)
+				args := bind.Bridge(row)
+				y := args.Float(0)
+				x := args.Vector(1)
+				st.n++
+				// L2 shrinkage for all modes.
+				array.Scale(1-alpha*opts.Lambda, st.w)
+				score := array.Dot(st.w, x)
+				switch opts.Mode {
+				case Classification:
+					if margin := y * score; margin < 1 {
+						st.loss += 1 - margin
+						array.Axpy(alpha*y, x, st.w)
+					}
+				case Regression:
+					diff := score - y
+					if diff > opts.Epsilon {
+						st.loss += diff - opts.Epsilon
+						array.Axpy(-alpha, x, st.w)
+					} else if diff < -opts.Epsilon {
+						st.loss += -diff - opts.Epsilon
+						array.Axpy(alpha, x, st.w)
+					}
+				case Novelty:
+					// One-class: maximize margin score ≥ rho while rho
+					// grows; slack when score < rho.
+					if score < st.rho {
+						st.loss += st.rho - score
+						array.Axpy(alpha, x, st.w)
+						st.rho -= alpha * opts.Nu
+					} else {
+						st.rho += alpha * (1 - opts.Nu)
+					}
+				}
+				return st
+			},
+			MergeFn: func(a, b any) any {
+				sa, sb := a.(*passState), b.(*passState)
+				total := sa.n + sb.n
+				if total == 0 {
+					return sa
+				}
+				wa := float64(sa.n) / float64(total)
+				wb := float64(sb.n) / float64(total)
+				for i := range sa.w {
+					sa.w[i] = wa*sa.w[i] + wb*sb.w[i]
+				}
+				sa.rho = wa*sa.rho + wb*sb.rho
+				sa.loss += sb.loss
+				sa.n = total
+				return sa
+			},
+			FinalFn: func(s any) (any, error) { return s, nil },
+		}
+		v, err := db.Run(table, agg)
+		if err != nil {
+			return nil, err
+		}
+		st := v.(*passState)
+		if st.n == 0 {
+			return nil, ErrNoData
+		}
+		m.Weights = st.w
+		m.Rho = st.rho
+		m.NumRows = st.n
+		m.LossHistory = append(m.LossHistory, st.loss/float64(st.n))
+	}
+	return m, nil
+}
+
+// Score returns the raw decision value <w, x> (minus rho in Novelty mode).
+func (m *Model) Score(x []float64) float64 {
+	s := array.Dot(m.Weights, x)
+	if m.Mode == Novelty {
+		return s - m.Rho
+	}
+	return s
+}
+
+// Classify returns ±1 for Classification mode.
+func (m *Model) Classify(x []float64) float64 {
+	if m.Score(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Predict returns the regression estimate <w, x>.
+func (m *Model) Predict(x []float64) float64 { return array.Dot(m.Weights, x) }
+
+// IsNovel reports whether x falls outside the learned one-class region.
+func (m *Model) IsNovel(x []float64) bool { return m.Score(x) < 0 }

@@ -1,0 +1,163 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"madlib/internal/datagen"
+	"madlib/internal/engine"
+)
+
+func TestClassificationSeparable(t *testing.T) {
+	db := engine.Open(4)
+	gen := datagen.NewMargin(1, 4000, 5, 0.5)
+	tbl, err := gen.Load(db, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(db, tbl, "y", "x", Options{Passes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range gen.X {
+		if m.Classify(gen.X[i]) == gen.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(gen.X)); acc < 0.97 {
+		t.Fatalf("training accuracy = %v", acc)
+	}
+	// Loss should fall substantially from the first pass.
+	first, last := m.LossHistory[0], m.LossHistory[len(m.LossHistory)-1]
+	if last > first/2 {
+		t.Fatalf("loss did not fall: first %v last %v", first, last)
+	}
+}
+
+func TestRegressionLinearTarget(t *testing.T) {
+	db := engine.Open(3)
+	tbl, _ := db.CreateTable("d", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	rng := rand.New(rand.NewSource(2))
+	w := []float64{1.5, -2.0, 0.5}
+	var testX [][]float64
+	var testY []float64
+	for i := 0; i < 5000; i++ {
+		x := []float64{1, rng.NormFloat64(), rng.NormFloat64()}
+		y := w[0]*x[0] + w[1]*x[1] + w[2]*x[2]
+		if err := tbl.Insert(y, x); err != nil {
+			t.Fatal(err)
+		}
+		if i < 100 {
+			testX = append(testX, x)
+			testY = append(testY, y)
+		}
+	}
+	m, err := Train(db, tbl, "y", "x", Options{Mode: Regression, Passes: 60, StepSize: 0.05, Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i := range testX {
+		mae += math.Abs(m.Predict(testX[i]) - testY[i])
+	}
+	mae /= float64(len(testX))
+	if mae > 0.25 {
+		t.Fatalf("regression MAE = %v", mae)
+	}
+}
+
+func TestNoveltyDetection(t *testing.T) {
+	db := engine.Open(2)
+	tbl, _ := db.CreateTable("d", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	rng := rand.New(rand.NewSource(3))
+	// Normal data clusters around (5, 5).
+	for i := 0; i < 3000; i++ {
+		x := []float64{5 + rng.NormFloat64()*0.3, 5 + rng.NormFloat64()*0.3}
+		if err := tbl.Insert(0.0, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := Train(db, tbl, "y", "x", Options{Mode: Novelty, Passes: 40, Nu: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-distribution points should mostly be accepted; the far-away
+	// opposite-direction point must be novel.
+	accepted := 0
+	for i := 0; i < 200; i++ {
+		x := []float64{5 + rng.NormFloat64()*0.3, 5 + rng.NormFloat64()*0.3}
+		if !m.IsNovel(x) {
+			accepted++
+		}
+	}
+	if accepted < 150 {
+		t.Fatalf("only %d/200 normal points accepted", accepted)
+	}
+	if !m.IsNovel([]float64{-5, -5}) {
+		t.Fatal("distant point not flagged as novel")
+	}
+}
+
+func TestSegmentInvarianceIsApproximate(t *testing.T) {
+	// IGD chains differ across segmentations, but both models should
+	// classify the same; this documents the intended approximation.
+	gen := datagen.NewMargin(4, 2000, 4, 0.6)
+	var models []*Model
+	for _, segs := range []int{1, 8} {
+		db := engine.Open(segs)
+		tbl, _ := gen.Load(db, "d")
+		m, err := Train(db, tbl, "y", "x", Options{Passes: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	agree := 0
+	for i := range gen.X {
+		if models[0].Classify(gen.X[i]) == models[1].Classify(gen.X[i]) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(gen.X)); frac < 0.95 {
+		t.Fatalf("models agree on only %v of points", frac)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := engine.Open(2)
+	empty, _ := db.CreateTable("e", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	if _, err := Train(db, empty, "y", "x", Options{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+	if _, err := Train(db, empty, "zz", "x", Options{}); err == nil {
+		t.Fatal("missing column should fail")
+	}
+	if _, err := Train(db, empty, "x", "y", Options{}); err == nil {
+		t.Fatal("swapped kinds should fail")
+	}
+}
+
+func BenchmarkClassificationPass(b *testing.B) {
+	db := engine.Open(4)
+	gen := datagen.NewMargin(5, 10000, 8, 0.5)
+	tbl, _ := gen.Load(db, "d")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(db, tbl, "y", "x", Options{Passes: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package text provides the text-processing primitives of §5.2 and
+// Table 3's "Approximate String Matching" column: tokenization, q-gram
+// extraction in the style of PostgreSQL's pg_trgm (which the paper's
+// entity-resolution work used), an inverted trigram index, and
+// similarity-thresholded approximate matching, plus Levenshtein distance
+// as the exact reference.
+package text
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"madlib/internal/core"
+)
+
+func init() {
+	core.RegisterMethod(core.MethodInfo{Name: "approx_match", Title: "Approximate String Matching", Category: core.Supervised})
+}
+
+// Tokenize splits text into lowercase word tokens (letters and digits;
+// everything else separates).
+func Tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// QGrams returns the distinct q-grams of s after pg_trgm-style
+// normalization: lowercase, non-alphanumerics collapsed to single spaces,
+// the whole string padded with q-1 leading spaces and one trailing space.
+// "Tim Tebow" with q=3 yields grams like "  t", " ti", "tim", "im ", …
+func QGrams(s string, q int) []string {
+	if q < 1 {
+		return nil
+	}
+	norm := normalize(s)
+	if norm == "" {
+		return nil
+	}
+	padded := strings.Repeat(" ", q-1) + norm + " "
+	seen := map[string]bool{}
+	var out []string
+	runes := []rune(padded)
+	for i := 0; i+q <= len(runes); i++ {
+		g := string(runes[i : i+q])
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trigrams is QGrams with q = 3, the pg_trgm default.
+func Trigrams(s string) []string { return QGrams(s, 3) }
+
+func normalize(s string) string {
+	var b strings.Builder
+	space := true // swallow leading separators
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+			space = false
+		} else if !space {
+			b.WriteRune(' ')
+			space = true
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Similarity returns the pg_trgm similarity of two strings: the Jaccard
+// coefficient of their trigram sets.
+func Similarity(a, b string) float64 {
+	ga, gb := Trigrams(a), Trigrams(b)
+	return jaccard(ga, gb)
+}
+
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Match is one approximate-match result.
+type Match struct {
+	// ID is the document id supplied at insertion.
+	ID int
+	// Text is the stored document.
+	Text string
+	// Similarity is the trigram Jaccard similarity with the query.
+	Similarity float64
+}
+
+// Index is an inverted trigram index over a corpus of short strings — the
+// analogue of a pg_trgm GIN index, used by the paper's entity-resolution
+// UDF ("using the 3-gram index, we created an approximate matching UDF
+// that takes in a query string and returns all documents in the corpus
+// that contain at least one approximate match").
+type Index struct {
+	docs     map[int]string
+	docGrams map[int][]string
+	postings map[string][]int
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{docs: map[int]string{}, docGrams: map[int][]string{}, postings: map[string][]int{}}
+}
+
+// Add indexes a document under id, replacing any previous text for it.
+func (ix *Index) Add(id int, text string) {
+	if _, exists := ix.docs[id]; exists {
+		ix.remove(id)
+	}
+	grams := Trigrams(text)
+	ix.docs[id] = text
+	ix.docGrams[id] = grams
+	for _, g := range grams {
+		ix.postings[g] = append(ix.postings[g], id)
+	}
+}
+
+func (ix *Index) remove(id int) {
+	for _, g := range ix.docGrams[id] {
+		list := ix.postings[g]
+		for i, d := range list {
+			if d == id {
+				ix.postings[g] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(ix.docs, id)
+	delete(ix.docGrams, id)
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// Search returns all documents with trigram similarity ≥ threshold,
+// best first. Candidates come from the postings lists (documents sharing
+// no trigram with the query can never match), then exact similarity is
+// computed per candidate.
+func (ix *Index) Search(query string, threshold float64) []Match {
+	qGrams := Trigrams(query)
+	candCounts := map[int]int{}
+	for _, g := range qGrams {
+		for _, id := range ix.postings[g] {
+			candCounts[id]++
+		}
+	}
+	var out []Match
+	for id, shared := range candCounts {
+		dGrams := ix.docGrams[id]
+		union := len(qGrams) + len(dGrams) - shared
+		if union <= 0 {
+			continue
+		}
+		sim := float64(shared) / float64(union)
+		if sim >= threshold {
+			out = append(out, Match{ID: id, Text: ix.docs[id], Similarity: sim})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Levenshtein returns the edit distance between a and b (unit costs), the
+// exact reference the trigram matcher approximates.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}

@@ -1,0 +1,173 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+
+	"madlib/internal/datagen"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The quick-brown fox, 2 jumps!")
+	want := []string{"the", "quick", "brown", "fox", "2", "jumps"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if Tokenize("") != nil {
+		t.Fatal("empty string should yield nil")
+	}
+}
+
+func TestTrigramsPaperExample(t *testing.T) {
+	// §5.2: "Given a string 'Tim Tebow' we can create a 3-gram by using a
+	// sliding window of 3 characters."
+	grams := Trigrams("Tim Tebow")
+	set := map[string]bool{}
+	for _, g := range grams {
+		set[g] = true
+	}
+	for _, want := range []string{"tim", "teb", "ebo", "bow", "  t", " ti"} {
+		if !set[want] {
+			t.Fatalf("missing trigram %q in %v", want, grams)
+		}
+	}
+}
+
+func TestQGramsEdgeCases(t *testing.T) {
+	if QGrams("", 3) != nil {
+		t.Fatal("empty input should yield nil")
+	}
+	if QGrams("abc", 0) != nil {
+		t.Fatal("q=0 should yield nil")
+	}
+	// Single char with q=3: padded to "  a " → grams "  a", " a ".
+	grams := QGrams("a", 3)
+	if len(grams) != 2 {
+		t.Fatalf("QGrams(a) = %v", grams)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity("hello", "hello"); s != 1 {
+		t.Fatalf("self similarity = %v", s)
+	}
+	if s := Similarity("hello", "xyzzy"); s != 0 {
+		t.Fatalf("disjoint similarity = %v", s)
+	}
+	s1 := Similarity("Tim Tebow", "Tim Tebo")
+	s2 := Similarity("Tim Tebow", "Jim Beam")
+	if s1 <= s2 {
+		t.Fatalf("near-duplicate %v should beat far string %v", s1, s2)
+	}
+	if s1 < 0.5 {
+		t.Fatalf("near-duplicate similarity only %v", s1)
+	}
+}
+
+func TestIndexSearch(t *testing.T) {
+	ix := NewIndex()
+	names, mentions := datagen.Names(1, 10)
+	for i, n := range names {
+		ix.Add(i, n)
+	}
+	if ix.Len() != len(names) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	// Every one-edit mention should retrieve its canonical name as the
+	// best match above a moderate threshold.
+	misses := 0
+	for mi, mention := range mentions {
+		truth := mi / 10 // datagen.Names emits 10 variants per canonical
+		res := ix.Search(mention, 0.4)
+		if len(res) == 0 || res[0].ID != truth {
+			misses++
+		}
+	}
+	if misses > len(mentions)/10 {
+		t.Fatalf("%d/%d mentions failed to match", misses, len(mentions))
+	}
+	// An unrelated query must not match anything.
+	if res := ix.Search("zzzzqqqq", 0.2); len(res) != 0 {
+		t.Fatalf("unrelated query matched %v", res)
+	}
+}
+
+func TestIndexReplace(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, "alpha")
+	ix.Add(1, "omega")
+	res := ix.Search("alpha", 0.5)
+	if len(res) != 0 {
+		t.Fatalf("stale document still indexed: %v", res)
+	}
+	res = ix.Search("omega", 0.5)
+	if len(res) != 1 || res[0].ID != 1 {
+		t.Fatalf("replacement not indexed: %v", res)
+	}
+}
+
+func TestLevenshteinKnown(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "ab", 2},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	}
+	for _, tc := range tests {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Fatalf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	// Symmetry and identity-of-indiscernibles on short random strings.
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		d1, d2 := Levenshtein(a, b), Levenshtein(b, a)
+		if d1 != d2 {
+			return false
+		}
+		return (d1 == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilaritySymmetricProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		return Similarity(a, b) == Similarity(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIndexSearch(b *testing.B) {
+	ix := NewIndex()
+	names, mentions := datagen.Names(2, 50)
+	for i, n := range names {
+		ix.Add(i, n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(mentions[i%len(mentions)], 0.4)
+	}
+}

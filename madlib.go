@@ -1,0 +1,462 @@
+// Package madlib is a Go reproduction of the MADlib in-database analytics
+// library ("The MADlib Analytics Library, or MAD Skills, the SQL",
+// Hellerstein et al., PVLDB 5(12), 2012): a suite of SQL-style machine
+// learning, data mining and statistics methods that execute as parallel
+// user-defined aggregates inside a shared-nothing database engine.
+//
+// The engine itself (internal/engine) is part of the reproduction: tables
+// are partitioned across N segments and every method runs as
+// transition/merge/final aggregation plus, for iterative methods, a
+// driver-function loop staging state through temp tables (paper §3).
+//
+// Quick start:
+//
+//	db := madlib.Open(madlib.Config{Segments: 4})
+//	data, _ := db.CreateTable("data", madlib.Schema{
+//		{Name: "y", Kind: madlib.Float},
+//		{Name: "x", Kind: madlib.Vector},
+//	})
+//	data.Insert(1.14, []float64{1, 0.22})
+//	// ... more rows ...
+//	res, _ := db.LinRegr("data", "y", "x")
+//	fmt.Println(res) // coef, r2, std_err, t_stats, p_values, condition_no
+package madlib
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"madlib/internal/assoc"
+	"madlib/internal/bayes"
+	"madlib/internal/bootstrap"
+	"madlib/internal/core"
+	"madlib/internal/crf"
+	"madlib/internal/dtree"
+	"madlib/internal/engine"
+	"madlib/internal/kmeans"
+	"madlib/internal/lda"
+	"madlib/internal/linregr"
+	"madlib/internal/logregr"
+	"madlib/internal/matrix"
+	"madlib/internal/optim"
+	"madlib/internal/profile"
+	"madlib/internal/quantile"
+	"madlib/internal/sketch"
+	"madlib/internal/sparse"
+	"madlib/internal/svdmf"
+	"madlib/internal/svm"
+	"madlib/internal/text"
+)
+
+// Re-exported engine types: the schema vocabulary users need to create and
+// fill tables.
+type (
+	// Table is a segment-partitioned relation.
+	Table = engine.Table
+	// Schema is an ordered column list.
+	Schema = engine.Schema
+	// Column is one (name, kind) schema entry.
+	Column = engine.Column
+	// Kind is a column type.
+	Kind = engine.Kind
+	// Row is a scan cursor handed to user predicates.
+	Row = engine.Row
+)
+
+// Column kinds.
+const (
+	Float  = engine.Float
+	Vector = engine.Vector
+	Int    = engine.Int
+	String = engine.String
+	Bool   = engine.Bool
+)
+
+// Re-exported method option/result types.
+type (
+	// LinRegrResult is the linear-regression inference record.
+	LinRegrResult = linregr.Result
+	// LinRegrVersion selects a historical linregr implementation.
+	LinRegrVersion = linregr.Version
+	// LogRegrOptions configure logistic regression.
+	LogRegrOptions = logregr.Options
+	// LogRegrResult is the logistic-regression output.
+	LogRegrResult = logregr.Result
+	// KMeansOptions configure k-means.
+	KMeansOptions = kmeans.Options
+	// KMeansResult is the clustering output.
+	KMeansResult = kmeans.Result
+	// BayesOptions configure naive Bayes.
+	BayesOptions = bayes.Options
+	// BayesModel is a trained naive Bayes classifier.
+	BayesModel = bayes.Model
+	// TreeOptions configure C4.5.
+	TreeOptions = dtree.Options
+	// TreeModel is a trained decision tree.
+	TreeModel = dtree.Model
+	// SVMOptions configure SVM training.
+	SVMOptions = svm.Options
+	// SVMModel is a trained SVM.
+	SVMModel = svm.Model
+	// SVDMFOptions configure low-rank factorization.
+	SVDMFOptions = svdmf.Options
+	// SVDMFModel is a trained factorization.
+	SVDMFModel = svdmf.Model
+	// LDAOptions configure LDA.
+	LDAOptions = lda.Options
+	// LDAModel is a trained topic model.
+	LDAModel = lda.Model
+	// AssocOptions configure association-rule mining.
+	AssocOptions = assoc.Options
+	// AssocResult holds frequent itemsets and rules.
+	AssocResult = assoc.Result
+	// TableProfile is the data-profiling output.
+	TableProfile = profile.TableProfile
+	// CRFTrainOptions configure CRF training.
+	CRFTrainOptions = crf.TrainOptions
+	// CRFModel is a trained linear-chain CRF.
+	CRFModel = crf.Model
+	// CRFSentence is a labelled token sequence.
+	CRFSentence = crf.Sentence
+	// CRFMCMCOptions configure the CRF MCMC samplers.
+	CRFMCMCOptions = crf.MCMCOptions
+	// CRFToken is one labelled token.
+	CRFToken = crf.Token
+	// TrigramIndex is an inverted trigram index for approximate matching.
+	TrigramIndex = text.Index
+	// MethodInfo describes one registered method (the Table-1 inventory).
+	MethodInfo = core.MethodInfo
+)
+
+// Linear-regression versions (§4.4 performance study).
+const (
+	V03      = linregr.V03
+	V01Alpha = linregr.V01Alpha
+	V021Beta = linregr.V021Beta
+)
+
+// Logistic-regression solvers.
+const (
+	IRLS = logregr.IRLS
+	CG   = logregr.CG
+	IGD  = logregr.IGD
+)
+
+// KMeansPattern selects the §4.3 macro-programming pattern.
+type KMeansPattern = kmeans.Pattern
+
+// k-means macro-programming patterns.
+const (
+	UDAOnly         = kmeans.UDAOnly
+	AssignmentTable = kmeans.AssignmentTable
+)
+
+// KMeansSeeding selects the centroid initialization.
+type KMeansSeeding = kmeans.Seeding
+
+// k-means seeding strategies.
+const (
+	PlusPlus = kmeans.PlusPlus
+	Random   = kmeans.Random
+)
+
+// SVMMode selects the SVM variant.
+type SVMMode = svm.Mode
+
+// SVM variants.
+const (
+	SVMClassification = svm.Classification
+	SVMRegression     = svm.Regression
+	SVMNovelty        = svm.Novelty
+)
+
+// Config configures a database instance.
+type Config struct {
+	// Segments is the shared-nothing parallelism degree (default 4).
+	Segments int
+}
+
+// DB is the library handle: a parallel database instance plus the method
+// suite.
+type DB struct {
+	eng *engine.DB
+}
+
+// Open creates a database with cfg.Segments segments.
+func Open(cfg Config) *DB {
+	if cfg.Segments == 0 {
+		cfg.Segments = 4
+	}
+	return &DB{eng: engine.Open(cfg.Segments)}
+}
+
+// Engine exposes the underlying engine for advanced use (instrumented
+// queries, custom aggregates).
+func (db *DB) Engine() *engine.DB { return db.eng }
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	return db.eng.CreateTable(name, schema)
+}
+
+// Table looks up a table by name.
+func (db *DB) Table(name string) (*Table, error) { return db.eng.Table(name) }
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string) error { return db.eng.DropTable(name) }
+
+// Methods returns the registered method inventory — the programmatic
+// Table 1 of the paper.
+func Methods() []MethodInfo { return core.Methods() }
+
+// table resolves a table name, so facade calls read like the SQL they
+// stand in for: SELECT (linregr(y, x)).* FROM data.
+func (db *DB) table(name string) (*Table, error) { return db.eng.Table(name) }
+
+// LinRegr runs ordinary-least-squares linear regression:
+// SELECT (linregr(yCol, xCol)).* FROM table (§4.1).
+func (db *DB) LinRegr(table, yCol, xCol string) (*LinRegrResult, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return linregr.Run(db.eng, t, yCol, xCol)
+}
+
+// LinRegrWithVersion runs a specific historical implementation (§4.4).
+func (db *DB) LinRegrWithVersion(table, yCol, xCol string, v LinRegrVersion) (*LinRegrResult, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return linregr.Run(db.eng, t, yCol, xCol, linregr.WithVersion(v))
+}
+
+// LinRegrGroupBy runs one regression per group key.
+func (db *DB) LinRegrGroupBy(table, yCol, xCol string, key func(Row) string) (map[string]*LinRegrResult, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return linregr.RunGroupBy(db.eng, t, yCol, xCol, key)
+}
+
+// LogRegr fits binary logistic regression with a driver-function loop:
+// SELECT * FROM logregr('y', 'x', 'table') (§4.2).
+func (db *DB) LogRegr(table, yCol, xCol string, opts LogRegrOptions) (*LogRegrResult, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return logregr.Run(db.eng, t, yCol, xCol, opts)
+}
+
+// LogRegrPerGroup fits one logistic regression per group key via the
+// §4.2.1 join-construct pattern (logregr is a driver function, not an
+// aggregate, so it cannot compose with GROUP BY the way LinRegrGroupBy
+// does).
+func (db *DB) LogRegrPerGroup(table, yCol, xCol string, key func(Row) string, opts LogRegrOptions) (map[string]*LogRegrResult, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return logregr.RunPerGroup(db.eng, t, yCol, xCol, key, opts)
+}
+
+// KMeans clusters the points of a Vector column (§4.3).
+func (db *DB) KMeans(table, coordsCol string, opts KMeansOptions) (*KMeansResult, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return kmeans.Run(db.eng, t, coordsCol, opts)
+}
+
+// NaiveBayes trains a categorical naive Bayes classifier.
+func (db *DB) NaiveBayes(table, classCol, attrsCol string, opts BayesOptions) (*BayesModel, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return bayes.Train(db.eng, t, classCol, attrsCol, opts)
+}
+
+// C45 trains a C4.5 decision tree.
+func (db *DB) C45(table, classCol, featuresCol string, opts TreeOptions) (*TreeModel, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return dtree.Train(db.eng, t, classCol, featuresCol, opts)
+}
+
+// SVM trains a support vector machine (classification, regression, or
+// novelty detection per opts.Mode).
+func (db *DB) SVM(table, yCol, xCol string, opts SVMOptions) (*SVMModel, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return svm.Train(db.eng, t, yCol, xCol, opts)
+}
+
+// SVDMF factorizes a sparsely observed matrix by incremental gradient.
+func (db *DB) SVDMF(table, iCol, jCol, vCol string, opts SVDMFOptions) (*SVDMFModel, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return svdmf.Factorize(db.eng, t, iCol, jCol, vCol, opts)
+}
+
+// LDA trains a topic model over a (doc Int, word Int) table.
+func (db *DB) LDA(table, docCol, wordCol string, opts LDAOptions) (*LDAModel, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return lda.TrainTable(db.eng, t, docCol, wordCol, opts)
+}
+
+// AssocRules mines association rules from a (basket Int, item String)
+// table.
+func (db *DB) AssocRules(table, basketCol, itemCol string, opts AssocOptions) (*AssocResult, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return assoc.MineTable(db.eng, t, basketCol, itemCol, opts)
+}
+
+// Profile produces per-column univariate summaries of an arbitrary table
+// via templated queries (§3.1.3).
+func (db *DB) Profile(table string) (*TableProfile, error) {
+	return profile.Run(db.eng, table)
+}
+
+// Quantile returns the exact φ-quantile of a Float column.
+func (db *DB) Quantile(table, col string, phi float64) (float64, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	ci := t.Schema().Index(col)
+	if ci < 0 {
+		return 0, engine.ErrNoColumn
+	}
+	v, err := db.eng.Run(t, quantile.ExactAggregate(ci, []float64{phi}))
+	if err != nil {
+		return 0, err
+	}
+	return v.([]float64)[0], nil
+}
+
+// ApproxQuantiles returns GK ε-approximate quantiles of a Float column.
+func (db *DB) ApproxQuantiles(table, col string, eps float64, phis []float64) ([]float64, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	ci := t.Schema().Index(col)
+	if ci < 0 {
+		return nil, engine.ErrNoColumn
+	}
+	v, err := db.eng.Run(t, quantile.GKAggregate(ci, eps, phis))
+	if err != nil {
+		return nil, err
+	}
+	return v.([]float64), nil
+}
+
+// CountMinSketch builds a Count-Min sketch over an Int column.
+func (db *DB) CountMinSketch(table, col string, epsilon, delta float64) (*sketch.CountMin, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	ci := t.Schema().Index(col)
+	if ci < 0 {
+		return nil, engine.ErrNoColumn
+	}
+	if _, err := sketch.NewCountMin(epsilon, delta); err != nil {
+		return nil, err // validate before running the aggregate
+	}
+	v, err := db.eng.Run(t, sketch.CountMinAggregate(ci, epsilon, delta))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sketch.CountMin), nil
+}
+
+// DistinctCount estimates a column's distinct values with an FM sketch.
+func (db *DB) DistinctCount(table, col string) (int64, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	ci := t.Schema().Index(col)
+	if ci < 0 {
+		return 0, engine.ErrNoColumn
+	}
+	v, err := db.eng.Run(t, sketch.FMAggregate(ci, t.Schema()[ci].Kind))
+	if err != nil {
+		return 0, err
+	}
+	return v.(int64), nil
+}
+
+// CRFTrain fits a linear-chain CRF from an in-memory labelled corpus
+// (§5.2), staging it through the engine.
+func (db *DB) CRFTrain(corpus []CRFSentence, opts CRFTrainOptions) (*CRFModel, error) {
+	name := fmt.Sprintf("crf_corpus_%d", crfCorpusSeq.Add(1))
+	t, err := crf.LoadCorpus(db.eng, name, corpus)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = db.eng.DropTable(t.Name()) }()
+	return crf.TrainTable(db.eng, t, "words", "tags", opts)
+}
+
+var crfCorpusSeq atomic.Int64
+
+// NewTrigramIndex returns an empty approximate-string-matching index.
+func NewTrigramIndex() *TrigramIndex { return text.NewIndex() }
+
+// Similarity returns the trigram similarity of two strings.
+func Similarity(a, b string) float64 { return text.Similarity(a, b) }
+
+// BootstrapOptions configure bootstrap resampling.
+type BootstrapOptions = bootstrap.Options
+
+// BootstrapResult summarizes a bootstrap distribution.
+type BootstrapResult = bootstrap.Result
+
+// Bootstrap runs m-of-n bootstrap resampling of an arbitrary scalar
+// aggregate over a table, using the §3.1.2 counted-iteration pattern.
+func (db *DB) Bootstrap(table string, agg engine.Aggregate, opts BootstrapOptions) (*BootstrapResult, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return bootstrap.Run(db.eng, t, agg, opts)
+}
+
+// SparseVector is the run-length-encoded vector of the "Sparse Vectors"
+// support module (§3.2).
+type SparseVector = sparse.Vector
+
+// NewSparseVector builds an RLE vector from a dense slice.
+func NewSparseVector(dense []float64) *SparseVector { return sparse.FromDense(dense) }
+
+// ParseSparseVector parses MADlib svec notation, e.g. "{3,2,1}:{0,5,0}".
+func ParseSparseVector(s string) (*SparseVector, error) { return sparse.Parse(s) }
+
+// Matrix is the dense matrix type used by final functions.
+type Matrix = matrix.Matrix
+
+// SolveConjugateGradient solves the SPD system A·x = b with the Conjugate
+// Gradient support module.
+func SolveConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]float64, error) {
+	x, _, err := optim.SolveCGMatrix(a, b, tol, maxIter)
+	return x, err
+}
