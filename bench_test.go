@@ -25,6 +25,7 @@ import (
 	"madlib/internal/kmeans"
 	"madlib/internal/linregr"
 	"madlib/internal/sgd"
+	sqlfe "madlib/internal/sql"
 	"madlib/internal/text"
 )
 
@@ -417,4 +418,81 @@ func BenchmarkAblationSGDAveraging(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSQLSelectAgg measures the SQL front-end's parse+plan+execute
+// overhead for a grouped filtered aggregate against the same query issued
+// directly through the engine API. The delta is the declarative-surface
+// tax the paper's §4.4(a) overhead study asks about.
+func BenchmarkSQLSelectAgg(b *testing.B) {
+	db := engine.Open(4)
+	tbl, err := db.CreateTable("t", engine.Schema{
+		{Name: "g", Kind: engine.Int}, {Name: "v", Kind: engine.Float},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchRows; i++ {
+		if err := tbl.Insert(int64(i%16), float64(i%1000)/1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const query = `SELECT g, avg(v), count(*) FROM t WHERE v > 0.25 GROUP BY g`
+	sess := sqlfe.NewSession(db)
+
+	b.Run("SQL", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 16 {
+				b.Fatalf("groups = %d", len(res.Rows))
+			}
+		}
+	})
+	b.Run("ParseOnly", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sqlfe.Parse(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("EngineDirect", func(b *testing.B) {
+		b.ReportAllocs()
+		type acc struct {
+			n   int64
+			sum float64
+		}
+		agg := engine.FuncAggregate{
+			InitFn: func() any { return &acc{} },
+			TransitionFn: func(s any, row engine.Row) any {
+				a := s.(*acc)
+				a.n++
+				a.sum += row.Float(1)
+				return a
+			},
+			MergeFn: func(x, y any) any {
+				a, c := x.(*acc), y.(*acc)
+				a.n += c.n
+				a.sum += c.sum
+				return a
+			},
+			FinalFn: func(s any) (any, error) { return s, nil },
+		}
+		for i := 0; i < b.N; i++ {
+			groups, err := db.RunGroupByFiltered(tbl,
+				func(row engine.Row) bool { return row.Float(1) > 0.25 },
+				func(row engine.Row) string { return fmt.Sprintf("%d", row.Int(0)) },
+				agg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(groups) != 16 {
+				b.Fatalf("groups = %d", len(groups))
+			}
+		}
+	})
 }

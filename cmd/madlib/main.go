@@ -1,7 +1,17 @@
-// Command madlib runs library methods over CSV files — the closest
-// command-line analogue of MADlib's psql session in §4.1.
+// Command madlib is the command-line surface of the library. Its primary
+// entry point is the SQL shell — the direct analogue of the paper's §4.1
+// psql session:
 //
-// Usage:
+//	madlib sql                          # interactive REPL (\? for help)
+//	madlib sql -e "SELECT 1 + 2"        # run statements and exit
+//	madlib sql -f session.sql           # run a script and exit
+//	madlib sql -in data.csv -e "SELECT (madlib.linregr(y, x)).* FROM data"
+//
+// The shell supports CREATE TABLE / INSERT / DROP TABLE / SELECT with
+// WHERE, GROUP BY, ORDER BY, LIMIT, two-phase aggregates and the whole
+// madlib.* method namespace (see internal/sql for the grammar).
+//
+// The remaining subcommands run a single method over a CSV file:
 //
 //	madlib linregr    -in data.csv -label y -features x0,x1,x2
 //	madlib logregr    -in clicks.csv -label y -features x0,x1 -solver irls
@@ -33,6 +43,9 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "sql" {
+		os.Exit(runSQL(os.Args[2:], os.Stdin, os.Stdout, os.Stderr))
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	in := fs.String("in", "", "input CSV file (required)")
 	label := fs.String("label", "", "label/target column")
@@ -152,7 +165,9 @@ func main() {
 		if err := loadGeneric(db, header, records); err != nil {
 			fatal(err)
 		}
-		q, err := db.Quantile("data", *col, *phi)
+		// loadGeneric folds header names to lowercase (SQL identifier
+		// semantics), so fold the lookup too.
+		q, err := db.Quantile("data", strings.ToLower(*col), *phi)
 		if err != nil {
 			fatal(err)
 		}
@@ -164,7 +179,7 @@ func main() {
 		if err := loadGeneric(db, header, records); err != nil {
 			fatal(err)
 		}
-		n, err := db.DistinctCount("data", *col)
+		n, err := db.DistinctCount("data", strings.ToLower(*col))
 		if err != nil {
 			fatal(err)
 		}
@@ -193,7 +208,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: madlib <linregr|logregr|kmeans|naivebayes|c45|svm|profile|quantile|distinct|assoc> -in file.csv [flags]")
+	fmt.Fprintln(os.Stderr, `usage:
+  madlib sql [-e "stmts" | -f script.sql] [-in file.csv [-table name]] [-segments n]
+      SQL shell over the parallel engine (interactive REPL when no -e/-f);
+      supports CREATE TABLE, INSERT, SELECT with aggregates/GROUP BY, and
+      the madlib.* function namespace, e.g.
+        SELECT (madlib.linregr(y, x)).* FROM data;
+  madlib <linregr|logregr|kmeans|naivebayes|c45|svm|profile|quantile|distinct|assoc> -in file.csv [flags]
+      run one method directly over a CSV file`)
 	os.Exit(2)
 }
 
@@ -341,6 +363,12 @@ func loadClassed(db *madlib.DB, header []string, records [][]string, label, feat
 // loadGeneric builds table data with per-column inferred kinds: Float if
 // every value parses as a number, else String.
 func loadGeneric(db *madlib.DB, header []string, records [][]string) error {
+	return loadGenericNamed(db, "data", header, records)
+}
+
+// loadGenericNamed is loadGeneric into an arbitrarily named table (the
+// sql subcommand's -table flag).
+func loadGenericNamed(db *madlib.DB, name string, header []string, records [][]string) error {
 	numeric := make([]bool, len(header))
 	for j := range header {
 		numeric[j] = len(records) > 0
@@ -352,14 +380,16 @@ func loadGeneric(db *madlib.DB, header []string, records [][]string) error {
 		}
 	}
 	schema := make(madlib.Schema, len(header))
-	for j, name := range header {
+	for j, col := range header {
 		kind := madlib.String
 		if numeric[j] {
 			kind = madlib.Float
 		}
-		schema[j] = madlib.Column{Name: name, Kind: kind}
+		// SQL folds unquoted identifiers to lowercase, so fold header
+		// names too or mixed-case CSV columns become unreachable.
+		schema[j] = madlib.Column{Name: strings.ToLower(col), Kind: kind}
 	}
-	t, err := db.CreateTable("data", schema)
+	t, err := db.CreateTable(name, schema)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSQLTest drives the sql subcommand the way main() does, capturing
+// stdout/stderr and the exit code.
+func runSQLTest(t *testing.T, stdin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = runSQL(args, strings.NewReader(stdin), &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestSQLExecMode(t *testing.T) {
+	stdout, stderr, code := runSQLTest(t, "",
+		"-e", `CREATE TABLE t (g text, v float);
+		       INSERT INTO t VALUES ('a', 1), ('a', 3), ('b', 10);
+		       SELECT g, avg(v), count(*) FROM t GROUP BY g;`)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	want := `CREATE TABLE
+INSERT 0 3
+ g | avg | count
+---+-----+-------
+ a |   2 |     2
+ b |  10 |     1
+(2 rows)
+`
+	if stdout != want {
+		t.Fatalf("stdout:\n%s\nwant:\n%s", stdout, want)
+	}
+}
+
+func TestSQLScriptMode(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "session.sql")
+	err := os.WriteFile(script, []byte(`
+-- the paper's SS4.1 shape, scripted
+CREATE TABLE data (y double precision, x double precision[]);
+INSERT INTO data VALUES
+  (2, {1, 0}), (5, {1, 1}), (8, {1, 2}), (11, {1, 3});
+SELECT (madlib.linregr(y, x)).* FROM data;
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runSQLTest(t, "", "-f", script)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	// y = 2 + 3x: the coefficient vector must start {2,2.99...} or {2,3}.
+	if !strings.Contains(stdout, "{2,3") && !strings.Contains(stdout, "{2,2.99") &&
+		!strings.Contains(stdout, "{1.99") {
+		t.Fatalf("stdout missing fitted coefficients:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "coef") || !strings.Contains(stdout, "condition_no") {
+		t.Fatalf("stdout missing linregr columns:\n%s", stdout)
+	}
+}
+
+func TestSQLCSVPreload(t *testing.T) {
+	csv := writeCSV(t, "g,v\na,1\na,3\nb,10\n")
+	stdout, stderr, code := runSQLTest(t, "", "-in", csv, "-table", "obs",
+		"-e", "SELECT g, sum(v) FROM obs GROUP BY g ORDER BY g;")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, " a |   4\n") || !strings.Contains(stdout, " b |  10\n") {
+		t.Fatalf("stdout:\n%s", stdout)
+	}
+}
+
+func TestSQLMadlibFunctionsExecMode(t *testing.T) {
+	// Four distinct madlib.* methods end-to-end through -e, per the
+	// acceptance scenario: linregr, kmeans, quantile, fmcount.
+	stdout, stderr, code := runSQLTest(t, "",
+		"-e", `CREATE TABLE data (y double precision, x double precision[]);
+		       INSERT INTO data VALUES (2, {1, 0}), (5, {1, 1}), (8, {1, 2}), (11, {1, 3});
+		       SELECT (madlib.linregr(y, x)).* FROM data;
+		       CREATE TABLE pts (coords double precision[]);
+		       INSERT INTO pts VALUES ({0,0}), ({0.2,0}), ({0,0.2}), ({9,9}), ({9.2,9}), ({9,9.2});
+		       SELECT madlib.kmeans(coords, 2, 1).* FROM pts ORDER BY centroid_id;
+		       CREATE TABLE m (v double precision);
+		       INSERT INTO m VALUES (1), (2), (3), (4), (5);
+		       SELECT madlib.quantile(v, 0.5) AS median, madlib.fmcount(v) AS distinct_est FROM m;`)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	// linregr on exact data: y = 2 + 3x.
+	if !strings.Contains(stdout, "{2,3") && !strings.Contains(stdout, "{2,2.99") {
+		t.Fatalf("linregr coefficients missing:\n%s", stdout)
+	}
+	// kmeans found both clusters of three points.
+	if !strings.Contains(stdout, "centroid_id") || strings.Count(stdout, "|    3\n") != 2 {
+		t.Fatalf("kmeans output wrong:\n%s", stdout)
+	}
+	// quantile is exact; fmcount is a small-cardinality sketch estimate.
+	if !strings.Contains(stdout, " median | distinct_est") {
+		t.Fatalf("aggregate header missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "      3 |") {
+		t.Fatalf("median missing:\n%s", stdout)
+	}
+}
+
+func TestSQLParseErrorPath(t *testing.T) {
+	stdout, stderr, code := runSQLTest(t, "", "-e", "SELEC 1")
+	if code != 1 {
+		t.Fatalf("exit=%d", code)
+	}
+	if !strings.Contains(stderr, "syntax error") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("stdout should be empty, got %q", stdout)
+	}
+}
+
+func TestSQLUnknownTableErrorPath(t *testing.T) {
+	// The first statement's result still prints before the error.
+	stdout, stderr, code := runSQLTest(t, "",
+		"-e", "CREATE TABLE ok (v float); SELECT * FROM missing;")
+	if code != 1 {
+		t.Fatalf("exit=%d", code)
+	}
+	if !strings.Contains(stdout, "CREATE TABLE") {
+		t.Fatalf("stdout = %q", stdout)
+	}
+	if !strings.Contains(stderr, "no such table") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestSQLTypeMismatchErrorPath(t *testing.T) {
+	_, stderr, code := runSQLTest(t, "",
+		"-e", "CREATE TABLE t (v float); INSERT INTO t VALUES ('nope');")
+	if code != 1 {
+		t.Fatalf("exit=%d", code)
+	}
+	if !strings.Contains(stderr, "does not match column type") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestSQLReplSession(t *testing.T) {
+	stdin := `CREATE TABLE t (v float);
+INSERT INTO t VALUES (1),
+  (2),
+  (3);
+SELECT sum(v)
+  FROM t;
+\d
+\d t
+\timing
+SELECT 1;
+\bogus
+\q
+`
+	stdout, stderr, code := runSQLTest(t, stdin)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	// Multi-line statements execute once terminated with ';'.
+	if !strings.Contains(stdout, "INSERT 0 3") {
+		t.Fatalf("multi-line insert missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, " sum\n-----\n   6\n") {
+		t.Fatalf("sum output missing:\n%s", stdout)
+	}
+	// \d lists tables with row counts; \d t shows the schema.
+	if !strings.Contains(stdout, " t    |    3\n") {
+		t.Fatalf("\\d output missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "double precision") {
+		t.Fatalf("\\d t output missing:\n%s", stdout)
+	}
+	// \timing prints per-statement wall time.
+	if !strings.Contains(stdout, "Timing is on.") || !strings.Contains(stdout, "Time: ") {
+		t.Fatalf("timing output missing:\n%s", stdout)
+	}
+	// Unknown meta-commands report but do not exit.
+	if !strings.Contains(stderr, "invalid command \\bogus") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+	// Continuation prompt appears for incomplete statements.
+	if !strings.Contains(stdout, "madlib-# ") {
+		t.Fatalf("continuation prompt missing:\n%s", stdout)
+	}
+}
+
+func TestSQLReplErrorKeepsGoing(t *testing.T) {
+	stdin := `SELECT * FROM missing;
+SELECT 40 + 2;
+\q
+`
+	stdout, stderr, code := runSQLTest(t, stdin)
+	if code != 0 {
+		t.Fatalf("exit=%d", code)
+	}
+	if !strings.Contains(stderr, "no such table") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+	if !strings.Contains(stdout, "42") {
+		t.Fatalf("later statement did not run:\n%s", stdout)
+	}
+}
+
+func TestSQLDfListsRegistry(t *testing.T) {
+	stdout, _, code := runSQLTest(t, "\\df\n\\q\n")
+	if code != 0 {
+		t.Fatalf("exit=%d", code)
+	}
+	for _, fn := range []string{"madlib.linregr", "madlib.kmeans", "madlib.quantile", "madlib.assoc_rules"} {
+		if !strings.Contains(stdout, fn) {
+			t.Fatalf("\\df missing %s:\n%s", fn, stdout)
+		}
+	}
+}
+
+func TestSQLFlagErrors(t *testing.T) {
+	_, stderr, code := runSQLTest(t, "", "-e", "SELECT 1", "-f", "x.sql")
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	_, _, code = runSQLTest(t, "", "-in", "/does/not/exist.csv", "-e", "SELECT 1")
+	if code != 1 {
+		t.Fatalf("exit=%d", code)
+	}
+}
+
+func TestSplitComplete(t *testing.T) {
+	c, rest := splitComplete("SELECT 1;")
+	if c != "SELECT 1;" || rest != "" {
+		t.Fatalf("c=%q rest=%q", c, rest)
+	}
+	c, rest = splitComplete("SELECT 'a;b'")
+	if c != "" || rest != "SELECT 'a;b'" {
+		t.Fatalf("quoted semicolon split: c=%q rest=%q", c, rest)
+	}
+	c, _ = splitComplete("SELECT 1 -- no; comment\n")
+	if c != "" {
+		t.Fatalf("comment semicolon split: c=%q", c)
+	}
+	c, rest = splitComplete("SELECT 'it''s'; SELECT 2")
+	if c != "SELECT 'it''s';" || rest != " SELECT 2" {
+		t.Fatalf("escape handling: c=%q rest=%q", c, rest)
+	}
+}

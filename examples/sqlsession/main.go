@@ -1,0 +1,93 @@
+// Sqlsession replays the paper's §4.1 walkthrough end-to-end through the
+// SQL front-end — the same statements a MADlib user would type at a psql
+// prompt, executed against the parallel segment engine:
+//
+//	CREATE TABLE data (y double precision, x double precision[]);
+//	INSERT INTO data VALUES ...;
+//	SELECT (madlib.linregr(y, x)).* FROM data;
+//
+// and then continues the session the way §4.2/§4.3 do: logistic
+// regression via a driver function, k-means over a staged filter, and
+// plain SQL aggregation — all declarative, nothing hard-coded.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"strings"
+
+	"madlib"
+)
+
+// run echoes the statement psql-style (eliding bulk INSERT bodies) and
+// prints each result.
+func run(db *madlib.DB, stmt string) {
+	echo := stmt
+	if i := strings.Index(echo, "VALUES"); i >= 0 && len(echo) > i+80 {
+		echo = echo[:i+80] + " ..."
+	}
+	for _, line := range strings.Split(strings.TrimSpace(echo), "\n") {
+		fmt.Println("madlib=# " + strings.TrimSpace(line))
+	}
+	results, err := db.Exec(stmt)
+	for _, r := range results {
+		fmt.Print(r.Format())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+func main() {
+	db := madlib.Open(madlib.Config{Segments: 4})
+	rng := rand.New(rand.NewSource(7))
+
+	// §4.1.1: the linear-regression session. y = 1.73 + 2.24·x + noise,
+	// the ballpark of the paper's example output (coef {1.7307, 2.2428}).
+	run(db, `CREATE TABLE data (y double precision, x double precision[])`)
+	var values []string
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 10
+		y := 1.73 + 2.24*x + rng.NormFloat64()*1.4
+		values = append(values, fmt.Sprintf("(%.6f, {1, %.6f})", y, x))
+	}
+	run(db, "INSERT INTO data VALUES "+strings.Join(values, ", "))
+	run(db, `SELECT (madlib.linregr(y, x)).* FROM data`)
+
+	// §4.2: logistic regression through the IRLS driver loop. Labels are
+	// drawn from a known logit, so the fitted coefficients recover it.
+	run(db, `CREATE TABLE clicks (clicked double precision, feat double precision[])`)
+	var clicks []string
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()*4 - 2
+		p := 1.0 / (1 + math.Exp(-(0.5 + 1.5*x)))
+		label := 0.0
+		if rng.Float64() < p {
+			label = 1
+		}
+		clicks = append(clicks, fmt.Sprintf("(%g, {1, %.6f})", label, x))
+	}
+	run(db, "INSERT INTO clicks VALUES "+strings.Join(clicks, ", "))
+	run(db, `SELECT (madlib.logregr(clicked, feat, 'irls')).* FROM clicks`)
+
+	// §4.3: k-means over a vector column, restricted by WHERE (the filter
+	// stages a temp table, like the paper's driver functions).
+	run(db, `CREATE TABLE points (coords double precision[], weight double precision)`)
+	var pts []string
+	for i := 0; i < 60; i++ {
+		cx, cy := 0.0, 0.0
+		if i%2 == 0 {
+			cx, cy = 8, 8
+		}
+		pts = append(pts, fmt.Sprintf("({%.4f, %.4f}, %.3f)",
+			cx+rng.NormFloat64()*0.5, cy+rng.NormFloat64()*0.5, rng.Float64()))
+	}
+	run(db, "INSERT INTO points VALUES "+strings.Join(pts, ", "))
+	run(db, `SELECT madlib.kmeans(coords, 2, 42).* FROM points WHERE weight > 0.1 ORDER BY centroid_id`)
+
+	// Descriptive statistics compose with ordinary SQL aggregation.
+	run(db, `SELECT count(*), avg(weight), madlib.quantile(weight, 0.5) AS median FROM points`)
+}

@@ -1,0 +1,3 @@
+module madlib
+
+go 1.24

@@ -5,6 +5,8 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+
+	"madlib/internal/engine"
 )
 
 // Category labels a method with its Table-1 grouping.
@@ -69,6 +71,83 @@ func LookupMethod(name string) (MethodInfo, bool) {
 	defer registryMu.RUnlock()
 	m, ok := registry[name]
 	return m, ok
+}
+
+// SQLFuncKind distinguishes how a madlib.* SQL function executes.
+type SQLFuncKind int
+
+const (
+	// SQLAggregate functions behave like built-in aggregates (sum, avg):
+	// they fold rows through an engine.Aggregate and therefore compose
+	// with WHERE and GROUP BY for free.
+	SQLAggregate SQLFuncKind = iota
+	// SQLTableValued functions consume a whole input table and emit a
+	// result relation of their own (the driver-function methods).
+	SQLTableValued
+)
+
+// ColumnArg marks a SQL function argument that referenced a column of the
+// FROM table (as opposed to a literal). Builders resolve it against the
+// input schema.
+type ColumnArg struct{ Name string }
+
+// SQLFunc binds a registered method to the SQL front-end. Exactly one of
+// BuildAggregate / Invoke is set, per Kind. Args follow the call site:
+// column references arrive as ColumnArg, literals as int64 / float64 /
+// string / bool / []float64.
+type SQLFunc struct {
+	// Name is the function name inside the madlib schema (e.g. "linregr"
+	// makes madlib.linregr(...) callable).
+	Name string
+	// Kind selects aggregate vs table-valued execution.
+	Kind SQLFuncKind
+	// Signature is the human-readable call form shown by \df and docs,
+	// e.g. "linregr(y, x)".
+	Signature string
+	// Help is a one-line description.
+	Help string
+	// BuildAggregate compiles the call into an engine.Aggregate
+	// (SQLAggregate kind only).
+	BuildAggregate func(schema engine.Schema, args []any) (engine.Aggregate, error)
+	// Invoke runs the method over the input table and returns the result
+	// relation (SQLTableValued kind only).
+	Invoke func(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error)
+}
+
+var (
+	sqlFuncMu sync.RWMutex
+	sqlFuncs  = map[string]SQLFunc{}
+)
+
+// RegisterSQLFunc makes a method callable from SQL as madlib.<name>(...).
+// Duplicate registration panics, like RegisterMethod.
+func RegisterSQLFunc(f SQLFunc) {
+	sqlFuncMu.Lock()
+	defer sqlFuncMu.Unlock()
+	if _, dup := sqlFuncs[f.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate SQL function registration %q", f.Name))
+	}
+	sqlFuncs[f.Name] = f
+}
+
+// LookupSQLFunc returns the SQL binding for a method name.
+func LookupSQLFunc(name string) (SQLFunc, bool) {
+	sqlFuncMu.RLock()
+	defer sqlFuncMu.RUnlock()
+	f, ok := sqlFuncs[name]
+	return f, ok
+}
+
+// SQLFuncs returns all SQL-callable functions sorted by name.
+func SQLFuncs() []SQLFunc {
+	sqlFuncMu.RLock()
+	defer sqlFuncMu.RUnlock()
+	out := make([]SQLFunc, 0, len(sqlFuncs))
+	for _, f := range sqlFuncs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 var identRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)

@@ -340,11 +340,15 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 // framework (internal/core) uses these for inter-iteration state exactly as
 // the paper's Python drivers use CREATE TEMP TABLE (§3.1.2).
 func (db *DB) CreateTempTable(prefix string, schema Schema) (*Table, error) {
+	return db.createTable(db.nextTempName(prefix), schema, true)
+}
+
+// nextTempName reserves the next unique temporary-table name for prefix.
+func (db *DB) nextTempName(prefix string) string {
 	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.tempSeq++
-	name := fmt.Sprintf("%s_tmp_%d", prefix, db.tempSeq)
-	db.mu.Unlock()
-	return db.createTable(name, schema, true)
+	return fmt.Sprintf("%s_tmp_%d", prefix, db.tempSeq)
 }
 
 func (db *DB) createTable(name string, schema Schema, temp bool) (*Table, error) {

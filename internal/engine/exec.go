@@ -129,12 +129,24 @@ type GroupResult struct {
 // built segment-parallel and merged across segments, mirroring a parallel
 // hash aggregate.
 func (db *DB) RunGroupBy(t *Table, key func(Row) string, agg Aggregate) (map[string]any, error) {
+	return db.RunGroupByFiltered(t, nil, key, agg)
+}
+
+// RunGroupByFiltered is RunGroupBy restricted to rows satisfying pred
+// (SELECT key, agg(...) FROM t WHERE pred GROUP BY key). A nil pred keeps
+// every row. Filtering happens before grouping, so groups whose rows are
+// all rejected do not appear in the output — the SQL front-end relies on
+// this for WHERE + GROUP BY queries.
+func (db *DB) RunGroupByFiltered(t *Table, pred func(Row) bool, key func(Row) string, agg Aggregate) (map[string]any, error) {
 	db.queries.Add(1)
 	partials := make([]map[string]any, len(t.segs))
 	err := db.parallelSegments(t, func(i int, seg *Segment) error {
 		local := make(map[string]any)
 		for r := 0; r < seg.n; r++ {
 			row := Row{seg: seg, idx: r}
+			if pred != nil && !pred(row) {
+				continue
+			}
 			k := key(row)
 			state, ok := local[k]
 			if !ok {
@@ -221,6 +233,16 @@ func (db *DB) Rows(t *Table) [][]any {
 // column. The projection preserves each row's segment, so no data moves
 // between segments (a local scan, as in Greenplum).
 func (db *DB) SelectInto(dst string, t *Table, pred func(Row) bool, cols []string) (*Table, error) {
+	return db.selectInto(dst, t, pred, cols, t.temp)
+}
+
+// SelectIntoTemp is SelectInto into a uniquely named temporary table
+// (prefix_tmp_N), the staging pattern driver functions use (§3.1.2).
+func (db *DB) SelectIntoTemp(prefix string, t *Table, pred func(Row) bool, cols []string) (*Table, error) {
+	return db.selectInto(db.nextTempName(prefix), t, pred, cols, true)
+}
+
+func (db *DB) selectInto(dst string, t *Table, pred func(Row) bool, cols []string, temp bool) (*Table, error) {
 	db.queries.Add(1)
 	var idxs []int
 	if cols == nil {
@@ -241,7 +263,7 @@ func (db *DB) SelectInto(dst string, t *Table, pred func(Row) bool, cols []strin
 	for i, src := range idxs {
 		schema[i] = t.schema[src]
 	}
-	out, err := db.createTable(dst, schema, t.temp)
+	out, err := db.createTable(dst, schema, temp)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,228 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"madlib/internal/engine"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	// String renders the statement back to SQL-ish text (for traces and
+	// error messages, not guaranteed round-trippable).
+	String() string
+}
+
+// ColumnDef is one column of a CREATE TABLE statement.
+type ColumnDef struct {
+	Name string
+	Kind engine.Kind
+}
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name        string
+	Cols        []ColumnDef
+	IfNotExists bool
+}
+
+func (*CreateTable) stmt() {}
+
+func (s *CreateTable) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.Name + " " + c.Kind.String()
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", s.Name, strings.Join(parts, ", "))
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropTable) stmt() {}
+
+func (s *DropTable) String() string { return "DROP TABLE " + s.Name }
+
+// Insert is INSERT INTO name [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table string
+	// Columns is the optional explicit column list; empty means schema
+	// order.
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (*Insert) stmt() {}
+
+func (s *Insert) String() string {
+	return fmt.Sprintf("INSERT INTO %s VALUES ... (%d rows)", s.Table, len(s.Rows))
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectItem is one projection of a SELECT list.
+type SelectItem struct {
+	// Star is the bare `*` item.
+	Star bool
+	// Expr is the projected expression (nil when Star).
+	Expr Expr
+	// Expand marks `(expr).*`: the expression must be a composite-valued
+	// madlib function whose record is expanded into columns.
+	Expand bool
+	// Alias is the optional [AS] name.
+	Alias string
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	From    string // empty for FROM-less SELECT
+	Where   Expr
+	GroupBy []string
+	OrderBy []OrderKey
+	// Limit is the row cap; negative means no LIMIT clause.
+	Limit int64
+}
+
+func (*Select) stmt() {}
+
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			b.WriteString("*")
+		case it.Expand:
+			b.WriteString("(" + it.Expr.String() + ").*")
+		default:
+			b.WriteString(it.Expr.String())
+		}
+	}
+	if s.From != "" {
+		b.WriteString(" FROM " + s.From)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(s.GroupBy, ", "))
+	}
+	return b.String()
+}
+
+// Expr is any scalar expression node.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// Literal is a constant: int64, float64, string or bool.
+type Literal struct {
+	Val any
+	Pos int
+}
+
+func (*Literal) expr() {}
+
+func (e *Literal) String() string {
+	if s, ok := e.Val.(string); ok {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return fmt.Sprintf("%v", e.Val)
+}
+
+// ArrayLit is an array literal `{1, 2}` or ARRAY[1, 2] (a Vector value).
+type ArrayLit struct {
+	Elems []Expr
+	Pos   int
+}
+
+func (*ArrayLit) expr() {}
+
+func (e *ArrayLit) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, el := range e.Elems {
+		parts[i] = el.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ColumnRef references a column of the FROM table by name.
+type ColumnRef struct {
+	Name string
+	Pos  int
+}
+
+func (*ColumnRef) expr() {}
+
+func (e *ColumnRef) String() string { return e.Name }
+
+// Unary is -x, +x or NOT x.
+type Unary struct {
+	Op string // "-", "+", "NOT"
+	X  Expr
+}
+
+func (*Unary) expr() {}
+
+func (e *Unary) String() string {
+	if e.Op == "NOT" {
+		return "NOT " + e.X.String()
+	}
+	return e.Op + e.X.String()
+}
+
+// Binary is a binary operation: arithmetic (+ - * / %), comparison
+// (= <> != < <= > >=), or logic (AND, OR).
+type Binary struct {
+	Op   string
+	L, R Expr
+	Pos  int
+}
+
+func (*Binary) expr() {}
+
+func (e *Binary) String() string {
+	return fmt.Sprintf("%s %s %s", e.L.String(), e.Op, e.R.String())
+}
+
+// FuncCall is fn(args) or madlib.fn(args). Star marks count(*).
+type FuncCall struct {
+	// Schema is the optional qualifier; "madlib" selects the method
+	// namespace, empty the built-in aggregates.
+	Schema string
+	Name   string
+	Args   []Expr
+	Star   bool
+	Pos    int
+}
+
+func (*FuncCall) expr() {}
+
+func (e *FuncCall) String() string {
+	name := e.Name
+	if e.Schema != "" {
+		name = e.Schema + "." + name
+	}
+	if e.Star {
+		return name + "(*)"
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return name + "(" + strings.Join(parts, ", ") + ")"
+}

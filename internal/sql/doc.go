@@ -1,0 +1,95 @@
+// Package sql is the declarative front-end of the library: a hand-written
+// lexer, a recursive-descent parser, and a planner/executor that compile a
+// practical SQL dialect down to the engine's parallel primitives
+// (two-phase aggregation, filtered scans, grouped aggregation, temp-table
+// staging). It is what turns the reproduction back into the system the
+// paper describes — analytics driven from SQL, with the method suite
+// exposed as a madlib.* function namespace (§4.1).
+//
+// # Entry points
+//
+// A Session wraps an engine database:
+//
+//	sess := sql.NewSession(eng)
+//	results, err := sess.Exec(`CREATE TABLE t (v float); INSERT INTO t VALUES (1);`)
+//	res, err := sess.Query(`SELECT avg(v) FROM t`)
+//
+// The public facade re-exports these as madlib.DB.Exec / madlib.DB.Query,
+// and `madlib sql` wraps them in an interactive REPL.
+//
+// # Statements
+//
+//	CREATE TABLE [IF NOT EXISTS] name (col type, ...)
+//	DROP TABLE [IF EXISTS] name
+//	INSERT INTO name [(col, ...)] VALUES (expr, ...), ...
+//	SELECT item, ... [FROM name] [WHERE expr] [GROUP BY col, ...]
+//	       [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//
+// Statements are ';'-separated; `--` starts a line comment. Unquoted
+// identifiers fold to lowercase, as in PostgreSQL.
+//
+// # Types
+//
+// The five engine kinds, under their common SQL spellings:
+//
+//	double precision | double | float | float8 | real | numeric  → Float
+//	double precision[] | float[] | vector                        → Vector
+//	bigint | int | integer | int8 | int4 | smallint              → Int
+//	text | varchar | string | char                               → String
+//	boolean | bool                                               → Bool
+//
+// Vector literals are written {1, 2, 3} or ARRAY[1, 2, 3].
+//
+// # Expressions
+//
+// Arithmetic (+ - * / %, integer ops stay integral), comparisons
+// (= <> != < <= > >=), boolean logic (AND OR NOT), string literals with
+// ” escaping, and scalar functions: abs, sqrt, exp, ln, floor, ceil,
+// pow, length, array_length, array_get(v, i) (1-based).
+//
+// # Aggregates
+//
+// count(*) / count(x), sum, avg, min, max, variance, stddev execute as
+// engine two-phase aggregates (transition segment-parallel, merge across
+// segments, final once — §3.1.1), and therefore compose with WHERE and
+// GROUP BY. SELECT items may wrap aggregates in scalar expressions
+// (avg(v) * 2), and ORDER BY may sort on aggregate expressions.
+//
+// # The madlib.* namespace
+//
+// Every registered library method is callable from SQL; dispatch goes
+// through the internal/core registry (RegisterSQLFunc), so methods are
+// never hard-coded in the executor. Two calling conventions exist:
+//
+// Aggregate functions behave like built-in aggregates and compose with
+// WHERE and GROUP BY:
+//
+//	madlib.quantile(col, phi)
+//	madlib.approx_quantile(col, eps, phi)
+//	madlib.fmcount(col)
+//
+// Table-valued functions consume the whole FROM table (after WHERE) and
+// return their own result relation; they must be the only SELECT item,
+// written with the paper's composite-expansion syntax:
+//
+//	SELECT (madlib.linregr(y, x)).* FROM data
+//	SELECT madlib.kmeans(coords, k [, seed]).* FROM points
+//	madlib.logregr(y, x [, solver [, max_iter]])
+//	madlib.naive_bayes(class, attrs)
+//	madlib.c45(class, attrs)
+//	madlib.svm(y, x [, mode])
+//	madlib.assoc_rules(basket, item [, min_support [, min_confidence]])
+//	madlib.profile()
+//
+// Column arguments may also be computed expressions — e.g.
+// linregr(y, array[1, x1, x2]) assembles a vector from scalar columns by
+// staging a temp table, the same pattern the paper's driver functions use
+// for inter-iteration state (§3.1.2). The unqualified spelling
+// (linregr(...) without the madlib. prefix) resolves through the same
+// registry.
+//
+// # Not yet supported
+//
+// JOINs, window functions, HAVING, DISTINCT, subqueries, prepared
+// statements and a wire protocol are tracked as ROADMAP open items.
+package sql

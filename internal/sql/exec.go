@@ -1,0 +1,945 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+// Result is the outcome of one statement: a rowset (possibly empty) plus
+// a psql-style command tag.
+type Result struct {
+	// Cols are the output column names (nil for DDL/DML).
+	Cols []string
+	// Rows are the output rows in final order.
+	Rows [][]any
+	// Tag is the command tag, e.g. "CREATE TABLE", "INSERT 0 3",
+	// "SELECT 2".
+	Tag string
+}
+
+// Format renders the rowset as an aligned psql-style table ending with a
+// row-count footer. DDL/DML results render as just their tag.
+func (r *Result) Format() string {
+	if len(r.Cols) == 0 {
+		return r.Tag + "\n"
+	}
+	widths := make([]int, len(r.Cols))
+	numeric := make([]bool, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+		numeric[i] = true
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(r.Cols))
+		for ci := range r.Cols {
+			var v any
+			if ci < len(row) {
+				v = row[ci]
+			}
+			s := FormatValue(v)
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+			switch v.(type) {
+			case int64, float64:
+			default:
+				numeric[ci] = false
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(parts []string, rightAlign func(int) bool) {
+		var l strings.Builder
+		for i, s := range parts {
+			if i > 0 {
+				l.WriteString("|")
+			}
+			l.WriteString(" " + pad(s, widths[i], rightAlign(i)) + " ")
+		}
+		b.WriteString(strings.TrimRight(l.String(), " "))
+		b.WriteString("\n")
+	}
+	line(r.Cols, func(int) bool { return false })
+	for i := range r.Cols {
+		if i > 0 {
+			b.WriteString("+")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]+2))
+	}
+	b.WriteString("\n")
+	for _, row := range cells {
+		line(row, func(i int) bool { return numeric[i] })
+	}
+	if len(r.Rows) == 1 {
+		b.WriteString("(1 row)\n")
+	} else {
+		fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	}
+	return b.String()
+}
+
+func pad(s string, width int, right bool) string {
+	if len(s) >= width {
+		return s
+	}
+	fill := strings.Repeat(" ", width-len(s))
+	if right {
+		return fill + s
+	}
+	return s + fill
+}
+
+// FormatValue renders one SQL value the way the REPL prints it: floats in
+// shortest-exact form, vectors in brace notation, booleans as t/f, NULL
+// as empty.
+func FormatValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case bool:
+		if x {
+			return "t"
+		}
+		return "f"
+	case []float64:
+		parts := make([]string, len(x))
+		for i, f := range x {
+			parts[i] = strconv.FormatFloat(f, 'g', -1, 64)
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// Session executes SQL against an engine database. Sessions are cheap;
+// they hold no state beyond the engine handle, so one per connection or
+// one per program both work.
+type Session struct {
+	db *engine.DB
+}
+
+// NewSession wraps an engine database with the SQL front-end.
+func NewSession(db *engine.DB) *Session { return &Session{db: db} }
+
+// DB returns the underlying engine database.
+func (s *Session) DB() *engine.DB { return s.db }
+
+// Exec parses and runs every statement in text, returning one Result per
+// statement. Execution stops at the first error; already-completed
+// results are returned alongside it.
+func (s *Session) Exec(text string) ([]*Result, error) {
+	stmts, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, st := range stmts {
+		r, err := s.Run(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Query runs a single statement and requires it to produce a rowset.
+func (s *Session) Query(text string) (*Result, error) {
+	st, err := ParseStatement(text)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.Run(st)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Cols) == 0 {
+		return nil, ErrNoRows
+	}
+	return r, nil
+}
+
+// Run executes one parsed statement.
+func (s *Session) Run(st Statement) (*Result, error) {
+	switch x := st.(type) {
+	case *CreateTable:
+		return s.execCreate(x)
+	case *DropTable:
+		return s.execDrop(x)
+	case *Insert:
+		return s.execInsert(x)
+	case *Select:
+		return s.execSelect(x)
+	}
+	return nil, execErrf("unsupported statement %T", st)
+}
+
+func (s *Session) execCreate(st *CreateTable) (*Result, error) {
+	schema := make(engine.Schema, len(st.Cols))
+	for i, c := range st.Cols {
+		schema[i] = engine.Column{Name: c.Name, Kind: c.Kind}
+	}
+	_, err := s.db.CreateTable(st.Name, schema)
+	if err != nil {
+		if st.IfNotExists && errors.Is(err, engine.ErrTableExists) {
+			return &Result{Tag: "CREATE TABLE"}, nil
+		}
+		return nil, err
+	}
+	return &Result{Tag: "CREATE TABLE"}, nil
+}
+
+func (s *Session) execDrop(st *DropTable) (*Result, error) {
+	if err := s.db.DropTable(st.Name); err != nil {
+		if st.IfExists && errors.Is(err, engine.ErrNoTable) {
+			return &Result{Tag: "DROP TABLE"}, nil
+		}
+		return nil, err
+	}
+	return &Result{Tag: "DROP TABLE"}, nil
+}
+
+func (s *Session) execInsert(st *Insert) (*Result, error) {
+	t, err := s.db.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	// Map statement column order onto schema order. Every schema column
+	// must be covered: the engine has no NULL/default values.
+	order := make([]int, len(schema)) // schema index -> position in row tuple
+	if len(st.Columns) == 0 {
+		for i := range schema {
+			order[i] = i
+		}
+		if len(st.Rows) > 0 && len(st.Rows[0]) != len(schema) {
+			return nil, fmt.Errorf("%w: got %d values for %d columns", engine.ErrArity, len(st.Rows[0]), len(schema))
+		}
+	} else {
+		if len(st.Columns) != len(schema) {
+			return nil, execErrf("INSERT must list all %d columns of %q (engine rows have no defaults)", len(schema), st.Table)
+		}
+		for i := range order {
+			order[i] = -1
+		}
+		for pos, name := range st.Columns {
+			ci := schema.Index(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, name)
+			}
+			if order[ci] != -1 {
+				return nil, execErrf("column %q specified more than once", name)
+			}
+			order[ci] = pos
+		}
+	}
+	n := 0
+	for _, row := range st.Rows {
+		if len(row) != len(schema) {
+			return nil, fmt.Errorf("%w: got %d values for %d columns", engine.ErrArity, len(row), len(schema))
+		}
+		vals := make([]any, len(schema))
+		for ci := range schema {
+			v, err := evalExpr(row[order[ci]], &evalCtx{})
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceValue(v, schema[ci].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("sql: column %q: %w", schema[ci].Name, err)
+			}
+			vals[ci] = cv
+		}
+		if err := t.Insert(vals...); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Tag: fmt.Sprintf("INSERT 0 %d", n)}, nil
+}
+
+// coerceValue converts an evaluated literal to the column kind, applying
+// the same numeric widening the engine's Insert accepts plus int64
+// narrowing from integral floats.
+func coerceValue(v any, kind engine.Kind) (any, error) {
+	switch kind {
+	case engine.Float:
+		if f, ok := toFloat(v); ok {
+			return f, nil
+		}
+	case engine.Vector:
+		if vec, ok := v.([]float64); ok {
+			return vec, nil
+		}
+	case engine.Int:
+		switch n := v.(type) {
+		case int64:
+			return n, nil
+		case float64:
+			if n == float64(int64(n)) {
+				return int64(n), nil
+			}
+		}
+	case engine.String:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case engine.Bool:
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s value into %s column", engine.ErrType, valueTypeName(v), kind)
+}
+
+func (s *Session) execSelect(st *Select) (*Result, error) {
+	// FROM-less SELECT: constant expressions, one row.
+	if st.From == "" {
+		return execConstSelect(st)
+	}
+	t, err := s.db.Table(st.From)
+	if err != nil {
+		return nil, err
+	}
+	if st.Where != nil && exprHasAgg(st.Where) {
+		return nil, execErrf("aggregate functions are not allowed in WHERE")
+	}
+	// Classify: table-valued madlib call, aggregate query, or plain scan.
+	for _, item := range st.Items {
+		if item.Star {
+			continue
+		}
+		tv := false
+		walkExpr(item.Expr, func(e Expr) {
+			if fc, ok := e.(*FuncCall); ok && isTableValuedCall(fc) {
+				tv = true
+			}
+		})
+		if tv {
+			call, ok := item.Expr.(*FuncCall)
+			if !ok || !isTableValuedCall(call) || len(st.Items) != 1 {
+				return nil, execErrf("a table-valued madlib function must be the only item in the SELECT list")
+			}
+			return s.execTableValued(st, t, call)
+		}
+		if item.Expand {
+			return nil, execErrf("composite expansion (.*) only applies to madlib table-valued functions")
+		}
+	}
+	isAgg := len(st.GroupBy) > 0
+	for _, item := range st.Items {
+		if !item.Star && exprHasAgg(item.Expr) {
+			isAgg = true
+		}
+	}
+	if isAgg {
+		return s.execAggSelect(st, t)
+	}
+	return s.execScanSelect(st, t)
+}
+
+// execConstSelect evaluates a FROM-less SELECT (e.g. SELECT 1+2).
+func execConstSelect(st *Select) (*Result, error) {
+	if st.Where != nil || len(st.GroupBy) > 0 {
+		return nil, execErrf("WHERE/GROUP BY require a FROM clause")
+	}
+	cols := make([]string, len(st.Items))
+	row := make([]any, len(st.Items))
+	for i, item := range st.Items {
+		if item.Star {
+			return nil, execErrf("SELECT * requires a FROM clause")
+		}
+		v, err := evalExpr(item.Expr, &evalCtx{})
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+		cols[i] = outputName(item)
+	}
+	// ORDER BY over one row only needs validation; LIMIT still applies.
+	for _, key := range st.OrderBy {
+		if _, isOrd, err := ordinal(key.Expr, len(cols)); err != nil {
+			return nil, err
+		} else if !isOrd {
+			outCols := map[string]int{}
+			for i, n := range cols {
+				outCols[n] = i
+			}
+			if _, err := evalExpr(key.Expr, &evalCtx{outCols: outCols, outVals: row}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rows := applyLimit([][]any{row}, st.Limit)
+	return &Result{Cols: cols, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+}
+
+// compilePred compiles the WHERE clause to a row predicate. Evaluation
+// errors inside the scan surface through errPtr (the engine's predicate
+// contract is bool-only).
+func compilePred(where Expr, schema engine.Schema, errPtr *atomic.Value) (func(engine.Row) bool, error) {
+	if where == nil {
+		return nil, nil
+	}
+	if err := checkColumnRefs(where, schema); err != nil {
+		return nil, err
+	}
+	idx := colIndexMap(schema)
+	return func(row engine.Row) bool {
+		ctx := &evalCtx{schema: schema, colIdx: idx, row: &row}
+		v, err := evalExpr(where, ctx)
+		if err != nil {
+			errPtr.CompareAndSwap(nil, err)
+			return false
+		}
+		b, ok := v.(bool)
+		if !ok {
+			errPtr.CompareAndSwap(nil, execErrf("WHERE must evaluate to boolean, not %s", valueTypeName(v)))
+			return false
+		}
+		return b
+	}, nil
+}
+
+// execScanSelect runs a projection scan: SELECT exprs FROM t [WHERE]
+// [ORDER BY] [LIMIT]. ORDER BY keys are evaluated against input rows, so
+// sorting by non-projected columns works.
+func (s *Session) execScanSelect(st *Select, t *engine.Table) (*Result, error) {
+	schema := t.Schema()
+	idx := colIndexMap(schema)
+	// Expand * into column refs.
+	var items []SelectItem
+	for _, item := range st.Items {
+		if item.Star {
+			for _, c := range schema {
+				items = append(items, SelectItem{Expr: &ColumnRef{Name: c.Name}})
+			}
+			continue
+		}
+		if err := checkColumnRefs(item.Expr, schema); err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	cols := make([]string, len(items))
+	for i, item := range items {
+		cols[i] = outputName(item)
+	}
+	for _, key := range st.OrderBy {
+		if exprHasAgg(key.Expr) {
+			return nil, execErrf("aggregate functions in ORDER BY require GROUP BY or an aggregate SELECT list")
+		}
+		_, isOrd, err := ordinal(key.Expr, len(items))
+		if err != nil {
+			return nil, err
+		}
+		if !isOrd {
+			if err := checkColumnRefs(key.Expr, schema); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var predErr atomic.Value
+	pred, err := compilePred(st.Where, schema, &predErr)
+	if err != nil {
+		return nil, err
+	}
+	// Scan segment-parallel, buffering per segment to keep output
+	// deterministic (segment order, row order within a segment).
+	nseg := len(t.Segments())
+	segRows := make([][][]any, nseg)
+	segKeys := make([][][]any, nseg)
+	scanErr := s.db.ForEachSegment(t, func(segIdx int, row engine.Row) error {
+		if pred != nil && !pred(row) {
+			return nil
+		}
+		ctx := &evalCtx{schema: schema, colIdx: idx, row: &row}
+		out := make([]any, len(items))
+		for i, item := range items {
+			v, err := evalExpr(item.Expr, ctx)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		segRows[segIdx] = append(segRows[segIdx], out)
+		if len(st.OrderBy) > 0 {
+			keys := make([]any, len(st.OrderBy))
+			for k, key := range st.OrderBy {
+				if ord, isOrd, _ := ordinal(key.Expr, len(items)); isOrd {
+					keys[k] = out[ord]
+					continue
+				}
+				v, err := evalExpr(key.Expr, ctx)
+				if err != nil {
+					return err
+				}
+				keys[k] = v
+			}
+			segKeys[segIdx] = append(segKeys[segIdx], keys)
+		}
+		return nil
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if e := predErr.Load(); e != nil {
+		return nil, e.(error)
+	}
+	var rows, keys [][]any
+	for i := 0; i < nseg; i++ {
+		rows = append(rows, segRows[i]...)
+		keys = append(keys, segKeys[i]...)
+	}
+	if len(st.OrderBy) > 0 {
+		desc := make([]bool, len(st.OrderBy))
+		for i, k := range st.OrderBy {
+			desc[i] = k.Desc
+		}
+		if err := sortRows(rows, keys, desc); err != nil {
+			return nil, err
+		}
+	}
+	rows = applyLimit(rows, st.Limit)
+	return &Result{Cols: cols, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+}
+
+// ordinal recognizes ORDER BY position literals. A bare integer literal
+// is an ordinal: in range it selects output column v-1, out of range it
+// is an error (not a constant sort key).
+func ordinal(e Expr, n int) (idx int, isOrdinal bool, err error) {
+	l, ok := e.(*Literal)
+	if !ok {
+		return 0, false, nil
+	}
+	v, ok := l.Val.(int64)
+	if !ok {
+		return 0, false, nil
+	}
+	if v < 1 || int(v) > n {
+		return 0, true, execErrf("ORDER BY position %d is not in select list", v)
+	}
+	return int(v) - 1, true, nil
+}
+
+func applyLimit(rows [][]any, limit int64) [][]any {
+	if limit >= 0 && int64(len(rows)) > limit {
+		return rows[:limit]
+	}
+	return rows
+}
+
+// execAggSelect runs an aggregate query, with or without GROUP BY, as a
+// single two-phase parallel aggregate over the table (§3.1.1).
+func (s *Session) execAggSelect(st *Select, t *engine.Table) (*Result, error) {
+	schema := t.Schema()
+	// Resolve GROUP BY columns.
+	groupIdx := make([]int, len(st.GroupBy))
+	for i, name := range st.GroupBy {
+		ci := schema.Index(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, name)
+		}
+		groupIdx[i] = ci
+	}
+	grouped := map[string]bool{}
+	for _, name := range st.GroupBy {
+		grouped[name] = true
+	}
+	// Collect aggregate calls across SELECT list and ORDER BY into slots.
+	slotOf := map[*FuncCall]int{}
+	var slotAggs []engine.Aggregate
+	addSlots := func(e Expr) error {
+		if exprHasNestedAgg(e) {
+			return execErrf("aggregate calls cannot be nested")
+		}
+		for _, call := range collectAggCalls(e) {
+			if _, done := slotOf[call]; done {
+				continue
+			}
+			agg, err := buildAggregate(call, schema)
+			if err != nil {
+				return err
+			}
+			slotOf[call] = len(slotAggs)
+			slotAggs = append(slotAggs, agg)
+		}
+		return nil
+	}
+	for _, item := range st.Items {
+		if item.Star {
+			return nil, execErrf("SELECT * cannot be combined with aggregate functions")
+		}
+		if err := addSlots(item.Expr); err != nil {
+			return nil, err
+		}
+		// Bare column refs outside aggregates must be grouped.
+		var badCol error
+		walkAgg(item.Expr, func(e Expr, inAgg bool) {
+			if cr, ok := e.(*ColumnRef); ok && !inAgg && !grouped[cr.Name] && badCol == nil {
+				badCol = execErrf("column %q must appear in the GROUP BY clause or be used in an aggregate function", cr.Name)
+			}
+		})
+		if badCol != nil {
+			return nil, badCol
+		}
+	}
+	outNames := make([]string, len(st.Items))
+	for i, item := range st.Items {
+		outNames[i] = outputName(item)
+	}
+	for _, key := range st.OrderBy {
+		_, isOrd, err := ordinal(key.Expr, len(st.Items))
+		if err != nil {
+			return nil, err
+		}
+		if isOrd {
+			continue
+		}
+		if err := addSlots(key.Expr); err != nil {
+			return nil, err
+		}
+	}
+	var predErr atomic.Value
+	pred, err := compilePred(st.Where, schema, &predErr)
+	if err != nil {
+		return nil, err
+	}
+	multi := &multiAggregate{aggs: slotAggs, groupIdx: groupIdx, schema: schema}
+	outCols := map[string]int{}
+	for i, n := range outNames {
+		outCols[n] = i
+	}
+
+	// evaluate one group's output row from its finalized slot values.
+	evalGroup := func(ms *multiState) ([]any, []any, error) {
+		groupVals := make(map[string]any, len(st.GroupBy))
+		for i, name := range st.GroupBy {
+			groupVals[name] = ms.keyVals[i]
+		}
+		ctx := &evalCtx{slotOf: slotOf, slotVals: ms.slots, groupVals: groupVals}
+		row := make([]any, len(st.Items))
+		for i, item := range st.Items {
+			v, err := evalExpr(item.Expr, ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		var keys []any
+		if len(st.OrderBy) > 0 {
+			keys = make([]any, len(st.OrderBy))
+			for k, key := range st.OrderBy {
+				if ord, isOrd, _ := ordinal(key.Expr, len(row)); isOrd {
+					keys[k] = row[ord]
+					continue
+				}
+				kctx := &evalCtx{slotOf: slotOf, slotVals: ms.slots, groupVals: groupVals, outCols: outCols, outVals: row}
+				v, err := evalExpr(key.Expr, kctx)
+				if err != nil {
+					return nil, nil, err
+				}
+				keys[k] = v
+			}
+		}
+		return row, keys, nil
+	}
+
+	var rows, keys [][]any
+	if len(st.GroupBy) == 0 {
+		var v any
+		if pred == nil {
+			v, err = s.db.Run(t, multi)
+		} else {
+			v, err = s.db.RunFiltered(t, pred, multi)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e := predErr.Load(); e != nil {
+			return nil, e.(error)
+		}
+		row, kv, err := evalGroup(v.(*multiState))
+		if err != nil {
+			return nil, err
+		}
+		rows, keys = [][]any{row}, [][]any{kv}
+	} else {
+		keyFn := func(row engine.Row) string {
+			// Length-prefix each rendered value so the composite key is
+			// injective even when values contain the separator.
+			var b strings.Builder
+			for _, gi := range groupIdx {
+				v := FormatValue(rowValue(schema, &row, gi))
+				fmt.Fprintf(&b, "%d:", len(v))
+				b.WriteString(v)
+			}
+			return b.String()
+		}
+		groups, err := s.db.RunGroupByFiltered(t, pred, keyFn, multi)
+		if err != nil {
+			return nil, err
+		}
+		if e := predErr.Load(); e != nil {
+			return nil, e.(error)
+		}
+		// Deterministic default order: sort by the rendered group key.
+		names := make([]string, 0, len(groups))
+		for k := range groups {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			row, kv, err := evalGroup(groups[k].(*multiState))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			keys = append(keys, kv)
+		}
+	}
+	if len(st.OrderBy) > 0 {
+		desc := make([]bool, len(st.OrderBy))
+		for i, k := range st.OrderBy {
+			desc[i] = k.Desc
+		}
+		if err := sortRows(rows, keys, desc); err != nil {
+			return nil, err
+		}
+	}
+	rows = applyLimit(rows, st.Limit)
+	return &Result{Cols: outNames, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+}
+
+// inferKind statically types an expression against a schema, for staging
+// computed madlib arguments into a temp-table column.
+func inferKind(e Expr, schema engine.Schema) (engine.Kind, error) {
+	switch x := e.(type) {
+	case *Literal:
+		switch x.Val.(type) {
+		case int64:
+			return engine.Int, nil
+		case float64:
+			return engine.Float, nil
+		case string:
+			return engine.String, nil
+		case bool:
+			return engine.Bool, nil
+		}
+	case *ArrayLit:
+		return engine.Vector, nil
+	case *ColumnRef:
+		ci := schema.Index(x.Name)
+		if ci < 0 {
+			return 0, fmt.Errorf("%w: %q", engine.ErrNoColumn, x.Name)
+		}
+		return schema[ci].Kind, nil
+	case *Unary:
+		if x.Op == "NOT" {
+			return engine.Bool, nil
+		}
+		return inferKind(x.X, schema)
+	case *Binary:
+		switch x.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=":
+			return engine.Bool, nil
+		}
+		lk, err := inferKind(x.L, schema)
+		if err != nil {
+			return 0, err
+		}
+		rk, err := inferKind(x.R, schema)
+		if err != nil {
+			return 0, err
+		}
+		if lk == engine.Int && rk == engine.Int {
+			return engine.Int, nil
+		}
+		return engine.Float, nil
+	case *FuncCall:
+		switch x.Name {
+		case "sqrt", "exp", "ln", "floor", "ceil", "pow", "power", "array_get":
+			return engine.Float, nil
+		case "length", "array_length":
+			return engine.Int, nil
+		case "abs":
+			if len(x.Args) == 1 {
+				return inferKind(x.Args[0], schema)
+			}
+		}
+	}
+	return 0, execErrf("cannot infer the type of %s", e.String())
+}
+
+// execTableValued runs SELECT (madlib.fn(...)).* FROM t [WHERE ...]. A
+// WHERE clause or a computed argument (e.g. linregr(y, array[1, x0, x1])
+// over scalar columns) stages the rows through a temporary table first —
+// the same pattern the paper's driver functions use (§3.1.2).
+func (s *Session) execTableValued(st *Select, t *engine.Table, call *FuncCall) (*Result, error) {
+	if len(st.GroupBy) > 0 {
+		return nil, execErrf("GROUP BY cannot be combined with table-valued madlib functions")
+	}
+	f, _ := core.LookupSQLFunc(call.Name)
+	var predErr atomic.Value
+	pred, err := compilePred(st.Where, t.Schema(), &predErr)
+	if err != nil {
+		return nil, err
+	}
+	// Classify arguments: column references and constants pass through;
+	// any other expression becomes a computed staging column.
+	type computedArg struct {
+		argIdx int
+		name   string
+		expr   Expr
+		kind   engine.Kind
+	}
+	finalArgs := make([]any, len(call.Args))
+	var computed []computedArg
+	for i, a := range call.Args {
+		if cr, ok := a.(*ColumnRef); ok {
+			if t.Schema().Index(cr.Name) < 0 {
+				return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, cr.Name)
+			}
+			finalArgs[i] = core.ColumnArg{Name: cr.Name}
+			continue
+		}
+		if v, err := evalExpr(a, &evalCtx{}); err == nil {
+			finalArgs[i] = v
+			continue
+		}
+		if err := checkColumnRefs(a, t.Schema()); err != nil {
+			return nil, err
+		}
+		kind, err := inferKind(a, t.Schema())
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("_arg%d", i+1)
+		computed = append(computed, computedArg{argIdx: i, name: name, expr: a, kind: kind})
+		finalArgs[i] = core.ColumnArg{Name: name}
+	}
+	input := t
+	switch {
+	case len(computed) > 0:
+		schema := t.Schema().Clone()
+		for _, c := range computed {
+			schema = append(schema, engine.Column{Name: c.name, Kind: c.kind})
+		}
+		staged, err := s.db.CreateTempTable("sql_stage", schema)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = s.db.DropTable(staged.Name()) }()
+		baseSchema := t.Schema()
+		idx := colIndexMap(baseSchema)
+		// Evaluate segment-parallel into per-segment buffers (the scan and
+		// the expression work dominate), then append sequentially.
+		segVals := make([][][]any, len(t.Segments()))
+		err = s.db.ForEachSegment(t, func(segIdx int, row engine.Row) error {
+			if pred != nil && !pred(row) {
+				return nil
+			}
+			ctx := &evalCtx{schema: baseSchema, colIdx: idx, row: &row}
+			vals := make([]any, len(schema))
+			for ci := range baseSchema {
+				vals[ci] = rowValue(baseSchema, &row, ci)
+			}
+			for k, c := range computed {
+				v, err := evalExpr(c.expr, ctx)
+				if err != nil {
+					return err
+				}
+				cv, err := coerceValue(v, c.kind)
+				if err != nil {
+					return fmt.Errorf("sql: %s argument %d: %w", call.Name, c.argIdx+1, err)
+				}
+				vals[len(baseSchema)+k] = cv
+			}
+			segVals[segIdx] = append(segVals[segIdx], vals)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if e := predErr.Load(); e != nil {
+			return nil, e.(error)
+		}
+		for _, seg := range segVals {
+			for _, vals := range seg {
+				if err := staged.Insert(vals...); err != nil {
+					return nil, err
+				}
+			}
+		}
+		input = staged
+	case st.Where != nil:
+		staged, err := s.db.SelectIntoTemp("sql_stage", t, pred, nil)
+		if err != nil {
+			return nil, err
+		}
+		if e := predErr.Load(); e != nil {
+			_ = s.db.DropTable(staged.Name())
+			return nil, e.(error)
+		}
+		defer func() { _ = s.db.DropTable(staged.Name()) }()
+		input = staged
+	}
+	args := finalArgs
+	outSchema, rows, err := f.Invoke(s.db, input, args)
+	if err != nil {
+		return nil, fmt.Errorf("sql: madlib.%s: %w", call.Name, err)
+	}
+	cols := make([]string, len(outSchema))
+	outCols := map[string]int{}
+	for i, c := range outSchema {
+		cols[i] = c.Name
+		outCols[c.Name] = i
+	}
+	if len(st.OrderBy) > 0 {
+		for _, key := range st.OrderBy {
+			if _, _, err := ordinal(key.Expr, len(cols)); err != nil {
+				return nil, err
+			}
+		}
+		keys := make([][]any, len(rows))
+		for ri, row := range rows {
+			keys[ri] = make([]any, len(st.OrderBy))
+			for k, key := range st.OrderBy {
+				if ord, isOrd, _ := ordinal(key.Expr, len(row)); isOrd {
+					keys[ri][k] = row[ord]
+					continue
+				}
+				ctx := &evalCtx{outCols: outCols, outVals: row}
+				v, err := evalExpr(key.Expr, ctx)
+				if err != nil {
+					return nil, err
+				}
+				keys[ri][k] = v
+			}
+		}
+		desc := make([]bool, len(st.OrderBy))
+		for i, k := range st.OrderBy {
+			desc[i] = k.Desc
+		}
+		if err := sortRows(rows, keys, desc); err != nil {
+			return nil, err
+		}
+	}
+	rows = applyLimit(rows, st.Limit)
+	return &Result{Cols: cols, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+}

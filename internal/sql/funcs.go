@@ -1,0 +1,529 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"madlib/internal/assoc"
+	"madlib/internal/bayes"
+	"madlib/internal/core"
+	"madlib/internal/dtree"
+	"madlib/internal/engine"
+	"madlib/internal/kmeans"
+	"madlib/internal/linregr"
+	"madlib/internal/logregr"
+	"madlib/internal/profile"
+	"madlib/internal/quantile"
+	"madlib/internal/sketch"
+	"madlib/internal/svm"
+)
+
+// This file binds the library's methods into the madlib.* SQL namespace.
+// Bindings are registered with internal/core at package load, so the
+// executor dispatches every call through the same registry that backs the
+// Table-1 method inventory — SQL never hard-codes a method.
+
+func init() {
+	for _, f := range []core.SQLFunc{
+		{
+			Name: "linregr", Kind: core.SQLTableValued,
+			Signature: "linregr(y, x)",
+			Help:      "ordinary-least-squares linear regression with inference (§4.1)",
+			Invoke:    invokeLinregr,
+		},
+		{
+			Name: "logregr", Kind: core.SQLTableValued,
+			Signature: "logregr(y, x [, solver [, max_iter]])",
+			Help:      "binary logistic regression; solver irls|cg|igd (§4.2)",
+			Invoke:    invokeLogregr,
+		},
+		{
+			Name: "kmeans", Kind: core.SQLTableValued,
+			Signature: "kmeans(coords, k [, seed])",
+			Help:      "k-means clustering of a vector column (§4.3)",
+			Invoke:    invokeKMeans,
+		},
+		{
+			Name: "naive_bayes", Kind: core.SQLTableValued,
+			Signature: "naive_bayes(class, attrs)",
+			Help:      "naive Bayes class priors over a (text, vector) table",
+			Invoke:    invokeNaiveBayes,
+		},
+		{
+			Name: "c45", Kind: core.SQLTableValued,
+			Signature: "c45(class, attrs)",
+			Help:      "C4.5 decision-tree summary over a (text, vector) table",
+			Invoke:    invokeC45,
+		},
+		{
+			Name: "svm", Kind: core.SQLTableValued,
+			Signature: "svm(y, x [, mode])",
+			Help:      "linear SVM; mode classification|regression|novelty",
+			Invoke:    invokeSVM,
+		},
+		{
+			Name: "assoc_rules", Kind: core.SQLTableValued,
+			Signature: "assoc_rules(basket, item [, min_support [, min_confidence]])",
+			Help:      "Apriori association rules over a (basket, item) table",
+			Invoke:    invokeAssocRules,
+		},
+		{
+			Name: "profile", Kind: core.SQLTableValued,
+			Signature: "profile()",
+			Help:      "per-column univariate summaries of the FROM table (§3.1.3)",
+			Invoke:    invokeProfile,
+		},
+		{
+			Name: "quantile", Kind: core.SQLAggregate,
+			Signature: "quantile(col, phi)",
+			Help:      "exact phi-quantile of a numeric column",
+			BuildAggregate: func(schema engine.Schema, args []any) (engine.Aggregate, error) {
+				ci, err := colArg("quantile", schema, args, 0, engine.Float)
+				if err != nil {
+					return nil, err
+				}
+				phi, err := floatArg("quantile", args, 1)
+				if err != nil {
+					return nil, err
+				}
+				if phi < 0 || phi > 1 {
+					return nil, fmt.Errorf("quantile: phi %v outside [0,1]", phi)
+				}
+				return finalWrap{
+					Aggregate: quantile.ExactAggregate(ci, []float64{phi}),
+					fn:        func(v any) (any, error) { return v.([]float64)[0], nil },
+				}, nil
+			},
+		},
+		{
+			Name: "approx_quantile", Kind: core.SQLAggregate,
+			Signature: "approx_quantile(col, eps, phi)",
+			Help:      "Greenwald-Khanna eps-approximate phi-quantile",
+			BuildAggregate: func(schema engine.Schema, args []any) (engine.Aggregate, error) {
+				ci, err := colArg("approx_quantile", schema, args, 0, engine.Float)
+				if err != nil {
+					return nil, err
+				}
+				eps, err := floatArg("approx_quantile", args, 1)
+				if err != nil {
+					return nil, err
+				}
+				phi, err := floatArg("approx_quantile", args, 2)
+				if err != nil {
+					return nil, err
+				}
+				return finalWrap{
+					Aggregate: quantile.GKAggregate(ci, eps, []float64{phi}),
+					fn:        func(v any) (any, error) { return v.([]float64)[0], nil },
+				}, nil
+			},
+		},
+		{
+			Name: "fmcount", Kind: core.SQLAggregate,
+			Signature: "fmcount(col)",
+			Help:      "Flajolet-Martin approximate distinct count",
+			BuildAggregate: func(schema engine.Schema, args []any) (engine.Aggregate, error) {
+				if err := wantArgs("fmcount", args, 1, 1); err != nil {
+					return nil, err
+				}
+				ci, err := anyColArg("fmcount", schema, args, 0)
+				if err != nil {
+					return nil, err
+				}
+				return sketch.FMAggregate(ci, schema[ci].Kind), nil
+			},
+		},
+	} {
+		core.RegisterSQLFunc(f)
+	}
+}
+
+// finalWrap post-processes an aggregate's Final value (e.g. unwrap a
+// one-element quantile slice into a scalar).
+type finalWrap struct {
+	engine.Aggregate
+	fn func(any) (any, error)
+}
+
+func (w finalWrap) Final(state any) (any, error) {
+	v, err := w.Aggregate.Final(state)
+	if err != nil {
+		return nil, err
+	}
+	return w.fn(v)
+}
+
+// Argument helpers. args follow the resolveFuncArgs convention: column
+// references as core.ColumnArg, literals as Go scalars.
+
+func wantArgs(fn string, args []any, min, max int) error {
+	if len(args) < min || len(args) > max {
+		if min == max {
+			return fmt.Errorf("%s expects %d argument(s), got %d", fn, min, len(args))
+		}
+		return fmt.Errorf("%s expects %d to %d arguments, got %d", fn, min, max, len(args))
+	}
+	return nil
+}
+
+// anyColArg resolves args[i] as a column reference of any kind.
+func anyColArg(fn string, schema engine.Schema, args []any, i int) (int, error) {
+	ca, ok := args[i].(core.ColumnArg)
+	if !ok {
+		return 0, fmt.Errorf("%s: argument %d must be a column reference", fn, i+1)
+	}
+	ci := schema.Index(ca.Name)
+	if ci < 0 {
+		return 0, fmt.Errorf("%w: %q", engine.ErrNoColumn, ca.Name)
+	}
+	return ci, nil
+}
+
+// colArg resolves args[i] as a column reference of the given kind (Float
+// also accepts Int, matching the engine's numeric widening).
+func colArg(fn string, schema engine.Schema, args []any, i int, kind engine.Kind) (int, error) {
+	ci, err := anyColArg(fn, schema, args, i)
+	if err != nil {
+		return 0, err
+	}
+	got := schema[ci].Kind
+	if got != kind && !(kind == engine.Float && got == engine.Int) {
+		return 0, fmt.Errorf("%s: column %q is %s, want %s", fn, schema[ci].Name, got, kind)
+	}
+	return ci, nil
+}
+
+// colNameArg resolves args[i] as a column reference and returns its name
+// after validating the kind (for Invoke bindings that pass names on to
+// facade-style Run functions).
+func colNameArg(fn string, schema engine.Schema, args []any, i int, kind engine.Kind) (string, error) {
+	ci, err := colArg(fn, schema, args, i, kind)
+	if err != nil {
+		return "", err
+	}
+	return schema[ci].Name, nil
+}
+
+func floatArg(fn string, args []any, i int) (float64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("%s: missing argument %d", fn, i+1)
+	}
+	f, ok := toFloat(args[i])
+	if !ok {
+		return 0, fmt.Errorf("%s: argument %d must be numeric", fn, i+1)
+	}
+	return f, nil
+}
+
+func intArg(fn string, args []any, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("%s: missing argument %d", fn, i+1)
+	}
+	n, ok := args[i].(int64)
+	if !ok {
+		return 0, fmt.Errorf("%s: argument %d must be an integer", fn, i+1)
+	}
+	return n, nil
+}
+
+func strArg(fn string, args []any, i int) (string, error) {
+	if i >= len(args) {
+		return "", fmt.Errorf("%s: missing argument %d", fn, i+1)
+	}
+	s, ok := args[i].(string)
+	if !ok {
+		return "", fmt.Errorf("%s: argument %d must be a string", fn, i+1)
+	}
+	return s, nil
+}
+
+// Table-valued bindings.
+
+func invokeLinregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("linregr", args, 2, 2); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	y, err := colNameArg("linregr", schema, args, 0, engine.Float)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err := colNameArg("linregr", schema, args, 1, engine.Vector)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := linregr.Run(db, t, y, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "coef", Kind: engine.Vector},
+		{Name: "r2", Kind: engine.Float},
+		{Name: "std_err", Kind: engine.Vector},
+		{Name: "t_stats", Kind: engine.Vector},
+		{Name: "p_values", Kind: engine.Vector},
+		{Name: "condition_no", Kind: engine.Float},
+	}
+	row := []any{res.Coef, res.R2, res.StdErr, res.TStats, res.PValues, res.ConditionNo}
+	return out, [][]any{row}, nil
+}
+
+func invokeLogregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("logregr", args, 2, 4); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	y, err := colNameArg("logregr", schema, args, 0, engine.Float)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err := colNameArg("logregr", schema, args, 1, engine.Vector)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := logregr.Options{}
+	if len(args) >= 3 {
+		solver, err := strArg("logregr", args, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch strings.ToLower(solver) {
+		case "irls":
+			opts.Solver = logregr.IRLS
+		case "cg":
+			opts.Solver = logregr.CG
+		case "igd":
+			opts.Solver = logregr.IGD
+		default:
+			return nil, nil, fmt.Errorf("logregr: unknown solver %q (want irls, cg or igd)", solver)
+		}
+	}
+	if len(args) == 4 {
+		n, err := intArg("logregr", args, 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.MaxIterations = int(n)
+	}
+	res, err := logregr.Run(db, t, y, x, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "coef", Kind: engine.Vector},
+		{Name: "log_likelihood", Kind: engine.Float},
+		{Name: "std_err", Kind: engine.Vector},
+		{Name: "z_stats", Kind: engine.Vector},
+		{Name: "p_values", Kind: engine.Vector},
+		{Name: "odds_ratios", Kind: engine.Vector},
+		{Name: "num_iterations", Kind: engine.Int},
+	}
+	row := []any{res.Coef, res.LogLikelihood, res.StdErr, res.ZStats, res.PValues, res.OddsRatios, int64(res.Iterations)}
+	return out, [][]any{row}, nil
+}
+
+func invokeKMeans(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("kmeans", args, 2, 3); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	coords, err := colNameArg("kmeans", schema, args, 0, engine.Vector)
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err := intArg("kmeans", args, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := kmeans.Options{K: int(k)}
+	if len(args) == 3 {
+		seed, err := intArg("kmeans", args, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Seed = seed
+	}
+	res, err := kmeans.Run(db, t, coords, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "centroid_id", Kind: engine.Int},
+		{Name: "centroid", Kind: engine.Vector},
+		{Name: "size", Kind: engine.Int},
+	}
+	rows := make([][]any, len(res.Centroids))
+	for i, c := range res.Centroids {
+		rows[i] = []any{int64(i), c, res.Sizes[i]}
+	}
+	return out, rows, nil
+}
+
+func invokeNaiveBayes(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("naive_bayes", args, 2, 2); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	class, err := colNameArg("naive_bayes", schema, args, 0, engine.String)
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs, err := colNameArg("naive_bayes", schema, args, 1, engine.Vector)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := bayes.Train(db, t, class, attrs, bayes.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "class", Kind: engine.String},
+		{Name: "prior", Kind: engine.Float},
+	}
+	rows := make([][]any, len(m.Classes))
+	for i, c := range m.Classes {
+		rows[i] = []any{c, m.Priors[i]}
+	}
+	return out, rows, nil
+}
+
+func invokeC45(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("c45", args, 2, 2); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	class, err := colNameArg("c45", schema, args, 0, engine.String)
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs, err := colNameArg("c45", schema, args, 1, engine.Vector)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := dtree.Train(db, t, class, attrs, dtree.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "nodes", Kind: engine.Int},
+		{Name: "depth", Kind: engine.Int},
+		{Name: "classes", Kind: engine.Int},
+	}
+	return out, [][]any{{int64(m.Size()), int64(m.Depth()), int64(len(m.Classes))}}, nil
+}
+
+func invokeSVM(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("svm", args, 2, 3); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	y, err := colNameArg("svm", schema, args, 0, engine.Float)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err := colNameArg("svm", schema, args, 1, engine.Vector)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := svm.Options{}
+	if len(args) == 3 {
+		mode, err := strArg("svm", args, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch strings.ToLower(mode) {
+		case "classification":
+			opts.Mode = svm.Classification
+		case "regression":
+			opts.Mode = svm.Regression
+		case "novelty":
+			opts.Mode = svm.Novelty
+		default:
+			return nil, nil, fmt.Errorf("svm: unknown mode %q", mode)
+		}
+	}
+	m, err := svm.Train(db, t, y, x, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	loss := 0.0
+	if len(m.LossHistory) > 0 {
+		loss = m.LossHistory[len(m.LossHistory)-1]
+	}
+	out := engine.Schema{
+		{Name: "weights", Kind: engine.Vector},
+		{Name: "final_loss", Kind: engine.Float},
+		{Name: "num_rows", Kind: engine.Int},
+	}
+	return out, [][]any{{m.Weights, loss, m.NumRows}}, nil
+}
+
+func invokeAssocRules(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("assoc_rules", args, 2, 4); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	basket, err := colNameArg("assoc_rules", schema, args, 0, engine.Int)
+	if err != nil {
+		return nil, nil, err
+	}
+	item, err := colNameArg("assoc_rules", schema, args, 1, engine.String)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := assoc.Options{}
+	if len(args) >= 3 {
+		if opts.MinSupport, err = floatArg("assoc_rules", args, 2); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(args) == 4 {
+		if opts.MinConfidence, err = floatArg("assoc_rules", args, 3); err != nil {
+			return nil, nil, err
+		}
+	}
+	res, err := assoc.MineTable(db, t, basket, item, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "antecedent", Kind: engine.String},
+		{Name: "consequent", Kind: engine.String},
+		{Name: "support", Kind: engine.Float},
+		{Name: "confidence", Kind: engine.Float},
+		{Name: "lift", Kind: engine.Float},
+	}
+	rows := make([][]any, len(res.Rules))
+	for i, r := range res.Rules {
+		rows[i] = []any{
+			"{" + strings.Join(r.Antecedent, ",") + "}",
+			"{" + strings.Join(r.Consequent, ",") + "}",
+			r.Support, r.Confidence, r.Lift,
+		}
+	}
+	return out, rows, nil
+}
+
+func invokeProfile(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("profile", args, 0, 0); err != nil {
+		return nil, nil, err
+	}
+	res, err := profile.Run(db, t.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "column", Kind: engine.String},
+		{Name: "type", Kind: engine.String},
+		{Name: "rows", Kind: engine.Int},
+		{Name: "distinct", Kind: engine.Int},
+		{Name: "min", Kind: engine.Float},
+		{Name: "max", Kind: engine.Float},
+		{Name: "mean", Kind: engine.Float},
+	}
+	rows := make([][]any, len(res.Columns))
+	for i, c := range res.Columns {
+		rows[i] = []any{c.Name, c.Kind.String(), c.Rows, c.Distinct, c.Min, c.Max, c.Mean}
+	}
+	return out, rows, nil
+}

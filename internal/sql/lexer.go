@@ -1,0 +1,192 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+// Token kinds. Keywords are not distinguished at the lexical level: SQL
+// keywords are not reserved here, so `SELECT count(*) FROM count` works;
+// the parser matches identifiers case-insensitively where it expects a
+// keyword.
+const (
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword (count, SELECT, my_table).
+	TokIdent
+	// TokNumber is a numeric literal (12, 3.5, 1e-3).
+	TokNumber
+	// TokString is a single-quoted string literal with '' escaping.
+	TokString
+	// TokOp is an operator or punctuation: ( ) , ; . * + - / % = < >
+	// <= >= <> != { } [ ].
+	TokOp
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokOp:
+		return "operator"
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical unit with its source position (for error messages).
+type Token struct {
+	Kind TokenKind
+	// Text is the raw token text. For TokString it is the unquoted,
+	// unescaped value; for TokIdent the original spelling.
+	Text string
+	// Pos is the byte offset of the token's first character.
+	Pos int
+}
+
+// IsKeyword reports whether the token is an identifier matching the given
+// keyword case-insensitively.
+func (t Token) IsKeyword(kw string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, kw)
+}
+
+// ErrSyntax wraps lexical and grammatical errors with position context.
+type ErrSyntax struct {
+	Pos int
+	Msg string
+}
+
+func (e *ErrSyntax) Error() string { return fmt.Sprintf("syntax error at offset %d: %s", e.Pos, e.Msg) }
+
+func syntaxErrf(pos int, format string, args ...any) error {
+	return &ErrSyntax{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes a SQL text. It handles identifiers, numbers (integer,
+// decimal, scientific), single-quoted strings with ” escapes, `--` line
+// comments, and multi-character operators.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i, n := 0, len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment: skip to end of line.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[start:i], Pos: start})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			i = scanNumber(input, i)
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			text, next, err := scanString(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, Token{Kind: TokString, Text: text, Pos: start})
+			i = next
+		default:
+			start := i
+			op, width := scanOp(input, i)
+			if width == 0 {
+				return nil, syntaxErrf(start, "unexpected character %q", string(c))
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: op, Pos: start})
+			i += width
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// scanNumber consumes [digits][.digits][(e|E)[+|-]digits] starting at i
+// and returns the index after the literal.
+func scanNumber(input string, i int) int {
+	n := len(input)
+	for i < n && input[i] >= '0' && input[i] <= '9' {
+		i++
+	}
+	if i < n && input[i] == '.' {
+		i++
+		for i < n && input[i] >= '0' && input[i] <= '9' {
+			i++
+		}
+	}
+	if i < n && (input[i] == 'e' || input[i] == 'E') {
+		j := i + 1
+		if j < n && (input[j] == '+' || input[j] == '-') {
+			j++
+		}
+		if j < n && input[j] >= '0' && input[j] <= '9' {
+			i = j
+			for i < n && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+		}
+	}
+	return i
+}
+
+// scanString consumes a single-quoted literal starting at the opening
+// quote; ” inside the literal encodes one quote character.
+func scanString(input string, i int) (text string, next int, err error) {
+	n := len(input)
+	var b strings.Builder
+	j := i + 1
+	for j < n {
+		if input[j] == '\'' {
+			if j+1 < n && input[j+1] == '\'' {
+				b.WriteByte('\'')
+				j += 2
+				continue
+			}
+			return b.String(), j + 1, nil
+		}
+		b.WriteByte(input[j])
+		j++
+	}
+	return "", 0, syntaxErrf(i, "unterminated string literal")
+}
+
+// scanOp matches the longest operator at position i, returning it and its
+// width (0 when nothing matches).
+func scanOp(input string, i int) (string, int) {
+	if i+1 < len(input) {
+		two := input[i : i+2]
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			return two, 2
+		}
+	}
+	switch input[i] {
+	case '(', ')', ',', ';', '.', '*', '+', '-', '/', '%', '=', '<', '>', '{', '}', '[', ']':
+		return input[i : i+1], 1
+	}
+	return "", 0
+}

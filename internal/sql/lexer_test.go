@@ -1,0 +1,131 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT avg(v), g FROM t WHERE v >= 1.5;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokIdent, "SELECT"}, {TokIdent, "avg"}, {TokOp, "("}, {TokIdent, "v"},
+		{TokOp, ")"}, {TokOp, ","}, {TokIdent, "g"}, {TokIdent, "FROM"},
+		{TokIdent, "t"}, {TokIdent, "WHERE"}, {TokIdent, "v"}, {TokOp, ">="},
+		{TokNumber, "1.5"}, {TokOp, ";"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Fatalf("token %d = (%v, %q), want (%v, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		text string
+	}{
+		{"42", "42"},
+		{"3.25", "3.25"},
+		{".5", ".5"},
+		{"1e-3", "1e-3"},
+		{"2E+10", "2E+10"},
+		{"7.", "7."},
+	} {
+		toks, err := Lex(tc.in)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if toks[0].Kind != TokNumber || toks[0].Text != tc.text {
+			t.Fatalf("%q lexed to %v %q", tc.in, toks[0].Kind, toks[0].Text)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex("'hello' 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "hello" || toks[1].Text != "it's" {
+		t.Fatalf("strings = %q, %q", toks[0].Text, toks[1].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Fatal("unterminated string should fail")
+	}
+	var se *ErrSyntax
+	if _, err := Lex("'oops"); !errors.As(err, &se) {
+		t.Fatalf("want *ErrSyntax, got %T", err)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT 1 -- trailing comment\n+ 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(toks)
+	want := []TokenKind{TokIdent, TokNumber, TokOp, TokNumber, TokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("<= >= <> != < > = { } [ ] %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<=", ">=", "<>", "!=", "<", ">", "=", "{", "}", "[", "]", "%"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Fatalf("op %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexBadCharacter(t *testing.T) {
+	_, err := Lex("SELECT @")
+	if err == nil {
+		t.Fatal("expected error for @")
+	}
+	var se *ErrSyntax
+	if !errors.As(err, &se) {
+		t.Fatalf("want *ErrSyntax, got %T", err)
+	}
+	if se.Pos != 7 {
+		t.Fatalf("error pos = %d, want 7", se.Pos)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("ab  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Fatalf("positions = %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}

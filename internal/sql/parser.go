@@ -1,0 +1,677 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"madlib/internal/engine"
+)
+
+// reservedWords may not be used as bare column references inside
+// expressions; the parser needs them to delimit clauses. Table and column
+// names in DDL/DML positions are unrestricted.
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "order": true,
+	"by": true, "limit": true, "as": true, "asc": true, "desc": true,
+	"and": true, "or": true, "not": true, "values": true, "insert": true,
+	"create": true, "drop": true, "table": true, "into": true,
+}
+
+// Parse tokenizes and parses a script of one or more ';'-separated
+// statements.
+func Parse(input string) ([]Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Statement
+	for {
+		for p.peek().Kind == TokOp && p.peek().Text == ";" {
+			p.pos++
+		}
+		if p.peek().Kind == TokEOF {
+			return stmts, nil
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		t := p.peek()
+		if t.Kind == TokEOF {
+			return stmts, nil
+		}
+		if !(t.Kind == TokOp && t.Text == ";") {
+			return nil, syntaxErrf(t.Pos, "expected ';' or end of input, got %q", t.Text)
+		}
+	}
+}
+
+// ParseStatement parses exactly one statement.
+func ParseStatement(input string) (Statement, error) {
+	stmts, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, syntaxErrf(0, "expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peek2() Token { // token after peek (EOF-safe: EOF is last)
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// matchKeyword consumes the next token when it is the given keyword.
+func (p *parser) matchKeyword(kw string) bool {
+	if p.peek().IsKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if !t.IsKeyword(kw) {
+		return syntaxErrf(t.Pos, "expected %s, got %q", strings.ToUpper(kw), tokenDesc(t))
+	}
+	p.pos++
+	return nil
+}
+
+// matchOp consumes the next token when it is the given operator.
+func (p *parser) matchOp(op string) bool {
+	t := p.peek()
+	if t.Kind == TokOp && t.Text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	t := p.peek()
+	if !(t.Kind == TokOp && t.Text == op) {
+		return syntaxErrf(t.Pos, "expected %q, got %q", op, tokenDesc(t))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectIdent(what string) (Token, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return t, syntaxErrf(t.Pos, "expected %s, got %q", what, tokenDesc(t))
+	}
+	p.pos++
+	return t, nil
+}
+
+func tokenDesc(t Token) string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return t.Text
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	switch {
+	case t.IsKeyword("create"):
+		return p.parseCreate()
+	case t.IsKeyword("drop"):
+		return p.parseDrop()
+	case t.IsKeyword("insert"):
+		return p.parseInsert()
+	case t.IsKeyword("select"):
+		return p.parseSelect()
+	}
+	return nil, syntaxErrf(t.Pos, "expected CREATE, DROP, INSERT or SELECT, got %q", tokenDesc(t))
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.pos++ // CREATE
+	if err := p.expectKeyword("table"); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTable{}
+	if p.peek().IsKeyword("if") && p.peek2().IsKeyword("not") {
+		p.pos += 2
+		if err := p.expectKeyword("exists"); err != nil {
+			return nil, err
+		}
+		stmt.IfNotExists = true
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = strings.ToLower(name.Text)
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		kind, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Cols = append(stmt.Cols, ColumnDef{Name: strings.ToLower(col.Text), Kind: kind})
+		if p.matchOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// parseType recognizes the engine's five kinds under their common SQL
+// spellings, including `double precision` and the `[]` array suffix.
+func (p *parser) parseType() (engine.Kind, error) {
+	t, err := p.expectIdent("column type")
+	if err != nil {
+		return 0, err
+	}
+	name := strings.ToLower(t.Text)
+	if name == "double" && p.matchKeyword("precision") {
+		name = "double precision"
+	}
+	array := false
+	if p.matchOp("[") {
+		if err := p.expectOp("]"); err != nil {
+			return 0, err
+		}
+		array = true
+	}
+	var kind engine.Kind
+	switch name {
+	case "double precision", "double", "float", "float8", "real", "numeric":
+		kind = engine.Float
+	case "vector":
+		return engine.Vector, nil
+	case "bigint", "int", "integer", "int8", "int4", "smallint":
+		kind = engine.Int
+	case "text", "varchar", "string", "char":
+		kind = engine.String
+	case "boolean", "bool":
+		kind = engine.Bool
+	default:
+		return 0, syntaxErrf(t.Pos, "unknown column type %q", t.Text)
+	}
+	if array {
+		if kind != engine.Float {
+			return 0, syntaxErrf(t.Pos, "only double precision[] arrays are supported, not %s[]", name)
+		}
+		return engine.Vector, nil
+	}
+	return kind, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.pos++ // DROP
+	if err := p.expectKeyword("table"); err != nil {
+		return nil, err
+	}
+	stmt := &DropTable{}
+	if p.peek().IsKeyword("if") && p.peek2().IsKeyword("exists") {
+		p.pos += 2
+		stmt.IfExists = true
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = strings.ToLower(name.Text)
+	return stmt, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.pos++ // INSERT
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &Insert{Table: strings.ToLower(name.Text)}
+	if p.matchOp("(") {
+		for {
+			col, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, strings.ToLower(col.Text))
+			if p.matchOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.matchOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if p.matchOp(",") {
+			continue
+		}
+		break
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	p.pos++ // SELECT
+	stmt := &Select{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.matchOp(",") {
+			continue
+		}
+		break
+	}
+	if p.matchKeyword("from") {
+		name, err := p.expectIdent("table name")
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = strings.ToLower(name.Text)
+	}
+	if p.matchKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.matchKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent("GROUP BY column")
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, strings.ToLower(col.Text))
+			if p.matchOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.matchKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.matchKeyword("desc") {
+				key.Desc = true
+			} else {
+				p.matchKeyword("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if p.matchOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.matchKeyword("limit") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, syntaxErrf(t.Pos, "expected LIMIT count, got %q", tokenDesc(t))
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, syntaxErrf(t.Pos, "invalid LIMIT count %q", t.Text)
+		}
+		p.pos++
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.matchOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	// `(expr).*` / `madlib.fn(...).*` composite expansion.
+	if p.peek().Kind == TokOp && p.peek().Text == "." && p.peek2().Kind == TokOp && p.peek2().Text == "*" {
+		p.pos += 2
+		item.Expand = true
+	}
+	if p.matchKeyword("as") {
+		alias, err := p.expectIdent("column alias")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = strings.ToLower(alias.Text)
+	} else if t := p.peek(); t.Kind == TokIdent && !reservedWords[strings.ToLower(t.Text)] {
+		p.pos++
+		item.Alias = strings.ToLower(t.Text)
+	}
+	return item, nil
+}
+
+// Expression grammar, loosest first:
+//
+//	expr    := and (OR and)*
+//	and     := not (AND not)*
+//	not     := [NOT] cmp
+//	cmp     := add [(=|<>|!=|<|<=|>|>=) add]
+//	add     := mul ((+|-) mul)*
+//	mul     := unary ((*|/|%) unary)*
+//	unary   := [-|+] primary
+//	primary := literal | array | column | fn(args) | madlib.fn(args) | (expr)
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().IsKeyword("or") {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().IsKeyword("and") {
+		pos := p.next().Pos
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.peek().IsKeyword("not") {
+		p.pos++
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			op := t.Text
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: l, R: r, Pos: t.Pos}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r, Pos: t.Pos}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r, Pos: t.Pos}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && (t.Text == "-" || t.Text == "+") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.Text == "+" {
+			return x, nil
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.pos++
+		return numberLiteral(t)
+	case t.Kind == TokString:
+		p.pos++
+		return &Literal{Val: t.Text, Pos: t.Pos}, nil
+	case t.Kind == TokOp && t.Text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokOp && t.Text == "{":
+		return p.parseArray("}")
+	case t.IsKeyword("array"):
+		p.pos++
+		if tt := p.peek(); !(tt.Kind == TokOp && tt.Text == "[") {
+			return nil, syntaxErrf(tt.Pos, "expected '[' after ARRAY")
+		}
+		return p.parseArray("]")
+	case t.IsKeyword("true"):
+		p.pos++
+		return &Literal{Val: true, Pos: t.Pos}, nil
+	case t.IsKeyword("false"):
+		p.pos++
+		return &Literal{Val: false, Pos: t.Pos}, nil
+	case t.Kind == TokIdent:
+		if reservedWords[strings.ToLower(t.Text)] {
+			return nil, syntaxErrf(t.Pos, "unexpected keyword %q in expression", t.Text)
+		}
+		p.pos++
+		// Qualified call: schema '.' fn '(' ...
+		if p.peek().Kind == TokOp && p.peek().Text == "." && p.peek2().Kind == TokIdent {
+			save := p.pos
+			p.pos++ // '.'
+			fn := p.next()
+			if p.peek().Kind == TokOp && p.peek().Text == "(" {
+				return p.parseCallArgs(&FuncCall{Schema: strings.ToLower(t.Text), Name: strings.ToLower(fn.Text), Pos: t.Pos})
+			}
+			p.pos = save // plain `a.b` without a call is not supported
+			return nil, syntaxErrf(t.Pos, "qualified name %s.%s must be a function call", t.Text, fn.Text)
+		}
+		if p.peek().Kind == TokOp && p.peek().Text == "(" {
+			return p.parseCallArgs(&FuncCall{Name: strings.ToLower(t.Text), Pos: t.Pos})
+		}
+		return &ColumnRef{Name: strings.ToLower(t.Text), Pos: t.Pos}, nil
+	}
+	return nil, syntaxErrf(t.Pos, "unexpected %q in expression", tokenDesc(t))
+}
+
+func (p *parser) parseArray(closer string) (Expr, error) {
+	open := p.next() // '{' or '['
+	arr := &ArrayLit{Pos: open.Pos}
+	if p.matchOp(closer) {
+		return arr, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		arr.Elems = append(arr.Elems, e)
+		if p.matchOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(closer); err != nil {
+		return nil, err
+	}
+	return arr, nil
+}
+
+func (p *parser) parseCallArgs(call *FuncCall) (Expr, error) {
+	p.pos++ // '('
+	if p.matchOp("*") {
+		call.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	if p.matchOp(")") {
+		return call, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, e)
+		if p.matchOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func numberLiteral(t Token) (Expr, error) {
+	if !strings.ContainsAny(t.Text, ".eE") {
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err == nil {
+			return &Literal{Val: n, Pos: t.Pos}, nil
+		}
+		// Fall through to float for out-of-range integers.
+	}
+	f, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return nil, syntaxErrf(t.Pos, "invalid number %q", t.Text)
+	}
+	return &Literal{Val: f, Pos: t.Pos}, nil
+}

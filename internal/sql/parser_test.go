@@ -1,0 +1,177 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+func mustParse(t *testing.T, in string) Statement {
+	t.Helper()
+	st, err := ParseStatement(in)
+	if err != nil {
+		t.Fatalf("parse %q: %v", in, err)
+	}
+	return st
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, `CREATE TABLE Points (Y double precision, x double precision[], n bigint, tag text, ok boolean)`)
+	ct, ok := st.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ct.Name != "points" {
+		t.Fatalf("name folded to %q", ct.Name)
+	}
+	wantKinds := []engine.Kind{engine.Float, engine.Vector, engine.Int, engine.String, engine.Bool}
+	if len(ct.Cols) != len(wantKinds) {
+		t.Fatalf("cols = %v", ct.Cols)
+	}
+	if ct.Cols[0].Name != "y" {
+		t.Fatalf("column name folded to %q", ct.Cols[0].Name)
+	}
+	for i, k := range wantKinds {
+		if ct.Cols[i].Kind != k {
+			t.Fatalf("col %d kind = %v, want %v", i, ct.Cols[i].Kind, k)
+		}
+	}
+}
+
+func TestParseCreateTableTypeAliases(t *testing.T) {
+	st := mustParse(t, `create table t (a float, b vector, c int, d varchar, e bool)`)
+	ct := st.(*CreateTable)
+	want := []engine.Kind{engine.Float, engine.Vector, engine.Int, engine.String, engine.Bool}
+	for i, k := range want {
+		if ct.Cols[i].Kind != k {
+			t.Fatalf("col %d kind = %v, want %v", i, ct.Cols[i].Kind, k)
+		}
+	}
+	if _, err := ParseStatement(`create table t (a frobnitz)`); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+	if _, err := ParseStatement(`create table t (a text[])`); err == nil {
+		t.Fatal("text[] should fail")
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	st := mustParse(t, `DROP TABLE IF EXISTS t`)
+	dt := st.(*DropTable)
+	if !dt.IfExists || dt.Name != "t" {
+		t.Fatalf("drop = %+v", dt)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, `INSERT INTO t (y, x) VALUES (1.5, {1, 2}), (-2, ARRAY[3, 4])`)
+	ins := st.(*Insert)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if _, ok := ins.Rows[0][1].(*ArrayLit); !ok {
+		t.Fatalf("brace array literal parsed as %T", ins.Rows[0][1])
+	}
+	if _, ok := ins.Rows[1][1].(*ArrayLit); !ok {
+		t.Fatalf("ARRAY[...] literal parsed as %T", ins.Rows[1][1])
+	}
+	if _, ok := ins.Rows[1][0].(*Unary); !ok {
+		t.Fatalf("negative literal parsed as %T", ins.Rows[1][0])
+	}
+}
+
+func TestParseSelectClauses(t *testing.T) {
+	st := mustParse(t, `SELECT g, avg(v) AS m, count(*) FROM t WHERE v > 0 AND g <> 'x' GROUP BY g ORDER BY m DESC, 1 LIMIT 10`)
+	sel := st.(*Select)
+	if len(sel.Items) != 3 || sel.From != "t" || sel.Where == nil {
+		t.Fatalf("select = %+v", sel)
+	}
+	if sel.Items[1].Alias != "m" {
+		t.Fatalf("alias = %q", sel.Items[1].Alias)
+	}
+	if fc, ok := sel.Items[2].Expr.(*FuncCall); !ok || !fc.Star {
+		t.Fatalf("count(*) parsed as %#v", sel.Items[2].Expr)
+	}
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0] != "g" {
+		t.Fatalf("group by = %v", sel.GroupBy)
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Fatalf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseMadlibCall(t *testing.T) {
+	st := mustParse(t, `SELECT (madlib.linregr(y, x)).* FROM data`)
+	sel := st.(*Select)
+	if len(sel.Items) != 1 || !sel.Items[0].Expand {
+		t.Fatalf("items = %+v", sel.Items)
+	}
+	fc, ok := sel.Items[0].Expr.(*FuncCall)
+	if !ok || fc.Schema != "madlib" || fc.Name != "linregr" || len(fc.Args) != 2 {
+		t.Fatalf("call = %#v", sel.Items[0].Expr)
+	}
+	// Unparenthesized variant.
+	st = mustParse(t, `SELECT madlib.kmeans(coords, 3).* FROM points`)
+	sel = st.(*Select)
+	if !sel.Items[0].Expand {
+		t.Fatal("madlib.fn(...).* should set Expand")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st := mustParse(t, `SELECT 1 + 2 * 3 = 7 AND NOT false`)
+	sel := st.(*Select)
+	b, ok := sel.Items[0].Expr.(*Binary)
+	if !ok || b.Op != "AND" {
+		t.Fatalf("top = %#v", sel.Items[0].Expr)
+	}
+	cmp, ok := b.L.(*Binary)
+	if !ok || cmp.Op != "=" {
+		t.Fatalf("left of AND = %#v", b.L)
+	}
+	if s := cmp.L.String(); s != "1 + 2 * 3" {
+		t.Fatalf("arith rendering = %q", s)
+	}
+}
+
+func TestParseMultiStatement(t *testing.T) {
+	stmts, err := Parse(`CREATE TABLE t (v float); INSERT INTO t VALUES (1); SELECT * FROM t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		`SELEC 1`,
+		`SELECT FROM t`,
+		`CREATE TABLE t`,
+		`CREATE TABLE t (a)`,
+		`INSERT INTO t VALUES`,
+		`SELECT a FROM`,
+		`SELECT a FROM t WHERE`,
+		`SELECT a b c FROM t`,
+		`SELECT * FROM t LIMIT -1`,
+		`SELECT madlib.x FROM t`,
+		`SELECT (1`,
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Fatalf("%q should fail to parse", in)
+		} else if !strings.Contains(err.Error(), "syntax error") {
+			t.Fatalf("%q: error %v lacks position context", in, err)
+		}
+	}
+}
+
+func TestParseReservedWordRejected(t *testing.T) {
+	if _, err := Parse(`SELECT select FROM t`); err == nil {
+		t.Fatal("reserved word as column should fail")
+	}
+}

@@ -1,0 +1,939 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"madlib/internal/core"
+	"madlib/internal/engine"
+)
+
+// Execution errors not tied to a source position.
+var (
+	// ErrNoRows is returned by Query helpers when a statement produced no
+	// row set.
+	ErrNoRows = errors.New("sql: statement returned no rows")
+)
+
+func execErrf(format string, args ...any) error {
+	return fmt.Errorf("sql: "+format, args...)
+}
+
+// evalCtx supplies bindings for expression evaluation. All fields are
+// optional: a zero ctx evaluates constant expressions only.
+type evalCtx struct {
+	// schema + row bind column references to a table row.
+	schema engine.Schema
+	colIdx map[string]int
+	row    *engine.Row
+
+	// slotOf + slotVals bind aggregate calls to their finalized values
+	// (aggregate-query output stage).
+	slotOf   map[*FuncCall]int
+	slotVals []any
+	// groupVals binds column references to GROUP BY key values.
+	groupVals map[string]any
+
+	// outCols + outVals bind column references to output columns
+	// (ORDER BY over a computed result).
+	outCols map[string]int
+	outVals []any
+}
+
+func colIndexMap(schema engine.Schema) map[string]int {
+	m := make(map[string]int, len(schema))
+	for i, c := range schema {
+		m[c.Name] = i
+	}
+	return m
+}
+
+// rowValue fetches one typed column value from the bound row.
+func rowValue(schema engine.Schema, row *engine.Row, idx int) any {
+	switch schema[idx].Kind {
+	case engine.Float:
+		return row.Float(idx)
+	case engine.Vector:
+		return row.Vector(idx)
+	case engine.Int:
+		return row.Int(idx)
+	case engine.String:
+		return row.Str(idx)
+	case engine.Bool:
+		return row.Bool(idx)
+	}
+	return nil
+}
+
+// evalExpr interprets a scalar expression under ctx. Values are int64,
+// float64, string, bool or []float64.
+func evalExpr(e Expr, ctx *evalCtx) (any, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ArrayLit:
+		out := make([]float64, len(x.Elems))
+		for i, el := range x.Elems {
+			v, err := evalExpr(el, ctx)
+			if err != nil {
+				return nil, err
+			}
+			f, ok := toFloat(v)
+			if !ok {
+				return nil, execErrf("array element %d is not numeric", i+1)
+			}
+			out[i] = f
+		}
+		return out, nil
+	case *ColumnRef:
+		// Bindings are consulted loosest-first: GROUP BY key values, then
+		// output columns (ORDER BY over a computed result — including
+		// aliases of aggregate items), then input rows.
+		if ctx.groupVals != nil {
+			if v, ok := ctx.groupVals[x.Name]; ok {
+				return v, nil
+			}
+		}
+		if ctx.outCols != nil {
+			if i, ok := ctx.outCols[x.Name]; ok {
+				return ctx.outVals[i], nil
+			}
+		}
+		if ctx.row != nil {
+			if i, ok := ctx.colIdx[x.Name]; ok {
+				return rowValue(ctx.schema, ctx.row, i), nil
+			}
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, x.Name)
+		}
+		if ctx.groupVals != nil {
+			return nil, execErrf("column %q must appear in the GROUP BY clause or be used in an aggregate function", x.Name)
+		}
+		if ctx.outCols != nil {
+			return nil, execErrf("column %q does not exist in the result", x.Name)
+		}
+		return nil, execErrf("column reference %q is not allowed here", x.Name)
+	case *Unary:
+		v, err := evalExpr(x.X, ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, execErrf("cannot negate %s", valueTypeName(v))
+		case "NOT":
+			b, ok := v.(bool)
+			if !ok {
+				return nil, execErrf("argument of NOT must be boolean, not %s", valueTypeName(v))
+			}
+			return !b, nil
+		}
+		return nil, execErrf("unknown unary operator %q", x.Op)
+	case *Binary:
+		return evalBinary(x, ctx)
+	case *FuncCall:
+		if ctx.slotOf != nil {
+			if i, ok := ctx.slotOf[x]; ok {
+				return ctx.slotVals[i], nil
+			}
+		}
+		return evalScalarFunc(x, ctx)
+	}
+	return nil, execErrf("cannot evaluate %T", e)
+}
+
+func evalBinary(x *Binary, ctx *evalCtx) (any, error) {
+	switch x.Op {
+	case "AND", "OR":
+		l, err := evalExpr(x.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, execErrf("argument of %s must be boolean, not %s", x.Op, valueTypeName(l))
+		}
+		// Short-circuit.
+		if x.Op == "AND" && !lb {
+			return false, nil
+		}
+		if x.Op == "OR" && lb {
+			return true, nil
+		}
+		r, err := evalExpr(x.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, execErrf("argument of %s must be boolean, not %s", x.Op, valueTypeName(r))
+		}
+		return rb, nil
+	}
+	l, err := evalExpr(x.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalExpr(x.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "+", "-", "*", "/", "%":
+		return evalArith(x.Op, l, r)
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, err := compareValues(l, r)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "=":
+			return c == 0, nil
+		case "<>":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+	}
+	return nil, execErrf("unknown operator %q", x.Op)
+}
+
+func evalArith(op string, l, r any) (any, error) {
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, execErrf("division by zero")
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, execErrf("division by zero")
+			}
+			return li % ri, nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, execErrf("operator %s does not apply to %s and %s", op, valueTypeName(l), valueTypeName(r))
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, execErrf("division by zero")
+		}
+		return lf / rf, nil
+	case "%":
+		if rf == 0 {
+			return nil, execErrf("division by zero")
+		}
+		return math.Mod(lf, rf), nil
+	}
+	return nil, execErrf("unknown operator %q", op)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int64:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+func valueTypeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case int64:
+		return "bigint"
+	case float64:
+		return "double precision"
+	case string:
+		return "text"
+	case bool:
+		return "boolean"
+	case []float64:
+		return "double precision[]"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+// compareValues orders two values: nil first, then numerics (cross-type),
+// bools (false < true), strings, vectors (lexicographic). Mismatched
+// non-numeric types are an error.
+func compareValues(a, b any) (int, error) {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0, nil
+		case a == nil:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if af, ok := toFloat(a); ok {
+		if bf, ok := toFloat(b); ok {
+			switch {
+			case af < bf:
+				return -1, nil
+			case af > bf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if as, ok := a.(string); ok {
+		if bs, ok := b.(string); ok {
+			return strings.Compare(as, bs), nil
+		}
+	}
+	if ab, ok := a.(bool); ok {
+		if bb, ok := b.(bool); ok {
+			switch {
+			case ab == bb:
+				return 0, nil
+			case !ab:
+				return -1, nil
+			default:
+				return 1, nil
+			}
+		}
+	}
+	if av, ok := a.([]float64); ok {
+		if bv, ok := b.([]float64); ok {
+			for i := 0; i < len(av) && i < len(bv); i++ {
+				if av[i] != bv[i] {
+					if av[i] < bv[i] {
+						return -1, nil
+					}
+					return 1, nil
+				}
+			}
+			switch {
+			case len(av) < len(bv):
+				return -1, nil
+			case len(av) > len(bv):
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	return 0, execErrf("cannot compare %s with %s", valueTypeName(a), valueTypeName(b))
+}
+
+// evalScalarFunc applies a built-in scalar function.
+func evalScalarFunc(x *FuncCall, ctx *evalCtx) (any, error) {
+	if x.Schema != "" && x.Schema != "madlib" {
+		return nil, execErrf("unknown schema %q", x.Schema)
+	}
+	if x.Star {
+		return nil, execErrf("%s(*) is only valid as an aggregate in a SELECT list", x.Name)
+	}
+	if isAggregateCall(x) {
+		return nil, execErrf("aggregate function %s(...) is not allowed here", x.Name)
+	}
+	args := make([]any, len(x.Args))
+	for i, a := range x.Args {
+		v, err := evalExpr(a, ctx)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	num := func(i int) (float64, error) {
+		f, ok := toFloat(args[i])
+		if !ok {
+			return 0, execErrf("%s: argument %d is not numeric", x.Name, i+1)
+		}
+		return f, nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return execErrf("%s expects %d argument(s), got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "abs":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if n, ok := args[0].(int64); ok {
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		}
+		f, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		return math.Abs(f), nil
+	case "sqrt", "exp", "ln", "floor", "ceil":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		f, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Name {
+		case "sqrt":
+			return math.Sqrt(f), nil
+		case "exp":
+			return math.Exp(f), nil
+		case "ln":
+			return math.Log(f), nil
+		case "floor":
+			return math.Floor(f), nil
+		default:
+			return math.Ceil(f), nil
+		}
+	case "pow", "power":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return math.Pow(a, b), nil
+	case "length", "array_length":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case string:
+			return int64(len(v)), nil
+		case []float64:
+			return int64(len(v)), nil
+		}
+		return nil, execErrf("length: argument must be text or array, not %s", valueTypeName(args[0]))
+	case "array_get":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		vec, ok := args[0].([]float64)
+		if !ok {
+			return nil, execErrf("array_get: first argument must be an array")
+		}
+		i, ok := args[1].(int64)
+		if !ok || i < 1 || int(i) > len(vec) {
+			return nil, execErrf("array_get: index %v out of range 1..%d", args[1], len(vec))
+		}
+		return vec[i-1], nil
+	}
+	return nil, execErrf("unknown function %s(...)", x.Name)
+}
+
+// Built-in two-phase aggregates.
+var builtinAggs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"variance": true, "stddev": true,
+}
+
+// isAggregateCall reports whether the call is a built-in aggregate or a
+// registered madlib aggregate function.
+func isAggregateCall(x *FuncCall) bool {
+	if x.Schema == "" && builtinAggs[x.Name] {
+		return true
+	}
+	if f, ok := core.LookupSQLFunc(x.Name); ok && f.Kind == core.SQLAggregate {
+		return x.Schema == "" || x.Schema == "madlib"
+	}
+	return false
+}
+
+// isTableValuedCall reports whether the call is a registered madlib
+// table-valued function.
+func isTableValuedCall(x *FuncCall) bool {
+	if x.Schema != "" && x.Schema != "madlib" {
+		return false
+	}
+	f, ok := core.LookupSQLFunc(x.Name)
+	return ok && f.Kind == core.SQLTableValued
+}
+
+// walkAgg visits e and all children pre-order, telling the callback
+// whether each node sits inside an aggregate call's arguments. It is the
+// single traversal underlying walkExpr, collectAggCalls,
+// exprHasNestedAgg and the executor's grouped-column check.
+func walkAgg(e Expr, visit func(e Expr, inAgg bool)) {
+	var rec func(Expr, bool)
+	rec = func(e Expr, inAgg bool) {
+		if e == nil {
+			return
+		}
+		visit(e, inAgg)
+		switch x := e.(type) {
+		case *ArrayLit:
+			for _, el := range x.Elems {
+				rec(el, inAgg)
+			}
+		case *Unary:
+			rec(x.X, inAgg)
+		case *Binary:
+			rec(x.L, inAgg)
+			rec(x.R, inAgg)
+		case *FuncCall:
+			inAgg = inAgg || isAggregateCall(x)
+			for _, a := range x.Args {
+				rec(a, inAgg)
+			}
+		}
+	}
+	rec(e, false)
+}
+
+// walkExpr visits e and all children, pre-order.
+func walkExpr(e Expr, visit func(Expr)) {
+	walkAgg(e, func(x Expr, _ bool) { visit(x) })
+}
+
+// checkColumnRefs validates every column reference in e against schema.
+func checkColumnRefs(e Expr, schema engine.Schema) error {
+	var err error
+	walkExpr(e, func(x Expr) {
+		if cr, ok := x.(*ColumnRef); ok && err == nil {
+			if schema.Index(cr.Name) < 0 {
+				err = fmt.Errorf("%w: %q", engine.ErrNoColumn, cr.Name)
+			}
+		}
+	})
+	return err
+}
+
+// collectAggCalls returns the aggregate calls in e, outermost only (an
+// aggregate nested inside another aggregate's arguments is an error
+// reported later).
+func collectAggCalls(e Expr) []*FuncCall {
+	var out []*FuncCall
+	walkAgg(e, func(x Expr, inAgg bool) {
+		if fc, ok := x.(*FuncCall); ok && !inAgg && isAggregateCall(fc) {
+			out = append(out, fc)
+		}
+	})
+	return out
+}
+
+// exprHasAgg reports whether e contains any aggregate call.
+func exprHasAgg(e Expr) bool { return len(collectAggCalls(e)) > 0 }
+
+// exprHasNestedAgg reports an aggregate call inside an aggregate's
+// arguments.
+func exprHasNestedAgg(e Expr) bool {
+	nested := false
+	walkAgg(e, func(x Expr, inAgg bool) {
+		if fc, ok := x.(*FuncCall); ok && inAgg && isAggregateCall(fc) {
+			nested = true
+		}
+	})
+	return nested
+}
+
+// buildAggregate compiles one aggregate call into an engine.Aggregate.
+// Built-in aggregates evaluate their argument expression per row; madlib
+// aggregates are built by their registered binding.
+func buildAggregate(call *FuncCall, schema engine.Schema) (engine.Aggregate, error) {
+	if x := call; x.Schema == "" && builtinAggs[x.Name] {
+		return buildBuiltinAggregate(call, schema)
+	}
+	f, _ := core.LookupSQLFunc(call.Name)
+	args, err := resolveFuncArgs(call, schema)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := f.BuildAggregate(schema, args)
+	if err != nil {
+		return nil, fmt.Errorf("sql: madlib.%s: %w", call.Name, err)
+	}
+	return agg, nil
+}
+
+// resolveFuncArgs evaluates madlib call arguments: column references
+// become core.ColumnArg, everything else must fold to a constant.
+func resolveFuncArgs(call *FuncCall, schema engine.Schema) ([]any, error) {
+	args := make([]any, len(call.Args))
+	for i, a := range call.Args {
+		if cr, ok := a.(*ColumnRef); ok {
+			if schema.Index(cr.Name) < 0 {
+				return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, cr.Name)
+			}
+			args[i] = core.ColumnArg{Name: cr.Name}
+			continue
+		}
+		v, err := evalExpr(a, &evalCtx{})
+		if err != nil {
+			return nil, fmt.Errorf("sql: %s argument %d: %w", call.Name, i+1, err)
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+// numAccState is the shared transition state of the numeric built-in
+// aggregates: enough moments for count/sum/avg/variance/stddev.
+type numAccState struct {
+	n     int64
+	sum   float64
+	sumSq float64
+	// intOnly tracks whether every input was an int64, so sum can stay
+	// integral like SQL's sum(bigint).
+	intOnly bool
+	sumInt  int64
+	err     error
+}
+
+// minmaxState tracks the extreme value seen so far.
+type minmaxState struct {
+	val any
+	err error
+}
+
+// buildBuiltinAggregate compiles count/sum/avg/min/max/variance/stddev
+// into the engine's two-phase aggregate contract, so they execute
+// segment-parallel exactly like the library's own methods.
+func buildBuiltinAggregate(call *FuncCall, schema engine.Schema) (engine.Aggregate, error) {
+	name := call.Name
+	if call.Star {
+		if name != "count" {
+			return nil, execErrf("%s(*) is not supported; only count(*)", name)
+		}
+	} else if len(call.Args) != 1 {
+		return nil, execErrf("%s expects exactly one argument", name)
+	}
+	var argExpr Expr
+	if !call.Star {
+		argExpr = call.Args[0]
+		if err := checkColumnRefs(argExpr, schema); err != nil {
+			return nil, err
+		}
+	}
+	idx := colIndexMap(schema)
+	evalArg := func(row engine.Row) (any, error) {
+		ctx := &evalCtx{schema: schema, colIdx: idx, row: &row}
+		return evalExpr(argExpr, ctx)
+	}
+	switch name {
+	case "count":
+		type countState struct {
+			n   int64
+			err error
+		}
+		return engine.FuncAggregate{
+			InitFn: func() any { return &countState{} },
+			TransitionFn: func(s any, row engine.Row) any {
+				st := s.(*countState)
+				if st.err != nil {
+					return st
+				}
+				// count(expr) still evaluates its argument so runtime
+				// errors (e.g. division by zero) surface; there are no
+				// NULLs, so every evaluated row counts.
+				if argExpr != nil {
+					if _, err := evalArg(row); err != nil {
+						st.err = err
+						return st
+					}
+				}
+				st.n++
+				return st
+			},
+			MergeFn: func(a, b any) any {
+				sa, sb := a.(*countState), b.(*countState)
+				if sa.err == nil {
+					sa.err = sb.err
+				}
+				sa.n += sb.n
+				return sa
+			},
+			FinalFn: func(s any) (any, error) {
+				st := s.(*countState)
+				return st.n, st.err
+			},
+		}, nil
+	case "min", "max":
+		wantLess := name == "min"
+		return engine.FuncAggregate{
+			InitFn: func() any { return &minmaxState{} },
+			TransitionFn: func(s any, row engine.Row) any {
+				st := s.(*minmaxState)
+				if st.err != nil {
+					return st
+				}
+				v, err := evalArg(row)
+				if err != nil {
+					st.err = err
+					return st
+				}
+				if st.val == nil {
+					st.val = v
+					return st
+				}
+				c, err := compareValues(v, st.val)
+				if err != nil {
+					st.err = err
+					return st
+				}
+				if (wantLess && c < 0) || (!wantLess && c > 0) {
+					st.val = v
+				}
+				return st
+			},
+			MergeFn: func(a, b any) any {
+				sa, sb := a.(*minmaxState), b.(*minmaxState)
+				if sa.err != nil {
+					return sa
+				}
+				if sb.err != nil {
+					return sb
+				}
+				if sb.val == nil {
+					return sa
+				}
+				if sa.val == nil {
+					return sb
+				}
+				c, err := compareValues(sb.val, sa.val)
+				if err != nil {
+					sa.err = err
+					return sa
+				}
+				if (wantLess && c < 0) || (!wantLess && c > 0) {
+					sa.val = sb.val
+				}
+				return sa
+			},
+			FinalFn: func(s any) (any, error) {
+				st := s.(*minmaxState)
+				return st.val, st.err
+			},
+		}, nil
+	case "sum", "avg", "variance", "stddev":
+		return engine.FuncAggregate{
+			InitFn: func() any { return &numAccState{intOnly: true} },
+			TransitionFn: func(s any, row engine.Row) any {
+				st := s.(*numAccState)
+				if st.err != nil {
+					return st
+				}
+				v, err := evalArg(row)
+				if err != nil {
+					st.err = err
+					return st
+				}
+				f, ok := toFloat(v)
+				if !ok {
+					st.err = execErrf("%s: argument is %s, not numeric", name, valueTypeName(v))
+					return st
+				}
+				if i, ok := v.(int64); ok {
+					st.sumInt += i
+				} else {
+					st.intOnly = false
+				}
+				st.n++
+				st.sum += f
+				st.sumSq += f * f
+				return st
+			},
+			MergeFn: func(a, b any) any {
+				sa, sb := a.(*numAccState), b.(*numAccState)
+				if sa.err != nil {
+					return sa
+				}
+				if sb.err != nil {
+					return sb
+				}
+				sa.n += sb.n
+				sa.sum += sb.sum
+				sa.sumSq += sb.sumSq
+				sa.sumInt += sb.sumInt
+				sa.intOnly = sa.intOnly && sb.intOnly
+				return sa
+			},
+			FinalFn: func(s any) (any, error) {
+				st := s.(*numAccState)
+				if st.err != nil {
+					return nil, st.err
+				}
+				if st.n == 0 {
+					return nil, nil // SQL aggregates are NULL over no rows
+				}
+				switch name {
+				case "sum":
+					if st.intOnly {
+						return st.sumInt, nil
+					}
+					return st.sum, nil
+				case "avg":
+					return st.sum / float64(st.n), nil
+				case "variance":
+					if st.n < 2 {
+						return nil, nil
+					}
+					mean := st.sum / float64(st.n)
+					return (st.sumSq - float64(st.n)*mean*mean) / float64(st.n-1), nil
+				default: // stddev
+					if st.n < 2 {
+						return nil, nil
+					}
+					mean := st.sum / float64(st.n)
+					return math.Sqrt((st.sumSq - float64(st.n)*mean*mean) / float64(st.n-1)), nil
+				}
+			},
+		}, nil
+	}
+	return nil, execErrf("unknown aggregate %s", name)
+}
+
+// multiAggregate runs several aggregates in one table pass and captures
+// the GROUP BY key values of each group alongside.
+type multiAggregate struct {
+	aggs     []engine.Aggregate
+	groupIdx []int
+	schema   engine.Schema
+}
+
+type multiState struct {
+	slots   []any
+	keyVals []any
+}
+
+func (m *multiAggregate) Init() any {
+	st := &multiState{slots: make([]any, len(m.aggs))}
+	for i, a := range m.aggs {
+		st.slots[i] = a.Init()
+	}
+	return st
+}
+
+func (m *multiAggregate) Transition(state any, row engine.Row) any {
+	st := state.(*multiState)
+	if st.keyVals == nil && len(m.groupIdx) > 0 {
+		st.keyVals = make([]any, len(m.groupIdx))
+		for i, gi := range m.groupIdx {
+			st.keyVals[i] = rowValue(m.schema, &row, gi)
+		}
+	}
+	for i, a := range m.aggs {
+		st.slots[i] = a.Transition(st.slots[i], row)
+	}
+	return st
+}
+
+func (m *multiAggregate) Merge(a, b any) any {
+	sa, sb := a.(*multiState), b.(*multiState)
+	if sa.keyVals == nil {
+		sa.keyVals = sb.keyVals
+	}
+	for i, agg := range m.aggs {
+		sa.slots[i] = agg.Merge(sa.slots[i], sb.slots[i])
+	}
+	return sa
+}
+
+func (m *multiAggregate) Final(state any) (any, error) {
+	st := state.(*multiState)
+	out := &multiState{slots: make([]any, len(m.aggs)), keyVals: st.keyVals}
+	for i, a := range m.aggs {
+		v, err := a.Final(st.slots[i])
+		if err != nil {
+			return nil, err
+		}
+		out.slots[i] = v
+	}
+	return out, nil
+}
+
+// sortRows stable-sorts rows by the given key columns (extracted into
+// keys, parallel to rows).
+func sortRows(rows [][]any, keys [][]any, desc []bool) error {
+	var sortErr error
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for k := range desc {
+			c, err := compareValues(ka[k], kb[k])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c != 0 {
+				if desc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	reorder(rows, idx)
+	return nil
+}
+
+func reorder[T any](xs []T, idx []int) {
+	tmp := make([]T, len(xs))
+	for i, j := range idx {
+		tmp[i] = xs[j]
+	}
+	copy(xs, tmp)
+}
+
+// outputName derives the column header for a select item, Postgres-style:
+// explicit alias, else the column or function name, else "?column?".
+func outputName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch x := item.Expr.(type) {
+	case *ColumnRef:
+		return x.Name
+	case *FuncCall:
+		return x.Name
+	}
+	return "?column?"
+}

@@ -1,17 +1,24 @@
 // Package madlib is a Go reproduction of the MADlib in-database analytics
 // library ("The MADlib Analytics Library, or MAD Skills, the SQL",
-// Hellerstein et al., PVLDB 5(12), 2012): a suite of SQL-style machine
+// Hellerstein et al., PVLDB 5(12), 2012): a suite of SQL-driven machine
 // learning, data mining and statistics methods that execute as parallel
 // user-defined aggregates inside a shared-nothing database engine.
 //
-// The engine itself (internal/engine) is part of the reproduction: tables
-// are partitioned across N segments and every method runs as
-// transition/merge/final aggregation plus, for iterative methods, a
-// driver-function loop staging state through temp tables (paper §3).
-//
-// Quick start:
+// As in the paper, the primary entry point is SQL. Exec and Query compile
+// a practical dialect — DDL, DML, two-phase aggregates, GROUP BY, and the
+// madlib.* method namespace — down to the parallel engine, reproducing
+// the §4.1 psql session verbatim:
 //
 //	db := madlib.Open(madlib.Config{Segments: 4})
+//	db.Exec(`CREATE TABLE data (y double precision, x double precision[])`)
+//	db.Exec(`INSERT INTO data VALUES (1.14, {1, 0.22}), (2.87, {1, 0.61})`)
+//	res, _ := db.Query(`SELECT (madlib.linregr(y, x)).* FROM data`)
+//	fmt.Print(res.Format()) // coef, r2, std_err, t_stats, p_values, condition_no
+//
+// The same surface is available interactively via `madlib sql` (a psql
+// style REPL with \d, \df and \timing), and every method also has a typed
+// Go facade method for programmatic use:
+//
 //	data, _ := db.CreateTable("data", madlib.Schema{
 //		{Name: "y", Kind: madlib.Float},
 //		{Name: "x", Kind: madlib.Vector},
@@ -19,7 +26,12 @@
 //	data.Insert(1.14, []float64{1, 0.22})
 //	// ... more rows ...
 //	res, _ := db.LinRegr("data", "y", "x")
-//	fmt.Println(res) // coef, r2, std_err, t_stats, p_values, condition_no
+//
+// The engine itself (internal/engine) is part of the reproduction: tables
+// are partitioned across N segments and every method runs as
+// transition/merge/final aggregation plus, for iterative methods, a
+// driver-function loop staging state through temp tables (paper §3). The
+// SQL grammar is documented in internal/sql.
 package madlib
 
 import (

@@ -1,0 +1,30 @@
+package madlib
+
+import (
+	"madlib/internal/sql"
+)
+
+// SQLResult is one statement's rowset: column names, rows and a
+// psql-style command tag. Its Format method renders an aligned table.
+type SQLResult = sql.Result
+
+// Exec parses and runs one or more ';'-separated SQL statements against
+// the database, returning one result per statement:
+//
+//	db.Exec(`CREATE TABLE data (y double precision, x double precision[]);
+//	         INSERT INTO data VALUES (1.14, {1, 0.22});`)
+//
+// Execution stops at the first error; results of already-completed
+// statements are returned alongside it.
+func (db *DB) Exec(text string) ([]*SQLResult, error) {
+	return sql.NewSession(db.eng).Exec(text)
+}
+
+// Query runs a single SQL statement that must produce rows — the paper's
+// §4.1 session, programmatically:
+//
+//	res, err := db.Query(`SELECT (madlib.linregr(y, x)).* FROM data`)
+//	fmt.Print(res.Format())
+func (db *DB) Query(text string) (*SQLResult, error) {
+	return sql.NewSession(db.eng).Query(text)
+}

@@ -1,0 +1,83 @@
+package madlib_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"madlib"
+)
+
+// TestFacadeSQLEndToEnd drives the acceptance scenario through the public
+// facade: DDL + DML + grouped aggregation + madlib.* method calls, all
+// from SQL text.
+func TestFacadeSQLEndToEnd(t *testing.T) {
+	db := madlib.Open(madlib.Config{Segments: 4})
+	if _, err := db.Exec(`
+		CREATE TABLE t (g text, v double precision);
+		INSERT INTO t VALUES ('a', 1), ('a', 3), ('b', 10), ('b', 30);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT g, avg(v) FROM t GROUP BY g ORDER BY g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1] != 2.0 || res.Rows[1][1] != 20.0 {
+		t.Fatalf("grouped avg = %v", res.Rows)
+	}
+
+	// madlib.linregr over exact data recovers the coefficients.
+	if _, err := db.Exec(`CREATE TABLE data (y double precision, x double precision[])`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		x := float64(i)
+		if err := tbl.Insert(1.73+2.24*x, []float64{1, x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = db.Query(`SELECT (madlib.linregr(y, x)).* FROM data`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coef := res.Rows[0][0].([]float64)
+	if math.Abs(coef[0]-1.73) > 1e-9 || math.Abs(coef[1]-2.24) > 1e-9 {
+		t.Fatalf("coef = %v", coef)
+	}
+	// The SQL result matches the direct facade call.
+	direct, err := db.LinRegr("data", "y", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coef {
+		if math.Abs(coef[i]-direct.Coef[i]) > 1e-12 {
+			t.Fatalf("SQL coef %v != facade coef %v", coef, direct.Coef)
+		}
+	}
+
+	// Formatted output is psql-shaped.
+	out := res.Format()
+	if !strings.Contains(out, "coef") || !strings.HasSuffix(out, "(1 row)\n") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestFacadeSQLErrors(t *testing.T) {
+	db := madlib.Open(madlib.Config{Segments: 2})
+	if _, err := db.Exec(`SELEC 1`); err == nil {
+		t.Fatal("parse error expected")
+	}
+	if _, err := db.Query(`SELECT * FROM nope`); err == nil {
+		t.Fatal("unknown table expected")
+	}
+	// Exec returns completed results alongside the first error.
+	results, err := db.Exec(`CREATE TABLE ok (v float); SELECT * FROM nope`)
+	if err == nil || len(results) != 1 || results[0].Tag != "CREATE TABLE" {
+		t.Fatalf("partial exec: results=%v err=%v", results, err)
+	}
+}
