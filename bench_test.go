@@ -440,8 +440,14 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 	const query = `SELECT g, avg(v), count(*) FROM t WHERE v > 0.25 GROUP BY g`
 	sess := sqlfe.NewSession(db)
 
+	// Steady-state SQL: after the first execution the session's plan cache
+	// serves the statement, so iterations measure compiled execution only.
 	b.Run("SQL", func(b *testing.B) {
+		if _, err := sess.Query(query); err != nil {
+			b.Fatal(err)
+		}
 		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := sess.Query(query)
 			if err != nil {
@@ -450,6 +456,42 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 			if len(res.Rows) != 16 {
 				b.Fatalf("groups = %d", len(res.Rows))
 			}
+		}
+	})
+	// Cold path: parse + plan + execute every time (fresh session text).
+	b.Run("SQLColdPlan", func(b *testing.B) {
+		cold := sqlfe.NewSession(db)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := cold.Run(mustParse(b, query))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 16 {
+				b.Fatalf("groups = %d", len(res.Rows))
+			}
+		}
+	})
+	// PREPARE/EXECUTE with a $1 parameter in the WHERE clause.
+	b.Run("SQLPrepared", func(b *testing.B) {
+		if _, err := sess.Exec(`PREPARE bench_agg AS SELECT g, avg(v), count(*) FROM t WHERE v > $1 GROUP BY g`); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Query(`EXECUTE bench_agg(0.25)`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 16 {
+				b.Fatalf("groups = %d", len(res.Rows))
+			}
+		}
+		b.StopTimer()
+		if _, err := sess.Exec(`DEALLOCATE bench_agg`); err != nil {
+			b.Fatal(err)
 		}
 	})
 	b.Run("ParseOnly", func(b *testing.B) {
@@ -483,9 +525,9 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 			FinalFn: func(s any) (any, error) { return s, nil },
 		}
 		for i := 0; i < b.N; i++ {
-			groups, err := db.RunGroupByFiltered(tbl,
+			groups, err := db.RunGroupByKey(tbl,
 				func(row engine.Row) bool { return row.Float(1) > 0.25 },
-				func(row engine.Row) string { return fmt.Sprintf("%d", row.Int(0)) },
+				func(row engine.Row) engine.GroupKey { return engine.GroupKey{Int: row.Int(0)} },
 				agg)
 			if err != nil {
 				b.Fatal(err)
@@ -495,4 +537,13 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 			}
 		}
 	})
+}
+
+func mustParse(b *testing.B, query string) sqlfe.Statement {
+	b.Helper()
+	st, err := sqlfe.ParseStatement(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
 }

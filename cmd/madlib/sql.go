@@ -95,7 +95,13 @@ func (r *repl) execute(text string) bool {
 		return false
 	}
 	if r.timing {
-		fmt.Fprintf(r.out, "Time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000)
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		tm := r.db.SQLSession().LastTiming()
+		detail := fmt.Sprintf("parse %.3f, plan %.3f, exec %.3f", ms(tm.Parse), ms(tm.Plan), ms(tm.Exec))
+		if tm.CacheHit {
+			detail += ", cached plan"
+		}
+		fmt.Fprintf(r.out, "Time: %.3f ms (%s)\n", float64(time.Since(start).Microseconds())/1000, detail)
 	}
 	return true
 }
@@ -160,6 +166,8 @@ func (r *repl) metaCommand(cmd string) bool {
 		}
 	case "\\df":
 		r.listFunctions()
+	case "\\prepare":
+		r.listPrepared()
 	case "\\timing":
 		r.timing = !r.timing
 		state := "off"
@@ -173,7 +181,8 @@ func (r *repl) metaCommand(cmd string) bool {
   \d              list tables
   \d NAME         describe a table
   \df             list madlib.* SQL functions
-  \timing         toggle per-statement timing
+  \prepare        list prepared statements
+  \timing         toggle per-statement timing (parse/plan/exec split)
   \?              this help
 
 Statements end with ';' and may span lines.
@@ -206,6 +215,14 @@ func (r *repl) describeTable(name string) {
 	res := &madlib.SQLResult{Cols: []string{"column", "type"}}
 	for _, c := range t.Schema() {
 		res.Rows = append(res.Rows, []any{c.Name, c.Kind.String()})
+	}
+	fmt.Fprint(r.out, res.Format())
+}
+
+func (r *repl) listPrepared() {
+	res := &madlib.SQLResult{Cols: []string{"name", "parameters", "statement"}}
+	for _, p := range r.db.SQLSession().PreparedStatements() {
+		res.Rows = append(res.Rows, []any{p.Name, int64(p.NumParams), p.Text})
 	}
 	fmt.Fprint(r.out, res.Format())
 }

@@ -210,6 +210,44 @@ SELECT 40 + 2;
 	}
 }
 
+func TestSQLReplPrepareAndTimingSplit(t *testing.T) {
+	stdin := `CREATE TABLE t (v float);
+INSERT INTO t VALUES (1), (2), (3);
+PREPARE big AS SELECT count(*) FROM t WHERE v > $1;
+\prepare
+EXECUTE big(1);
+\timing
+SELECT sum(v) FROM t;
+SELECT sum(v) FROM t;
+\q
+`
+	stdout, stderr, code := runSQLTest(t, stdin)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "PREPARE") {
+		t.Fatalf("PREPARE tag missing:\n%s", stdout)
+	}
+	// \prepare lists name, parameter count and statement text.
+	if !strings.Contains(stdout, " name | parameters | statement") ||
+		!strings.Contains(stdout, " big  |          1 | SELECT count(*) FROM t WHERE v > $1") {
+		t.Fatalf("\\prepare listing missing:\n%s", stdout)
+	}
+	// EXECUTE ran with the bound parameter: 2 rows have v > 1.
+	if !strings.Contains(stdout, "     2\n") {
+		t.Fatalf("EXECUTE result missing:\n%s", stdout)
+	}
+	// \timing shows the phase split; the repeated statement reports a
+	// cached plan.
+	if !strings.Contains(stdout, "parse ") || !strings.Contains(stdout, "plan ") ||
+		!strings.Contains(stdout, "exec ") {
+		t.Fatalf("timing split missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "cached plan") {
+		t.Fatalf("cached-plan marker missing:\n%s", stdout)
+	}
+}
+
 func TestSQLDfListsRegistry(t *testing.T) {
 	stdout, _, code := runSQLTest(t, "\\df\n\\q\n")
 	if code != 0 {

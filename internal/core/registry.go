@@ -91,10 +91,25 @@ const (
 // input schema.
 type ColumnArg struct{ Name string }
 
+// ExprArg marks a SQL function argument that is a computed scalar
+// expression over the FROM table's rows (e.g. quantile(v * 2, 0.5)). The
+// SQL front-end compiles the expression to the getters; aggregate
+// builders call one of them per row instead of reading a column index.
+type ExprArg struct {
+	// Name is the rendered expression text, for error messages.
+	Name string
+	// Kind is the expression's inferred result kind.
+	Kind engine.Kind
+	// Float evaluates the expression and coerces numerics to float64.
+	Float func(engine.Row) (float64, error)
+	// Value evaluates the expression to its natural boxed value.
+	Value func(engine.Row) (any, error)
+}
+
 // SQLFunc binds a registered method to the SQL front-end. Exactly one of
 // BuildAggregate / Invoke is set, per Kind. Args follow the call site:
-// column references arrive as ColumnArg, literals as int64 / float64 /
-// string / bool / []float64.
+// column references arrive as ColumnArg, computed expressions as ExprArg,
+// literals as int64 / float64 / string / bool / []float64.
 type SQLFunc struct {
 	// Name is the function name inside the madlib schema (e.g. "linregr"
 	// makes madlib.linregr(...) callable).

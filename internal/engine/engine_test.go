@@ -388,15 +388,15 @@ func TestForEachSegmentOrdering(t *testing.T) {
 	tbl, _ := db.CreateTable("t", Schema{{Name: "x", Kind: Float}})
 	fill(t, tbl, 30)
 	// Within a segment rows must appear in insertion order (monotone x for
-	// round-robin inserts).
-	last := map[int]float64{}
-	var mu = make([]float64, 3) // just storage; no locking needed per contract
-	_ = mu
+	// round-robin inserts). State is per-segment (one slot per goroutine),
+	// matching the callback's no-locking contract.
+	last := make([]float64, 3)
+	seen := make([]bool, 3)
 	err := db.ForEachSegment(tbl, func(seg int, r Row) error {
-		if prev, ok := last[seg]; ok && r.Float(0) <= prev {
-			return fmt.Errorf("segment %d out of order: %v after %v", seg, r.Float(0), prev)
+		if seen[seg] && r.Float(0) <= last[seg] {
+			return fmt.Errorf("segment %d out of order: %v after %v", seg, r.Float(0), last[seg])
 		}
-		last[seg] = r.Float(0)
+		last[seg], seen[seg] = r.Float(0), true
 		return nil
 	})
 	if err != nil {

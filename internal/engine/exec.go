@@ -124,6 +124,18 @@ type GroupResult struct {
 	Value any
 }
 
+// GroupKey is a compact composite grouping key: a comparable struct, so a
+// hash aggregate can key its map without rendering the row's group columns
+// into a formatted string (which costs an allocation per row). Single-key
+// grouping uses exactly one field — an Int column goes in Int, a String
+// column in Str — and multi-column keys encode into Str. Callers only need
+// the key to be injective; any per-group metadata (e.g. the original key
+// values) rides along in the aggregate state.
+type GroupKey struct {
+	Int int64
+	Str string
+}
+
 // RunGroupBy executes SELECT key, agg(...) FROM t GROUP BY key. The key
 // function projects each row to a group key. Partial per-key states are
 // built segment-parallel and merged across segments, mirroring a parallel
@@ -138,10 +150,24 @@ func (db *DB) RunGroupBy(t *Table, key func(Row) string, agg Aggregate) (map[str
 // all rejected do not appear in the output — the SQL front-end relies on
 // this for WHERE + GROUP BY queries.
 func (db *DB) RunGroupByFiltered(t *Table, pred func(Row) bool, key func(Row) string, agg Aggregate) (map[string]any, error) {
+	return runGroupBy(db, t, pred, key, agg)
+}
+
+// RunGroupByKey is RunGroupByFiltered with a GroupKey-valued key function:
+// the allocation-free grouping path for hot aggregates. An int64 group
+// column keys as GroupKey{Int: v}, a string column as GroupKey{Str: s};
+// composite keys pack into Str.
+func (db *DB) RunGroupByKey(t *Table, pred func(Row) bool, key func(Row) GroupKey, agg Aggregate) (map[GroupKey]any, error) {
+	return runGroupBy(db, t, pred, key, agg)
+}
+
+// runGroupBy is the shared parallel hash-aggregate skeleton under both
+// RunGroupByFiltered (string keys) and RunGroupByKey (struct keys).
+func runGroupBy[K comparable](db *DB, t *Table, pred func(Row) bool, key func(Row) K, agg Aggregate) (map[K]any, error) {
 	db.queries.Add(1)
-	partials := make([]map[string]any, len(t.segs))
+	partials := make([]map[K]any, len(t.segs))
 	err := db.parallelSegments(t, func(i int, seg *Segment) error {
-		local := make(map[string]any)
+		local := make(map[K]any)
 		for r := 0; r < seg.n; r++ {
 			row := Row{seg: seg, idx: r}
 			if pred != nil && !pred(row) {
@@ -171,11 +197,11 @@ func (db *DB) RunGroupByFiltered(t *Table, pred func(Row) bool, key func(Row) st
 			}
 		}
 	}
-	out := make(map[string]any, len(merged))
+	out := make(map[K]any, len(merged))
 	for k, s := range merged {
 		v, err := agg.Final(s)
 		if err != nil {
-			return nil, fmt.Errorf("group %q: %w", k, err)
+			return nil, fmt.Errorf("group %v: %w", k, err)
 		}
 		out[k] = v
 	}

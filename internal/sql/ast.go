@@ -63,6 +63,56 @@ func (s *Insert) String() string {
 	return fmt.Sprintf("INSERT INTO %s VALUES ... (%d rows)", s.Table, len(s.Rows))
 }
 
+// Prepare is PREPARE name AS statement: plan once, execute many times
+// with $n parameter bindings.
+type Prepare struct {
+	Name string
+	// Stmt is the inner statement (SELECT or INSERT).
+	Stmt Statement
+	// Text is the inner statement's SQL source, kept for listings.
+	Text string
+}
+
+func (*Prepare) stmt() {}
+
+func (s *Prepare) String() string { return fmt.Sprintf("PREPARE %s AS %s", s.Name, s.Text) }
+
+// Execute is EXECUTE name(args): run a prepared statement with the given
+// parameter values.
+type Execute struct {
+	Name string
+	Args []Expr
+}
+
+func (*Execute) stmt() {}
+
+func (s *Execute) String() string {
+	parts := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		parts[i] = a.String()
+	}
+	if len(parts) == 0 {
+		return "EXECUTE " + s.Name
+	}
+	return fmt.Sprintf("EXECUTE %s(%s)", s.Name, strings.Join(parts, ", "))
+}
+
+// Deallocate is DEALLOCATE [PREPARE] name — drop a prepared statement.
+type Deallocate struct {
+	Name string
+	// All marks DEALLOCATE ALL.
+	All bool
+}
+
+func (*Deallocate) stmt() {}
+
+func (s *Deallocate) String() string {
+	if s.All {
+		return "DEALLOCATE ALL"
+	}
+	return "DEALLOCATE " + s.Name
+}
+
 // OrderKey is one ORDER BY key.
 type OrderKey struct {
 	Expr Expr
@@ -120,6 +170,21 @@ func (s *Select) String() string {
 	if len(s.GroupBy) > 0 {
 		b.WriteString(" GROUP BY " + strings.Join(s.GroupBy, ", "))
 	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, k := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.Expr.String())
+			if k.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
 	return b.String()
 }
 
@@ -159,6 +224,16 @@ func (e *ArrayLit) String() string {
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
+
+// Param is a $n placeholder (1-based), bound to a value at EXECUTE time.
+type Param struct {
+	Idx int
+	Pos int
+}
+
+func (*Param) expr() {}
+
+func (e *Param) String() string { return fmt.Sprintf("$%d", e.Idx) }
 
 // ColumnRef references a column of the FROM table by name.
 type ColumnRef struct {

@@ -1,0 +1,973 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"madlib/internal/engine"
+)
+
+// This file lowers type-checked scalar expressions into Go closures, so
+// per-row evaluation — WHERE filters, projection lists, aggregate
+// arguments, computed staging columns — runs a direct call chain instead
+// of walking the AST with boxed values (the paper's §4.4(a) overhead
+// argument: the declarative surface must cost almost nothing over the raw
+// engine). Compilation happens once per plan; the closures are pure with
+// respect to shared state, so the engine may call them from every segment
+// goroutine concurrently.
+
+// execEnv carries the per-execution bindings of a plan: the $n parameter
+// values supplied by EXECUTE. It is read-only during a query. A nil env is
+// valid and means "no parameters bound".
+type execEnv struct {
+	params []any
+}
+
+func (env *execEnv) param(idx int) (any, error) {
+	if env == nil || idx < 1 || idx > len(env.params) {
+		return nil, execErrf("there is no parameter $%d", idx)
+	}
+	return env.params[idx-1], nil
+}
+
+// paramList returns the bound parameter values (nil-safe), for handing to
+// the interpreter's evalCtx.
+func (env *execEnv) paramList() []any {
+	if env == nil {
+		return nil
+	}
+	return env.params
+}
+
+// compilePredicate compiles a WHERE clause, requiring a boolean result.
+// A nil clause compiles to a nil predicate (keep every row).
+func compilePredicate(where Expr, schema engine.Schema) (boolFn, error) {
+	if where == nil {
+		return nil, nil
+	}
+	c, err := compileExpr(where, newCompileCtx(schema))
+	if err != nil {
+		return nil, err
+	}
+	switch c.kind {
+	case ckBool:
+		return c.b, nil
+	case ckAny:
+		fn := c.a
+		return func(r engine.Row, env *execEnv) (bool, error) {
+			v, err := fn(r, env)
+			if err != nil {
+				return false, err
+			}
+			b, ok := v.(bool)
+			if !ok {
+				return false, execErrf("WHERE must evaluate to boolean, not %s", valueTypeName(v))
+			}
+			return b, nil
+		}, nil
+	}
+	return nil, execErrf("WHERE must evaluate to boolean, not %s", c.kind)
+}
+
+// ckind is a compiled expression's static result type. ckAny marks nodes
+// whose type is only known at run time (anything touching a $n parameter);
+// those evaluate boxed, and typed parents containing them degrade to boxed
+// evaluation too.
+type ckind int
+
+const (
+	ckFloat ckind = iota
+	ckInt
+	ckStr
+	ckBool
+	ckVec
+	ckAny
+)
+
+func (k ckind) String() string {
+	switch k {
+	case ckFloat:
+		return "double precision"
+	case ckInt:
+		return "bigint"
+	case ckStr:
+		return "text"
+	case ckBool:
+		return "boolean"
+	case ckVec:
+		return "double precision[]"
+	}
+	return "unknown"
+}
+
+// kindOf maps an engine column kind to the compiled kind lattice.
+func kindOf(k engine.Kind) ckind {
+	switch k {
+	case engine.Float:
+		return ckFloat
+	case engine.Int:
+		return ckInt
+	case engine.String:
+		return ckStr
+	case engine.Bool:
+		return ckBool
+	case engine.Vector:
+		return ckVec
+	}
+	return ckAny
+}
+
+// Typed closure signatures. Every closure receives the row cursor and the
+// execution environment and may fail (division by zero, bad parameter).
+type (
+	floatFn func(engine.Row, *execEnv) (float64, error)
+	intFn   func(engine.Row, *execEnv) (int64, error)
+	strFn   func(engine.Row, *execEnv) (string, error)
+	boolFn  func(engine.Row, *execEnv) (bool, error)
+	vecFn   func(engine.Row, *execEnv) ([]float64, error)
+	anyFn   func(engine.Row, *execEnv) (any, error)
+)
+
+// compiled is one lowered expression node: its static kind, the matching
+// typed closure, and a boxed closure (always set) for callers that need
+// an `any`.
+type compiled struct {
+	kind ckind
+	f    floatFn
+	i    intFn
+	s    strFn
+	b    boolFn
+	v    vecFn
+	a    anyFn
+}
+
+// Constructors box the typed closure into `a` exactly once.
+
+func cFloat(fn floatFn) *compiled {
+	return &compiled{kind: ckFloat, f: fn, a: func(r engine.Row, env *execEnv) (any, error) {
+		return fn(r, env)
+	}}
+}
+
+func cInt(fn intFn) *compiled {
+	return &compiled{kind: ckInt, i: fn, a: func(r engine.Row, env *execEnv) (any, error) {
+		return fn(r, env)
+	}}
+}
+
+func cStr(fn strFn) *compiled {
+	return &compiled{kind: ckStr, s: fn, a: func(r engine.Row, env *execEnv) (any, error) {
+		return fn(r, env)
+	}}
+}
+
+func cBool(fn boolFn) *compiled {
+	return &compiled{kind: ckBool, b: fn, a: func(r engine.Row, env *execEnv) (any, error) {
+		return fn(r, env)
+	}}
+}
+
+func cVec(fn vecFn) *compiled {
+	return &compiled{kind: ckVec, v: fn, a: func(r engine.Row, env *execEnv) (any, error) {
+		return fn(r, env)
+	}}
+}
+
+func cAny(fn anyFn) *compiled { return &compiled{kind: ckAny, a: fn} }
+
+// isNumeric reports whether the static kind can feed arithmetic.
+func (c *compiled) isNumeric() bool {
+	return c.kind == ckFloat || c.kind == ckInt || c.kind == ckAny
+}
+
+// asFloat adapts the node to a float64 producer, widening ints and
+// converting boxed values at run time.
+func (c *compiled) asFloat() floatFn {
+	switch c.kind {
+	case ckFloat:
+		return c.f
+	case ckInt:
+		fn := c.i
+		return func(r engine.Row, env *execEnv) (float64, error) {
+			v, err := fn(r, env)
+			return float64(v), err
+		}
+	default:
+		fn := c.a
+		return func(r engine.Row, env *execEnv) (float64, error) {
+			v, err := fn(r, env)
+			if err != nil {
+				return 0, err
+			}
+			f, ok := toFloat(v)
+			if !ok {
+				return 0, execErrf("value is %s, not numeric", valueTypeName(v))
+			}
+			return f, nil
+		}
+	}
+}
+
+// asBool adapts the node to a bool producer; non-boolean boxed values fail
+// at run time with the operator's name in the message.
+func (c *compiled) asBool(what string) (boolFn, error) {
+	switch c.kind {
+	case ckBool:
+		return c.b, nil
+	case ckAny:
+		fn := c.a
+		return func(r engine.Row, env *execEnv) (bool, error) {
+			v, err := fn(r, env)
+			if err != nil {
+				return false, err
+			}
+			b, ok := v.(bool)
+			if !ok {
+				return false, execErrf("argument of %s must be boolean, not %s", what, valueTypeName(v))
+			}
+			return b, nil
+		}, nil
+	default:
+		return nil, execErrf("argument of %s must be boolean, not %s", what, c.kind)
+	}
+}
+
+// compileCtx binds compilation to a table schema.
+type compileCtx struct {
+	schema engine.Schema
+	colIdx map[string]int
+}
+
+func newCompileCtx(schema engine.Schema) *compileCtx {
+	return &compileCtx{schema: schema, colIdx: colIndexMap(schema)}
+}
+
+// compileExpr lowers e against the schema. Aggregate calls are rejected —
+// callers strip them into slots first (the aggregate-output stage stays
+// interpreted; it runs once per group, not once per row).
+func compileExpr(e Expr, cc *compileCtx) (*compiled, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return compileLiteral(x), nil
+	case *ArrayLit:
+		return compileArrayLit(x, cc)
+	case *ColumnRef:
+		return compileColumnRef(x, cc)
+	case *Param:
+		idx := x.Idx
+		return cAny(func(_ engine.Row, env *execEnv) (any, error) {
+			return env.param(idx)
+		}), nil
+	case *Unary:
+		return compileUnary(x, cc)
+	case *Binary:
+		return compileBinary(x, cc)
+	case *FuncCall:
+		return compileFuncCall(x, cc)
+	}
+	return nil, execErrf("cannot compile %T", e)
+}
+
+func compileLiteral(x *Literal) *compiled {
+	switch v := x.Val.(type) {
+	case int64:
+		return cInt(func(engine.Row, *execEnv) (int64, error) { return v, nil })
+	case float64:
+		return cFloat(func(engine.Row, *execEnv) (float64, error) { return v, nil })
+	case string:
+		return cStr(func(engine.Row, *execEnv) (string, error) { return v, nil })
+	case bool:
+		return cBool(func(engine.Row, *execEnv) (bool, error) { return v, nil })
+	}
+	v := x.Val
+	return cAny(func(engine.Row, *execEnv) (any, error) { return v, nil })
+}
+
+func compileArrayLit(x *ArrayLit, cc *compileCtx) (*compiled, error) {
+	elems := make([]floatFn, len(x.Elems))
+	constOnly := true
+	for i, el := range x.Elems {
+		c, err := compileExpr(el, cc)
+		if err != nil {
+			return nil, err
+		}
+		if !c.isNumeric() {
+			return nil, execErrf("array element %d is not numeric", i+1)
+		}
+		if _, isLit := el.(*Literal); !isLit {
+			constOnly = false
+		}
+		elems[i] = c.asFloat()
+	}
+	if constOnly {
+		// Fold a literal array once; the engine treats vectors as
+		// immutable, so sharing one slice across rows is safe.
+		vec := make([]float64, len(elems))
+		for i, fn := range elems {
+			v, err := fn(engine.Row{}, nil)
+			if err != nil {
+				return nil, err
+			}
+			vec[i] = v
+		}
+		return cVec(func(engine.Row, *execEnv) ([]float64, error) { return vec, nil }), nil
+	}
+	return cVec(func(r engine.Row, env *execEnv) ([]float64, error) {
+		out := make([]float64, len(elems))
+		for i, fn := range elems {
+			v, err := fn(r, env)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}), nil
+}
+
+func compileColumnRef(x *ColumnRef, cc *compileCtx) (*compiled, error) {
+	ci, ok := cc.colIdx[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, x.Name)
+	}
+	switch cc.schema[ci].Kind {
+	case engine.Float:
+		return cFloat(func(r engine.Row, _ *execEnv) (float64, error) { return r.Float(ci), nil }), nil
+	case engine.Int:
+		return cInt(func(r engine.Row, _ *execEnv) (int64, error) { return r.Int(ci), nil }), nil
+	case engine.String:
+		return cStr(func(r engine.Row, _ *execEnv) (string, error) { return r.Str(ci), nil }), nil
+	case engine.Bool:
+		return cBool(func(r engine.Row, _ *execEnv) (bool, error) { return r.Bool(ci), nil }), nil
+	case engine.Vector:
+		return cVec(func(r engine.Row, _ *execEnv) ([]float64, error) { return r.Vector(ci), nil }), nil
+	}
+	return nil, execErrf("column %q has unknown kind", x.Name)
+}
+
+func compileUnary(x *Unary, cc *compileCtx) (*compiled, error) {
+	c, err := compileExpr(x.X, cc)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "-":
+		switch c.kind {
+		case ckInt:
+			fn := c.i
+			return cInt(func(r engine.Row, env *execEnv) (int64, error) {
+				v, err := fn(r, env)
+				return -v, err
+			}), nil
+		case ckFloat:
+			fn := c.f
+			return cFloat(func(r engine.Row, env *execEnv) (float64, error) {
+				v, err := fn(r, env)
+				return -v, err
+			}), nil
+		case ckAny:
+			fn := c.a
+			return cAny(func(r engine.Row, env *execEnv) (any, error) {
+				v, err := fn(r, env)
+				if err != nil {
+					return nil, err
+				}
+				switch n := v.(type) {
+				case int64:
+					return -n, nil
+				case float64:
+					return -n, nil
+				}
+				return nil, execErrf("cannot negate %s", valueTypeName(v))
+			}), nil
+		default:
+			return nil, execErrf("cannot negate %s", c.kind)
+		}
+	case "NOT":
+		fn, err := c.asBool("NOT")
+		if err != nil {
+			return nil, err
+		}
+		return cBool(func(r engine.Row, env *execEnv) (bool, error) {
+			v, err := fn(r, env)
+			return !v, err
+		}), nil
+	}
+	return nil, execErrf("unknown unary operator %q", x.Op)
+}
+
+func compileBinary(x *Binary, cc *compileCtx) (*compiled, error) {
+	if x.Op == "AND" || x.Op == "OR" {
+		return compileLogic(x, cc)
+	}
+	l, err := compileExpr(x.L, cc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileExpr(x.R, cc)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "+", "-", "*", "/", "%":
+		return compileArith(x.Op, l, r)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return compileCompare(x.Op, l, r)
+	}
+	return nil, execErrf("unknown operator %q", x.Op)
+}
+
+func compileLogic(x *Binary, cc *compileCtx) (*compiled, error) {
+	l, err := compileExpr(x.L, cc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileExpr(x.R, cc)
+	if err != nil {
+		return nil, err
+	}
+	lb, err := l.asBool(x.Op)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := r.asBool(x.Op)
+	if err != nil {
+		return nil, err
+	}
+	if x.Op == "AND" {
+		return cBool(func(row engine.Row, env *execEnv) (bool, error) {
+			v, err := lb(row, env)
+			if err != nil || !v {
+				return false, err
+			}
+			return rb(row, env)
+		}), nil
+	}
+	return cBool(func(row engine.Row, env *execEnv) (bool, error) {
+		v, err := lb(row, env)
+		if err != nil || v {
+			return v, err
+		}
+		return rb(row, env)
+	}), nil
+}
+
+func compileArith(op string, l, r *compiled) (*compiled, error) {
+	if !l.isNumeric() || !r.isNumeric() {
+		return nil, execErrf("operator %s does not apply to %s and %s", op, l.kind, r.kind)
+	}
+	// Boxed fallback when either side's type is dynamic: evalArith keeps
+	// the int/float promotion rules in one place.
+	if l.kind == ckAny || r.kind == ckAny {
+		lf, rf := l.a, r.a
+		return cAny(func(row engine.Row, env *execEnv) (any, error) {
+			lv, err := lf(row, env)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := rf(row, env)
+			if err != nil {
+				return nil, err
+			}
+			return evalArith(op, lv, rv)
+		}), nil
+	}
+	// Integer arithmetic stays integral, with the same checked division
+	// the interpreter applies (division by zero is a clean SQL error; Go
+	// itself defines MinInt64 / -1 to wrap, so no overflow panic exists).
+	if l.kind == ckInt && r.kind == ckInt {
+		lf, rf := l.i, r.i
+		switch op {
+		case "+":
+			return cInt(func(row engine.Row, env *execEnv) (int64, error) {
+				a, err := lf(row, env)
+				if err != nil {
+					return 0, err
+				}
+				b, err := rf(row, env)
+				return a + b, err
+			}), nil
+		case "-":
+			return cInt(func(row engine.Row, env *execEnv) (int64, error) {
+				a, err := lf(row, env)
+				if err != nil {
+					return 0, err
+				}
+				b, err := rf(row, env)
+				return a - b, err
+			}), nil
+		case "*":
+			return cInt(func(row engine.Row, env *execEnv) (int64, error) {
+				a, err := lf(row, env)
+				if err != nil {
+					return 0, err
+				}
+				b, err := rf(row, env)
+				return a * b, err
+			}), nil
+		case "/":
+			return cInt(func(row engine.Row, env *execEnv) (int64, error) {
+				a, err := lf(row, env)
+				if err != nil {
+					return 0, err
+				}
+				b, err := rf(row, env)
+				if err != nil {
+					return 0, err
+				}
+				if b == 0 {
+					return 0, execErrf("division by zero")
+				}
+				return a / b, nil
+			}), nil
+		case "%":
+			return cInt(func(row engine.Row, env *execEnv) (int64, error) {
+				a, err := lf(row, env)
+				if err != nil {
+					return 0, err
+				}
+				b, err := rf(row, env)
+				if err != nil {
+					return 0, err
+				}
+				if b == 0 {
+					return 0, execErrf("division by zero")
+				}
+				return a % b, nil
+			}), nil
+		}
+		return nil, execErrf("unknown operator %q", op)
+	}
+	lf, rf := l.asFloat(), r.asFloat()
+	switch op {
+	case "+":
+		return cFloat(func(row engine.Row, env *execEnv) (float64, error) {
+			a, err := lf(row, env)
+			if err != nil {
+				return 0, err
+			}
+			b, err := rf(row, env)
+			return a + b, err
+		}), nil
+	case "-":
+		return cFloat(func(row engine.Row, env *execEnv) (float64, error) {
+			a, err := lf(row, env)
+			if err != nil {
+				return 0, err
+			}
+			b, err := rf(row, env)
+			return a - b, err
+		}), nil
+	case "*":
+		return cFloat(func(row engine.Row, env *execEnv) (float64, error) {
+			a, err := lf(row, env)
+			if err != nil {
+				return 0, err
+			}
+			b, err := rf(row, env)
+			return a * b, err
+		}), nil
+	case "/":
+		return cFloat(func(row engine.Row, env *execEnv) (float64, error) {
+			a, err := lf(row, env)
+			if err != nil {
+				return 0, err
+			}
+			b, err := rf(row, env)
+			if err != nil {
+				return 0, err
+			}
+			if b == 0 {
+				return 0, execErrf("division by zero")
+			}
+			return a / b, nil
+		}), nil
+	case "%":
+		return cFloat(func(row engine.Row, env *execEnv) (float64, error) {
+			a, err := lf(row, env)
+			if err != nil {
+				return 0, err
+			}
+			b, err := rf(row, env)
+			if err != nil {
+				return 0, err
+			}
+			if b == 0 {
+				return 0, execErrf("division by zero")
+			}
+			return math.Mod(a, b), nil
+		}), nil
+	}
+	return nil, execErrf("unknown operator %q", op)
+}
+
+// cmpToBool turns a three-way comparison into the operator's boolean.
+func cmpToBool(op string, c int) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+func compileCompare(op string, l, r *compiled) (*compiled, error) {
+	// Numeric comparison: the hot WHERE path (v > 0.25).
+	if l.kind != ckAny && r.kind != ckAny && l.isNumeric() && r.isNumeric() {
+		if l.kind == ckInt && r.kind == ckInt {
+			lf, rf := l.i, r.i
+			return cBool(func(row engine.Row, env *execEnv) (bool, error) {
+				a, err := lf(row, env)
+				if err != nil {
+					return false, err
+				}
+				b, err := rf(row, env)
+				if err != nil {
+					return false, err
+				}
+				switch {
+				case a < b:
+					return cmpToBool(op, -1), nil
+				case a > b:
+					return cmpToBool(op, 1), nil
+				default:
+					return cmpToBool(op, 0), nil
+				}
+			}), nil
+		}
+		lf, rf := l.asFloat(), r.asFloat()
+		return cBool(func(row engine.Row, env *execEnv) (bool, error) {
+			a, err := lf(row, env)
+			if err != nil {
+				return false, err
+			}
+			b, err := rf(row, env)
+			if err != nil {
+				return false, err
+			}
+			switch {
+			case a < b:
+				return cmpToBool(op, -1), nil
+			case a > b:
+				return cmpToBool(op, 1), nil
+			default:
+				return cmpToBool(op, 0), nil
+			}
+		}), nil
+	}
+	if l.kind == ckStr && r.kind == ckStr {
+		lf, rf := l.s, r.s
+		return cBool(func(row engine.Row, env *execEnv) (bool, error) {
+			a, err := lf(row, env)
+			if err != nil {
+				return false, err
+			}
+			b, err := rf(row, env)
+			if err != nil {
+				return false, err
+			}
+			return cmpToBool(op, strings.Compare(a, b)), nil
+		}), nil
+	}
+	// Static type mismatch (text vs numeric, etc.) is a plan-time error;
+	// everything else — bools, vectors, dynamic operands — goes through
+	// the interpreter's comparison for identical semantics.
+	if l.kind != ckAny && r.kind != ckAny && l.kind != r.kind &&
+		!(l.isNumeric() && r.isNumeric()) {
+		return nil, execErrf("cannot compare %s with %s", l.kind, r.kind)
+	}
+	// One side statically numeric, the other dynamic (v > $1): keep the
+	// typed side unboxed and convert the dynamic value per row — the
+	// dynamic side is usually a parameter, already boxed in the env.
+	if (l.kind == ckFloat || l.kind == ckInt) && r.kind == ckAny {
+		lf, ra, lk := l.asFloat(), r.a, l.kind
+		return cBool(func(row engine.Row, env *execEnv) (bool, error) {
+			a, err := lf(row, env)
+			if err != nil {
+				return false, err
+			}
+			rv, err := ra(row, env)
+			if err != nil {
+				return false, err
+			}
+			b, ok := toFloat(rv)
+			if !ok {
+				return false, execErrf("cannot compare %s with %s", lk, valueTypeName(rv))
+			}
+			switch {
+			case a < b:
+				return cmpToBool(op, -1), nil
+			case a > b:
+				return cmpToBool(op, 1), nil
+			default:
+				return cmpToBool(op, 0), nil
+			}
+		}), nil
+	}
+	if l.kind == ckAny && (r.kind == ckFloat || r.kind == ckInt) {
+		la, rf, rk := l.a, r.asFloat(), r.kind
+		return cBool(func(row engine.Row, env *execEnv) (bool, error) {
+			lv, err := la(row, env)
+			if err != nil {
+				return false, err
+			}
+			a, ok := toFloat(lv)
+			if !ok {
+				return false, execErrf("cannot compare %s with %s", valueTypeName(lv), rk)
+			}
+			b, err := rf(row, env)
+			if err != nil {
+				return false, err
+			}
+			switch {
+			case a < b:
+				return cmpToBool(op, -1), nil
+			case a > b:
+				return cmpToBool(op, 1), nil
+			default:
+				return cmpToBool(op, 0), nil
+			}
+		}), nil
+	}
+	lf, rf := l.a, r.a
+	return cBool(func(row engine.Row, env *execEnv) (bool, error) {
+		a, err := lf(row, env)
+		if err != nil {
+			return false, err
+		}
+		b, err := rf(row, env)
+		if err != nil {
+			return false, err
+		}
+		c, err := compareValues(a, b)
+		if err != nil {
+			return false, err
+		}
+		return cmpToBool(op, c), nil
+	}), nil
+}
+
+func compileFuncCall(x *FuncCall, cc *compileCtx) (*compiled, error) {
+	if x.Schema != "" && x.Schema != "madlib" {
+		return nil, execErrf("unknown schema %q", x.Schema)
+	}
+	if x.Star {
+		return nil, execErrf("%s(*) is only valid as an aggregate in a SELECT list", x.Name)
+	}
+	if isAggregateCall(x) {
+		return nil, execErrf("aggregate function %s(...) is not allowed here", x.Name)
+	}
+	if isTableValuedCall(x) {
+		return nil, execErrf("table-valued function %s(...) is not allowed here", x.Name)
+	}
+	args := make([]*compiled, len(x.Args))
+	for i, a := range x.Args {
+		c, err := compileExpr(a, cc)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = c
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return execErrf("%s expects %d argument(s), got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	numArg := func(i int) (floatFn, error) {
+		if !args[i].isNumeric() {
+			return nil, execErrf("%s: argument %d is not numeric", x.Name, i+1)
+		}
+		return args[i].asFloat(), nil
+	}
+	switch x.Name {
+	case "abs":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if args[0].kind == ckInt {
+			fn := args[0].i
+			return cInt(func(r engine.Row, env *execEnv) (int64, error) {
+				v, err := fn(r, env)
+				if err != nil {
+					return 0, err
+				}
+				if v < 0 {
+					return -v, nil
+				}
+				return v, nil
+			}), nil
+		}
+		if args[0].kind == ckFloat {
+			fn := args[0].f
+			return cFloat(func(r engine.Row, env *execEnv) (float64, error) {
+				v, err := fn(r, env)
+				return math.Abs(v), err
+			}), nil
+		}
+	case "sqrt", "exp", "ln", "floor", "ceil":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		fn, err := numArg(0)
+		if err != nil {
+			return nil, err
+		}
+		var mf func(float64) float64
+		switch x.Name {
+		case "sqrt":
+			mf = math.Sqrt
+		case "exp":
+			mf = math.Exp
+		case "ln":
+			mf = math.Log
+		case "floor":
+			mf = math.Floor
+		default:
+			mf = math.Ceil
+		}
+		return cFloat(func(r engine.Row, env *execEnv) (float64, error) {
+			v, err := fn(r, env)
+			return mf(v), err
+		}), nil
+	case "pow", "power":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		af, err := numArg(0)
+		if err != nil {
+			return nil, err
+		}
+		bf, err := numArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return cFloat(func(r engine.Row, env *execEnv) (float64, error) {
+			a, err := af(r, env)
+			if err != nil {
+				return 0, err
+			}
+			b, err := bf(r, env)
+			return math.Pow(a, b), err
+		}), nil
+	case "length", "array_length":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		switch args[0].kind {
+		case ckStr:
+			fn := args[0].s
+			return cInt(func(r engine.Row, env *execEnv) (int64, error) {
+				v, err := fn(r, env)
+				return int64(len(v)), err
+			}), nil
+		case ckVec:
+			fn := args[0].v
+			return cInt(func(r engine.Row, env *execEnv) (int64, error) {
+				v, err := fn(r, env)
+				return int64(len(v)), err
+			}), nil
+		case ckAny:
+			// fall through to the generic path below
+		default:
+			return nil, execErrf("length: argument must be text or array, not %s", args[0].kind)
+		}
+	case "array_get":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if args[0].kind == ckVec && args[1].kind == ckInt {
+			vf, idxf := args[0].v, args[1].i
+			return cFloat(func(r engine.Row, env *execEnv) (float64, error) {
+				vec, err := vf(r, env)
+				if err != nil {
+					return 0, err
+				}
+				i, err := idxf(r, env)
+				if err != nil {
+					return 0, err
+				}
+				if i < 1 || int(i) > len(vec) {
+					return 0, execErrf("array_get: index %v out of range 1..%d", i, len(vec))
+				}
+				return vec[i-1], nil
+			}), nil
+		}
+	default:
+		return nil, execErrf("unknown function %s(...)", x.Name)
+	}
+	// Generic fallback: evaluate boxed arguments and dispatch through the
+	// interpreter's scalar-function table, so both paths share semantics.
+	argFns := make([]anyFn, len(args))
+	for i, a := range args {
+		argFns[i] = a.a
+	}
+	call := x
+	return cAny(func(r engine.Row, env *execEnv) (any, error) {
+		vals := make([]any, len(argFns))
+		for i, fn := range argFns {
+			v, err := fn(r, env)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return applyScalarFunc(call, vals)
+	}), nil
+}
+
+// exprMaxParam returns the highest $n placeholder index in e (0 when
+// there are none).
+func exprMaxParam(e Expr) int {
+	maxIdx := 0
+	walkExpr(e, func(x Expr) {
+		if p, ok := x.(*Param); ok && p.Idx > maxIdx {
+			maxIdx = p.Idx
+		}
+	})
+	return maxIdx
+}
+
+// exprHasParam reports whether e contains any $n placeholder.
+func exprHasParam(e Expr) bool { return exprMaxParam(e) > 0 }
+
+// stmtMaxParam returns the highest $n placeholder index anywhere in a
+// statement — the prepared statement's parameter count.
+func stmtMaxParam(st Statement) int {
+	maxIdx := 0
+	see := func(e Expr) {
+		if e == nil {
+			return
+		}
+		if n := exprMaxParam(e); n > maxIdx {
+			maxIdx = n
+		}
+	}
+	switch x := st.(type) {
+	case *Select:
+		for _, item := range x.Items {
+			see(item.Expr)
+		}
+		see(x.Where)
+		for _, k := range x.OrderBy {
+			see(k.Expr)
+		}
+	case *Insert:
+		for _, row := range x.Rows {
+			for _, e := range row {
+				see(e)
+			}
+		}
+	}
+	return maxIdx
+}

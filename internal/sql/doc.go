@@ -24,9 +24,45 @@
 //	INSERT INTO name [(col, ...)] VALUES (expr, ...), ...
 //	SELECT item, ... [FROM name] [WHERE expr] [GROUP BY col, ...]
 //	       [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//	PREPARE name AS select-or-insert
+//	EXECUTE name[(expr, ...)]
+//	DEALLOCATE [PREPARE] (name | ALL)
 //
 // Statements are ';'-separated; `--` starts a line comment. Unquoted
 // identifiers fold to lowercase, as in PostgreSQL.
+//
+// # Prepared statements and parameters
+//
+// PREPARE plans a SELECT or INSERT once; EXECUTE runs it with values
+// bound to its $1, $2, ... placeholders (arity-checked). Parameters may
+// appear anywhere a scalar expression does — WHERE clauses, projections,
+// built-in aggregate arguments, INSERT values — but not inside madlib.*
+// function arguments, which are resolved at plan time:
+//
+//	PREPARE hot AS SELECT g, avg(v) FROM t WHERE v > $1 GROUP BY g;
+//	EXECUTE hot(0.25);
+//	EXECUTE hot(0.75);
+//
+// # Performance notes
+//
+// The executor is compile-once-execute-many. Planning lowers every
+// per-row expression (WHERE predicates, projections, aggregate
+// arguments, computed madlib arguments) into typed Go closures with
+// unboxed fast paths for float/int arithmetic and comparisons, instead
+// of re-walking the AST with boxed values per row. GROUP BY keys go
+// through the engine's keyed hash aggregate (engine.RunGroupByKey), so
+// grouping by an int or text column allocates nothing per row.
+//
+// Each Session keeps an LRU plan cache keyed by statement text:
+// re-executing the same text skips parsing and planning entirely. The
+// cache is cleared on DDL, and every cached or prepared plan also
+// revalidates its table bindings against the catalog before running, so
+// a DROP + re-CREATE (even through another session) can never execute a
+// stale plan — it replans or errors cleanly. The madlib.DB facade routes
+// Exec/Query through one shared session, so callers get plan caching
+// without holding any extra state. BenchmarkSQLSelectAgg tracks the
+// resulting SQL-vs-engine overhead (the paper's §4.4(a) study);
+// scripts/bench_sql.sh records it to BENCH_sql.json.
 //
 // # Types
 //
@@ -81,15 +117,17 @@
 //	madlib.assoc_rules(basket, item [, min_support [, min_confidence]])
 //	madlib.profile()
 //
-// Column arguments may also be computed expressions — e.g.
-// linregr(y, array[1, x1, x2]) assembles a vector from scalar columns by
-// staging a temp table, the same pattern the paper's driver functions use
-// for inter-iteration state (§3.1.2). The unqualified spelling
-// (linregr(...) without the madlib. prefix) resolves through the same
-// registry.
+// Column arguments may also be computed expressions. For table-valued
+// calls, linregr(y, array[1, x1, x2]) assembles a vector from scalar
+// columns by staging a temp table, the same pattern the paper's driver
+// functions use for inter-iteration state (§3.1.2); for scalar
+// aggregates, quantile(v * 2, 0.5) or fmcount(i % 5) compile the
+// expression straight into the aggregate's transition function. The
+// unqualified spelling (linregr(...) without the madlib. prefix)
+// resolves through the same registry.
 //
 // # Not yet supported
 //
-// JOINs, window functions, HAVING, DISTINCT, subqueries, prepared
-// statements and a wire protocol are tracked as ROADMAP open items.
+// JOINs, window functions, HAVING, DISTINCT, subqueries and a wire
+// protocol are tracked as ROADMAP open items.
 package sql

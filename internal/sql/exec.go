@@ -1,8 +1,10 @@
 package sql
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -126,67 +128,28 @@ func FormatValue(v any) string {
 	return fmt.Sprintf("%v", v)
 }
 
-// Session executes SQL against an engine database. Sessions are cheap;
-// they hold no state beyond the engine handle, so one per connection or
-// one per program both work.
-type Session struct {
-	db *engine.DB
+// stmtPlan is a statement lowered against a catalog snapshot: compiled
+// closures plus resolved table bindings, executable many times with
+// different parameter environments. Plans live in the session plan cache
+// and inside prepared statements.
+type stmtPlan interface {
+	// exec runs the plan under the given parameter environment.
+	exec(s *Session, env *execEnv) (*Result, error)
+	// valid reports whether the plan's table bindings are still current
+	// (the catalog maps each name to the same *engine.Table), so a
+	// cached or prepared plan never executes against a stale schema.
+	valid(db *engine.DB) bool
 }
 
-// NewSession wraps an engine database with the SQL front-end.
-func NewSession(db *engine.DB) *Session { return &Session{db: db} }
-
-// DB returns the underlying engine database.
-func (s *Session) DB() *engine.DB { return s.db }
-
-// Exec parses and runs every statement in text, returning one Result per
-// statement. Execution stops at the first error; already-completed
-// results are returned alongside it.
-func (s *Session) Exec(text string) ([]*Result, error) {
-	stmts, err := Parse(text)
-	if err != nil {
-		return nil, err
-	}
-	var out []*Result
-	for _, st := range stmts {
-		r, err := s.Run(st)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
-
-// Query runs a single statement and requires it to produce a rowset.
-func (s *Session) Query(text string) (*Result, error) {
-	st, err := ParseStatement(text)
-	if err != nil {
-		return nil, err
-	}
-	r, err := s.Run(st)
-	if err != nil {
-		return nil, err
-	}
-	if len(r.Cols) == 0 {
-		return nil, ErrNoRows
-	}
-	return r, nil
-}
-
-// Run executes one parsed statement.
-func (s *Session) Run(st Statement) (*Result, error) {
+// planStmt lowers a SELECT or INSERT into an executable plan.
+func (s *Session) planStmt(st Statement) (stmtPlan, error) {
 	switch x := st.(type) {
-	case *CreateTable:
-		return s.execCreate(x)
-	case *DropTable:
-		return s.execDrop(x)
-	case *Insert:
-		return s.execInsert(x)
 	case *Select:
-		return s.execSelect(x)
+		return s.planSelect(x)
+	case *Insert:
+		return s.planInsert(x)
 	}
-	return nil, execErrf("unsupported statement %T", st)
+	return nil, execErrf("statement %T cannot be planned", st)
 }
 
 func (s *Session) execCreate(st *CreateTable) (*Result, error) {
@@ -214,7 +177,18 @@ func (s *Session) execDrop(st *DropTable) (*Result, error) {
 	return &Result{Tag: "DROP TABLE"}, nil
 }
 
-func (s *Session) execInsert(st *Insert) (*Result, error) {
+// insertPlan is a planned INSERT: the column order mapping is resolved
+// once; row expressions evaluate per execution (they may hold $n
+// parameters).
+type insertPlan struct {
+	name  string
+	table *engine.Table
+	rows  [][]Expr
+	// order maps schema index -> position in each row tuple.
+	order []int
+}
+
+func (s *Session) planInsert(st *Insert) (stmtPlan, error) {
 	t, err := s.db.Table(st.Table)
 	if err != nil {
 		return nil, err
@@ -222,7 +196,7 @@ func (s *Session) execInsert(st *Insert) (*Result, error) {
 	schema := t.Schema()
 	// Map statement column order onto schema order. Every schema column
 	// must be covered: the engine has no NULL/default values.
-	order := make([]int, len(schema)) // schema index -> position in row tuple
+	order := make([]int, len(schema))
 	if len(st.Columns) == 0 {
 		for i := range schema {
 			order[i] = i
@@ -248,14 +222,25 @@ func (s *Session) execInsert(st *Insert) (*Result, error) {
 			order[ci] = pos
 		}
 	}
+	return &insertPlan{name: st.Table, table: t, rows: st.Rows, order: order}, nil
+}
+
+func (p *insertPlan) valid(db *engine.DB) bool {
+	t, err := db.Table(p.name)
+	return err == nil && t == p.table
+}
+
+func (p *insertPlan) exec(s *Session, env *execEnv) (*Result, error) {
+	schema := p.table.Schema()
+	ctx := &evalCtx{params: env.paramList()}
 	n := 0
-	for _, row := range st.Rows {
+	for _, row := range p.rows {
 		if len(row) != len(schema) {
 			return nil, fmt.Errorf("%w: got %d values for %d columns", engine.ErrArity, len(row), len(schema))
 		}
 		vals := make([]any, len(schema))
 		for ci := range schema {
-			v, err := evalExpr(row[order[ci]], &evalCtx{})
+			v, err := evalExpr(row[p.order[ci]], ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -265,7 +250,7 @@ func (s *Session) execInsert(st *Insert) (*Result, error) {
 			}
 			vals[ci] = cv
 		}
-		if err := t.Insert(vals...); err != nil {
+		if err := p.table.Insert(vals...); err != nil {
 			return nil, err
 		}
 		n++
@@ -307,10 +292,12 @@ func coerceValue(v any, kind engine.Kind) (any, error) {
 	return nil, fmt.Errorf("%w: %s value into %s column", engine.ErrType, valueTypeName(v), kind)
 }
 
-func (s *Session) execSelect(st *Select) (*Result, error) {
+// planSelect classifies a SELECT — constant, table-valued madlib call,
+// aggregate query, or plain scan — and lowers it.
+func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 	// FROM-less SELECT: constant expressions, one row.
 	if st.From == "" {
-		return execConstSelect(st)
+		return planConstSelect(st)
 	}
 	t, err := s.db.Table(st.From)
 	if err != nil {
@@ -319,7 +306,6 @@ func (s *Session) execSelect(st *Select) (*Result, error) {
 	if st.Where != nil && exprHasAgg(st.Where) {
 		return nil, execErrf("aggregate functions are not allowed in WHERE")
 	}
-	// Classify: table-valued madlib call, aggregate query, or plain scan.
 	for _, item := range st.Items {
 		if item.Star {
 			continue
@@ -335,7 +321,7 @@ func (s *Session) execSelect(st *Select) (*Result, error) {
 			if !ok || !isTableValuedCall(call) || len(st.Items) != 1 {
 				return nil, execErrf("a table-valued madlib function must be the only item in the SELECT list")
 			}
-			return s.execTableValued(st, t, call)
+			return planTableValued(st, t, call)
 		}
 		if item.Expand {
 			return nil, execErrf("composite expansion (.*) only applies to madlib table-valued functions")
@@ -348,23 +334,45 @@ func (s *Session) execSelect(st *Select) (*Result, error) {
 		}
 	}
 	if isAgg {
-		return s.execAggSelect(st, t)
+		return planAggSelect(st, t)
 	}
-	return s.execScanSelect(st, t)
+	return planScanSelect(st, t)
 }
 
-// execConstSelect evaluates a FROM-less SELECT (e.g. SELECT 1+2).
-func execConstSelect(st *Select) (*Result, error) {
+// constPlan evaluates a FROM-less SELECT (e.g. SELECT 1+2, SELECT $1+$2).
+type constPlan struct {
+	st *Select
+}
+
+func planConstSelect(st *Select) (stmtPlan, error) {
 	if st.Where != nil || len(st.GroupBy) > 0 {
 		return nil, execErrf("WHERE/GROUP BY require a FROM clause")
 	}
-	cols := make([]string, len(st.Items))
-	row := make([]any, len(st.Items))
-	for i, item := range st.Items {
+	for _, item := range st.Items {
 		if item.Star {
 			return nil, execErrf("SELECT * requires a FROM clause")
 		}
-		v, err := evalExpr(item.Expr, &evalCtx{})
+		if exprHasAgg(item.Expr) {
+			return nil, execErrf("aggregate functions require a FROM clause")
+		}
+	}
+	for _, key := range st.OrderBy {
+		if _, _, err := ordinal(key.Expr, len(st.Items)); err != nil {
+			return nil, err
+		}
+	}
+	return &constPlan{st: st}, nil
+}
+
+func (p *constPlan) valid(*engine.DB) bool { return true }
+
+func (p *constPlan) exec(_ *Session, env *execEnv) (*Result, error) {
+	st := p.st
+	cols := make([]string, len(st.Items))
+	row := make([]any, len(st.Items))
+	ctx := &evalCtx{params: env.paramList()}
+	for i, item := range st.Items {
+		v, err := evalExpr(item.Expr, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -380,7 +388,8 @@ func execConstSelect(st *Select) (*Result, error) {
 			for i, n := range cols {
 				outCols[n] = i
 			}
-			if _, err := evalExpr(key.Expr, &evalCtx{outCols: outCols, outVals: row}); err != nil {
+			kctx := &evalCtx{outCols: outCols, outVals: row, params: env.paramList()}
+			if _, err := evalExpr(key.Expr, kctx); err != nil {
 				return nil, err
 			}
 		}
@@ -389,39 +398,42 @@ func execConstSelect(st *Select) (*Result, error) {
 	return &Result{Cols: cols, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
 }
 
-// compilePred compiles the WHERE clause to a row predicate. Evaluation
-// errors inside the scan surface through errPtr (the engine's predicate
-// contract is bool-only).
-func compilePred(where Expr, schema engine.Schema, errPtr *atomic.Value) (func(engine.Row) bool, error) {
-	if where == nil {
-		return nil, nil
+// enginePred adapts a compiled predicate to the engine's bool-only
+// predicate contract; evaluation errors stash in errPtr and reject the
+// row, surfacing after the scan.
+func enginePred(fn boolFn, env *execEnv, errPtr *atomic.Value) func(engine.Row) bool {
+	if fn == nil {
+		return nil
 	}
-	if err := checkColumnRefs(where, schema); err != nil {
-		return nil, err
-	}
-	idx := colIndexMap(schema)
 	return func(row engine.Row) bool {
-		ctx := &evalCtx{schema: schema, colIdx: idx, row: &row}
-		v, err := evalExpr(where, ctx)
+		v, err := fn(row, env)
 		if err != nil {
 			errPtr.CompareAndSwap(nil, err)
 			return false
 		}
-		b, ok := v.(bool)
-		if !ok {
-			errPtr.CompareAndSwap(nil, execErrf("WHERE must evaluate to boolean, not %s", valueTypeName(v)))
-			return false
-		}
-		return b
-	}, nil
+		return v
+	}
 }
 
-// execScanSelect runs a projection scan: SELECT exprs FROM t [WHERE]
-// [ORDER BY] [LIMIT]. ORDER BY keys are evaluated against input rows, so
-// sorting by non-projected columns works.
-func (s *Session) execScanSelect(st *Select, t *engine.Table) (*Result, error) {
+// scanPlan is a planned projection scan: SELECT exprs FROM t [WHERE]
+// [ORDER BY] [LIMIT], all expressions compiled to closures.
+type scanPlan struct {
+	name    string
+	table   *engine.Table
+	cols    []string
+	itemFns []anyFn
+	pred    boolFn
+	// orderOrds[k] is the projected-column ordinal of ORDER BY key k, or
+	// -1 when the key is a compiled expression over the input row.
+	orderOrds []int
+	orderFns  []anyFn
+	desc      []bool
+	limit     int64
+}
+
+func planScanSelect(st *Select, t *engine.Table) (stmtPlan, error) {
 	schema := t.Schema()
-	idx := colIndexMap(schema)
+	cc := newCompileCtx(schema)
 	// Expand * into column refs.
 	var items []SelectItem
 	for _, item := range st.Items {
@@ -431,61 +443,85 @@ func (s *Session) execScanSelect(st *Select, t *engine.Table) (*Result, error) {
 			}
 			continue
 		}
-		if err := checkColumnRefs(item.Expr, schema); err != nil {
-			return nil, err
-		}
 		items = append(items, item)
 	}
-	cols := make([]string, len(items))
+	p := &scanPlan{name: st.From, table: t, limit: st.Limit}
+	p.cols = make([]string, len(items))
+	p.itemFns = make([]anyFn, len(items))
 	for i, item := range items {
-		cols[i] = outputName(item)
+		c, err := compileExpr(item.Expr, cc)
+		if err != nil {
+			return nil, err
+		}
+		p.itemFns[i] = c.a
+		p.cols[i] = outputName(item)
 	}
 	for _, key := range st.OrderBy {
 		if exprHasAgg(key.Expr) {
 			return nil, execErrf("aggregate functions in ORDER BY require GROUP BY or an aggregate SELECT list")
 		}
-		_, isOrd, err := ordinal(key.Expr, len(items))
+		ord, isOrd, err := ordinal(key.Expr, len(items))
 		if err != nil {
 			return nil, err
 		}
-		if !isOrd {
-			if err := checkColumnRefs(key.Expr, schema); err != nil {
+		if isOrd {
+			p.orderOrds = append(p.orderOrds, ord)
+			p.orderFns = append(p.orderFns, nil)
+		} else {
+			// Keys compile against the input row, so sorting by
+			// non-projected columns works.
+			c, err := compileExpr(key.Expr, cc)
+			if err != nil {
 				return nil, err
 			}
+			p.orderOrds = append(p.orderOrds, -1)
+			p.orderFns = append(p.orderFns, c.a)
 		}
+		p.desc = append(p.desc, key.Desc)
 	}
-	var predErr atomic.Value
-	pred, err := compilePred(st.Where, schema, &predErr)
+	var err error
+	p.pred, err = compilePredicate(st.Where, schema)
 	if err != nil {
 		return nil, err
 	}
+	return p, nil
+}
+
+func (p *scanPlan) valid(db *engine.DB) bool {
+	t, err := db.Table(p.name)
+	return err == nil && t == p.table
+}
+
+func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
+	var predErr atomic.Value
+	pred := enginePred(p.pred, env, &predErr)
 	// Scan segment-parallel, buffering per segment to keep output
 	// deterministic (segment order, row order within a segment).
-	nseg := len(t.Segments())
+	nseg := len(p.table.Segments())
 	segRows := make([][][]any, nseg)
 	segKeys := make([][][]any, nseg)
-	scanErr := s.db.ForEachSegment(t, func(segIdx int, row engine.Row) error {
+	ordered := len(p.desc) > 0
+	scanErr := s.db.ForEachSegment(p.table, func(segIdx int, row engine.Row) error {
 		if pred != nil && !pred(row) {
 			return nil
 		}
-		ctx := &evalCtx{schema: schema, colIdx: idx, row: &row}
-		out := make([]any, len(items))
-		for i, item := range items {
-			v, err := evalExpr(item.Expr, ctx)
+		out := make([]any, len(p.itemFns))
+		for i, fn := range p.itemFns {
+			v, err := fn(row, env)
 			if err != nil {
 				return err
 			}
 			out[i] = v
 		}
 		segRows[segIdx] = append(segRows[segIdx], out)
-		if len(st.OrderBy) > 0 {
-			keys := make([]any, len(st.OrderBy))
-			for k, key := range st.OrderBy {
-				if ord, isOrd, _ := ordinal(key.Expr, len(items)); isOrd {
+		if ordered {
+			keys := make([]any, len(p.desc))
+			for k := range p.desc {
+				if ord := p.orderOrds[k]; ord >= 0 {
 					keys[k] = out[ord]
 					continue
 				}
-				v, err := evalExpr(key.Expr, ctx)
+				v, err := p.orderFns[k](row, env)
 				if err != nil {
 					return err
 				}
@@ -506,17 +542,13 @@ func (s *Session) execScanSelect(st *Select, t *engine.Table) (*Result, error) {
 		rows = append(rows, segRows[i]...)
 		keys = append(keys, segKeys[i]...)
 	}
-	if len(st.OrderBy) > 0 {
-		desc := make([]bool, len(st.OrderBy))
-		for i, k := range st.OrderBy {
-			desc[i] = k.Desc
-		}
-		if err := sortRows(rows, keys, desc); err != nil {
+	if ordered {
+		if err := sortRows(rows, keys, p.desc); err != nil {
 			return nil, err
 		}
 	}
-	rows = applyLimit(rows, st.Limit)
-	return &Result{Cols: cols, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+	rows = applyLimit(rows, p.limit)
+	return &Result{Cols: p.cols, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
 }
 
 // ordinal recognizes ORDER BY position literals. A bare integer literal
@@ -544,40 +576,57 @@ func applyLimit(rows [][]any, limit int64) [][]any {
 	return rows
 }
 
-// execAggSelect runs an aggregate query, with or without GROUP BY, as a
-// single two-phase parallel aggregate over the table (§3.1.1).
-func (s *Session) execAggSelect(st *Select, t *engine.Table) (*Result, error) {
+// aggPlan is a planned aggregate query, with or without GROUP BY,
+// executed as a single two-phase parallel aggregate over the table
+// (§3.1.1). Aggregate arguments and the WHERE clause are compiled; group
+// keys go through the engine's keyed hash aggregate instead of a
+// formatted string per row.
+type aggPlan struct {
+	name     string
+	table    *engine.Table
+	schema   engine.Schema
+	st       *Select
+	groupIdx []int
+	builders []aggBuilder
+	slotOf   map[*FuncCall]int
+	outNames []string
+	outCols  map[string]int
+	pred     boolFn
+	keyFn    func(engine.Row) engine.GroupKey // nil when no GROUP BY
+}
+
+func planAggSelect(st *Select, t *engine.Table) (stmtPlan, error) {
 	schema := t.Schema()
+	p := &aggPlan{name: st.From, table: t, schema: schema, st: st}
 	// Resolve GROUP BY columns.
-	groupIdx := make([]int, len(st.GroupBy))
+	p.groupIdx = make([]int, len(st.GroupBy))
 	for i, name := range st.GroupBy {
 		ci := schema.Index(name)
 		if ci < 0 {
 			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, name)
 		}
-		groupIdx[i] = ci
+		p.groupIdx[i] = ci
 	}
 	grouped := map[string]bool{}
 	for _, name := range st.GroupBy {
 		grouped[name] = true
 	}
 	// Collect aggregate calls across SELECT list and ORDER BY into slots.
-	slotOf := map[*FuncCall]int{}
-	var slotAggs []engine.Aggregate
+	p.slotOf = map[*FuncCall]int{}
 	addSlots := func(e Expr) error {
 		if exprHasNestedAgg(e) {
 			return execErrf("aggregate calls cannot be nested")
 		}
 		for _, call := range collectAggCalls(e) {
-			if _, done := slotOf[call]; done {
+			if _, done := p.slotOf[call]; done {
 				continue
 			}
-			agg, err := buildAggregate(call, schema)
+			b, err := buildAggregate(call, schema)
 			if err != nil {
 				return err
 			}
-			slotOf[call] = len(slotAggs)
-			slotAggs = append(slotAggs, agg)
+			p.slotOf[call] = len(p.builders)
+			p.builders = append(p.builders, b)
 		}
 		return nil
 	}
@@ -599,9 +648,13 @@ func (s *Session) execAggSelect(st *Select, t *engine.Table) (*Result, error) {
 			return nil, badCol
 		}
 	}
-	outNames := make([]string, len(st.Items))
+	p.outNames = make([]string, len(st.Items))
 	for i, item := range st.Items {
-		outNames[i] = outputName(item)
+		p.outNames[i] = outputName(item)
+	}
+	p.outCols = map[string]int{}
+	for i, n := range p.outNames {
+		p.outCols[n] = i
 	}
 	for _, key := range st.OrderBy {
 		_, isOrd, err := ordinal(key.Expr, len(st.Items))
@@ -615,58 +668,82 @@ func (s *Session) execAggSelect(st *Select, t *engine.Table) (*Result, error) {
 			return nil, err
 		}
 	}
-	var predErr atomic.Value
-	pred, err := compilePred(st.Where, schema, &predErr)
+	var err error
+	p.pred, err = compilePredicate(st.Where, schema)
 	if err != nil {
 		return nil, err
 	}
-	multi := &multiAggregate{aggs: slotAggs, groupIdx: groupIdx, schema: schema}
-	outCols := map[string]int{}
-	for i, n := range outNames {
-		outCols[n] = i
+	if len(p.groupIdx) > 0 {
+		p.keyFn = groupKeyFn(schema, p.groupIdx)
 	}
+	return p, nil
+}
 
-	// evaluate one group's output row from its finalized slot values.
-	evalGroup := func(ms *multiState) ([]any, []any, error) {
-		groupVals := make(map[string]any, len(st.GroupBy))
-		for i, name := range st.GroupBy {
-			groupVals[name] = ms.keyVals[i]
+func (p *aggPlan) valid(db *engine.DB) bool {
+	t, err := db.Table(p.name)
+	return err == nil && t == p.table
+}
+
+// evalGroup evaluates one group's output row (and ORDER BY keys) from its
+// finalized slot values. This stage runs once per group, so it stays on
+// the interpreter.
+func (p *aggPlan) evalGroup(ms *multiState, env *execEnv) ([]any, []any, error) {
+	st := p.st
+	groupVals := make(map[string]any, len(st.GroupBy))
+	for i, name := range st.GroupBy {
+		groupVals[name] = ms.keyVals[i]
+	}
+	ctx := &evalCtx{slotOf: p.slotOf, slotVals: ms.slots, groupVals: groupVals, params: env.paramList()}
+	row := make([]any, len(st.Items))
+	for i, item := range st.Items {
+		v, err := evalExpr(item.Expr, ctx)
+		if err != nil {
+			return nil, nil, err
 		}
-		ctx := &evalCtx{slotOf: slotOf, slotVals: ms.slots, groupVals: groupVals}
-		row := make([]any, len(st.Items))
-		for i, item := range st.Items {
-			v, err := evalExpr(item.Expr, ctx)
+		row[i] = v
+	}
+	var keys []any
+	if len(st.OrderBy) > 0 {
+		keys = make([]any, len(st.OrderBy))
+		for k, key := range st.OrderBy {
+			if ord, isOrd, _ := ordinal(key.Expr, len(row)); isOrd {
+				keys[k] = row[ord]
+				continue
+			}
+			kctx := &evalCtx{slotOf: p.slotOf, slotVals: ms.slots, groupVals: groupVals,
+				outCols: p.outCols, outVals: row, params: env.paramList()}
+			v, err := evalExpr(key.Expr, kctx)
 			if err != nil {
 				return nil, nil, err
 			}
-			row[i] = v
+			keys[k] = v
 		}
-		var keys []any
-		if len(st.OrderBy) > 0 {
-			keys = make([]any, len(st.OrderBy))
-			for k, key := range st.OrderBy {
-				if ord, isOrd, _ := ordinal(key.Expr, len(row)); isOrd {
-					keys[k] = row[ord]
-					continue
-				}
-				kctx := &evalCtx{slotOf: slotOf, slotVals: ms.slots, groupVals: groupVals, outCols: outCols, outVals: row}
-				v, err := evalExpr(key.Expr, kctx)
-				if err != nil {
-					return nil, nil, err
-				}
-				keys[k] = v
-			}
-		}
-		return row, keys, nil
 	}
+	return row, keys, nil
+}
 
-	var rows, keys [][]any
-	if len(st.GroupBy) == 0 {
+func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
+	st := p.st
+	aggs := make([]engine.Aggregate, len(p.builders))
+	for i, b := range p.builders {
+		a, err := b(env)
+		if err != nil {
+			return nil, err
+		}
+		aggs[i] = a
+	}
+	multi := &multiAggregate{aggs: aggs, groupIdx: p.groupIdx, schema: p.schema}
+	var predErr atomic.Value
+	pred := enginePred(p.pred, env, &predErr)
+
+	var states []*multiState
+	if len(p.groupIdx) == 0 {
 		var v any
+		var err error
 		if pred == nil {
-			v, err = s.db.Run(t, multi)
+			v, err = s.db.Run(p.table, multi)
 		} else {
-			v, err = s.db.RunFiltered(t, pred, multi)
+			v, err = s.db.RunFiltered(p.table, pred, multi)
 		}
 		if err != nil {
 			return nil, err
@@ -674,44 +751,46 @@ func (s *Session) execAggSelect(st *Select, t *engine.Table) (*Result, error) {
 		if e := predErr.Load(); e != nil {
 			return nil, e.(error)
 		}
-		row, kv, err := evalGroup(v.(*multiState))
-		if err != nil {
-			return nil, err
-		}
-		rows, keys = [][]any{row}, [][]any{kv}
+		states = []*multiState{v.(*multiState)}
 	} else {
-		keyFn := func(row engine.Row) string {
-			// Length-prefix each rendered value so the composite key is
-			// injective even when values contain the separator.
-			var b strings.Builder
-			for _, gi := range groupIdx {
-				v := FormatValue(rowValue(schema, &row, gi))
-				fmt.Fprintf(&b, "%d:", len(v))
-				b.WriteString(v)
-			}
-			return b.String()
-		}
-		groups, err := s.db.RunGroupByFiltered(t, pred, keyFn, multi)
+		groups, err := s.db.RunGroupByKey(p.table, pred, p.keyFn, multi)
 		if err != nil {
 			return nil, err
 		}
 		if e := predErr.Load(); e != nil {
 			return nil, e.(error)
 		}
-		// Deterministic default order: sort by the rendered group key.
-		names := make([]string, 0, len(groups))
-		for k := range groups {
-			names = append(names, k)
+		states = make([]*multiState, 0, len(groups))
+		for _, v := range groups {
+			states = append(states, v.(*multiState))
 		}
-		sort.Strings(names)
-		for _, k := range names {
-			row, kv, err := evalGroup(groups[k].(*multiState))
-			if err != nil {
-				return nil, err
+		// Deterministic default order: sort groups by their key values.
+		var sortErr error
+		sort.Slice(states, func(a, b int) bool {
+			ka, kb := states[a].keyVals, states[b].keyVals
+			for i := range ka {
+				c, err := compareValues(ka[i], kb[i])
+				if err != nil && sortErr == nil {
+					sortErr = err
+				}
+				if c != 0 {
+					return c < 0
+				}
 			}
-			rows = append(rows, row)
-			keys = append(keys, kv)
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
 		}
+	}
+	var rows, keys [][]any
+	for _, ms := range states {
+		row, kv, err := p.evalGroup(ms, env)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		keys = append(keys, kv)
 	}
 	if len(st.OrderBy) > 0 {
 		desc := make([]bool, len(st.OrderBy))
@@ -723,7 +802,85 @@ func (s *Session) execAggSelect(st *Select, t *engine.Table) (*Result, error) {
 		}
 	}
 	rows = applyLimit(rows, st.Limit)
-	return &Result{Cols: outNames, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+	return &Result{Cols: p.outNames, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+}
+
+// groupKeyFn builds the engine.GroupKey projection for the GROUP BY
+// columns. Single-column keys map directly into the key struct with no
+// allocation; composite (and vector) keys pack length-prefixed bytes.
+func groupKeyFn(schema engine.Schema, groupIdx []int) func(engine.Row) engine.GroupKey {
+	if len(groupIdx) == 1 {
+		gi := groupIdx[0]
+		switch schema[gi].Kind {
+		case engine.Int:
+			return func(r engine.Row) engine.GroupKey { return engine.GroupKey{Int: r.Int(gi)} }
+		case engine.String:
+			return func(r engine.Row) engine.GroupKey { return engine.GroupKey{Str: r.Str(gi)} }
+		case engine.Bool:
+			return func(r engine.Row) engine.GroupKey {
+				if r.Bool(gi) {
+					return engine.GroupKey{Int: 1}
+				}
+				return engine.GroupKey{}
+			}
+		case engine.Float:
+			return func(r engine.Row) engine.GroupKey {
+				return engine.GroupKey{Int: floatKeyBits(r.Float(gi))}
+			}
+		}
+	}
+	return func(r engine.Row) engine.GroupKey {
+		var buf []byte
+		for _, gi := range groupIdx {
+			buf = appendKeyValue(buf, schema, r, gi)
+		}
+		return engine.GroupKey{Str: string(buf)}
+	}
+}
+
+// floatKeyBits maps a float to grouping-equivalent bits: -0 collapses
+// onto +0 and every NaN onto one canonical NaN, so SQL equality and key
+// equality agree.
+func floatKeyBits(f float64) int64 {
+	if f == 0 {
+		f = 0
+	}
+	if f != f {
+		return int64(math.Float64bits(math.NaN()))
+	}
+	return int64(math.Float64bits(f))
+}
+
+// appendKeyValue encodes one group-key column injectively: a kind tag,
+// then a fixed-width or length-prefixed payload.
+func appendKeyValue(buf []byte, schema engine.Schema, r engine.Row, gi int) []byte {
+	switch schema[gi].Kind {
+	case engine.Int:
+		buf = append(buf, 'i')
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Int(gi)))
+	case engine.Float:
+		buf = append(buf, 'f')
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(floatKeyBits(r.Float(gi))))
+	case engine.Bool:
+		if r.Bool(gi) {
+			buf = append(buf, 'T')
+		} else {
+			buf = append(buf, 'F')
+		}
+	case engine.String:
+		s := r.Str(gi)
+		buf = append(buf, 's')
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	case engine.Vector:
+		v := r.Vector(gi)
+		buf = append(buf, 'v')
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		for _, x := range v {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(floatKeyBits(x)))
+		}
+	}
+	return buf
 }
 
 // inferKind statically types an expression against a schema, for staging
@@ -786,58 +943,90 @@ func inferKind(e Expr, schema engine.Schema) (engine.Kind, error) {
 	return 0, execErrf("cannot infer the type of %s", e.String())
 }
 
-// execTableValued runs SELECT (madlib.fn(...)).* FROM t [WHERE ...]. A
+// computedStage is one computed madlib argument staged into a temp-table
+// column.
+type computedStage struct {
+	argIdx int
+	name   string
+	kind   engine.Kind
+	fn     anyFn
+}
+
+// tvPlan is a planned SELECT (madlib.fn(...)).* FROM t [WHERE ...]. A
 // WHERE clause or a computed argument (e.g. linregr(y, array[1, x0, x1])
 // over scalar columns) stages the rows through a temporary table first —
 // the same pattern the paper's driver functions use (§3.1.2).
-func (s *Session) execTableValued(st *Select, t *engine.Table, call *FuncCall) (*Result, error) {
+type tvPlan struct {
+	name      string
+	table     *engine.Table
+	st        *Select
+	call      *FuncCall
+	fn        core.SQLFunc
+	finalArgs []any
+	computed  []computedStage
+	pred      boolFn
+}
+
+func planTableValued(st *Select, t *engine.Table, call *FuncCall) (stmtPlan, error) {
 	if len(st.GroupBy) > 0 {
 		return nil, execErrf("GROUP BY cannot be combined with table-valued madlib functions")
 	}
+	if n := stmtMaxParam(st); n > 0 {
+		return nil, execErrf("parameters ($%d) are not supported with table-valued madlib functions", n)
+	}
 	f, _ := core.LookupSQLFunc(call.Name)
-	var predErr atomic.Value
-	pred, err := compilePred(st.Where, t.Schema(), &predErr)
+	p := &tvPlan{name: st.From, table: t, st: st, call: call, fn: f}
+	schema := t.Schema()
+	var err error
+	p.pred, err = compilePredicate(st.Where, schema)
 	if err != nil {
 		return nil, err
 	}
 	// Classify arguments: column references and constants pass through;
 	// any other expression becomes a computed staging column.
-	type computedArg struct {
-		argIdx int
-		name   string
-		expr   Expr
-		kind   engine.Kind
-	}
-	finalArgs := make([]any, len(call.Args))
-	var computed []computedArg
+	cc := newCompileCtx(schema)
+	p.finalArgs = make([]any, len(call.Args))
 	for i, a := range call.Args {
 		if cr, ok := a.(*ColumnRef); ok {
-			if t.Schema().Index(cr.Name) < 0 {
+			if schema.Index(cr.Name) < 0 {
 				return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, cr.Name)
 			}
-			finalArgs[i] = core.ColumnArg{Name: cr.Name}
+			p.finalArgs[i] = core.ColumnArg{Name: cr.Name}
 			continue
 		}
 		if v, err := evalExpr(a, &evalCtx{}); err == nil {
-			finalArgs[i] = v
+			p.finalArgs[i] = v
 			continue
 		}
-		if err := checkColumnRefs(a, t.Schema()); err != nil {
+		kind, err := inferKind(a, schema)
+		if err != nil {
 			return nil, err
 		}
-		kind, err := inferKind(a, t.Schema())
+		c, err := compileExpr(a, cc)
 		if err != nil {
 			return nil, err
 		}
 		name := fmt.Sprintf("_arg%d", i+1)
-		computed = append(computed, computedArg{argIdx: i, name: name, expr: a, kind: kind})
-		finalArgs[i] = core.ColumnArg{Name: name}
+		p.computed = append(p.computed, computedStage{argIdx: i, name: name, kind: kind, fn: c.a})
+		p.finalArgs[i] = core.ColumnArg{Name: name}
 	}
+	return p, nil
+}
+
+func (p *tvPlan) valid(db *engine.DB) bool {
+	t, err := db.Table(p.name)
+	return err == nil && t == p.table
+}
+
+func (p *tvPlan) exec(s *Session, env *execEnv) (*Result, error) {
+	st, t, call := p.st, p.table, p.call
+	var predErr atomic.Value
+	pred := enginePred(p.pred, env, &predErr)
 	input := t
 	switch {
-	case len(computed) > 0:
+	case len(p.computed) > 0:
 		schema := t.Schema().Clone()
-		for _, c := range computed {
+		for _, c := range p.computed {
 			schema = append(schema, engine.Column{Name: c.name, Kind: c.kind})
 		}
 		staged, err := s.db.CreateTempTable("sql_stage", schema)
@@ -846,7 +1035,6 @@ func (s *Session) execTableValued(st *Select, t *engine.Table, call *FuncCall) (
 		}
 		defer func() { _ = s.db.DropTable(staged.Name()) }()
 		baseSchema := t.Schema()
-		idx := colIndexMap(baseSchema)
 		// Evaluate segment-parallel into per-segment buffers (the scan and
 		// the expression work dominate), then append sequentially.
 		segVals := make([][][]any, len(t.Segments()))
@@ -854,13 +1042,12 @@ func (s *Session) execTableValued(st *Select, t *engine.Table, call *FuncCall) (
 			if pred != nil && !pred(row) {
 				return nil
 			}
-			ctx := &evalCtx{schema: baseSchema, colIdx: idx, row: &row}
 			vals := make([]any, len(schema))
 			for ci := range baseSchema {
 				vals[ci] = rowValue(baseSchema, &row, ci)
 			}
-			for k, c := range computed {
-				v, err := evalExpr(c.expr, ctx)
+			for k, c := range p.computed {
+				v, err := c.fn(row, env)
 				if err != nil {
 					return err
 				}
@@ -899,8 +1086,7 @@ func (s *Session) execTableValued(st *Select, t *engine.Table, call *FuncCall) (
 		defer func() { _ = s.db.DropTable(staged.Name()) }()
 		input = staged
 	}
-	args := finalArgs
-	outSchema, rows, err := f.Invoke(s.db, input, args)
+	outSchema, rows, err := p.fn.Invoke(s.db, input, p.finalArgs)
 	if err != nil {
 		return nil, fmt.Errorf("sql: madlib.%s: %w", call.Name, err)
 	}

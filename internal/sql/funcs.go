@@ -75,10 +75,13 @@ func init() {
 		},
 		{
 			Name: "quantile", Kind: core.SQLAggregate,
-			Signature: "quantile(col, phi)",
-			Help:      "exact phi-quantile of a numeric column",
+			Signature: "quantile(expr, phi)",
+			Help:      "exact phi-quantile of a numeric column or expression",
 			BuildAggregate: func(schema engine.Schema, args []any) (engine.Aggregate, error) {
-				ci, err := colArg("quantile", schema, args, 0, engine.Float)
+				if err := wantArgs("quantile", args, 2, 2); err != nil {
+					return nil, err
+				}
+				get, err := floatRowArg("quantile", schema, args, 0)
 				if err != nil {
 					return nil, err
 				}
@@ -90,17 +93,20 @@ func init() {
 					return nil, fmt.Errorf("quantile: phi %v outside [0,1]", phi)
 				}
 				return finalWrap{
-					Aggregate: quantile.ExactAggregate(ci, []float64{phi}),
+					Aggregate: exactQuantileOver(get, []float64{phi}),
 					fn:        func(v any) (any, error) { return v.([]float64)[0], nil },
 				}, nil
 			},
 		},
 		{
 			Name: "approx_quantile", Kind: core.SQLAggregate,
-			Signature: "approx_quantile(col, eps, phi)",
+			Signature: "approx_quantile(expr, eps, phi)",
 			Help:      "Greenwald-Khanna eps-approximate phi-quantile",
 			BuildAggregate: func(schema engine.Schema, args []any) (engine.Aggregate, error) {
-				ci, err := colArg("approx_quantile", schema, args, 0, engine.Float)
+				if err := wantArgs("approx_quantile", args, 3, 3); err != nil {
+					return nil, err
+				}
+				get, err := floatRowArg("approx_quantile", schema, args, 0)
 				if err != nil {
 					return nil, err
 				}
@@ -112,19 +118,25 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
+				if _, err := quantile.NewGK(eps); err != nil {
+					return nil, err
+				}
 				return finalWrap{
-					Aggregate: quantile.GKAggregate(ci, eps, []float64{phi}),
+					Aggregate: gkQuantileOver(get, eps, []float64{phi}),
 					fn:        func(v any) (any, error) { return v.([]float64)[0], nil },
 				}, nil
 			},
 		},
 		{
 			Name: "fmcount", Kind: core.SQLAggregate,
-			Signature: "fmcount(col)",
+			Signature: "fmcount(expr)",
 			Help:      "Flajolet-Martin approximate distinct count",
 			BuildAggregate: func(schema engine.Schema, args []any) (engine.Aggregate, error) {
 				if err := wantArgs("fmcount", args, 1, 1); err != nil {
 					return nil, err
+				}
+				if ea, ok := args[0].(core.ExprArg); ok {
+					return fmExprAggregate(ea.Value), nil
 				}
 				ci, err := anyColArg("fmcount", schema, args, 0)
 				if err != nil {
@@ -153,8 +165,163 @@ func (w finalWrap) Final(state any) (any, error) {
 	return w.fn(v)
 }
 
+// errAccState wraps an accumulator with the first row-evaluation error,
+// so computed-argument aggregates surface clean SQL errors instead of
+// panicking mid-scan.
+type errAccState[T any] struct {
+	acc T
+	err error
+}
+
+// exactQuantileOver is quantile.ExactAggregate with a per-row getter
+// instead of a column index, so computed expressions (and Int columns)
+// feed the exact quantile.
+func exactQuantileOver(get func(engine.Row) (float64, error), phis []float64) engine.Aggregate {
+	return engine.FuncAggregate{
+		InitFn: func() any { return &errAccState[[]float64]{} },
+		TransitionFn: func(s any, row engine.Row) any {
+			st := s.(*errAccState[[]float64])
+			if st.err != nil {
+				return st
+			}
+			v, err := get(row)
+			if err != nil {
+				st.err = err
+				return st
+			}
+			st.acc = append(st.acc, v)
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*errAccState[[]float64]), b.(*errAccState[[]float64])
+			if sa.err == nil {
+				sa.err = sb.err
+			}
+			sa.acc = append(sa.acc, sb.acc...)
+			return sa
+		},
+		FinalFn: func(s any) (any, error) {
+			st := s.(*errAccState[[]float64])
+			if st.err != nil {
+				return nil, st.err
+			}
+			out := make([]float64, len(phis))
+			for i, phi := range phis {
+				q, err := quantile.Exact(st.acc, phi)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = q
+			}
+			return out, nil
+		},
+	}
+}
+
+// gkQuantileOver is quantile.GKAggregate with a per-row getter; eps must
+// be pre-validated by the caller.
+func gkQuantileOver(get func(engine.Row) (float64, error), eps float64, phis []float64) engine.Aggregate {
+	return engine.FuncAggregate{
+		InitFn: func() any {
+			gk, err := quantile.NewGK(eps)
+			if err != nil {
+				panic(err) // validated by callers
+			}
+			return &errAccState[*quantile.GK]{acc: gk}
+		},
+		TransitionFn: func(s any, row engine.Row) any {
+			st := s.(*errAccState[*quantile.GK])
+			if st.err != nil {
+				return st
+			}
+			v, err := get(row)
+			if err != nil {
+				st.err = err
+				return st
+			}
+			st.acc.Insert(v)
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*errAccState[*quantile.GK]), b.(*errAccState[*quantile.GK])
+			if sa.err == nil {
+				sa.err = sb.err
+			}
+			sa.acc.Merge(sb.acc)
+			return sa
+		},
+		FinalFn: func(s any) (any, error) {
+			st := s.(*errAccState[*quantile.GK])
+			if st.err != nil {
+				return nil, st.err
+			}
+			out := make([]float64, len(phis))
+			for i, phi := range phis {
+				q, err := st.acc.Quantile(phi)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = q
+			}
+			return out, nil
+		},
+	}
+}
+
+// fmExprAggregate counts distinct values of a computed expression with an
+// FM sketch, hashing by the value's runtime type.
+func fmExprAggregate(get func(engine.Row) (any, error)) engine.Aggregate {
+	return engine.FuncAggregate{
+		InitFn: func() any { return &errAccState[*sketch.FM]{acc: sketch.NewFM()} },
+		TransitionFn: func(s any, row engine.Row) any {
+			st := s.(*errAccState[*sketch.FM])
+			if st.err != nil {
+				return st
+			}
+			v, err := get(row)
+			if err != nil {
+				st.err = err
+				return st
+			}
+			switch x := v.(type) {
+			case int64:
+				st.acc.AddInt(x)
+			case float64:
+				st.acc.AddFloat(x)
+			case string:
+				st.acc.AddString(x)
+			case bool:
+				if x {
+					st.acc.AddInt(1)
+				} else {
+					st.acc.AddInt(0)
+				}
+			default:
+				st.err = fmt.Errorf("fmcount: cannot count %T values", v)
+			}
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*errAccState[*sketch.FM]), b.(*errAccState[*sketch.FM])
+			if sa.err == nil {
+				sa.err = sb.err
+			}
+			sa.acc.Merge(sb.acc)
+			return sa
+		},
+		FinalFn: func(s any) (any, error) {
+			st := s.(*errAccState[*sketch.FM])
+			if st.err != nil {
+				return nil, st.err
+			}
+			return st.acc.Estimate(), nil
+		},
+	}
+}
+
 // Argument helpers. args follow the resolveFuncArgs convention: column
-// references as core.ColumnArg, literals as Go scalars.
+// references as core.ColumnArg, computed expressions as core.ExprArg,
+// literals as Go scalars.
 
 func wantArgs(fn string, args []any, min, max int) error {
 	if len(args) < min || len(args) > max {
@@ -177,6 +344,31 @@ func anyColArg(fn string, schema engine.Schema, args []any, i int) (int, error) 
 		return 0, fmt.Errorf("%w: %q", engine.ErrNoColumn, ca.Name)
 	}
 	return ci, nil
+}
+
+// floatRowArg resolves args[i] as a numeric per-row input: a Float or Int
+// column, or a computed numeric expression (core.ExprArg).
+func floatRowArg(fn string, schema engine.Schema, args []any, i int) (func(engine.Row) (float64, error), error) {
+	switch a := args[i].(type) {
+	case core.ColumnArg:
+		ci := schema.Index(a.Name)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, a.Name)
+		}
+		switch schema[ci].Kind {
+		case engine.Float:
+			return func(r engine.Row) (float64, error) { return r.Float(ci), nil }, nil
+		case engine.Int:
+			return func(r engine.Row) (float64, error) { return float64(r.Int(ci)), nil }, nil
+		}
+		return nil, fmt.Errorf("%s: column %q is %s, want %s", fn, a.Name, schema[ci].Kind, engine.Float)
+	case core.ExprArg:
+		if a.Kind != engine.Float && a.Kind != engine.Int {
+			return nil, fmt.Errorf("%s: expression %s is %s, want numeric", fn, a.Name, a.Kind)
+		}
+		return a.Float, nil
+	}
+	return nil, fmt.Errorf("%s: argument %d must be a column or an expression over the input table", fn, i+1)
 }
 
 // colArg resolves args[i] as a column reference of the given kind (Float

@@ -23,6 +23,8 @@ const (
 	// TokOp is an operator or punctuation: ( ) , ; . * + - / % = < >
 	// <= >= <> != { } [ ].
 	TokOp
+	// TokParam is a $n parameter placeholder; Text holds the digits.
+	TokParam
 )
 
 func (k TokenKind) String() string {
@@ -37,6 +39,8 @@ func (k TokenKind) String() string {
 		return "string"
 	case TokOp:
 		return "operator"
+	case TokParam:
+		return "parameter"
 	}
 	return fmt.Sprintf("token(%d)", int(k))
 }
@@ -71,7 +75,7 @@ func syntaxErrf(pos int, format string, args ...any) error {
 
 // Lex tokenizes a SQL text. It handles identifiers, numbers (integer,
 // decimal, scientific), single-quoted strings with ” escapes, `--` line
-// comments, and multi-character operators.
+// comments, $n parameter placeholders, and multi-character operators.
 func Lex(input string) ([]Token, error) {
 	var toks []Token
 	i, n := 0, len(input)
@@ -103,6 +107,16 @@ func Lex(input string) ([]Token, error) {
 			}
 			toks = append(toks, Token{Kind: TokString, Text: text, Pos: start})
 			i = next
+		case c == '$':
+			start := i
+			i++
+			for i < n && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			if i == start+1 {
+				return nil, syntaxErrf(start, "expected parameter number after '$'")
+			}
+			toks = append(toks, Token{Kind: TokParam, Text: input[start+1 : i], Pos: start})
 		default:
 			start := i
 			op, width := scanOp(input, i)

@@ -120,6 +120,25 @@ func TestLexBadCharacter(t *testing.T) {
 	}
 }
 
+func TestLexParams(t *testing.T) {
+	toks, err := Lex("SELECT $1 + $23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokParam || toks[1].Text != "1" {
+		t.Fatalf("token 1 = (%v, %q)", toks[1].Kind, toks[1].Text)
+	}
+	if toks[3].Kind != TokParam || toks[3].Text != "23" {
+		t.Fatalf("token 3 = (%v, %q)", toks[3].Kind, toks[3].Text)
+	}
+	if _, err := Lex("SELECT $"); err == nil {
+		t.Fatal("bare $ should fail")
+	}
+	if _, err := Lex("SELECT $x"); err == nil {
+		t.Fatal("$x should fail")
+	}
+}
+
 func TestLexPositions(t *testing.T) {
 	toks, err := Lex("ab  cd")
 	if err != nil {

@@ -17,6 +17,10 @@ var reservedWords = map[string]bool{
 	"create": true, "drop": true, "table": true, "into": true,
 }
 
+// maxParams bounds $n placeholder numbers, catching typos like $1000000
+// before they size a parameter slice.
+const maxParams = 512
+
 // Parse tokenizes and parses a script of one or more ';'-separated
 // statements.
 func Parse(input string) ([]Statement, error) {
@@ -24,7 +28,7 @@ func Parse(input string) ([]Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, src: input}
 	var stmts []Statement
 	for {
 		for p.peek().Kind == TokOp && p.peek().Text == ";" {
@@ -63,6 +67,9 @@ func ParseStatement(input string) (Statement, error) {
 type parser struct {
 	toks []Token
 	pos  int
+	// src is the original input, so PREPARE can keep the inner
+	// statement's exact source text for listings and replanning.
+	src string
 }
 
 func (p *parser) peek() Token { return p.toks[p.pos] }
@@ -145,8 +152,84 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case t.IsKeyword("select"):
 		return p.parseSelect()
+	case t.IsKeyword("prepare"):
+		return p.parsePrepare()
+	case t.IsKeyword("execute"):
+		return p.parseExecute()
+	case t.IsKeyword("deallocate"):
+		return p.parseDeallocate()
 	}
-	return nil, syntaxErrf(t.Pos, "expected CREATE, DROP, INSERT or SELECT, got %q", tokenDesc(t))
+	return nil, syntaxErrf(t.Pos, "expected CREATE, DROP, INSERT, SELECT, PREPARE, EXECUTE or DEALLOCATE, got %q", tokenDesc(t))
+}
+
+// parsePrepare parses PREPARE name AS statement. Only SELECT and INSERT
+// can be prepared; the inner statement may use $n placeholders.
+func (p *parser) parsePrepare() (Statement, error) {
+	p.pos++ // PREPARE
+	name, err := p.expectIdent("prepared statement name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return nil, err
+	}
+	start := p.peek().Pos
+	t := p.peek()
+	if !t.IsKeyword("select") && !t.IsKeyword("insert") {
+		return nil, syntaxErrf(t.Pos, "PREPARE supports only SELECT and INSERT statements, got %q", tokenDesc(t))
+	}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	return &Prepare{
+		Name: strings.ToLower(name.Text),
+		Stmt: inner,
+		Text: strings.TrimSpace(p.src[start:p.peek().Pos]),
+	}, nil
+}
+
+// parseExecute parses EXECUTE name[(expr, ...)].
+func (p *parser) parseExecute() (Statement, error) {
+	p.pos++ // EXECUTE
+	name, err := p.expectIdent("prepared statement name")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &Execute{Name: strings.ToLower(name.Text)}
+	if p.matchOp("(") {
+		if !p.matchOp(")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Args = append(stmt.Args, e)
+				if p.matchOp(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return stmt, nil
+}
+
+// parseDeallocate parses DEALLOCATE [PREPARE] (name | ALL).
+func (p *parser) parseDeallocate() (Statement, error) {
+	p.pos++ // DEALLOCATE
+	p.matchKeyword("prepare")
+	if p.matchKeyword("all") {
+		return &Deallocate{All: true}, nil
+	}
+	name, err := p.expectIdent("prepared statement name")
+	if err != nil {
+		return nil, err
+	}
+	return &Deallocate{Name: strings.ToLower(name.Text)}, nil
 }
 
 func (p *parser) parseCreate() (Statement, error) {
@@ -561,6 +644,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case t.Kind == TokString:
 		p.pos++
 		return &Literal{Val: t.Text, Pos: t.Pos}, nil
+	case t.Kind == TokParam:
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 32)
+		if err != nil || n < 1 || n > maxParams {
+			return nil, syntaxErrf(t.Pos, "invalid parameter number $%s", t.Text)
+		}
+		return &Param{Idx: int(n), Pos: t.Pos}, nil
 	case t.Kind == TokOp && t.Text == "(":
 		p.pos++
 		e, err := p.parseExpr()

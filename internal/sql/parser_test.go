@@ -170,6 +170,68 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParsePrepareExecute(t *testing.T) {
+	st := mustParse(t, `PREPARE Plan1 AS SELECT v FROM t WHERE v > $1 ORDER BY v LIMIT 3`)
+	p, ok := st.(*Prepare)
+	if !ok || p.Name != "plan1" {
+		t.Fatalf("prepare = %#v", st)
+	}
+	inner, ok := p.Stmt.(*Select)
+	if !ok || inner.From != "t" || inner.Limit != 3 {
+		t.Fatalf("inner = %#v", p.Stmt)
+	}
+	if p.Text != "SELECT v FROM t WHERE v > $1 ORDER BY v LIMIT 3" {
+		t.Fatalf("text = %q", p.Text)
+	}
+	if _, ok := inner.Where.(*Binary).R.(*Param); !ok {
+		t.Fatalf("where rhs = %#v", inner.Where.(*Binary).R)
+	}
+
+	st = mustParse(t, `EXECUTE plan1(2.5, 'x')`)
+	ex := st.(*Execute)
+	if ex.Name != "plan1" || len(ex.Args) != 2 {
+		t.Fatalf("execute = %#v", ex)
+	}
+	st = mustParse(t, `EXECUTE plan1`)
+	if len(st.(*Execute).Args) != 0 {
+		t.Fatalf("bare execute = %#v", st)
+	}
+	st = mustParse(t, `EXECUTE plan1()`)
+	if len(st.(*Execute).Args) != 0 {
+		t.Fatalf("empty-arg execute = %#v", st)
+	}
+
+	if st := mustParse(t, `DEALLOCATE plan1`); st.(*Deallocate).Name != "plan1" {
+		t.Fatalf("deallocate = %#v", st)
+	}
+	if st := mustParse(t, `DEALLOCATE PREPARE ALL`); !st.(*Deallocate).All {
+		t.Fatalf("deallocate all = %#v", st)
+	}
+
+	for _, bad := range []string{
+		`PREPARE p AS DROP TABLE t`,
+		`PREPARE p AS CREATE TABLE t (v float)`,
+		`PREPARE AS SELECT 1`,
+		`EXECUTE`,
+		`SELECT $0`,
+		`SELECT $99999999`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q should fail to parse", bad)
+		}
+	}
+}
+
+func TestParseSelectStringRendersFully(t *testing.T) {
+	st := mustParse(t, `SELECT g, sum(v) FROM t WHERE v > $1 GROUP BY g ORDER BY g DESC LIMIT 5`)
+	got := st.String()
+	for _, want := range []string{"ORDER BY g DESC", "LIMIT 5", "$1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
 func TestParseReservedWordRejected(t *testing.T) {
 	if _, err := Parse(`SELECT select FROM t`); err == nil {
 		t.Fatal("reserved word as column should fail")

@@ -41,6 +41,9 @@ type evalCtx struct {
 	// (ORDER BY over a computed result).
 	outCols map[string]int
 	outVals []any
+
+	// params binds $n placeholders to EXECUTE-supplied values.
+	params []any
 }
 
 func colIndexMap(schema engine.Schema) map[string]int {
@@ -74,6 +77,11 @@ func evalExpr(e Expr, ctx *evalCtx) (any, error) {
 	switch x := e.(type) {
 	case *Literal:
 		return x.Val, nil
+	case *Param:
+		if x.Idx < 1 || x.Idx > len(ctx.params) {
+			return nil, execErrf("there is no parameter $%d", x.Idx)
+		}
+		return ctx.params[x.Idx-1], nil
 	case *ArrayLit:
 		out := make([]float64, len(x.Elems))
 		for i, el := range x.Elems {
@@ -374,6 +382,13 @@ func evalScalarFunc(x *FuncCall, ctx *evalCtx) (any, error) {
 		}
 		args[i] = v
 	}
+	return applyScalarFunc(x, args)
+}
+
+// applyScalarFunc dispatches a built-in scalar function over evaluated
+// arguments — the single function table shared by the interpreter
+// (evalScalarFunc) and the compiled generic fallback (compileFuncCall).
+func applyScalarFunc(x *FuncCall, args []any) (any, error) {
 	num := func(i int) (float64, error) {
 		f, ok := toFloat(args[i])
 		if !ok {
@@ -528,19 +543,6 @@ func walkExpr(e Expr, visit func(Expr)) {
 	walkAgg(e, func(x Expr, _ bool) { visit(x) })
 }
 
-// checkColumnRefs validates every column reference in e against schema.
-func checkColumnRefs(e Expr, schema engine.Schema) error {
-	var err error
-	walkExpr(e, func(x Expr) {
-		if cr, ok := x.(*ColumnRef); ok && err == nil {
-			if schema.Index(cr.Name) < 0 {
-				err = fmt.Errorf("%w: %q", engine.ErrNoColumn, cr.Name)
-			}
-		}
-	})
-	return err
-}
-
 // collectAggCalls returns the aggregate calls in e, outermost only (an
 // aggregate nested inside another aggregate's arguments is an error
 // reported later).
@@ -569,10 +571,19 @@ func exprHasNestedAgg(e Expr) bool {
 	return nested
 }
 
-// buildAggregate compiles one aggregate call into an engine.Aggregate.
-// Built-in aggregates evaluate their argument expression per row; madlib
-// aggregates are built by their registered binding.
-func buildAggregate(call *FuncCall, schema engine.Schema) (engine.Aggregate, error) {
+// aggBuilder constructs the engine aggregate for one aggregate call with
+// an execution environment bound. All compile work happens at plan time;
+// invoking the builder per execution only allocates closures, which keeps
+// cached plans reusable while letting $n parameters flow into built-in
+// aggregate arguments (sum(v * $1)).
+type aggBuilder func(env *execEnv) (engine.Aggregate, error)
+
+// buildAggregate compiles one aggregate call into an aggBuilder. Built-in
+// aggregates evaluate their compiled argument expression per row; madlib
+// aggregates are built once by their registered binding (their arguments
+// are fixed at plan time, so the instance is reusable — Init creates
+// fresh state per run).
+func buildAggregate(call *FuncCall, schema engine.Schema) (aggBuilder, error) {
 	if x := call; x.Schema == "" && builtinAggs[x.Name] {
 		return buildBuiltinAggregate(call, schema)
 	}
@@ -585,12 +596,17 @@ func buildAggregate(call *FuncCall, schema engine.Schema) (engine.Aggregate, err
 	if err != nil {
 		return nil, fmt.Errorf("sql: madlib.%s: %w", call.Name, err)
 	}
-	return agg, nil
+	return func(*execEnv) (engine.Aggregate, error) { return agg, nil }, nil
 }
 
-// resolveFuncArgs evaluates madlib call arguments: column references
-// become core.ColumnArg, everything else must fold to a constant.
+// resolveFuncArgs resolves madlib call arguments: column references
+// become core.ColumnArg, constants fold, and any other expression over
+// the table compiles to a core.ExprArg whose getters the method's builder
+// can evaluate per row (the ROADMAP's "computed arguments for scalar
+// aggregates" item). $n parameters cannot appear here: madlib builders
+// resolve their arguments at plan time.
 func resolveFuncArgs(call *FuncCall, schema engine.Schema) ([]any, error) {
+	var cc *compileCtx
 	args := make([]any, len(call.Args))
 	for i, a := range call.Args {
 		if cr, ok := a.(*ColumnRef); ok {
@@ -600,13 +616,58 @@ func resolveFuncArgs(call *FuncCall, schema engine.Schema) ([]any, error) {
 			args[i] = core.ColumnArg{Name: cr.Name}
 			continue
 		}
-		v, err := evalExpr(a, &evalCtx{})
+		if v, err := evalExpr(a, &evalCtx{}); err == nil {
+			args[i] = v
+			continue
+		}
+		if exprHasParam(a) {
+			return nil, execErrf("%s argument %d: parameters are not allowed in madlib function arguments", call.Name, i+1)
+		}
+		if exprHasAgg(a) {
+			return nil, execErrf("aggregate calls cannot be nested")
+		}
+		if cc == nil {
+			cc = newCompileCtx(schema)
+		}
+		c, err := compileExpr(a, cc)
 		if err != nil {
 			return nil, fmt.Errorf("sql: %s argument %d: %w", call.Name, i+1, err)
 		}
-		args[i] = v
+		args[i] = core.ExprArg{
+			Name:  a.String(),
+			Kind:  engineKindOf(c.kind),
+			Float: bindFloat(c.asFloat()),
+			Value: bindAny(c.a),
+		}
 	}
 	return args, nil
+}
+
+// engineKindOf maps a compiled kind back to the engine's column kinds;
+// dynamic expressions report Float (they are runtime-checked anyway).
+func engineKindOf(k ckind) engine.Kind {
+	switch k {
+	case ckInt:
+		return engine.Int
+	case ckStr:
+		return engine.String
+	case ckBool:
+		return engine.Bool
+	case ckVec:
+		return engine.Vector
+	}
+	return engine.Float
+}
+
+// bindFloat/bindAny drop the execEnv argument for consumers outside the
+// SQL package (core.ExprArg getters). Safe because resolveFuncArgs
+// rejects $n parameters in these positions.
+func bindFloat(fn floatFn) func(engine.Row) (float64, error) {
+	return func(r engine.Row) (float64, error) { return fn(r, nil) }
+}
+
+func bindAny(fn anyFn) func(engine.Row) (any, error) {
+	return func(r engine.Row) (any, error) { return fn(r, nil) }
 }
 
 // numAccState is the shared transition state of the numeric built-in
@@ -628,10 +689,33 @@ type minmaxState struct {
 	err error
 }
 
+// fminmaxState is minmaxState's unboxed fast path for float arguments.
+type fminmaxState struct {
+	val  float64
+	seen bool
+	err  error
+}
+
+// iminmaxState is the int64 fast path; ints never round-trip through
+// float64 (which would lose precision above 2^53 and overflow at 2^63).
+type iminmaxState struct {
+	val  int64
+	seen bool
+	err  error
+}
+
+// countState counts rows, remembering the first argument-evaluation error.
+type countState struct {
+	n   int64
+	err error
+}
+
 // buildBuiltinAggregate compiles count/sum/avg/min/max/variance/stddev
 // into the engine's two-phase aggregate contract, so they execute
-// segment-parallel exactly like the library's own methods.
-func buildBuiltinAggregate(call *FuncCall, schema engine.Schema) (engine.Aggregate, error) {
+// segment-parallel exactly like the library's own methods. The argument
+// expression is lowered to a typed closure at plan time; the returned
+// builder only binds the execution environment.
+func buildBuiltinAggregate(call *FuncCall, schema engine.Schema) (aggBuilder, error) {
 	name := call.Name
 	if call.Star {
 		if name != "count" {
@@ -640,189 +724,349 @@ func buildBuiltinAggregate(call *FuncCall, schema engine.Schema) (engine.Aggrega
 	} else if len(call.Args) != 1 {
 		return nil, execErrf("%s expects exactly one argument", name)
 	}
-	var argExpr Expr
+	var arg *compiled
 	if !call.Star {
-		argExpr = call.Args[0]
-		if err := checkColumnRefs(argExpr, schema); err != nil {
+		var err error
+		arg, err = compileExpr(call.Args[0], newCompileCtx(schema))
+		if err != nil {
 			return nil, err
 		}
 	}
-	idx := colIndexMap(schema)
-	evalArg := func(row engine.Row) (any, error) {
-		ctx := &evalCtx{schema: schema, colIdx: idx, row: &row}
-		return evalExpr(argExpr, ctx)
-	}
 	switch name {
 	case "count":
-		type countState struct {
-			n   int64
-			err error
-		}
-		return engine.FuncAggregate{
-			InitFn: func() any { return &countState{} },
-			TransitionFn: func(s any, row engine.Row) any {
-				st := s.(*countState)
-				if st.err != nil {
-					return st
-				}
-				// count(expr) still evaluates its argument so runtime
-				// errors (e.g. division by zero) surface; there are no
-				// NULLs, so every evaluated row counts.
-				if argExpr != nil {
-					if _, err := evalArg(row); err != nil {
-						st.err = err
+		return func(env *execEnv) (engine.Aggregate, error) {
+			// count(expr) still evaluates its argument so runtime errors
+			// (e.g. division by zero) surface; there are no NULLs, so
+			// every evaluated row counts.
+			var evalArg anyFn
+			if arg != nil {
+				evalArg = arg.a
+			}
+			return engine.FuncAggregate{
+				InitFn: func() any { return &countState{} },
+				TransitionFn: func(s any, row engine.Row) any {
+					st := s.(*countState)
+					if st.err != nil {
 						return st
 					}
-				}
-				st.n++
-				return st
-			},
-			MergeFn: func(a, b any) any {
-				sa, sb := a.(*countState), b.(*countState)
-				if sa.err == nil {
-					sa.err = sb.err
-				}
-				sa.n += sb.n
-				return sa
-			},
-			FinalFn: func(s any) (any, error) {
-				st := s.(*countState)
-				return st.n, st.err
-			},
+					if evalArg != nil {
+						if _, err := evalArg(row, env); err != nil {
+							st.err = err
+							return st
+						}
+					}
+					st.n++
+					return st
+				},
+				MergeFn: func(a, b any) any {
+					sa, sb := a.(*countState), b.(*countState)
+					if sa.err == nil {
+						sa.err = sb.err
+					}
+					sa.n += sb.n
+					return sa
+				},
+				FinalFn: func(s any) (any, error) {
+					st := s.(*countState)
+					return st.n, st.err
+				},
+			}, nil
 		}, nil
 	case "min", "max":
 		wantLess := name == "min"
-		return engine.FuncAggregate{
-			InitFn: func() any { return &minmaxState{} },
-			TransitionFn: func(s any, row engine.Row) any {
-				st := s.(*minmaxState)
-				if st.err != nil {
+		if arg.kind == ckInt {
+			getI := arg.i
+			return func(env *execEnv) (engine.Aggregate, error) {
+				return engine.FuncAggregate{
+					InitFn: func() any { return &iminmaxState{} },
+					TransitionFn: func(s any, row engine.Row) any {
+						st := s.(*iminmaxState)
+						if st.err != nil {
+							return st
+						}
+						v, err := getI(row, env)
+						if err != nil {
+							st.err = err
+							return st
+						}
+						if !st.seen || (wantLess && v < st.val) || (!wantLess && v > st.val) {
+							st.val, st.seen = v, true
+						}
+						return st
+					},
+					MergeFn: func(a, b any) any {
+						sa, sb := a.(*iminmaxState), b.(*iminmaxState)
+						if sa.err != nil {
+							return sa
+						}
+						if sb.err != nil {
+							return sb
+						}
+						if sb.seen && (!sa.seen || (wantLess && sb.val < sa.val) || (!wantLess && sb.val > sa.val)) {
+							sa.val, sa.seen = sb.val, true
+						}
+						return sa
+					},
+					FinalFn: func(s any) (any, error) {
+						st := s.(*iminmaxState)
+						if st.err != nil {
+							return nil, st.err
+						}
+						if !st.seen {
+							return nil, nil
+						}
+						return st.val, nil
+					},
+				}, nil
+			}, nil
+		}
+		if arg.kind == ckFloat {
+			getF := arg.f
+			return func(env *execEnv) (engine.Aggregate, error) {
+				return engine.FuncAggregate{
+					InitFn: func() any { return &fminmaxState{} },
+					TransitionFn: func(s any, row engine.Row) any {
+						st := s.(*fminmaxState)
+						if st.err != nil {
+							return st
+						}
+						v, err := getF(row, env)
+						if err != nil {
+							st.err = err
+							return st
+						}
+						if !st.seen || (wantLess && v < st.val) || (!wantLess && v > st.val) {
+							st.val, st.seen = v, true
+						}
+						return st
+					},
+					MergeFn: func(a, b any) any {
+						sa, sb := a.(*fminmaxState), b.(*fminmaxState)
+						if sa.err != nil {
+							return sa
+						}
+						if sb.err != nil {
+							return sb
+						}
+						if sb.seen && (!sa.seen || (wantLess && sb.val < sa.val) || (!wantLess && sb.val > sa.val)) {
+							sa.val, sa.seen = sb.val, true
+						}
+						return sa
+					},
+					FinalFn: func(s any) (any, error) {
+						st := s.(*fminmaxState)
+						if st.err != nil {
+							return nil, st.err
+						}
+						if !st.seen {
+							return nil, nil
+						}
+						return st.val, nil
+					},
+				}, nil
+			}, nil
+		}
+		getA := arg.a
+		return func(env *execEnv) (engine.Aggregate, error) {
+			return engine.FuncAggregate{
+				InitFn: func() any { return &minmaxState{} },
+				TransitionFn: func(s any, row engine.Row) any {
+					st := s.(*minmaxState)
+					if st.err != nil {
+						return st
+					}
+					v, err := getA(row, env)
+					if err != nil {
+						st.err = err
+						return st
+					}
+					if st.val == nil {
+						st.val = v
+						return st
+					}
+					c, err := compareValues(v, st.val)
+					if err != nil {
+						st.err = err
+						return st
+					}
+					if (wantLess && c < 0) || (!wantLess && c > 0) {
+						st.val = v
+					}
 					return st
-				}
-				v, err := evalArg(row)
-				if err != nil {
-					st.err = err
-					return st
-				}
-				if st.val == nil {
-					st.val = v
-					return st
-				}
-				c, err := compareValues(v, st.val)
-				if err != nil {
-					st.err = err
-					return st
-				}
-				if (wantLess && c < 0) || (!wantLess && c > 0) {
-					st.val = v
-				}
-				return st
-			},
-			MergeFn: func(a, b any) any {
-				sa, sb := a.(*minmaxState), b.(*minmaxState)
-				if sa.err != nil {
+				},
+				MergeFn: func(a, b any) any {
+					sa, sb := a.(*minmaxState), b.(*minmaxState)
+					if sa.err != nil {
+						return sa
+					}
+					if sb.err != nil {
+						return sb
+					}
+					if sb.val == nil {
+						return sa
+					}
+					if sa.val == nil {
+						return sb
+					}
+					c, err := compareValues(sb.val, sa.val)
+					if err != nil {
+						sa.err = err
+						return sa
+					}
+					if (wantLess && c < 0) || (!wantLess && c > 0) {
+						sa.val = sb.val
+					}
 					return sa
-				}
-				if sb.err != nil {
-					return sb
-				}
-				if sb.val == nil {
-					return sa
-				}
-				if sa.val == nil {
-					return sb
-				}
-				c, err := compareValues(sb.val, sa.val)
-				if err != nil {
-					sa.err = err
-					return sa
-				}
-				if (wantLess && c < 0) || (!wantLess && c > 0) {
-					sa.val = sb.val
-				}
-				return sa
-			},
-			FinalFn: func(s any) (any, error) {
-				st := s.(*minmaxState)
-				return st.val, st.err
-			},
+				},
+				FinalFn: func(s any) (any, error) {
+					st := s.(*minmaxState)
+					return st.val, st.err
+				},
+			}, nil
 		}, nil
 	case "sum", "avg", "variance", "stddev":
-		return engine.FuncAggregate{
-			InitFn: func() any { return &numAccState{intOnly: true} },
-			TransitionFn: func(s any, row engine.Row) any {
-				st := s.(*numAccState)
-				if st.err != nil {
-					return st
-				}
-				v, err := evalArg(row)
-				if err != nil {
-					st.err = err
-					return st
-				}
-				f, ok := toFloat(v)
-				if !ok {
-					st.err = execErrf("%s: argument is %s, not numeric", name, valueTypeName(v))
-					return st
-				}
-				if i, ok := v.(int64); ok {
-					st.sumInt += i
-				} else {
-					st.intOnly = false
-				}
-				st.n++
-				st.sum += f
-				st.sumSq += f * f
-				return st
-			},
-			MergeFn: func(a, b any) any {
-				sa, sb := a.(*numAccState), b.(*numAccState)
-				if sa.err != nil {
-					return sa
-				}
-				if sb.err != nil {
-					return sb
-				}
-				sa.n += sb.n
-				sa.sum += sb.sum
-				sa.sumSq += sb.sumSq
-				sa.sumInt += sb.sumInt
-				sa.intOnly = sa.intOnly && sb.intOnly
-				return sa
-			},
-			FinalFn: func(s any) (any, error) {
-				st := s.(*numAccState)
-				if st.err != nil {
-					return nil, st.err
-				}
-				if st.n == 0 {
-					return nil, nil // SQL aggregates are NULL over no rows
-				}
-				switch name {
-				case "sum":
-					if st.intOnly {
-						return st.sumInt, nil
+		if arg.kind != ckAny && !arg.isNumeric() {
+			return nil, execErrf("%s: argument is %s, not numeric", name, arg.kind)
+		}
+		final := numAccFinal(name)
+		switch arg.kind {
+		case ckInt:
+			getI := arg.i
+			return func(env *execEnv) (engine.Aggregate, error) {
+				return engine.FuncAggregate{
+					InitFn: func() any { return &numAccState{intOnly: true} },
+					TransitionFn: func(s any, row engine.Row) any {
+						st := s.(*numAccState)
+						if st.err != nil {
+							return st
+						}
+						v, err := getI(row, env)
+						if err != nil {
+							st.err = err
+							return st
+						}
+						f := float64(v)
+						st.sumInt += v
+						st.n++
+						st.sum += f
+						st.sumSq += f * f
+						return st
+					},
+					MergeFn: mergeNumAcc,
+					FinalFn: final,
+				}, nil
+			}, nil
+		case ckFloat:
+			getF := arg.f
+			return func(env *execEnv) (engine.Aggregate, error) {
+				return engine.FuncAggregate{
+					InitFn: func() any { return &numAccState{} },
+					TransitionFn: func(s any, row engine.Row) any {
+						st := s.(*numAccState)
+						if st.err != nil {
+							return st
+						}
+						f, err := getF(row, env)
+						if err != nil {
+							st.err = err
+							return st
+						}
+						st.n++
+						st.sum += f
+						st.sumSq += f * f
+						return st
+					},
+					MergeFn: mergeNumAcc,
+					FinalFn: final,
+				}, nil
+			}, nil
+		}
+		getA := arg.a
+		return func(env *execEnv) (engine.Aggregate, error) {
+			return engine.FuncAggregate{
+				InitFn: func() any { return &numAccState{intOnly: true} },
+				TransitionFn: func(s any, row engine.Row) any {
+					st := s.(*numAccState)
+					if st.err != nil {
+						return st
 					}
-					return st.sum, nil
-				case "avg":
-					return st.sum / float64(st.n), nil
-				case "variance":
-					if st.n < 2 {
-						return nil, nil
+					v, err := getA(row, env)
+					if err != nil {
+						st.err = err
+						return st
 					}
-					mean := st.sum / float64(st.n)
-					return (st.sumSq - float64(st.n)*mean*mean) / float64(st.n-1), nil
-				default: // stddev
-					if st.n < 2 {
-						return nil, nil
+					f, ok := toFloat(v)
+					if !ok {
+						st.err = execErrf("%s: argument is %s, not numeric", name, valueTypeName(v))
+						return st
 					}
-					mean := st.sum / float64(st.n)
-					return math.Sqrt((st.sumSq - float64(st.n)*mean*mean) / float64(st.n-1)), nil
-				}
-			},
+					if i, ok := v.(int64); ok {
+						st.sumInt += i
+					} else {
+						st.intOnly = false
+					}
+					st.n++
+					st.sum += f
+					st.sumSq += f * f
+					return st
+				},
+				MergeFn: mergeNumAcc,
+				FinalFn: final,
+			}, nil
 		}, nil
 	}
 	return nil, execErrf("unknown aggregate %s", name)
+}
+
+func mergeNumAcc(a, b any) any {
+	sa, sb := a.(*numAccState), b.(*numAccState)
+	if sa.err != nil {
+		return sa
+	}
+	if sb.err != nil {
+		return sb
+	}
+	sa.n += sb.n
+	sa.sum += sb.sum
+	sa.sumSq += sb.sumSq
+	sa.sumInt += sb.sumInt
+	sa.intOnly = sa.intOnly && sb.intOnly
+	return sa
+}
+
+// numAccFinal finalizes the shared numeric accumulator for one of
+// sum/avg/variance/stddev.
+func numAccFinal(name string) func(any) (any, error) {
+	return func(s any) (any, error) {
+		st := s.(*numAccState)
+		if st.err != nil {
+			return nil, st.err
+		}
+		if st.n == 0 {
+			return nil, nil // SQL aggregates are NULL over no rows
+		}
+		switch name {
+		case "sum":
+			if st.intOnly {
+				return st.sumInt, nil
+			}
+			return st.sum, nil
+		case "avg":
+			return st.sum / float64(st.n), nil
+		case "variance":
+			if st.n < 2 {
+				return nil, nil
+			}
+			mean := st.sum / float64(st.n)
+			return (st.sumSq - float64(st.n)*mean*mean) / float64(st.n-1), nil
+		default: // stddev
+			if st.n < 2 {
+				return nil, nil
+			}
+			mean := st.sum / float64(st.n)
+			return math.Sqrt((st.sumSq - float64(st.n)*mean*mean) / float64(st.n-1)), nil
+		}
+	}
 }
 
 // multiAggregate runs several aggregates in one table pass and captures

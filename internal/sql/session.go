@@ -1,0 +1,390 @@
+package sql
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+
+	"madlib/internal/engine"
+)
+
+// planCacheSize bounds the per-session plan cache (LRU eviction).
+const planCacheSize = 256
+
+// Timing breaks one statement's wall time into the pipeline phases. The
+// point of the plan cache is that Parse and Plan collapse to zero on
+// repeated statements; \timing in the REPL prints this breakdown.
+type Timing struct {
+	Parse time.Duration
+	Plan  time.Duration
+	Exec  time.Duration
+	// CacheHit reports whether a cached or prepared plan was reused.
+	CacheHit bool
+}
+
+// Total returns the summed phase time.
+func (t Timing) Total() time.Duration { return t.Parse + t.Plan + t.Exec }
+
+// Prepared is one PREPARE'd statement of a session.
+type Prepared struct {
+	// Name is the statement's name (lowercased).
+	Name string
+	// Text is the inner statement's SQL source.
+	Text string
+	// NumParams is the number of $n parameters EXECUTE must supply.
+	NumParams int
+
+	stmt Statement
+	plan stmtPlan
+}
+
+// cacheEntry is one LRU plan-cache slot.
+type cacheEntry struct {
+	key  string
+	plan stmtPlan
+}
+
+// planCache is a text-keyed LRU of statement plans.
+type planCache struct {
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *planCache) get(key string) (stmtPlan, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+func (c *planCache) put(key string, plan stmtPlan) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).plan = plan
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: plan})
+	if c.order.Len() > planCacheSize {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *planCache) remove(key string) {
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+func (c *planCache) clear() {
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+}
+
+// Session executes SQL against an engine database. A session owns a
+// text-keyed LRU plan cache and the statements created with PREPARE, so
+// repeated statements skip parsing and planning entirely; both stores are
+// invalidated when DDL changes the catalog (and every plan additionally
+// revalidates its table bindings before running, so even DDL issued
+// through another session cannot make it execute stale). Sessions are
+// safe for concurrent use.
+type Session struct {
+	db *engine.DB
+
+	mu       sync.Mutex
+	plans    *planCache
+	prepared map[string]*Prepared
+	last     Timing
+}
+
+// NewSession wraps an engine database with the SQL front-end.
+func NewSession(db *engine.DB) *Session {
+	return &Session{db: db, plans: newPlanCache(), prepared: make(map[string]*Prepared)}
+}
+
+// DB returns the underlying engine database.
+func (s *Session) DB() *engine.DB { return s.db }
+
+// LastTiming returns the phase breakdown of the most recently executed
+// statement (for a multi-statement Exec, the batch's totals with the
+// cache-hit flag of its last statement).
+func (s *Session) LastTiming() Timing {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+func (s *Session) setTiming(t Timing) {
+	s.mu.Lock()
+	s.last = t
+	s.mu.Unlock()
+}
+
+// cachedPlan returns a still-valid cached plan for the statement text.
+// Stale plans (table dropped or re-created since planning) are evicted.
+func (s *Session) cachedPlan(text string) (stmtPlan, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pl, ok := s.plans.get(text)
+	if !ok {
+		return nil, false
+	}
+	if !pl.valid(s.db) {
+		s.plans.remove(text)
+		return nil, false
+	}
+	return pl, true
+}
+
+func (s *Session) cachePlan(text string, pl stmtPlan) {
+	s.mu.Lock()
+	s.plans.put(text, pl)
+	s.mu.Unlock()
+}
+
+// invalidatePlans drops every cached plan; called on DDL. Prepared
+// statements survive DDL (they replan on demand when their bindings go
+// stale, like PostgreSQL's).
+func (s *Session) invalidatePlans() {
+	s.mu.Lock()
+	s.plans.clear()
+	s.mu.Unlock()
+}
+
+// Exec parses and runs every statement in text, returning one Result per
+// statement. Execution stops at the first error; already-completed
+// results are returned alongside it. Single-statement texts hit the plan
+// cache: the second execution of the same SELECT/INSERT skips parse and
+// plan entirely.
+func (s *Session) Exec(text string) ([]*Result, error) {
+	t0 := time.Now()
+	if pl, ok := s.cachedPlan(text); ok {
+		r, err := pl.exec(s, nil)
+		s.setTiming(Timing{Exec: time.Since(t0), CacheHit: true})
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{r}, nil
+	}
+	stmts, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	parseD := time.Since(t0)
+	cacheKey := ""
+	if len(stmts) == 1 {
+		cacheKey = text
+	}
+	var out []*Result
+	total := Timing{Parse: parseD}
+	for _, st := range stmts {
+		r, tm, err := s.runTimed(st, cacheKey)
+		total.Plan += tm.Plan
+		total.Exec += tm.Exec
+		total.CacheHit = tm.CacheHit
+		if err != nil {
+			s.setTiming(total)
+			return out, err
+		}
+		out = append(out, r)
+	}
+	s.setTiming(total)
+	return out, nil
+}
+
+// Query runs a single statement and requires it to produce a rowset.
+func (s *Session) Query(text string) (*Result, error) {
+	t0 := time.Now()
+	if pl, ok := s.cachedPlan(text); ok {
+		r, err := pl.exec(s, nil)
+		s.setTiming(Timing{Exec: time.Since(t0), CacheHit: true})
+		if err != nil {
+			return nil, err
+		}
+		if len(r.Cols) == 0 {
+			return nil, ErrNoRows
+		}
+		return r, nil
+	}
+	st, err := ParseStatement(text)
+	if err != nil {
+		return nil, err
+	}
+	parseD := time.Since(t0)
+	r, tm, err := s.runTimed(st, text)
+	tm.Parse = parseD
+	s.setTiming(tm)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Cols) == 0 {
+		return nil, ErrNoRows
+	}
+	return r, nil
+}
+
+// Run executes one parsed statement. Statements run this way are planned
+// fresh (there is no source text to cache under); prepared statements and
+// EXECUTE still work.
+func (s *Session) Run(st Statement) (*Result, error) {
+	r, tm, err := s.runTimed(st, "")
+	s.setTiming(tm)
+	return r, err
+}
+
+// runTimed plans (or reuses) and executes one statement, reporting the
+// plan/exec phase split. cacheKey, when non-empty, is the statement's
+// exact source text and enables plan caching for SELECT/INSERT.
+func (s *Session) runTimed(st Statement, cacheKey string) (*Result, Timing, error) {
+	t0 := time.Now()
+	var tm Timing
+	switch x := st.(type) {
+	case *CreateTable:
+		s.invalidatePlans()
+		r, err := s.execCreate(x)
+		tm.Exec = time.Since(t0)
+		return r, tm, err
+	case *DropTable:
+		s.invalidatePlans()
+		r, err := s.execDrop(x)
+		tm.Exec = time.Since(t0)
+		return r, tm, err
+	case *Prepare:
+		r, err := s.execPrepare(x)
+		tm.Plan = time.Since(t0)
+		return r, tm, err
+	case *Execute:
+		return s.execExecute(x)
+	case *Deallocate:
+		r, err := s.execDeallocate(x)
+		tm.Exec = time.Since(t0)
+		return r, tm, err
+	case *Select, *Insert:
+		if n := stmtMaxParam(st); n > 0 {
+			return nil, tm, execErrf("query uses parameter $%d; bind values with PREPARE ... / EXECUTE", n)
+		}
+		pl, err := s.planStmt(st)
+		if err != nil {
+			return nil, tm, err
+		}
+		tm.Plan = time.Since(t0)
+		if cacheKey != "" {
+			s.cachePlan(cacheKey, pl)
+		}
+		tExec := time.Now()
+		r, err := pl.exec(s, nil)
+		tm.Exec = time.Since(tExec)
+		return r, tm, err
+	}
+	return nil, tm, execErrf("unsupported statement %T", st)
+}
+
+// execPrepare plans the inner statement and stores it under its name.
+func (s *Session) execPrepare(st *Prepare) (*Result, error) {
+	pl, err := s.planStmt(st.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{
+		Name:      st.Name,
+		Text:      st.Text,
+		NumParams: stmtMaxParam(st.Stmt),
+		stmt:      st.Stmt,
+		plan:      pl,
+	}
+	// Check-and-store under one critical section, so concurrent PREPAREs
+	// of the same name cannot both succeed.
+	s.mu.Lock()
+	_, dup := s.prepared[st.Name]
+	if !dup {
+		s.prepared[st.Name] = p
+	}
+	s.mu.Unlock()
+	if dup {
+		return nil, execErrf("prepared statement %q already exists", st.Name)
+	}
+	return &Result{Tag: "PREPARE"}, nil
+}
+
+// execExecute runs a prepared statement with bound parameter values. If
+// the plan's table bindings went stale (DROP + re-CREATE since PREPARE),
+// the statement is replanned against the current catalog first.
+func (s *Session) execExecute(st *Execute) (*Result, Timing, error) {
+	var tm Timing
+	s.mu.Lock()
+	p, ok := s.prepared[st.Name]
+	var pl stmtPlan
+	if ok {
+		pl = p.plan
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, tm, execErrf("prepared statement %q does not exist", st.Name)
+	}
+	if len(st.Args) != p.NumParams {
+		return nil, tm, execErrf("wrong number of parameters for prepared statement %q: want %d, got %d",
+			p.Name, p.NumParams, len(st.Args))
+	}
+	params := make([]any, len(st.Args))
+	for i, a := range st.Args {
+		v, err := evalExpr(a, &evalCtx{})
+		if err != nil {
+			return nil, tm, execErrf("EXECUTE parameter $%d: %v", i+1, err)
+		}
+		params[i] = v
+	}
+	t0 := time.Now()
+	tm.CacheHit = true
+	if !pl.valid(s.db) {
+		var err error
+		pl, err = s.planStmt(p.stmt)
+		if err != nil {
+			return nil, tm, err
+		}
+		s.mu.Lock()
+		p.plan = pl
+		s.mu.Unlock()
+		tm.CacheHit = false
+	}
+	tm.Plan = time.Since(t0)
+	tExec := time.Now()
+	r, err := pl.exec(s, &execEnv{params: params})
+	tm.Exec = time.Since(tExec)
+	return r, tm, err
+}
+
+func (s *Session) execDeallocate(st *Deallocate) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.All {
+		s.prepared = make(map[string]*Prepared)
+		return &Result{Tag: "DEALLOCATE ALL"}, nil
+	}
+	if _, ok := s.prepared[st.Name]; !ok {
+		return nil, execErrf("prepared statement %q does not exist", st.Name)
+	}
+	delete(s.prepared, st.Name)
+	return &Result{Tag: "DEALLOCATE"}, nil
+}
+
+// PreparedStatements lists the session's prepared statements sorted by
+// name (for the REPL's \prepare).
+func (s *Session) PreparedStatements() []Prepared {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Prepared, 0, len(s.prepared))
+	for _, p := range s.prepared {
+		out = append(out, Prepared{Name: p.Name, Text: p.Text, NumParams: p.NumParams})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

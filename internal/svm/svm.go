@@ -107,16 +107,27 @@ func Train(db *engine.DB, table *engine.Table, yCol, xCol string, opts Options) 
 	if schema[schema.Index(yCol)].Kind != engine.Float {
 		return nil, fmt.Errorf("svm: column %q must be %s", yCol, engine.Float)
 	}
-	// Probe width.
-	k := -1
-	err = db.ForEachSegment(table, func(_ int, row engine.Row) error {
-		if k < 0 {
-			k = len(bind.Bridge(row).Vector(1))
+	// Probe width. Each segment goroutine writes only its own slot —
+	// a single shared variable would race across segments.
+	widths := make([]int, len(table.Segments()))
+	for i := range widths {
+		widths[i] = -1
+	}
+	err = db.ForEachSegment(table, func(seg int, row engine.Row) error {
+		if widths[seg] < 0 {
+			widths[seg] = len(bind.Bridge(row).Vector(1))
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	k := -1
+	for _, w := range widths {
+		if w >= 0 {
+			k = w
+			break
+		}
 	}
 	if k < 0 {
 		return nil, ErrNoData

@@ -55,6 +55,7 @@ import (
 	"madlib/internal/quantile"
 	"madlib/internal/sketch"
 	"madlib/internal/sparse"
+	"madlib/internal/sql"
 	"madlib/internal/svdmf"
 	"madlib/internal/svm"
 	"madlib/internal/text"
@@ -189,9 +190,10 @@ type Config struct {
 }
 
 // DB is the library handle: a parallel database instance plus the method
-// suite.
+// suite and a shared SQL session (plan cache, prepared statements).
 type DB struct {
-	eng *engine.DB
+	eng  *engine.DB
+	sess *sql.Session
 }
 
 // Open creates a database with cfg.Segments segments.
@@ -199,7 +201,8 @@ func Open(cfg Config) *DB {
 	if cfg.Segments == 0 {
 		cfg.Segments = 4
 	}
-	return &DB{eng: engine.Open(cfg.Segments)}
+	eng := engine.Open(cfg.Segments)
+	return &DB{eng: eng, sess: sql.NewSession(eng)}
 }
 
 // Engine exposes the underlying engine for advanced use (instrumented

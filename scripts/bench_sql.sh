@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench_sql.sh — run the SQL front-end overhead benchmarks and record
+# ns/op, B/op and allocs/op per variant to BENCH_sql.json, so the perf
+# trajectory of the declarative surface (paper §4.4a) is tracked across
+# PRs in version control.
+#
+# Usage: scripts/bench_sql.sh [benchtime]
+#   benchtime defaults to 1x (a smoke run); use e.g. 2s for stable numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1x}"
+out=$(go test -run '^$' -bench BenchmarkSQLSelectAgg -benchmem -benchtime "$BENCHTIME" .)
+echo "$out"
+
+echo "$out" | awk -v benchtime="$BENCHTIME" '
+  BEGIN {
+    printf "{\n  \"benchmark\": \"BenchmarkSQLSelectAgg\",\n"
+    printf "  \"benchtime\": \"%s\",\n  \"results\": {\n", benchtime
+    n = 0
+  }
+  /^BenchmarkSQLSelectAgg\// {
+    name = $1
+    sub(/^BenchmarkSQLSelectAgg\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op") ns = $i
+      if ($(i+1) == "B/op") bytes = $i
+      if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+  }
+  END { print "\n  }\n}" }
+' > BENCH_sql.json
+
+echo "wrote BENCH_sql.json"

@@ -8,6 +8,21 @@ import (
 // psql-style command tag. Its Format method renders an aligned table.
 type SQLResult = sql.Result
 
+// SQLSession is the stateful SQL front-end over a database: it owns the
+// plan cache and the PREPARE'd statements. DB.Exec and DB.Query run
+// through one shared session, so repeated statements reuse their cached
+// plans automatically.
+type SQLSession = sql.Session
+
+// SQLTiming is the parse/plan/exec phase breakdown of the last statement
+// a session executed.
+type SQLTiming = sql.Timing
+
+// SQLSession returns the database's shared SQL session, for callers that
+// need session state beyond Exec/Query: prepared-statement listings,
+// per-phase timing.
+func (db *DB) SQLSession() *SQLSession { return db.sess }
+
 // Exec parses and runs one or more ';'-separated SQL statements against
 // the database, returning one result per statement:
 //
@@ -15,9 +30,12 @@ type SQLResult = sql.Result
 //	         INSERT INTO data VALUES (1.14, {1, 0.22});`)
 //
 // Execution stops at the first error; results of already-completed
-// statements are returned alongside it.
+// statements are returned alongside it. Statements are planned once and
+// cached: re-running the same text skips parsing and planning, and
+// PREPARE name AS ... / EXECUTE name(args) give explicit control with
+// $1-style parameters.
 func (db *DB) Exec(text string) ([]*SQLResult, error) {
-	return sql.NewSession(db.eng).Exec(text)
+	return db.sess.Exec(text)
 }
 
 // Query runs a single SQL statement that must produce rows — the paper's
@@ -26,5 +44,5 @@ func (db *DB) Exec(text string) ([]*SQLResult, error) {
 //	res, err := db.Query(`SELECT (madlib.linregr(y, x)).* FROM data`)
 //	fmt.Print(res.Format())
 func (db *DB) Query(text string) (*SQLResult, error) {
-	return sql.NewSession(db.eng).Query(text)
+	return db.sess.Query(text)
 }
