@@ -442,6 +442,7 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 
 	// Steady-state SQL: after the first execution the session's plan cache
 	// serves the statement, so iterations measure compiled execution only.
+	// The default lane is the vectorized column-batch pipeline.
 	b.Run("SQL", func(b *testing.B) {
 		if _, err := sess.Query(query); err != nil {
 			b.Fatal(err)
@@ -450,6 +451,26 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := sess.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 16 {
+				b.Fatalf("groups = %d", len(res.Rows))
+			}
+		}
+	})
+	// The same cached plan forced onto the per-row closure lane: the
+	// batch-vs-row delta is the vectorization win in isolation.
+	b.Run("SQLRowLane", func(b *testing.B) {
+		rowSess := sqlfe.NewSession(db)
+		rowSess.SetBatchExecution(false)
+		if _, err := rowSess.Query(query); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := rowSess.Query(query)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,154 @@
+package engine
+
+// Vectorized (column-batch) execution support. The per-row drivers in
+// exec.go invoke a Transition closure once per row; for compiled query
+// pipelines that indirection is the dominant cost (ROADMAP: the paper's
+// §4.4a overhead argument extended to instruction counts). The batch
+// drivers below instead hand the kernel a ColBatch — a typed, zero-copy
+// window over ~BatchSize contiguous rows of one segment's columnar
+// storage — so the kernel can run tight loops over []float64 / []int64 /
+// []string / []bool lanes. Batches never span segments, so kernels keep
+// the same no-synchronization contract per segment that Transition has.
+
+// BatchSize is the number of rows handed to a batch kernel at a time.
+// Sized so one float lane (8 KiB) plus a few scratch lanes stay inside
+// L1/L2 cache while amortizing the per-batch dispatch overhead.
+const BatchSize = 1024
+
+// ColBatch is a typed view over a contiguous run of rows within one
+// segment. Lane accessors return sub-slices of the segment's columnar
+// storage — no copying — indexed 0..Len()-1 within the batch. Callers
+// must not mutate or retain the lanes beyond the kernel call unless they
+// own the table.
+type ColBatch struct {
+	seg *Segment
+	off int
+	n   int
+}
+
+// Len returns the number of rows in the batch.
+func (b ColBatch) Len() int { return b.n }
+
+// Offset returns the batch's starting row index within its segment.
+func (b ColBatch) Offset() int { return b.off }
+
+// Floats returns the float64 lane of the given column.
+func (b ColBatch) Floats(col int) []float64 { return b.seg.cols[col].floats[b.off : b.off+b.n] }
+
+// Ints returns the int64 lane of the given column.
+func (b ColBatch) Ints(col int) []int64 { return b.seg.cols[col].ints[b.off : b.off+b.n] }
+
+// Strings returns the string lane of the given column.
+func (b ColBatch) Strings(col int) []string { return b.seg.cols[col].strs[b.off : b.off+b.n] }
+
+// Bools returns the bool lane of the given column.
+func (b ColBatch) Bools(col int) []bool { return b.seg.cols[col].bools[b.off : b.off+b.n] }
+
+// Vectors returns the []float64 lane of the given column.
+func (b ColBatch) Vectors(col int) [][]float64 { return b.seg.cols[col].vecs[b.off : b.off+b.n] }
+
+// Row returns a row cursor for batch-local index i, for per-row
+// fallbacks inside a batch kernel (composite group keys, boxed values).
+func (b ColBatch) Row(i int) Row { return Row{seg: b.seg, idx: b.off + i} }
+
+// forEachBatch slices one segment into BatchSize windows in row order.
+func forEachBatch(seg *Segment, fn func(b ColBatch) error) error {
+	for off := 0; off < seg.n; off += BatchSize {
+		n := seg.n - off
+		if n > BatchSize {
+			n = BatchSize
+		}
+		if err := fn(ColBatch{seg: seg, off: off, n: n}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunBatched executes a batched aggregate pipeline over the whole table:
+// newSeg creates one segment-local state (typically holding reusable
+// scratch vectors alongside accumulators), process folds one batch into
+// that state, and merge combines two segment states. Segments run in
+// parallel; batches within a segment arrive sequentially in row order,
+// and the per-segment states are merged left-to-right in segment order —
+// the same determinism contract as Run. The caller finalizes the merged
+// state itself (there is no Final hook).
+func (db *DB) RunBatched(t *Table,
+	newSeg func(segIdx int) any,
+	process func(state any, b ColBatch) error,
+	merge func(a, b any) any,
+) (any, error) {
+	db.queries.Add(1)
+	states := make([]any, len(t.segs))
+	err := db.parallelSegments(t, func(i int, seg *Segment) error {
+		state := newSeg(i)
+		if err := forEachBatch(seg, func(b ColBatch) error { return process(state, b) }); err != nil {
+			return err
+		}
+		states[i] = state
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := states[0]
+	for _, s := range states[1:] {
+		merged = merge(merged, s)
+	}
+	return merged, nil
+}
+
+// RunGroupByBatched is the hash-aggregate counterpart of RunBatched: the
+// kernel maintains a per-segment map from GroupKey to group state inside
+// its segment state (filled by process), groups extracts that map once
+// the segment is exhausted, and the engine merges the per-segment maps
+// key-by-key in segment order using merge. As with RunGroupByKey, group
+// states are returned unfinalized per key; the caller finalizes.
+func (db *DB) RunGroupByBatched(t *Table,
+	newSeg func(segIdx int) any,
+	process func(state any, b ColBatch) error,
+	groups func(state any) map[GroupKey]any,
+	merge func(a, b any) any,
+) (map[GroupKey]any, error) {
+	db.queries.Add(1)
+	partials := make([]map[GroupKey]any, len(t.segs))
+	err := db.parallelSegments(t, func(i int, seg *Segment) error {
+		state := newSeg(i)
+		if err := forEachBatch(seg, func(b ColBatch) error { return process(state, b) }); err != nil {
+			return err
+		}
+		partials[i] = groups(state)
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := partials[0]
+	for _, local := range partials[1:] {
+		for k, s := range local {
+			if existing, ok := merged[k]; ok {
+				merged[k] = merge(existing, s)
+			} else {
+				merged[k] = s
+			}
+		}
+	}
+	return merged, nil
+}
+
+// ForEachBatch runs fn over every batch of every segment: parallel
+// across segments, sequential in row order within one. It is the batched
+// analogue of ForEachSegment, for pipelines that vectorize filtering but
+// still emit rows (projection scans).
+func (db *DB) ForEachBatch(t *Table, fn func(segIdx int, b ColBatch) error) error {
+	db.queries.Add(1)
+	return db.parallelSegments(t, func(i int, seg *Segment) error {
+		if err := forEachBatch(seg, func(b ColBatch) error { return fn(i, b) }); err != nil {
+			return err
+		}
+		db.rowsScanned.Add(int64(seg.n))
+		return nil
+	})
+}

@@ -138,6 +138,8 @@ type Select struct {
 	From    string // empty for FROM-less SELECT
 	Where   Expr
 	GroupBy []string
+	// Having filters groups after aggregation (may contain aggregates).
+	Having  Expr
 	OrderBy []OrderKey
 	// Limit is the row cap; negative means no LIMIT clause.
 	Limit int64
@@ -169,6 +171,9 @@ func (s *Select) String() string {
 	}
 	if len(s.GroupBy) > 0 {
 		b.WriteString(" GROUP BY " + strings.Join(s.GroupBy, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
 	}
 	if len(s.OrderBy) > 0 {
 		b.WriteString(" ORDER BY ")

@@ -1,0 +1,419 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+// Differential harness: every generated query runs through two sessions
+// over the same database — one on the vectorized column-batch lane, one
+// forced onto the per-row lane — and the results (rows, column names,
+// tags, errors) must be identical. The row lane is the semantic oracle;
+// the generator is seeded, so failures reproduce.
+
+// newDiffDB loads a mixed-type table exercising the edge values the
+// kernels must agree on: zeros (division), negative zero and negatives
+// (float compare/keying), int64 extremes (overflow wraparound), repeated
+// group keys, and a Vector column that forces row-lane fallback.
+func newDiffDB(t *testing.T, rows int) *engine.DB {
+	t.Helper()
+	db := engine.Open(3)
+	tbl, err := db.CreateTable("d", engine.Schema{
+		{Name: "g", Kind: engine.Int},
+		{Name: "i", Kind: engine.Int},
+		{Name: "f", Kind: engine.Float},
+		{Name: "s", Kind: engine.String},
+		{Name: "b", Kind: engine.Bool},
+		{Name: "v", Kind: engine.Vector},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for r := 0; r < rows; r++ {
+		var i int64
+		switch rng.Intn(10) {
+		case 0:
+			i = 0
+		case 1:
+			i = math.MaxInt64
+		case 2:
+			i = math.MinInt64
+		default:
+			i = int64(rng.Intn(2001) - 1000)
+		}
+		var f float64
+		switch rng.Intn(10) {
+		case 0:
+			f = 0
+		case 1:
+			f = math.Copysign(0, -1)
+		default:
+			f = float64(rng.Intn(4001)-2000) / 8
+		}
+		err := tbl.Insert(
+			int64(r%7), i, f,
+			fmt.Sprintf("s%d", rng.Intn(9)),
+			rng.Intn(2) == 0,
+			[]float64{float64(r % 3)},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// exprGen builds random batch-shaped expressions over the diff table.
+type exprGen struct{ rng *rand.Rand }
+
+func (g *exprGen) numExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(6) {
+		case 0:
+			return "i"
+		case 1:
+			return "f"
+		case 2:
+			return "g"
+		case 3:
+			return fmt.Sprintf("%d", g.rng.Intn(7)-3) // includes 0
+		case 4:
+			return fmt.Sprintf("%g", float64(g.rng.Intn(13)-6)/4) // includes 0
+		default:
+			return "g"
+		}
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(- %s)", g.numExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("abs(%s)", g.numExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("floor(%s)", g.numExpr(depth-1))
+	default:
+		ops := []string{"+", "-", "*", "/", "%"}
+		op := ops[g.rng.Intn(len(ops))]
+		return fmt.Sprintf("(%s %s %s)", g.numExpr(depth-1), op, g.numExpr(depth-1))
+	}
+}
+
+func (g *exprGen) boolExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return "b"
+		case 1:
+			return fmt.Sprintf("s %s 's%d'", g.cmpOp(), g.rng.Intn(9))
+		default:
+			return fmt.Sprintf("%s %s %s", g.numExpr(1), g.cmpOp(), g.numExpr(1))
+		}
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("NOT (%s)", g.boolExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s AND %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s OR %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+	default:
+		return fmt.Sprintf("%s %s %s", g.numExpr(2), g.cmpOp(), g.numExpr(2))
+	}
+}
+
+func (g *exprGen) cmpOp() string {
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+func (g *exprGen) aggExpr() string {
+	switch g.rng.Intn(8) {
+	case 0:
+		return "count(*)"
+	case 1:
+		return fmt.Sprintf("count(%s)", g.numExpr(2))
+	case 2:
+		return fmt.Sprintf("min(%s)", g.numExpr(2))
+	case 3:
+		return fmt.Sprintf("max(%s)", g.numExpr(2))
+	case 4:
+		return fmt.Sprintf("avg(%s)", g.numExpr(2))
+	case 5:
+		return fmt.Sprintf("variance(%s)", g.numExpr(2))
+	case 6:
+		return fmt.Sprintf("stddev(%s)", g.numExpr(2))
+	default:
+		return fmt.Sprintf("sum(%s)", g.numExpr(2))
+	}
+}
+
+// groupErrPrefix strips the engine's "group <key>: " wrapper: which
+// group surfaces a row-lane aggregate error depends on map iteration
+// order, so only the underlying error is comparable.
+var groupErrPrefix = regexp.MustCompile(`^group [^:]*: `)
+
+func normalizeErr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return groupErrPrefix.ReplaceAllString(err.Error(), "")
+}
+
+func formatResult(res *Result) string {
+	if res == nil {
+		return "<nil>"
+	}
+	return res.Format()
+}
+
+// runDiffQuery executes one query on both lanes and fails on any
+// divergence. It returns whether the batch session actually planned the
+// vectorized lane (so callers can require coverage).
+func runDiffQuery(t *testing.T, batchSess, rowSess *Session, query string) bool {
+	t.Helper()
+	bRes, bErr := batchSess.Query(query)
+	rRes, rErr := rowSess.Query(query)
+	if normalizeErr(bErr) != normalizeErr(rErr) {
+		t.Fatalf("query %q:\n  batch err: %v\n  row err:   %v", query, bErr, rErr)
+	}
+	if bErr != nil {
+		return false
+	}
+	bs, rs := formatResult(bRes), formatResult(rRes)
+	if bs != rs {
+		t.Fatalf("query %q:\n--- batch lane ---\n%s\n--- row lane ---\n%s", query, bs, rs)
+	}
+	st, err := ParseStatement(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := batchSess.planStmt(st)
+	if err != nil {
+		return false
+	}
+	ap, ok := pl.(*aggPlan)
+	return ok && ap.batch != nil
+}
+
+func TestBatchLaneDifferential(t *testing.T) {
+	for _, rows := range []int{229, 5000} { // 5000 rows crosses batch boundaries per segment
+		t.Run(fmt.Sprintf("rows=%d", rows), func(t *testing.T) {
+			db := newDiffDB(t, rows)
+			batchSess := NewSession(db)
+			rowSess := NewSession(db)
+			rowSess.SetBatchExecution(false)
+			g := &exprGen{rng: rand.New(rand.NewSource(42))}
+			groupCols := []string{"", "g", "s", "b", "f", "g, s"}
+			batchPlanned := 0
+			const n = 300
+			for q := 0; q < n; q++ {
+				var sb strings.Builder
+				sb.WriteString("SELECT ")
+				aggs := 1 + g.rng.Intn(3)
+				group := groupCols[g.rng.Intn(len(groupCols))]
+				var items []string
+				if group != "" {
+					items = append(items, strings.Split(group, ", ")...)
+				}
+				for a := 0; a < aggs; a++ {
+					items = append(items, g.aggExpr())
+				}
+				sb.WriteString(strings.Join(items, ", "))
+				sb.WriteString(" FROM d")
+				if g.rng.Intn(3) > 0 {
+					sb.WriteString(" WHERE " + g.boolExpr(3))
+				}
+				if group != "" {
+					sb.WriteString(" GROUP BY " + group)
+				}
+				if runDiffQuery(t, batchSess, rowSess, sb.String()) {
+					batchPlanned++
+				}
+			}
+			// The generator only emits batch-shaped queries; if most of
+			// them fell back, the lane selection itself is broken.
+			if batchPlanned < n/2 {
+				t.Fatalf("only %d/%d generated queries planned the batch lane", batchPlanned, n)
+			}
+		})
+	}
+}
+
+// TestBatchLaneDifferentialEdges pins the named edge cases: guarded and
+// unguarded division by zero, modulo by zero, int64 overflow wraparound,
+// negative-zero grouping, and scan filtering.
+func TestBatchLaneDifferentialEdges(t *testing.T) {
+	db := newDiffDB(t, 500)
+	batchSess := NewSession(db)
+	rowSess := NewSession(db)
+	rowSess.SetBatchExecution(false)
+	queries := []string{
+		// Division/modulo by zero from column data (i is 0 on some rows).
+		`SELECT sum(10 / i) FROM d`,
+		`SELECT sum(10 % i) FROM d`,
+		`SELECT sum(10.5 / f) FROM d`,
+		`SELECT sum(f % 0) FROM d`,
+		`SELECT g, sum(1 / i) FROM d GROUP BY g`,
+		// Constant division by zero only errors when a row is selected.
+		`SELECT sum(1 / 0) FROM d WHERE f > 1e18`,
+		`SELECT sum(1 / 0) FROM d WHERE f > -1e18`,
+		// AND/OR short-circuiting guards the faulting side per row.
+		`SELECT count(*) FROM d WHERE i <> 0 AND 100 / i > 2`,
+		`SELECT count(*) FROM d WHERE i = 0 OR 100 / i > 2`,
+		`SELECT sum(f) FROM d WHERE NOT (i <> 0 AND 100 / i > 2)`,
+		// Int64 overflow wraps identically on both lanes.
+		`SELECT sum(i * i), min(i + i), max(i - 1 + i) FROM d`,
+		`SELECT sum(i + i) FROM d WHERE i > 9223372036854775806`,
+		// -0 and +0 group together; float keys survive both lanes.
+		`SELECT f, count(*) FROM d WHERE f = 0 GROUP BY f`,
+		// String compares and bool columns in predicates.
+		`SELECT min(i), max(f) FROM d WHERE s >= 's3' AND b`,
+		`SELECT s, stddev(f), variance(i) FROM d WHERE s <> 's0' GROUP BY s`,
+		// Composite group keys.
+		`SELECT g, b, avg(f), count(*) FROM d GROUP BY g, b`,
+		// Scalar functions inside aggregate args and predicates.
+		`SELECT sum(abs(i % 97)), avg(sqrt(abs(f))) FROM d WHERE floor(f) <= 10`,
+		`SELECT max(pow(abs(f), 0.5)) FROM d WHERE exp(0) = 1`,
+		// Empty result sets.
+		`SELECT sum(i), count(*) FROM d WHERE f > 1e18`,
+		`SELECT g, sum(i) FROM d WHERE f > 1e18 GROUP BY g`,
+		// Projection scans with a vectorized filter.
+		`SELECT i, f, s FROM d WHERE f > 10 AND i % 2 = 0 ORDER BY i, s LIMIT 50`,
+		`SELECT i + 1, f * 2 FROM d WHERE NOT b ORDER BY 1 DESC LIMIT 20`,
+	}
+	for _, q := range queries {
+		runDiffQuery(t, batchSess, rowSess, q)
+	}
+}
+
+// TestBatchLaneFallback proves the planner rejects the vectorized lane
+// for shapes it cannot execute — and that results still match the
+// row-only session.
+func TestBatchLaneFallback(t *testing.T) {
+	db := newDiffDB(t, 200)
+	batchSess := NewSession(db)
+	rowSess := NewSession(db)
+	rowSess.SetBatchExecution(false)
+	fallbacks := []string{
+		// Vector column in an aggregate argument.
+		`SELECT count(array_get(v, 1)) FROM d`,
+		// Vector-valued group key.
+		`SELECT v, count(*) FROM d GROUP BY v`,
+		// madlib aggregate functions.
+		`SELECT madlib.fmcount(s) FROM d`,
+		`SELECT g, madlib.quantile(f, 0.5) FROM d GROUP BY g`,
+		// min/max over text stays boxed.
+		`SELECT min(s), max(s) FROM d`,
+	}
+	for _, q := range fallbacks {
+		st, err := ParseStatement(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := batchSess.planStmt(st)
+		if err != nil {
+			t.Fatalf("plan %q: %v", q, err)
+		}
+		if ap, ok := pl.(*aggPlan); ok && ap.batch != nil {
+			t.Fatalf("query %q unexpectedly planned the batch lane", q)
+		}
+		bRes, bErr := batchSess.Query(q)
+		rRes, rErr := rowSess.Query(q)
+		if normalizeErr(bErr) != normalizeErr(rErr) {
+			t.Fatalf("query %q: batch err %v, row err %v", q, bErr, rErr)
+		}
+		if bErr == nil && formatResult(bRes) != formatResult(rRes) {
+			t.Fatalf("query %q: fallback results diverge", q)
+		}
+	}
+}
+
+// TestSetBatchExecutionReplansPrepared proves the lane toggle reaches
+// prepared statements: after SetBatchExecution(false) an EXECUTE must
+// replan onto the row lane, not keep the stored batch plan.
+func TestSetBatchExecutionReplansPrepared(t *testing.T) {
+	db := newDiffDB(t, 100)
+	s := NewSession(db)
+	if _, err := s.Exec(`PREPARE q AS SELECT g, avg(f) FROM d GROUP BY g`); err != nil {
+		t.Fatal(err)
+	}
+	lane := func() *batchAggLane {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		pl := s.prepared["q"].plan
+		if pl == nil {
+			return nil
+		}
+		return pl.(*aggPlan).batch
+	}
+	if _, err := s.Query(`EXECUTE q`); err != nil {
+		t.Fatal(err)
+	}
+	if lane() == nil {
+		t.Fatal("prepared plan should start on the batch lane")
+	}
+	s.SetBatchExecution(false)
+	want, err := s.Query(`EXECUTE q`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lane() != nil {
+		t.Fatal("EXECUTE after SetBatchExecution(false) kept the batch lane")
+	}
+	s.SetBatchExecution(true)
+	got, err := s.Query(`EXECUTE q`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lane() == nil {
+		t.Fatal("EXECUTE after re-enabling did not return to the batch lane")
+	}
+	if formatResult(got) != formatResult(want) {
+		t.Fatalf("lanes diverge for the prepared plan:\n%s\n%s", formatResult(got), formatResult(want))
+	}
+}
+
+// TestBatchLanePrepared runs the parameterized WHERE comparison (the
+// SQLPrepared benchmark shape) on both lanes.
+func TestBatchLanePrepared(t *testing.T) {
+	db := newDiffDB(t, 500)
+	batchSess := NewSession(db)
+	rowSess := NewSession(db)
+	rowSess.SetBatchExecution(false)
+	prep := `PREPARE q AS SELECT g, avg(f), count(*) FROM d WHERE f > $1 GROUP BY g`
+	for _, sess := range []*Session{batchSess, rowSess} {
+		if _, err := sess.Exec(prep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The prepared plan on the batch session must use the batch lane.
+	st, err := ParseStatement(`SELECT g, avg(f), count(*) FROM d WHERE f > $1 GROUP BY g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := batchSess.planStmt(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap, ok := pl.(*aggPlan); !ok || ap.batch == nil {
+		t.Fatal("parameterized comparison did not plan the batch lane")
+	}
+	for _, arg := range []string{"-5", "0", "12.25", "1e18", "'nope'"} {
+		q := fmt.Sprintf("EXECUTE q(%s)", arg)
+		bRes, bErr := batchSess.Query(q)
+		rRes, rErr := rowSess.Query(q)
+		if normalizeErr(bErr) != normalizeErr(rErr) {
+			t.Fatalf("EXECUTE q(%s): batch err %v, row err %v", arg, bErr, rErr)
+		}
+		if bErr == nil && formatResult(bRes) != formatResult(rRes) {
+			t.Fatalf("EXECUTE q(%s):\n--- batch ---\n%s\n--- row ---\n%s",
+				arg, formatResult(bRes), formatResult(rRes))
+		}
+	}
+}

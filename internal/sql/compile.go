@@ -959,6 +959,7 @@ func stmtMaxParam(st Statement) int {
 			see(item.Expr)
 		}
 		see(x.Where)
+		see(x.Having)
 		for _, k := range x.OrderBy {
 			see(k.Expr)
 		}

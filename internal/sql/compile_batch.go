@@ -1,0 +1,1102 @@
+package sql
+
+import (
+	"math"
+	"strings"
+
+	"madlib/internal/engine"
+)
+
+// This file is the planner's second lowering target: column-batch
+// kernels. Where compile.go lowers an expression to a per-row closure,
+// this lowering produces kernels that fill a whole output lane
+// ([]float64 / []int64 / []string / []bool) for the *selected* rows of
+// one engine.ColBatch in a single call, reading the segment's columnar
+// storage directly. Selection vectors thread WHERE semantics through the
+// pipeline: a kernel only ever evaluates rows that survived every
+// enclosing filter, so error behavior (division by zero, AND/OR
+// short-circuiting) matches the row lane exactly.
+//
+// Not every expression has a batch lowering — Vector-typed operands,
+// madlib calls, and $n parameters outside comparison positions fall back
+// to the row lane. compileBatch* functions therefore return ok=false
+// rather than errors: the row-lane compile has already type-checked the
+// expression, so a false here only means "use the row lane", never "the
+// query is invalid".
+
+// selVec is a selection vector: the batch-local indices (0..Len-1) of
+// the rows a kernel must evaluate, in row order.
+type selVec = []int32
+
+// Batch kernel signatures. out has len(sel); out[j] receives the value
+// of row sel[j].
+type (
+	fBatchKernel func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error
+	iBatchKernel func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error
+	sBatchKernel func(e *batchEval, b engine.ColBatch, sel selVec, out []string) error
+	bBatchKernel func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error
+)
+
+// bcompiled is one expression lowered to the batch lane: its static kind
+// and the kernel matching that kind. Compile-time constants additionally
+// carry their folded value so parent kernels can specialize (col > 0.25
+// compiles to one loop against a scalar, not a broadcast lane).
+type bcompiled struct {
+	kind ckind
+	f    fBatchKernel
+	i    iBatchKernel
+	s    sBatchKernel
+	b    bBatchKernel
+
+	isConst bool
+	cF      float64
+	cI      int64
+
+	// paramIdx > 0 marks a bare $n placeholder: a per-execution scalar
+	// with no static type. Only comparison kernels can splice it in; any
+	// other parent rejects the lowering.
+	paramIdx int
+}
+
+// constF returns the constant as float64 (ints widen).
+func (c *bcompiled) constF() float64 {
+	if c.kind == ckInt {
+		return float64(c.cI)
+	}
+	return c.cF
+}
+
+// batchCompiler allocates scratch-lane slots during compilation. Each
+// kernel node that needs a temporary lane reserves a slot index at
+// compile time; at execution every segment instantiates one batchEval
+// holding the actual backing arrays, so kernels are reentrant across
+// segments and allocation-free across batches.
+type batchCompiler struct {
+	schema engine.Schema
+	colIdx map[string]int
+	prog   *batchProg
+}
+
+// batchProg records the scratch-slot footprint of a fully compiled batch
+// pipeline; it is the factory for per-segment batchEval instances.
+type batchProg struct {
+	nFloat, nInt, nStr, nBool, nSel int
+}
+
+func newBatchCompiler(schema engine.Schema) *batchCompiler {
+	return &batchCompiler{schema: schema, colIdx: colIndexMap(schema), prog: &batchProg{}}
+}
+
+func (bc *batchCompiler) floatSlot() int { s := bc.prog.nFloat; bc.prog.nFloat++; return s }
+func (bc *batchCompiler) intSlot() int   { s := bc.prog.nInt; bc.prog.nInt++; return s }
+func (bc *batchCompiler) strSlot() int   { s := bc.prog.nStr; bc.prog.nStr++; return s }
+func (bc *batchCompiler) boolSlot() int  { s := bc.prog.nBool; bc.prog.nBool++; return s }
+func (bc *batchCompiler) selSlot() int   { s := bc.prog.nSel; bc.prog.nSel++; return s }
+
+// batchEval is the per-segment execution state of a batch pipeline: the
+// bound parameter environment plus the scratch lanes reserved at compile
+// time. Lanes are allocated on first use at BatchSize capacity and
+// reused for every subsequent batch of the segment.
+type batchEval struct {
+	env   *execEnv
+	ident []int32
+	fs    [][]float64
+	is    [][]int64
+	ss    [][]string
+	bs    [][]bool
+	sels  [][]int32
+}
+
+func (p *batchProg) newEval(env *execEnv) *batchEval {
+	return &batchEval{
+		env:  env,
+		fs:   make([][]float64, p.nFloat),
+		is:   make([][]int64, p.nInt),
+		ss:   make([][]string, p.nStr),
+		bs:   make([][]bool, p.nBool),
+		sels: make([][]int32, p.nSel),
+	}
+}
+
+// identSel returns the shared identity selection 0..n-1 (all rows of a
+// batch selected). n never exceeds engine.BatchSize.
+func (e *batchEval) identSel(n int) selVec {
+	if e.ident == nil {
+		e.ident = make([]int32, engine.BatchSize)
+		for i := range e.ident {
+			e.ident[i] = int32(i)
+		}
+	}
+	return e.ident[:n]
+}
+
+func growLane[T any](lane []T, n int) []T {
+	if cap(lane) < n {
+		c := n
+		if c < engine.BatchSize {
+			c = engine.BatchSize
+		}
+		lane = make([]T, c)
+	}
+	return lane[:n]
+}
+
+func (e *batchEval) f(slot, n int) []float64 { e.fs[slot] = growLane(e.fs[slot], n); return e.fs[slot] }
+func (e *batchEval) i(slot, n int) []int64   { e.is[slot] = growLane(e.is[slot], n); return e.is[slot] }
+func (e *batchEval) s(slot, n int) []string  { e.ss[slot] = growLane(e.ss[slot], n); return e.ss[slot] }
+func (e *batchEval) b(slot, n int) []bool    { e.bs[slot] = growLane(e.bs[slot], n); return e.bs[slot] }
+func (e *batchEval) sel(slot, n int) []int32 {
+	e.sels[slot] = growLane(e.sels[slot], n)
+	return e.sels[slot]
+}
+
+// Constant constructors. Kernels broadcast for generic consumers; parents
+// that can specialize read the folded value instead.
+
+func bConstFloat(v float64) *bcompiled {
+	return &bcompiled{kind: ckFloat, isConst: true, cF: v,
+		f: func(_ *batchEval, _ engine.ColBatch, sel selVec, out []float64) error {
+			for j := range out {
+				out[j] = v
+			}
+			return nil
+		}}
+}
+
+func bConstInt(v int64) *bcompiled {
+	return &bcompiled{kind: ckInt, isConst: true, cI: v,
+		i: func(_ *batchEval, _ engine.ColBatch, sel selVec, out []int64) error {
+			for j := range out {
+				out[j] = v
+			}
+			return nil
+		}}
+}
+
+func bConstStr(v string) *bcompiled {
+	return &bcompiled{kind: ckStr, isConst: true,
+		s: func(_ *batchEval, _ engine.ColBatch, sel selVec, out []string) error {
+			for j := range out {
+				out[j] = v
+			}
+			return nil
+		}}
+}
+
+func bConstBool(v bool) *bcompiled {
+	return &bcompiled{kind: ckBool, isConst: true,
+		b: func(_ *batchEval, _ engine.ColBatch, sel selVec, out []bool) error {
+			for j := range out {
+				out[j] = v
+			}
+			return nil
+		}}
+}
+
+// bErrFloat/bErrInt produce kernels that fail whenever at least one row
+// is selected — the batch form of a constant subexpression whose
+// evaluation errors per row (e.g. 1/0): an empty selection must stay
+// silent, exactly as the row lane never evaluates an unselected row.
+func bErrFloat(err error) *bcompiled {
+	return &bcompiled{kind: ckFloat,
+		f: func(_ *batchEval, _ engine.ColBatch, sel selVec, _ []float64) error {
+			if len(sel) == 0 {
+				return nil
+			}
+			return err
+		}}
+}
+
+func bErrInt(err error) *bcompiled {
+	return &bcompiled{kind: ckInt,
+		i: func(_ *batchEval, _ engine.ColBatch, sel selVec, _ []int64) error {
+			if len(sel) == 0 {
+				return nil
+			}
+			return err
+		}}
+}
+
+// asF adapts a numeric node to a float kernel, widening int lanes.
+func (c *bcompiled) asF(bc *batchCompiler) fBatchKernel {
+	if c.kind == ckFloat {
+		return c.f
+	}
+	ik := c.i
+	slot := bc.intSlot()
+	return func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+		tmp := e.i(slot, len(sel))
+		if err := ik(e, b, sel, tmp); err != nil {
+			return err
+		}
+		for j, v := range tmp {
+			out[j] = float64(v)
+		}
+		return nil
+	}
+}
+
+// compileBatchExpr lowers e to a batch kernel; ok=false means the
+// expression has no batch lowering and the plan must use the row lane.
+func compileBatchExpr(e Expr, bc *batchCompiler) (*bcompiled, bool) {
+	switch x := e.(type) {
+	case *Literal:
+		switch v := x.Val.(type) {
+		case int64:
+			return bConstInt(v), true
+		case float64:
+			return bConstFloat(v), true
+		case string:
+			return bConstStr(v), true
+		case bool:
+			return bConstBool(v), true
+		}
+		return nil, false
+	case *Param:
+		return &bcompiled{kind: ckAny, paramIdx: x.Idx}, true
+	case *ColumnRef:
+		return compileBatchColumnRef(x, bc)
+	case *Unary:
+		return compileBatchUnary(x, bc)
+	case *Binary:
+		return compileBatchBinary(x, bc)
+	case *FuncCall:
+		return compileBatchFuncCall(x, bc)
+	}
+	return nil, false
+}
+
+func compileBatchColumnRef(x *ColumnRef, bc *batchCompiler) (*bcompiled, bool) {
+	ci, ok := bc.colIdx[x.Name]
+	if !ok {
+		return nil, false
+	}
+	// Selection vectors are strictly increasing subsets of 0..Len-1, so a
+	// full-length selection is the identity and gathers become memmoves.
+	switch bc.schema[ci].Kind {
+	case engine.Float:
+		return &bcompiled{kind: ckFloat,
+			f: func(_ *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+				lane := b.Floats(ci)
+				if len(sel) == len(lane) {
+					copy(out, lane)
+					return nil
+				}
+				for j, idx := range sel {
+					out[j] = lane[idx]
+				}
+				return nil
+			}}, true
+	case engine.Int:
+		return &bcompiled{kind: ckInt,
+			i: func(_ *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+				lane := b.Ints(ci)
+				if len(sel) == len(lane) {
+					copy(out, lane)
+					return nil
+				}
+				for j, idx := range sel {
+					out[j] = lane[idx]
+				}
+				return nil
+			}}, true
+	case engine.String:
+		return &bcompiled{kind: ckStr,
+			s: func(_ *batchEval, b engine.ColBatch, sel selVec, out []string) error {
+				lane := b.Strings(ci)
+				if len(sel) == len(lane) {
+					copy(out, lane)
+					return nil
+				}
+				for j, idx := range sel {
+					out[j] = lane[idx]
+				}
+				return nil
+			}}, true
+	case engine.Bool:
+		return &bcompiled{kind: ckBool,
+			b: func(_ *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+				lane := b.Bools(ci)
+				if len(sel) == len(lane) {
+					copy(out, lane)
+					return nil
+				}
+				for j, idx := range sel {
+					out[j] = lane[idx]
+				}
+				return nil
+			}}, true
+	}
+	// Vector columns stay on the row lane.
+	return nil, false
+}
+
+func compileBatchUnary(x *Unary, bc *batchCompiler) (*bcompiled, bool) {
+	c, ok := compileBatchExpr(x.X, bc)
+	if !ok {
+		return nil, false
+	}
+	switch x.Op {
+	case "-":
+		switch c.kind {
+		case ckInt:
+			if c.isConst {
+				return bConstInt(-c.cI), true
+			}
+			ik := c.i
+			return &bcompiled{kind: ckInt,
+				i: func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+					if err := ik(e, b, sel, out); err != nil {
+						return err
+					}
+					for j := range out {
+						out[j] = -out[j]
+					}
+					return nil
+				}}, true
+		case ckFloat:
+			if c.isConst {
+				return bConstFloat(-c.cF), true
+			}
+			fk := c.f
+			return &bcompiled{kind: ckFloat,
+				f: func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+					if err := fk(e, b, sel, out); err != nil {
+						return err
+					}
+					for j := range out {
+						out[j] = -out[j]
+					}
+					return nil
+				}}, true
+		}
+		return nil, false
+	case "NOT":
+		if c.kind != ckBool {
+			return nil, false
+		}
+		bk := c.b
+		return &bcompiled{kind: ckBool,
+			b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+				if err := bk(e, b, sel, out); err != nil {
+					return err
+				}
+				for j := range out {
+					out[j] = !out[j]
+				}
+				return nil
+			}}, true
+	}
+	return nil, false
+}
+
+func compileBatchBinary(x *Binary, bc *batchCompiler) (*bcompiled, bool) {
+	if x.Op == "AND" || x.Op == "OR" {
+		return compileBatchLogic(x, bc)
+	}
+	l, ok := compileBatchExpr(x.L, bc)
+	if !ok {
+		return nil, false
+	}
+	r, ok := compileBatchExpr(x.R, bc)
+	if !ok {
+		return nil, false
+	}
+	switch x.Op {
+	case "+", "-", "*", "/", "%":
+		return compileBatchArith(x.Op, l, r, bc)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return compileBatchCompare(x.Op, l, r, bc)
+	}
+	return nil, false
+}
+
+// compileBatchLogic lowers AND/OR with row-lane short-circuit semantics:
+// the right operand is evaluated only over the sub-selection of rows the
+// left operand did not already decide, so a guarded expression
+// (x <> 0 AND 1/x > 2) can never fault on a guarded-out row.
+func compileBatchLogic(x *Binary, bc *batchCompiler) (*bcompiled, bool) {
+	l, ok := compileBatchExpr(x.L, bc)
+	if !ok || l.kind != ckBool {
+		return nil, false
+	}
+	r, ok := compileBatchExpr(x.R, bc)
+	if !ok || r.kind != ckBool {
+		return nil, false
+	}
+	lb, rb := l.b, r.b
+	isAnd := x.Op == "AND"
+	subSlot := bc.selSlot()
+	posSlot := bc.selSlot()
+	rSlot := bc.boolSlot()
+	return &bcompiled{kind: ckBool,
+		b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+			if err := lb(e, b, sel, out); err != nil {
+				return err
+			}
+			sub := e.sel(subSlot, len(sel))[:0]
+			pos := e.sel(posSlot, len(sel))[:0]
+			for j, idx := range sel {
+				if out[j] == isAnd {
+					sub = append(sub, idx)
+					pos = append(pos, int32(j))
+				}
+			}
+			if len(sub) == 0 {
+				return nil
+			}
+			rout := e.b(rSlot, len(sub))
+			if err := rb(e, b, sub, rout); err != nil {
+				return err
+			}
+			for j2, p := range pos {
+				out[p] = rout[j2]
+			}
+			return nil
+		}}, true
+}
+
+func compileBatchArith(op string, l, r *bcompiled, bc *batchCompiler) (*bcompiled, bool) {
+	numeric := func(c *bcompiled) bool { return c.kind == ckFloat || c.kind == ckInt }
+	if !numeric(l) || !numeric(r) {
+		return nil, false
+	}
+	// Fold constants now, preserving the row lane's runtime error for
+	// constant faults (1/0 errors only when a row is actually selected).
+	if l.isConst && r.isConst {
+		var lv, rv any
+		if l.kind == ckInt {
+			lv = l.cI
+		} else {
+			lv = l.cF
+		}
+		if r.kind == ckInt {
+			rv = r.cI
+		} else {
+			rv = r.cF
+		}
+		v, err := evalArith(op, lv, rv)
+		if err != nil {
+			if l.kind == ckInt && r.kind == ckInt {
+				return bErrInt(err), true
+			}
+			return bErrFloat(err), true
+		}
+		switch n := v.(type) {
+		case int64:
+			return bConstInt(n), true
+		case float64:
+			return bConstFloat(n), true
+		}
+		return nil, false
+	}
+	if l.kind == ckInt && r.kind == ckInt {
+		return batchIntArith(op, l.i, r.i, bc)
+	}
+	return batchFloatArith(op, l.asF(bc), r.asF(bc), bc)
+}
+
+func batchIntArith(op string, lf, rf iBatchKernel, bc *batchCompiler) (*bcompiled, bool) {
+	slot := bc.intSlot()
+	eval2 := func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) ([]int64, error) {
+		if err := lf(e, b, sel, out); err != nil {
+			return nil, err
+		}
+		tmp := e.i(slot, len(sel))
+		if err := rf(e, b, sel, tmp); err != nil {
+			return nil, err
+		}
+		return tmp, nil
+	}
+	var k iBatchKernel
+	switch op {
+	case "+":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				out[j] += tmp[j]
+			}
+			return nil
+		}
+	case "-":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				out[j] -= tmp[j]
+			}
+			return nil
+		}
+	case "*":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				out[j] *= tmp[j]
+			}
+			return nil
+		}
+	case "/":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				if tmp[j] == 0 {
+					return execErrf("division by zero")
+				}
+				out[j] /= tmp[j]
+			}
+			return nil
+		}
+	case "%":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				if tmp[j] == 0 {
+					return execErrf("division by zero")
+				}
+				out[j] %= tmp[j]
+			}
+			return nil
+		}
+	default:
+		return nil, false
+	}
+	return &bcompiled{kind: ckInt, i: k}, true
+}
+
+func batchFloatArith(op string, lf, rf fBatchKernel, bc *batchCompiler) (*bcompiled, bool) {
+	slot := bc.floatSlot()
+	eval2 := func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) ([]float64, error) {
+		if err := lf(e, b, sel, out); err != nil {
+			return nil, err
+		}
+		tmp := e.f(slot, len(sel))
+		if err := rf(e, b, sel, tmp); err != nil {
+			return nil, err
+		}
+		return tmp, nil
+	}
+	var k fBatchKernel
+	switch op {
+	case "+":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				out[j] += tmp[j]
+			}
+			return nil
+		}
+	case "-":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				out[j] -= tmp[j]
+			}
+			return nil
+		}
+	case "*":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				out[j] *= tmp[j]
+			}
+			return nil
+		}
+	case "/":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				if tmp[j] == 0 {
+					return execErrf("division by zero")
+				}
+				out[j] /= tmp[j]
+			}
+			return nil
+		}
+	case "%":
+		k = func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+			tmp, err := eval2(e, b, sel, out)
+			if err != nil {
+				return err
+			}
+			for j := range out {
+				if tmp[j] == 0 {
+					return execErrf("division by zero")
+				}
+				out[j] = math.Mod(out[j], tmp[j])
+			}
+			return nil
+		}
+	default:
+		return nil, false
+	}
+	return &bcompiled{kind: ckFloat, f: k}, true
+}
+
+// flipCmp mirrors an operator so `const op x` reuses the x-op-const
+// loops (5 < v  ≡  v > 5).
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and <> are symmetric
+}
+
+// fcmpConst compares a float lane against a scalar. The forms mirror
+// cmpToBool over the row lane's three-way compare, so NaN behaves
+// identically in both lanes (a NaN operand compares "equal").
+func fcmpConst(op string, vals []float64, c float64, out []bool) {
+	switch op {
+	case "=":
+		for j, a := range vals {
+			out[j] = !(a < c) && !(a > c)
+		}
+	case "<>":
+		for j, a := range vals {
+			out[j] = a < c || a > c
+		}
+	case "<":
+		for j, a := range vals {
+			out[j] = a < c
+		}
+	case "<=":
+		for j, a := range vals {
+			out[j] = !(a > c)
+		}
+	case ">":
+		for j, a := range vals {
+			out[j] = a > c
+		}
+	case ">=":
+		for j, a := range vals {
+			out[j] = !(a < c)
+		}
+	}
+}
+
+func fcmp2(op string, lv, rv []float64, out []bool) {
+	switch op {
+	case "=":
+		for j := range lv {
+			out[j] = !(lv[j] < rv[j]) && !(lv[j] > rv[j])
+		}
+	case "<>":
+		for j := range lv {
+			out[j] = lv[j] < rv[j] || lv[j] > rv[j]
+		}
+	case "<":
+		for j := range lv {
+			out[j] = lv[j] < rv[j]
+		}
+	case "<=":
+		for j := range lv {
+			out[j] = !(lv[j] > rv[j])
+		}
+	case ">":
+		for j := range lv {
+			out[j] = lv[j] > rv[j]
+		}
+	case ">=":
+		for j := range lv {
+			out[j] = !(lv[j] < rv[j])
+		}
+	}
+}
+
+func icmpConst(op string, vals []int64, c int64, out []bool) {
+	switch op {
+	case "=":
+		for j, a := range vals {
+			out[j] = a == c
+		}
+	case "<>":
+		for j, a := range vals {
+			out[j] = a != c
+		}
+	case "<":
+		for j, a := range vals {
+			out[j] = a < c
+		}
+	case "<=":
+		for j, a := range vals {
+			out[j] = a <= c
+		}
+	case ">":
+		for j, a := range vals {
+			out[j] = a > c
+		}
+	case ">=":
+		for j, a := range vals {
+			out[j] = a >= c
+		}
+	}
+}
+
+func icmp2(op string, lv, rv []int64, out []bool) {
+	switch op {
+	case "=":
+		for j := range lv {
+			out[j] = lv[j] == rv[j]
+		}
+	case "<>":
+		for j := range lv {
+			out[j] = lv[j] != rv[j]
+		}
+	case "<":
+		for j := range lv {
+			out[j] = lv[j] < rv[j]
+		}
+	case "<=":
+		for j := range lv {
+			out[j] = lv[j] <= rv[j]
+		}
+	case ">":
+		for j := range lv {
+			out[j] = lv[j] > rv[j]
+		}
+	case ">=":
+		for j := range lv {
+			out[j] = lv[j] >= rv[j]
+		}
+	}
+}
+
+func scmp2(op string, lv, rv []string, out []bool) {
+	switch op {
+	case "=":
+		for j := range lv {
+			out[j] = lv[j] == rv[j]
+		}
+	case "<>":
+		for j := range lv {
+			out[j] = lv[j] != rv[j]
+		}
+	case "<":
+		for j := range lv {
+			out[j] = strings.Compare(lv[j], rv[j]) < 0
+		}
+	case "<=":
+		for j := range lv {
+			out[j] = strings.Compare(lv[j], rv[j]) <= 0
+		}
+	case ">":
+		for j := range lv {
+			out[j] = strings.Compare(lv[j], rv[j]) > 0
+		}
+	case ">=":
+		for j := range lv {
+			out[j] = strings.Compare(lv[j], rv[j]) >= 0
+		}
+	}
+}
+
+func compileBatchCompare(op string, l, r *bcompiled, bc *batchCompiler) (*bcompiled, bool) {
+	numeric := func(c *bcompiled) bool { return c.kind == ckFloat || c.kind == ckInt }
+	// Typed numeric vs $n parameter: the parameter is a per-execution
+	// scalar, fetched and coerced once per batch — the batch form of the
+	// row lane's typed-vs-dynamic comparison special case.
+	if numeric(l) && r.paramIdx > 0 {
+		return batchParamCompare(op, l, r.paramIdx, bc), true
+	}
+	if numeric(r) && l.paramIdx > 0 {
+		return batchParamCompare(flipCmp(op), r, l.paramIdx, bc), true
+	}
+	switch {
+	case numeric(l) && numeric(r):
+		if l.kind == ckInt && r.kind == ckInt {
+			switch {
+			case r.isConst:
+				lk, c := l.i, r.cI
+				slot := bc.intSlot()
+				return &bcompiled{kind: ckBool,
+					b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+						vals := e.i(slot, len(sel))
+						if err := lk(e, b, sel, vals); err != nil {
+							return err
+						}
+						icmpConst(op, vals, c, out)
+						return nil
+					}}, true
+			case l.isConst:
+				rk, c := r.i, l.cI
+				fop := flipCmp(op)
+				slot := bc.intSlot()
+				return &bcompiled{kind: ckBool,
+					b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+						vals := e.i(slot, len(sel))
+						if err := rk(e, b, sel, vals); err != nil {
+							return err
+						}
+						icmpConst(fop, vals, c, out)
+						return nil
+					}}, true
+			default:
+				lk, rk := l.i, r.i
+				ls, rs := bc.intSlot(), bc.intSlot()
+				return &bcompiled{kind: ckBool,
+					b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+						lv, rv := e.i(ls, len(sel)), e.i(rs, len(sel))
+						if err := lk(e, b, sel, lv); err != nil {
+							return err
+						}
+						if err := rk(e, b, sel, rv); err != nil {
+							return err
+						}
+						icmp2(op, lv, rv, out)
+						return nil
+					}}, true
+			}
+		}
+		// Mixed or float comparison: both sides as float lanes.
+		switch {
+		case r.isConst:
+			lk, c := l.asF(bc), r.constF()
+			slot := bc.floatSlot()
+			return &bcompiled{kind: ckBool,
+				b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+					vals := e.f(slot, len(sel))
+					if err := lk(e, b, sel, vals); err != nil {
+						return err
+					}
+					fcmpConst(op, vals, c, out)
+					return nil
+				}}, true
+		case l.isConst:
+			rk, c := r.asF(bc), l.constF()
+			fop := flipCmp(op)
+			slot := bc.floatSlot()
+			return &bcompiled{kind: ckBool,
+				b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+					vals := e.f(slot, len(sel))
+					if err := rk(e, b, sel, vals); err != nil {
+						return err
+					}
+					fcmpConst(fop, vals, c, out)
+					return nil
+				}}, true
+		default:
+			lk, rk := l.asF(bc), r.asF(bc)
+			ls, rs := bc.floatSlot(), bc.floatSlot()
+			return &bcompiled{kind: ckBool,
+				b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+					lv, rv := e.f(ls, len(sel)), e.f(rs, len(sel))
+					if err := lk(e, b, sel, lv); err != nil {
+						return err
+					}
+					if err := rk(e, b, sel, rv); err != nil {
+						return err
+					}
+					fcmp2(op, lv, rv, out)
+					return nil
+				}}, true
+		}
+	case l.kind == ckStr && r.kind == ckStr:
+		lk, rk := l.s, r.s
+		ls, rs := bc.strSlot(), bc.strSlot()
+		return &bcompiled{kind: ckBool,
+			b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+				lv, rv := e.s(ls, len(sel)), e.s(rs, len(sel))
+				if err := lk(e, b, sel, lv); err != nil {
+					return err
+				}
+				if err := rk(e, b, sel, rv); err != nil {
+					return err
+				}
+				scmp2(op, lv, rv, out)
+				return nil
+			}}, true
+	}
+	// Bool/vector comparisons and anything dynamic: row lane.
+	return nil, false
+}
+
+// batchParamCompare compares a typed numeric lane against the $idx
+// parameter value. The parameter is fetched lazily per batch so an empty
+// selection (no surviving rows) raises no error — matching a row lane
+// that never evaluates the predicate.
+func batchParamCompare(op string, l *bcompiled, idx int, bc *batchCompiler) *bcompiled {
+	lk := l.asF(bc)
+	lkind := l.kind
+	slot := bc.floatSlot()
+	return &bcompiled{kind: ckBool,
+		b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+			if len(sel) == 0 {
+				return nil
+			}
+			v, err := e.env.param(idx)
+			if err != nil {
+				return err
+			}
+			c, ok := toFloat(v)
+			if !ok {
+				return execErrf("cannot compare %s with %s", lkind, valueTypeName(v))
+			}
+			vals := e.f(slot, len(sel))
+			if err := lk(e, b, sel, vals); err != nil {
+				return err
+			}
+			fcmpConst(op, vals, c, out)
+			return nil
+		}}
+}
+
+func compileBatchFuncCall(x *FuncCall, bc *batchCompiler) (*bcompiled, bool) {
+	if x.Schema != "" || x.Star || isAggregateCall(x) || isTableValuedCall(x) {
+		return nil, false
+	}
+	args := make([]*bcompiled, len(x.Args))
+	for i, a := range x.Args {
+		c, ok := compileBatchExpr(a, bc)
+		if !ok || c.paramIdx > 0 {
+			return nil, false
+		}
+		args[i] = c
+	}
+	numeric := func(c *bcompiled) bool { return c.kind == ckFloat || c.kind == ckInt }
+	switch x.Name {
+	case "abs":
+		if len(args) != 1 {
+			return nil, false
+		}
+		switch args[0].kind {
+		case ckInt:
+			ik := args[0].i
+			return &bcompiled{kind: ckInt,
+				i: func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+					if err := ik(e, b, sel, out); err != nil {
+						return err
+					}
+					for j, v := range out {
+						if v < 0 {
+							out[j] = -v
+						}
+					}
+					return nil
+				}}, true
+		case ckFloat:
+			fk := args[0].f
+			return &bcompiled{kind: ckFloat,
+				f: func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+					if err := fk(e, b, sel, out); err != nil {
+						return err
+					}
+					for j := range out {
+						out[j] = math.Abs(out[j])
+					}
+					return nil
+				}}, true
+		}
+		return nil, false
+	case "sqrt", "exp", "ln", "floor", "ceil":
+		if len(args) != 1 || !numeric(args[0]) {
+			return nil, false
+		}
+		var mf func(float64) float64
+		switch x.Name {
+		case "sqrt":
+			mf = math.Sqrt
+		case "exp":
+			mf = math.Exp
+		case "ln":
+			mf = math.Log
+		case "floor":
+			mf = math.Floor
+		default:
+			mf = math.Ceil
+		}
+		fk := args[0].asF(bc)
+		return &bcompiled{kind: ckFloat,
+			f: func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+				if err := fk(e, b, sel, out); err != nil {
+					return err
+				}
+				for j := range out {
+					out[j] = mf(out[j])
+				}
+				return nil
+			}}, true
+	case "pow", "power":
+		if len(args) != 2 || !numeric(args[0]) || !numeric(args[1]) {
+			return nil, false
+		}
+		ak, bk := args[0].asF(bc), args[1].asF(bc)
+		slot := bc.floatSlot()
+		return &bcompiled{kind: ckFloat,
+			f: func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+				if err := ak(e, b, sel, out); err != nil {
+					return err
+				}
+				tmp := e.f(slot, len(sel))
+				if err := bk(e, b, sel, tmp); err != nil {
+					return err
+				}
+				for j := range out {
+					out[j] = math.Pow(out[j], tmp[j])
+				}
+				return nil
+			}}, true
+	case "length", "array_length":
+		if len(args) != 1 || args[0].kind != ckStr {
+			return nil, false
+		}
+		sk := args[0].s
+		slot := bc.strSlot()
+		return &bcompiled{kind: ckInt,
+			i: func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+				tmp := e.s(slot, len(sel))
+				if err := sk(e, b, sel, tmp); err != nil {
+					return err
+				}
+				for j, s := range tmp {
+					out[j] = int64(len(s))
+				}
+				return nil
+			}}, true
+	}
+	return nil, false
+}
+
+// compileBatchPredicate lowers a WHERE clause to a boolean batch kernel;
+// ok=false falls back to the row lane. A nil WHERE compiles to (nil, true).
+func compileBatchPredicate(where Expr, bc *batchCompiler) (bBatchKernel, bool) {
+	if where == nil {
+		return nil, true
+	}
+	c, ok := compileBatchExpr(where, bc)
+	if !ok || c.kind != ckBool {
+		return nil, false
+	}
+	return c.b, true
+}

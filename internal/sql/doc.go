@@ -23,10 +23,14 @@
 //	DROP TABLE [IF EXISTS] name
 //	INSERT INTO name [(col, ...)] VALUES (expr, ...), ...
 //	SELECT item, ... [FROM name] [WHERE expr] [GROUP BY col, ...]
-//	       [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//	       [HAVING expr] [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
 //	PREPARE name AS select-or-insert
 //	EXECUTE name[(expr, ...)]
 //	DEALLOCATE [PREPARE] (name | ALL)
+//
+// HAVING filters groups after aggregation and may reference aggregates
+// (also ones not in the SELECT list) and GROUP BY columns; without
+// GROUP BY it treats the whole table as one group.
 //
 // Statements are ';'-separated; `--` starts a line comment. Unquoted
 // identifiers fold to lowercase, as in PostgreSQL.
@@ -36,22 +40,52 @@
 // PREPARE plans a SELECT or INSERT once; EXECUTE runs it with values
 // bound to its $1, $2, ... placeholders (arity-checked). Parameters may
 // appear anywhere a scalar expression does — WHERE clauses, projections,
-// built-in aggregate arguments, INSERT values — but not inside madlib.*
-// function arguments, which are resolved at plan time:
+// built-in aggregate arguments, HAVING, INSERT values — and in two
+// madlib.* positions: scalar (column-free) arguments of table-valued
+// calls, which resolve at EXECUTE time (madlib.kmeans(coords, $1)), and
+// the WHERE clause in front of any call. Per-row computed madlib
+// arguments (tag + $1) still reject parameters, because their staging
+// column's type must be known at plan time:
 //
 //	PREPARE hot AS SELECT g, avg(v) FROM t WHERE v > $1 GROUP BY g;
 //	EXECUTE hot(0.25);
 //	EXECUTE hot(0.75);
 //
-// # Performance notes
+// # Execution lanes
 //
-// The executor is compile-once-execute-many. Planning lowers every
-// per-row expression (WHERE predicates, projections, aggregate
-// arguments, computed madlib arguments) into typed Go closures with
-// unboxed fast paths for float/int arithmetic and comparisons, instead
-// of re-walking the AST with boxed values per row. GROUP BY keys go
-// through the engine's keyed hash aggregate (engine.RunGroupByKey), so
-// grouping by an int or text column allocates nothing per row.
+// The executor is compile-once-execute-many with two lowering targets.
+//
+// The vectorized batch lane (compile_batch.go, exec_batch.go) is the
+// default for aggregate queries and for scan filters. The engine hands
+// kernels an engine.ColBatch — a typed, zero-copy window of up to
+// engine.BatchSize (1024) rows over one segment's columnar storage —
+// and compiled kernels fill whole []float64 / []int64 / []string /
+// []bool lanes per call. WHERE predicates produce selection vectors
+// (the batch-local indices of surviving rows) that every downstream
+// kernel respects, so filtered-out rows are never evaluated; AND/OR
+// evaluate their right operand only over the sub-selection the left
+// operand did not decide, preserving the row lane's short-circuit
+// semantics (x <> 0 AND 1/x > 2 cannot fault). Built-in aggregates fold
+// lanes directly into the same accumulator structs the row lane uses,
+// and single-column GROUP BY keys hash through Go's specialized
+// int64/string map fast paths per segment. Kernel scratch is allocated
+// per segment and pooled across executions of a cached plan.
+//
+// The row lane lowers the same expressions to typed per-row Go closures
+// with unboxed fast paths. It is the semantic oracle (the differential
+// tests in batch_diff_test.go assert lane equivalence, including
+// division-by-zero errors and int64 overflow) and the fallback for
+// everything the batch lane does not express.
+//
+// The planner picks the lane per query at plan time. It chooses the
+// batch lane when every aggregate is a batchable built-in
+// (count/sum/avg/variance/stddev over numeric expressions, min/max
+// over numeric expressions, count(*)), the WHERE clause batch-compiles,
+// and no GROUP BY key is Vector-typed. It provably falls back to the
+// row lane for: madlib.* aggregate calls (quantile, fmcount, ...),
+// Vector-typed operands (array literals, array_get, vector columns),
+// text/bool min/max, and $n parameters anywhere other than one side of
+// a comparison. Session.SetBatchExecution(false) forces the row lane.
 //
 // Each Session keeps an LRU plan cache keyed by statement text:
 // re-executing the same text skips parsing and planning entirely. The
@@ -61,8 +95,10 @@
 // stale plan — it replans or errors cleanly. The madlib.DB facade routes
 // Exec/Query through one shared session, so callers get plan caching
 // without holding any extra state. BenchmarkSQLSelectAgg tracks the
-// resulting SQL-vs-engine overhead (the paper's §4.4(a) study);
-// scripts/bench_sql.sh records it to BENCH_sql.json.
+// resulting SQL-vs-engine overhead (the paper's §4.4(a) study) with
+// batch-vs-row sub-benchmarks (SQL vs SQLRowLane); scripts/bench_sql.sh
+// records it to BENCH_sql.json and scripts/bench_check.sh gates CI on
+// >25% regressions.
 //
 // # Types
 //
@@ -116,6 +152,9 @@
 //	madlib.svm(y, x [, mode])
 //	madlib.assoc_rules(basket, item [, min_support [, min_confidence]])
 //	madlib.profile()
+//	madlib.svdmf(i, j, v, rank [, max_passes])
+//	madlib.lda(doc, word, topics [, iterations [, seed]])
+//	madlib.bootstrap(expr [, iterations [, fraction [, seed]]])
 //
 // Column arguments may also be computed expressions. For table-valued
 // calls, linregr(y, array[1, x1, x2]) assembles a vector from scalar
@@ -128,6 +167,6 @@
 //
 // # Not yet supported
 //
-// JOINs, window functions, HAVING, DISTINCT, subqueries and a wire
-// protocol are tracked as ROADMAP open items.
+// JOINs, window functions, DISTINCT, subqueries and a wire protocol are
+// tracked as ROADMAP open items.
 package sql

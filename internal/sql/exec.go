@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"madlib/internal/core"
@@ -321,22 +322,25 @@ func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 			if !ok || !isTableValuedCall(call) || len(st.Items) != 1 {
 				return nil, execErrf("a table-valued madlib function must be the only item in the SELECT list")
 			}
+			if st.Having != nil {
+				return nil, execErrf("HAVING cannot be combined with table-valued madlib functions")
+			}
 			return planTableValued(st, t, call)
 		}
 		if item.Expand {
 			return nil, execErrf("composite expansion (.*) only applies to madlib table-valued functions")
 		}
 	}
-	isAgg := len(st.GroupBy) > 0
+	isAgg := len(st.GroupBy) > 0 || st.Having != nil
 	for _, item := range st.Items {
 		if !item.Star && exprHasAgg(item.Expr) {
 			isAgg = true
 		}
 	}
 	if isAgg {
-		return planAggSelect(st, t)
+		return planAggSelect(st, t, s.batchEnabled())
 	}
-	return planScanSelect(st, t)
+	return planScanSelect(st, t, s.batchEnabled())
 }
 
 // constPlan evaluates a FROM-less SELECT (e.g. SELECT 1+2, SELECT $1+$2).
@@ -345,8 +349,8 @@ type constPlan struct {
 }
 
 func planConstSelect(st *Select) (stmtPlan, error) {
-	if st.Where != nil || len(st.GroupBy) > 0 {
-		return nil, execErrf("WHERE/GROUP BY require a FROM clause")
+	if st.Where != nil || len(st.GroupBy) > 0 || st.Having != nil {
+		return nil, execErrf("WHERE/GROUP BY/HAVING require a FROM clause")
 	}
 	for _, item := range st.Items {
 		if item.Star {
@@ -416,7 +420,10 @@ func enginePred(fn boolFn, env *execEnv, errPtr *atomic.Value) func(engine.Row) 
 }
 
 // scanPlan is a planned projection scan: SELECT exprs FROM t [WHERE]
-// [ORDER BY] [LIMIT], all expressions compiled to closures.
+// [ORDER BY] [LIMIT], all expressions compiled to closures. When the
+// WHERE clause also lowers to a batch kernel, the scan filters whole
+// column batches through a selection vector and only materializes the
+// surviving rows (batchPred/batchProg non-nil).
 type scanPlan struct {
 	name    string
 	table   *engine.Table
@@ -429,9 +436,22 @@ type scanPlan struct {
 	orderFns  []anyFn
 	desc      []bool
 	limit     int64
+
+	batchProg *batchProg
+	batchPred bBatchKernel
+	// batchPool recycles per-segment filter scratch (scanBatchState)
+	// across executions of a cached plan.
+	batchPool sync.Pool
 }
 
-func planScanSelect(st *Select, t *engine.Table) (stmtPlan, error) {
+// scanBatchState is one segment's scratch for the vectorized scan
+// filter: the kernel lanes plus the predicate output buffer.
+type scanBatchState struct {
+	e       *batchEval
+	predOut []bool
+}
+
+func planScanSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error) {
 	schema := t.Schema()
 	cc := newCompileCtx(schema)
 	// Expand * into column refs.
@@ -484,6 +504,13 @@ func planScanSelect(st *Select, t *engine.Table) (stmtPlan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if batchOK && st.Where != nil {
+		bc := newBatchCompiler(schema)
+		if k, ok := compileBatchPredicate(st.Where, bc); ok && k != nil {
+			p.batchPred = k
+			p.batchProg = bc.prog
+		}
+	}
 	return p, nil
 }
 
@@ -493,18 +520,14 @@ func (p *scanPlan) valid(db *engine.DB) bool {
 }
 
 func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
-	var predErr atomic.Value
-	pred := enginePred(p.pred, env, &predErr)
 	// Scan segment-parallel, buffering per segment to keep output
 	// deterministic (segment order, row order within a segment).
 	nseg := len(p.table.Segments())
 	segRows := make([][][]any, nseg)
 	segKeys := make([][][]any, nseg)
 	ordered := len(p.desc) > 0
-	scanErr := s.db.ForEachSegment(p.table, func(segIdx int, row engine.Row) error {
-		if pred != nil && !pred(row) {
-			return nil
-		}
+	// emit projects one surviving row into its segment's buffer.
+	emit := func(segIdx int, row engine.Row) error {
 		out := make([]any, len(p.itemFns))
 		for i, fn := range p.itemFns {
 			v, err := fn(row, env)
@@ -530,7 +553,56 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 			segKeys[segIdx] = append(segKeys[segIdx], keys)
 		}
 		return nil
-	})
+	}
+	var scanErr error
+	var predErr atomic.Value
+	if p.batchPred != nil {
+		// Vectorized filter: evaluate the predicate per batch into a
+		// selection vector, then materialize only the survivors. Scratch
+		// states pool across executions of the (cached) plan.
+		states := make([]*scanBatchState, nseg)
+		defer func() {
+			for _, st := range states {
+				if st != nil {
+					st.e.env = nil
+					p.batchPool.Put(st)
+				}
+			}
+		}()
+		scanErr = s.db.ForEachBatch(p.table, func(segIdx int, b engine.ColBatch) error {
+			st := states[segIdx]
+			if st == nil {
+				st, _ = p.batchPool.Get().(*scanBatchState)
+				if st == nil {
+					st = &scanBatchState{e: p.batchProg.newEval(env), predOut: make([]bool, engine.BatchSize)}
+				}
+				st.e.env = env
+				states[segIdx] = st
+			}
+			sel := st.e.identSel(b.Len())
+			po := st.predOut[:b.Len()]
+			if err := p.batchPred(st.e, b, sel, po); err != nil {
+				return err
+			}
+			for j, keep := range po {
+				if !keep {
+					continue
+				}
+				if err := emit(segIdx, b.Row(j)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	} else {
+		pred := enginePred(p.pred, env, &predErr)
+		scanErr = s.db.ForEachSegment(p.table, func(segIdx int, row engine.Row) error {
+			if pred != nil && !pred(row) {
+				return nil
+			}
+			return emit(segIdx, row)
+		})
+	}
 	if scanErr != nil {
 		return nil, scanErr
 	}
@@ -580,7 +652,10 @@ func applyLimit(rows [][]any, limit int64) [][]any {
 // executed as a single two-phase parallel aggregate over the table
 // (§3.1.1). Aggregate arguments and the WHERE clause are compiled; group
 // keys go through the engine's keyed hash aggregate instead of a
-// formatted string per row.
+// formatted string per row. When every expression in the scan pipeline
+// also lowers to batch kernels, the plan additionally carries the
+// vectorized lane (batch) and executes through it; the row lane stays as
+// the semantic oracle and the fallback.
 type aggPlan struct {
 	name     string
 	table    *engine.Table
@@ -588,14 +663,16 @@ type aggPlan struct {
 	st       *Select
 	groupIdx []int
 	builders []aggBuilder
+	calls    []*FuncCall // aggregate calls, parallel to builders
 	slotOf   map[*FuncCall]int
 	outNames []string
 	outCols  map[string]int
 	pred     boolFn
 	keyFn    func(engine.Row) engine.GroupKey // nil when no GROUP BY
+	batch    *batchAggLane                    // nil = row lane only
 }
 
-func planAggSelect(st *Select, t *engine.Table) (stmtPlan, error) {
+func planAggSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error) {
 	schema := t.Schema()
 	p := &aggPlan{name: st.From, table: t, schema: schema, st: st}
 	// Resolve GROUP BY columns.
@@ -627,8 +704,20 @@ func planAggSelect(st *Select, t *engine.Table) (stmtPlan, error) {
 			}
 			p.slotOf[call] = len(p.builders)
 			p.builders = append(p.builders, b)
+			p.calls = append(p.calls, call)
 		}
 		return nil
+	}
+	// groupedColCheck rejects bare column refs outside aggregates that are
+	// not GROUP BY columns (applies to SELECT items and HAVING alike).
+	groupedColCheck := func(e Expr) error {
+		var badCol error
+		walkAgg(e, func(e Expr, inAgg bool) {
+			if cr, ok := e.(*ColumnRef); ok && !inAgg && !grouped[cr.Name] && badCol == nil {
+				badCol = execErrf("column %q must appear in the GROUP BY clause or be used in an aggregate function", cr.Name)
+			}
+		})
+		return badCol
 	}
 	for _, item := range st.Items {
 		if item.Star {
@@ -637,15 +726,16 @@ func planAggSelect(st *Select, t *engine.Table) (stmtPlan, error) {
 		if err := addSlots(item.Expr); err != nil {
 			return nil, err
 		}
-		// Bare column refs outside aggregates must be grouped.
-		var badCol error
-		walkAgg(item.Expr, func(e Expr, inAgg bool) {
-			if cr, ok := e.(*ColumnRef); ok && !inAgg && !grouped[cr.Name] && badCol == nil {
-				badCol = execErrf("column %q must appear in the GROUP BY clause or be used in an aggregate function", cr.Name)
-			}
-		})
-		if badCol != nil {
-			return nil, badCol
+		if err := groupedColCheck(item.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if st.Having != nil {
+		if err := addSlots(st.Having); err != nil {
+			return nil, err
+		}
+		if err := groupedColCheck(st.Having); err != nil {
+			return nil, err
 		}
 	}
 	p.outNames = make([]string, len(st.Items))
@@ -675,6 +765,9 @@ func planAggSelect(st *Select, t *engine.Table) (stmtPlan, error) {
 	}
 	if len(p.groupIdx) > 0 {
 		p.keyFn = groupKeyFn(schema, p.groupIdx)
+	}
+	if batchOK {
+		p.batch, _ = planBatchAggLane(st, schema, p.calls, p.groupIdx)
 	}
 	return p, nil
 }
@@ -722,8 +815,9 @@ func (p *aggPlan) evalGroup(ms *multiState, env *execEnv) ([]any, []any, error) 
 	return row, keys, nil
 }
 
-func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
-	st := p.st
+// execRowLane runs the per-row two-phase aggregate and returns one
+// multiState per group.
+func (p *aggPlan) execRowLane(s *Session, env *execEnv) ([]*multiState, error) {
 	aggs := make([]engine.Aggregate, len(p.builders))
 	for i, b := range p.builders {
 		a, err := b(env)
@@ -736,7 +830,6 @@ func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	var predErr atomic.Value
 	pred := enginePred(p.pred, env, &predErr)
 
-	var states []*multiState
 	if len(p.groupIdx) == 0 {
 		var v any
 		var err error
@@ -751,19 +844,53 @@ func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		if e := predErr.Load(); e != nil {
 			return nil, e.(error)
 		}
-		states = []*multiState{v.(*multiState)}
+		return []*multiState{v.(*multiState)}, nil
+	}
+	groups, err := s.db.RunGroupByKey(p.table, pred, p.keyFn, multi)
+	if err != nil {
+		return nil, err
+	}
+	if e := predErr.Load(); e != nil {
+		return nil, e.(error)
+	}
+	states := make([]*multiState, 0, len(groups))
+	for _, v := range groups {
+		states = append(states, v.(*multiState))
+	}
+	return states, nil
+}
+
+// evalHaving applies the HAVING predicate to one finalized group.
+func (p *aggPlan) evalHaving(ms *multiState, env *execEnv) (bool, error) {
+	groupVals := make(map[string]any, len(p.st.GroupBy))
+	for i, name := range p.st.GroupBy {
+		groupVals[name] = ms.keyVals[i]
+	}
+	ctx := &evalCtx{slotOf: p.slotOf, slotVals: ms.slots, groupVals: groupVals, params: env.paramList()}
+	v, err := evalExpr(p.st.Having, ctx)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, execErrf("argument of HAVING must be boolean, not %s", valueTypeName(v))
+	}
+	return b, nil
+}
+
+func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
+	st := p.st
+	var states []*multiState
+	var err error
+	if p.batch != nil {
+		states, err = p.execBatch(s, env)
 	} else {
-		groups, err := s.db.RunGroupByKey(p.table, pred, p.keyFn, multi)
-		if err != nil {
-			return nil, err
-		}
-		if e := predErr.Load(); e != nil {
-			return nil, e.(error)
-		}
-		states = make([]*multiState, 0, len(groups))
-		for _, v := range groups {
-			states = append(states, v.(*multiState))
-		}
+		states, err = p.execRowLane(s, env)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(p.groupIdx) > 0 {
 		// Deterministic default order: sort groups by their key values.
 		var sortErr error
 		sort.Slice(states, func(a, b int) bool {
@@ -785,6 +912,15 @@ func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	}
 	var rows, keys [][]any
 	for _, ms := range states {
+		if st.Having != nil {
+			keep, err := p.evalHaving(ms, env)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
 		row, kv, err := p.evalGroup(ms, env)
 		if err != nil {
 			return nil, err
@@ -952,10 +1088,21 @@ type computedStage struct {
 	fn     anyFn
 }
 
+// deferredArg is a madlib call argument containing $n placeholders (and
+// no column references): a scalar evaluated at EXECUTE time, when the
+// parameter values are known.
+type deferredArg struct {
+	argIdx int
+	expr   Expr
+}
+
 // tvPlan is a planned SELECT (madlib.fn(...)).* FROM t [WHERE ...]. A
 // WHERE clause or a computed argument (e.g. linregr(y, array[1, x0, x1])
 // over scalar columns) stages the rows through a temporary table first —
-// the same pattern the paper's driver functions use (§3.1.2).
+// the same pattern the paper's driver functions use (§3.1.2). Scalar
+// arguments may hold $n placeholders (madlib.kmeans(coords, $1)); they
+// resolve per execution. Per-row computed arguments cannot, because
+// their staging column's type must be known at plan time.
 type tvPlan struct {
 	name      string
 	table     *engine.Table
@@ -963,6 +1110,7 @@ type tvPlan struct {
 	call      *FuncCall
 	fn        core.SQLFunc
 	finalArgs []any
+	deferred  []deferredArg
 	computed  []computedStage
 	pred      boolFn
 }
@@ -970,9 +1118,6 @@ type tvPlan struct {
 func planTableValued(st *Select, t *engine.Table, call *FuncCall) (stmtPlan, error) {
 	if len(st.GroupBy) > 0 {
 		return nil, execErrf("GROUP BY cannot be combined with table-valued madlib functions")
-	}
-	if n := stmtMaxParam(st); n > 0 {
-		return nil, execErrf("parameters ($%d) are not supported with table-valued madlib functions", n)
 	}
 	f, _ := core.LookupSQLFunc(call.Name)
 	p := &tvPlan{name: st.From, table: t, st: st, call: call, fn: f}
@@ -982,8 +1127,9 @@ func planTableValued(st *Select, t *engine.Table, call *FuncCall) (stmtPlan, err
 	if err != nil {
 		return nil, err
 	}
-	// Classify arguments: column references and constants pass through;
-	// any other expression becomes a computed staging column.
+	// Classify arguments: column references and constants pass through,
+	// parameter-bearing scalars defer to execution, and any other
+	// expression becomes a computed staging column.
 	cc := newCompileCtx(schema)
 	p.finalArgs = make([]any, len(call.Args))
 	for i, a := range call.Args {
@@ -996,6 +1142,19 @@ func planTableValued(st *Select, t *engine.Table, call *FuncCall) (stmtPlan, err
 		}
 		if v, err := evalExpr(a, &evalCtx{}); err == nil {
 			p.finalArgs[i] = v
+			continue
+		}
+		if exprHasParam(a) {
+			refsColumn := false
+			walkExpr(a, func(e Expr) {
+				if _, ok := e.(*ColumnRef); ok {
+					refsColumn = true
+				}
+			})
+			if refsColumn {
+				return nil, execErrf("%s argument %d: parameters cannot be combined with column references in madlib function arguments", call.Name, i+1)
+			}
+			p.deferred = append(p.deferred, deferredArg{argIdx: i, expr: a})
 			continue
 		}
 		kind, err := inferKind(a, schema)
@@ -1086,7 +1245,19 @@ func (p *tvPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		defer func() { _ = s.db.DropTable(staged.Name()) }()
 		input = staged
 	}
-	outSchema, rows, err := p.fn.Invoke(s.db, input, p.finalArgs)
+	args := p.finalArgs
+	if len(p.deferred) > 0 {
+		args = append([]any(nil), p.finalArgs...)
+		ctx := &evalCtx{params: env.paramList()}
+		for _, d := range p.deferred {
+			v, err := evalExpr(d.expr, ctx)
+			if err != nil {
+				return nil, err
+			}
+			args[d.argIdx] = v
+		}
+	}
+	outSchema, rows, err := p.fn.Invoke(s.db, input, args)
 	if err != nil {
 		return nil, fmt.Errorf("sql: madlib.%s: %w", call.Name, err)
 	}
@@ -1110,7 +1281,7 @@ func (p *tvPlan) exec(s *Session, env *execEnv) (*Result, error) {
 					keys[ri][k] = row[ord]
 					continue
 				}
-				ctx := &evalCtx{outCols: outCols, outVals: row}
+				ctx := &evalCtx{outCols: outCols, outVals: row, params: env.paramList()}
 				v, err := evalExpr(key.Expr, ctx)
 				if err != nil {
 					return nil, err

@@ -1,0 +1,748 @@
+package sql
+
+import (
+	"sync"
+
+	"madlib/internal/engine"
+)
+
+// The vectorized aggregate lane. A planned aggregate query carries (at
+// most) one batchAggLane next to its row-lane builders; the executor
+// drives it through engine.RunBatched / RunGroupByBatched when present.
+// The lane reuses the row lane's accumulator structs and finalizers
+// (numAccState, fminmaxState, ...) so both lanes produce bit-identical
+// results — per segment, rows fold in the same order, and segment states
+// merge in the same segment order.
+
+// batchAggSpec is one aggregate call lowered to the batch lane. Exactly
+// one of evalF/evalI is set for value-folding aggregates; both are nil
+// for count (which may still carry evalDiscard to surface argument
+// evaluation errors, matching count(expr) on the row lane).
+type batchAggSpec struct {
+	evalF func(e *batchEval, b engine.ColBatch, sel selVec) ([]float64, error)
+	evalI func(e *batchEval, b engine.ColBatch, sel selVec) ([]int64, error)
+	// evalDiscard evaluates a count(expr) argument for its errors only.
+	evalDiscard func(e *batchEval, b engine.ColBatch, sel selVec) error
+
+	init func() any
+	// updF/updI/updN fold one selected row into an accumulator (grouped
+	// path); foldF/foldI fold a whole lane (ungrouped fast path).
+	updF  func(st any, v float64)
+	updI  func(st any, v int64)
+	updN  func(st any, n int64)
+	foldF func(st any, vals []float64)
+	foldI func(st any, vals []int64)
+
+	merge func(a, b any) any
+	final func(st any) (any, error)
+}
+
+// buildBatchAggregate lowers one built-in aggregate call to a batch
+// spec; ok=false (madlib aggregates, non-numeric min/max, dynamic
+// arguments) keeps the whole query on the row lane.
+func buildBatchAggregate(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bool) {
+	if call.Schema != "" || !builtinAggs[call.Name] {
+		return nil, false
+	}
+	var arg *bcompiled
+	if !call.Star {
+		if len(call.Args) != 1 {
+			return nil, false
+		}
+		var ok bool
+		arg, ok = compileBatchExpr(call.Args[0], bc)
+		if !ok || arg.paramIdx > 0 {
+			return nil, false
+		}
+	}
+	switch call.Name {
+	case "count":
+		spec := &batchAggSpec{
+			init: func() any { return &countState{} },
+			updN: func(st any, n int64) { st.(*countState).n += n },
+			merge: func(a, b any) any {
+				sa, sb := a.(*countState), b.(*countState)
+				sa.n += sb.n
+				return sa
+			},
+			final: func(st any) (any, error) { return st.(*countState).n, nil },
+		}
+		// count(expr) evaluates its argument so runtime errors surface;
+		// constant arguments cannot fail and skip the evaluation.
+		if arg != nil && !arg.isConst {
+			switch arg.kind {
+			case ckFloat:
+				fk := arg.f
+				slot := bc.floatSlot()
+				spec.evalDiscard = func(e *batchEval, b engine.ColBatch, sel selVec) error {
+					return fk(e, b, sel, e.f(slot, len(sel)))
+				}
+			case ckInt:
+				ik := arg.i
+				slot := bc.intSlot()
+				spec.evalDiscard = func(e *batchEval, b engine.ColBatch, sel selVec) error {
+					return ik(e, b, sel, e.i(slot, len(sel)))
+				}
+			case ckStr:
+				sk := arg.s
+				slot := bc.strSlot()
+				spec.evalDiscard = func(e *batchEval, b engine.ColBatch, sel selVec) error {
+					return sk(e, b, sel, e.s(slot, len(sel)))
+				}
+			case ckBool:
+				bk := arg.b
+				slot := bc.boolSlot()
+				spec.evalDiscard = func(e *batchEval, b engine.ColBatch, sel selVec) error {
+					return bk(e, b, sel, e.b(slot, len(sel)))
+				}
+			default:
+				return nil, false
+			}
+		}
+		return spec, true
+	case "min", "max":
+		wantLess := call.Name == "min"
+		switch arg.kind {
+		case ckInt:
+			spec := &batchAggSpec{
+				init: func() any { return &iminmaxState{} },
+				updI: func(st any, v int64) {
+					s := st.(*iminmaxState)
+					if !s.seen || (wantLess && v < s.val) || (!wantLess && v > s.val) {
+						s.val, s.seen = v, true
+					}
+				},
+				merge: func(a, b any) any {
+					sa, sb := a.(*iminmaxState), b.(*iminmaxState)
+					if sb.seen && (!sa.seen || (wantLess && sb.val < sa.val) || (!wantLess && sb.val > sa.val)) {
+						sa.val, sa.seen = sb.val, true
+					}
+					return sa
+				},
+				final: func(st any) (any, error) {
+					s := st.(*iminmaxState)
+					if !s.seen {
+						return nil, nil
+					}
+					return s.val, nil
+				},
+			}
+			spec.evalI = laneEvalI(arg.i, bc)
+			spec.foldI = func(st any, vals []int64) {
+				for _, v := range vals {
+					spec.updI(st, v)
+				}
+			}
+			return spec, true
+		case ckFloat:
+			spec := &batchAggSpec{
+				init: func() any { return &fminmaxState{} },
+				updF: func(st any, v float64) {
+					s := st.(*fminmaxState)
+					if !s.seen || (wantLess && v < s.val) || (!wantLess && v > s.val) {
+						s.val, s.seen = v, true
+					}
+				},
+				merge: func(a, b any) any {
+					sa, sb := a.(*fminmaxState), b.(*fminmaxState)
+					if sb.seen && (!sa.seen || (wantLess && sb.val < sa.val) || (!wantLess && sb.val > sa.val)) {
+						sa.val, sa.seen = sb.val, true
+					}
+					return sa
+				},
+				final: func(st any) (any, error) {
+					s := st.(*fminmaxState)
+					if !s.seen {
+						return nil, nil
+					}
+					return s.val, nil
+				},
+			}
+			spec.evalF = laneEvalF(arg.f, bc)
+			spec.foldF = func(st any, vals []float64) {
+				for _, v := range vals {
+					spec.updF(st, v)
+				}
+			}
+			return spec, true
+		}
+		return nil, false
+	case "sum", "avg", "variance", "stddev":
+		final := numAccFinal(call.Name)
+		switch arg.kind {
+		case ckInt:
+			spec := &batchAggSpec{
+				init: func() any { return &numAccState{intOnly: true} },
+				updI: func(st any, v int64) {
+					s := st.(*numAccState)
+					f := float64(v)
+					s.sumInt += v
+					s.n++
+					s.sum += f
+					s.sumSq += f * f
+				},
+				merge: func(a, b any) any { return mergeNumAcc(a, b) },
+				final: func(st any) (any, error) { return final(st) },
+			}
+			spec.evalI = laneEvalI(arg.i, bc)
+			spec.foldI = func(st any, vals []int64) {
+				s := st.(*numAccState)
+				for _, v := range vals {
+					f := float64(v)
+					s.sumInt += v
+					s.sum += f
+					s.sumSq += f * f
+				}
+				s.n += int64(len(vals))
+			}
+			return spec, true
+		case ckFloat:
+			spec := &batchAggSpec{
+				init: func() any { return &numAccState{} },
+				updF: func(st any, v float64) {
+					s := st.(*numAccState)
+					s.n++
+					s.sum += v
+					s.sumSq += v * v
+				},
+				merge: func(a, b any) any { return mergeNumAcc(a, b) },
+				final: func(st any) (any, error) { return final(st) },
+			}
+			spec.evalF = laneEvalF(arg.f, bc)
+			spec.foldF = func(st any, vals []float64) {
+				s := st.(*numAccState)
+				for _, v := range vals {
+					s.sum += v
+					s.sumSq += v * v
+				}
+				s.n += int64(len(vals))
+			}
+			return spec, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+func laneEvalF(fk fBatchKernel, bc *batchCompiler) func(*batchEval, engine.ColBatch, selVec) ([]float64, error) {
+	slot := bc.floatSlot()
+	return func(e *batchEval, b engine.ColBatch, sel selVec) ([]float64, error) {
+		out := e.f(slot, len(sel))
+		if err := fk(e, b, sel, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+func laneEvalI(ik iBatchKernel, bc *batchCompiler) func(*batchEval, engine.ColBatch, selVec) ([]int64, error) {
+	slot := bc.intSlot()
+	return func(e *batchEval, b engine.ColBatch, sel selVec) ([]int64, error) {
+		out := e.i(slot, len(sel))
+		if err := ik(e, b, sel, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// batchAggLane is the planned vectorized lane of an aggregate query:
+// the scratch-slot program, the WHERE kernel (nil = keep all), one spec
+// per aggregate slot (aligned with aggPlan.builders), and the grouping
+// projection.
+// batchKeyMode selects the segment-local hash-map representation for
+// the GROUP BY key. Single-column keys use Go's specialized int64 /
+// string map fast paths and convert to engine.GroupKey only once per
+// segment (at most one conversion per group); composite keys use the
+// generic GroupKey map directly.
+type batchKeyMode int
+
+const (
+	keyModeNone batchKeyMode = iota
+	keyModeInt               // Int, Bool and Float single-column keys, as int64
+	keyModeStr               // String single-column keys
+	keyModeGeneric
+)
+
+type batchAggLane struct {
+	prog     *batchProg
+	pred     bBatchKernel
+	specs    []*batchAggSpec
+	schema   engine.Schema
+	groupIdx []int
+
+	keyMode    batchKeyMode
+	keyFillInt func(b engine.ColBatch, sel selVec, keys []int64)
+	keyFillStr func(b engine.ColBatch, sel selVec, keys []string)
+	keyFill    func(b engine.ColBatch, sel selVec, keys []engine.GroupKey)
+
+	// pool recycles batchSegStates (and their scratch lanes) across
+	// executions of this plan, so a cached plan's steady-state execution
+	// allocates only per-group accumulators.
+	pool sync.Pool
+}
+
+// batchGroup is one group's accumulators plus the captured key values
+// (the batch counterpart of multiAggregate's keyVals capture).
+type batchGroup struct {
+	accs    []any
+	keyVals []any
+}
+
+// batchSegState is the per-segment execution state: the kernel scratch
+// plus top-level buffers for selection, predicate output, keys and
+// group-pointer resolution.
+type batchSegState struct {
+	e       *batchEval
+	selBuf  []int32
+	predOut []bool
+	intKeys []int64
+	strKeys []string
+	keys    []engine.GroupKey
+	grps    []*batchGroup
+	accs    []any // ungrouped accumulators
+	// Exactly one of the maps is used, per the lane's keyMode.
+	mInt map[int64]*batchGroup
+	mStr map[string]*batchGroup
+	m    map[engine.GroupKey]*batchGroup
+}
+
+func (ln *batchAggLane) newSegState(env *execEnv, grouped bool) *batchSegState {
+	st, _ := ln.pool.Get().(*batchSegState)
+	if st == nil {
+		st = &batchSegState{e: ln.prog.newEval(env)}
+		if ln.pred != nil {
+			st.selBuf = make([]int32, engine.BatchSize)
+			st.predOut = make([]bool, engine.BatchSize)
+		}
+		if grouped {
+			st.grps = make([]*batchGroup, engine.BatchSize)
+			switch ln.keyMode {
+			case keyModeInt:
+				st.intKeys = make([]int64, engine.BatchSize)
+			case keyModeStr:
+				st.strKeys = make([]string, engine.BatchSize)
+			default:
+				st.keys = make([]engine.GroupKey, engine.BatchSize)
+			}
+		}
+	}
+	st.e.env = env
+	if grouped {
+		switch ln.keyMode {
+		case keyModeInt:
+			if st.mInt == nil {
+				st.mInt = make(map[int64]*batchGroup)
+			}
+		case keyModeStr:
+			if st.mStr == nil {
+				st.mStr = make(map[string]*batchGroup)
+			}
+		default:
+			if st.m == nil {
+				st.m = make(map[engine.GroupKey]*batchGroup)
+			}
+		}
+	} else {
+		st.accs = make([]any, len(ln.specs))
+		for i, spec := range ln.specs {
+			st.accs[i] = spec.init()
+		}
+	}
+	return st
+}
+
+// releaseSegState returns a segment state's scratch to the pool. The
+// per-execution outputs (accumulators, group map entries) have already
+// escaped into the merged result; drop every reference to them so the
+// pooled scratch cannot pin group memory.
+func (ln *batchAggLane) releaseSegState(st *batchSegState) {
+	st.e.env = nil
+	st.accs = nil
+	if st.m != nil {
+		clear(st.m)
+	}
+	if st.mInt != nil {
+		clear(st.mInt)
+	}
+	if st.mStr != nil {
+		clear(st.mStr)
+	}
+	for j := range st.grps {
+		st.grps[j] = nil
+	}
+	for j := range st.keys {
+		st.keys[j] = engine.GroupKey{}
+	}
+	for j := range st.strKeys {
+		st.strKeys[j] = ""
+	}
+	ln.pool.Put(st)
+}
+
+// select applies the WHERE kernel to one batch and returns the surviving
+// selection (the identity selection when there is no WHERE).
+func (ln *batchAggLane) selectRows(st *batchSegState, b engine.ColBatch) (selVec, error) {
+	sel := st.e.identSel(b.Len())
+	if ln.pred == nil {
+		return sel, nil
+	}
+	po := st.predOut[:b.Len()]
+	if err := ln.pred(st.e, b, sel, po); err != nil {
+		return nil, err
+	}
+	keep := st.selBuf[:0]
+	for j, ok := range po {
+		if ok {
+			keep = append(keep, int32(j))
+		}
+	}
+	return keep, nil
+}
+
+// processUngrouped folds one batch into the segment's accumulators.
+func (ln *batchAggLane) processUngrouped(st *batchSegState, b engine.ColBatch) error {
+	sel, err := ln.selectRows(st, b)
+	if err != nil {
+		return err
+	}
+	if len(sel) == 0 {
+		return nil
+	}
+	for ai, spec := range ln.specs {
+		switch {
+		case spec.evalF != nil:
+			vals, err := spec.evalF(st.e, b, sel)
+			if err != nil {
+				return err
+			}
+			spec.foldF(st.accs[ai], vals)
+		case spec.evalI != nil:
+			vals, err := spec.evalI(st.e, b, sel)
+			if err != nil {
+				return err
+			}
+			spec.foldI(st.accs[ai], vals)
+		default:
+			if spec.evalDiscard != nil {
+				if err := spec.evalDiscard(st.e, b, sel); err != nil {
+					return err
+				}
+			}
+			spec.updN(st.accs[ai], int64(len(sel)))
+		}
+	}
+	return nil
+}
+
+// processGrouped folds one batch into the segment's per-group
+// accumulators: key lane, one map probe per row, then per-aggregate
+// lane folds against the resolved group pointers.
+func (ln *batchAggLane) processGrouped(st *batchSegState, b engine.ColBatch) error {
+	sel, err := ln.selectRows(st, b)
+	if err != nil {
+		return err
+	}
+	if len(sel) == 0 {
+		return nil
+	}
+	grps := st.grps[:len(sel)]
+	switch ln.keyMode {
+	case keyModeInt:
+		keys := st.intKeys[:len(sel)]
+		ln.keyFillInt(b, sel, keys)
+		for j, k := range keys {
+			g, ok := st.mInt[k]
+			if !ok {
+				g = ln.newGroup(b, sel[j])
+				st.mInt[k] = g
+			}
+			grps[j] = g
+		}
+	case keyModeStr:
+		keys := st.strKeys[:len(sel)]
+		ln.keyFillStr(b, sel, keys)
+		for j, k := range keys {
+			g, ok := st.mStr[k]
+			if !ok {
+				g = ln.newGroup(b, sel[j])
+				st.mStr[k] = g
+			}
+			grps[j] = g
+		}
+	default:
+		keys := st.keys[:len(sel)]
+		ln.keyFill(b, sel, keys)
+		for j, k := range keys {
+			g, ok := st.m[k]
+			if !ok {
+				g = ln.newGroup(b, sel[j])
+				st.m[k] = g
+			}
+			grps[j] = g
+		}
+	}
+	for ai, spec := range ln.specs {
+		switch {
+		case spec.evalF != nil:
+			vals, err := spec.evalF(st.e, b, sel)
+			if err != nil {
+				return err
+			}
+			upd := spec.updF
+			for j, g := range grps {
+				upd(g.accs[ai], vals[j])
+			}
+		case spec.evalI != nil:
+			vals, err := spec.evalI(st.e, b, sel)
+			if err != nil {
+				return err
+			}
+			upd := spec.updI
+			for j, g := range grps {
+				upd(g.accs[ai], vals[j])
+			}
+		default:
+			if spec.evalDiscard != nil {
+				if err := spec.evalDiscard(st.e, b, sel); err != nil {
+					return err
+				}
+			}
+			upd := spec.updN
+			for _, g := range grps {
+				upd(g.accs[ai], 1)
+			}
+		}
+	}
+	return nil
+}
+
+// newGroup creates one group's accumulators and captures its key values
+// from the creating row.
+func (ln *batchAggLane) newGroup(b engine.ColBatch, idx int32) *batchGroup {
+	g := &batchGroup{accs: make([]any, len(ln.specs)), keyVals: make([]any, len(ln.groupIdx))}
+	for ai, spec := range ln.specs {
+		g.accs[ai] = spec.init()
+	}
+	row := b.Row(int(idx))
+	for gi, ci := range ln.groupIdx {
+		g.keyVals[gi] = rowValue(ln.schema, &row, ci)
+	}
+	return g
+}
+
+// segGroups converts a segment's typed map into the engine's GroupKey
+// map — one conversion per group, after the whole segment is scanned.
+func (ln *batchAggLane) segGroups(st *batchSegState) map[engine.GroupKey]any {
+	switch ln.keyMode {
+	case keyModeInt:
+		out := make(map[engine.GroupKey]any, len(st.mInt))
+		for k, g := range st.mInt {
+			out[engine.GroupKey{Int: k}] = g
+		}
+		return out
+	case keyModeStr:
+		out := make(map[engine.GroupKey]any, len(st.mStr))
+		for k, g := range st.mStr {
+			out[engine.GroupKey{Str: k}] = g
+		}
+		return out
+	default:
+		out := make(map[engine.GroupKey]any, len(st.m))
+		for k, g := range st.m {
+			out[k] = g
+		}
+		return out
+	}
+}
+
+// mergeGroups combines two groups' accumulators pairwise, keeping the
+// left (lower-segment) group's key values — the same rule the row
+// lane's multiAggregate.Merge applies.
+func (ln *batchAggLane) mergeGroups(a, b *batchGroup) *batchGroup {
+	for i, spec := range ln.specs {
+		a.accs[i] = spec.merge(a.accs[i], b.accs[i])
+	}
+	return a
+}
+
+// finalize turns one group's accumulators into a finalized multiState,
+// the shape the shared output stage (evalGroup, HAVING, ORDER BY)
+// consumes.
+func (ln *batchAggLane) finalize(g *batchGroup) (*multiState, error) {
+	out := &multiState{slots: make([]any, len(ln.specs)), keyVals: g.keyVals}
+	for i, spec := range ln.specs {
+		v, err := spec.final(g.accs[i])
+		if err != nil {
+			return nil, err
+		}
+		out.slots[i] = v
+	}
+	return out, nil
+}
+
+// execBatch drives the vectorized lane and returns one finalized
+// multiState per group (exactly one for ungrouped aggregates), matching
+// the row path's intermediate shape.
+func (p *aggPlan) execBatch(s *Session, env *execEnv) ([]*multiState, error) {
+	ln := p.batch
+	grouped := len(p.groupIdx) > 0
+	// Track every segment state so the scratch returns to the pool even
+	// when a kernel errors mid-scan.
+	tracked := make([]*batchSegState, len(p.table.Segments()))
+	newSeg := func(i int) any {
+		st := ln.newSegState(env, grouped)
+		tracked[i] = st
+		return st
+	}
+	defer func() {
+		for _, st := range tracked {
+			if st != nil {
+				ln.releaseSegState(st)
+			}
+		}
+	}()
+	if !grouped {
+		v, err := s.db.RunBatched(p.table, newSeg,
+			func(state any, b engine.ColBatch) error {
+				return ln.processUngrouped(state.(*batchSegState), b)
+			},
+			func(a, b any) any {
+				sa, sb := a.(*batchSegState), b.(*batchSegState)
+				for i, spec := range ln.specs {
+					sa.accs[i] = spec.merge(sa.accs[i], sb.accs[i])
+				}
+				return sa
+			})
+		if err != nil {
+			return nil, err
+		}
+		ms, err := ln.finalize(&batchGroup{accs: v.(*batchSegState).accs})
+		if err != nil {
+			return nil, err
+		}
+		return []*multiState{ms}, nil
+	}
+	groups, err := s.db.RunGroupByBatched(p.table, newSeg,
+		func(state any, b engine.ColBatch) error {
+			return ln.processGrouped(state.(*batchSegState), b)
+		},
+		func(state any) map[engine.GroupKey]any {
+			return ln.segGroups(state.(*batchSegState))
+		},
+		func(a, b any) any { return ln.mergeGroups(a.(*batchGroup), b.(*batchGroup)) })
+	if err != nil {
+		return nil, err
+	}
+	states := make([]*multiState, 0, len(groups))
+	for _, v := range groups {
+		ms, err := ln.finalize(v.(*batchGroup))
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, ms)
+	}
+	return states, nil
+}
+
+// bindKeyFill wires the lane's group-key projection. Single
+// Int/Bool/Float columns key as int64 (matching the row lane's
+// GroupKey.Int encoding bit for bit), single String columns key as the
+// string itself, and composite keys reuse the row lane's injective byte
+// encoding per row.
+func (ln *batchAggLane) bindKeyFill(schema engine.Schema, groupIdx []int) {
+	if len(groupIdx) == 1 {
+		gi := groupIdx[0]
+		switch schema[gi].Kind {
+		case engine.Int:
+			ln.keyMode = keyModeInt
+			ln.keyFillInt = func(b engine.ColBatch, sel selVec, keys []int64) {
+				lane := b.Ints(gi)
+				if len(sel) == len(lane) {
+					copy(keys, lane)
+					return
+				}
+				for j, idx := range sel {
+					keys[j] = lane[idx]
+				}
+			}
+			return
+		case engine.Bool:
+			ln.keyMode = keyModeInt
+			ln.keyFillInt = func(b engine.ColBatch, sel selVec, keys []int64) {
+				lane := b.Bools(gi)
+				for j, idx := range sel {
+					if lane[idx] {
+						keys[j] = 1
+					} else {
+						keys[j] = 0
+					}
+				}
+			}
+			return
+		case engine.Float:
+			ln.keyMode = keyModeInt
+			ln.keyFillInt = func(b engine.ColBatch, sel selVec, keys []int64) {
+				lane := b.Floats(gi)
+				for j, idx := range sel {
+					keys[j] = floatKeyBits(lane[idx])
+				}
+			}
+			return
+		case engine.String:
+			ln.keyMode = keyModeStr
+			ln.keyFillStr = func(b engine.ColBatch, sel selVec, keys []string) {
+				lane := b.Strings(gi)
+				for j, idx := range sel {
+					keys[j] = lane[idx]
+				}
+			}
+			return
+		}
+	}
+	ln.keyMode = keyModeGeneric
+	ln.keyFill = func(b engine.ColBatch, sel selVec, keys []engine.GroupKey) {
+		var buf []byte
+		for j, idx := range sel {
+			row := b.Row(int(idx))
+			buf = buf[:0]
+			for _, gi := range groupIdx {
+				buf = appendKeyValue(buf, schema, row, gi)
+			}
+			keys[j] = engine.GroupKey{Str: string(buf)}
+		}
+	}
+}
+
+// planBatchAggLane attempts the vectorized lowering of an aggregate
+// query: every aggregate slot must be a batchable built-in and the WHERE
+// clause (if any) must batch-compile. ok=false leaves the plan on the
+// row lane.
+func planBatchAggLane(st *Select, schema engine.Schema, calls []*FuncCall, groupIdx []int) (*batchAggLane, bool) {
+	bc := newBatchCompiler(schema)
+	ln := &batchAggLane{schema: schema, groupIdx: groupIdx}
+	pred, ok := compileBatchPredicate(st.Where, bc)
+	if !ok {
+		return nil, false
+	}
+	ln.pred = pred
+	ln.specs = make([]*batchAggSpec, len(calls))
+	for i, call := range calls {
+		spec, ok := buildBatchAggregate(call, bc)
+		if !ok {
+			return nil, false
+		}
+		ln.specs[i] = spec
+	}
+	if len(groupIdx) > 0 {
+		for _, gi := range groupIdx {
+			if schema[gi].Kind == engine.Vector {
+				// Vector-valued group keys stay on the row lane.
+				return nil, false
+			}
+		}
+		ln.bindKeyFill(schema, groupIdx)
+	}
+	ln.prog = bc.prog
+	return ln, true
+}

@@ -6,15 +6,18 @@ import (
 
 	"madlib/internal/assoc"
 	"madlib/internal/bayes"
+	"madlib/internal/bootstrap"
 	"madlib/internal/core"
 	"madlib/internal/dtree"
 	"madlib/internal/engine"
 	"madlib/internal/kmeans"
+	"madlib/internal/lda"
 	"madlib/internal/linregr"
 	"madlib/internal/logregr"
 	"madlib/internal/profile"
 	"madlib/internal/quantile"
 	"madlib/internal/sketch"
+	"madlib/internal/svdmf"
 	"madlib/internal/svm"
 )
 
@@ -72,6 +75,24 @@ func init() {
 			Signature: "profile()",
 			Help:      "per-column univariate summaries of the FROM table (§3.1.3)",
 			Invoke:    invokeProfile,
+		},
+		{
+			Name: "svdmf", Kind: core.SQLTableValued,
+			Signature: "svdmf(i, j, v, rank [, max_passes])",
+			Help:      "low-rank matrix factorization of sparse (i, j, v) cells by IGD",
+			Invoke:    invokeSvdmf,
+		},
+		{
+			Name: "lda", Kind: core.SQLTableValued,
+			Signature: "lda(doc, word, topics [, iterations [, seed]])",
+			Help:      "latent Dirichlet allocation over a (doc, word) token table",
+			Invoke:    invokeLDA,
+		},
+		{
+			Name: "bootstrap", Kind: core.SQLTableValued,
+			Signature: "bootstrap(expr [, iterations [, fraction [, seed]]])",
+			Help:      "m-of-n bootstrap of the mean of expr (§3.1.2 virtual-table pattern)",
+			Invoke:    invokeBootstrap,
 		},
 		{
 			Name: "quantile", Kind: core.SQLAggregate,
@@ -694,6 +715,179 @@ func invokeAssocRules(db *engine.DB, t *engine.Table, args []any) (engine.Schema
 		}
 	}
 	return out, rows, nil
+}
+
+func invokeSvdmf(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("svdmf", args, 4, 5); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	iCol, err := colNameArg("svdmf", schema, args, 0, engine.Int)
+	if err != nil {
+		return nil, nil, err
+	}
+	jCol, err := colNameArg("svdmf", schema, args, 1, engine.Int)
+	if err != nil {
+		return nil, nil, err
+	}
+	vCol, err := colNameArg("svdmf", schema, args, 2, engine.Float)
+	if err != nil {
+		return nil, nil, err
+	}
+	rank, err := intArg("svdmf", args, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := svdmf.Options{Rank: int(rank)}
+	if len(args) == 5 {
+		passes, err := intArg("svdmf", args, 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.MaxPasses = int(passes)
+	}
+	m, err := svdmf.Factorize(db, t, iCol, jCol, vCol, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "rows", Kind: engine.Int},
+		{Name: "cols", Kind: engine.Int},
+		{Name: "rank", Kind: engine.Int},
+		{Name: "rmse", Kind: engine.Float},
+		{Name: "passes", Kind: engine.Int},
+	}
+	return out, [][]any{{int64(m.Rows), int64(m.Cols), int64(m.Rank), m.RMSE, int64(m.Passes)}}, nil
+}
+
+func invokeLDA(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("lda", args, 3, 5); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	docCol, err := colNameArg("lda", schema, args, 0, engine.Int)
+	if err != nil {
+		return nil, nil, err
+	}
+	wordCol, err := colNameArg("lda", schema, args, 1, engine.Int)
+	if err != nil {
+		return nil, nil, err
+	}
+	topics, err := intArg("lda", args, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := lda.Options{Topics: int(topics)}
+	if len(args) >= 4 {
+		iters, err := intArg("lda", args, 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Iterations = int(iters)
+	}
+	if len(args) == 5 {
+		if opts.Seed, err = intArg("lda", args, 4); err != nil {
+			return nil, nil, err
+		}
+	}
+	m, err := lda.TrainTable(db, t, docCol, wordCol, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "topic", Kind: engine.Int},
+		{Name: "tokens", Kind: engine.Int},
+		{Name: "top_words", Kind: engine.Vector},
+	}
+	rows := make([][]any, m.Topics)
+	for k := 0; k < m.Topics; k++ {
+		top := m.TopWords(k, 5)
+		ids := make([]float64, len(top))
+		for i, w := range top {
+			ids[i] = float64(w)
+		}
+		rows[k] = []any{int64(k), int64(m.TopicTotal[k]), ids}
+	}
+	return out, rows, nil
+}
+
+func invokeBootstrap(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("bootstrap", args, 1, 4); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	get, err := floatRowArg("bootstrap", schema, args, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := bootstrap.Options{}
+	if len(args) >= 2 {
+		iters, err := intArg("bootstrap", args, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Iterations = int(iters)
+	}
+	if len(args) >= 3 {
+		if opts.SampleFraction, err = floatArg("bootstrap", args, 2); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(args) == 4 {
+		if opts.Seed, err = intArg("bootstrap", args, 3); err != nil {
+			return nil, nil, err
+		}
+	}
+	// The resampled statistic is the mean of the argument expression,
+	// folded through the same numeric accumulator the SQL avg uses.
+	mean := engine.FuncAggregate{
+		InitFn: func() any { return &errAccState[*numAccState]{acc: &numAccState{}} },
+		TransitionFn: func(s any, row engine.Row) any {
+			st := s.(*errAccState[*numAccState])
+			if st.err != nil {
+				return st
+			}
+			v, err := get(row)
+			if err != nil {
+				st.err = err
+				return st
+			}
+			st.acc.n++
+			st.acc.sum += v
+			return st
+		},
+		MergeFn: func(a, b any) any {
+			sa, sb := a.(*errAccState[*numAccState]), b.(*errAccState[*numAccState])
+			if sa.err == nil {
+				sa.err = sb.err
+			}
+			sa.acc.n += sb.acc.n
+			sa.acc.sum += sb.acc.sum
+			return sa
+		},
+		FinalFn: func(s any) (any, error) {
+			st := s.(*errAccState[*numAccState])
+			if st.err != nil {
+				return nil, st.err
+			}
+			if st.acc.n == 0 {
+				return 0.0, nil
+			}
+			return st.acc.sum / float64(st.acc.n), nil
+		},
+	}
+	res, err := bootstrap.Run(db, t, mean, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "mean", Kind: engine.Float},
+		{Name: "std_err", Kind: engine.Float},
+		{Name: "ci_low", Kind: engine.Float},
+		{Name: "ci_high", Kind: engine.Float},
+		{Name: "iterations", Kind: engine.Int},
+	}
+	return out, [][]any{{res.Mean, res.StdErr, res.CILow, res.CIHigh, int64(len(res.Estimates))}}, nil
 }
 
 func invokeProfile(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {

@@ -1,0 +1,146 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Tests for the svdmf / lda / bootstrap SQL bindings and for $n
+// placeholders inside table-valued madlib calls.
+
+func TestExecMadlibSvdmf(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE ratings (i bigint, j bigint, v float)`)
+	// A rank-1 structure: v = (i+1) * (j+1) / 4.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			mustExec(t, s, fmt.Sprintf(`INSERT INTO ratings VALUES (%d, %d, %g)`,
+				i, j, float64((i+1)*(j+1))/4))
+		}
+	}
+	r := mustQuery(t, s, `SELECT (madlib.svdmf(i, j, v, 2, 60)).* FROM ratings`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Cols[0] != "rows" || r.Cols[3] != "rmse" {
+		t.Fatalf("cols = %v", r.Cols)
+	}
+	row := r.Rows[0]
+	if row[0] != int64(6) || row[1] != int64(5) || row[2] != int64(2) {
+		t.Fatalf("dims = %v", row)
+	}
+	if rmse := row[3].(float64); rmse > 1.0 {
+		t.Fatalf("rmse = %v", rmse)
+	}
+}
+
+func TestExecMadlibLDA(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE tokens (doc bigint, word bigint)`)
+	// Two clearly separated topics: docs 0-4 use words 0-4, docs 5-9 use
+	// words 5-9.
+	for d := 0; d < 10; d++ {
+		base := 0
+		if d >= 5 {
+			base = 5
+		}
+		for k := 0; k < 20; k++ {
+			mustExec(t, s, fmt.Sprintf(`INSERT INTO tokens VALUES (%d, %d)`, d, base+k%5))
+		}
+	}
+	r := mustQuery(t, s, `SELECT (madlib.lda(doc, word, 2, 50, 7)).* FROM tokens`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	var total int64
+	for _, row := range r.Rows {
+		total += row[1].(int64)
+		if words := row[2].([]float64); len(words) == 0 {
+			t.Fatalf("no top words: %v", row)
+		}
+	}
+	if total != 200 {
+		t.Fatalf("token total = %d", total)
+	}
+}
+
+func TestExecMadlibBootstrap(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE m (v float)`)
+	for i := 0; i < 200; i++ {
+		mustExec(t, s, fmt.Sprintf(`INSERT INTO m VALUES (%d)`, i%11))
+	}
+	r := mustQuery(t, s, `SELECT (madlib.bootstrap(v, 80, 1.0, 5)).* FROM m`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	row := r.Rows[0]
+	mean, lo, hi := row[0].(float64), row[2].(float64), row[3].(float64)
+	if mean < 4 || mean > 6 {
+		t.Fatalf("bootstrap mean = %v", mean)
+	}
+	if lo > mean || hi < mean {
+		t.Fatalf("ci = [%v, %v] around %v", lo, hi, mean)
+	}
+	if row[4] != int64(80) {
+		t.Fatalf("iterations = %v", row[4])
+	}
+	// Computed expression argument.
+	r = mustQuery(t, s, `SELECT (madlib.bootstrap(v * 2, 40)).* FROM m`)
+	if mean2 := r.Rows[0][0].(float64); mean2 < 8 || mean2 > 12 {
+		t.Fatalf("bootstrap mean of v*2 = %v", mean2)
+	}
+}
+
+func TestExecTableValuedWithParams(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE points (coords float[], tag bigint)`)
+	for i := 0; i < 60; i++ {
+		mustExec(t, s, fmt.Sprintf(`INSERT INTO points VALUES ({%d, %d}, %d)`,
+			i%3*10, i%3*10+1, i%2))
+	}
+	// $n as a scalar madlib argument (the ROADMAP open item).
+	mustExec(t, s, `PREPARE k AS SELECT (madlib.kmeans(coords, $1, 1)).* FROM points`)
+	r := mustQuery(t, s, `EXECUTE k(3)`)
+	if len(r.Rows) != 3 {
+		t.Fatalf("k=3 gave %d centroids", len(r.Rows))
+	}
+	r = mustQuery(t, s, `EXECUTE k(2)`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("k=2 gave %d centroids", len(r.Rows))
+	}
+	// $n in the WHERE clause of a table-valued call.
+	mustExec(t, s, `PREPARE kw AS SELECT (madlib.kmeans(coords, 2, 1)).* FROM points WHERE tag = $1`)
+	r = mustQuery(t, s, `EXECUTE kw(1)`)
+	var sizes int64
+	for _, row := range r.Rows {
+		sizes += row[2].(int64)
+	}
+	if sizes != 30 {
+		t.Fatalf("clustered %d rows, want the 30 with tag=1", sizes)
+	}
+	// Arithmetic over parameters resolves at EXECUTE time.
+	mustExec(t, s, `PREPARE ka AS SELECT (madlib.kmeans(coords, $1 + 1)).* FROM points`)
+	r = mustQuery(t, s, `EXECUTE ka(1)`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("k=$1+1 gave %d centroids", len(r.Rows))
+	}
+	// $n in the ORDER BY of a table-valued call resolves at EXECUTE time.
+	mustExec(t, s, `PREPARE ko AS SELECT (madlib.kmeans(coords, 3, 1)).* FROM points ORDER BY size * $1`)
+	r = mustQuery(t, s, `EXECUTE ko(-1)`)
+	if len(r.Rows) != 3 {
+		t.Fatalf("ordered kmeans gave %d rows", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i-1][2].(int64) < r.Rows[i][2].(int64) {
+			t.Fatalf("ORDER BY size * -1 not descending: %v", r.Rows)
+		}
+	}
+	// Parameters mixed with column references stay rejected: the staging
+	// column's type cannot be known at plan time.
+	_, err := s.Exec(`PREPARE bad2 AS SELECT (madlib.kmeans(coords, tag + $1)).* FROM points`)
+	if err == nil || !strings.Contains(err.Error(), "parameters cannot be combined with column references") {
+		t.Fatalf("param+column madlib argument: %v", err)
+	}
+}

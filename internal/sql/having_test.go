@@ -1,0 +1,118 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExecHavingFiltersGroups(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `
+		CREATE TABLE t (g text, v float);
+		INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 6), ('b', 8), ('c', 100);
+	`)
+	r := mustQuery(t, s, `SELECT g, sum(v) FROM t GROUP BY g HAVING count(*) > 1`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0] != "a" || r.Rows[0][1] != 3.0 || r.Rows[1][0] != "b" || r.Rows[1][1] != 14.0 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Tag != "SELECT 2" {
+		t.Fatalf("tag = %q", r.Tag)
+	}
+	// HAVING over an aggregate not in the SELECT list, plus group columns.
+	r = mustQuery(t, s, `SELECT g FROM t GROUP BY g HAVING avg(v) > 5 AND g <> 'c'`)
+	if len(r.Rows) != 1 || r.Rows[0][0] != "b" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// HAVING composes with WHERE (filter before grouping, then after).
+	r = mustQuery(t, s, `SELECT g, count(*) FROM t WHERE v < 50 GROUP BY g HAVING count(*) = 2`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// HAVING with ORDER BY and LIMIT.
+	r = mustQuery(t, s, `SELECT g, sum(v) AS total FROM t GROUP BY g HAVING sum(v) >= 3 ORDER BY total DESC LIMIT 2`)
+	if len(r.Rows) != 2 || r.Rows[0][0] != "c" || r.Rows[1][0] != "b" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestExecHavingWithoutGroupBy(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `
+		CREATE TABLE t (v float);
+		INSERT INTO t VALUES (1), (2), (3);
+	`)
+	// The whole table is one group; HAVING keeps or drops its single row.
+	r := mustQuery(t, s, `SELECT sum(v) FROM t HAVING count(*) >= 3`)
+	if len(r.Rows) != 1 || r.Rows[0][0] != 6.0 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	r = mustQuery(t, s, `SELECT sum(v) FROM t HAVING count(*) > 3`)
+	if len(r.Rows) != 0 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// HAVING alone forces the aggregate path even without aggregates in
+	// the SELECT list.
+	if _, err := s.Exec(`SELECT v FROM t HAVING count(*) > 0`); err == nil ||
+		!strings.Contains(err.Error(), "GROUP BY") {
+		t.Fatalf("ungrouped column under HAVING: %v", err)
+	}
+}
+
+func TestExecHavingErrors(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `
+		CREATE TABLE t (g text, v float);
+		INSERT INTO t VALUES ('a', 1);
+	`)
+	cases := []struct {
+		query, want string
+	}{
+		{`SELECT g, sum(v) FROM t GROUP BY g HAVING v > 1`, "GROUP BY clause"},
+		{`SELECT g, sum(v) FROM t GROUP BY g HAVING sum(v)`, "must be boolean"},
+		{`SELECT 1 HAVING true`, "require a FROM clause"},
+	}
+	for _, c := range cases {
+		_, err := s.Exec(c.query)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%q: err = %v, want substring %q", c.query, err, c.want)
+		}
+	}
+}
+
+func TestExecHavingWithParams(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `
+		CREATE TABLE t (g text, v float);
+		INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 6);
+		PREPARE h AS SELECT g, sum(v) FROM t GROUP BY g HAVING sum(v) > $1;
+	`)
+	r := mustQuery(t, s, `EXECUTE h(2)`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	r = mustQuery(t, s, `EXECUTE h(5)`)
+	if len(r.Rows) != 1 || r.Rows[0][0] != "b" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	st, err := ParseStatement(`SELECT g, count(*) FROM t GROUP BY g HAVING count(*) > 1 ORDER BY g LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*Select)
+	if sel.Having == nil {
+		t.Fatal("Having not parsed")
+	}
+	if got := sel.String(); !strings.Contains(got, "HAVING count(*) > 1") {
+		t.Fatalf("String() = %q", got)
+	}
+	// HAVING is a reserved word: it cannot be eaten as an implicit alias.
+	if _, err := ParseStatement(`SELECT g HAVING FROM t`); err == nil {
+		t.Fatal("HAVING as implicit alias should fail to parse")
+	}
+}

@@ -14,7 +14,7 @@ var reservedWords = map[string]bool{
 	"select": true, "from": true, "where": true, "group": true, "order": true,
 	"by": true, "limit": true, "as": true, "asc": true, "desc": true,
 	"and": true, "or": true, "not": true, "values": true, "insert": true,
-	"create": true, "drop": true, "table": true, "into": true,
+	"create": true, "drop": true, "table": true, "into": true, "having": true,
 }
 
 // maxParams bounds $n placeholder numbers, catching typos like $1000000
@@ -434,6 +434,13 @@ func (p *parser) parseSelect() (Statement, error) {
 			}
 			break
 		}
+	}
+	if p.matchKeyword("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
 	}
 	if p.matchKeyword("order") {
 		if err := p.expectKeyword("by"); err != nil {

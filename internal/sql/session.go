@@ -104,6 +104,7 @@ type Session struct {
 	plans    *planCache
 	prepared map[string]*Prepared
 	last     Timing
+	batchOff bool
 }
 
 // NewSession wraps an engine database with the SQL front-end.
@@ -113,6 +114,29 @@ func NewSession(db *engine.DB) *Session {
 
 // DB returns the underlying engine database.
 func (s *Session) DB() *engine.DB { return s.db }
+
+// SetBatchExecution toggles the vectorized column-batch lane. It is on
+// by default; turning it off forces every plan onto the per-row lane
+// (the semantic oracle), which the differential tests and the
+// batch-vs-row benchmarks use. Toggling clears the plan cache and marks
+// prepared statements for replanning, so no cached or prepared plan can
+// keep the previous lane.
+func (s *Session) SetBatchExecution(enabled bool) {
+	s.mu.Lock()
+	s.batchOff = !enabled
+	s.plans.clear()
+	for _, p := range s.prepared {
+		p.plan = nil
+	}
+	s.mu.Unlock()
+}
+
+// batchEnabled reports whether the planner may choose the batch lane.
+func (s *Session) batchEnabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.batchOff
+}
 
 // LastTiming returns the phase breakdown of the most recently executed
 // statement (for a multi-statement Exec, the batch's totals with the
@@ -344,7 +368,7 @@ func (s *Session) execExecute(st *Execute) (*Result, Timing, error) {
 	}
 	t0 := time.Now()
 	tm.CacheHit = true
-	if !pl.valid(s.db) {
+	if pl == nil || !pl.valid(s.db) {
 		var err error
 		pl, err = s.planStmt(p.stmt)
 		if err != nil {

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench_check.sh — regression gate for the SQL front-end's hot path.
+# Runs BenchmarkSQLSelectAgg/SQL and fails when ns/op regresses more than
+# the allowed factor versus the committed BENCH_sql.json, so a PR cannot
+# silently lose the vectorized-execution win.
+#
+# Usage: scripts/bench_check.sh [benchtime] [max_ratio]
+#   benchtime defaults to 0.5s; max_ratio defaults to 1.25 (25% slack for
+#   shared-runner noise).
+#
+# Caveat: the committed baseline is absolute ns/op from the machine that
+# last ran scripts/bench_sql.sh, so the slack also absorbs hardware
+# differences between that machine and the CI runner. If CI hardware
+# drifts, refresh BENCH_sql.json (or pass a larger max_ratio) rather
+# than deleting the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-0.5s}"
+MAX_RATIO="${2:-1.25}"
+
+committed=$(grep -o '"SQL": {"ns_per_op": [0-9]*' BENCH_sql.json | grep -o '[0-9]*$')
+if [ -z "$committed" ]; then
+  echo "bench_check: no committed SQL ns_per_op in BENCH_sql.json" >&2
+  exit 1
+fi
+
+out=$(go test -run '^$' -bench 'BenchmarkSQLSelectAgg/SQL$' -benchtime "$BENCHTIME" .)
+echo "$out"
+
+current=$(echo "$out" | awk '
+  /^BenchmarkSQLSelectAgg\/SQL(-[0-9]+)?[ \t]/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") print $i
+  }' | head -1)
+if [ -z "$current" ]; then
+  echo "bench_check: benchmark produced no ns/op line" >&2
+  exit 1
+fi
+
+awk -v cur="$current" -v base="$committed" -v ratio="$MAX_RATIO" 'BEGIN {
+  limit = base * ratio
+  printf "bench_check: current %.0f ns/op, committed %.0f ns/op, limit %.0f ns/op\n", cur, base, limit
+  if (cur > limit) {
+    printf "bench_check: FAIL — BenchmarkSQLSelectAgg/SQL regressed more than %.0f%%\n", (ratio - 1) * 100
+    exit 1
+  }
+  print "bench_check: OK"
+}'
