@@ -185,7 +185,12 @@ func (r *repl) metaCommand(cmd string) bool {
   \timing         toggle per-statement timing (parse/plan/exec split)
   \?              this help
 
-Statements end with ';' and may span lines.
+Statements end with ';' and may span lines. The dialect covers
+CREATE TABLE [AS SELECT], DROP, INSERT, SELECT [DISTINCT] with
+JOIN/LEFT JOIN ... ON, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT,
+window functions (row_number/rank/count/sum/avg OVER (PARTITION BY
+... ORDER BY ...)), PREPARE/EXECUTE/DEALLOCATE, and madlib.* calls
+(\df lists them).
 `)
 	default:
 		fmt.Fprintf(r.errOut, "invalid command %s — try \\?\n", fields[0])

@@ -289,3 +289,42 @@ func TestSplitComplete(t *testing.T) {
 		t.Fatalf("escape handling: c=%q rest=%q", c, rest)
 	}
 }
+
+// TestSQLJoinWindowGolden pins the ISSUE's acceptance shape through the
+// CLI: a window function over a join, then CTAS + DISTINCT producing a
+// queryable table.
+func TestSQLJoinWindowGolden(t *testing.T) {
+	stdout, stderr, code := runSQLTest(t, "",
+		"-e", `CREATE TABLE depts (id bigint, name text);
+		       INSERT INTO depts VALUES (1, 'eng'), (2, 'ops');
+		       CREATE TABLE scores (dept_id bigint, score double precision);
+		       INSERT INTO scores VALUES (1, 9.5), (1, 7.25), (2, 8), (2, 6.5);
+		       SELECT d.name, row_number() OVER (PARTITION BY d.id ORDER BY s.score) rn
+		         FROM depts d JOIN scores s ON d.id = s.dept_id ORDER BY d.name, rn;
+		       CREATE TABLE t2 AS SELECT DISTINCT d.name FROM depts d JOIN scores s ON d.id = s.dept_id;
+		       SELECT * FROM t2 ORDER BY name;`)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	want := `CREATE TABLE
+INSERT 0 2
+CREATE TABLE
+INSERT 0 4
+ name | rn
+------+----
+ eng  |  1
+ eng  |  2
+ ops  |  1
+ ops  |  2
+(4 rows)
+SELECT 2
+ name
+------
+ eng
+ ops
+(2 rows)
+`
+	if stdout != want {
+		t.Fatalf("stdout:\n%s\nwant:\n%s", stdout, want)
+	}
+}

@@ -7,7 +7,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"madlib"
 	"madlib/internal/datagen"
@@ -47,35 +46,57 @@ func main() {
 	fmt.Printf("factorized %d×%d matrix at rank %d: RMSE %.4f after %d passes over %d observed cells\n\n",
 		model.Rows, model.Cols, model.Rank, model.RMSE, model.Passes, len(ratings.Entries))
 
-	// Top-5 recommendations for user 0, skipping already-rated items.
-	rated := map[int]bool{}
+	// Rank recommendations in SQL instead of Go glue: predictions for
+	// unobserved cells land in a table, a window function ranks them per
+	// user, and a join attaches item labels — the declarative shape the
+	// paper argues for (everything after Predict stays inside the
+	// database).
+	rated := map[[2]int]bool{}
 	for _, e := range ratings.Entries {
-		if e.I == 0 {
-			rated[e.J] = true
-		}
+		rated[[2]int{e.I, e.J}] = true
 	}
-	type scored struct {
-		item  int
-		score float64
-	}
-	var candidates []scored
+	mustExec(db, `CREATE TABLE items (item bigint, label text)`)
+	mustExec(db, `CREATE TABLE predictions (usr bigint, item bigint, score double precision)`)
 	for j := 0; j < items; j++ {
-		if rated[j] {
-			continue
-		}
-		p, err := model.Predict(0, j)
-		if err != nil {
-			log.Fatal(err)
-		}
-		candidates = append(candidates, scored{item: j, score: p})
+		mustExec(db, fmt.Sprintf(`INSERT INTO items VALUES (%d, 'item_%02d')`, j, j))
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].score > candidates[j].score })
-	fmt.Println("top-5 recommendations for user 0:")
-	for i := 0; i < 5 && i < len(candidates); i++ {
-		fmt.Printf("  item %2d  predicted rating %+.3f\n", candidates[i].item, candidates[i].score)
+	for _, u := range []int{0, 1, 2} {
+		for j := 0; j < items; j++ {
+			if rated[[2]int{u, j}] {
+				continue
+			}
+			p, err := model.Predict(u, j)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mustExec(db, fmt.Sprintf(`INSERT INTO predictions VALUES (%d, %d, %g)`, u, j, p))
+		}
+	}
+	// CTAS + window: rank each user's candidates by predicted score.
+	mustExec(db, `CREATE TABLE ranked AS
+		SELECT usr, item, score,
+		       rank() OVER (PARTITION BY usr ORDER BY score DESC) AS rk
+		FROM predictions`)
+	res, err := db.Query(`
+		SELECT r.usr, i.label, r.score
+		FROM ranked r JOIN items i ON r.item = i.item
+		WHERE r.rk <= 3
+		ORDER BY r.usr, r.score DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-3 recommendations per user (SQL join + window):")
+	for _, row := range res.Rows {
+		fmt.Printf("  user %v  %-8v  predicted rating %+.3f\n", row[0], row[1], row[2].(float64))
 	}
 
 	fmt.Printf("\nuser-0 factor vector: %v\n", trim(model.RowFactor(0)))
+}
+
+func mustExec(db *madlib.DB, stmt string) {
+	if _, err := db.Exec(stmt); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func trim(xs []float64) []float64 {

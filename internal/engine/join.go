@@ -4,6 +4,45 @@ import (
 	"fmt"
 )
 
+// MatchedCol is the hidden marker column an outer join appends to its
+// output: true on rows that found a build-side match, false on the
+// null-padded left rows. The engine's columnar storage has no NULL
+// representation, so consumers (the SQL front-end) use this marker to
+// reconstruct NULL semantics for the padded right-side columns.
+const MatchedCol = "__matched"
+
+// JoinSchema computes the output schema of a hash join without running
+// it: all left columns, then all right columns with name collisions
+// prefixed by the right table's name and an underscore, plus the
+// MatchedCol marker when outer is set. It is exported so a planner can
+// resolve column references against the joined shape at plan time.
+func JoinSchema(left, right *Table, outer bool) (Schema, error) {
+	taken := map[string]bool{}
+	schema := make(Schema, 0, len(left.schema)+len(right.schema)+1)
+	for _, c := range left.schema {
+		taken[c.Name] = true
+		schema = append(schema, c)
+	}
+	for _, c := range right.schema {
+		name := c.Name
+		if taken[name] {
+			name = right.name + "_" + name
+		}
+		if taken[name] {
+			return nil, fmt.Errorf("engine: cannot disambiguate column %q", c.Name)
+		}
+		taken[name] = true
+		schema = append(schema, Column{Name: name, Kind: c.Kind})
+	}
+	if outer {
+		if taken[MatchedCol] {
+			return nil, fmt.Errorf("engine: column %q collides with the outer-join marker", MatchedCol)
+		}
+		schema = append(schema, Column{Name: MatchedCol, Kind: Bool})
+	}
+	return schema, nil
+}
+
 // HashJoin performs an inner equi-join of two tables into a new table:
 //
 //	CREATE TABLE dst AS
@@ -17,8 +56,22 @@ import (
 // is local and needs no data movement on the probe side.
 //
 // Column-name collisions are resolved by prefixing right-side columns with
-// the right table's name and an underscore.
+// the right table's name and an underscore (see JoinSchema).
 func (db *DB) HashJoin(dst string, left *Table, leftKey string, right *Table, rightKey string) (*Table, error) {
+	return db.hashJoin(dst, left, leftKey, right, rightKey, left.temp || right.temp, false)
+}
+
+// HashJoinTemp materializes a hash join into a uniquely named temporary
+// table (prefix-based, like CreateTempTable). With outer set it performs
+// a LEFT OUTER join: left rows without a build-side match are emitted
+// once, their right-side columns padded with zero values and the
+// MatchedCol marker set to false — the null-padding wrapper the SQL
+// front-end's LEFT JOIN lowers onto.
+func (db *DB) HashJoinTemp(prefix string, left *Table, leftKey string, right *Table, rightKey string, outer bool) (*Table, error) {
+	return db.hashJoin(db.nextTempName(prefix), left, leftKey, right, rightKey, true, outer)
+}
+
+func (db *DB) hashJoin(dst string, left *Table, leftKey string, right *Table, rightKey string, temp, outer bool) (*Table, error) {
 	lk := left.schema.Index(leftKey)
 	if lk < 0 {
 		return nil, fmt.Errorf("%w: %q", ErrNoColumn, leftKey)
@@ -35,26 +88,11 @@ func (db *DB) HashJoin(dst string, left *Table, leftKey string, right *Table, ri
 		return nil, fmt.Errorf("%w: join keys must be Int or String, got %s", ErrType, kind)
 	}
 
-	// Output schema: all left columns, then all right columns with
-	// collisions prefixed.
-	taken := map[string]bool{}
-	schema := make(Schema, 0, len(left.schema)+len(right.schema))
-	for _, c := range left.schema {
-		taken[c.Name] = true
-		schema = append(schema, c)
+	schema, err := JoinSchema(left, right, outer)
+	if err != nil {
+		return nil, err
 	}
-	for _, c := range right.schema {
-		name := c.Name
-		if taken[name] {
-			name = right.name + "_" + name
-		}
-		if taken[name] {
-			return nil, fmt.Errorf("engine: cannot disambiguate column %q", c.Name)
-		}
-		taken[name] = true
-		schema = append(schema, Column{Name: name, Kind: c.Kind})
-	}
-	out, err := db.createTable(dst, schema, left.temp || right.temp)
+	out, err := db.createTable(dst, schema, temp)
 	if err != nil {
 		return nil, err
 	}
@@ -79,8 +117,10 @@ func (db *DB) HashJoin(dst string, left *Table, leftKey string, right *Table, ri
 	}
 
 	// Probe side: segment-parallel scan of the left table; matches append
-	// into the output segment with the same index.
+	// into the output segment with the same index. Outer joins emit
+	// unmatched left rows once, zero-padded, with MatchedCol=false.
 	nl := len(left.schema)
+	matchedIdx := len(schema) - 1 // only meaningful when outer
 	err = db.parallelSegments(left, func(i int, seg *Segment) error {
 		dseg := out.segs[i]
 		for r := 0; r < seg.n; r++ {
@@ -90,13 +130,27 @@ func (db *DB) HashJoin(dst string, left *Table, leftKey string, right *Table, ri
 			} else {
 				key = seg.cols[lk].strs[r]
 			}
-			for _, m := range build[key] {
+			matches := build[key]
+			for _, m := range matches {
 				for c, col := range left.schema {
 					copyCell(&dseg.cols[c], col.Kind, seg, c, r)
 				}
 				for c, col := range right.schema {
 					copyCell(&dseg.cols[nl+c], col.Kind, m.seg, c, m.idx)
 				}
+				if outer {
+					dseg.cols[matchedIdx].bools = append(dseg.cols[matchedIdx].bools, true)
+				}
+				dseg.n++
+			}
+			if outer && len(matches) == 0 {
+				for c, col := range left.schema {
+					copyCell(&dseg.cols[c], col.Kind, seg, c, r)
+				}
+				for c, col := range right.schema {
+					appendZero(&dseg.cols[nl+c], col.Kind)
+				}
+				dseg.cols[matchedIdx].bools = append(dseg.cols[matchedIdx].bools, false)
 				dseg.n++
 			}
 		}
@@ -130,5 +184,22 @@ func copyCell(dst *colData, kind Kind, src *Segment, col, row int) {
 		dst.strs = append(dst.strs, src.cols[col].strs[row])
 	case Bool:
 		dst.bools = append(dst.bools, src.cols[col].bools[row])
+	}
+}
+
+// appendZero appends the kind's zero value into dst — the storage-level
+// stand-in for NULL on the padded side of an outer join.
+func appendZero(dst *colData, kind Kind) {
+	switch kind {
+	case Float:
+		dst.floats = append(dst.floats, 0)
+	case Vector:
+		dst.vecs = append(dst.vecs, nil)
+	case Int:
+		dst.ints = append(dst.ints, 0)
+	case String:
+		dst.strs = append(dst.strs, "")
+	case Bool:
+		dst.bools = append(dst.bools, false)
 	}
 }

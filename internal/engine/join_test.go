@@ -126,3 +126,77 @@ func TestHashJoinErrors(t *testing.T) {
 		t.Fatalf("float keys should fail: %v", err)
 	}
 }
+
+func TestHashJoinTempOuter(t *testing.T) {
+	db := Open(2)
+	facts, _ := db.CreateTable("f", Schema{{Name: "k", Kind: Int}, {Name: "x", Kind: Float}})
+	dims, _ := db.CreateTable("d", Schema{{Name: "k", Kind: Int}, {Name: "name", Kind: String}})
+	for i := 0; i < 6; i++ {
+		if err := facts.Insert(int64(i), float64(i)*1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dims.Insert(int64(2), "two"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dims.Insert(int64(4), "four"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.HashJoinTemp("j", facts, "k", dims, "k", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Temp() {
+		t.Fatal("HashJoinTemp output should be a temp table")
+	}
+	// Every left row survives; unmatched rows are padded + marked.
+	if out.Count() != 6 {
+		t.Fatalf("outer join kept %d rows, want 6", out.Count())
+	}
+	schema := out.Schema()
+	mi := schema.Index(MatchedCol)
+	if mi != len(schema)-1 {
+		t.Fatalf("matched marker at %d in %v", mi, schema)
+	}
+	ki, ni := schema.Index("k"), schema.Index("name")
+	matched := 0
+	err = db.ForEachSegment(out, func(_ int, r Row) error {
+		if r.Bool(mi) {
+			matched++
+			if r.Str(ni) == "" {
+				t.Errorf("matched row k=%d has empty name", r.Int(ki))
+			}
+		} else if r.Str(ni) != "" {
+			t.Errorf("unmatched row k=%d not zero-padded: %q", r.Int(ki), r.Str(ni))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 2 {
+		t.Fatalf("matched rows = %d, want 2", matched)
+	}
+}
+
+func TestJoinSchemaMatchesHashJoin(t *testing.T) {
+	db := Open(2)
+	facts, dims := buildJoinTables(t, db)
+	want, err := JoinSchema(facts, dims, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.HashJoin("joined2", facts, "k", dims, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Schema()
+	if len(got) != len(want) {
+		t.Fatalf("schema lengths differ: %v vs %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("schema[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -113,10 +113,52 @@ func (s *Deallocate) String() string {
 	return "DEALLOCATE " + s.Name
 }
 
+// CreateTableAs is CREATE TABLE name AS SELECT ... — the paper's staging
+// pattern (§4.1) expressed in pure SQL.
+type CreateTableAs struct {
+	Name        string
+	IfNotExists bool
+	Query       *Select
+}
+
+func (*CreateTableAs) stmt() {}
+
+func (s *CreateTableAs) String() string {
+	ine := ""
+	if s.IfNotExists {
+		ine = "IF NOT EXISTS "
+	}
+	return fmt.Sprintf("CREATE TABLE %s%s AS %s", ine, s.Name, s.Query.String())
+}
+
 // OrderKey is one ORDER BY key.
 type OrderKey struct {
 	Expr Expr
 	Desc bool
+}
+
+// JoinClause is the optional `JOIN table ON cond` part of a FROM clause.
+type JoinClause struct {
+	// Left marks LEFT [OUTER] JOIN; false is an inner join.
+	Left  bool
+	Table string
+	Alias string
+	// On is the join condition; the planner requires an equality of one
+	// column from each side.
+	On  Expr
+	Pos int
+}
+
+func (j *JoinClause) String() string {
+	kw := "JOIN"
+	if j.Left {
+		kw = "LEFT JOIN"
+	}
+	s := kw + " " + j.Table
+	if j.Alias != "" {
+		s += " " + j.Alias
+	}
+	return s + " ON " + j.On.String()
 }
 
 // SelectItem is one projection of a SELECT list.
@@ -134,9 +176,17 @@ type SelectItem struct {
 
 // Select is a SELECT statement.
 type Select struct {
-	Items   []SelectItem
-	From    string // empty for FROM-less SELECT
-	Where   Expr
+	// Distinct marks SELECT DISTINCT: duplicate output rows collapse.
+	Distinct bool
+	Items    []SelectItem
+	From     string // empty for FROM-less SELECT
+	// FromAlias is the optional alias of the FROM table.
+	FromAlias string
+	// Join is the optional JOIN clause over the FROM table.
+	Join  *JoinClause
+	Where Expr
+	// GroupBy entries may be qualified ("d.name"); resolution maps them
+	// onto the planning schema.
 	GroupBy []string
 	// Having filters groups after aggregation (may contain aggregates).
 	Having  Expr
@@ -150,6 +200,9 @@ func (*Select) stmt() {}
 func (s *Select) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
 	for i, it := range s.Items {
 		if i > 0 {
 			b.WriteString(", ")
@@ -165,6 +218,12 @@ func (s *Select) String() string {
 	}
 	if s.From != "" {
 		b.WriteString(" FROM " + s.From)
+		if s.FromAlias != "" {
+			b.WriteString(" " + s.FromAlias)
+		}
+		if s.Join != nil {
+			b.WriteString(" " + s.Join.String())
+		}
 	}
 	if s.Where != nil {
 		b.WriteString(" WHERE " + s.Where.String())
@@ -240,15 +299,23 @@ func (*Param) expr() {}
 
 func (e *Param) String() string { return fmt.Sprintf("$%d", e.Idx) }
 
-// ColumnRef references a column of the FROM table by name.
+// ColumnRef references a column of a FROM table by name, optionally
+// qualified by a table name or alias (Table is "" for bare references;
+// name resolution clears it once the reference is bound).
 type ColumnRef struct {
-	Name string
-	Pos  int
+	Table string
+	Name  string
+	Pos   int
 }
 
 func (*ColumnRef) expr() {}
 
-func (e *ColumnRef) String() string { return e.Name }
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
 
 // Unary is -x, +x or NOT x.
 type Unary struct {
@@ -275,11 +342,52 @@ type Binary struct {
 
 func (*Binary) expr() {}
 
+// String renders fully parenthesized, so the output re-parses to the
+// same tree (the parser-fuzz round-trip property).
 func (e *Binary) String() string {
-	return fmt.Sprintf("%s %s %s", e.L.String(), e.Op, e.R.String())
+	return fmt.Sprintf("(%s %s %s)", e.L.String(), e.Op, e.R.String())
 }
 
-// FuncCall is fn(args) or madlib.fn(args). Star marks count(*).
+// OverClause is the window specification of `fn(...) OVER (...)`.
+type OverClause struct {
+	PartitionBy []Expr
+	OrderBy     []OrderKey
+	Pos         int
+}
+
+func (o *OverClause) String() string {
+	var b strings.Builder
+	b.WriteString("OVER (")
+	if len(o.PartitionBy) > 0 {
+		b.WriteString("PARTITION BY ")
+		for i, e := range o.PartitionBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+	}
+	if len(o.OrderBy) > 0 {
+		if len(o.PartitionBy) > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString("ORDER BY ")
+		for i, k := range o.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.Expr.String())
+			if k.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// FuncCall is fn(args) or madlib.fn(args). Star marks count(*). A non-nil
+// Over makes the call a window function.
 type FuncCall struct {
 	// Schema is the optional qualifier; "madlib" selects the method
 	// namespace, empty the built-in aggregates.
@@ -287,6 +395,7 @@ type FuncCall struct {
 	Name   string
 	Args   []Expr
 	Star   bool
+	Over   *OverClause
 	Pos    int
 }
 
@@ -297,12 +406,18 @@ func (e *FuncCall) String() string {
 	if e.Schema != "" {
 		name = e.Schema + "." + name
 	}
+	var s string
 	if e.Star {
-		return name + "(*)"
+		s = name + "(*)"
+	} else {
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = a.String()
+		}
+		s = name + "(" + strings.Join(parts, ", ") + ")"
 	}
-	parts := make([]string, len(e.Args))
-	for i, a := range e.Args {
-		parts[i] = a.String()
+	if e.Over != nil {
+		s += " " + e.Over.String()
 	}
-	return name + "(" + strings.Join(parts, ", ") + ")"
+	return s
 }

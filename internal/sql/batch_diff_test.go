@@ -417,3 +417,167 @@ func TestBatchLanePrepared(t *testing.T) {
 		}
 	}
 }
+
+// newJoinDiffDB extends the diff table with a small dimension table
+// keyed on d.g, for exercising the relational (row-lane) shapes.
+func newJoinDiffDB(t *testing.T, rows int) *engine.DB {
+	t.Helper()
+	db := newDiffDB(t, rows)
+	dims, err := db.CreateTable("dims", engine.Schema{
+		{Name: "g", Kind: engine.Int},
+		{Name: "name", Kind: engine.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 5; g++ { // g=5,6 of d stay unmatched
+		if err := dims.Insert(int64(g), fmt.Sprintf("g%d", g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestRowLaneShapesPinned pins the planner's lane decision for the
+// relational shapes: joins, windows and DISTINCT always take the row
+// lane, while plain single-table shapes keep vectorizing.
+func TestRowLaneShapesPinned(t *testing.T) {
+	db := newJoinDiffDB(t, 300)
+	sess := NewSession(db)
+	plan := func(q string) stmtPlan {
+		t.Helper()
+		st, err := ParseStatement(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := sess.planStmt(st)
+		if err != nil {
+			t.Fatalf("plan %q: %v", q, err)
+		}
+		return pl
+	}
+	// Joined aggregate: row lane, join source recorded.
+	if ap := plan(`SELECT dims.name, sum(d.f) FROM d JOIN dims ON d.g = dims.g GROUP BY dims.name`).(*aggPlan); ap.batch != nil || ap.src.join == nil {
+		t.Fatal("joined aggregate must take the row lane with a join source")
+	}
+	// Joined scan: no vectorized filter.
+	if sp := plan(`SELECT d.i, dims.name FROM d JOIN dims ON d.g = dims.g WHERE d.f > 0`).(*scanPlan); sp.batchPred != nil || sp.src.join == nil {
+		t.Fatal("joined scan must not vectorize its filter")
+	}
+	// DISTINCT scan: row lane even though the WHERE clause batch-compiles.
+	if sp := plan(`SELECT DISTINCT g FROM d WHERE f > 0`).(*scanPlan); sp.batchPred != nil || !sp.distinct {
+		t.Fatal("DISTINCT scan must take the row lane")
+	}
+	// DISTINCT aggregate: row lane.
+	if ap := plan(`SELECT DISTINCT avg(f) FROM d GROUP BY g`).(*aggPlan); ap.batch != nil {
+		t.Fatal("DISTINCT aggregate must take the row lane")
+	}
+	// Window: its own plan type (always row lane).
+	if _, ok := plan(`SELECT row_number() OVER (PARTITION BY g ORDER BY f) FROM d`).(*windowPlan); !ok {
+		t.Fatal("window query must produce a windowPlan")
+	}
+	// Controls: the same shapes without join/DISTINCT still vectorize.
+	if ap := plan(`SELECT g, sum(f) FROM d WHERE f > 0 GROUP BY g`).(*aggPlan); ap.batch == nil {
+		t.Fatal("plain aggregate lost the batch lane")
+	}
+	if sp := plan(`SELECT i FROM d WHERE f > 0`).(*scanPlan); sp.batchPred == nil {
+		t.Fatal("plain scan filter lost the batch lane")
+	}
+}
+
+// TestRowLaneShapesCacheConsistency runs each row-lane shape three ways
+// — fresh plan, plan-cache hit, and a batch-disabled session — and
+// requires identical results. The cache hit is asserted via LastTiming.
+func TestRowLaneShapesCacheConsistency(t *testing.T) {
+	db := newJoinDiffDB(t, 400)
+	sess := NewSession(db)
+	rowSess := NewSession(db)
+	rowSess.SetBatchExecution(false)
+	queries := []string{
+		`SELECT d.g, dims.name, d.i FROM d JOIN dims ON d.g = dims.g WHERE d.f > 0 ORDER BY d.g, d.i, d.s LIMIT 40`,
+		`SELECT dims.name, count(*), sum(d.i), avg(d.f) FROM d JOIN dims ON d.g = dims.g GROUP BY dims.name ORDER BY dims.name`,
+		`SELECT d.g, dims.name FROM d LEFT JOIN dims ON d.g = dims.g ORDER BY d.g, d.i LIMIT 30`,
+		`SELECT count(dims.name), count(*) FROM d LEFT JOIN dims ON d.g = dims.g`,
+		`SELECT DISTINCT g, b FROM d ORDER BY g, b`,
+		`SELECT DISTINCT g FROM d WHERE i % 2 = 0 ORDER BY g`,
+		`SELECT g, row_number() OVER (PARTITION BY g ORDER BY i, f, s) rn FROM d ORDER BY g, rn LIMIT 50`,
+		`SELECT g, sum(f) OVER (PARTITION BY g ORDER BY i, s) rs FROM d WHERE i <> 0 ORDER BY g, rs LIMIT 50`,
+	}
+	for _, q := range queries {
+		first, err := sess.Query(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if sess.LastTiming().CacheHit {
+			t.Fatalf("%q: first execution cannot be a cache hit", q)
+		}
+		second, err := sess.Query(q)
+		if err != nil {
+			t.Fatalf("%q (cached): %v", q, err)
+		}
+		if !sess.LastTiming().CacheHit {
+			t.Fatalf("%q: second execution must hit the plan cache", q)
+		}
+		rowRes, err := rowSess.Query(q)
+		if err != nil {
+			t.Fatalf("%q (row session): %v", q, err)
+		}
+		if formatResult(first) != formatResult(second) {
+			t.Fatalf("%q: cache hit changed the result\n--- fresh ---\n%s\n--- cached ---\n%s",
+				q, formatResult(first), formatResult(second))
+		}
+		if formatResult(first) != formatResult(rowRes) {
+			t.Fatalf("%q: sessions diverge\n--- batch sess ---\n%s\n--- row sess ---\n%s",
+				q, formatResult(first), formatResult(rowRes))
+		}
+	}
+}
+
+// TestJoinPlanCacheInvalidation proves a cached join plan revalidates
+// BOTH table bindings: re-creating either side forces a replan instead
+// of executing against the dropped table.
+func TestJoinPlanCacheInvalidation(t *testing.T) {
+	db := newJoinDiffDB(t, 100)
+	sess := NewSession(db)
+	const q = `SELECT count(*) FROM d JOIN dims ON d.g = dims.g`
+	first, err := sess.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-create the RIGHT table through a different session: the cached
+	// plan's pointer check must notice.
+	other := NewSession(db)
+	if _, err := other.Exec(`DROP TABLE dims; CREATE TABLE dims (g bigint, name text)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Exec(`INSERT INTO dims VALUES (0, 'only')`); err != nil {
+		t.Fatal(err)
+	}
+	second, err := sess.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.LastTiming().CacheHit {
+		t.Fatal("stale join plan was executed from the cache after right-table DDL")
+	}
+	if formatResult(first) == formatResult(second) {
+		t.Fatal("replanned join should see the new (smaller) dims table")
+	}
+	// Same for the LEFT table.
+	if _, err := sess.Query(q); err != nil { // warm the cache again
+		t.Fatal(err)
+	}
+	if _, err := other.Exec(`DROP TABLE d; CREATE TABLE d (g bigint, f double precision); INSERT INTO d VALUES (0, 1.5)`); err != nil {
+		t.Fatal(err)
+	}
+	third, err := sess.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.LastTiming().CacheHit {
+		t.Fatal("stale join plan was executed from the cache after left-table DDL")
+	}
+	if got := third.Rows[0][0]; got != int64(1) {
+		t.Fatalf("replanned join count = %v, want 1", got)
+	}
+}

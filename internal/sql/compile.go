@@ -42,11 +42,11 @@ func (env *execEnv) paramList() []any {
 
 // compilePredicate compiles a WHERE clause, requiring a boolean result.
 // A nil clause compiles to a nil predicate (keep every row).
-func compilePredicate(where Expr, schema engine.Schema) (boolFn, error) {
+func compilePredicate(where Expr, cc *compileCtx) (boolFn, error) {
 	if where == nil {
 		return nil, nil
 	}
-	c, err := compileExpr(where, newCompileCtx(schema))
+	c, err := compileExpr(where, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +59,9 @@ func compilePredicate(where Expr, schema engine.Schema) (boolFn, error) {
 			v, err := fn(r, env)
 			if err != nil {
 				return false, err
+			}
+			if v == nil {
+				return false, nil // NULL is not true in predicate position
 			}
 			b, ok := v.(bool)
 			if !ok {
@@ -222,6 +225,9 @@ func (c *compiled) asBool(what string) (boolFn, error) {
 			if err != nil {
 				return false, err
 			}
+			if v == nil {
+				return false, nil // NULL is not true in predicate position
+			}
 			b, ok := v.(bool)
 			if !ok {
 				return false, execErrf("argument of %s must be boolean, not %s", what, valueTypeName(v))
@@ -233,14 +239,19 @@ func (c *compiled) asBool(what string) (boolFn, error) {
 	}
 }
 
-// compileCtx binds compilation to a table schema.
+// compileCtx binds compilation to a table schema. nullable marks columns
+// that can be NULL at run time (the padded side of a LEFT JOIN); their
+// references compile to boxed closures that consult the matchedIdx
+// marker column.
 type compileCtx struct {
-	schema engine.Schema
-	colIdx map[string]int
+	schema     engine.Schema
+	colIdx     map[string]int
+	nullable   []bool
+	matchedIdx int
 }
 
 func newCompileCtx(schema engine.Schema) *compileCtx {
-	return &compileCtx{schema: schema, colIdx: colIndexMap(schema)}
+	return &compileCtx{schema: schema, colIdx: colIndexMap(schema), matchedIdx: -1}
 }
 
 // compileExpr lowers e against the schema. Aggregate calls are rejected —
@@ -331,6 +342,30 @@ func compileColumnRef(x *ColumnRef, cc *compileCtx) (*compiled, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, x.Name)
 	}
+	if cc.nullable != nil && cc.nullable[ci] {
+		// Nullable (LEFT JOIN padded) column: box the value and yield
+		// NULL on rows whose matched marker is false.
+		mi := cc.matchedIdx
+		kind := cc.schema[ci].Kind
+		return cAny(func(r engine.Row, _ *execEnv) (any, error) {
+			if !r.Bool(mi) {
+				return nil, nil
+			}
+			switch kind {
+			case engine.Float:
+				return r.Float(ci), nil
+			case engine.Int:
+				return r.Int(ci), nil
+			case engine.String:
+				return r.Str(ci), nil
+			case engine.Bool:
+				return r.Bool(ci), nil
+			case engine.Vector:
+				return r.Vector(ci), nil
+			}
+			return nil, execErrf("column %q has unknown kind", x.Name)
+		}), nil
+	}
 	switch cc.schema[ci].Kind {
 	case engine.Float:
 		return cFloat(func(r engine.Row, _ *execEnv) (float64, error) { return r.Float(ci), nil }), nil
@@ -374,6 +409,8 @@ func compileUnary(x *Unary, cc *compileCtx) (*compiled, error) {
 					return nil, err
 				}
 				switch n := v.(type) {
+				case nil:
+					return nil, nil
 				case int64:
 					return -n, nil
 				case float64:
@@ -385,6 +422,22 @@ func compileUnary(x *Unary, cc *compileCtx) (*compiled, error) {
 			return nil, execErrf("cannot negate %s", c.kind)
 		}
 	case "NOT":
+		if c.kind == ckAny {
+			// NULL propagates through NOT (NOT NULL is NULL, which is
+			// then not-true in predicate position).
+			fn := c.a
+			return cAny(func(r engine.Row, env *execEnv) (any, error) {
+				v, err := fn(r, env)
+				if err != nil || v == nil {
+					return nil, err
+				}
+				b, ok := v.(bool)
+				if !ok {
+					return nil, execErrf("argument of NOT must be boolean, not %s", valueTypeName(v))
+				}
+				return !b, nil
+			}), nil
+		}
 		fn, err := c.asBool("NOT")
 		if err != nil {
 			return nil, err
@@ -700,6 +753,9 @@ func compileCompare(op string, l, r *compiled) (*compiled, error) {
 			if err != nil {
 				return false, err
 			}
+			if rv == nil {
+				return false, nil // comparisons with NULL are false
+			}
 			b, ok := toFloat(rv)
 			if !ok {
 				return false, execErrf("cannot compare %s with %s", lk, valueTypeName(rv))
@@ -720,6 +776,9 @@ func compileCompare(op string, l, r *compiled) (*compiled, error) {
 			lv, err := la(row, env)
 			if err != nil {
 				return false, err
+			}
+			if lv == nil {
+				return false, nil // comparisons with NULL are false
 			}
 			a, ok := toFloat(lv)
 			if !ok {
@@ -749,6 +808,9 @@ func compileCompare(op string, l, r *compiled) (*compiled, error) {
 		if err != nil {
 			return false, err
 		}
+		if a == nil || b == nil {
+			return false, nil // comparisons with NULL are false
+		}
 		c, err := compareValues(a, b)
 		if err != nil {
 			return false, err
@@ -760,6 +822,9 @@ func compileCompare(op string, l, r *compiled) (*compiled, error) {
 func compileFuncCall(x *FuncCall, cc *compileCtx) (*compiled, error) {
 	if x.Schema != "" && x.Schema != "madlib" {
 		return nil, execErrf("unknown schema %q", x.Schema)
+	}
+	if x.Over != nil {
+		return nil, execErrf("window function %s(...) OVER is only allowed in the SELECT list", x.Name)
 	}
 	if x.Star {
 		return nil, execErrf("%s(*) is only valid as an aggregate in a SELECT list", x.Name)
@@ -958,11 +1023,16 @@ func stmtMaxParam(st Statement) int {
 		for _, item := range x.Items {
 			see(item.Expr)
 		}
+		if x.Join != nil {
+			see(x.Join.On)
+		}
 		see(x.Where)
 		see(x.Having)
 		for _, k := range x.OrderBy {
 			see(k.Expr)
 		}
+	case *CreateTableAs:
+		return stmtMaxParam(x.Query)
 	case *Insert:
 		for _, row := range x.Rows {
 			for _, e := range row {

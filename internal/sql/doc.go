@@ -20,10 +20,15 @@
 // # Statements
 //
 //	CREATE TABLE [IF NOT EXISTS] name (col type, ...)
+//	CREATE TABLE [IF NOT EXISTS] name AS select
 //	DROP TABLE [IF EXISTS] name
 //	INSERT INTO name [(col, ...)] VALUES (expr, ...), ...
-//	SELECT item, ... [FROM name] [WHERE expr] [GROUP BY col, ...]
+//	SELECT [DISTINCT] item, ...
+//	       [FROM name [[AS] alias] [join]]
+//	       [WHERE expr] [GROUP BY [qual.]col, ...]
 //	       [HAVING expr] [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//	join := [INNER] JOIN name [[AS] alias] ON a.x = b.y
+//	      | LEFT [OUTER] JOIN name [[AS] alias] ON a.x = b.y
 //	PREPARE name AS select-or-insert
 //	EXECUTE name[(expr, ...)]
 //	DEALLOCATE [PREPARE] (name | ALL)
@@ -31,6 +36,68 @@
 // HAVING filters groups after aggregation and may reference aggregates
 // (also ones not in the SELECT list) and GROUP BY columns; without
 // GROUP BY it treats the whole table as one group.
+//
+// # Joins
+//
+// One two-table equi-join per SELECT, executed as a broadcast hash join
+// (engine.HashJoin): the right side is hashed once, left segments probe
+// in parallel, output rows stay on their probe row's segment. The ON
+// condition must be an equality of one bigint or text column from each
+// side. Columns are referenced bare (when unambiguous) or qualified by
+// table name or alias; right-side names that collide with left-side
+// names appear in SELECT * output prefixed with the right table's name.
+//
+// LEFT JOIN keeps unmatched left rows. The engine's columnar storage has
+// no NULL representation, so the join materializes a hidden boolean
+// marker column (engine.MatchedCol) and the planner compiles references
+// to right-side columns into NULL-aware closures: on unmatched rows they
+// evaluate to SQL NULL, which propagates through arithmetic and NOT, is
+// skipped by count(x)/sum/avg/min/max (count(*) still counts the row),
+// and renders empty. Comparisons with NULL are false (three-valued logic
+// collapsed to its predicate meaning: padded rows drop out of WHERE and
+// HAVING in either comparison direction), while in ORDER BY NULLs sort
+// before every non-NULL value. GROUP BY and madlib.* arguments over
+// nullable right-side columns are rejected at plan time rather than
+// silently reading the zero padding.
+//
+// # Window functions
+//
+//	row_number() OVER (PARTITION BY expr, ... ORDER BY expr [DESC], ...)
+//	rank()       OVER (...)            -- ORDER BY peers share a rank
+//	count(x|*)   OVER (...)            -- running count
+//	sum(x)       OVER (...)            -- running sum
+//	avg(x)       OVER (...)            -- running average
+//
+// Windows lower onto engine.RunWindow (§3.1.2 stateful iteration):
+// partitions fold in parallel, rows within a partition fold
+// sequentially in ORDER BY order carrying state. Running aggregates use
+// ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW framing (ORDER BY
+// peers are not collapsed — this deviates from the SQL default RANGE
+// framing and is pinned by the logictest corpus). ORDER BY inside the
+// OVER clause is required: whole-partition frames (OVER () or OVER
+// (PARTITION BY ...) without ORDER BY) would need a second pass and are
+// rejected rather than returning storage-order-dependent running
+// values. All window calls in one SELECT must share the same OVER
+// clause; window calls may not appear in WHERE/HAVING/ORDER BY or mix
+// with aggregate queries. Without a SELECT-level ORDER BY, output is
+// ordered by partition key value, then window order within each
+// partition.
+//
+// # DISTINCT and CREATE TABLE AS
+//
+// SELECT DISTINCT dedupes the projected rows (first occurrence wins)
+// using the same injective value encoding as composite group keys, so
+// -0/+0 and NaNs collapse exactly like GROUP BY keys. It composes with
+// scans, joins and aggregate outputs.
+//
+// CREATE TABLE name AS SELECT ... materializes any SELECT (including
+// joins, windows and DISTINCT) into a new permanent table — the
+// paper's §4.1 staging pipeline in pure SQL. Output column types are
+// inferred from the result values, so every column needs at least one
+// non-NULL value; NULLs cannot be stored (the engine has no NULL
+// representation), and expression columns must carry an alias so the
+// created column is referenceable. CTAS is DDL: it invalidates cached
+// plans like CREATE TABLE.
 //
 // Statements are ';'-separated; `--` starts a line comment. Unquoted
 // identifiers fold to lowercase, as in PostgreSQL.
@@ -85,7 +152,11 @@
 // row lane for: madlib.* aggregate calls (quantile, fmcount, ...),
 // Vector-typed operands (array literals, array_get, vector columns),
 // text/bool min/max, and $n parameters anywhere other than one side of
-// a comparison. Session.SetBatchExecution(false) forces the row lane.
+// a comparison. The relational shapes — JOIN, window functions and
+// SELECT DISTINCT — always take the row lane (windows fold
+// sequentially by definition; joins and DISTINCT dedupe/materialize
+// boxed rows); TestRowLaneShapesPinned pins that decision.
+// Session.SetBatchExecution(false) forces the row lane everywhere.
 //
 // Each Session keeps an LRU plan cache keyed by statement text:
 // re-executing the same text skips parsing and planning entirely. The
@@ -165,8 +236,17 @@
 // unqualified spelling (linregr(...) without the madlib. prefix)
 // resolves through the same registry.
 //
+// # Testing
+//
+// Behavior is pinned three ways: the golden-file SQL logic tests
+// (internal/sql/logictest, a sqllogictest-dialect runner over
+// testdata/*.slt — see its README for adding cases), the row-vs-batch
+// differential harness (batch_diff_test.go), and FuzzParse (seeded from
+// the logictest corpus; asserts the parser never panics and that
+// String()-rendered SELECTs re-parse to a fixed point).
+//
 // # Not yet supported
 //
-// JOINs, window functions, DISTINCT, subqueries and a wire protocol are
-// tracked as ROADMAP open items.
+// Multi-way (>2 table) joins, subqueries, UPDATE/DELETE and a wire
+// protocol are tracked as ROADMAP open items.
 package sql

@@ -168,6 +168,107 @@ func (s *Session) execCreate(st *CreateTable) (*Result, error) {
 	return &Result{Tag: "CREATE TABLE"}, nil
 }
 
+// execCreateTableAs runs CREATE TABLE name AS SELECT ...: the query
+// executes like any SELECT, the output column kinds are inferred from
+// the result values, and the rows land in a fresh permanent table — the
+// paper's staging pipeline (§4.1) in one statement.
+func (s *Session) execCreateTableAs(st *CreateTableAs) (*Result, error) {
+	if _, err := s.db.Table(st.Name); err == nil {
+		if st.IfNotExists {
+			return &Result{Tag: "CREATE TABLE"}, nil
+		}
+		return nil, fmt.Errorf("%w: %q", engine.ErrTableExists, st.Name)
+	}
+	if n := stmtMaxParam(st.Query); n > 0 {
+		return nil, execErrf("query uses parameter $%d; CREATE TABLE AS cannot be parameterized", n)
+	}
+	pl, err := s.planSelect(st.Query)
+	if err != nil {
+		return nil, err
+	}
+	r, err := pl.exec(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Cols) == 0 {
+		return nil, execErrf("CREATE TABLE AS requires a query that returns columns")
+	}
+	schema := make(engine.Schema, len(r.Cols))
+	for i, name := range r.Cols {
+		if !isValidColumnName(name) {
+			return nil, execErrf("CREATE TABLE AS output column %d has no usable name (%q); add an alias (AS name)", i+1, name)
+		}
+		kind, err := resultColumnKind(r.Rows, i, name)
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = engine.Column{Name: name, Kind: kind}
+	}
+	t, err := s.db.CreateTable(st.Name, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range r.Rows {
+		vals := make([]any, len(schema))
+		for i := range schema {
+			if row[i] == nil {
+				_ = s.db.DropTable(st.Name)
+				return nil, execErrf("column %q: NULL values cannot be stored (the engine has no NULL representation)", schema[i].Name)
+			}
+			cv, err := coerceValue(row[i], schema[i].Kind)
+			if err != nil {
+				_ = s.db.DropTable(st.Name)
+				return nil, fmt.Errorf("sql: column %q: %w", schema[i].Name, err)
+			}
+			vals[i] = cv
+		}
+		if err := t.Insert(vals...); err != nil {
+			_ = s.db.DropTable(st.Name)
+			return nil, err
+		}
+	}
+	return &Result{Tag: fmt.Sprintf("SELECT %d", len(r.Rows))}, nil
+}
+
+// isValidColumnName reports whether a result column name is a plain
+// identifier the grammar can reference later (rejects "?column?" from
+// unaliased expressions — the dialect has no quoted identifiers).
+func isValidColumnName(name string) bool {
+	if name == "" || !isIdentStart(name[0]) {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		if !isIdentPart(name[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// resultColumnKind infers a result column's storage kind from its first
+// non-NULL value.
+func resultColumnKind(rows [][]any, i int, name string) (engine.Kind, error) {
+	for _, row := range rows {
+		switch row[i].(type) {
+		case nil:
+			continue
+		case int64:
+			return engine.Int, nil
+		case float64:
+			return engine.Float, nil
+		case string:
+			return engine.String, nil
+		case bool:
+			return engine.Bool, nil
+		case []float64:
+			return engine.Vector, nil
+		default:
+			return 0, execErrf("cannot store column %q (%T) in a table", name, row[i])
+		}
+	}
+	return 0, execErrf("cannot infer the type of column %q: the query produced no non-NULL values (CREATE TABLE AS needs at least one row per column)", name)
+}
+
 func (s *Session) execDrop(st *DropTable) (*Result, error) {
 	if err := s.db.DropTable(st.Name); err != nil {
 		if st.IfExists && errors.Is(err, engine.ErrNoTable) {
@@ -293,19 +394,39 @@ func coerceValue(v any, kind engine.Kind) (any, error) {
 	return nil, fmt.Errorf("%w: %s value into %s column", engine.ErrType, valueTypeName(v), kind)
 }
 
-// planSelect classifies a SELECT — constant, table-valued madlib call,
-// aggregate query, or plain scan — and lowers it.
+// planSelect classifies a SELECT — constant, window, table-valued madlib
+// call, aggregate query, or plain scan — and lowers it. The FROM clause
+// (base table or join) resolves to a planSource first; qualified column
+// references are rewritten to planning-schema names in the same pass.
 func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 	// FROM-less SELECT: constant expressions, one row.
 	if st.From == "" {
 		return planConstSelect(st)
 	}
-	t, err := s.db.Table(st.From)
+	ps, rst, err := s.resolveSelect(st)
 	if err != nil {
 		return nil, err
 	}
+	st = rst
 	if st.Where != nil && exprHasAgg(st.Where) {
 		return nil, execErrf("aggregate functions are not allowed in WHERE")
+	}
+	if exprHasWindow(st.Where) || exprHasWindow(st.Having) {
+		return nil, execErrf("window functions are not allowed in WHERE or HAVING")
+	}
+	for _, k := range st.OrderBy {
+		if exprHasWindow(k.Expr) {
+			return nil, execErrf("window functions in ORDER BY are not supported; project them with an alias and sort on that")
+		}
+	}
+	hasWindow := false
+	for _, item := range st.Items {
+		if !item.Star && exprHasWindow(item.Expr) {
+			hasWindow = true
+		}
+	}
+	if hasWindow {
+		return planWindowSelect(st, ps)
 	}
 	for _, item := range st.Items {
 		if item.Star {
@@ -325,7 +446,13 @@ func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 			if st.Having != nil {
 				return nil, execErrf("HAVING cannot be combined with table-valued madlib functions")
 			}
-			return planTableValued(st, t, call)
+			if ps.join != nil {
+				return nil, execErrf("table-valued madlib functions cannot be combined with JOIN; stage the join with CREATE TABLE ... AS first")
+			}
+			if st.Distinct {
+				return nil, execErrf("SELECT DISTINCT cannot be combined with table-valued madlib functions")
+			}
+			return planTableValued(st, ps.table, call)
 		}
 		if item.Expand {
 			return nil, execErrf("composite expansion (.*) only applies to madlib table-valued functions")
@@ -337,10 +464,13 @@ func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 			isAgg = true
 		}
 	}
+	// Lane decision: joined and DISTINCT plans take the row lane (the
+	// semantic oracle); only plain single-table shapes may vectorize.
+	batchOK := s.batchEnabled() && ps.join == nil && !st.Distinct
 	if isAgg {
-		return planAggSelect(st, t, s.batchEnabled())
+		return planAggSelect(st, ps, batchOK)
 	}
-	return planScanSelect(st, t, s.batchEnabled())
+	return planScanSelect(st, ps, batchOK)
 }
 
 // constPlan evaluates a FROM-less SELECT (e.g. SELECT 1+2, SELECT $1+$2).
@@ -358,6 +488,9 @@ func planConstSelect(st *Select) (stmtPlan, error) {
 		}
 		if exprHasAgg(item.Expr) {
 			return nil, execErrf("aggregate functions require a FROM clause")
+		}
+		if exprHasWindow(item.Expr) {
+			return nil, execErrf("window functions require a FROM clause")
 		}
 	}
 	for _, key := range st.OrderBy {
@@ -423,13 +556,15 @@ func enginePred(fn boolFn, env *execEnv, errPtr *atomic.Value) func(engine.Row) 
 // [ORDER BY] [LIMIT], all expressions compiled to closures. When the
 // WHERE clause also lowers to a batch kernel, the scan filters whole
 // column batches through a selection vector and only materializes the
-// surviving rows (batchPred/batchProg non-nil).
+// surviving rows (batchPred/batchProg non-nil). Join sources materialize
+// a temp table per execution; DISTINCT plans dedupe the projected rows
+// and always stay on the row lane.
 type scanPlan struct {
-	name    string
-	table   *engine.Table
-	cols    []string
-	itemFns []anyFn
-	pred    boolFn
+	src      *planSource
+	distinct bool
+	cols     []string
+	itemFns  []anyFn
+	pred     boolFn
 	// orderOrds[k] is the projected-column ordinal of ORDER BY key k, or
 	// -1 when the key is a compiled expression over the input row.
 	orderOrds []int
@@ -451,21 +586,22 @@ type scanBatchState struct {
 	predOut []bool
 }
 
-func planScanSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error) {
-	schema := t.Schema()
-	cc := newCompileCtx(schema)
-	// Expand * into column refs.
+func planScanSelect(st *Select, ps *planSource, batchOK bool) (stmtPlan, error) {
+	schema := ps.schema
+	cc := ps.newCompileCtx()
+	// Expand * into column refs (join sources already expanded during
+	// resolution; ps.visible hides the outer-join marker either way).
 	var items []SelectItem
 	for _, item := range st.Items {
 		if item.Star {
-			for _, c := range schema {
+			for _, c := range schema[:ps.visible] {
 				items = append(items, SelectItem{Expr: &ColumnRef{Name: c.Name}})
 			}
 			continue
 		}
 		items = append(items, item)
 	}
-	p := &scanPlan{name: st.From, table: t, limit: st.Limit}
+	p := &scanPlan{src: ps, distinct: st.Distinct, limit: st.Limit}
 	p.cols = make([]string, len(items))
 	p.itemFns = make([]anyFn, len(items))
 	for i, item := range items {
@@ -484,6 +620,20 @@ func planScanSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error)
 		if err != nil {
 			return nil, err
 		}
+		// A key that labels or textually equals a projected item sorts
+		// by that output column (ORDER BY alias; required for DISTINCT,
+		// cheaper in general).
+		if !isOrd {
+			isInput := func(name string) bool { _, in := cc.colIdx[name]; return in }
+			if oi, out := outputKeyOrdinal(key.Expr, items, p.cols, isInput); out {
+				ord, isOrd = oi, true
+			}
+		}
+		if !isOrd && p.distinct {
+			// Sorting deduplicated rows by a non-projected expression
+			// would depend on which duplicate happened to survive.
+			return nil, execErrf("for SELECT DISTINCT, ORDER BY expressions must appear in the select list")
+		}
 		if isOrd {
 			p.orderOrds = append(p.orderOrds, ord)
 			p.orderFns = append(p.orderFns, nil)
@@ -500,7 +650,7 @@ func planScanSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error)
 		p.desc = append(p.desc, key.Desc)
 	}
 	var err error
-	p.pred, err = compilePredicate(st.Where, schema)
+	p.pred, err = compilePredicate(st.Where, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -514,15 +664,17 @@ func planScanSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error)
 	return p, nil
 }
 
-func (p *scanPlan) valid(db *engine.DB) bool {
-	t, err := db.Table(p.name)
-	return err == nil && t == p.table
-}
+func (p *scanPlan) valid(db *engine.DB) bool { return p.src.valid(db) }
 
 func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
+	input, cleanup, err := p.src.acquire(s)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
 	// Scan segment-parallel, buffering per segment to keep output
 	// deterministic (segment order, row order within a segment).
-	nseg := len(p.table.Segments())
+	nseg := len(input.Segments())
 	segRows := make([][][]any, nseg)
 	segKeys := make([][][]any, nseg)
 	ordered := len(p.desc) > 0
@@ -569,7 +721,7 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 				}
 			}
 		}()
-		scanErr = s.db.ForEachBatch(p.table, func(segIdx int, b engine.ColBatch) error {
+		scanErr = s.db.ForEachBatch(input, func(segIdx int, b engine.ColBatch) error {
 			st := states[segIdx]
 			if st == nil {
 				st, _ = p.batchPool.Get().(*scanBatchState)
@@ -596,7 +748,7 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		})
 	} else {
 		pred := enginePred(p.pred, env, &predErr)
-		scanErr = s.db.ForEachSegment(p.table, func(segIdx int, row engine.Row) error {
+		scanErr = s.db.ForEachSegment(input, func(segIdx int, row engine.Row) error {
 			if pred != nil && !pred(row) {
 				return nil
 			}
@@ -614,6 +766,9 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		rows = append(rows, segRows[i]...)
 		keys = append(keys, segKeys[i]...)
 	}
+	if p.distinct {
+		rows, keys = dedupeRows(rows, keys)
+	}
 	if ordered {
 		if err := sortRows(rows, keys, p.desc); err != nil {
 			return nil, err
@@ -621,6 +776,97 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	}
 	rows = applyLimit(rows, p.limit)
 	return &Result{Cols: p.cols, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+}
+
+// dedupeRows collapses duplicate projected rows (SELECT DISTINCT),
+// keeping the first occurrence and its ORDER BY keys. It reuses the
+// GroupKey idea — an injective byte encoding of the full row — with a
+// plain hash set, since no aggregate state is carried.
+func dedupeRows(rows, keys [][]any) ([][]any, [][]any) {
+	if len(rows) < 2 {
+		return rows, keys
+	}
+	seen := make(map[string]struct{}, len(rows))
+	outRows := rows[:0]
+	outKeys := keys
+	if keys != nil {
+		outKeys = keys[:0]
+	}
+	var buf []byte
+	for i, row := range rows {
+		buf = buf[:0]
+		for _, v := range row {
+			buf = appendValKey(buf, v)
+		}
+		k := string(buf)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		outRows = append(outRows, row)
+		if keys != nil {
+			outKeys = append(outKeys, keys[i])
+		}
+	}
+	return outRows, outKeys
+}
+
+// appendValKey encodes one output value injectively for DISTINCT
+// comparison: a kind tag plus a fixed-width or length-prefixed payload,
+// with -0/NaN canonicalized like group keys.
+func appendValKey(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, 'n')
+	case int64:
+		buf = append(buf, 'i')
+		return binary.LittleEndian.AppendUint64(buf, uint64(x))
+	case float64:
+		buf = append(buf, 'f')
+		return binary.LittleEndian.AppendUint64(buf, uint64(floatKeyBits(x)))
+	case string:
+		buf = append(buf, 's')
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...)
+	case bool:
+		if x {
+			return append(buf, 'T')
+		}
+		return append(buf, 'F')
+	case []float64:
+		buf = append(buf, 'v')
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		for _, f := range x {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(floatKeyBits(f)))
+		}
+		return buf
+	}
+	// Unknown kinds (not producible by the executor) fall back to their
+	// printed form.
+	buf = append(buf, 'x')
+	return append(buf, fmt.Sprintf("%v", v)...)
+}
+
+// outputKeyOrdinal maps an ORDER BY key onto a projected column: a bare
+// name that labels an output column (and is not shadowed by an input
+// column, per isInputCol) or an expression textually equal to a
+// projected item. DISTINCT requires every sort key to resolve this way,
+// so sorting deduplicated rows stays a function of the output row alone.
+func outputKeyOrdinal(key Expr, items []SelectItem, outNames []string, isInputCol func(string) bool) (int, bool) {
+	if cr, ok := key.(*ColumnRef); ok && cr.Table == "" && !isInputCol(cr.Name) {
+		for i, n := range outNames {
+			if n == cr.Name {
+				return i, true
+			}
+		}
+	}
+	ks := key.String()
+	for i, item := range items {
+		if !item.Star && item.Expr != nil && item.Expr.String() == ks {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // ordinal recognizes ORDER BY position literals. A bare integer literal
@@ -657,8 +903,7 @@ func applyLimit(rows [][]any, limit int64) [][]any {
 // vectorized lane (batch) and executes through it; the row lane stays as
 // the semantic oracle and the fallback.
 type aggPlan struct {
-	name     string
-	table    *engine.Table
+	src      *planSource
 	schema   engine.Schema
 	st       *Select
 	groupIdx []int
@@ -672,15 +917,19 @@ type aggPlan struct {
 	batch    *batchAggLane                    // nil = row lane only
 }
 
-func planAggSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error) {
-	schema := t.Schema()
-	p := &aggPlan{name: st.From, table: t, schema: schema, st: st}
+func planAggSelect(st *Select, ps *planSource, batchOK bool) (stmtPlan, error) {
+	schema := ps.schema
+	cc := ps.newCompileCtx()
+	p := &aggPlan{src: ps, schema: schema, st: st}
 	// Resolve GROUP BY columns.
 	p.groupIdx = make([]int, len(st.GroupBy))
 	for i, name := range st.GroupBy {
 		ci := schema.Index(name)
 		if ci < 0 {
 			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, name)
+		}
+		if ps.nullable != nil && ps.nullable[ci] {
+			return nil, execErrf("GROUP BY on column %q from the nullable side of a LEFT JOIN is not supported", name)
 		}
 		p.groupIdx[i] = ci
 	}
@@ -698,7 +947,7 @@ func planAggSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error) 
 			if _, done := p.slotOf[call]; done {
 				continue
 			}
-			b, err := buildAggregate(call, schema)
+			b, err := buildAggregate(call, cc)
 			if err != nil {
 				return err
 			}
@@ -754,12 +1003,17 @@ func planAggSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error) 
 		if isOrd {
 			continue
 		}
+		if st.Distinct {
+			if _, ok := outputKeyOrdinal(key.Expr, st.Items, p.outNames, func(string) bool { return false }); !ok {
+				return nil, execErrf("for SELECT DISTINCT, ORDER BY expressions must appear in the select list")
+			}
+		}
 		if err := addSlots(key.Expr); err != nil {
 			return nil, err
 		}
 	}
 	var err error
-	p.pred, err = compilePredicate(st.Where, schema)
+	p.pred, err = compilePredicate(st.Where, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -772,10 +1026,7 @@ func planAggSelect(st *Select, t *engine.Table, batchOK bool) (stmtPlan, error) 
 	return p, nil
 }
 
-func (p *aggPlan) valid(db *engine.DB) bool {
-	t, err := db.Table(p.name)
-	return err == nil && t == p.table
-}
+func (p *aggPlan) valid(db *engine.DB) bool { return p.src.valid(db) }
 
 // evalGroup evaluates one group's output row (and ORDER BY keys) from its
 // finalized slot values. This stage runs once per group, so it stays on
@@ -815,9 +1066,9 @@ func (p *aggPlan) evalGroup(ms *multiState, env *execEnv) ([]any, []any, error) 
 	return row, keys, nil
 }
 
-// execRowLane runs the per-row two-phase aggregate and returns one
-// multiState per group.
-func (p *aggPlan) execRowLane(s *Session, env *execEnv) ([]*multiState, error) {
+// execRowLane runs the per-row two-phase aggregate over the input table
+// and returns one multiState per group.
+func (p *aggPlan) execRowLane(s *Session, env *execEnv, input *engine.Table) ([]*multiState, error) {
 	aggs := make([]engine.Aggregate, len(p.builders))
 	for i, b := range p.builders {
 		a, err := b(env)
@@ -834,9 +1085,9 @@ func (p *aggPlan) execRowLane(s *Session, env *execEnv) ([]*multiState, error) {
 		var v any
 		var err error
 		if pred == nil {
-			v, err = s.db.Run(p.table, multi)
+			v, err = s.db.Run(input, multi)
 		} else {
-			v, err = s.db.RunFiltered(p.table, pred, multi)
+			v, err = s.db.RunFiltered(input, pred, multi)
 		}
 		if err != nil {
 			return nil, err
@@ -846,7 +1097,7 @@ func (p *aggPlan) execRowLane(s *Session, env *execEnv) ([]*multiState, error) {
 		}
 		return []*multiState{v.(*multiState)}, nil
 	}
-	groups, err := s.db.RunGroupByKey(p.table, pred, p.keyFn, multi)
+	groups, err := s.db.RunGroupByKey(input, pred, p.keyFn, multi)
 	if err != nil {
 		return nil, err
 	}
@@ -871,6 +1122,9 @@ func (p *aggPlan) evalHaving(ms *multiState, env *execEnv) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	if v == nil {
+		return false, nil // NULL is not true in predicate position
+	}
 	b, ok := v.(bool)
 	if !ok {
 		return false, execErrf("argument of HAVING must be boolean, not %s", valueTypeName(v))
@@ -880,12 +1134,16 @@ func (p *aggPlan) evalHaving(ms *multiState, env *execEnv) (bool, error) {
 
 func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	st := p.st
+	input, cleanup, err := p.src.acquire(s)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
 	var states []*multiState
-	var err error
 	if p.batch != nil {
 		states, err = p.execBatch(s, env)
 	} else {
-		states, err = p.execRowLane(s, env)
+		states, err = p.execRowLane(s, env, input)
 	}
 	if err != nil {
 		return nil, err
@@ -927,6 +1185,9 @@ func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		}
 		rows = append(rows, row)
 		keys = append(keys, kv)
+	}
+	if st.Distinct {
+		rows, keys = dedupeRows(rows, keys)
 	}
 	if len(st.OrderBy) > 0 {
 		desc := make([]bool, len(st.OrderBy))
@@ -1123,7 +1384,7 @@ func planTableValued(st *Select, t *engine.Table, call *FuncCall) (stmtPlan, err
 	p := &tvPlan{name: st.From, table: t, st: st, call: call, fn: f}
 	schema := t.Schema()
 	var err error
-	p.pred, err = compilePredicate(st.Where, schema)
+	p.pred, err = compilePredicate(st.Where, newCompileCtx(schema))
 	if err != nil {
 		return nil, err
 	}

@@ -589,7 +589,7 @@ func (p *aggPlan) execBatch(s *Session, env *execEnv) ([]*multiState, error) {
 	grouped := len(p.groupIdx) > 0
 	// Track every segment state so the scratch returns to the pool even
 	// when a kernel errors mid-scan.
-	tracked := make([]*batchSegState, len(p.table.Segments()))
+	tracked := make([]*batchSegState, len(p.src.table.Segments()))
 	newSeg := func(i int) any {
 		st := ln.newSegState(env, grouped)
 		tracked[i] = st
@@ -603,7 +603,7 @@ func (p *aggPlan) execBatch(s *Session, env *execEnv) ([]*multiState, error) {
 		}
 	}()
 	if !grouped {
-		v, err := s.db.RunBatched(p.table, newSeg,
+		v, err := s.db.RunBatched(p.src.table, newSeg,
 			func(state any, b engine.ColBatch) error {
 				return ln.processUngrouped(state.(*batchSegState), b)
 			},
@@ -623,7 +623,7 @@ func (p *aggPlan) execBatch(s *Session, env *execEnv) ([]*multiState, error) {
 		}
 		return []*multiState{ms}, nil
 	}
-	groups, err := s.db.RunGroupByBatched(p.table, newSeg,
+	groups, err := s.db.RunGroupByBatched(p.src.table, newSeg,
 		func(state any, b engine.ColBatch) error {
 			return ln.processGrouped(state.(*batchSegState), b)
 		},

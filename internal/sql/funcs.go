@@ -8,6 +8,7 @@ import (
 	"madlib/internal/bayes"
 	"madlib/internal/bootstrap"
 	"madlib/internal/core"
+	"madlib/internal/crf"
 	"madlib/internal/dtree"
 	"madlib/internal/engine"
 	"madlib/internal/kmeans"
@@ -93,6 +94,12 @@ func init() {
 			Signature: "bootstrap(expr [, iterations [, fraction [, seed]]])",
 			Help:      "m-of-n bootstrap of the mean of expr (§3.1.2 virtual-table pattern)",
 			Invoke:    invokeBootstrap,
+		},
+		{
+			Name: "crf", Kind: core.SQLTableValued,
+			Signature: "crf(words, tags [, max_passes])",
+			Help:      "linear-chain CRF training over a sentence table (§5); words/tags are space-separated token columns",
+			Invoke:    invokeCRF,
 		},
 		{
 			Name: "quantile", Kind: core.SQLAggregate,
@@ -888,6 +895,58 @@ func invokeBootstrap(db *engine.DB, t *engine.Table, args []any) (engine.Schema,
 		{Name: "iterations", Kind: engine.Int},
 	}
 	return out, [][]any{{res.Mean, res.StdErr, res.CILow, res.CIHigh, int64(len(res.Estimates))}}, nil
+}
+
+func invokeCRF(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("crf", args, 2, 3); err != nil {
+		return nil, nil, err
+	}
+	schema := t.Schema()
+	wordsCol, err := colNameArg("crf", schema, args, 0, engine.String)
+	if err != nil {
+		return nil, nil, err
+	}
+	tagsCol, err := colNameArg("crf", schema, args, 1, engine.String)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := crf.TrainOptions{}
+	if len(args) == 3 {
+		passes, err := intArg("crf", args, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.MaxPasses = int(passes)
+	}
+	// One sentence per row: words and tags are space-separated, parallel
+	// token lists (the SQL-typable flavor of crf.LoadCorpus's layout).
+	wi, ti := schema.Index(wordsCol), schema.Index(tagsCol)
+	var corpus []crf.Sentence
+	for _, row := range db.Rows(t) {
+		words := strings.Fields(row[wi].(string))
+		tags := strings.Fields(row[ti].(string))
+		if len(words) != len(tags) {
+			return nil, nil, fmt.Errorf("crf: sentence has %d words but %d tags", len(words), len(tags))
+		}
+		if len(words) == 0 {
+			continue
+		}
+		sent := make(crf.Sentence, len(words))
+		for i := range words {
+			sent[i] = crf.Token{Word: words[i], Tag: tags[i]}
+		}
+		corpus = append(corpus, sent)
+	}
+	m, err := crf.Train(corpus, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "tags", Kind: engine.Int},
+		{Name: "features", Kind: engine.Int},
+		{Name: "sentences", Kind: engine.Int},
+	}
+	return out, [][]any{{int64(len(m.Tags)), int64(m.FeatureCount()), int64(len(corpus))}}, nil
 }
 
 func invokeProfile(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {

@@ -144,3 +144,39 @@ func TestExecTableValuedWithParams(t *testing.T) {
 		t.Fatalf("param+column madlib argument: %v", err)
 	}
 }
+
+func TestExecMadlibCRF(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE sentences (words text, tags text)`)
+	for _, pair := range [][2]string{
+		{"the dog runs", "DT NN VB"},
+		{"the cat sleeps", "DT NN VB"},
+		{"a dog barks", "DT NN VB"},
+		{"dogs run", "NN VB"},
+	} {
+		mustExec(t, s, fmt.Sprintf(`INSERT INTO sentences VALUES ('%s', '%s')`, pair[0], pair[1]))
+	}
+	r := mustQuery(t, s, `SELECT (madlib.crf(words, tags, 5)).* FROM sentences`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Cols[0] != "tags" || r.Cols[1] != "features" || r.Cols[2] != "sentences" {
+		t.Fatalf("cols = %v", r.Cols)
+	}
+	row := r.Rows[0]
+	if row[0] != int64(3) { // DT, NN, VB
+		t.Fatalf("tags = %v", row[0])
+	}
+	if row[1].(int64) <= 0 {
+		t.Fatalf("features = %v", row[1])
+	}
+	if row[2] != int64(4) {
+		t.Fatalf("sentences = %v", row[2])
+	}
+	// Mismatched token counts surface as a clean SQL error.
+	mustExec(t, s, `CREATE TABLE bad (words text, tags text)`)
+	mustExec(t, s, `INSERT INTO bad VALUES ('one two', 'DT')`)
+	if _, err := s.Query(`SELECT (madlib.crf(words, tags)).* FROM bad`); err == nil {
+		t.Fatal("mismatched words/tags should error")
+	}
+}

@@ -108,7 +108,7 @@ func TestParseHaving(t *testing.T) {
 	if sel.Having == nil {
 		t.Fatal("Having not parsed")
 	}
-	if got := sel.String(); !strings.Contains(got, "HAVING count(*) > 1") {
+	if got := sel.String(); !strings.Contains(got, "HAVING (count(*) > 1)") {
 		t.Fatalf("String() = %q", got)
 	}
 	// HAVING is a reserved word: it cannot be eaten as an implicit alias.

@@ -1,0 +1,189 @@
+// Package logictest is a golden-file SQL logic-test harness over the
+// SQL front-end — a subset of the sqllogictest dialect. Each
+// testdata/*.slt file is a script of records executed top to bottom
+// against one fresh Session, so every SQL feature lands with a
+// declarative, diffable test and new cases cost one text block (see
+// README.md for the format and how to add a case).
+package logictest
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"madlib/internal/engine"
+	"madlib/internal/sql"
+)
+
+// Record is one directive of a .slt file.
+type Record struct {
+	// Kind is "statement" or "query".
+	Kind string
+	// Arg is "ok" or an expected-error substring for statements, and the
+	// column-type string (one of I/R/T/B per column) for queries.
+	Arg string
+	// RowSort sorts actual and expected rows before comparing (for
+	// queries whose order is not pinned by ORDER BY).
+	RowSort bool
+	// SQL is the statement text (may span lines).
+	SQL string
+	// Expected holds the expected result lines of a query record.
+	Expected []string
+	// Line is the 1-based line of the directive, for error messages.
+	Line int
+}
+
+// ParseFile reads a .slt script into records.
+func ParseFile(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	var recs []Record
+	i := 0
+	for i < len(lines) {
+		line := strings.TrimSpace(lines[i])
+		if line == "" || strings.HasPrefix(line, "#") {
+			i++
+			continue
+		}
+		fields := strings.Fields(line)
+		rec := Record{Kind: fields[0], Line: i + 1}
+		switch fields[0] {
+		case "statement":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("%s:%d: statement needs 'ok' or 'error <substring>'", path, i+1)
+			}
+			if fields[1] == "ok" {
+				rec.Arg = "ok"
+			} else if fields[1] == "error" {
+				rec.Arg = strings.TrimSpace(strings.TrimPrefix(line, "statement error"))
+				rec.Kind = "statement-error"
+			} else {
+				return nil, fmt.Errorf("%s:%d: unknown statement directive %q", path, i+1, fields[1])
+			}
+			i++
+			var sqlLines []string
+			for i < len(lines) && strings.TrimSpace(lines[i]) != "" {
+				sqlLines = append(sqlLines, lines[i])
+				i++
+			}
+			rec.SQL = strings.Join(sqlLines, "\n")
+		case "query":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("%s:%d: query needs a type string (I/R/T/B per column)", path, i+1)
+			}
+			rec.Arg = fields[1]
+			for _, c := range rec.Arg {
+				if !strings.ContainsRune("IRTB", c) {
+					return nil, fmt.Errorf("%s:%d: bad column type %q (want I, R, T or B)", path, i+1, string(c))
+				}
+			}
+			if len(fields) > 2 {
+				if fields[2] != "rowsort" {
+					return nil, fmt.Errorf("%s:%d: unknown query option %q", path, i+1, fields[2])
+				}
+				rec.RowSort = true
+			}
+			i++
+			var sqlLines []string
+			for i < len(lines) && strings.TrimSpace(lines[i]) != "----" {
+				if strings.TrimSpace(lines[i]) == "" {
+					return nil, fmt.Errorf("%s:%d: query needs a ---- separator before the expected rows", path, rec.Line)
+				}
+				sqlLines = append(sqlLines, lines[i])
+				i++
+			}
+			if i >= len(lines) {
+				return nil, fmt.Errorf("%s:%d: query missing ---- separator", path, rec.Line)
+			}
+			i++ // skip ----
+			rec.SQL = strings.Join(sqlLines, "\n")
+			for i < len(lines) && strings.TrimSpace(lines[i]) != "" {
+				rec.Expected = append(rec.Expected, strings.TrimSpace(lines[i]))
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown directive %q", path, i+1, fields[0])
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// FormatRow renders one result row the way expected lines are written:
+// values space-separated, NULL for nil, (empty) for the empty string.
+func FormatRow(row []any) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		switch {
+		case v == nil:
+			parts[i] = "NULL"
+		case v == "":
+			parts[i] = "(empty)"
+		default:
+			parts[i] = sql.FormatValue(v)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// RunFile executes every record of a script against a fresh session and
+// returns the first mismatch as an error (nil when the file passes).
+func RunFile(path string) error {
+	db := engine.Open(4)
+	sess := sql.NewSession(db)
+	recs, err := ParseFile(path)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		where := fmt.Sprintf("%s:%d", path, rec.Line)
+		switch rec.Kind {
+		case "statement":
+			if _, err := sess.Exec(rec.SQL); err != nil {
+				return fmt.Errorf("%s: statement failed: %v\nSQL: %s", where, err, rec.SQL)
+			}
+		case "statement-error":
+			_, err := sess.Exec(rec.SQL)
+			if err == nil {
+				return fmt.Errorf("%s: statement should have failed\nSQL: %s", where, rec.SQL)
+			}
+			if rec.Arg != "" && !strings.Contains(err.Error(), rec.Arg) {
+				return fmt.Errorf("%s: error %q does not contain %q", where, err.Error(), rec.Arg)
+			}
+		case "query":
+			res, err := sess.Query(rec.SQL)
+			if err != nil {
+				return fmt.Errorf("%s: query failed: %v\nSQL: %s", where, err, rec.SQL)
+			}
+			if len(res.Cols) != len(rec.Arg) {
+				return fmt.Errorf("%s: query returned %d columns, type string %q wants %d",
+					where, len(res.Cols), rec.Arg, len(rec.Arg))
+			}
+			actual := make([]string, len(res.Rows))
+			for i, row := range res.Rows {
+				actual[i] = FormatRow(row)
+			}
+			expected := append([]string(nil), rec.Expected...)
+			if rec.RowSort {
+				sort.Strings(actual)
+				sort.Strings(expected)
+			}
+			if len(actual) != len(expected) {
+				return fmt.Errorf("%s: got %d rows, want %d\nSQL: %s\ngot:\n%s\nwant:\n%s",
+					where, len(actual), len(expected), rec.SQL,
+					strings.Join(actual, "\n"), strings.Join(expected, "\n"))
+			}
+			for i := range actual {
+				if actual[i] != expected[i] {
+					return fmt.Errorf("%s: row %d mismatch\nSQL: %s\ngot:  %s\nwant: %s",
+						where, i+1, rec.SQL, actual[i], expected[i])
+				}
+			}
+		}
+	}
+	return nil
+}

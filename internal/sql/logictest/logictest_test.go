@@ -1,0 +1,24 @@
+package logictest
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLogic runs every golden file in testdata/ as a subtest.
+func TestLogic(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.slt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 8 {
+		t.Fatalf("expected at least 8 .slt files, found %d", len(files))
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			if err := RunFile(f); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

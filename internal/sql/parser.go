@@ -15,6 +15,8 @@ var reservedWords = map[string]bool{
 	"by": true, "limit": true, "as": true, "asc": true, "desc": true,
 	"and": true, "or": true, "not": true, "values": true, "insert": true,
 	"create": true, "drop": true, "table": true, "into": true, "having": true,
+	"join": true, "on": true, "inner": true, "left": true, "outer": true,
+	"distinct": true, "over": true,
 }
 
 // maxParams bounds $n placeholder numbers, catching typos like $1000000
@@ -250,6 +252,16 @@ func (p *parser) parseCreate() (Statement, error) {
 		return nil, err
 	}
 	stmt.Name = strings.ToLower(name.Text)
+	if p.matchKeyword("as") {
+		if !p.peek().IsKeyword("select") {
+			return nil, syntaxErrf(p.peek().Pos, "expected SELECT after CREATE TABLE ... AS, got %q", tokenDesc(p.peek()))
+		}
+		inner, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateTableAs{Name: stmt.Name, IfNotExists: stmt.IfNotExists, Query: inner.(*Select)}, nil
+	}
 	if err := p.expectOp("("); err != nil {
 		return nil, err
 	}
@@ -394,6 +406,9 @@ func (p *parser) parseInsert() (Statement, error) {
 func (p *parser) parseSelect() (Statement, error) {
 	p.pos++ // SELECT
 	stmt := &Select{Limit: -1}
+	if p.matchKeyword("distinct") {
+		stmt.Distinct = true
+	}
 	for {
 		item, err := p.parseSelectItem()
 		if err != nil {
@@ -411,6 +426,14 @@ func (p *parser) parseSelect() (Statement, error) {
 			return nil, err
 		}
 		stmt.From = strings.ToLower(name.Text)
+		alias, err := p.parseOptionalAlias()
+		if err != nil {
+			return nil, err
+		}
+		stmt.FromAlias = alias
+		if err := p.parseJoinClause(stmt); err != nil {
+			return nil, err
+		}
 	}
 	if p.matchKeyword("where") {
 		e, err := p.parseExpr()
@@ -428,7 +451,14 @@ func (p *parser) parseSelect() (Statement, error) {
 			if err != nil {
 				return nil, err
 			}
-			stmt.GroupBy = append(stmt.GroupBy, strings.ToLower(col.Text))
+			name := strings.ToLower(col.Text)
+			// Optional qualifier: GROUP BY d.name.
+			if p.peek().Kind == TokOp && p.peek().Text == "." && p.peek2().Kind == TokIdent {
+				p.pos++
+				c2 := p.next()
+				name = name + "." + strings.ToLower(c2.Text)
+			}
+			stmt.GroupBy = append(stmt.GroupBy, name)
 			if p.matchOp(",") {
 				continue
 			}
@@ -477,6 +507,66 @@ func (p *parser) parseSelect() (Statement, error) {
 		stmt.Limit = n
 	}
 	return stmt, nil
+}
+
+// parseOptionalAlias consumes `[AS] name` after a table reference.
+func (p *parser) parseOptionalAlias() (string, error) {
+	if p.matchKeyword("as") {
+		t, err := p.expectIdent("table alias")
+		if err != nil {
+			return "", err
+		}
+		return strings.ToLower(t.Text), nil
+	}
+	if t := p.peek(); t.Kind == TokIdent && !reservedWords[strings.ToLower(t.Text)] {
+		p.pos++
+		return strings.ToLower(t.Text), nil
+	}
+	return "", nil
+}
+
+// parseJoinClause parses `[INNER] JOIN tbl [alias] ON cond` or
+// `LEFT [OUTER] JOIN ...` after the FROM table.
+func (p *parser) parseJoinClause(stmt *Select) error {
+	t := p.peek()
+	var isLeft bool
+	switch {
+	case t.IsKeyword("join"):
+		p.pos++
+	case t.IsKeyword("inner"):
+		p.pos++
+		if err := p.expectKeyword("join"); err != nil {
+			return err
+		}
+	case t.IsKeyword("left"):
+		p.pos++
+		p.matchKeyword("outer")
+		if err := p.expectKeyword("join"); err != nil {
+			return err
+		}
+		isLeft = true
+	default:
+		return nil
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return err
+	}
+	j := &JoinClause{Left: isLeft, Table: strings.ToLower(name.Text), Pos: t.Pos}
+	if j.Alias, err = p.parseOptionalAlias(); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return err
+	}
+	if j.On, err = p.parseExpr(); err != nil {
+		return err
+	}
+	stmt.Join = j
+	if n := p.peek(); n.IsKeyword("join") || n.IsKeyword("inner") || n.IsKeyword("left") {
+		return syntaxErrf(n.Pos, "only a single two-table JOIN is supported")
+	}
+	return nil
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {
@@ -687,19 +777,29 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return nil, syntaxErrf(t.Pos, "unexpected keyword %q in expression", t.Text)
 		}
 		p.pos++
-		// Qualified call: schema '.' fn '(' ...
+		// Qualified name: schema '.' fn '(' ... is a namespaced call;
+		// table '.' column is a qualified column reference.
 		if p.peek().Kind == TokOp && p.peek().Text == "." && p.peek2().Kind == TokIdent {
-			save := p.pos
 			p.pos++ // '.'
 			fn := p.next()
 			if p.peek().Kind == TokOp && p.peek().Text == "(" {
-				return p.parseCallArgs(&FuncCall{Schema: strings.ToLower(t.Text), Name: strings.ToLower(fn.Text), Pos: t.Pos})
+				call, err := p.parseCallArgs(&FuncCall{Schema: strings.ToLower(t.Text), Name: strings.ToLower(fn.Text), Pos: t.Pos})
+				if err != nil {
+					return nil, err
+				}
+				return p.parseMaybeOver(call)
 			}
-			p.pos = save // plain `a.b` without a call is not supported
-			return nil, syntaxErrf(t.Pos, "qualified name %s.%s must be a function call", t.Text, fn.Text)
+			if reservedWords[strings.ToLower(fn.Text)] {
+				return nil, syntaxErrf(fn.Pos, "unexpected keyword %q after %q", fn.Text, t.Text+".")
+			}
+			return &ColumnRef{Table: strings.ToLower(t.Text), Name: strings.ToLower(fn.Text), Pos: t.Pos}, nil
 		}
 		if p.peek().Kind == TokOp && p.peek().Text == "(" {
-			return p.parseCallArgs(&FuncCall{Name: strings.ToLower(t.Text), Pos: t.Pos})
+			call, err := p.parseCallArgs(&FuncCall{Name: strings.ToLower(t.Text), Pos: t.Pos})
+			if err != nil {
+				return nil, err
+			}
+			return p.parseMaybeOver(call)
 		}
 		return &ColumnRef{Name: strings.ToLower(t.Text), Pos: t.Pos}, nil
 	}
@@ -727,6 +827,64 @@ func (p *parser) parseArray(closer string) (Expr, error) {
 		return nil, err
 	}
 	return arr, nil
+}
+
+// parseMaybeOver attaches an OVER (...) window specification to a
+// function call when one follows.
+func (p *parser) parseMaybeOver(e Expr) (Expr, error) {
+	if !p.peek().IsKeyword("over") {
+		return e, nil
+	}
+	fc := e.(*FuncCall)
+	pos := p.next().Pos // OVER
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	o := &OverClause{Pos: pos}
+	if p.peek().IsKeyword("partition") {
+		p.pos++
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			pe, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			o.PartitionBy = append(o.PartitionBy, pe)
+			if p.matchOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.matchKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			ke, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: ke}
+			if p.matchKeyword("desc") {
+				key.Desc = true
+			} else {
+				p.matchKeyword("asc")
+			}
+			o.OrderBy = append(o.OrderBy, key)
+			if p.matchOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	fc.Over = o
+	return fc, nil
 }
 
 func (p *parser) parseCallArgs(call *FuncCall) (Expr, error) {

@@ -133,7 +133,7 @@ func TestParsePrecedence(t *testing.T) {
 	if !ok || cmp.Op != "=" {
 		t.Fatalf("left of AND = %#v", b.L)
 	}
-	if s := cmp.L.String(); s != "1 + 2 * 3" {
+	if s := cmp.L.String(); s != "(1 + (2 * 3))" {
 		t.Fatalf("arith rendering = %q", s)
 	}
 }
@@ -159,7 +159,7 @@ func TestParseErrors(t *testing.T) {
 		`SELECT a FROM t WHERE`,
 		`SELECT a b c FROM t`,
 		`SELECT * FROM t LIMIT -1`,
-		`SELECT madlib.x FROM t`,
+		`SELECT t.select FROM t`,
 		`SELECT (1`,
 	} {
 		if _, err := Parse(in); err == nil {

@@ -25,10 +25,14 @@ func execErrf(format string, args ...any) error {
 // evalCtx supplies bindings for expression evaluation. All fields are
 // optional: a zero ctx evaluates constant expressions only.
 type evalCtx struct {
-	// schema + row bind column references to a table row.
-	schema engine.Schema
-	colIdx map[string]int
-	row    *engine.Row
+	// schema + row bind column references to a table row. nullable +
+	// matchedIdx (when nullable is non-nil) reconstruct NULLs for the
+	// padded side of a LEFT JOIN.
+	schema     engine.Schema
+	colIdx     map[string]int
+	row        *engine.Row
+	nullable   []bool
+	matchedIdx int
 
 	// slotOf + slotVals bind aggregate calls to their finalized values
 	// (aggregate-query output stage).
@@ -112,6 +116,9 @@ func evalExpr(e Expr, ctx *evalCtx) (any, error) {
 		}
 		if ctx.row != nil {
 			if i, ok := ctx.colIdx[x.Name]; ok {
+				if ctx.nullable != nil && ctx.nullable[i] && !ctx.row.Bool(ctx.matchedIdx) {
+					return nil, nil
+				}
 				return rowValue(ctx.schema, ctx.row, i), nil
 			}
 			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, x.Name)
@@ -131,6 +138,8 @@ func evalExpr(e Expr, ctx *evalCtx) (any, error) {
 		switch x.Op {
 		case "-":
 			switch n := v.(type) {
+			case nil:
+				return nil, nil
 			case int64:
 				return -n, nil
 			case float64:
@@ -138,6 +147,9 @@ func evalExpr(e Expr, ctx *evalCtx) (any, error) {
 			}
 			return nil, execErrf("cannot negate %s", valueTypeName(v))
 		case "NOT":
+			if v == nil {
+				return nil, nil // NOT NULL is NULL
+			}
 			b, ok := v.(bool)
 			if !ok {
 				return nil, execErrf("argument of NOT must be boolean, not %s", valueTypeName(v))
@@ -167,7 +179,10 @@ func evalBinary(x *Binary, ctx *evalCtx) (any, error) {
 		}
 		lb, ok := l.(bool)
 		if !ok {
-			return nil, execErrf("argument of %s must be boolean, not %s", x.Op, valueTypeName(l))
+			if l != nil {
+				return nil, execErrf("argument of %s must be boolean, not %s", x.Op, valueTypeName(l))
+			}
+			// NULL is not true in predicate position.
 		}
 		// Short-circuit.
 		if x.Op == "AND" && !lb {
@@ -182,7 +197,9 @@ func evalBinary(x *Binary, ctx *evalCtx) (any, error) {
 		}
 		rb, ok := r.(bool)
 		if !ok {
-			return nil, execErrf("argument of %s must be boolean, not %s", x.Op, valueTypeName(r))
+			if r != nil {
+				return nil, execErrf("argument of %s must be boolean, not %s", x.Op, valueTypeName(r))
+			}
 		}
 		return rb, nil
 	}
@@ -198,6 +215,13 @@ func evalBinary(x *Binary, ctx *evalCtx) (any, error) {
 	case "+", "-", "*", "/", "%":
 		return evalArith(x.Op, l, r)
 	case "=", "<>", "<", "<=", ">", ">=":
+		// SQL three-valued logic, collapsed: a comparison with NULL is
+		// false, so padded LEFT JOIN rows drop out of predicates. (nil
+		// still orders first in ORDER BY, which goes through
+		// compareValues directly.)
+		if l == nil || r == nil {
+			return false, nil
+		}
 		c, err := compareValues(l, r)
 		if err != nil {
 			return nil, err
@@ -221,6 +245,10 @@ func evalBinary(x *Binary, ctx *evalCtx) (any, error) {
 }
 
 func evalArith(op string, l, r any) (any, error) {
+	// NULL (a padded LEFT JOIN column) propagates through arithmetic.
+	if l == nil || r == nil {
+		return nil, nil
+	}
 	li, lInt := l.(int64)
 	ri, rInt := r.(int64)
 	if lInt && rInt {
@@ -368,6 +396,9 @@ func evalScalarFunc(x *FuncCall, ctx *evalCtx) (any, error) {
 	if x.Schema != "" && x.Schema != "madlib" {
 		return nil, execErrf("unknown schema %q", x.Schema)
 	}
+	if x.Over != nil {
+		return nil, execErrf("window function %s(...) OVER is only allowed in the SELECT list", x.Name)
+	}
 	if x.Star {
 		return nil, execErrf("%s(*) is only valid as an aggregate in a SELECT list", x.Name)
 	}
@@ -486,8 +517,12 @@ var builtinAggs = map[string]bool{
 }
 
 // isAggregateCall reports whether the call is a built-in aggregate or a
-// registered madlib aggregate function.
+// registered madlib aggregate function. A window call (fn(...) OVER ...)
+// is never an aggregate: it is planned separately by the window executor.
 func isAggregateCall(x *FuncCall) bool {
+	if x.Over != nil {
+		return false
+	}
 	if x.Schema == "" && builtinAggs[x.Name] {
 		return true
 	}
@@ -533,10 +568,32 @@ func walkAgg(e Expr, visit func(e Expr, inAgg bool)) {
 			for _, a := range x.Args {
 				rec(a, inAgg)
 			}
+			if x.Over != nil {
+				for _, pe := range x.Over.PartitionBy {
+					rec(pe, inAgg)
+				}
+				for _, k := range x.Over.OrderBy {
+					rec(k.Expr, inAgg)
+				}
+			}
 		}
 	}
 	rec(e, false)
 }
+
+// collectWindowCalls returns the window (OVER) calls in e.
+func collectWindowCalls(e Expr) []*FuncCall {
+	var out []*FuncCall
+	walkExpr(e, func(x Expr) {
+		if fc, ok := x.(*FuncCall); ok && fc.Over != nil {
+			out = append(out, fc)
+		}
+	})
+	return out
+}
+
+// exprHasWindow reports whether e contains any window call.
+func exprHasWindow(e Expr) bool { return len(collectWindowCalls(e)) > 0 }
 
 // walkExpr visits e and all children, pre-order.
 func walkExpr(e Expr, visit func(Expr)) {
@@ -583,16 +640,16 @@ type aggBuilder func(env *execEnv) (engine.Aggregate, error)
 // aggregates are built once by their registered binding (their arguments
 // are fixed at plan time, so the instance is reusable — Init creates
 // fresh state per run).
-func buildAggregate(call *FuncCall, schema engine.Schema) (aggBuilder, error) {
+func buildAggregate(call *FuncCall, cc *compileCtx) (aggBuilder, error) {
 	if x := call; x.Schema == "" && builtinAggs[x.Name] {
-		return buildBuiltinAggregate(call, schema)
+		return buildBuiltinAggregate(call, cc)
 	}
 	f, _ := core.LookupSQLFunc(call.Name)
-	args, err := resolveFuncArgs(call, schema)
+	args, err := resolveFuncArgs(call, cc)
 	if err != nil {
 		return nil, err
 	}
-	agg, err := f.BuildAggregate(schema, args)
+	agg, err := f.BuildAggregate(cc.schema, args)
 	if err != nil {
 		return nil, fmt.Errorf("sql: madlib.%s: %w", call.Name, err)
 	}
@@ -605,13 +662,19 @@ func buildAggregate(call *FuncCall, schema engine.Schema) (aggBuilder, error) {
 // can evaluate per row (the ROADMAP's "computed arguments for scalar
 // aggregates" item). $n parameters cannot appear here: madlib builders
 // resolve their arguments at plan time.
-func resolveFuncArgs(call *FuncCall, schema engine.Schema) ([]any, error) {
-	var cc *compileCtx
+func resolveFuncArgs(call *FuncCall, cc *compileCtx) ([]any, error) {
+	schema := cc.schema
 	args := make([]any, len(call.Args))
 	for i, a := range call.Args {
 		if cr, ok := a.(*ColumnRef); ok {
-			if schema.Index(cr.Name) < 0 {
+			ci := schema.Index(cr.Name)
+			if ci < 0 {
 				return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, cr.Name)
+			}
+			if cc.nullable != nil && cc.nullable[ci] {
+				// madlib builders read column storage directly and would
+				// see the zero padding, not NULLs.
+				return nil, execErrf("%s over column %q from the nullable side of a LEFT JOIN is not supported", call.Name, cr.Name)
 			}
 			args[i] = core.ColumnArg{Name: cr.Name}
 			continue
@@ -625,9 +688,6 @@ func resolveFuncArgs(call *FuncCall, schema engine.Schema) ([]any, error) {
 		}
 		if exprHasAgg(a) {
 			return nil, execErrf("aggregate calls cannot be nested")
-		}
-		if cc == nil {
-			cc = newCompileCtx(schema)
 		}
 		c, err := compileExpr(a, cc)
 		if err != nil {
@@ -715,7 +775,7 @@ type countState struct {
 // segment-parallel exactly like the library's own methods. The argument
 // expression is lowered to a typed closure at plan time; the returned
 // builder only binds the execution environment.
-func buildBuiltinAggregate(call *FuncCall, schema engine.Schema) (aggBuilder, error) {
+func buildBuiltinAggregate(call *FuncCall, cc *compileCtx) (aggBuilder, error) {
 	name := call.Name
 	if call.Star {
 		if name != "count" {
@@ -727,7 +787,7 @@ func buildBuiltinAggregate(call *FuncCall, schema engine.Schema) (aggBuilder, er
 	var arg *compiled
 	if !call.Star {
 		var err error
-		arg, err = compileExpr(call.Args[0], newCompileCtx(schema))
+		arg, err = compileExpr(call.Args[0], cc)
 		if err != nil {
 			return nil, err
 		}
@@ -750,8 +810,13 @@ func buildBuiltinAggregate(call *FuncCall, schema engine.Schema) (aggBuilder, er
 						return st
 					}
 					if evalArg != nil {
-						if _, err := evalArg(row, env); err != nil {
+						v, err := evalArg(row, env)
+						if err != nil {
 							st.err = err
+							return st
+						}
+						// count(expr) skips NULLs (padded LEFT JOIN rows).
+						if v == nil {
 							return st
 						}
 					}
@@ -880,6 +945,9 @@ func buildBuiltinAggregate(call *FuncCall, schema engine.Schema) (aggBuilder, er
 						st.err = err
 						return st
 					}
+					if v == nil {
+						return st // min/max skip NULLs
+					}
 					if st.val == nil {
 						st.val = v
 						return st
@@ -994,6 +1062,9 @@ func buildBuiltinAggregate(call *FuncCall, schema engine.Schema) (aggBuilder, er
 					if err != nil {
 						st.err = err
 						return st
+					}
+					if v == nil {
+						return st // sum/avg/variance/stddev skip NULLs
 					}
 					f, ok := toFloat(v)
 					if !ok {

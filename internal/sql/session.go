@@ -277,6 +277,11 @@ func (s *Session) runTimed(st Statement, cacheKey string) (*Result, Timing, erro
 		r, err := s.execCreate(x)
 		tm.Exec = time.Since(t0)
 		return r, tm, err
+	case *CreateTableAs:
+		s.invalidatePlans()
+		r, err := s.execCreateTableAs(x)
+		tm.Exec = time.Since(t0)
+		return r, tm, err
 	case *DropTable:
 		s.invalidatePlans()
 		r, err := s.execDrop(x)

@@ -1,0 +1,504 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"madlib/internal/engine"
+)
+
+// Window functions — fn(args) OVER (PARTITION BY ... ORDER BY ...) —
+// lower onto engine.RunWindow, the §3.1.2 "window aggregates for
+// stateful iteration" primitive: partitions fold in parallel, rows
+// within a partition fold sequentially in ORDER BY order, carrying
+// state. Supported functions:
+//
+//	row_number()      position within the partition (1-based)
+//	rank()            like row_number, but ORDER BY peers share a rank
+//	                  (with gaps)
+//	count(x|*)        running count up to the current row
+//	sum(x), avg(x)    running sum/average up to the current row
+//
+// The running aggregates use ROWS BETWEEN UNBOUNDED PRECEDING AND
+// CURRENT ROW framing (each row sees exactly the rows before it plus
+// itself, ORDER BY peers are NOT collapsed — this deviates from the SQL
+// default RANGE framing and is pinned by the logictest corpus). ORDER
+// BY inside OVER is mandatory: whole-partition frames would require a
+// second pass, so they are rejected instead of emitting running values
+// that depend on storage order.
+//
+// Window plans always execute on the row lane: partitions are folded
+// sequentially by definition, so there is nothing for the batch lane to
+// vectorize.
+
+// windowFuncs names the supported window functions.
+var windowFuncs = map[string]bool{
+	"row_number": true, "rank": true, "count": true, "sum": true, "avg": true,
+}
+
+// windowSlotSpec is one window call lowered against the input schema.
+type windowSlotSpec struct {
+	name string
+	// arg is the compiled argument of sum/avg/count(x); nil for
+	// row_number, rank and count(*).
+	arg anyFn
+}
+
+// windowPlan executes a SELECT whose item list contains window calls.
+// All calls must share one window specification; the plan stages WHERE
+// through a temp table (windows see filtered rows), then folds each
+// partition with engine.RunWindow.
+type windowPlan struct {
+	src *planSource
+	st  *Select
+
+	pred    boolFn // WHERE, applied before the window
+	partFns []anyFn
+	ordFns  []anyFn
+	ordDesc []bool
+
+	slotOf map[*FuncCall]int
+	specs  []windowSlotSpec
+
+	outNames []string
+	outCols  map[string]int
+	// finalDesc is the direction of each outer ORDER BY key; the keys
+	// themselves are re-resolved per row in step() (ordinals, aliases or
+	// expressions over output columns, via ordinal()/evalExpr).
+	finalDesc []bool
+	limit     int64
+}
+
+// planWindowSelect validates and lowers a window query.
+func planWindowSelect(st *Select, ps *planSource) (stmtPlan, error) {
+	if len(st.GroupBy) > 0 || st.Having != nil {
+		return nil, execErrf("window functions cannot be combined with GROUP BY or HAVING")
+	}
+	if st.Distinct {
+		return nil, execErrf("SELECT DISTINCT cannot be combined with window functions")
+	}
+	p := &windowPlan{src: ps, st: st, limit: st.Limit}
+	cc := ps.newCompileCtx()
+
+	// Collect window calls into slots; all must share one spec.
+	p.slotOf = map[*FuncCall]int{}
+	var over *OverClause
+	for _, item := range st.Items {
+		if item.Star {
+			return nil, execErrf("SELECT * cannot be combined with window functions")
+		}
+		if exprHasAgg(item.Expr) {
+			return nil, execErrf("window functions cannot be combined with aggregate functions")
+		}
+		for _, call := range collectWindowCalls(item.Expr) {
+			if _, done := p.slotOf[call]; done {
+				continue
+			}
+			if call.Schema != "" {
+				return nil, execErrf("%s.%s(...) OVER is not a window function", call.Schema, call.Name)
+			}
+			if !windowFuncs[call.Name] {
+				return nil, execErrf("%s(...) OVER is not a supported window function (row_number, rank, count, sum, avg)", call.Name)
+			}
+			if over == nil {
+				over = call.Over
+			} else if call.Over.String() != over.String() {
+				return nil, execErrf("all window functions in one SELECT must share the same OVER clause")
+			}
+			spec := windowSlotSpec{name: call.Name}
+			switch call.Name {
+			case "row_number", "rank":
+				if call.Star || len(call.Args) != 0 {
+					return nil, execErrf("%s() takes no arguments", call.Name)
+				}
+			case "count":
+				if !call.Star && len(call.Args) != 1 {
+					return nil, execErrf("count(...) OVER takes * or exactly one argument")
+				}
+			default: // sum, avg
+				if call.Star || len(call.Args) != 1 {
+					return nil, execErrf("%s(...) OVER takes exactly one argument", call.Name)
+				}
+			}
+			if !call.Star && len(call.Args) == 1 {
+				c, err := compileExpr(call.Args[0], cc)
+				if err != nil {
+					return nil, err
+				}
+				if (call.Name == "sum" || call.Name == "avg") && c.kind != ckAny && !c.isNumeric() {
+					return nil, execErrf("%s: argument is %s, not numeric", call.Name, c.kind)
+				}
+				spec.arg = c.a
+			}
+			p.slotOf[call] = len(p.specs)
+			p.specs = append(p.specs, spec)
+		}
+	}
+	if len(over.OrderBy) == 0 {
+		// Whole-partition frames (OVER without ORDER BY) would need the
+		// partition total on every row; the single streaming fold only
+		// yields running values, which would be storage-order dependent.
+		// Reject rather than return silently wrong numbers.
+		return nil, execErrf("window functions require ORDER BY in the OVER clause (whole-partition frames are not supported yet)")
+	}
+
+	// Compile the window spec.
+	for _, pe := range over.PartitionBy {
+		c, err := compileExpr(pe, cc)
+		if err != nil {
+			return nil, err
+		}
+		p.partFns = append(p.partFns, c.a)
+	}
+	for _, k := range over.OrderBy {
+		c, err := compileExpr(k.Expr, cc)
+		if err != nil {
+			return nil, err
+		}
+		p.ordFns = append(p.ordFns, c.a)
+		p.ordDesc = append(p.ordDesc, k.Desc)
+	}
+
+	var err error
+	p.pred, err = compilePredicate(st.Where, cc)
+	if err != nil {
+		return nil, err
+	}
+
+	p.outNames = make([]string, len(st.Items))
+	for i, item := range st.Items {
+		p.outNames[i] = outputName(item)
+	}
+	p.outCols = map[string]int{}
+	for i, n := range p.outNames {
+		p.outCols[n] = i
+	}
+	for _, key := range st.OrderBy {
+		if _, _, err := ordinal(key.Expr, len(st.Items)); err != nil {
+			return nil, err
+		}
+		p.finalDesc = append(p.finalDesc, key.Desc)
+	}
+	return p, nil
+}
+
+func anySpec(specs []windowSlotSpec, name string) bool {
+	for _, s := range specs {
+		if s.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *windowPlan) valid(db *engine.DB) bool { return p.src.valid(db) }
+
+// windowRowOut is one emitted output row with its final sort keys.
+// partVals carries the partition's key values on the partition's first
+// row only (the default output order sorts partitions by value).
+type windowRowOut struct {
+	row      []any
+	keys     []any
+	partVals []any
+}
+
+// windowState is one partition's fold state.
+type windowState struct {
+	pos      int64
+	rank     int64
+	prevOrd  []any
+	hasPrev  bool
+	accs     []*numAccState // running sum/avg/count accumulators per slot
+	slotVals []any
+}
+
+func (p *windowPlan) exec(s *Session, env *execEnv) (*Result, error) {
+	input, cleanup, err := p.src.acquire(s)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	// Stage WHERE first so the window sees only surviving rows.
+	if p.pred != nil {
+		var predErr atomic.Value
+		pred := enginePred(p.pred, env, &predErr)
+		staged, err := s.db.SelectIntoTemp("sql_window", input, pred, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer func(name string) { _ = s.db.DropTable(name) }(staged.Name())
+		if e := predErr.Load(); e != nil {
+			return nil, e.(error)
+		}
+		input = staged
+	}
+
+	// stepErr captures the first evaluation error from inside the
+	// partition/order/step closures (RunWindow's contracts cannot fail).
+	var stepErr atomic.Value
+	fail := func(err error) {
+		stepErr.CompareAndSwap(nil, err)
+	}
+
+	// The ORDER BY key tuple of every row is evaluated exactly once,
+	// inside the PartitionBy hook: RunWindow calls it single-threaded
+	// during its gather pass, and the per-partition sort goroutines then
+	// only read the finished cache (O(n) evaluations instead of
+	// O(n log n) closure calls inside the comparator).
+	ordCache := map[engine.Row][]any{}
+	spec := engine.WindowSpec{}
+	spec.PartitionBy = func(r engine.Row) string {
+		if len(p.ordFns) > 0 {
+			vals := make([]any, len(p.ordFns))
+			for i, fn := range p.ordFns {
+				v, err := fn(r, env)
+				if err != nil {
+					fail(err)
+					vals = nil
+					break
+				}
+				vals[i] = v
+			}
+			ordCache[r] = vals
+		}
+		var buf []byte
+		for _, fn := range p.partFns {
+			v, err := fn(r, env)
+			if err != nil {
+				fail(err)
+				return ""
+			}
+			buf = appendValKey(buf, v)
+		}
+		return string(buf)
+	}
+	spec.OrderBy = func(a, b engine.Row) bool {
+		av, bv := ordCache[a], ordCache[b]
+		if av == nil || bv == nil {
+			return false // evaluation failed; stepErr already set
+		}
+		for i := range av {
+			c, err := compareValues(av[i], bv[i])
+			if err != nil {
+				fail(err)
+				return false
+			}
+			if c != 0 {
+				if p.ordDesc[i] {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	}
+
+	init := func() any {
+		st := &windowState{accs: make([]*numAccState, len(p.specs))}
+		for i := range p.specs {
+			st.accs[i] = &numAccState{intOnly: true}
+		}
+		st.slotVals = make([]any, len(p.specs))
+		return st
+	}
+	colIdx := colIndexMap(p.src.schema)
+	step := func(state any, row engine.Row) (any, any) {
+		ws := state.(*windowState)
+		if stepErr.Load() != nil {
+			return ws, nil
+		}
+		ws.pos++
+		var firstPartVals []any
+		if ws.pos == 1 && len(p.partFns) > 0 {
+			firstPartVals = make([]any, len(p.partFns))
+			for i, fn := range p.partFns {
+				v, err := fn(row, env)
+				if err != nil {
+					fail(err)
+					return ws, nil
+				}
+				firstPartVals[i] = v
+			}
+		}
+		// rank(): peers (equal ORDER BY keys) share the rank of their
+		// first row; a new key value jumps to the current position.
+		if len(p.ordFns) > 0 {
+			ov := ordCache[row]
+			if ov == nil {
+				return ws, nil // evaluation failed; stepErr already set
+			}
+			same := ws.hasPrev
+			if same {
+				for i := range ov {
+					c, err := compareValues(ov[i], ws.prevOrd[i])
+					if err != nil {
+						fail(err)
+						return ws, nil
+					}
+					if c != 0 {
+						same = false
+						break
+					}
+				}
+			}
+			if !same {
+				ws.rank = ws.pos
+			}
+			ws.prevOrd, ws.hasPrev = ov, true
+		} else {
+			ws.rank = ws.pos
+		}
+		for i, sp := range p.specs {
+			switch sp.name {
+			case "row_number":
+				ws.slotVals[i] = ws.pos
+			case "rank":
+				ws.slotVals[i] = ws.rank
+			case "count":
+				acc := ws.accs[i]
+				if sp.arg != nil {
+					v, err := sp.arg(row, env)
+					if err != nil {
+						fail(err)
+						return ws, nil
+					}
+					if v != nil {
+						acc.n++
+					}
+				} else {
+					acc.n++
+				}
+				ws.slotVals[i] = acc.n
+			case "sum", "avg":
+				acc := ws.accs[i]
+				v, err := sp.arg(row, env)
+				if err != nil {
+					fail(err)
+					return ws, nil
+				}
+				if v != nil {
+					f, ok := toFloat(v)
+					if !ok {
+						fail(execErrf("%s: argument is %s, not numeric", sp.name, valueTypeName(v)))
+						return ws, nil
+					}
+					if iv, isInt := v.(int64); isInt {
+						acc.sumInt += iv
+					} else {
+						acc.intOnly = false
+					}
+					acc.n++
+					acc.sum += f
+				}
+				out, err := numAccFinal(sp.name)(acc)
+				if err != nil {
+					fail(err)
+					return ws, nil
+				}
+				ws.slotVals[i] = out
+			}
+		}
+		// Evaluate the projection (and the outer ORDER BY keys) for this
+		// row with the slot values bound.
+		ctx := &evalCtx{
+			schema: p.src.schema, colIdx: colIdx, row: &row,
+			nullable: p.src.nullable, matchedIdx: p.src.matchedIdx,
+			slotOf: p.slotOf, slotVals: ws.slotVals, params: env.paramList(),
+		}
+		out := windowRowOut{row: make([]any, len(p.st.Items)), partVals: firstPartVals}
+		for i, item := range p.st.Items {
+			v, err := evalExpr(item.Expr, ctx)
+			if err != nil {
+				fail(err)
+				return ws, nil
+			}
+			out.row[i] = v
+		}
+		if len(p.st.OrderBy) > 0 {
+			out.keys = make([]any, len(p.st.OrderBy))
+			kctx := &evalCtx{
+				schema: p.src.schema, colIdx: colIdx, row: &row,
+				nullable: p.src.nullable, matchedIdx: p.src.matchedIdx,
+				slotOf: p.slotOf, slotVals: ws.slotVals,
+				outCols: p.outCols, outVals: out.row, params: env.paramList(),
+			}
+			for k, key := range p.st.OrderBy {
+				if ord, isOrd, _ := ordinal(key.Expr, len(out.row)); isOrd {
+					out.keys[k] = out.row[ord]
+					continue
+				}
+				v, err := evalExpr(key.Expr, kctx)
+				if err != nil {
+					fail(err)
+					return ws, nil
+				}
+				out.keys[k] = v
+			}
+		}
+		return ws, out
+	}
+
+	parts, err := s.db.RunWindow(input, spec, init, step)
+	if err != nil {
+		return nil, err
+	}
+	if e := stepErr.Load(); e != nil {
+		return nil, e.(error)
+	}
+
+	// Deterministic default order: partitions sorted by their key
+	// VALUES (compareValues, so ints/floats/strings order naturally —
+	// the encoded map key is injective but not order-preserving), rows
+	// within a partition in window order.
+	partKeys := make([]string, 0, len(parts))
+	for k := range parts {
+		partKeys = append(partKeys, k)
+	}
+	partValsOf := func(pk string) []any {
+		if len(parts[pk]) == 0 {
+			return nil
+		}
+		out, ok := parts[pk][0].(windowRowOut)
+		if !ok {
+			return nil
+		}
+		return out.partVals
+	}
+	var sortErr error
+	sort.Slice(partKeys, func(a, b int) bool {
+		av, bv := partValsOf(partKeys[a]), partValsOf(partKeys[b])
+		for i := 0; i < len(av) && i < len(bv); i++ {
+			c, err := compareValues(av[i], bv[i])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return partKeys[a] < partKeys[b]
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	var rows, keys [][]any
+	for _, pk := range partKeys {
+		for _, v := range parts[pk] {
+			out, ok := v.(windowRowOut)
+			if !ok {
+				continue // a failed step emitted nil; stepErr already set
+			}
+			rows = append(rows, out.row)
+			keys = append(keys, out.keys)
+		}
+	}
+	if len(p.st.OrderBy) > 0 {
+		if err := sortRows(rows, keys, p.finalDesc); err != nil {
+			return nil, err
+		}
+	}
+	rows = applyLimit(rows, p.limit)
+	return &Result{Cols: p.outNames, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+}
