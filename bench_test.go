@@ -515,6 +515,90 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+	// Morsel-parallel batch lane: a larger 8-segment table, so the worker
+	// pool engages on multi-core runners (the table is far above
+	// engine.ParallelRowThreshold; on GOMAXPROCS=1 the driver falls back
+	// to the sequential in-line scan).
+	b.Run("SQLParallel", func(b *testing.B) {
+		pdb := engine.Open(8)
+		ptbl, err := pdb.CreateTable("t", engine.Schema{
+			{Name: "g", Kind: engine.Int}, {Name: "v", Kind: engine.Float},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 8*benchRows; i++ {
+			if err := ptbl.Insert(int64(i%16), float64(i%1000)/1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+		psess := sqlfe.NewSession(pdb)
+		if _, err := psess.Query(query); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := psess.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 16 {
+				b.Fatalf("groups = %d", len(res.Rows))
+			}
+		}
+	})
+	const joinQuery = `SELECT dims.name, sum(t.v), count(*) FROM t JOIN dims ON t.g = dims.g GROUP BY dims.name`
+	dims, err := db.CreateTable("dims", engine.Schema{
+		{Name: "g", Kind: engine.Int}, {Name: "name", Kind: engine.String},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for g := 0; g < 16; g++ {
+		if err := dims.Insert(int64(g), fmt.Sprintf("g%02d", g)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Joined aggregate, cold: every iteration re-plans and rebuilds the
+	// join materialization (one-shot plans release it after executing),
+	// measuring the full build+probe+aggregate pipeline.
+	b.Run("SQLJoinAgg", func(b *testing.B) {
+		joinSess := sqlfe.NewSession(db)
+		st := mustParse(b, joinQuery)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := joinSess.Run(st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 16 {
+				b.Fatalf("groups = %d", len(res.Rows))
+			}
+		}
+	})
+	// Joined aggregate, steady state: the plan cache serves the statement
+	// and the join materialization cache skips the rebuild (neither input
+	// changes), so iterations measure the aggregate over the cached temp
+	// table only.
+	b.Run("SQLJoinAggCached", func(b *testing.B) {
+		joinSess := sqlfe.NewSession(db)
+		if _, err := joinSess.Query(joinQuery); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := joinSess.Query(joinQuery)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 16 {
+				b.Fatalf("groups = %d", len(res.Rows))
+			}
+		}
+	})
 	b.Run("ParseOnly", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

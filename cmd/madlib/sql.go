@@ -203,7 +203,10 @@ func (r *repl) listTables() {
 	res := &madlib.SQLResult{Cols: []string{"name", "rows"}}
 	for _, n := range names {
 		t, err := r.db.Table(n)
-		if err != nil {
+		if err != nil || t.Temp() {
+			// Engine-managed temporaries (staging tables, cached join
+			// materializations) are implementation detail, like psql
+			// hiding other sessions' temp schemas.
 			continue
 		}
 		res.Rows = append(res.Rows, []any{n, t.Count()})

@@ -176,7 +176,20 @@ type Table struct {
 	mu        sync.Mutex
 	nextSeg   int   // round-robin insertion pointer
 	totalRows int64 // maintained on insert for O(1) Count
+
+	// version counts data mutations made through the table/engine API
+	// (Insert, InsertHashed, Truncate, UpdateInt, UpdateFloat). Derived
+	// results (the SQL front-end's cached join materializations) compare
+	// versions to decide whether their input changed. Code that writes
+	// segment storage directly bypasses the counter — such writers own
+	// the table and must not share it with cached consumers.
+	version atomic.Int64
 }
+
+// Version returns the table's data-mutation counter. Two equal Version
+// reads with the same *Table pointer mean no API-level mutation happened
+// in between.
+func (t *Table) Version() int64 { return t.version.Load() }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
@@ -201,8 +214,40 @@ func newSegment(schema Schema) *Segment {
 	return &Segment{cols: make([]colData, len(schema))}
 }
 
-// appendValue validates v against column kind k and appends it to c.
-func appendValue(c *colData, k Kind, v any) error {
+// checkValue reports whether v is storable in a column of kind k (the
+// same acceptance rules appendValue applies). Insert paths validate the
+// whole row first so a mid-row type error cannot leave column lanes
+// partially appended and misaligned.
+func checkValue(k Kind, v any) error {
+	ok := false
+	switch k {
+	case Float:
+		switch v.(type) {
+		case float64, int, int64:
+			ok = true
+		}
+	case Vector:
+		_, ok = v.([]float64)
+	case Int:
+		switch v.(type) {
+		case int64, int:
+			ok = true
+		}
+	case String:
+		_, ok = v.(string)
+	case Bool:
+		_, ok = v.(bool)
+	}
+	if !ok {
+		return fmt.Errorf("%w: %T into %s", ErrType, v, k)
+	}
+	return nil
+}
+
+// appendValue appends a checkValue-validated value to c. The acceptance
+// rules live in checkValue alone; a value that slipped past it panics
+// on the type assertion here rather than silently misaligning lanes.
+func appendValue(c *colData, k Kind, v any) {
 	switch k {
 	case Float:
 		switch x := v.(type) {
@@ -212,38 +257,21 @@ func appendValue(c *colData, k Kind, v any) error {
 			c.floats = append(c.floats, float64(x))
 		case int64:
 			c.floats = append(c.floats, float64(x))
-		default:
-			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
 		}
 	case Vector:
-		x, ok := v.([]float64)
-		if !ok {
-			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
-		}
-		c.vecs = append(c.vecs, x)
+		c.vecs = append(c.vecs, v.([]float64))
 	case Int:
 		switch x := v.(type) {
 		case int64:
 			c.ints = append(c.ints, x)
 		case int:
 			c.ints = append(c.ints, int64(x))
-		default:
-			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
 		}
 	case String:
-		x, ok := v.(string)
-		if !ok {
-			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
-		}
-		c.strs = append(c.strs, x)
+		c.strs = append(c.strs, v.(string))
 	case Bool:
-		x, ok := v.(bool)
-		if !ok {
-			return fmt.Errorf("%w: %T into %s", ErrType, v, k)
-		}
-		c.bools = append(c.bools, x)
+		c.bools = append(c.bools, v.(bool))
 	}
-	return nil
 }
 
 // Insert appends one row, distributing rows round-robin across segments
@@ -252,17 +280,24 @@ func (t *Table) Insert(values ...any) error {
 	if len(values) != len(t.schema) {
 		return fmt.Errorf("%w: got %d values for %d columns", ErrArity, len(values), len(t.schema))
 	}
+	for i, v := range values {
+		if err := checkValue(t.schema[i].Kind, v); err != nil {
+			return fmt.Errorf("column %q: %w", t.schema[i].Name, err)
+		}
+	}
 	t.mu.Lock()
 	seg := t.segs[t.nextSeg]
 	t.nextSeg = (t.nextSeg + 1) % len(t.segs)
 	t.totalRows++
 	t.mu.Unlock()
 	for i, v := range values {
-		if err := appendValue(&seg.cols[i], t.schema[i].Kind, v); err != nil {
-			return fmt.Errorf("column %q: %w", t.schema[i].Name, err)
-		}
+		appendValue(&seg.cols[i], t.schema[i].Kind, v)
 	}
 	seg.n++
+	// Bump only after the row is visible (seg.n incremented): version
+	// consumers capture Version before reading, so a bump-before-write
+	// could stamp derived results as current while missing the row.
+	t.version.Add(1)
 	return nil
 }
 
@@ -272,16 +307,20 @@ func (t *Table) InsertHashed(key uint64, values ...any) error {
 	if len(values) != len(t.schema) {
 		return fmt.Errorf("%w: got %d values for %d columns", ErrArity, len(values), len(t.schema))
 	}
+	for i, v := range values {
+		if err := checkValue(t.schema[i].Kind, v); err != nil {
+			return fmt.Errorf("column %q: %w", t.schema[i].Name, err)
+		}
+	}
 	seg := t.segs[int(key%uint64(len(t.segs)))]
 	t.mu.Lock()
 	t.totalRows++
 	t.mu.Unlock()
 	for i, v := range values {
-		if err := appendValue(&seg.cols[i], t.schema[i].Kind, v); err != nil {
-			return fmt.Errorf("column %q: %w", t.schema[i].Name, err)
-		}
+		appendValue(&seg.cols[i], t.schema[i].Kind, v)
 	}
 	seg.n++
+	t.version.Add(1) // after the row is visible; see Insert
 	return nil
 }
 
@@ -297,6 +336,7 @@ func (t *Table) Truncate() {
 	}
 	t.totalRows = 0
 	t.nextSeg = 0
+	t.version.Add(1)
 }
 
 // DB is the database instance: a catalog of tables and a fixed segment

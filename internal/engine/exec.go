@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Aggregate is the engine's user-defined aggregate contract, identical to
@@ -45,17 +47,75 @@ func (f FuncAggregate) Merge(a, b any) any { return f.MergeFn(a, b) }
 // Final implements Aggregate.
 func (f FuncAggregate) Final(state any) (any, error) { return f.FinalFn(state) }
 
-// parallelSegments runs fn once per segment concurrently and collects the
-// first error. Each invocation owns its segment exclusively for the call.
+// ParallelRowThreshold is the minimum total row count for which the
+// segment drivers spin up a worker pool. Below it the per-query
+// goroutine spawn and synchronization cost more than the scan itself
+// (a few microseconds on small tables), so execution stays on the
+// calling goroutine. Exported so callers (and docs) can reason about
+// the lane the engine will pick.
+const ParallelRowThreshold = 4096
+
+// segmentWorkers returns the number of morsel workers a scan of t should
+// use: capped by GOMAXPROCS and the segment count, collapsing to 1 —
+// sequential execution on the calling goroutine — for small tables.
+func (db *DB) segmentWorkers(t *Table) int {
+	w := runtime.GOMAXPROCS(0)
+	if len(t.segs) < w {
+		w = len(t.segs)
+	}
+	if w <= 1 {
+		return 1
+	}
+	if t.Count() < ParallelRowThreshold {
+		return 1
+	}
+	return w
+}
+
+// parallelSegments runs fn once per segment and collects the first error
+// (in segment order). Each invocation owns its segment exclusively for
+// the call.
+//
+// Execution is morsel-driven: one segment is one morsel, and a pool of
+// up to GOMAXPROCS workers pulls segment indices from a shared cursor
+// until the table is drained — segments never wait behind a slow
+// sibling on an oversubscribed machine the way the old
+// goroutine-per-segment fan-out did. Results stay deterministic (and
+// bit-identical to sequential execution) because all per-segment state
+// is indexed by segment, rows within a segment fold in row order on one
+// worker, and every caller merges the per-segment states left-to-right
+// in segment order afterwards. Tables below ParallelRowThreshold run
+// inline on the calling goroutine.
 func (db *DB) parallelSegments(t *Table, fn func(segIdx int, seg *Segment) error) error {
+	workers := db.segmentWorkers(t)
+	if workers <= 1 {
+		for i, seg := range t.segs {
+			if err := fn(i, seg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return db.pooledSegments(t, workers, fn)
+}
+
+// pooledSegments is the worker-pool mode of parallelSegments.
+func (db *DB) pooledSegments(t *Table, workers int, fn func(segIdx int, seg *Segment) error) error {
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	errs := make([]error, len(t.segs))
-	for i, seg := range t.segs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, seg *Segment) {
+		go func() {
 			defer wg.Done()
-			errs[i] = fn(i, seg)
-		}(i, seg)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(t.segs) {
+					return
+				}
+				errs[i] = fn(i, t.segs[i])
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -347,13 +407,15 @@ func (db *DB) UpdateInt(t *Table, col string, fn func(Row) int64) error {
 		return fmt.Errorf("%w: %q is %s", ErrType, col, t.schema[ci].Kind)
 	}
 	db.queries.Add(1)
-	return db.parallelSegments(t, func(i int, seg *Segment) error {
+	err := db.parallelSegments(t, func(i int, seg *Segment) error {
 		for r := 0; r < seg.n; r++ {
 			seg.cols[ci].ints[r] = fn(Row{seg: seg, idx: r})
 		}
 		db.rowsScanned.Add(int64(seg.n))
 		return nil
 	})
+	t.version.Add(1) // after the rewrite completes; see Insert
+	return err
 }
 
 // UpdateFloat rewrites a Float column in place.
@@ -366,13 +428,15 @@ func (db *DB) UpdateFloat(t *Table, col string, fn func(Row) float64) error {
 		return fmt.Errorf("%w: %q is %s", ErrType, col, t.schema[ci].Kind)
 	}
 	db.queries.Add(1)
-	return db.parallelSegments(t, func(i int, seg *Segment) error {
+	err := db.parallelSegments(t, func(i int, seg *Segment) error {
 		for r := 0; r < seg.n; r++ {
 			seg.cols[ci].floats[r] = fn(Row{seg: seg, idx: r})
 		}
 		db.rowsScanned.Add(int64(seg.n))
 		return nil
 	})
+	t.version.Add(1) // after the rewrite completes; see Insert
+	return err
 }
 
 // CountWhere returns the number of rows satisfying pred.

@@ -97,62 +97,76 @@ func (db *DB) hashJoin(dst string, left *Table, leftKey string, right *Table, ri
 		return nil, err
 	}
 
-	// Build side: broadcast hash table over the right rows.
-	type ref struct {
-		seg *Segment
-		idx int
+	// Build side: broadcast hash table over the right rows, keyed by the
+	// unboxed column value (no per-row interface allocation).
+	var buildI map[int64][]rowRef
+	var buildS map[string][]rowRef
+	if kind == Int {
+		buildI = make(map[int64][]rowRef, int(right.Count()))
+	} else {
+		buildS = make(map[string][]rowRef, int(right.Count()))
 	}
-	build := map[any][]ref{}
 	for _, seg := range right.segs {
-		for r := 0; r < seg.n; r++ {
-			var key any
-			if kind == Int {
-				key = seg.cols[rk].ints[r]
-			} else {
-				key = seg.cols[rk].strs[r]
+		if kind == Int {
+			lane := seg.cols[rk].ints[:seg.n]
+			for r, k := range lane {
+				buildI[k] = append(buildI[k], rowRef{seg: seg, idx: int32(r)})
 			}
-			build[key] = append(build[key], ref{seg: seg, idx: r})
+		} else {
+			lane := seg.cols[rk].strs[:seg.n]
+			for r, k := range lane {
+				buildS[k] = append(buildS[k], rowRef{seg: seg, idx: int32(r)})
+			}
 		}
 		db.rowsScanned.Add(int64(seg.n))
 	}
 
-	// Probe side: segment-parallel scan of the left table; matches append
-	// into the output segment with the same index. Outer joins emit
-	// unmatched left rows once, zero-padded, with MatchedCol=false.
-	nl := len(left.schema)
-	matchedIdx := len(schema) - 1 // only meaningful when outer
+	// Probe side: segment-parallel scan of the left table, vectorized —
+	// each worker walks its segment's key lane one ColBatch at a time,
+	// gathers the (left row, right ref) match pairs for the whole batch,
+	// then materializes them column-by-column so the type dispatch runs
+	// once per column per batch instead of once per cell. Matches append
+	// into the output segment with the same index, so the join stays
+	// local to the probe row's segment. Outer joins emit unmatched left
+	// rows once with a nil right ref, which materializes as zero padding
+	// with MatchedCol=false.
 	err = db.parallelSegments(left, func(i int, seg *Segment) error {
 		dseg := out.segs[i]
-		for r := 0; r < seg.n; r++ {
-			var key any
+		lefts := make([]int32, 0, BatchSize)
+		rights := make([]rowRef, 0, BatchSize)
+		err := forEachBatch(seg, func(b ColBatch) error {
+			lefts, rights = lefts[:0], rights[:0]
+			off := int32(b.Offset())
 			if kind == Int {
-				key = seg.cols[lk].ints[r]
+				for j, k := range b.Ints(lk) {
+					matches := buildI[k]
+					for _, m := range matches {
+						lefts = append(lefts, off+int32(j))
+						rights = append(rights, m)
+					}
+					if outer && len(matches) == 0 {
+						lefts = append(lefts, off+int32(j))
+						rights = append(rights, rowRef{})
+					}
+				}
 			} else {
-				key = seg.cols[lk].strs[r]
+				for j, k := range b.Strings(lk) {
+					matches := buildS[k]
+					for _, m := range matches {
+						lefts = append(lefts, off+int32(j))
+						rights = append(rights, m)
+					}
+					if outer && len(matches) == 0 {
+						lefts = append(lefts, off+int32(j))
+						rights = append(rights, rowRef{})
+					}
+				}
 			}
-			matches := build[key]
-			for _, m := range matches {
-				for c, col := range left.schema {
-					copyCell(&dseg.cols[c], col.Kind, seg, c, r)
-				}
-				for c, col := range right.schema {
-					copyCell(&dseg.cols[nl+c], col.Kind, m.seg, c, m.idx)
-				}
-				if outer {
-					dseg.cols[matchedIdx].bools = append(dseg.cols[matchedIdx].bools, true)
-				}
-				dseg.n++
-			}
-			if outer && len(matches) == 0 {
-				for c, col := range left.schema {
-					copyCell(&dseg.cols[c], col.Kind, seg, c, r)
-				}
-				for c, col := range right.schema {
-					appendZero(&dseg.cols[nl+c], col.Kind)
-				}
-				dseg.cols[matchedIdx].bools = append(dseg.cols[matchedIdx].bools, false)
-				dseg.n++
-			}
+			appendJoinRows(dseg, left.schema, seg, lefts, right.schema, rights, outer)
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		db.rowsScanned.Add(int64(seg.n))
 		return nil
@@ -171,35 +185,103 @@ func (db *DB) hashJoin(dst string, left *Table, leftKey string, right *Table, ri
 	return out, nil
 }
 
-// copyCell appends the (src, col, row) cell into dst.
-func copyCell(dst *colData, kind Kind, src *Segment, col, row int) {
-	switch kind {
-	case Float:
-		dst.floats = append(dst.floats, src.cols[col].floats[row])
-	case Vector:
-		dst.vecs = append(dst.vecs, src.cols[col].vecs[row])
-	case Int:
-		dst.ints = append(dst.ints, src.cols[col].ints[row])
-	case String:
-		dst.strs = append(dst.strs, src.cols[col].strs[row])
-	case Bool:
-		dst.bools = append(dst.bools, src.cols[col].bools[row])
-	}
+// rowRef points at one build-side row; a nil seg is the outer join's
+// null-pad marker.
+type rowRef struct {
+	seg *Segment
+	idx int32
 }
 
-// appendZero appends the kind's zero value into dst — the storage-level
-// stand-in for NULL on the padded side of an outer join.
-func appendZero(dst *colData, kind Kind) {
-	switch kind {
-	case Float:
-		dst.floats = append(dst.floats, 0)
-	case Vector:
-		dst.vecs = append(dst.vecs, nil)
-	case Int:
-		dst.ints = append(dst.ints, 0)
-	case String:
-		dst.strs = append(dst.strs, "")
-	case Bool:
-		dst.bools = append(dst.bools, false)
+// appendJoinRows bulk-appends one probe batch's matches into the output
+// segment: for every output row k, the left columns of leftSeg row
+// lefts[k] followed by the right columns of rights[k] (zero-padded when
+// rights[k].seg is nil), plus the matched marker when outer is set.
+// Copies run lane-wise, one column at a time.
+func appendJoinRows(dseg *Segment, leftSchema Schema, leftSeg *Segment, lefts []int32, rightSchema Schema, rights []rowRef, outer bool) {
+	if len(lefts) == 0 {
+		return
 	}
+	for c, col := range leftSchema {
+		dst := &dseg.cols[c]
+		switch col.Kind {
+		case Float:
+			src := leftSeg.cols[c].floats
+			for _, li := range lefts {
+				dst.floats = append(dst.floats, src[li])
+			}
+		case Vector:
+			src := leftSeg.cols[c].vecs
+			for _, li := range lefts {
+				dst.vecs = append(dst.vecs, src[li])
+			}
+		case Int:
+			src := leftSeg.cols[c].ints
+			for _, li := range lefts {
+				dst.ints = append(dst.ints, src[li])
+			}
+		case String:
+			src := leftSeg.cols[c].strs
+			for _, li := range lefts {
+				dst.strs = append(dst.strs, src[li])
+			}
+		case Bool:
+			src := leftSeg.cols[c].bools
+			for _, li := range lefts {
+				dst.bools = append(dst.bools, src[li])
+			}
+		}
+	}
+	nl := len(leftSchema)
+	for c, col := range rightSchema {
+		dst := &dseg.cols[nl+c]
+		switch col.Kind {
+		case Float:
+			for _, m := range rights {
+				if m.seg == nil {
+					dst.floats = append(dst.floats, 0)
+				} else {
+					dst.floats = append(dst.floats, m.seg.cols[c].floats[m.idx])
+				}
+			}
+		case Vector:
+			for _, m := range rights {
+				if m.seg == nil {
+					dst.vecs = append(dst.vecs, nil)
+				} else {
+					dst.vecs = append(dst.vecs, m.seg.cols[c].vecs[m.idx])
+				}
+			}
+		case Int:
+			for _, m := range rights {
+				if m.seg == nil {
+					dst.ints = append(dst.ints, 0)
+				} else {
+					dst.ints = append(dst.ints, m.seg.cols[c].ints[m.idx])
+				}
+			}
+		case String:
+			for _, m := range rights {
+				if m.seg == nil {
+					dst.strs = append(dst.strs, "")
+				} else {
+					dst.strs = append(dst.strs, m.seg.cols[c].strs[m.idx])
+				}
+			}
+		case Bool:
+			for _, m := range rights {
+				if m.seg == nil {
+					dst.bools = append(dst.bools, false)
+				} else {
+					dst.bools = append(dst.bools, m.seg.cols[c].bools[m.idx])
+				}
+			}
+		}
+	}
+	if outer {
+		marker := &dseg.cols[nl+len(rightSchema)]
+		for _, m := range rights {
+			marker.bools = append(marker.bools, m.seg != nil)
+		}
+	}
+	dseg.n += len(lefts)
 }

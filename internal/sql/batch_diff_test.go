@@ -5,7 +5,9 @@ import (
 	"math"
 	"math/rand"
 	"regexp"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"madlib/internal/engine"
@@ -305,11 +307,8 @@ func TestBatchLaneFallback(t *testing.T) {
 		`SELECT count(array_get(v, 1)) FROM d`,
 		// Vector-valued group key.
 		`SELECT v, count(*) FROM d GROUP BY v`,
-		// madlib aggregate functions.
-		`SELECT madlib.fmcount(s) FROM d`,
-		`SELECT g, madlib.quantile(f, 0.5) FROM d GROUP BY g`,
-		// min/max over text stays boxed.
-		`SELECT min(s), max(s) FROM d`,
+		// min/max over bool stays boxed.
+		`SELECT min(b), max(b) FROM d`,
 	}
 	for _, q := range fallbacks {
 		st, err := ParseStatement(q)
@@ -330,6 +329,20 @@ func TestBatchLaneFallback(t *testing.T) {
 		}
 		if bErr == nil && formatResult(bRes) != formatResult(rRes) {
 			t.Fatalf("query %q: fallback results diverge", q)
+		}
+	}
+	// Shapes that used to fall back but now vectorize: text min/max and
+	// madlib scalar aggregates. Both lanes must still agree.
+	promoted := []string{
+		`SELECT min(s), max(s) FROM d`,
+		`SELECT g, min(s) FROM d WHERE f > 0 GROUP BY g`,
+		`SELECT madlib.fmcount(s) FROM d`,
+		`SELECT g, madlib.quantile(f, 0.5) FROM d GROUP BY g`,
+		`SELECT madlib.quantile(f, 0.25), count(*), min(s) FROM d WHERE i <> 0`,
+	}
+	for _, q := range promoted {
+		if !runDiffQuery(t, batchSess, rowSess, q) {
+			t.Fatalf("query %q should now plan the batch lane", q)
 		}
 	}
 }
@@ -438,9 +451,12 @@ func newJoinDiffDB(t *testing.T, rows int) *engine.DB {
 	return db
 }
 
-// TestRowLaneShapesPinned pins the planner's lane decision for the
-// relational shapes: joins, windows and DISTINCT always take the row
-// lane, while plain single-table shapes keep vectorizing.
+// TestRowLaneShapesPinned pins the planner's lane decision. After the
+// join/parallel batch-lane work the remaining row-only shapes are:
+// LEFT JOIN sources (NULL-aware closures over the matched marker),
+// SELECT DISTINCT, window queries, Vector-typed operands and bool
+// min/max. Inner joins, text min/max and madlib scalar aggregates now
+// vectorize.
 func TestRowLaneShapesPinned(t *testing.T) {
 	db := newJoinDiffDB(t, 300)
 	sess := NewSession(db)
@@ -456,13 +472,21 @@ func TestRowLaneShapesPinned(t *testing.T) {
 		}
 		return pl
 	}
-	// Joined aggregate: row lane, join source recorded.
-	if ap := plan(`SELECT dims.name, sum(d.f) FROM d JOIN dims ON d.g = dims.g GROUP BY dims.name`).(*aggPlan); ap.batch != nil || ap.src.join == nil {
-		t.Fatal("joined aggregate must take the row lane with a join source")
+	// Inner-joined aggregate: batch lane over the join materialization.
+	if ap := plan(`SELECT dims.name, sum(d.f) FROM d JOIN dims ON d.g = dims.g GROUP BY dims.name`).(*aggPlan); ap.batch == nil || ap.src.join == nil {
+		t.Fatal("inner-joined aggregate must take the batch lane over a join source")
 	}
-	// Joined scan: no vectorized filter.
-	if sp := plan(`SELECT d.i, dims.name FROM d JOIN dims ON d.g = dims.g WHERE d.f > 0`).(*scanPlan); sp.batchPred != nil || sp.src.join == nil {
-		t.Fatal("joined scan must not vectorize its filter")
+	// Inner-joined scan: the WHERE filter vectorizes over the join output.
+	if sp := plan(`SELECT d.i, dims.name FROM d JOIN dims ON d.g = dims.g WHERE d.f > 0`).(*scanPlan); sp.batchPred == nil || sp.src.join == nil {
+		t.Fatal("inner-joined scan must vectorize its filter")
+	}
+	// LEFT JOIN aggregate: row lane (padded columns need NULL closures).
+	if ap := plan(`SELECT count(dims.name) FROM d LEFT JOIN dims ON d.g = dims.g`).(*aggPlan); ap.batch != nil {
+		t.Fatal("LEFT JOIN aggregate must take the row lane")
+	}
+	// LEFT JOIN scan: no vectorized filter.
+	if sp := plan(`SELECT d.i FROM d LEFT JOIN dims ON d.g = dims.g WHERE d.f > 0`).(*scanPlan); sp.batchPred != nil {
+		t.Fatal("LEFT JOIN scan must not vectorize its filter")
 	}
 	// DISTINCT scan: row lane even though the WHERE clause batch-compiles.
 	if sp := plan(`SELECT DISTINCT g FROM d WHERE f > 0`).(*scanPlan); sp.batchPred != nil || !sp.distinct {
@@ -579,5 +603,308 @@ func TestJoinPlanCacheInvalidation(t *testing.T) {
 	}
 	if got := third.Rows[0][0]; got != int64(1) {
 		t.Fatalf("replanned join count = %v, want 1", got)
+	}
+}
+
+// withGOMAXPROCS forces the engine's worker-pool mode (raising
+// GOMAXPROCS above NumCPU is legal), restoring the setting afterwards.
+func withGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// TestJoinedBatchLaneDifferential runs inner-joined aggregates and
+// filtered joined scans on both lanes — the batch session must actually
+// plan the vectorized lane for the aggregate shapes — including the
+// division-by-zero and overflow edges over the join output.
+func TestJoinedBatchLaneDifferential(t *testing.T) {
+	db := newJoinDiffDB(t, 600)
+	batchSess := NewSession(db)
+	rowSess := NewSession(db)
+	rowSess.SetBatchExecution(false)
+	aggQueries := []string{
+		`SELECT count(*) FROM d JOIN dims ON d.g = dims.g`,
+		`SELECT dims.name, sum(d.f), count(*) FROM d JOIN dims ON d.g = dims.g GROUP BY dims.name`,
+		`SELECT dims.name, avg(d.i), min(d.s) FROM d JOIN dims ON d.g = dims.g WHERE d.f > 0 GROUP BY dims.name`,
+		`SELECT sum(d.f * 2), max(abs(d.i % 97)) FROM d JOIN dims ON d.g = dims.g WHERE d.b`,
+		`SELECT min(dims.name), max(dims.name) FROM d JOIN dims ON d.g = dims.g`,
+		`SELECT sum(d.i * d.i), min(d.i + d.i) FROM d JOIN dims ON d.g = dims.g`,
+		`SELECT count(*) FROM d JOIN dims ON d.g = dims.g WHERE d.i <> 0 AND 100 / d.i > 2`,
+	}
+	for _, q := range aggQueries {
+		if !runDiffQuery(t, batchSess, rowSess, q) {
+			t.Fatalf("query %q should plan the batch lane over the join", q)
+		}
+	}
+	// Error edges must agree over the joined source too (both lanes
+	// error identically, so no lane assertion).
+	runDiffQuery(t, batchSess, rowSess, `SELECT sum(10 / d.i) FROM d JOIN dims ON d.g = dims.g`)
+	runDiffQuery(t, batchSess, rowSess, `SELECT d.g, sum(1 / d.i) FROM d JOIN dims ON d.g = dims.g GROUP BY d.g`)
+	scanQueries := []string{
+		`SELECT d.i, dims.name FROM d JOIN dims ON d.g = dims.g WHERE d.f > 0 ORDER BY d.i, d.s, dims.name LIMIT 40`,
+		`SELECT d.g, d.f FROM d JOIN dims ON d.g = dims.g WHERE d.i % 2 = 0 ORDER BY 2, 1 LIMIT 25`,
+	}
+	for _, q := range scanQueries {
+		runDiffQuery(t, batchSess, rowSess, q)
+	}
+}
+
+// TestParallelLaneDifferential reruns the differential edge queries with
+// the worker pool engaged (tables above engine.ParallelRowThreshold,
+// GOMAXPROCS raised), so the morsel scheduler is exercised under the
+// differential oracle — and pins that ORDER BY output is deterministic
+// across repeated parallel executions, including tie groups, which must
+// stay in segment order.
+func TestParallelLaneDifferential(t *testing.T) {
+	rows := engine.ParallelRowThreshold + 1500
+	db := newJoinDiffDB(t, rows)
+	withGOMAXPROCS(t, 4)
+	batchSess := NewSession(db)
+	rowSess := NewSession(db)
+	rowSess.SetBatchExecution(false)
+	queries := []string{
+		`SELECT g, avg(f), count(*) FROM d WHERE f > 0.25 GROUP BY g`,
+		`SELECT sum(i * i), min(i + i), max(i - 1 + i) FROM d`,
+		`SELECT sum(10 / i) FROM d`,
+		`SELECT count(*) FROM d WHERE i <> 0 AND 100 / i > 2`,
+		`SELECT s, stddev(f), variance(i) FROM d WHERE s <> 's0' GROUP BY s`,
+		`SELECT min(s), max(s) FROM d WHERE b`,
+		`SELECT dims.name, sum(d.f) FROM d JOIN dims ON d.g = dims.g GROUP BY dims.name`,
+		`SELECT i, f, s FROM d WHERE f > 10 AND i % 2 = 0 ORDER BY i, s LIMIT 50`,
+	}
+	for _, q := range queries {
+		runDiffQuery(t, batchSess, rowSess, q)
+	}
+	// Determinism: repeated parallel executions of an ORDER BY query with
+	// heavy ties must produce byte-identical output.
+	ordered := []string{
+		`SELECT i, f, s FROM d WHERE f >= 0 ORDER BY g LIMIT 200`,
+		`SELECT g, count(*) c FROM d GROUP BY g ORDER BY c DESC, g`,
+	}
+	for _, q := range ordered {
+		want, err := batchSess.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			got, err := batchSess.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if formatResult(got) != formatResult(want) {
+				t.Fatalf("query %q: parallel execution %d diverged\n--- want ---\n%s\n--- got ---\n%s",
+					q, trial, formatResult(want), formatResult(got))
+			}
+		}
+	}
+}
+
+// joinTempCount counts the join-materialization temp tables currently
+// in the catalog.
+func joinTempCount(db *engine.DB) int {
+	n := 0
+	for _, name := range db.TableNames() {
+		if strings.HasPrefix(name, "sql_join") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestJoinMaterializationCache pins the cached-join semantics: a second
+// execution of a cached plan reuses the materialized join table, an
+// INSERT into either input invalidates it, results are identical on hit
+// and miss, and releasing the plan (DDL invalidation) drops the temp
+// table from the catalog.
+func TestJoinMaterializationCache(t *testing.T) {
+	db := newJoinDiffDB(t, 300)
+	sess := NewSession(db)
+	const q = `SELECT dims.name, sum(d.f) FROM d JOIN dims ON d.g = dims.g GROUP BY dims.name ORDER BY dims.name`
+	first, err := sess.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, ok := sess.plans.get(q)
+	if !ok {
+		t.Fatal("plan not cached")
+	}
+	j := pl.(*aggPlan).src.join
+	if j == nil {
+		t.Fatal("no join source")
+	}
+	j.mu.Lock()
+	mat1 := j.cached
+	j.mu.Unlock()
+	if mat1 == nil {
+		t.Fatal("first execution did not cache the join materialization")
+	}
+	second, err := sess.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	mat2 := j.cached
+	j.mu.Unlock()
+	if mat2 != mat1 {
+		t.Fatal("second execution rebuilt the join despite unchanged inputs")
+	}
+	if formatResult(first) != formatResult(second) {
+		t.Fatalf("cache hit changed the result:\n%s\nvs\n%s", formatResult(first), formatResult(second))
+	}
+	// INSERT into the left input invalidates.
+	if _, err := sess.Exec(`INSERT INTO d VALUES (0, 1, 100.5, 's1', true, {1})`); err != nil {
+		t.Fatal(err)
+	}
+	third, err := sess.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	mat3 := j.cached
+	j.mu.Unlock()
+	if mat3 == mat1 {
+		t.Fatal("INSERT into the probe side did not invalidate the cached join")
+	}
+	if formatResult(third) == formatResult(first) {
+		t.Fatal("rebuilt join should reflect the inserted row")
+	}
+	// INSERT into the right input invalidates too.
+	if _, err := sess.Exec(`INSERT INTO dims VALUES (6, 'g6')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	mat4 := j.cached
+	j.mu.Unlock()
+	if mat4 == mat3 {
+		t.Fatal("INSERT into the build side did not invalidate the cached join")
+	}
+	if joinTempCount(db) != 1 {
+		t.Fatalf("stale materializations must be dropped: %d join temps in catalog", joinTempCount(db))
+	}
+	// DDL invalidates the plan cache and must release the materialization.
+	if _, err := sess.Exec(`CREATE TABLE unrelated (x bigint)`); err != nil {
+		t.Fatal(err)
+	}
+	if joinTempCount(db) != 0 {
+		t.Fatalf("plan release leaked %d join temp table(s)", joinTempCount(db))
+	}
+}
+
+// TestJoinMaterializationOneShotRelease proves plans that never enter
+// the plan cache (Session.Run, multi-statement Exec) drop their
+// materialization after executing.
+func TestJoinMaterializationOneShotRelease(t *testing.T) {
+	db := newJoinDiffDB(t, 200)
+	sess := NewSession(db)
+	st, err := ParseStatement(`SELECT count(*) FROM d JOIN dims ON d.g = dims.g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(st); err != nil {
+		t.Fatal(err)
+	}
+	if joinTempCount(db) != 0 {
+		t.Fatalf("one-shot plan leaked %d join temp table(s)", joinTempCount(db))
+	}
+	// Prepared statements keep their materialization until DEALLOCATE.
+	if _, err := sess.Exec(`PREPARE pj AS SELECT count(*) FROM d JOIN dims ON d.g = dims.g`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(`EXECUTE pj`); err != nil {
+		t.Fatal(err)
+	}
+	if joinTempCount(db) != 1 {
+		t.Fatalf("prepared plan should hold one materialization, found %d", joinTempCount(db))
+	}
+	if _, err := sess.Exec(`DEALLOCATE pj`); err != nil {
+		t.Fatal(err)
+	}
+	if joinTempCount(db) != 0 {
+		t.Fatalf("DEALLOCATE leaked %d join temp table(s)", joinTempCount(db))
+	}
+}
+
+// TestSessionCloseReleasesMaterializations proves Close drops every
+// plan-owned join materialization — short-lived sessions over a shared
+// database must not pin temp tables in the catalog.
+func TestSessionCloseReleasesMaterializations(t *testing.T) {
+	db := newJoinDiffDB(t, 200)
+	for i := 0; i < 3; i++ {
+		sess := NewSession(db)
+		if _, err := sess.Query(`SELECT count(*) FROM d JOIN dims ON d.g = dims.g`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Exec(`PREPARE pj AS SELECT d.g, count(*) FROM d JOIN dims ON d.g = dims.g GROUP BY d.g`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Query(`EXECUTE pj`); err != nil {
+			t.Fatal(err)
+		}
+		if joinTempCount(db) != 2 {
+			t.Fatalf("expected 2 live materializations before Close, got %d", joinTempCount(db))
+		}
+		sess.Close()
+		if joinTempCount(db) != 0 {
+			t.Fatalf("Close leaked %d join temp table(s)", joinTempCount(db))
+		}
+	}
+}
+
+// TestJoinMaterializationConcurrentExecutions hammers one cached joined
+// plan from several goroutines, invalidating (serialized) between
+// rounds — under -race this exercises the single-flight rebuild and
+// ensures concurrent misses converge on one materialization.
+func TestJoinMaterializationConcurrentExecutions(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	db := newJoinDiffDB(t, 300)
+	sess := NewSession(db)
+	const q = `SELECT dims.name, count(*) FROM d JOIN dims ON d.g = dims.g GROUP BY dims.name ORDER BY dims.name`
+	want, err := sess.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		// Serialized mutation: invalidates the materialization (and,
+		// being an INSERT into d, changes one group's count).
+		if _, err := sess.Exec(`INSERT INTO d VALUES (0, 1, 5.5, 's1', true, {1})`); err != nil {
+			t.Fatal(err)
+		}
+		want, err = sess.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 4)
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := 0; k < 5; k++ {
+					got, err := sess.Query(q)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if formatResult(got) != formatResult(want) {
+						errs[w] = fmt.Errorf("concurrent execution diverged:\n%s\nvs\n%s",
+							formatResult(got), formatResult(want))
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := joinTempCount(db); n != 1 {
+			t.Fatalf("round %d: expected exactly 1 live materialization, got %d", round, n)
+		}
 	}
 }

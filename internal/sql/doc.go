@@ -40,12 +40,23 @@
 // # Joins
 //
 // One two-table equi-join per SELECT, executed as a broadcast hash join
-// (engine.HashJoin): the right side is hashed once, left segments probe
-// in parallel, output rows stay on their probe row's segment. The ON
-// condition must be an equality of one bigint or text column from each
-// side. Columns are referenced bare (when unambiguous) or qualified by
-// table name or alias; right-side names that collide with left-side
-// names appear in SELECT * output prefixed with the right table's name.
+// (engine.HashJoin): the right side is hashed once into typed (unboxed)
+// key maps, left segments probe in parallel batch-at-a-time over their
+// key lanes, and matches materialize column-wise; output rows stay on
+// their probe row's segment. The ON condition must be an equality of
+// one bigint or text column from each side. Columns are referenced bare
+// (when unambiguous) or qualified by table name or alias; right-side
+// names that collide with left-side names appear in SELECT * output
+// prefixed with the right table's name.
+//
+// The join output materializes into a temp table that is cached on the
+// plan: repeated executions of a cached or prepared joined statement
+// (the EXECUTE-twice pattern) skip the whole build+probe when neither
+// input table's data version changed, and any INSERT/UPDATE/TRUNCATE
+// through the engine API invalidates the cache. The materialization is
+// dropped when the plan leaves the plan cache or prepared-statement
+// store; short-lived sessions over a shared database should call
+// Session.Close so abandoned plans release theirs.
 //
 // LEFT JOIN keeps unmatched left rows. The engine's columnar storage has
 // no NULL representation, so the join materializes a hidden boolean
@@ -135,8 +146,20 @@
 // semantics (x <> 0 AND 1/x > 2 cannot fault). Built-in aggregates fold
 // lanes directly into the same accumulator structs the row lane uses,
 // and single-column GROUP BY keys hash through Go's specialized
-// int64/string map fast paths per segment. Kernel scratch is allocated
-// per segment and pooled across executions of a cached plan.
+// int64/string map fast paths per segment. Ungrouped single-aggregate
+// queries whose argument is a bare column (or count) take a further
+// fused filter+aggregate path: the predicate fills one bool lane and
+// the aggregate folds the raw column lane against it — no selection
+// vector, no gather. Kernel scratch is allocated per segment and pooled
+// across executions of a cached plan.
+//
+// Execution is morsel-parallel: the engine's segment drivers hand
+// segments (the morsels) to a pool of up to GOMAXPROCS workers, with
+// per-segment states merged left-to-right in segment order afterwards —
+// so results, including non-associative float sums, are bit-identical
+// to sequential execution and to the row lane. Tables below
+// engine.ParallelRowThreshold (4096 rows) run inline on the calling
+// goroutine, so small tables never pay goroutine spawn costs.
 //
 // The row lane lowers the same expressions to typed per-row Go closures
 // with unboxed fast paths. It is the semantic oracle (the differential
@@ -147,15 +170,19 @@
 // The planner picks the lane per query at plan time. It chooses the
 // batch lane when every aggregate is a batchable built-in
 // (count/sum/avg/variance/stddev over numeric expressions, min/max
-// over numeric expressions, count(*)), the WHERE clause batch-compiles,
-// and no GROUP BY key is Vector-typed. It provably falls back to the
-// row lane for: madlib.* aggregate calls (quantile, fmcount, ...),
-// Vector-typed operands (array literals, array_get, vector columns),
-// text/bool min/max, and $n parameters anywhere other than one side of
-// a comparison. The relational shapes — JOIN, window functions and
-// SELECT DISTINCT — always take the row lane (windows fold
-// sequentially by definition; joins and DISTINCT dedupe/materialize
-// boxed rows); TestRowLaneShapesPinned pins that decision.
+// over numeric or text expressions, count(*)) or a registered madlib
+// aggregate (adapted by folding rows through its transition function,
+// so the WHERE clause still vectorizes and the scan still
+// parallelizes), the WHERE clause batch-compiles, and no GROUP BY key
+// is Vector-typed. Inner JOIN sources vectorize too: the join
+// materializes into an ordinary NULL-free temp table that the batch
+// kernels scan unchanged. The planner provably falls back to the row
+// lane for: Vector-typed operands (array literals, array_get, vector
+// columns), bool min/max, $n parameters anywhere other than one side
+// of a comparison, LEFT JOIN sources (padded right-side columns need
+// NULL-aware closures over the matched marker), SELECT DISTINCT, and
+// window queries (windows fold sequentially by definition);
+// TestRowLaneShapesPinned pins that decision.
 // Session.SetBatchExecution(false) forces the row lane everywhere.
 //
 // Each Session keeps an LRU plan cache keyed by statement text:
@@ -167,9 +194,11 @@
 // Exec/Query through one shared session, so callers get plan caching
 // without holding any extra state. BenchmarkSQLSelectAgg tracks the
 // resulting SQL-vs-engine overhead (the paper's §4.4(a) study) with
-// batch-vs-row sub-benchmarks (SQL vs SQLRowLane); scripts/bench_sql.sh
-// records it to BENCH_sql.json and scripts/bench_check.sh gates CI on
-// >25% regressions.
+// batch-vs-row, parallel and join sub-benchmarks (SQL vs SQLRowLane,
+// SQLParallel, SQLJoinAgg vs SQLJoinAggCached); scripts/bench_sql.sh
+// records them to BENCH_sql.json and scripts/bench_check.sh gates CI on
+// >25% regressions of the SQL, SQLParallel, SQLJoinAgg and
+// SQLJoinAggCached entries.
 //
 // # Types
 //

@@ -140,6 +140,10 @@ type stmtPlan interface {
 	// (the catalog maps each name to the same *engine.Table), so a
 	// cached or prepared plan never executes against a stale schema.
 	valid(db *engine.DB) bool
+	// release frees plan-owned catalog resources — today the cached join
+	// materialization — when the plan leaves the session's plan cache or
+	// prepared-statement store, or when a one-shot plan finishes.
+	release(db *engine.DB)
 }
 
 // planStmt lowers a SELECT or INSERT into an executable plan.
@@ -187,6 +191,7 @@ func (s *Session) execCreateTableAs(st *CreateTableAs) (*Result, error) {
 		return nil, err
 	}
 	r, err := pl.exec(s, nil)
+	pl.release(s.db) // one-shot plan: free any cached materialization
 	if err != nil {
 		return nil, err
 	}
@@ -332,6 +337,8 @@ func (p *insertPlan) valid(db *engine.DB) bool {
 	return err == nil && t == p.table
 }
 
+func (p *insertPlan) release(*engine.DB) {}
+
 func (p *insertPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	schema := p.table.Schema()
 	ctx := &evalCtx{params: env.paramList()}
@@ -464,9 +471,12 @@ func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 			isAgg = true
 		}
 	}
-	// Lane decision: joined and DISTINCT plans take the row lane (the
-	// semantic oracle); only plain single-table shapes may vectorize.
-	batchOK := s.batchEnabled() && ps.join == nil && !st.Distinct
+	// Lane decision: DISTINCT plans and LEFT JOIN sources (whose padded
+	// columns need NULL-aware closures) take the row lane — the semantic
+	// oracle. Plain single-table shapes and inner-join sources may
+	// vectorize: an inner join materializes into an ordinary temp table
+	// with no NULLs, so batch kernels run over it unchanged.
+	batchOK := s.batchEnabled() && !st.Distinct && ps.nullable == nil
 	if isAgg {
 		return planAggSelect(st, ps, batchOK)
 	}
@@ -502,6 +512,8 @@ func planConstSelect(st *Select) (stmtPlan, error) {
 }
 
 func (p *constPlan) valid(*engine.DB) bool { return true }
+
+func (p *constPlan) release(*engine.DB) {}
 
 func (p *constPlan) exec(_ *Session, env *execEnv) (*Result, error) {
 	st := p.st
@@ -665,6 +677,8 @@ func planScanSelect(st *Select, ps *planSource, batchOK bool) (stmtPlan, error) 
 }
 
 func (p *scanPlan) valid(db *engine.DB) bool { return p.src.valid(db) }
+
+func (p *scanPlan) release(db *engine.DB) { p.src.release(db) }
 
 func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	input, cleanup, err := p.src.acquire(s)
@@ -1021,12 +1035,14 @@ func planAggSelect(st *Select, ps *planSource, batchOK bool) (stmtPlan, error) {
 		p.keyFn = groupKeyFn(schema, p.groupIdx)
 	}
 	if batchOK {
-		p.batch, _ = planBatchAggLane(st, schema, p.calls, p.groupIdx)
+		p.batch, _ = planBatchAggLane(st, schema, p.calls, p.builders, p.groupIdx)
 	}
 	return p, nil
 }
 
 func (p *aggPlan) valid(db *engine.DB) bool { return p.src.valid(db) }
+
+func (p *aggPlan) release(db *engine.DB) { p.src.release(db) }
 
 // evalGroup evaluates one group's output row (and ORDER BY keys) from its
 // finalized slot values. This stage runs once per group, so it stays on
@@ -1141,7 +1157,7 @@ func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	defer cleanup()
 	var states []*multiState
 	if p.batch != nil {
-		states, err = p.execBatch(s, env)
+		states, err = p.execBatch(s, env, input)
 	} else {
 		states, err = p.execRowLane(s, env, input)
 	}
@@ -1437,6 +1453,8 @@ func (p *tvPlan) valid(db *engine.DB) bool {
 	t, err := db.Table(p.name)
 	return err == nil && t == p.table
 }
+
+func (p *tvPlan) release(*engine.DB) {}
 
 func (p *tvPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	st, t, call := p.st, p.table, p.call

@@ -14,33 +14,64 @@ import (
 // results — per segment, rows fold in the same order, and segment states
 // merge in the same segment order.
 
-// batchAggSpec is one aggregate call lowered to the batch lane. Exactly
-// one of evalF/evalI is set for value-folding aggregates; both are nil
-// for count (which may still carry evalDiscard to surface argument
-// evaluation errors, matching count(expr) on the row lane).
+// batchAggSpec is one aggregate call lowered to the batch lane. At most
+// one of evalF/evalI/evalS is set for value-folding aggregates; all are
+// nil for count (which may still carry evalDiscard to surface argument
+// evaluation errors, matching count(expr) on the row lane) and for
+// madlib aggregates, which fold whole rows through updRow.
 type batchAggSpec struct {
 	evalF func(e *batchEval, b engine.ColBatch, sel selVec) ([]float64, error)
 	evalI func(e *batchEval, b engine.ColBatch, sel selVec) ([]int64, error)
+	evalS func(e *batchEval, b engine.ColBatch, sel selVec) ([]string, error)
 	// evalDiscard evaluates a count(expr) argument for its errors only.
 	evalDiscard func(e *batchEval, b engine.ColBatch, sel selVec) error
 
 	init func() any
-	// updF/updI/updN fold one selected row into an accumulator (grouped
-	// path); foldF/foldI fold a whole lane (ungrouped fast path).
+	// updF/updI/updS/updN fold one selected row into an accumulator
+	// (grouped path); foldF/foldI/foldS fold a whole lane (ungrouped
+	// fast path).
 	updF  func(st any, v float64)
 	updI  func(st any, v int64)
+	updS  func(st any, v string)
 	updN  func(st any, n int64)
 	foldF func(st any, vals []float64)
 	foldI func(st any, vals []int64)
+	foldS func(st any, vals []string)
+
+	// updRow folds one selected row directly through an engine.Aggregate
+	// transition — the adapter that lets madlib scalar aggregates ride
+	// the batch lane (vectorized WHERE, parallel morsels) while keeping
+	// their row-at-a-time transition semantics.
+	updRow func(st any, row engine.Row) any
+
+	// argCol >= 0 marks an argument that is a bare column reference of
+	// the matching lane kind; together with fusedF/fusedI it enables the
+	// fused filter+aggregate path for single-aggregate queries, which
+	// folds the raw column lane against the predicate's bool lane with
+	// no selection vector and no gather.
+	argCol int
+	fusedF func(st any, lane []float64, keep []bool)
+	fusedI func(st any, lane []int64, keep []bool)
 
 	merge func(a, b any) any
 	final func(st any) (any, error)
 }
 
 // buildBatchAggregate lowers one built-in aggregate call to a batch
-// spec; ok=false (madlib aggregates, non-numeric min/max, dynamic
-// arguments) keeps the whole query on the row lane.
+// spec; ok=false (bool min/max, Vector-typed or dynamic arguments)
+// keeps the whole query on the row lane. Registered madlib aggregates
+// are adapted separately (buildMadlibBatchSpec).
 func buildBatchAggregate(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bool) {
+	spec, ok := buildBuiltinBatchSpec(call, bc)
+	if !ok {
+		return nil, false
+	}
+	spec.argCol = -1
+	attachFused(spec, call, bc)
+	return spec, true
+}
+
+func buildBuiltinBatchSpec(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bool) {
 	if call.Schema != "" || !builtinAggs[call.Name] {
 		return nil, false
 	}
@@ -68,8 +99,13 @@ func buildBatchAggregate(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bool
 			final: func(st any) (any, error) { return st.(*countState).n, nil },
 		}
 		// count(expr) evaluates its argument so runtime errors surface;
-		// constant arguments cannot fail and skip the evaluation.
-		if arg != nil && !arg.isConst {
+		// constant arguments and bare column references cannot fail and
+		// skip the evaluation (the engine's storage has no NULLs).
+		isBareCol := false
+		if len(call.Args) == 1 {
+			_, isBareCol = call.Args[0].(*ColumnRef)
+		}
+		if arg != nil && !arg.isConst && !isBareCol {
 			switch arg.kind {
 			case ckFloat:
 				fk := arg.f
@@ -165,6 +201,37 @@ func buildBatchAggregate(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bool
 				}
 			}
 			return spec, true
+		case ckStr:
+			spec := &batchAggSpec{
+				init: func() any { return &sminmaxState{} },
+				updS: func(st any, v string) {
+					s := st.(*sminmaxState)
+					if !s.seen || (wantLess && v < s.val) || (!wantLess && v > s.val) {
+						s.val, s.seen = v, true
+					}
+				},
+				merge: func(a, b any) any {
+					sa, sb := a.(*sminmaxState), b.(*sminmaxState)
+					if sb.seen && (!sa.seen || (wantLess && sb.val < sa.val) || (!wantLess && sb.val > sa.val)) {
+						sa.val, sa.seen = sb.val, true
+					}
+					return sa
+				},
+				final: func(st any) (any, error) {
+					s := st.(*sminmaxState)
+					if !s.seen {
+						return nil, nil
+					}
+					return s.val, nil
+				},
+			}
+			spec.evalS = laneEvalS(arg.s, bc)
+			spec.foldS = func(st any, vals []string) {
+				for _, v := range vals {
+					spec.updS(st, v)
+				}
+			}
+			return spec, true
 		}
 		return nil, false
 	case "sum", "avg", "variance", "stddev":
@@ -246,6 +313,146 @@ func laneEvalI(ik iBatchKernel, bc *batchCompiler) func(*batchEval, engine.ColBa
 	}
 }
 
+func laneEvalS(sk sBatchKernel, bc *batchCompiler) func(*batchEval, engine.ColBatch, selVec) ([]string, error) {
+	slot := bc.strSlot()
+	return func(e *batchEval, b engine.ColBatch, sel selVec) ([]string, error) {
+		out := e.s(slot, len(sel))
+		if err := sk(e, b, sel, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// sminmaxState is the batch lane's unboxed text min/max accumulator
+// (the row lane keeps these boxed in minmaxState; results agree because
+// string comparison is exact).
+type sminmaxState struct {
+	val  string
+	seen bool
+}
+
+// buildMadlibBatchSpec adapts a registered madlib scalar aggregate onto
+// the batch lane by folding each selected row through the row-lane
+// aggregate instance the plan already built. The arguments of a madlib
+// aggregate are fixed at plan time (resolveFuncArgs rejects $n), so the
+// builder ignores the execution environment and the instance is safe to
+// bind here; Init still creates fresh state per segment and per group.
+// The win over the row lane is upstream: the WHERE clause vectorizes
+// and the scan parallelizes over morsels.
+func buildMadlibBatchSpec(b aggBuilder) (*batchAggSpec, bool) {
+	agg, err := b(nil)
+	if err != nil {
+		return nil, false
+	}
+	return &batchAggSpec{
+		argCol: -1,
+		init:   agg.Init,
+		updRow: agg.Transition,
+		merge:  agg.Merge,
+		final:  agg.Final,
+	}, true
+}
+
+// attachFused marks aggregate arguments that are bare column references
+// and equips the spec with fused filter+fold kernels over the raw lane.
+// planBatchAggLane promotes the spec to the fused path for ungrouped
+// single-aggregate queries: one predicate pass, one fold pass, no
+// selection vector, no gather. Fold order is row order within the
+// segment either way, so results stay bit-identical to the unfused lane.
+func attachFused(spec *batchAggSpec, call *FuncCall, bc *batchCompiler) {
+	if call.Star || len(call.Args) != 1 {
+		return
+	}
+	cr, ok := call.Args[0].(*ColumnRef)
+	if !ok {
+		return
+	}
+	ci, ok := bc.colIdx[cr.Name]
+	if !ok {
+		return
+	}
+	switch call.Name {
+	case "sum", "avg", "variance", "stddev":
+		switch bc.schema[ci].Kind {
+		case engine.Float:
+			spec.argCol = ci
+			spec.fusedF = func(st any, lane []float64, keep []bool) {
+				s := st.(*numAccState)
+				if keep == nil {
+					for _, v := range lane {
+						s.sum += v
+						s.sumSq += v * v
+					}
+					s.n += int64(len(lane))
+					return
+				}
+				for i, v := range lane {
+					if keep[i] {
+						s.sum += v
+						s.sumSq += v * v
+						s.n++
+					}
+				}
+			}
+		case engine.Int:
+			spec.argCol = ci
+			spec.fusedI = func(st any, lane []int64, keep []bool) {
+				s := st.(*numAccState)
+				if keep == nil {
+					for _, v := range lane {
+						f := float64(v)
+						s.sumInt += v
+						s.sum += f
+						s.sumSq += f * f
+					}
+					s.n += int64(len(lane))
+					return
+				}
+				for i, v := range lane {
+					if keep[i] {
+						f := float64(v)
+						s.sumInt += v
+						s.sum += f
+						s.sumSq += f * f
+						s.n++
+					}
+				}
+			}
+		}
+	case "min", "max":
+		wantLess := call.Name == "min"
+		switch bc.schema[ci].Kind {
+		case engine.Float:
+			spec.argCol = ci
+			spec.fusedF = func(st any, lane []float64, keep []bool) {
+				s := st.(*fminmaxState)
+				for i, v := range lane {
+					if keep != nil && !keep[i] {
+						continue
+					}
+					if !s.seen || (wantLess && v < s.val) || (!wantLess && v > s.val) {
+						s.val, s.seen = v, true
+					}
+				}
+			}
+		case engine.Int:
+			spec.argCol = ci
+			spec.fusedI = func(st any, lane []int64, keep []bool) {
+				s := st.(*iminmaxState)
+				for i, v := range lane {
+					if keep != nil && !keep[i] {
+						continue
+					}
+					if !s.seen || (wantLess && v < s.val) || (!wantLess && v > s.val) {
+						s.val, s.seen = v, true
+					}
+				}
+			}
+		}
+	}
+}
+
 // batchAggLane is the planned vectorized lane of an aggregate query:
 // the scratch-slot program, the WHERE kernel (nil = keep all), one spec
 // per aggregate slot (aligned with aggPlan.builders), and the grouping
@@ -270,6 +477,11 @@ type batchAggLane struct {
 	specs    []*batchAggSpec
 	schema   engine.Schema
 	groupIdx []int
+
+	// fused, when non-nil, is specs[0] of an ungrouped single-aggregate
+	// query whose argument folds straight off a column lane (or count):
+	// processFused replaces the select+gather+fold pipeline.
+	fused *batchAggSpec
 
 	keyMode    batchKeyMode
 	keyFillInt func(b engine.ColBatch, sel selVec, keys []int64)
@@ -402,6 +614,9 @@ func (ln *batchAggLane) selectRows(st *batchSegState, b engine.ColBatch) (selVec
 
 // processUngrouped folds one batch into the segment's accumulators.
 func (ln *batchAggLane) processUngrouped(st *batchSegState, b engine.ColBatch) error {
+	if ln.fused != nil {
+		return ln.processFused(st, b)
+	}
 	sel, err := ln.selectRows(st, b)
 	if err != nil {
 		return err
@@ -411,6 +626,12 @@ func (ln *batchAggLane) processUngrouped(st *batchSegState, b engine.ColBatch) e
 	}
 	for ai, spec := range ln.specs {
 		switch {
+		case spec.updRow != nil:
+			acc := st.accs[ai]
+			for _, idx := range sel {
+				acc = spec.updRow(acc, b.Row(int(idx)))
+			}
+			st.accs[ai] = acc
 		case spec.evalF != nil:
 			vals, err := spec.evalF(st.e, b, sel)
 			if err != nil {
@@ -423,6 +644,12 @@ func (ln *batchAggLane) processUngrouped(st *batchSegState, b engine.ColBatch) e
 				return err
 			}
 			spec.foldI(st.accs[ai], vals)
+		case spec.evalS != nil:
+			vals, err := spec.evalS(st.e, b, sel)
+			if err != nil {
+				return err
+			}
+			spec.foldS(st.accs[ai], vals)
 		default:
 			if spec.evalDiscard != nil {
 				if err := spec.evalDiscard(st.e, b, sel); err != nil {
@@ -431,6 +658,40 @@ func (ln *batchAggLane) processUngrouped(st *batchSegState, b engine.ColBatch) e
 			}
 			spec.updN(st.accs[ai], int64(len(sel)))
 		}
+	}
+	return nil
+}
+
+// processFused is the fused filter+aggregate path: evaluate the WHERE
+// kernel into a bool lane (when present) and fold the aggregate's raw
+// column lane against it in one pass — no selection vector, no gather,
+// no per-value closure. Only planned for ungrouped single-aggregate
+// queries whose argument is a bare column reference or count(*).
+func (ln *batchAggLane) processFused(st *batchSegState, b engine.ColBatch) error {
+	var keep []bool
+	if ln.pred != nil {
+		keep = st.predOut[:b.Len()]
+		if err := ln.pred(st.e, b, st.e.identSel(b.Len()), keep); err != nil {
+			return err
+		}
+	}
+	spec := ln.fused
+	switch {
+	case spec.fusedF != nil:
+		spec.fusedF(st.accs[0], b.Floats(spec.argCol), keep)
+	case spec.fusedI != nil:
+		spec.fusedI(st.accs[0], b.Ints(spec.argCol), keep)
+	default: // count(*) / count(col)
+		n := int64(b.Len())
+		if keep != nil {
+			n = 0
+			for _, k := range keep {
+				if k {
+					n++
+				}
+			}
+		}
+		spec.updN(st.accs[0], n)
 	}
 	return nil
 }
@@ -484,6 +745,10 @@ func (ln *batchAggLane) processGrouped(st *batchSegState, b engine.ColBatch) err
 	}
 	for ai, spec := range ln.specs {
 		switch {
+		case spec.updRow != nil:
+			for j, g := range grps {
+				g.accs[ai] = spec.updRow(g.accs[ai], b.Row(int(sel[j])))
+			}
 		case spec.evalF != nil:
 			vals, err := spec.evalF(st.e, b, sel)
 			if err != nil {
@@ -499,6 +764,15 @@ func (ln *batchAggLane) processGrouped(st *batchSegState, b engine.ColBatch) err
 				return err
 			}
 			upd := spec.updI
+			for j, g := range grps {
+				upd(g.accs[ai], vals[j])
+			}
+		case spec.evalS != nil:
+			vals, err := spec.evalS(st.e, b, sel)
+			if err != nil {
+				return err
+			}
+			upd := spec.updS
 			for j, g := range grps {
 				upd(g.accs[ai], vals[j])
 			}
@@ -581,15 +855,16 @@ func (ln *batchAggLane) finalize(g *batchGroup) (*multiState, error) {
 	return out, nil
 }
 
-// execBatch drives the vectorized lane and returns one finalized
-// multiState per group (exactly one for ungrouped aggregates), matching
-// the row path's intermediate shape.
-func (p *aggPlan) execBatch(s *Session, env *execEnv) ([]*multiState, error) {
+// execBatch drives the vectorized lane over the acquired input table
+// (the base table, or a join's materialization) and returns one
+// finalized multiState per group (exactly one for ungrouped
+// aggregates), matching the row path's intermediate shape.
+func (p *aggPlan) execBatch(s *Session, env *execEnv, input *engine.Table) ([]*multiState, error) {
 	ln := p.batch
 	grouped := len(p.groupIdx) > 0
 	// Track every segment state so the scratch returns to the pool even
 	// when a kernel errors mid-scan.
-	tracked := make([]*batchSegState, len(p.src.table.Segments()))
+	tracked := make([]*batchSegState, len(input.Segments()))
 	newSeg := func(i int) any {
 		st := ln.newSegState(env, grouped)
 		tracked[i] = st
@@ -603,7 +878,7 @@ func (p *aggPlan) execBatch(s *Session, env *execEnv) ([]*multiState, error) {
 		}
 	}()
 	if !grouped {
-		v, err := s.db.RunBatched(p.src.table, newSeg,
+		v, err := s.db.RunBatched(input, newSeg,
 			func(state any, b engine.ColBatch) error {
 				return ln.processUngrouped(state.(*batchSegState), b)
 			},
@@ -623,7 +898,7 @@ func (p *aggPlan) execBatch(s *Session, env *execEnv) ([]*multiState, error) {
 		}
 		return []*multiState{ms}, nil
 	}
-	groups, err := s.db.RunGroupByBatched(p.src.table, newSeg,
+	groups, err := s.db.RunGroupByBatched(input, newSeg,
 		func(state any, b engine.ColBatch) error {
 			return ln.processGrouped(state.(*batchSegState), b)
 		},
@@ -715,10 +990,13 @@ func (ln *batchAggLane) bindKeyFill(schema engine.Schema, groupIdx []int) {
 }
 
 // planBatchAggLane attempts the vectorized lowering of an aggregate
-// query: every aggregate slot must be a batchable built-in and the WHERE
-// clause (if any) must batch-compile. ok=false leaves the plan on the
-// row lane.
-func planBatchAggLane(st *Select, schema engine.Schema, calls []*FuncCall, groupIdx []int) (*batchAggLane, bool) {
+// query: every aggregate slot must be a batchable built-in or a
+// registered madlib aggregate (adapted through its row transition), and
+// the WHERE clause (if any) must batch-compile. builders is the row
+// lane's aggregate-builder list, parallel to calls — the madlib adapter
+// reuses the instances it already built. ok=false leaves the plan on
+// the row lane.
+func planBatchAggLane(st *Select, schema engine.Schema, calls []*FuncCall, builders []aggBuilder, groupIdx []int) (*batchAggLane, bool) {
 	bc := newBatchCompiler(schema)
 	ln := &batchAggLane{schema: schema, groupIdx: groupIdx}
 	pred, ok := compileBatchPredicate(st.Where, bc)
@@ -729,6 +1007,11 @@ func planBatchAggLane(st *Select, schema engine.Schema, calls []*FuncCall, group
 	ln.specs = make([]*batchAggSpec, len(calls))
 	for i, call := range calls {
 		spec, ok := buildBatchAggregate(call, bc)
+		if !ok && !(call.Schema == "" && builtinAggs[call.Name]) {
+			// Registered madlib aggregate: fold rows through the plan's
+			// row-lane instance (its builder ignores the environment).
+			spec, ok = buildMadlibBatchSpec(builders[i])
+		}
 		if !ok {
 			return nil, false
 		}
@@ -742,6 +1025,15 @@ func planBatchAggLane(st *Select, schema engine.Schema, calls []*FuncCall, group
 			}
 		}
 		ln.bindKeyFill(schema, groupIdx)
+	} else if len(ln.specs) == 1 {
+		// Fused filter+aggregate: single aggregate over a raw column lane
+		// (or a plain count) with no grouping.
+		spec := ln.specs[0]
+		countOnly := spec.updN != nil && spec.updRow == nil && spec.evalDiscard == nil &&
+			spec.evalF == nil && spec.evalI == nil && spec.evalS == nil
+		if spec.fusedF != nil || spec.fusedI != nil || countOnly {
+			ln.fused = spec
+		}
 	}
 	ln.prog = bc.prog
 	return ln, true

@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"madlib/internal/engine"
 )
@@ -37,12 +38,30 @@ type planSource struct {
 	visible    int
 }
 
-// joinSource carries the resolved two-table equi-join.
+// joinSource carries the resolved two-table equi-join, plus the plan's
+// cached materialization: the join output is rebuilt only when either
+// input table reports a new data version, so repeated executions of a
+// cached or prepared plan skip the whole build+probe when the inputs
+// are unchanged. The cached temp table is dropped when it goes stale
+// (replaced by a rebuild) or when the owning plan leaves the session's
+// plan cache (planSource.release).
 type joinSource struct {
 	leftName, rightName string
 	left, right         *engine.Table
 	leftKey, rightKey   string // source-table column names
 	outer               bool
+
+	mu                sync.Mutex
+	cached            *engine.Table
+	leftVer, rightVer int64
+	// released marks the owning plan as evicted: an in-flight build that
+	// finishes after release must not re-cache (nothing would ever drop
+	// that materialization again).
+	released bool
+	// buildMu single-flights the materialization build: concurrent
+	// executions that miss the cache queue behind one build and reuse
+	// its result instead of each paying the full build+probe.
+	buildMu sync.Mutex
 }
 
 // valid reports whether every table binding of the source is still
@@ -57,18 +76,84 @@ func (ps *planSource) valid(db *engine.DB) bool {
 	return err == nil && t == ps.table
 }
 
-// acquire returns the executable input table, materializing the join
-// into a temp table when needed; cleanup drops it.
+// acquire returns the executable input table. Join sources materialize
+// into a temp table that is cached on the plan: a hit (neither input's
+// Version changed since the last build) returns the previous
+// materialization without touching the inputs; a miss rebuilds and
+// drops the stale table. cleanup is always a no-op for the caller —
+// the cached table's lifetime is managed by acquire itself and by
+// release when the plan is evicted.
 func (ps *planSource) acquire(s *Session) (*engine.Table, func(), error) {
 	if ps.join == nil {
 		return ps.table, func() {}, nil
 	}
 	j := ps.join
+	hit := func() *engine.Table {
+		lv, rv := j.left.Version(), j.right.Version()
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if j.cached != nil && j.leftVer == lv && j.rightVer == rv {
+			return j.cached
+		}
+		return nil
+	}
+	if t := hit(); t != nil {
+		return t, func() {}, nil
+	}
+	// Single-flight the rebuild: a concurrent execution that missed at
+	// the same time waits here and picks up the winner's table.
+	j.buildMu.Lock()
+	defer j.buildMu.Unlock()
+	if t := hit(); t != nil {
+		return t, func() {}, nil
+	}
+	// Capture the input versions before building: a mutation committed
+	// mid-build then stamps the cache with a pre-mutation version, so
+	// the next execution rebuilds rather than trusting a torn snapshot.
+	// (As everywhere in the engine, readers and writers of one table
+	// must still be externally serialized — versions only make cache
+	// staleness detectable, not concurrent writes safe.)
+	lv, rv := j.left.Version(), j.right.Version()
 	t, err := s.db.HashJoinTemp("sql_join", j.left, j.leftKey, j.right, j.rightKey, j.outer)
 	if err != nil {
 		return nil, nil, err
 	}
-	return t, func() { _ = s.db.DropTable(t.Name()) }, nil
+	j.mu.Lock()
+	if j.released {
+		// The plan was evicted while we were building: use the result for
+		// this execution only and drop its catalog entry afterwards (the
+		// scan holds the *Table pointer, so the drop is safe).
+		j.mu.Unlock()
+		return t, func() { _ = s.db.DropTable(t.Name()) }, nil
+	}
+	stale := j.cached
+	j.cached, j.leftVer, j.rightVer = t, lv, rv
+	j.mu.Unlock()
+	if stale != nil {
+		// Concurrent executions still scanning the stale table hold its
+		// pointer; dropping only removes the catalog entry.
+		_ = s.db.DropTable(stale.Name())
+	}
+	return t, func() {}, nil
+}
+
+// release drops the source's cached join materialization (if any) from
+// the catalog. Sessions call it whenever a plan leaves the plan cache,
+// a prepared statement is replanned or deallocated, or a one-shot plan
+// finishes executing.
+func (ps *planSource) release(db *engine.DB) {
+	if ps.join == nil {
+		return
+	}
+	j := ps.join
+	j.mu.Lock()
+	t := j.cached
+	j.cached = nil
+	j.released = true
+	j.mu.Unlock()
+	if t != nil {
+		_ = db.DropTable(t.Name())
+	}
 }
 
 // newCompileCtx builds a compilation context carrying the source's

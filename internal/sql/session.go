@@ -64,30 +64,51 @@ func (c *planCache) get(key string) (stmtPlan, bool) {
 	return el.Value.(*cacheEntry).plan, true
 }
 
-func (c *planCache) put(key string, plan stmtPlan) {
+// put stores a plan and returns the plans it displaced (a replaced
+// same-key plan and/or the LRU eviction victim) so the session can
+// release their resources.
+func (c *planCache) put(key string, plan stmtPlan) []stmtPlan {
+	var displaced []stmtPlan
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).plan = plan
+		e := el.Value.(*cacheEntry)
+		if e.plan != plan {
+			displaced = append(displaced, e.plan)
+		}
+		e.plan = plan
 		c.order.MoveToFront(el)
-		return
+		return displaced
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: plan})
 	if c.order.Len() > planCacheSize {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.entries, e.key)
+		displaced = append(displaced, e.plan)
 	}
+	return displaced
 }
 
-func (c *planCache) remove(key string) {
-	if el, ok := c.entries[key]; ok {
-		c.order.Remove(el)
-		delete(c.entries, key)
+// remove evicts one entry, returning the removed plan (nil if absent).
+func (c *planCache) remove(key string) stmtPlan {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
 	}
+	c.order.Remove(el)
+	delete(c.entries, key)
+	return el.Value.(*cacheEntry).plan
 }
 
-func (c *planCache) clear() {
+// clear drops every entry, returning the removed plans.
+func (c *planCache) clear() []stmtPlan {
+	removed := make([]stmtPlan, 0, len(c.entries))
+	for _, el := range c.entries {
+		removed = append(removed, el.Value.(*cacheEntry).plan)
+	}
 	c.entries = make(map[string]*list.Element)
 	c.order.Init()
+	return removed
 }
 
 // Session executes SQL against an engine database. A session owns a
@@ -115,6 +136,26 @@ func NewSession(db *engine.DB) *Session {
 // DB returns the underlying engine database.
 func (s *Session) DB() *engine.DB { return s.db }
 
+// Close empties the session's plan cache and prepared-statement store,
+// releasing every plan-owned catalog resource (cached join
+// materializations). The session stays usable afterwards — Close only
+// clears its caches — but callers that create short-lived sessions
+// over a shared, long-lived database should Close them, or abandoned
+// sessions pin their materialized join temp tables in the catalog for
+// the life of the process.
+func (s *Session) Close() {
+	s.mu.Lock()
+	dropped := s.plans.clear()
+	for _, p := range s.prepared {
+		if p.plan != nil {
+			dropped = append(dropped, p.plan)
+		}
+	}
+	s.prepared = make(map[string]*Prepared)
+	s.mu.Unlock()
+	s.releasePlans(dropped)
+}
+
 // SetBatchExecution toggles the vectorized column-batch lane. It is on
 // by default; turning it off forces every plan onto the per-row lane
 // (the semantic oracle), which the differential tests and the
@@ -124,11 +165,26 @@ func (s *Session) DB() *engine.DB { return s.db }
 func (s *Session) SetBatchExecution(enabled bool) {
 	s.mu.Lock()
 	s.batchOff = !enabled
-	s.plans.clear()
+	dropped := s.plans.clear()
 	for _, p := range s.prepared {
+		if p.plan != nil {
+			dropped = append(dropped, p.plan)
+		}
 		p.plan = nil
 	}
 	s.mu.Unlock()
+	s.releasePlans(dropped)
+}
+
+// releasePlans releases displaced plans' catalog resources (cached join
+// materializations). Called outside s.mu — release only touches engine
+// state.
+func (s *Session) releasePlans(plans []stmtPlan) {
+	for _, pl := range plans {
+		if pl != nil {
+			pl.release(s.db)
+		}
+	}
 }
 
 // batchEnabled reports whether the planner may choose the batch lane.
@@ -154,25 +210,26 @@ func (s *Session) setTiming(t Timing) {
 }
 
 // cachedPlan returns a still-valid cached plan for the statement text.
-// Stale plans (table dropped or re-created since planning) are evicted.
+// Stale plans (table dropped or re-created since planning) are evicted
+// and released.
 func (s *Session) cachedPlan(text string) (stmtPlan, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	pl, ok := s.plans.get(text)
-	if !ok {
-		return nil, false
-	}
-	if !pl.valid(s.db) {
+	if ok && !pl.valid(s.db) {
 		s.plans.remove(text)
+		s.mu.Unlock()
+		pl.release(s.db)
 		return nil, false
 	}
-	return pl, true
+	s.mu.Unlock()
+	return pl, ok
 }
 
 func (s *Session) cachePlan(text string, pl stmtPlan) {
 	s.mu.Lock()
-	s.plans.put(text, pl)
+	displaced := s.plans.put(text, pl)
 	s.mu.Unlock()
+	s.releasePlans(displaced)
 }
 
 // invalidatePlans drops every cached plan; called on DDL. Prepared
@@ -180,8 +237,9 @@ func (s *Session) cachePlan(text string, pl stmtPlan) {
 // stale, like PostgreSQL's).
 func (s *Session) invalidatePlans() {
 	s.mu.Lock()
-	s.plans.clear()
+	dropped := s.plans.clear()
 	s.mu.Unlock()
+	s.releasePlans(dropped)
 }
 
 // Exec parses and runs every statement in text, returning one Result per
@@ -312,6 +370,11 @@ func (s *Session) runTimed(st Statement, cacheKey string) (*Result, Timing, erro
 		tExec := time.Now()
 		r, err := pl.exec(s, nil)
 		tm.Exec = time.Since(tExec)
+		if cacheKey == "" {
+			// One-shot plan (Run, multi-statement Exec): nothing holds it
+			// after this execution, so free its cached materializations.
+			pl.release(s.db)
+		}
 		return r, tm, err
 	}
 	return nil, tm, execErrf("unsupported statement %T", st)
@@ -379,9 +442,28 @@ func (s *Session) execExecute(st *Execute) (*Result, Timing, error) {
 		if err != nil {
 			return nil, tm, err
 		}
+		// Swap under the lock and release whatever we actually displaced:
+		// a concurrent EXECUTE may have installed its own replan between
+		// our snapshot and now, and that plan must not leak its cached
+		// materialization (releasing it mid-execution is safe — an
+		// in-flight acquire sees the released flag and drops per-run).
+		// If a concurrent DEALLOCATE removed the Prepared entirely, the
+		// new plan must not be installed on the orphaned struct: run it
+		// this once and release it when done.
 		s.mu.Lock()
-		p.plan = pl
+		orphaned := s.prepared[st.Name] != p
+		var displaced stmtPlan
+		if !orphaned {
+			displaced = p.plan
+			p.plan = pl
+		}
 		s.mu.Unlock()
+		if displaced != nil && displaced != pl {
+			displaced.release(s.db)
+		}
+		if orphaned {
+			defer pl.release(s.db)
+		}
 		tm.CacheHit = false
 	}
 	tm.Plan = time.Since(t0)
@@ -393,15 +475,24 @@ func (s *Session) execExecute(st *Execute) (*Result, Timing, error) {
 
 func (s *Session) execDeallocate(st *Deallocate) (*Result, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var dropped []stmtPlan
 	if st.All {
+		for _, p := range s.prepared {
+			dropped = append(dropped, p.plan)
+		}
 		s.prepared = make(map[string]*Prepared)
+		s.mu.Unlock()
+		s.releasePlans(dropped)
 		return &Result{Tag: "DEALLOCATE ALL"}, nil
 	}
-	if _, ok := s.prepared[st.Name]; !ok {
+	p, ok := s.prepared[st.Name]
+	if !ok {
+		s.mu.Unlock()
 		return nil, execErrf("prepared statement %q does not exist", st.Name)
 	}
 	delete(s.prepared, st.Name)
+	s.mu.Unlock()
+	s.releasePlans([]stmtPlan{p.plan})
 	return &Result{Tag: "DEALLOCATE"}, nil
 }
 

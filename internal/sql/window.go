@@ -194,6 +194,8 @@ func anySpec(specs []windowSlotSpec, name string) bool {
 
 func (p *windowPlan) valid(db *engine.DB) bool { return p.src.valid(db) }
 
+func (p *windowPlan) release(db *engine.DB) { p.src.release(db) }
+
 // windowRowOut is one emitted output row with its final sort keys.
 // partVals carries the partition's key values on the partition's first
 // row only (the default output order sorts partitions by value).

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# bench_check.sh — regression gate for the SQL front-end's hot path.
-# Runs BenchmarkSQLSelectAgg/SQL and fails when ns/op regresses more than
-# the allowed factor versus the committed BENCH_sql.json, so a PR cannot
-# silently lose the vectorized-execution win.
+# bench_check.sh — regression gate for the SQL front-end's hot paths.
+# Runs the gated BenchmarkSQLSelectAgg sub-benchmarks and fails when any
+# of them regresses more than the allowed factor versus the committed
+# BENCH_sql.json, so a PR cannot silently lose the vectorized-execution,
+# parallel-lane or join-materialization wins.
+#
+# Gated entries: SQL (grouped filtered aggregate, batch lane),
+# SQLParallel (morsel-parallel lane on a larger table), SQLJoinAgg
+# (cold joined aggregate: plan + build + probe) and SQLJoinAggCached
+# (steady-state joined aggregate over the cached materialization).
 #
 # Usage: scripts/bench_check.sh [benchtime] [max_ratio]
 #   benchtime defaults to 0.5s; max_ratio defaults to 1.25 (25% slack for
@@ -18,31 +24,39 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-0.5s}"
 MAX_RATIO="${2:-1.25}"
+GATED="SQL SQLParallel SQLJoinAgg SQLJoinAggCached"
 
-committed=$(grep -o '"SQL": {"ns_per_op": [0-9]*' BENCH_sql.json | grep -o '[0-9]*$')
-if [ -z "$committed" ]; then
-  echo "bench_check: no committed SQL ns_per_op in BENCH_sql.json" >&2
-  exit 1
-fi
-
-out=$(go test -run '^$' -bench 'BenchmarkSQLSelectAgg/SQL$' -benchtime "$BENCHTIME" .)
+out=$(go test -run '^$' -bench "BenchmarkSQLSelectAgg/^($(echo "$GATED" | tr ' ' '|'))\$" -benchtime "$BENCHTIME" .)
 echo "$out"
 
-current=$(echo "$out" | awk '
-  /^BenchmarkSQLSelectAgg\/SQL(-[0-9]+)?[ \t]/ {
-    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") print $i
-  }' | head -1)
-if [ -z "$current" ]; then
-  echo "bench_check: benchmark produced no ns/op line" >&2
+fail=0
+for name in $GATED; do
+  committed=$(grep -o "\"$name\": {\"ns_per_op\": [0-9]*" BENCH_sql.json | grep -o '[0-9]*$' || true)
+  if [ -z "$committed" ]; then
+    echo "bench_check: no committed $name ns_per_op in BENCH_sql.json" >&2
+    exit 1
+  fi
+  current=$(echo "$out" | awk -v bench="BenchmarkSQLSelectAgg/$name" '
+    $1 == bench || $1 ~ "^" bench "-[0-9]+$" {
+      for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") print $i
+    }' | head -1)
+  if [ -z "$current" ]; then
+    echo "bench_check: benchmark $name produced no ns/op line" >&2
+    exit 1
+  fi
+  if ! awk -v name="$name" -v cur="$current" -v base="$committed" -v ratio="$MAX_RATIO" 'BEGIN {
+    limit = base * ratio
+    printf "bench_check: %s current %.0f ns/op, committed %.0f ns/op, limit %.0f ns/op\n", name, cur, base, limit
+    if (cur > limit) {
+      printf "bench_check: FAIL — BenchmarkSQLSelectAgg/%s regressed more than %.0f%%\n", name, (ratio - 1) * 100
+      exit 1
+    }
+  }'; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-
-awk -v cur="$current" -v base="$committed" -v ratio="$MAX_RATIO" 'BEGIN {
-  limit = base * ratio
-  printf "bench_check: current %.0f ns/op, committed %.0f ns/op, limit %.0f ns/op\n", cur, base, limit
-  if (cur > limit) {
-    printf "bench_check: FAIL — BenchmarkSQLSelectAgg/SQL regressed more than %.0f%%\n", (ratio - 1) * 100
-    exit 1
-  }
-  print "bench_check: OK"
-}'
+echo "bench_check: OK"
