@@ -440,6 +440,25 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 	const query = `SELECT g, avg(v), count(*) FROM t WHERE v > 0.25 GROUP BY g`
 	sess := sqlfe.NewSession(db)
 
+	// reportCounterDeltas attaches metric-registry deltas (per op) to the
+	// benchmark output — e.g. planhit/op 1.0 proves the loop really ran on
+	// the cached plan, and joinhit/op the cached join materialization.
+	// scripts/bench_check.sh prints these alongside the ns/op gate.
+	counterBase := func(names ...string) []int64 {
+		vals := make([]int64, len(names))
+		for i, n := range names {
+			vals[i] = db.Metrics().Counter(n).Value()
+		}
+		return vals
+	}
+	reportCounterDeltas := func(b *testing.B, base []int64, names []string, units []string) {
+		b.StopTimer()
+		for i, n := range names {
+			delta := db.Metrics().Counter(n).Value() - base[i]
+			b.ReportMetric(float64(delta)/float64(b.N), units[i])
+		}
+	}
+
 	// Steady-state SQL: after the first execution the session's plan cache
 	// serves the statement, so iterations measure compiled execution only.
 	// The default lane is the vectorized column-batch pipeline.
@@ -448,6 +467,7 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
+		base := counterBase("sql_plan_cache_hits")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := sess.Query(query)
@@ -458,6 +478,7 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 				b.Fatalf("groups = %d", len(res.Rows))
 			}
 		}
+		reportCounterDeltas(b, base, []string{"sql_plan_cache_hits"}, []string{"planhit/op"})
 	})
 	// The same cached plan forced onto the per-row closure lane: the
 	// batch-vs-row delta is the vectorization win in isolation.
@@ -567,6 +588,7 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 		joinSess := sqlfe.NewSession(db)
 		st := mustParse(b, joinQuery)
 		b.ReportAllocs()
+		base := counterBase("sql_join_cache_misses")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := joinSess.Run(st)
@@ -577,6 +599,7 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 				b.Fatalf("groups = %d", len(res.Rows))
 			}
 		}
+		reportCounterDeltas(b, base, []string{"sql_join_cache_misses"}, []string{"joinmiss/op"})
 	})
 	// Joined aggregate, steady state: the plan cache serves the statement
 	// and the join materialization cache skips the rebuild (neither input
@@ -588,6 +611,7 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
+		base := counterBase("sql_plan_cache_hits", "sql_join_cache_hits")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := joinSess.Query(joinQuery)
@@ -598,6 +622,8 @@ func BenchmarkSQLSelectAgg(b *testing.B) {
 				b.Fatalf("groups = %d", len(res.Rows))
 			}
 		}
+		reportCounterDeltas(b, base, []string{"sql_plan_cache_hits", "sql_join_cache_hits"},
+			[]string{"planhit/op", "joinhit/op"})
 	})
 	b.Run("ParseOnly", func(b *testing.B) {
 		b.ReportAllocs()

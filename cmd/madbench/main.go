@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 
 	"madlib/internal/experiments"
@@ -26,7 +28,50 @@ func main() {
 	rows := flag.Int("rows", 0, "rows per dataset (0 = experiment default; paper used 10M)")
 	trials := flag.Int("trials", 0, "timing trials per cell (0 = default)")
 	csvPath := flag.String("csv", "", "also write figure4/figure5 rows as CSV to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this path (go tool trace; shows the morsel pool's worker scheduling)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "madbench: %v\n", err)
+			}
+		}()
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -24,6 +25,7 @@ func runSQL(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	in := fs.String("in", "", "preload a CSV file (header row required) as a table")
 	table := fs.String("table", "data", "table name for -in")
 	segments := fs.Int("segments", 4, "engine segments")
+	slowMS := fs.Int64("slow-query-ms", -1, "log statements slower than this many milliseconds to stderr (0 logs every statement; negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,6 +41,10 @@ func runSQL(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	})
 	db := madlib.Open(madlib.Config{Segments: *segments})
+	if *slowMS >= 0 {
+		logger := slog.New(slog.NewTextHandler(stderr, nil))
+		db.SetQueryLog(logger, time.Duration(*slowMS)*time.Millisecond)
+	}
 	if *in != "" {
 		header, records, err := readCSV(*in)
 		if err != nil {
@@ -162,10 +168,18 @@ func (r *repl) metaCommand(cmd string) bool {
 		if len(fields) > 1 {
 			r.describeTable(fields[1])
 		} else {
-			r.listTables()
+			r.listTables(false)
+		}
+	case "\\d+":
+		if len(fields) > 1 {
+			r.describeTable(fields[1])
+		} else {
+			r.listTables(true)
 		}
 	case "\\df":
 		r.listFunctions()
+	case "\\stats":
+		r.showStats()
 	case "\\prepare":
 		r.listPrepared()
 	case "\\timing":
@@ -179,9 +193,13 @@ func (r *repl) metaCommand(cmd string) bool {
 		fmt.Fprint(r.out, `General
   \q              quit
   \d              list tables
+  \d+             list all tables, including hidden engine temporaries
+                  (row counts and data versions)
   \d NAME         describe a table
   \df             list madlib.* SQL functions
   \prepare        list prepared statements
+  \stats          show engine and session metric counters
+                  (also queryable: SELECT * FROM madlib_stats_counters)
   \timing         toggle per-statement timing (parse/plan/exec split)
   \?              this help
 
@@ -189,8 +207,9 @@ Statements end with ';' and may span lines. The dialect covers
 CREATE TABLE [AS SELECT], DROP, INSERT, SELECT [DISTINCT] with
 JOIN/LEFT JOIN ... ON, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT,
 window functions (row_number/rank/count/sum/avg OVER (PARTITION BY
-... ORDER BY ...)), PREPARE/EXECUTE/DEALLOCATE, and madlib.* calls
-(\df lists them).
+... ORDER BY ...)), PREPARE/EXECUTE/DEALLOCATE, EXPLAIN [ANALYZE],
+and madlib.* calls (\df lists them). System views: madlib_stats_counters,
+madlib_stats_queries, madlib_stats_tables.
 `)
 	default:
 		fmt.Fprintf(r.errOut, "invalid command %s — try \\?\n", fields[0])
@@ -198,18 +217,41 @@ window functions (row_number/rank/count/sum/avg OVER (PARTITION BY
 	return true
 }
 
-func (r *repl) listTables() {
+// listTables prints the catalog. Plain \d hides engine-managed
+// temporaries (staging tables, cached join materializations) the way
+// psql hides other sessions' temp schemas; \d+ (all=true) shows them
+// alongside row counts and data versions.
+func (r *repl) listTables(all bool) {
 	names := r.db.Engine().TableNames()
-	res := &madlib.SQLResult{Cols: []string{"name", "rows"}}
+	cols := []string{"name", "rows"}
+	if all {
+		cols = []string{"name", "rows", "version", "temp"}
+	}
+	res := &madlib.SQLResult{Cols: cols}
 	for _, n := range names {
 		t, err := r.db.Table(n)
-		if err != nil || t.Temp() {
-			// Engine-managed temporaries (staging tables, cached join
-			// materializations) are implementation detail, like psql
-			// hiding other sessions' temp schemas.
+		if err != nil {
+			continue
+		}
+		if all {
+			res.Rows = append(res.Rows, []any{n, t.Count(), t.Version(), t.Temp()})
+			continue
+		}
+		if t.Temp() {
 			continue
 		}
 		res.Rows = append(res.Rows, []any{n, t.Count()})
+	}
+	fmt.Fprint(r.out, res.Format())
+}
+
+// showStats prints the metrics registry through the same SQL path users
+// can query directly.
+func (r *repl) showStats() {
+	res, err := r.db.Query("SELECT name, value FROM madlib_stats_counters")
+	if err != nil {
+		fmt.Fprintf(r.errOut, "ERROR: %v\n", err)
+		return
 	}
 	fmt.Fprint(r.out, res.Format())
 }

@@ -17,6 +17,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"madlib/internal/metrics"
 )
 
 // Kind enumerates the column types the engine stores. The set mirrors what
@@ -348,9 +350,23 @@ type DB struct {
 	tables  map[string]*Table
 	tempSeq int64
 
-	// Statistics counters used by the overhead experiments (§4.4).
-	queries     atomic.Int64
-	rowsScanned atomic.Int64
+	// metrics is this database's observability registry; every counter
+	// below is resolved from it once at Open so the hot paths pay one
+	// atomic add, never a registry lookup. The SQL layer adds its own
+	// counters (plan cache, lanes, join cache) to the same registry and
+	// exposes the combined Snapshot as the madlib_stats_counters view.
+	metrics *metrics.Registry
+	// Statistics counters used by the overhead experiments (§4.4) and
+	// the observability layer (PR 6).
+	queries     *metrics.Counter
+	rowsScanned *metrics.Counter
+	// seqScans / parScans count parallelSegments dispatch decisions:
+	// inline sequential fallback vs morsel worker pool.
+	seqScans *metrics.Counter
+	parScans *metrics.Counter
+	// joinBuilds / joinBuild track hash-join build+probe work.
+	joinBuilds *metrics.Counter
+	joinBuild  *metrics.Histogram
 }
 
 // Open creates a database with the given number of segments (at least 1).
@@ -358,18 +374,32 @@ func Open(segments int) *DB {
 	if segments < 1 {
 		segments = 1
 	}
-	return &DB{segments: segments, tables: make(map[string]*Table)}
+	reg := metrics.NewRegistry()
+	return &DB{
+		segments:    segments,
+		tables:      make(map[string]*Table),
+		metrics:     reg,
+		queries:     reg.Counter("engine_queries"),
+		rowsScanned: reg.Counter("engine_rows_scanned"),
+		seqScans:    reg.Counter("engine_scans_sequential"),
+		parScans:    reg.Counter("engine_scans_parallel"),
+		joinBuilds:  reg.Counter("engine_join_builds"),
+		joinBuild:   reg.Histogram("engine_join_build"),
+	}
 }
 
 // SegmentCount returns the number of segments the database was opened with.
 func (db *DB) SegmentCount() int { return db.segments }
 
+// Metrics returns the database's observability registry.
+func (db *DB) Metrics() *metrics.Registry { return db.metrics }
+
 // QueriesExecuted returns the number of engine queries run so far.
-func (db *DB) QueriesExecuted() int64 { return db.queries.Load() }
+func (db *DB) QueriesExecuted() int64 { return db.queries.Value() }
 
 // RowsScanned returns the total number of rows fed through transition
 // functions so far.
-func (db *DB) RowsScanned() int64 { return db.rowsScanned.Load() }
+func (db *DB) RowsScanned() int64 { return db.rowsScanned.Value() }
 
 // CreateTable registers a new permanent table.
 func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
@@ -416,6 +446,26 @@ func (db *DB) createTable(name string, schema Schema, temp bool) (*Table, error)
 		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	db.tables[name] = t
+	return t, nil
+}
+
+// NewDetachedTable builds a table that is NOT registered in any catalog:
+// the SQL layer materializes system views (madlib_stats_*) into detached
+// tables per execution, so observability snapshots flow through the
+// ordinary scan machinery without polluting the catalog or temp-table
+// namespace. The caller owns the table; segments is clamped to at least 1.
+func NewDetachedTable(name string, schema Schema, segments int) (*Table, error) {
+	if len(schema) == 0 {
+		return nil, errors.New("engine: empty schema")
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	t := &Table{name: name, schema: schema.Clone(), temp: true}
+	t.segs = make([]*Segment, segments)
+	for i := range t.segs {
+		t.segs[i] = newSegment(schema)
+	}
 	return t, nil
 }
 

@@ -86,9 +86,15 @@ func (db *DB) segmentWorkers(t *Table) int {
 // worker, and every caller merges the per-segment states left-to-right
 // in segment order afterwards. Tables below ParallelRowThreshold run
 // inline on the calling goroutine.
+// ScanWorkers reports the number of morsel workers a scan of t would
+// use right now (1 means the sequential fallback). EXPLAIN renders this
+// so the parallel-vs-sequential decision is visible before execution.
+func (db *DB) ScanWorkers(t *Table) int { return db.segmentWorkers(t) }
+
 func (db *DB) parallelSegments(t *Table, fn func(segIdx int, seg *Segment) error) error {
 	workers := db.segmentWorkers(t)
 	if workers <= 1 {
+		db.seqScans.Inc()
 		for i, seg := range t.segs {
 			if err := fn(i, seg); err != nil {
 				return err
@@ -96,6 +102,7 @@ func (db *DB) parallelSegments(t *Table, fn func(segIdx int, seg *Segment) error
 		}
 		return nil
 	}
+	db.parScans.Inc()
 	return db.pooledSegments(t, workers, fn)
 }
 

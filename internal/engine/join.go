@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 )
 
 // MatchedCol is the hidden marker column an outer join appends to its
@@ -72,6 +73,7 @@ func (db *DB) HashJoinTemp(prefix string, left *Table, leftKey string, right *Ta
 }
 
 func (db *DB) hashJoin(dst string, left *Table, leftKey string, right *Table, rightKey string, temp, outer bool) (*Table, error) {
+	buildStart := time.Now()
 	lk := left.schema.Index(leftKey)
 	if lk < 0 {
 		return nil, fmt.Errorf("%w: %q", ErrNoColumn, leftKey)
@@ -182,6 +184,8 @@ func (db *DB) hashJoin(dst string, left *Table, leftKey string, right *Table, ri
 	out.totalRows = total
 	out.mu.Unlock()
 	db.queries.Add(1)
+	db.joinBuilds.Inc()
+	db.joinBuild.Observe(time.Since(buildStart))
 	return out, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -342,6 +343,59 @@ func TestHashJoinVectorizedProbe(t *testing.T) {
 	}
 	if unmatched != wantUnmatched {
 		t.Fatalf("unmatched rows = %d, want %d", unmatched, wantUnmatched)
+	}
+}
+
+// TestMetricsCountersUnderPool proves the observability counters are
+// exact — not merely race-free — when queries run concurrently over the
+// morsel pool: every dispatch decision, query and scanned row is
+// counted exactly once. Run under -race this also exercises the
+// counters' atomics against the pool's worker goroutines.
+func TestMetricsCountersUnderPool(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	db := Open(6)
+	tbl := loadParallelTable(t, db, 2*ParallelRowThreshold)
+
+	reg := db.Metrics()
+	base := func(name string) int64 { return reg.Counter(name).Value() }
+	baseQueries := base("engine_queries")
+	baseRows := base("engine_rows_scanned")
+	basePar := base("engine_scans_parallel")
+	baseSeq := base("engine_scans_sequential")
+
+	const goroutines, perGoroutine = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				if _, err := db.Run(tbl, sumFloatAgg()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	const queries = goroutines * perGoroutine
+	if got := base("engine_queries") - baseQueries; got != queries {
+		t.Errorf("engine_queries delta = %d, want %d", got, queries)
+	}
+	if got, want := base("engine_rows_scanned")-baseRows, int64(queries)*tbl.Count(); got != want {
+		t.Errorf("engine_rows_scanned delta = %d, want %d", got, want)
+	}
+	// Above the row threshold with GOMAXPROCS=4, every scan must take
+	// the pooled path.
+	if got := base("engine_scans_parallel") - basePar; got != queries {
+		t.Errorf("engine_scans_parallel delta = %d, want %d", got, queries)
+	}
+	if got := base("engine_scans_sequential") - baseSeq; got != 0 {
+		t.Errorf("engine_scans_sequential delta = %d, want 0", got)
 	}
 }
 

@@ -1,0 +1,145 @@
+// Package metrics is a lock-cheap counter and histogram registry for
+// engine observability. Counters and histograms are plain atomics —
+// incrementing one from a morsel worker costs a single atomic add, so
+// instrumentation can sit on the per-query (not per-row) hot paths of
+// the engine and the SQL session without perturbing what it measures.
+// The registry itself takes a mutex only on name lookup; callers are
+// expected to resolve counters once at construction time and hold the
+// pointer.
+//
+// A Registry belongs to one engine database (engine.Open creates one),
+// not to the process: tests and embedded applications that open several
+// databases observe each in isolation. The SQL layer exposes a
+// registry's Snapshot as the madlib_stats_counters system view.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram tracks the count, sum and maximum of observed durations in
+// nanoseconds. It keeps no buckets — the engine's consumers (system
+// views, bench_check) want totals and worst cases, not quantiles — so
+// one observation is two atomic adds and a CAS loop on the max.
+type Histogram struct {
+	name  string
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNanos returns the summed observed nanoseconds.
+func (h *Histogram) SumNanos() int64 { return h.sum.Load() }
+
+// MaxNanos returns the largest single observation in nanoseconds.
+func (h *Histogram) MaxNanos() int64 { return h.max.Load() }
+
+// Stat is one named sample of a Snapshot.
+type Stat struct {
+	Name  string
+	Value int64
+}
+
+// Registry is a named collection of counters and histograms. The
+// zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. The returned pointer is stable for the registry's lifetime.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric as name/value pairs sorted by name.
+// Histograms expand into three derived entries: <name>_count,
+// <name>_ns_total and <name>_ns_max. The snapshot is not atomic across
+// metrics — each value is an independent atomic load.
+func (r *Registry) Snapshot() []Stat {
+	r.mu.Lock()
+	out := make([]Stat, 0, len(r.counters)+3*len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, Stat{Name: name, Value: c.Value()})
+	}
+	for name, h := range r.histograms {
+		out = append(out,
+			Stat{Name: name + "_count", Value: h.Count()},
+			Stat{Name: name + "_ns_total", Value: h.SumNanos()},
+			Stat{Name: name + "_ns_max", Value: h.MaxNanos()},
+		)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

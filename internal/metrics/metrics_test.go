@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatalf("Counter(%q) returned distinct pointers", "x")
+	}
+	a.Inc()
+	a.Add(4)
+	if got := b.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if a.Name() != "x" {
+		t.Fatalf("Name = %q, want x", a.Name())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	h.Observe(3 * time.Nanosecond)
+	h.Observe(7 * time.Nanosecond)
+	h.Observe(5 * time.Nanosecond)
+	if h.Count() != 3 || h.SumNanos() != 15 || h.MaxNanos() != 7 {
+		t.Fatalf("count/sum/max = %d/%d/%d, want 3/15/7", h.Count(), h.SumNanos(), h.MaxNanos())
+	}
+}
+
+func TestSnapshotSortedAndExpanded(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz").Add(2)
+	r.Counter("aa").Add(1)
+	r.Histogram("mid").Observe(10 * time.Nanosecond)
+	snap := r.Snapshot()
+	want := []Stat{
+		{"aa", 1},
+		{"mid_count", 1},
+		{"mid_ns_max", 10},
+		{"mid_ns_total", 10},
+		{"zz", 2},
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d: %v", len(snap), len(want), snap)
+	}
+	for i, w := range want {
+		if snap[i] != w {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, snap[i], w)
+		}
+	}
+}
+
+// TestConcurrentAccess exercises registration and updates from many
+// goroutines; run under -race in CI.
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(time.Duration(i))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("shared = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*perWorker {
+		t.Fatalf("lat count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat").MaxNanos(); got != perWorker-1 {
+		t.Fatalf("lat max = %d, want %d", got, perWorker-1)
+	}
+}

@@ -77,6 +77,28 @@ func (*Prepare) stmt() {}
 
 func (s *Prepare) String() string { return fmt.Sprintf("PREPARE %s AS %s", s.Name, s.Text) }
 
+// Explain is EXPLAIN [ANALYZE] statement: render the plan the session
+// would choose (lane, parallelism, cache state) without caching it;
+// with ANALYZE the inner statement also executes and the output gains
+// actual row counts and per-stage timings.
+type Explain struct {
+	Analyze bool
+	// Stmt is the inner statement (SELECT or INSERT).
+	Stmt Statement
+	// Text is the inner statement's SQL source, used to probe the plan
+	// cache for an existing plan under the same key.
+	Text string
+}
+
+func (*Explain) stmt() {}
+
+func (s *Explain) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Stmt.String()
+	}
+	return "EXPLAIN " + s.Stmt.String()
+}
+
 // Execute is EXECUTE name(args): run a prepared statement with the given
 // parameter values.
 type Execute struct {

@@ -32,6 +32,7 @@
 //	PREPARE name AS select-or-insert
 //	EXECUTE name[(expr, ...)]
 //	DEALLOCATE [PREPARE] (name | ALL)
+//	EXPLAIN [ANALYZE] (select | insert)
 //
 // HAVING filters groups after aggregation and may reference aggregates
 // (also ones not in the SELECT list) and GROUP BY columns; without
@@ -264,6 +265,44 @@
 // expression straight into the aggregate's transition function. The
 // unqualified spelling (linregr(...) without the madlib. prefix)
 // resolves through the same registry.
+//
+// # Observability
+//
+// EXPLAIN renders the compiled plan as one row per line: the operator
+// shape (Seq Scan / Hash Join / HashAggregate / WindowAgg / Function
+// Scan / Insert), the execution lane the planner picked (row, batch or
+// fused), the parallel-vs-sequential morsel decision with its reason
+// (worker count, or the row-threshold / GOMAXPROCS fallback), the join
+// strategy with the materialization cache's current hit/miss state, and
+// whether the statement's text already has a cached plan. EXPLAIN
+// probes the plan cache but never populates it. EXPLAIN ANALYZE also
+// executes the statement (including INSERTs) and appends actual rows,
+// the engine's rows-scanned delta, and the parse/plan/exec wall-time
+// split. Only SELECT and INSERT can be explained.
+//
+// Engine and session counters are queryable through three virtual
+// system views, served by the ordinary executor:
+//
+//	SELECT * FROM madlib_stats_counters  -- name, value
+//	SELECT * FROM madlib_stats_queries   -- query, lane, rows, duration_us, cache_hit
+//	SELECT * FROM madlib_stats_tables    -- name, rows, segments, version, temp
+//
+// madlib_stats_counters snapshots the per-database metrics registry
+// (internal/metrics): engine scan/join/query counters and the SQL
+// layer's plan-cache, lane-pick, join-cache, replan and slow-query
+// counters. madlib_stats_queries is the session's ring of the last 32
+// observed statements, newest first; a statement never records itself.
+// madlib_stats_tables lists the catalog including hidden temp tables,
+// with engine data versions. Each view materializes a fresh snapshot
+// per execution; a real table with the same name shadows its view, and
+// views cannot be joined or fed to table-valued madlib functions —
+// stage them with CREATE TABLE ... AS first.
+//
+// Session.SetQueryLog attaches a log/slog logger: every observed
+// statement at least as slow as the configured threshold is emitted
+// with its text, duration, lane, row count and cache flag (threshold 0
+// logs everything, and `madlib sql --slow-query-ms N` wires this up in
+// the REPL, where \stats prints the counters view).
 //
 // # Testing
 //

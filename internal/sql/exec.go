@@ -456,6 +456,9 @@ func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 			if ps.join != nil {
 				return nil, execErrf("table-valued madlib functions cannot be combined with JOIN; stage the join with CREATE TABLE ... AS first")
 			}
+			if ps.virtual {
+				return nil, execErrf("table-valued madlib functions cannot run over system views")
+			}
 			if st.Distinct {
 				return nil, execErrf("SELECT DISTINCT cannot be combined with table-valued madlib functions")
 			}
@@ -477,10 +480,17 @@ func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 	// vectorize: an inner join materializes into an ordinary temp table
 	// with no NULLs, so batch kernels run over it unchanged.
 	batchOK := s.batchEnabled() && !st.Distinct && ps.nullable == nil
+	var pl stmtPlan
 	if isAgg {
-		return planAggSelect(st, ps, batchOK)
+		pl, err = planAggSelect(st, ps, batchOK)
+	} else {
+		pl, err = planScanSelect(st, ps, batchOK)
 	}
-	return planScanSelect(st, ps, batchOK)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.lanePicked(planLane(pl))
+	return pl, nil
 }
 
 // constPlan evaluates a FROM-less SELECT (e.g. SELECT 1+2, SELECT $1+$2).
@@ -577,6 +587,9 @@ type scanPlan struct {
 	cols     []string
 	itemFns  []anyFn
 	pred     boolFn
+	// whereText is the resolved WHERE clause rendered back to text, kept
+	// only for EXPLAIN.
+	whereText string
 	// orderOrds[k] is the projected-column ordinal of ORDER BY key k, or
 	// -1 when the key is a compiled expression over the input row.
 	orderOrds []int
@@ -665,6 +678,9 @@ func planScanSelect(st *Select, ps *planSource, batchOK bool) (stmtPlan, error) 
 	p.pred, err = compilePredicate(st.Where, cc)
 	if err != nil {
 		return nil, err
+	}
+	if st.Where != nil {
+		p.whereText = st.Where.String()
 	}
 	if batchOK && st.Where != nil {
 		bc := newBatchCompiler(schema)

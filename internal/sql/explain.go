@@ -1,0 +1,221 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"madlib/internal/engine"
+)
+
+// EXPLAIN renders the plan the session would run for a statement as a
+// one-column rowset (QUERY PLAN), one line per row: the operator tree,
+// the execution lane the planner picked (row / batch / fused), the
+// parallel-vs-sequential morsel decision, join materialization cache
+// state and plan-cache status. EXPLAIN ANALYZE additionally executes the
+// statement (including INSERTs — like PostgreSQL, analyze runs the real
+// thing) and appends actual row counts, the rows-scanned delta from the
+// engine counters, and the parse/plan/exec wall-time split that the
+// REPL's \timing shows.
+
+func (s *Session) execExplain(st *Explain) (*Result, Timing, error) {
+	var tm Timing
+	if n := stmtMaxParam(st.Stmt); n > 0 {
+		return nil, tm, execErrf("EXPLAIN: query uses parameter $%d; bind values with PREPARE ... / EXECUTE", n)
+	}
+	// Probe the plan cache under the inner statement's source text: if
+	// the session already executed exactly this statement, EXPLAIN
+	// reports on (and with ANALYZE runs) the very plan that is cached.
+	// Fresh plans are not inserted — explaining a statement must not
+	// evict working plans.
+	t0 := time.Now()
+	pl, cached := s.cachedPlan(st.Text)
+	if !cached {
+		var err error
+		pl, err = s.planStmt(st.Stmt)
+		if err != nil {
+			return nil, tm, err
+		}
+	}
+	planD := time.Since(t0)
+	tm.Plan = planD
+
+	lines := explainLines(s, pl)
+	if cached {
+		lines = append(lines, "plan: cached")
+	} else {
+		lines = append(lines, "plan: not cached")
+	}
+
+	if st.Analyze {
+		// Re-parse the inner text so the report carries the same
+		// parse/plan/exec split as \timing (the original parse happened
+		// as part of the EXPLAIN statement itself).
+		pt0 := time.Now()
+		_, _ = Parse(st.Text)
+		parseD := time.Since(pt0)
+		scanned0 := s.db.RowsScanned()
+		tExec := time.Now()
+		r, err := pl.exec(s, nil)
+		execD := time.Since(tExec)
+		tm.Exec = execD
+		if err != nil {
+			if !cached {
+				pl.release(s.db)
+			}
+			return nil, tm, err
+		}
+		lines = append(lines,
+			fmt.Sprintf("actual rows: %d", len(r.Rows)),
+			fmt.Sprintf("rows scanned: %d", s.db.RowsScanned()-scanned0),
+			fmt.Sprintf("Parse Time: %s", fmtMillis(parseD)),
+			fmt.Sprintf("Planning Time: %s", fmtMillis(planD)),
+			fmt.Sprintf("Execution Time: %s", fmtMillis(execD)),
+		)
+	}
+	if !cached {
+		pl.release(s.db)
+	}
+	rows := make([][]any, len(lines))
+	for i, ln := range lines {
+		rows[i] = []any{ln}
+	}
+	return &Result{Cols: []string{"QUERY PLAN"}, Rows: rows, Tag: "EXPLAIN"}, tm, nil
+}
+
+func fmtMillis(d time.Duration) string {
+	return fmt.Sprintf("%.3f ms", float64(d)/float64(time.Millisecond))
+}
+
+// explainLines renders one plan as indented text lines.
+func explainLines(s *Session, pl stmtPlan) []string {
+	switch p := pl.(type) {
+	case *scanPlan:
+		lines := []string{sourceTitle(s, p.src)}
+		lane := "row"
+		if p.batchPred != nil {
+			lane = "batch (vectorized filter)"
+		}
+		lines = append(lines, "  lane: "+lane)
+		if p.whereText != "" {
+			lines = append(lines, "  filter: "+p.whereText)
+		}
+		if p.distinct {
+			lines = append(lines, "  distinct: true")
+		}
+		return append(lines, sourceDetail(s, p.src, "  ")...)
+	case *aggPlan:
+		head := "Aggregate"
+		if len(p.groupIdx) > 0 {
+			head = fmt.Sprintf("HashAggregate (group by %s)", strings.Join(p.st.GroupBy, ", "))
+		}
+		lines := []string{head}
+		calls := make([]string, len(p.calls))
+		for i, c := range p.calls {
+			calls[i] = c.String()
+		}
+		lines = append(lines, "  aggregates: "+strings.Join(calls, ", "))
+		lane := "row"
+		if p.batch != nil {
+			lane = "batch (vectorized)"
+			if p.batch.fused != nil {
+				lane = "fused (single-pass filter+aggregate)"
+			}
+		}
+		lines = append(lines, "  lane: "+lane)
+		if p.st.Having != nil {
+			lines = append(lines, "  having: "+p.st.Having.String())
+		}
+		lines = append(lines, "  "+sourceTitle(s, p.src))
+		if p.st.Where != nil {
+			lines = append(lines, "    filter: "+p.st.Where.String())
+		}
+		return append(lines, sourceDetail(s, p.src, "    ")...)
+	case *windowPlan:
+		lines := []string{"WindowAgg"}
+		names := make([]string, len(p.specs))
+		for i, spec := range p.specs {
+			names[i] = spec.name
+		}
+		lines = append(lines,
+			"  window functions: "+strings.Join(names, ", "),
+			"  lane: row (window functions fold per partition)",
+			"  "+sourceTitle(s, p.src))
+		if p.st.Where != nil {
+			lines = append(lines, "    filter: "+p.st.Where.String())
+		}
+		return append(lines, sourceDetail(s, p.src, "    ")...)
+	case *tvPlan:
+		lines := []string{
+			"Function Scan on madlib." + p.call.Name,
+			"  lane: row (driver function)",
+			fmt.Sprintf("  Seq Scan on %s (%d segments, %d rows)",
+				p.name, len(p.table.Segments()), p.table.Count()),
+		}
+		if p.st.Where != nil {
+			lines = append(lines, "    filter: "+p.st.Where.String())
+		}
+		return append(lines, "    "+executionLine(s, p.table))
+	case *constPlan:
+		return []string{"Result (constant expressions)"}
+	case *insertPlan:
+		return []string{fmt.Sprintf("Insert on %s (%d rows)", p.name, len(p.rows))}
+	}
+	return []string{fmt.Sprintf("plan: %T", pl)}
+}
+
+// sourceTitle is a planSource's operator line: a sequential scan, a hash
+// join, or a system-view snapshot.
+func sourceTitle(s *Session, ps *planSource) string {
+	if ps.virtual {
+		return "System View " + ps.name
+	}
+	if j := ps.join; j != nil {
+		kind := "Hash Join"
+		if j.outer {
+			kind = "Left Hash Join"
+		}
+		return fmt.Sprintf("%s (%s.%s = %s.%s)", kind, j.leftName, j.leftKey, j.rightName, j.rightKey)
+	}
+	return fmt.Sprintf("Seq Scan on %s (%d segments, %d rows)",
+		ps.name, len(ps.table.Segments()), ps.table.Count())
+}
+
+// sourceDetail renders a planSource's cache and parallelism decisions,
+// each line prefixed with pad.
+func sourceDetail(s *Session, ps *planSource, pad string) []string {
+	if ps.virtual {
+		return []string{pad + "execution: snapshot (materialized per execution)"}
+	}
+	j := ps.join
+	if j == nil {
+		return []string{pad + executionLine(s, ps.table)}
+	}
+	lv, rv := j.left.Version(), j.right.Version()
+	j.mu.Lock()
+	hit := j.cached != nil && j.leftVer == lv && j.rightVer == rv
+	j.mu.Unlock()
+	cacheLine := "join cache: miss (build + probe at execution)"
+	if hit {
+		cacheLine = "join cache: hit (reusing materialized result)"
+	}
+	return []string{
+		pad + cacheLine,
+		pad + fmt.Sprintf("build: %s (%d rows)", j.rightName, j.right.Count()),
+		pad + fmt.Sprintf("probe: %s (%d rows)", j.leftName, j.left.Count()),
+		pad + executionLine(s, j.left),
+	}
+}
+
+// executionLine reports the morsel-parallel decision the engine would
+// make for a scan of t right now.
+func executionLine(s *Session, t *engine.Table) string {
+	if w := s.db.ScanWorkers(t); w > 1 {
+		return fmt.Sprintf("execution: parallel (%d workers over %d segment morsels)", w, len(t.Segments()))
+	}
+	if t.Count() < engine.ParallelRowThreshold {
+		return fmt.Sprintf("execution: sequential (%d rows < parallel threshold %d)",
+			t.Count(), engine.ParallelRowThreshold)
+	}
+	return "execution: sequential (GOMAXPROCS=1 or single segment)"
+}

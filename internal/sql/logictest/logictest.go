@@ -9,6 +9,7 @@ package logictest
 import (
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 
@@ -26,6 +27,10 @@ type Record struct {
 	// RowSort sorts actual and expected rows before comparing (for
 	// queries whose order is not pinned by ORDER BY).
 	RowSort bool
+	// Regex treats each expected line as a regular expression that must
+	// match the whole actual line (for EXPLAIN ANALYZE output, where the
+	// structure is stable but timing values are not).
+	Regex bool
 	// SQL is the statement text (may span lines).
 	SQL string
 	// Expected holds the expected result lines of a query record.
@@ -81,11 +86,15 @@ func ParseFile(path string) ([]Record, error) {
 					return nil, fmt.Errorf("%s:%d: bad column type %q (want I, R, T or B)", path, i+1, string(c))
 				}
 			}
-			if len(fields) > 2 {
-				if fields[2] != "rowsort" {
-					return nil, fmt.Errorf("%s:%d: unknown query option %q", path, i+1, fields[2])
+			for _, opt := range fields[2:] {
+				switch opt {
+				case "rowsort":
+					rec.RowSort = true
+				case "regex":
+					rec.Regex = true
+				default:
+					return nil, fmt.Errorf("%s:%d: unknown query option %q", path, i+1, opt)
 				}
-				rec.RowSort = true
 			}
 			i++
 			var sqlLines []string
@@ -178,6 +187,17 @@ func RunFile(path string) error {
 					strings.Join(actual, "\n"), strings.Join(expected, "\n"))
 			}
 			for i := range actual {
+				if rec.Regex {
+					re, err := regexp.Compile("^(?:" + expected[i] + ")$")
+					if err != nil {
+						return fmt.Errorf("%s: bad expected pattern %q: %v", where, expected[i], err)
+					}
+					if !re.MatchString(actual[i]) {
+						return fmt.Errorf("%s: row %d does not match\nSQL: %s\ngot:     %s\npattern: %s",
+							where, i+1, rec.SQL, actual[i], expected[i])
+					}
+					continue
+				}
 				if actual[i] != expected[i] {
 					return fmt.Errorf("%s: row %d mismatch\nSQL: %s\ngot:  %s\nwant: %s",
 						where, i+1, rec.SQL, actual[i], expected[i])

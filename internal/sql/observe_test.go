@@ -1,0 +1,158 @@
+package sql
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCountersViewMatchesRegistry proves the madlib_stats_counters view
+// is a faithful snapshot of the live registry: every counter value read
+// through SQL lies between the registry's values immediately before and
+// immediately after the query (counters are monotone), and counters
+// known to be stable across the read match exactly.
+func TestCountersViewMatchesRegistry(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE t (g bigint, v float);
+		INSERT INTO t VALUES (1, 10), (1, 30), (2, 5)`)
+	mustQuery(t, s, `SELECT g, avg(v) FROM t GROUP BY g`)
+	mustQuery(t, s, `SELECT g, avg(v) FROM t GROUP BY g`)
+
+	snap := func() map[string]int64 {
+		m := map[string]int64{}
+		for _, st := range s.db.Metrics().Snapshot() {
+			m[st.Name] = st.Value
+		}
+		return m
+	}
+	before := snap()
+	res := mustQuery(t, s, `SELECT name, value FROM madlib_stats_counters`)
+	after := snap()
+
+	seen := map[string]int64{}
+	for _, row := range res.Rows {
+		name := row[0].(string)
+		v := row[1].(int64)
+		seen[name] = v
+		if v < before[name] || v > after[name] {
+			t.Errorf("%s = %d through SQL, want within registry range [%d, %d]",
+				name, v, before[name], after[name])
+		}
+	}
+	for name, v := range before {
+		if _, ok := seen[name]; !ok {
+			t.Errorf("registry counter %s missing from the view", name)
+		}
+		// The view query itself touches only sql_* and engine scan
+		// counters; everything else must round-trip exactly.
+		stable := !strings.HasPrefix(name, "sql_") &&
+			name != "engine_queries" && name != "engine_rows_scanned" &&
+			name != "engine_scans_sequential" && name != "engine_scans_parallel"
+		if stable && seen[name] != v {
+			t.Errorf("%s = %d through SQL, want %d", name, seen[name], v)
+		}
+	}
+	if seen["sql_plan_cache_hits"] != 1 {
+		t.Errorf("sql_plan_cache_hits = %d, want 1 (one repeated SELECT)", seen["sql_plan_cache_hits"])
+	}
+}
+
+// TestCountersViewUnderConcurrentQueries reads the counters view from
+// many goroutines while other goroutines execute data queries on their
+// own sessions over the same engine. Under -race this pins that the
+// registry's atomics, the per-session metrics handles and the view
+// materialization are safe against each other.
+func TestCountersViewUnderConcurrentQueries(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE t (g bigint, v float);
+		INSERT INTO t VALUES (1, 10), (1, 30), (2, 5)`)
+
+	const goroutines, perGoroutine = 6, 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := NewSession(s.db)
+			for i := 0; i < perGoroutine; i++ {
+				var err error
+				if g%2 == 0 {
+					_, err = sess.Query(`SELECT name, value FROM madlib_stats_counters`)
+				} else {
+					_, err = sess.Query(`SELECT g, avg(v) FROM t GROUP BY g`)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSlowQueryLog covers the structured query log: with a zero
+// threshold every statement is recorded, the entry carries the
+// statement's text, lane and row count, and disabling the logger stops
+// emission without disturbing the sql_slow_queries counter.
+func TestSlowQueryLog(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE t (g bigint, v float);
+		INSERT INTO t VALUES (1, 10), (1, 30), (2, 5)`)
+
+	var buf bytes.Buffer
+	s.SetQueryLog(slog.New(slog.NewTextHandler(&buf, nil)), 0)
+	mustQuery(t, s, `SELECT g, avg(v) FROM t GROUP BY g`)
+	out := buf.String()
+	if !strings.Contains(out, "slow query") {
+		t.Fatalf("log output missing the event name: %q", out)
+	}
+	for _, want := range []string{"SELECT g, avg(v) FROM t GROUP BY g", "lane=batch", "rows=2", "cache_hit=false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q: %q", want, out)
+		}
+	}
+	if got := s.db.Metrics().Counter("sql_slow_queries").Value(); got != 1 {
+		t.Errorf("sql_slow_queries = %d, want 1", got)
+	}
+
+	s.SetQueryLog(nil, 0)
+	buf.Reset()
+	mustQuery(t, s, `SELECT g, avg(v) FROM t GROUP BY g`)
+	if buf.Len() != 0 {
+		t.Errorf("disabled log still emitted: %q", buf.String())
+	}
+	if got := s.db.Metrics().Counter("sql_slow_queries").Value(); got != 1 {
+		t.Errorf("sql_slow_queries after disable = %d, want 1", got)
+	}
+}
+
+// TestRecentQueriesRing pins the ring-buffer semantics behind
+// madlib_stats_queries: capacity-bounded, newest first, and a query
+// never records itself.
+func TestRecentQueriesRing(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE t (g bigint, v float);
+		INSERT INTO t VALUES (1, 10)`)
+	// DDL is not observed: only the INSERT lands in the ring.
+	if got := len(s.RecentQueries()); got != 1 {
+		t.Fatalf("after CREATE+INSERT: %d recent queries, want 1", got)
+	}
+	for i := 0; i < recentQueryCap+5; i++ {
+		mustQuery(t, s, fmt.Sprintf(`SELECT g FROM t WHERE g < %d`, 100+i))
+	}
+	recent := s.RecentQueries()
+	if len(recent) != recentQueryCap {
+		t.Fatalf("ring holds %d entries, want %d", len(recent), recentQueryCap)
+	}
+	wantNewest := fmt.Sprintf(`SELECT g FROM t WHERE g < %d`, 100+recentQueryCap+4)
+	if recent[0].Text != wantNewest {
+		t.Errorf("newest entry = %q, want %q", recent[0].Text, wantNewest)
+	}
+	if recent[0].Rows != 1 || recent[0].Lane == "" {
+		t.Errorf("newest entry = %+v, want 1 row and a lane", recent[0])
+	}
+}

@@ -160,8 +160,35 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseExecute()
 	case t.IsKeyword("deallocate"):
 		return p.parseDeallocate()
+	case t.IsKeyword("explain"):
+		return p.parseExplain()
 	}
-	return nil, syntaxErrf(t.Pos, "expected CREATE, DROP, INSERT, SELECT, PREPARE, EXECUTE or DEALLOCATE, got %q", tokenDesc(t))
+	return nil, syntaxErrf(t.Pos, "expected CREATE, DROP, INSERT, SELECT, PREPARE, EXECUTE, DEALLOCATE or EXPLAIN, got %q", tokenDesc(t))
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] statement. Like PREPARE, only
+// SELECT and INSERT can be explained, and the inner source text is
+// captured so the session can probe its plan cache under the same key.
+// Neither EXPLAIN nor ANALYZE is a reserved word — tables and columns
+// may still use the names.
+func (p *parser) parseExplain() (Statement, error) {
+	p.pos++ // EXPLAIN
+	st := &Explain{}
+	if p.matchKeyword("analyze") {
+		st.Analyze = true
+	}
+	start := p.peek().Pos
+	t := p.peek()
+	if !t.IsKeyword("select") && !t.IsKeyword("insert") {
+		return nil, syntaxErrf(t.Pos, "EXPLAIN supports only SELECT and INSERT statements, got %q", tokenDesc(t))
+	}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	st.Stmt = inner
+	st.Text = strings.TrimSpace(p.src[start:p.peek().Pos])
+	return st, nil
 }
 
 // parsePrepare parses PREPARE name AS statement. Only SELECT and INSERT

@@ -36,6 +36,12 @@ type planSource struct {
 	nullable   []bool
 	matchedIdx int
 	visible    int
+
+	// virtual marks a system view (madlib_stats_*): acquire materializes
+	// a fresh detached snapshot table per execution instead of binding a
+	// catalog table, so the plan is never stale and the ordinary scan
+	// machinery runs unchanged over live engine statistics.
+	virtual bool
 }
 
 // joinSource carries the resolved two-table equi-join, plus the plan's
@@ -67,6 +73,10 @@ type joinSource struct {
 // valid reports whether every table binding of the source is still
 // current, so cached plans over joins revalidate both sides.
 func (ps *planSource) valid(db *engine.DB) bool {
+	if ps.virtual {
+		// System views carry no catalog bindings; their schema is fixed.
+		return true
+	}
 	if ps.join != nil {
 		lt, errL := db.Table(ps.join.leftName)
 		rt, errR := db.Table(ps.join.rightName)
@@ -84,6 +94,13 @@ func (ps *planSource) valid(db *engine.DB) bool {
 // the cached table's lifetime is managed by acquire itself and by
 // release when the plan is evicted.
 func (ps *planSource) acquire(s *Session) (*engine.Table, func(), error) {
+	if ps.virtual {
+		t, err := s.buildSystemView(ps.name)
+		if err != nil {
+			return nil, nil, err
+		}
+		return t, func() {}, nil
+	}
 	if ps.join == nil {
 		return ps.table, func() {}, nil
 	}
@@ -98,6 +115,7 @@ func (ps *planSource) acquire(s *Session) (*engine.Table, func(), error) {
 		return nil
 	}
 	if t := hit(); t != nil {
+		s.metrics.joinHits.Inc()
 		return t, func() {}, nil
 	}
 	// Single-flight the rebuild: a concurrent execution that missed at
@@ -105,8 +123,12 @@ func (ps *planSource) acquire(s *Session) (*engine.Table, func(), error) {
 	j.buildMu.Lock()
 	defer j.buildMu.Unlock()
 	if t := hit(); t != nil {
+		// The single-flight winner rebuilt for us; the shared result is
+		// still a materialization-cache hit from this execution's side.
+		s.metrics.joinHits.Inc()
 		return t, func() {}, nil
 	}
+	s.metrics.joinMisses.Inc()
 	// Capture the input versions before building: a mutation committed
 	// mid-build then stamps the cache with a pre-mutation version, so
 	// the next execution rebuilds rather than trusting a torn snapshot.
@@ -294,6 +316,11 @@ func (sc *scope) resolveGroupBy(entry string) (string, error) {
 func (s *Session) resolveSelect(st *Select) (*planSource, *Select, error) {
 	left, err := s.db.Table(st.From)
 	if err != nil {
+		// Unknown names fall through to the system views, so a real
+		// catalog table always shadows a madlib_stats_* name.
+		if schema := systemViewSchema(st.From); schema != nil {
+			return s.resolveSystemView(st, schema)
+		}
 		return nil, nil, err
 	}
 	ps := &planSource{matchedIdx: -1}
@@ -378,6 +405,44 @@ func (s *Session) resolveSelect(st *Select) (*planSource, *Select, error) {
 		}
 	}
 
+	rst, err := resolveSelectBody(st, sc, ps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ps, rst, nil
+}
+
+// resolveSystemView binds a SELECT over a madlib_stats_* system view:
+// the scope is built from the view's fixed schema and the planSource is
+// marked virtual, so acquire materializes a fresh snapshot per
+// execution. System views cannot be joined (stage them with CREATE
+// TABLE ... AS if a join is needed).
+func (s *Session) resolveSystemView(st *Select, schema engine.Schema) (*planSource, *Select, error) {
+	if st.Join != nil {
+		return nil, nil, execErrf("system view %q cannot be joined; stage it with CREATE TABLE ... AS first", st.From)
+	}
+	ps := &planSource{
+		matchedIdx: -1,
+		name:       st.From,
+		schema:     schema,
+		visible:    len(schema),
+		virtual:    true,
+	}
+	sc := &scope{
+		quals:    map[string]map[string]string{},
+		qualCols: map[string][]string{},
+		bare:     map[string]string{},
+	}
+	qual := st.From
+	if st.FromAlias != "" {
+		qual = st.FromAlias
+	}
+	ident := make(map[string]string, len(schema))
+	for _, c := range schema {
+		ident[c.Name] = c.Name
+		sc.qualCols[qual] = append(sc.qualCols[qual], c.Name)
+	}
+	sc.quals[qual] = ident
 	rst, err := resolveSelectBody(st, sc, ps)
 	if err != nil {
 		return nil, nil, err

@@ -2,6 +2,7 @@ package sql
 
 import (
 	"container/list"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -120,17 +121,31 @@ func (c *planCache) clear() []stmtPlan {
 // safe for concurrent use.
 type Session struct {
 	db *engine.DB
+	// metrics are the session's observability counters; they live in the
+	// database's registry, so all sessions over one database share them.
+	metrics *sessionMetrics
 
 	mu       sync.Mutex
 	plans    *planCache
 	prepared map[string]*Prepared
 	last     Timing
 	batchOff bool
+	// Structured query log (SetQueryLog) and the recent-statement ring
+	// backing the madlib_stats_queries system view.
+	logger     *slog.Logger
+	slowThan   time.Duration
+	recent     []QueryStat
+	recentNext int
 }
 
 // NewSession wraps an engine database with the SQL front-end.
 func NewSession(db *engine.DB) *Session {
-	return &Session{db: db, plans: newPlanCache(), prepared: make(map[string]*Prepared)}
+	return &Session{
+		db:       db,
+		metrics:  newSessionMetrics(db.Metrics()),
+		plans:    newPlanCache(),
+		prepared: make(map[string]*Prepared),
+	}
 }
 
 // DB returns the underlying engine database.
@@ -218,10 +233,14 @@ func (s *Session) cachedPlan(text string) (stmtPlan, bool) {
 	if ok && !pl.valid(s.db) {
 		s.plans.remove(text)
 		s.mu.Unlock()
+		s.metrics.planEvictions.Inc()
 		pl.release(s.db)
 		return nil, false
 	}
 	s.mu.Unlock()
+	if ok {
+		s.metrics.planHits.Inc()
+	}
 	return pl, ok
 }
 
@@ -229,6 +248,8 @@ func (s *Session) cachePlan(text string, pl stmtPlan) {
 	s.mu.Lock()
 	displaced := s.plans.put(text, pl)
 	s.mu.Unlock()
+	s.metrics.planMisses.Inc()
+	s.metrics.planEvictions.Add(int64(len(displaced)))
 	s.releasePlans(displaced)
 }
 
@@ -239,6 +260,7 @@ func (s *Session) invalidatePlans() {
 	s.mu.Lock()
 	dropped := s.plans.clear()
 	s.mu.Unlock()
+	s.metrics.planInvalid.Add(int64(len(dropped)))
 	s.releasePlans(dropped)
 }
 
@@ -251,10 +273,12 @@ func (s *Session) Exec(text string) ([]*Result, error) {
 	t0 := time.Now()
 	if pl, ok := s.cachedPlan(text); ok {
 		r, err := pl.exec(s, nil)
-		s.setTiming(Timing{Exec: time.Since(t0), CacheHit: true})
+		tm := Timing{Exec: time.Since(t0), CacheHit: true}
+		s.setTiming(tm)
 		if err != nil {
 			return nil, err
 		}
+		s.observe(text, pl, r, tm)
 		return []*Result{r}, nil
 	}
 	stmts, err := Parse(text)
@@ -288,10 +312,12 @@ func (s *Session) Query(text string) (*Result, error) {
 	t0 := time.Now()
 	if pl, ok := s.cachedPlan(text); ok {
 		r, err := pl.exec(s, nil)
-		s.setTiming(Timing{Exec: time.Since(t0), CacheHit: true})
+		tm := Timing{Exec: time.Since(t0), CacheHit: true}
+		s.setTiming(tm)
 		if err != nil {
 			return nil, err
 		}
+		s.observe(text, pl, r, tm)
 		if len(r.Cols) == 0 {
 			return nil, ErrNoRows
 		}
@@ -355,6 +381,8 @@ func (s *Session) runTimed(st Statement, cacheKey string) (*Result, Timing, erro
 		r, err := s.execDeallocate(x)
 		tm.Exec = time.Since(t0)
 		return r, tm, err
+	case *Explain:
+		return s.execExplain(x)
 	case *Select, *Insert:
 		if n := stmtMaxParam(st); n > 0 {
 			return nil, tm, execErrf("query uses parameter $%d; bind values with PREPARE ... / EXECUTE", n)
@@ -374,6 +402,13 @@ func (s *Session) runTimed(st Statement, cacheKey string) (*Result, Timing, erro
 			// One-shot plan (Run, multi-statement Exec): nothing holds it
 			// after this execution, so free its cached materializations.
 			pl.release(s.db)
+		}
+		if err == nil {
+			text := cacheKey
+			if text == "" {
+				text = st.String()
+			}
+			s.observe(text, pl, r, tm)
 		}
 		return r, tm, err
 	}
@@ -465,11 +500,15 @@ func (s *Session) execExecute(st *Execute) (*Result, Timing, error) {
 			defer pl.release(s.db)
 		}
 		tm.CacheHit = false
+		s.metrics.replans.Inc()
 	}
 	tm.Plan = time.Since(t0)
 	tExec := time.Now()
 	r, err := pl.exec(s, &execEnv{params: params})
 	tm.Exec = time.Since(tExec)
+	if err == nil {
+		s.observe(st.String(), pl, r, tm)
+	}
 	return r, tm, err
 }
 

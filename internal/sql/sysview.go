@@ -1,0 +1,91 @@
+package sql
+
+import (
+	"madlib/internal/engine"
+)
+
+// System views expose the engine's observability state as relations, in
+// the spirit of the paper's "analytics live inside the database" thesis:
+// rather than a side API, counters and catalog statistics are read with
+// plain SELECT through the ordinary executor. A view resolves only when
+// no catalog table has its name (real tables shadow views), and each
+// execution materializes a fresh detached snapshot table — never
+// registered in the catalog — that the normal scan machinery consumes.
+const (
+	// viewCounters lists every metric of the database's registry as
+	// (name, value) rows — engine scan/join counters and the SQL layer's
+	// plan-cache, lane and join-cache counters alike.
+	viewCounters = "madlib_stats_counters"
+	// viewQueries lists the session's recently executed statements,
+	// newest first.
+	viewQueries = "madlib_stats_queries"
+	// viewTables lists the catalog: permanent and hidden temp tables
+	// with row counts, segment counts and data versions.
+	viewTables = "madlib_stats_tables"
+)
+
+// systemViewSchema returns the fixed schema of a system view, or nil
+// when name is not a system view.
+func systemViewSchema(name string) engine.Schema {
+	switch name {
+	case viewCounters:
+		return engine.Schema{
+			{Name: "name", Kind: engine.String},
+			{Name: "value", Kind: engine.Int},
+		}
+	case viewQueries:
+		return engine.Schema{
+			{Name: "query", Kind: engine.String},
+			{Name: "lane", Kind: engine.String},
+			{Name: "rows", Kind: engine.Int},
+			{Name: "duration_us", Kind: engine.Int},
+			{Name: "cache_hit", Kind: engine.Bool},
+		}
+	case viewTables:
+		return engine.Schema{
+			{Name: "name", Kind: engine.String},
+			{Name: "rows", Kind: engine.Int},
+			{Name: "segments", Kind: engine.Int},
+			{Name: "version", Kind: engine.Int},
+			{Name: "temp", Kind: engine.Bool},
+		}
+	}
+	return nil
+}
+
+// buildSystemView materializes one view into a detached single-segment
+// table. The snapshot is point-in-time: counters keep moving while the
+// query runs, but the rows the scan sees are frozen.
+func (s *Session) buildSystemView(name string) (*engine.Table, error) {
+	t, err := engine.NewDetachedTable(name, systemViewSchema(name), 1)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case viewCounters:
+		for _, st := range s.db.Metrics().Snapshot() {
+			if err := t.Insert(st.Name, st.Value); err != nil {
+				return nil, err
+			}
+		}
+	case viewQueries:
+		for _, q := range s.RecentQueries() {
+			if err := t.Insert(q.Text, q.Lane, int64(q.Rows), q.Duration.Microseconds(), q.CacheHit); err != nil {
+				return nil, err
+			}
+		}
+	case viewTables:
+		for _, tn := range s.db.TableNames() {
+			ct, err := s.db.Table(tn)
+			if err != nil {
+				continue // dropped between listing and lookup
+			}
+			if err := t.Insert(tn, ct.Count(), int64(len(ct.Segments())), ct.Version(), ct.Temp()); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, execErrf("unknown system view %q", name)
+	}
+	return t, nil
+}

@@ -54,6 +54,18 @@ for name in $GATED; do
   }'; then
     fail=1
   fi
+  # The benchmarks also report metric-registry deltas (planhit/op,
+  # joinhit/op, joinmiss/op); surface them so a perf change can be read
+  # against its cache behaviour — e.g. SQLJoinAggCached losing its 1.000
+  # joinhit/op explains a ns/op regression better than the number alone.
+  counters=$(echo "$out" | awk -v bench="BenchmarkSQLSelectAgg/$name" '
+    $1 == bench || $1 ~ "^" bench "-[0-9]+$" {
+      for (i = 2; i < NF; i++)
+        if ($(i+1) ~ /(hit|miss)\/op$/) printf "%s %s  ", $i, $(i+1)
+    }' | head -1)
+  if [ -n "$counters" ]; then
+    echo "bench_check: $name cache counters: $counters"
+  fi
 done
 
 if [ "$fail" -ne 0 ]; then

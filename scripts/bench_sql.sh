@@ -13,10 +13,20 @@ BENCHTIME="${1:-1x}"
 out=$(go test -run '^$' -bench BenchmarkSQLSelectAgg -benchmem -benchtime "$BENCHTIME" .)
 echo "$out"
 
-echo "$out" | awk -v benchtime="$BENCHTIME" '
+# Environment metadata, so committed numbers can be judged against the
+# machine that produced them (ns/op from a 2-core runner is not
+# comparable to a 32-core box).
+go_version=$(go env GOVERSION)
+num_cpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+gomaxprocs="${GOMAXPROCS:-$num_cpu}"
+
+echo "$out" | awk -v benchtime="$BENCHTIME" \
+  -v go_version="$go_version" -v num_cpu="$num_cpu" -v gomaxprocs="$gomaxprocs" '
   BEGIN {
     printf "{\n  \"benchmark\": \"BenchmarkSQLSelectAgg\",\n"
-    printf "  \"benchtime\": \"%s\",\n  \"results\": {\n", benchtime
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"env\": {\"go_version\": \"%s\", \"num_cpu\": %d, \"gomaxprocs\": %d},\n", go_version, num_cpu, gomaxprocs
+    printf "  \"results\": {\n"
     n = 0
   }
   /^BenchmarkSQLSelectAgg\// {

@@ -1,6 +1,10 @@
 package madlib
 
 import (
+	"log/slog"
+	"time"
+
+	"madlib/internal/metrics"
 	"madlib/internal/sql"
 )
 
@@ -45,4 +49,29 @@ func (db *DB) Exec(text string) ([]*SQLResult, error) {
 //	fmt.Print(res.Format())
 func (db *DB) Query(text string) (*SQLResult, error) {
 	return db.sess.Query(text)
+}
+
+// MetricStat is one named counter sample from the engine's metrics
+// registry (see DB.Stats).
+type MetricStat = metrics.Stat
+
+// SQLQueryStat is one executed statement's record in the session's
+// recent-query ring (the madlib_stats_queries system view).
+type SQLQueryStat = sql.QueryStat
+
+// Stats snapshots the database's observability counters — engine scan
+// and join counters plus the SQL layer's plan-cache, lane and join-cache
+// counters — sorted by name. The same data is queryable in SQL:
+//
+//	db.Query(`SELECT name, value FROM madlib_stats_counters`)
+func (db *DB) Stats() []MetricStat {
+	return db.eng.Metrics().Snapshot()
+}
+
+// SetQueryLog enables (logger non-nil) or disables (nil) the shared
+// session's structured query log: statements whose wall time reaches
+// slowerThan are emitted with text, duration, lane, row count and cache
+// flag. A slowerThan of 0 logs every statement.
+func (db *DB) SetQueryLog(logger *slog.Logger, slowerThan time.Duration) {
+	db.sess.SetQueryLog(logger, slowerThan)
 }
