@@ -51,14 +51,39 @@ func (b ColBatch) Vectors(col int) [][]float64 { return b.seg.cols[col].vecs[b.o
 // fallbacks inside a batch kernel (composite group keys, boxed values).
 func (b ColBatch) Row(i int) Row { return Row{seg: b.seg, idx: b.off + i} }
 
+// Validity is a per-batch validity bitmap: Validity[i] reports whether
+// row i of the batch carries a real value (true) or NULL padding
+// (false). A nil Validity means every row is valid. The engine's
+// columnar storage itself has no NULL representation — invalid rows
+// hold zero values — so validity is always derived from a Bool marker
+// column (the outer join's MatchedCol).
+type Validity []bool
+
+// ValidityFromBool exposes a Bool column's lane as the batch's validity
+// bitmap: true where the marker is set. This is how NULL-aware batch
+// kernels read the LEFT JOIN padding marker without boxing rows.
+func (b ColBatch) ValidityFromBool(col int) Validity {
+	return Validity(b.seg.cols[col].bools[b.off : b.off+b.n])
+}
+
 // forEachBatch slices one segment into BatchSize windows in row order.
 func forEachBatch(seg *Segment, fn func(b ColBatch) error) error {
-	for off := 0; off < seg.n; off += BatchSize {
-		n := seg.n - off
-		if n > BatchSize {
-			n = BatchSize
+	return forEachBatchRange(seg, 0, seg.n, fn)
+}
+
+// forEachBatchRange slices rows [off, off+n) of one segment into
+// BatchSize windows in row order. Morsel boundaries are BatchSize-
+// aligned (MorselRows is a multiple of BatchSize), so the batches a
+// morsel sees are exactly the batches a whole-segment scan would
+// produce for the same rows.
+func forEachBatchRange(seg *Segment, off, n int, fn func(b ColBatch) error) error {
+	end := off + n
+	for o := off; o < end; o += BatchSize {
+		bn := end - o
+		if bn > BatchSize {
+			bn = BatchSize
 		}
-		if err := fn(ColBatch{seg: seg, off: off, n: n}); err != nil {
+		if err := fn(ColBatch{seg: seg, off: o, n: bn}); err != nil {
 			return err
 		}
 	}
@@ -66,27 +91,28 @@ func forEachBatch(seg *Segment, fn func(b ColBatch) error) error {
 }
 
 // RunBatched executes a batched aggregate pipeline over the whole table:
-// newSeg creates one segment-local state (typically holding reusable
+// newState creates one morsel-local state (typically holding reusable
 // scratch vectors alongside accumulators), process folds one batch into
-// that state, and merge combines two segment states. Segments run in
-// parallel; batches within a segment arrive sequentially in row order,
-// and the per-segment states are merged left-to-right in segment order —
-// the same determinism contract as Run. The caller finalizes the merged
-// state itself (there is no Final hook).
+// that state, and merge combines two morsel states. Morsels run in
+// parallel; batches within a morsel arrive sequentially in row order,
+// and the per-morsel states are merged left-to-right in (segment,
+// offset) order — the same determinism contract as Run. The caller
+// finalizes the merged state itself (there is no Final hook).
 func (db *DB) RunBatched(t *Table,
-	newSeg func(segIdx int) any,
+	newState func(morselIdx int) any,
 	process func(state any, b ColBatch) error,
 	merge func(a, b any) any,
 ) (any, error) {
 	db.queries.Add(1)
-	states := make([]any, len(t.segs))
-	err := db.parallelSegments(t, func(i int, seg *Segment) error {
-		state := newSeg(i)
-		if err := forEachBatch(seg, func(b ColBatch) error { return process(state, b) }); err != nil {
+	ms := tableMorsels(t)
+	states := make([]any, len(ms))
+	err := db.runMorsels(t, ms, func(i int, m morsel) error {
+		state := newState(i)
+		if err := forEachBatchRange(m.seg, m.off, m.n, func(b ColBatch) error { return process(state, b) }); err != nil {
 			return err
 		}
 		states[i] = state
-		db.rowsScanned.Add(int64(seg.n))
+		db.rowsScanned.Add(int64(m.n))
 		return nil
 	})
 	if err != nil {
@@ -100,26 +126,27 @@ func (db *DB) RunBatched(t *Table,
 }
 
 // RunGroupByBatched is the hash-aggregate counterpart of RunBatched: the
-// kernel maintains a per-segment map from GroupKey to group state inside
-// its segment state (filled by process), groups extracts that map once
-// the segment is exhausted, and the engine merges the per-segment maps
-// key-by-key in segment order using merge. As with RunGroupByKey, group
+// kernel maintains a per-morsel map from GroupKey to group state inside
+// its morsel state (filled by process), groups extracts that map once
+// the morsel is exhausted, and the engine merges the per-morsel maps
+// key-by-key in morsel order using merge. As with RunGroupByKey, group
 // states are returned unfinalized per key; the caller finalizes.
 func (db *DB) RunGroupByBatched(t *Table,
-	newSeg func(segIdx int) any,
+	newState func(morselIdx int) any,
 	process func(state any, b ColBatch) error,
 	groups func(state any) map[GroupKey]any,
 	merge func(a, b any) any,
 ) (map[GroupKey]any, error) {
 	db.queries.Add(1)
-	partials := make([]map[GroupKey]any, len(t.segs))
-	err := db.parallelSegments(t, func(i int, seg *Segment) error {
-		state := newSeg(i)
-		if err := forEachBatch(seg, func(b ColBatch) error { return process(state, b) }); err != nil {
+	ms := tableMorsels(t)
+	partials := make([]map[GroupKey]any, len(ms))
+	err := db.runMorsels(t, ms, func(i int, m morsel) error {
+		state := newState(i)
+		if err := forEachBatchRange(m.seg, m.off, m.n, func(b ColBatch) error { return process(state, b) }); err != nil {
 			return err
 		}
 		partials[i] = groups(state)
-		db.rowsScanned.Add(int64(seg.n))
+		db.rowsScanned.Add(int64(m.n))
 		return nil
 	})
 	if err != nil {
@@ -138,17 +165,20 @@ func (db *DB) RunGroupByBatched(t *Table,
 	return merged, nil
 }
 
-// ForEachBatch runs fn over every batch of every segment: parallel
-// across segments, sequential in row order within one. It is the batched
+// ForEachBatch runs fn over every batch of every morsel: parallel
+// across morsels, sequential in row order within one. It is the batched
 // analogue of ForEachSegment, for pipelines that vectorize filtering but
-// still emit rows (projection scans).
-func (db *DB) ForEachBatch(t *Table, fn func(segIdx int, b ColBatch) error) error {
+// still emit rows (projection scans). fn receives the morsel index —
+// 0..ScanMorsels(t)-1 in (segment, offset) order — so callers can keep
+// per-morsel output buffers and concatenate them in order afterwards to
+// recover the table's row order.
+func (db *DB) ForEachBatch(t *Table, fn func(morselIdx int, b ColBatch) error) error {
 	db.queries.Add(1)
-	return db.parallelSegments(t, func(i int, seg *Segment) error {
-		if err := forEachBatch(seg, func(b ColBatch) error { return fn(i, b) }); err != nil {
+	return db.runMorsels(t, tableMorsels(t), func(i int, m morsel) error {
+		if err := forEachBatchRange(m.seg, m.off, m.n, func(b ColBatch) error { return fn(i, b) }); err != nil {
 			return err
 		}
-		db.rowsScanned.Add(int64(seg.n))
+		db.rowsScanned.Add(int64(m.n))
 		return nil
 	})
 }

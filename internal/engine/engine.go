@@ -360,10 +360,17 @@ type DB struct {
 	// the observability layer (PR 6).
 	queries     *metrics.Counter
 	rowsScanned *metrics.Counter
-	// seqScans / parScans count parallelSegments dispatch decisions:
-	// inline sequential fallback vs morsel worker pool.
+	// seqScans / parScans count scan dispatch decisions: inline
+	// sequential fallback vs morsel worker pool. morsels counts the
+	// sub-segment morsels the scheduler produced (one per segment for
+	// small segments, seg.n/MorselRows for large ones).
 	seqScans *metrics.Counter
 	parScans *metrics.Counter
+	morsels  *metrics.Counter
+	// sortPar / sortSeq count SortStable dispatch decisions: chunked
+	// parallel sort + k-way merge vs plain sequential stable sort.
+	sortPar *metrics.Counter
+	sortSeq *metrics.Counter
 	// joinBuilds / joinBuild track hash-join build+probe work.
 	joinBuilds *metrics.Counter
 	joinBuild  *metrics.Histogram
@@ -383,6 +390,9 @@ func Open(segments int) *DB {
 		rowsScanned: reg.Counter("engine_rows_scanned"),
 		seqScans:    reg.Counter("engine_scans_sequential"),
 		parScans:    reg.Counter("engine_scans_parallel"),
+		morsels:     reg.Counter("engine_morsels"),
+		sortPar:     reg.Counter("engine_sort_parallel"),
+		sortSeq:     reg.Counter("engine_sort_sequential"),
 		joinBuilds:  reg.Counter("engine_join_builds"),
 		joinBuild:   reg.Histogram("engine_join_build"),
 	}

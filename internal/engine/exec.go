@@ -55,9 +55,136 @@ func (f FuncAggregate) Final(state any) (any, error) { return f.FinalFn(state) }
 // the lane the engine will pick.
 const ParallelRowThreshold = 4096
 
-// segmentWorkers returns the number of morsel workers a scan of t should
-// use: capped by GOMAXPROCS and the segment count, collapsing to 1 —
+// MorselRows is the number of rows in one scheduling morsel: the unit of
+// work a scan worker claims from the shared cursor. A multiple of
+// BatchSize so sub-segment morsels slice into exactly the same ColBatch
+// windows as a whole-segment scan would, and small enough that a table
+// with fewer segments than cores still fans out across the pool.
+const MorselRows = 4 * BatchSize
+
+// morsel is one contiguous run of rows of one segment, the scheduling
+// unit of the scan drivers. The decomposition of a table into morsels is
+// a function of the table's shape only — never of the worker count — so
+// every execution mode (sequential, pooled, any GOMAXPROCS) folds rows
+// into the same per-morsel states and merges them in the same order,
+// keeping results bit-identical across modes.
+type morsel struct {
+	seg    *Segment
+	segIdx int
+	off    int
+	n      int
+}
+
+// tableMorsels decomposes t into morsels in (segment, offset) order.
+// Segments at or below MorselRows stay whole (one morsel per segment,
+// including empty segments, so merge trees on small tables are exactly
+// the per-segment trees of earlier versions); larger segments split at
+// MorselRows boundaries, which are BatchSize-aligned by construction.
+func tableMorsels(t *Table) []morsel {
+	ms := make([]morsel, 0, len(t.segs))
+	for i, seg := range t.segs {
+		if seg.n <= MorselRows {
+			ms = append(ms, morsel{seg: seg, segIdx: i, off: 0, n: seg.n})
+			continue
+		}
+		for off := 0; off < seg.n; off += MorselRows {
+			n := seg.n - off
+			if n > MorselRows {
+				n = MorselRows
+			}
+			ms = append(ms, morsel{seg: seg, segIdx: i, off: off, n: n})
+		}
+	}
+	return ms
+}
+
+// ScanMorsels reports the number of morsels a scan of t would schedule
+// right now. EXPLAIN renders this next to the worker count.
+func (db *DB) ScanMorsels(t *Table) int {
+	n := 0
+	for _, seg := range t.segs {
+		if seg.n <= MorselRows {
+			n++
+			continue
+		}
+		n += (seg.n + MorselRows - 1) / MorselRows
+	}
+	return n
+}
+
+// morselWorkers returns the number of workers a scan of t should use:
+// capped by GOMAXPROCS and the morsel count, collapsing to 1 —
 // sequential execution on the calling goroutine — for small tables.
+func (db *DB) morselWorkers(t *Table, nMorsels int) int {
+	w := runtime.GOMAXPROCS(0)
+	if nMorsels < w {
+		w = nMorsels
+	}
+	if w <= 1 {
+		return 1
+	}
+	if t.Count() < ParallelRowThreshold {
+		return 1
+	}
+	return w
+}
+
+// runMorsels runs fn once per morsel of ms and collects the first error
+// (in morsel order). Each invocation owns its morsel's row range
+// exclusively for the call.
+//
+// Execution is morsel-driven: a pool of up to GOMAXPROCS workers pulls
+// morsel indices from a shared cursor until the table is drained, so a
+// table with fewer segments than cores still saturates the pool and no
+// worker waits behind a slow sibling. Results stay deterministic (and
+// bit-identical across worker counts) because per-morsel state is
+// indexed by morsel, rows within a morsel fold in row order on one
+// worker, and every caller merges the per-morsel states left-to-right
+// in (segment, offset) order afterwards. Tables below
+// ParallelRowThreshold run inline on the calling goroutine.
+func (db *DB) runMorsels(t *Table, ms []morsel, fn func(i int, m morsel) error) error {
+	db.morsels.Add(int64(len(ms)))
+	workers := db.morselWorkers(t, len(ms))
+	if workers <= 1 {
+		db.seqScans.Inc()
+		for i, m := range ms {
+			if err := fn(i, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	db.parScans.Inc()
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, len(ms))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ms) {
+					return
+				}
+				errs[i] = fn(i, ms[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segmentWorkers returns the number of workers for drivers that must
+// keep whole segments on one worker (ForEachSegment, SelectInto, join
+// materialization — anything appending to per-segment output storage):
+// capped by GOMAXPROCS and the segment count, collapsing to 1 for small
+// tables.
 func (db *DB) segmentWorkers(t *Table) int {
 	w := runtime.GOMAXPROCS(0)
 	if len(t.segs) < w {
@@ -74,22 +201,14 @@ func (db *DB) segmentWorkers(t *Table) int {
 
 // parallelSegments runs fn once per segment and collects the first error
 // (in segment order). Each invocation owns its segment exclusively for
-// the call.
+// the call. It is the segment-granular sibling of runMorsels, kept for
+// drivers whose output is appended per segment and therefore cannot
+// split a segment across workers.
 //
-// Execution is morsel-driven: one segment is one morsel, and a pool of
-// up to GOMAXPROCS workers pulls segment indices from a shared cursor
-// until the table is drained — segments never wait behind a slow
-// sibling on an oversubscribed machine the way the old
-// goroutine-per-segment fan-out did. Results stay deterministic (and
-// bit-identical to sequential execution) because all per-segment state
-// is indexed by segment, rows within a segment fold in row order on one
-// worker, and every caller merges the per-segment states left-to-right
-// in segment order afterwards. Tables below ParallelRowThreshold run
-// inline on the calling goroutine.
 // ScanWorkers reports the number of morsel workers a scan of t would
 // use right now (1 means the sequential fallback). EXPLAIN renders this
 // so the parallel-vs-sequential decision is visible before execution.
-func (db *DB) ScanWorkers(t *Table) int { return db.segmentWorkers(t) }
+func (db *DB) ScanWorkers(t *Table) int { return db.morselWorkers(t, db.ScanMorsels(t)) }
 
 func (db *DB) parallelSegments(t *Table, fn func(segIdx int, seg *Segment) error) error {
 	workers := db.segmentWorkers(t)
@@ -134,18 +253,20 @@ func (db *DB) pooledSegments(t *Table, workers int, fn func(segIdx int, seg *Seg
 }
 
 // Run executes a user-defined aggregate over the whole table:
-// SELECT agg(...) FROM t. Transition runs segment-parallel; the per-segment
+// SELECT agg(...) FROM t. Transition runs morsel-parallel; the per-morsel
 // states are merged left-to-right and the merged state finalized.
 func (db *DB) Run(t *Table, agg Aggregate) (any, error) {
 	db.queries.Add(1)
-	states := make([]any, len(t.segs))
-	err := db.parallelSegments(t, func(i int, seg *Segment) error {
+	ms := tableMorsels(t)
+	states := make([]any, len(ms))
+	err := db.runMorsels(t, ms, func(i int, m morsel) error {
 		state := agg.Init()
-		for r := 0; r < seg.n; r++ {
-			state = agg.Transition(state, Row{seg: seg, idx: r})
+		end := m.off + m.n
+		for r := m.off; r < end; r++ {
+			state = agg.Transition(state, Row{seg: m.seg, idx: r})
 		}
 		states[i] = state
-		db.rowsScanned.Add(int64(seg.n))
+		db.rowsScanned.Add(int64(m.n))
 		return nil
 	})
 	if err != nil {
@@ -162,17 +283,19 @@ func (db *DB) Run(t *Table, agg Aggregate) (any, error) {
 // (SELECT agg(...) FROM t WHERE pred).
 func (db *DB) RunFiltered(t *Table, pred func(Row) bool, agg Aggregate) (any, error) {
 	db.queries.Add(1)
-	states := make([]any, len(t.segs))
-	err := db.parallelSegments(t, func(i int, seg *Segment) error {
+	ms := tableMorsels(t)
+	states := make([]any, len(ms))
+	err := db.runMorsels(t, ms, func(i int, m morsel) error {
 		state := agg.Init()
-		for r := 0; r < seg.n; r++ {
-			row := Row{seg: seg, idx: r}
+		end := m.off + m.n
+		for r := m.off; r < end; r++ {
+			row := Row{seg: m.seg, idx: r}
 			if pred(row) {
 				state = agg.Transition(state, row)
 			}
 		}
 		states[i] = state
-		db.rowsScanned.Add(int64(seg.n))
+		db.rowsScanned.Add(int64(m.n))
 		return nil
 	})
 	if err != nil {
@@ -232,11 +355,13 @@ func (db *DB) RunGroupByKey(t *Table, pred func(Row) bool, key func(Row) GroupKe
 // RunGroupByFiltered (string keys) and RunGroupByKey (struct keys).
 func runGroupBy[K comparable](db *DB, t *Table, pred func(Row) bool, key func(Row) K, agg Aggregate) (map[K]any, error) {
 	db.queries.Add(1)
-	partials := make([]map[K]any, len(t.segs))
-	err := db.parallelSegments(t, func(i int, seg *Segment) error {
+	ms := tableMorsels(t)
+	partials := make([]map[K]any, len(ms))
+	err := db.runMorsels(t, ms, func(i int, m morsel) error {
 		local := make(map[K]any)
-		for r := 0; r < seg.n; r++ {
-			row := Row{seg: seg, idx: r}
+		end := m.off + m.n
+		for r := m.off; r < end; r++ {
+			row := Row{seg: m.seg, idx: r}
 			if pred != nil && !pred(row) {
 				continue
 			}
@@ -248,7 +373,7 @@ func runGroupBy[K comparable](db *DB, t *Table, pred func(Row) bool, key func(Ro
 			local[k] = agg.Transition(state, row)
 		}
 		partials[i] = local
-		db.rowsScanned.Add(int64(seg.n))
+		db.rowsScanned.Add(int64(m.n))
 		return nil
 	})
 	if err != nil {
@@ -414,11 +539,12 @@ func (db *DB) UpdateInt(t *Table, col string, fn func(Row) int64) error {
 		return fmt.Errorf("%w: %q is %s", ErrType, col, t.schema[ci].Kind)
 	}
 	db.queries.Add(1)
-	err := db.parallelSegments(t, func(i int, seg *Segment) error {
-		for r := 0; r < seg.n; r++ {
-			seg.cols[ci].ints[r] = fn(Row{seg: seg, idx: r})
+	err := db.runMorsels(t, tableMorsels(t), func(i int, m morsel) error {
+		end := m.off + m.n
+		for r := m.off; r < end; r++ {
+			m.seg.cols[ci].ints[r] = fn(Row{seg: m.seg, idx: r})
 		}
-		db.rowsScanned.Add(int64(seg.n))
+		db.rowsScanned.Add(int64(m.n))
 		return nil
 	})
 	t.version.Add(1) // after the rewrite completes; see Insert
@@ -435,11 +561,12 @@ func (db *DB) UpdateFloat(t *Table, col string, fn func(Row) float64) error {
 		return fmt.Errorf("%w: %q is %s", ErrType, col, t.schema[ci].Kind)
 	}
 	db.queries.Add(1)
-	err := db.parallelSegments(t, func(i int, seg *Segment) error {
-		for r := 0; r < seg.n; r++ {
-			seg.cols[ci].floats[r] = fn(Row{seg: seg, idx: r})
+	err := db.runMorsels(t, tableMorsels(t), func(i int, m morsel) error {
+		end := m.off + m.n
+		for r := m.off; r < end; r++ {
+			m.seg.cols[ci].floats[r] = fn(Row{seg: m.seg, idx: r})
 		}
-		db.rowsScanned.Add(int64(seg.n))
+		db.rowsScanned.Add(int64(m.n))
 		return nil
 	})
 	t.version.Add(1) // after the rewrite completes; see Insert

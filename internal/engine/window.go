@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 )
 
@@ -47,6 +46,18 @@ func (db *DB) RunWindow(t *Table, spec WindowSpec, init func() any, step func(st
 		}
 		db.rowsScanned.Add(int64(seg.n))
 	}
+	return db.RunWindowGathered(parts, spec.OrderBy, init, step)
+}
+
+// RunWindowGathered is RunWindow for callers that gathered the
+// partitions themselves — e.g. a vectorized scan that batched the
+// partition-key evaluation. Each partition's values come back in its
+// rows' sorted order; ties keep the order rows appear in the input
+// slice, so gatherers must append rows in a deterministic order.
+func (db *DB) RunWindowGathered(parts map[string][]Row, orderBy func(a, b Row) bool, init func() any, step func(state any, row Row) (any, any)) (map[string][]any, error) {
+	if orderBy == nil {
+		return nil, fmt.Errorf("engine: RunWindowGathered requires an order")
+	}
 	out := make(map[string][]any, len(parts))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -54,10 +65,17 @@ func (db *DB) RunWindow(t *Table, spec WindowSpec, init func() any, step func(st
 		wg.Add(1)
 		go func(key string, rows []Row) {
 			defer wg.Done()
-			sort.SliceStable(rows, func(i, j int) bool { return spec.OrderBy(rows[i], rows[j]) })
+			// Large partitions sort with per-worker partial sorts + a
+			// stable pairwise merge (SortStable); small ones inline. The
+			// fold itself is strictly sequential in the sorted order.
+			perm := db.SortStable(len(rows), func(a, b int) bool { return orderBy(rows[a], rows[b]) })
+			sorted := make([]Row, len(rows))
+			for i, p := range perm {
+				sorted[i] = rows[p]
+			}
 			state := init()
 			vals := make([]any, len(rows))
-			for i, row := range rows {
+			for i, row := range sorted {
 				state, vals[i] = step(state, row)
 			}
 			mu.Lock()

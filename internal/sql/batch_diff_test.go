@@ -452,11 +452,11 @@ func newJoinDiffDB(t *testing.T, rows int) *engine.DB {
 }
 
 // TestRowLaneShapesPinned pins the planner's lane decision. After the
-// join/parallel batch-lane work the remaining row-only shapes are:
-// LEFT JOIN sources (NULL-aware closures over the matched marker),
-// SELECT DISTINCT, window queries, Vector-typed operands and bool
-// min/max. Inner joins, text min/max and madlib scalar aggregates now
-// vectorize.
+// NULL-aware kernel work the batch lane covers LEFT JOIN scans and
+// aggregates (validity bitmaps over the padded side), DISTINCT, and
+// the window input gather; the remaining row-only shapes are
+// Vector-typed operands, bool min/max, scalar function calls over
+// possibly-NULL arguments, and parameter-vs-nullable comparisons.
 func TestRowLaneShapesPinned(t *testing.T) {
 	db := newJoinDiffDB(t, 300)
 	sess := NewSession(db)
@@ -480,27 +480,46 @@ func TestRowLaneShapesPinned(t *testing.T) {
 	if sp := plan(`SELECT d.i, dims.name FROM d JOIN dims ON d.g = dims.g WHERE d.f > 0`).(*scanPlan); sp.batchPred == nil || sp.src.join == nil {
 		t.Fatal("inner-joined scan must vectorize its filter")
 	}
-	// LEFT JOIN aggregate: row lane (padded columns need NULL closures).
-	if ap := plan(`SELECT count(dims.name) FROM d LEFT JOIN dims ON d.g = dims.g`).(*aggPlan); ap.batch != nil {
-		t.Fatal("LEFT JOIN aggregate must take the row lane")
+	// LEFT JOIN aggregate: batch lane — count(nullable) folds with a
+	// NULL-skipping validity lane.
+	if ap := plan(`SELECT count(dims.name) FROM d LEFT JOIN dims ON d.g = dims.g`).(*aggPlan); ap.batch == nil {
+		t.Fatal("LEFT JOIN aggregate must take the batch lane")
 	}
-	// LEFT JOIN scan: no vectorized filter.
-	if sp := plan(`SELECT d.i FROM d LEFT JOIN dims ON d.g = dims.g WHERE d.f > 0`).(*scanPlan); sp.batchPred != nil {
-		t.Fatal("LEFT JOIN scan must not vectorize its filter")
+	// LEFT JOIN scan: vectorized filter plus columnar projection; the
+	// nullable column boxes NULL where the validity bitmap is false.
+	if sp := plan(`SELECT d.i, dims.name FROM d LEFT JOIN dims ON d.g = dims.g WHERE d.f > 0`).(*scanPlan); sp.batchPred == nil || sp.projItems == nil {
+		t.Fatal("LEFT JOIN scan must vectorize its filter and projection")
 	}
-	// DISTINCT scan: row lane even though the WHERE clause batch-compiles.
-	if sp := plan(`SELECT DISTINCT g FROM d WHERE f > 0`).(*scanPlan); sp.batchPred != nil || !sp.distinct {
-		t.Fatal("DISTINCT scan must take the row lane")
+	// DISTINCT scan: batch lane; dedupe runs over the boxed output.
+	if sp := plan(`SELECT DISTINCT g FROM d WHERE f > 0`).(*scanPlan); sp.batchPred == nil || !sp.distinct {
+		t.Fatal("DISTINCT scan must take the batch lane")
 	}
-	// DISTINCT aggregate: row lane.
-	if ap := plan(`SELECT DISTINCT avg(f) FROM d GROUP BY g`).(*aggPlan); ap.batch != nil {
-		t.Fatal("DISTINCT aggregate must take the row lane")
+	// DISTINCT aggregate: batch lane.
+	if ap := plan(`SELECT DISTINCT avg(f) FROM d GROUP BY g`).(*aggPlan); ap.batch == nil {
+		t.Fatal("DISTINCT aggregate must take the batch lane")
 	}
-	// Window: its own plan type (always row lane).
-	if _, ok := plan(`SELECT row_number() OVER (PARTITION BY g ORDER BY f) FROM d`).(*windowPlan); !ok {
-		t.Fatal("window query must produce a windowPlan")
+	// Window: sum/count windows gather their input on the batch lane
+	// (the per-partition fold itself stays row-at-a-time).
+	if wp := plan(`SELECT sum(f) OVER (PARTITION BY g ORDER BY i) FROM d WHERE b`).(*windowPlan); wp.batch == nil {
+		t.Fatal("window input gather must take the batch lane")
 	}
-	// Controls: the same shapes without join/DISTINCT still vectorize.
+	if wp := plan(`SELECT count(dims.name) OVER (PARTITION BY d.g ORDER BY d.i) FROM d LEFT JOIN dims ON d.g = dims.g`).(*windowPlan); wp.batch == nil {
+		t.Fatal("window gather over a LEFT JOIN must take the batch lane")
+	}
+	// Still row lane: Vector operands have no batch kernels.
+	if sp := plan(`SELECT i FROM d WHERE array_get(v, 1) >= 0`).(*scanPlan); sp.batchPred != nil || sp.projItems != nil {
+		t.Fatal("Vector predicate must keep the scan on the row lane")
+	}
+	if wp := plan(`SELECT row_number() OVER (PARTITION BY v ORDER BY i) FROM d`).(*windowPlan); wp.batch != nil {
+		t.Fatal("Vector partition key must keep the window gather on the row lane")
+	}
+	// Still row lane: scalar functions over possibly-NULL arguments (the
+	// row lane errors on NULL args; the kernels cannot reproduce that
+	// per-row, so the planner refuses).
+	if ap := plan(`SELECT sum(abs(dims.g)) FROM d LEFT JOIN dims ON d.g = dims.g`).(*aggPlan); ap.batch != nil {
+		t.Fatal("scalar function over a nullable argument must keep the row lane")
+	}
+	// Controls: plain shapes still vectorize.
 	if ap := plan(`SELECT g, sum(f) FROM d WHERE f > 0 GROUP BY g`).(*aggPlan); ap.batch == nil {
 		t.Fatal("plain aggregate lost the batch lane")
 	}
@@ -603,6 +622,115 @@ func TestJoinPlanCacheInvalidation(t *testing.T) {
 	}
 	if got := third.Rows[0][0]; got != int64(1) {
 		t.Fatalf("replanned join count = %v, want 1", got)
+	}
+}
+
+// TestNullBatchLaneDifferential pins the NULL-aware kernels against the
+// row-lane oracle over a LEFT JOIN source: dims rows match d.g 0..4, so
+// d.g 5 and 6 carry NULL dims columns. Covers NULL-skipping aggregates,
+// NULL-in-arithmetic (NULL propagates and never faults, even over a
+// zero divisor), NULL-compare edges (false in predicate position, float
+// domain for nullable numeric compares), columnar projection boxing
+// NULLs, DISTINCT with NULL keys, and the vectorized window gather.
+func TestNullBatchLaneDifferential(t *testing.T) {
+	db := newJoinDiffDB(t, 700)
+	batchSess := NewSession(db)
+	rowSess := NewSession(db)
+	rowSess.SetBatchExecution(false)
+	const lj = ` FROM d LEFT JOIN dims ON d.g = dims.g`
+	aggQueries := []string{
+		// NULL-skipping folds: count(expr) counts only non-NULL rows.
+		`SELECT count(*), count(dims.g), count(dims.name)` + lj,
+		`SELECT sum(dims.g), avg(dims.g), min(dims.g), max(dims.g)` + lj,
+		`SELECT min(dims.name), max(dims.name)` + lj,
+		// NULL in arithmetic: NULL + x stays NULL and the fold skips it.
+		`SELECT sum(dims.g + 1), sum(dims.g * d.i), avg(dims.g / 2.0)` + lj,
+		// A NULL operand wins over a zero divisor — no fault on the
+		// padded rows (d.g > 4 selects only unmatched rows).
+		`SELECT sum(d.i / dims.g)` + lj + ` WHERE d.g > 4`,
+		`SELECT sum(dims.g / 0), sum(dims.g % 0)` + lj + ` WHERE d.g > 4`,
+		// NULL compares are false in predicate position; NOT is
+		// two-valued, so NOT (NULL < 3) flips back to true. NULL never
+		// equals itself.
+		`SELECT count(*)` + lj + ` WHERE dims.g < 3`,
+		`SELECT count(*)` + lj + ` WHERE NOT (dims.g < 3)`,
+		`SELECT count(*)` + lj + ` WHERE dims.g = dims.g`,
+		`SELECT count(*)` + lj + ` WHERE dims.name >= 'g2' OR d.b`,
+		// Nullable numeric compares run in the float domain on both
+		// lanes, even int vs int at int64 extremes.
+		`SELECT count(*)` + lj + ` WHERE dims.g < d.i`,
+		`SELECT count(*)` + lj + ` WHERE d.i <= dims.g AND d.i > 9223372036854775000`,
+		// Grouped (nullable GROUP BY keys are rejected at plan time, so
+		// keys come from d): folds skip NULLs per group, and groups whose
+		// rows are all unmatched fold to NULL results.
+		`SELECT d.s, count(dims.g), sum(dims.g), min(dims.name)` + lj + ` GROUP BY d.s`,
+		`SELECT d.g, avg(dims.g)` + lj + ` GROUP BY d.g`,
+		// HAVING over a NULL-skipping aggregate: an all-NULL group's sum
+		// is NULL, which HAVING treats as not kept.
+		`SELECT d.g, sum(dims.g)` + lj + ` GROUP BY d.g HAVING sum(dims.g) >= 0`,
+	}
+	for _, q := range aggQueries {
+		if !runDiffQuery(t, batchSess, rowSess, q) {
+			t.Fatalf("query %q should plan the batch lane", q)
+		}
+	}
+	scanQueries := []string{
+		// Columnar projection boxes NULL where the validity lane is false.
+		`SELECT d.i, dims.g, dims.name` + lj + ` ORDER BY d.i, d.s LIMIT 60`,
+		`SELECT dims.g + d.i, dims.g * 2` + lj + ` WHERE d.f > 0 ORDER BY 1, d.i LIMIT 40`,
+		// Unordered: morsel-order concatenation must reproduce the row
+		// lane's segment-order output exactly.
+		`SELECT d.g, dims.name` + lj + ` WHERE d.f >= 0`,
+		// NULL sorts first and dedupes as a single value.
+		`SELECT DISTINCT dims.name` + lj + ` ORDER BY dims.name`,
+		`SELECT DISTINCT dims.g, d.b` + lj + ` WHERE d.f > -100 ORDER BY dims.g, d.b`,
+	}
+	for _, q := range scanQueries {
+		runDiffQuery(t, batchSess, rowSess, q)
+	}
+	windowQueries := []string{
+		// Vectorized gather over the nullable source; NULL partition keys
+		// and NULL aggregate arguments flow through the fold.
+		`SELECT d.g, sum(dims.g) OVER (PARTITION BY dims.name ORDER BY d.i, d.s)` + lj + ` ORDER BY 1, 2 LIMIT 80`,
+		`SELECT d.i, count(dims.name) OVER (PARTITION BY d.g ORDER BY d.i, d.s)` + lj + ` ORDER BY 1, 2 LIMIT 80`,
+		// No outer ORDER BY: gather order itself must match the staged
+		// row-lane order, ties included.
+		`SELECT d.g, row_number() OVER (PARTITION BY dims.g ORDER BY d.i)` + lj + ` WHERE d.f > 0 LIMIT 120`,
+	}
+	for _, q := range windowQueries {
+		st, err := ParseStatement(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl, err := batchSess.planStmt(st); err == nil {
+			if wp, ok := pl.(*windowPlan); !ok || wp.batch == nil {
+				t.Fatalf("query %q should plan the vectorized window gather", q)
+			}
+		}
+		runDiffQuery(t, batchSess, rowSess, q)
+	}
+}
+
+// TestBatchLaneMultiBatchMorsels re-runs the core vectorized shapes
+// over a table whose morsels span several ColBatches (>BatchSize rows
+// per segment): per-morsel buffers must accumulate across a morsel's
+// batches, not reset. Regression — the window gather once kept only
+// each morsel's last batch, which a single-batch-per-morsel fixture
+// cannot catch.
+func TestBatchLaneMultiBatchMorsels(t *testing.T) {
+	db := newJoinDiffDB(t, 5000) // 3 segments, ~1667 rows each: 2 batches per morsel
+	batchSess := NewSession(db)
+	rowSess := NewSession(db)
+	rowSess.SetBatchExecution(false)
+	const lj = ` FROM d LEFT JOIN dims ON d.g = dims.g`
+	for _, q := range []string{
+		`SELECT d.i, row_number() OVER (PARTITION BY d.g ORDER BY d.i, d.s) FROM d ORDER BY d.i, d.s LIMIT 30`,
+		`SELECT d.i, sum(dims.g) OVER (PARTITION BY dims.name ORDER BY d.i, d.s)` + lj + ` ORDER BY 1, 2 LIMIT 30`,
+		`SELECT d.g, dims.name` + lj + ` WHERE d.f > 0`,
+		`SELECT DISTINCT dims.name` + lj + ` ORDER BY dims.name`,
+		`SELECT d.g, count(dims.g)` + lj + ` WHERE d.b GROUP BY d.g ORDER BY d.g`,
+	} {
+		runDiffQuery(t, batchSess, rowSess, q)
 	}
 }
 

@@ -56,6 +56,17 @@ type bcompiled struct {
 	// with no static type. Only comparison kernels can splice it in; any
 	// other parent rejects the lowering.
 	paramIdx int
+
+	// valid, when non-nil, fills a validity lane for the selected rows:
+	// out[j] reports whether row sel[j] carries a real value rather than
+	// NULL padding (a LEFT JOIN's unmatched right side). A nil valid
+	// means the node can never be NULL. Value kernels of a node with
+	// validity only guarantee meaningful output — and fault-freedom — on
+	// valid rows; parents must mask or skip the rest. Validity collapses
+	// at comparisons (NULL compares false, so the result is a valid
+	// bool) and in predicate position (NULL is not true), mirroring the
+	// row lane's collapsed three-valued logic.
+	valid bBatchKernel
 }
 
 // constF returns the constant as float64 (ints widen).
@@ -75,6 +86,12 @@ type batchCompiler struct {
 	schema engine.Schema
 	colIdx map[string]int
 	prog   *batchProg
+	// nullable marks columns that can be NULL at run time (the padded
+	// right side of a LEFT JOIN); matchedIdx is the hidden Bool marker
+	// column whose lane is those columns' validity bitmap. nil/-1 on
+	// plain tables.
+	nullable   []bool
+	matchedIdx int
 }
 
 // batchProg records the scratch-slot footprint of a fully compiled batch
@@ -84,7 +101,17 @@ type batchProg struct {
 }
 
 func newBatchCompiler(schema engine.Schema) *batchCompiler {
-	return &batchCompiler{schema: schema, colIdx: colIndexMap(schema), prog: &batchProg{}}
+	return &batchCompiler{schema: schema, colIdx: colIndexMap(schema), prog: &batchProg{}, matchedIdx: -1}
+}
+
+// newBatchCompilerNullable is newBatchCompiler for a source with
+// NULL-padded columns (LEFT JOIN output): kernels over the columns
+// marked nullable carry validity derived from the matchedIdx marker.
+func newBatchCompilerNullable(schema engine.Schema, nullable []bool, matchedIdx int) *batchCompiler {
+	bc := newBatchCompiler(schema)
+	bc.nullable = nullable
+	bc.matchedIdx = matchedIdx
+	return bc
 }
 
 func (bc *batchCompiler) floatSlot() int { s := bc.prog.nFloat; bc.prog.nFloat++; return s }
@@ -236,6 +263,134 @@ func (c *bcompiled) asF(bc *batchCompiler) fBatchKernel {
 	}
 }
 
+// validAnd conjoins two validity kernels: the result row is valid iff
+// both operands are. nil means always-valid and is absorbed.
+func validAnd(l, r bBatchKernel, bc *batchCompiler) bBatchKernel {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	slot := bc.boolSlot()
+	return func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+		if err := l(e, b, sel, out); err != nil {
+			return err
+		}
+		tmp := e.b(slot, len(sel))
+		if err := r(e, b, sel, tmp); err != nil {
+			return err
+		}
+		for j := range out {
+			out[j] = out[j] && tmp[j]
+		}
+		return nil
+	}
+}
+
+// validSub evaluates valid over sel and splits it into the
+// sub-selection of valid rows plus each one's position within sel; the
+// shared sub-selection machinery of every NULL-aware kernel. Invalid
+// rows are simply never evaluated — the batch analogue of the row
+// lane returning nil before touching an operand — so guarded faults
+// (NULL divisors, NULL-only groups) can never fire.
+type validSub struct {
+	valid           bBatchKernel
+	vSlot, sub, pos int
+}
+
+func newValidSub(valid bBatchKernel, bc *batchCompiler) validSub {
+	return validSub{valid: valid, vSlot: bc.boolSlot(), sub: bc.selSlot(), pos: bc.selSlot()}
+}
+
+func (vs validSub) split(e *batchEval, b engine.ColBatch, sel selVec) (sub, pos selVec, err error) {
+	vl := e.b(vs.vSlot, len(sel))
+	if err := vs.valid(e, b, sel, vl); err != nil {
+		return nil, nil, err
+	}
+	sub = e.sel(vs.sub, len(sel))[:0]
+	pos = e.sel(vs.pos, len(sel))[:0]
+	for j, idx := range sel {
+		if vl[j] {
+			sub = append(sub, idx)
+			pos = append(pos, int32(j))
+		}
+	}
+	return sub, pos, nil
+}
+
+// wrapNullable rewrites a node's value kernel to evaluate only the
+// valid sub-selection (scattering results back into place) and records
+// the combined validity on the node. Output positions of invalid rows
+// keep whatever the lane held — parents mask or skip them.
+func wrapNullable(c *bcompiled, valid bBatchKernel, bc *batchCompiler) (*bcompiled, bool) {
+	vs := newValidSub(valid, bc)
+	switch c.kind {
+	case ckFloat:
+		inner := c.f
+		slot := bc.floatSlot()
+		return &bcompiled{kind: ckFloat, valid: valid,
+			f: func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
+				sub, pos, err := vs.split(e, b, sel)
+				if err != nil || len(sub) == 0 {
+					return err
+				}
+				tmp := e.f(slot, len(sub))
+				if err := inner(e, b, sub, tmp); err != nil {
+					return err
+				}
+				for j2, p := range pos {
+					out[p] = tmp[j2]
+				}
+				return nil
+			}}, true
+	case ckInt:
+		inner := c.i
+		slot := bc.intSlot()
+		return &bcompiled{kind: ckInt, valid: valid,
+			i: func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
+				sub, pos, err := vs.split(e, b, sel)
+				if err != nil || len(sub) == 0 {
+					return err
+				}
+				tmp := e.i(slot, len(sub))
+				if err := inner(e, b, sub, tmp); err != nil {
+					return err
+				}
+				for j2, p := range pos {
+					out[p] = tmp[j2]
+				}
+				return nil
+			}}, true
+	}
+	return nil, false
+}
+
+// collapseBool lowers a possibly-NULL boolean node to a plain boolean
+// in predicate position: NULL is not true, exactly as the row lane's
+// asBool collapses nil to false.
+func collapseBool(c *bcompiled, bc *batchCompiler) *bcompiled {
+	if c.valid == nil {
+		return c
+	}
+	inner, valid := c.b, c.valid
+	slot := bc.boolSlot()
+	return &bcompiled{kind: ckBool,
+		b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+			if err := inner(e, b, sel, out); err != nil {
+				return err
+			}
+			tmp := e.b(slot, len(sel))
+			if err := valid(e, b, sel, tmp); err != nil {
+				return err
+			}
+			for j := range out {
+				out[j] = out[j] && tmp[j]
+			}
+			return nil
+		}}
+}
+
 // compileBatchExpr lowers e to a batch kernel; ok=false means the
 // expression has no batch lowering and the plan must use the row lane.
 func compileBatchExpr(e Expr, bc *batchCompiler) (*bcompiled, bool) {
@@ -271,9 +426,34 @@ func compileBatchColumnRef(x *ColumnRef, bc *batchCompiler) (*bcompiled, bool) {
 	if !ok {
 		return nil, false
 	}
+	c, ok := gatherColumn(bc.schema[ci].Kind, ci)
+	if !ok {
+		return nil, false
+	}
+	if bc.nullable != nil && bc.nullable[ci] {
+		// NULL-padded column: the value gather stays as-is (padding holds
+		// zero values that no consumer may observe) and the validity lane
+		// is the matched marker's Bool lane.
+		mi := bc.matchedIdx
+		c.valid = func(_ *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+			lane := b.ValidityFromBool(mi)
+			if len(sel) == len(lane) {
+				copy(out, lane)
+				return nil
+			}
+			for j, idx := range sel {
+				out[j] = lane[idx]
+			}
+			return nil
+		}
+	}
+	return c, true
+}
+
+func gatherColumn(kind engine.Kind, ci int) (*bcompiled, bool) {
 	// Selection vectors are strictly increasing subsets of 0..Len-1, so a
 	// full-length selection is the identity and gathers become memmoves.
-	switch bc.schema[ci].Kind {
+	switch kind {
 	case engine.Float:
 		return &bcompiled{kind: ckFloat,
 			f: func(_ *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
@@ -338,13 +518,15 @@ func compileBatchUnary(x *Unary, bc *batchCompiler) (*bcompiled, bool) {
 	}
 	switch x.Op {
 	case "-":
+		// Negation propagates validity: -NULL is NULL. Running the flip
+		// over invalid positions only negates don't-care padding.
 		switch c.kind {
 		case ckInt:
 			if c.isConst {
 				return bConstInt(-c.cI), true
 			}
 			ik := c.i
-			return &bcompiled{kind: ckInt,
+			return &bcompiled{kind: ckInt, valid: c.valid,
 				i: func(e *batchEval, b engine.ColBatch, sel selVec, out []int64) error {
 					if err := ik(e, b, sel, out); err != nil {
 						return err
@@ -359,7 +541,7 @@ func compileBatchUnary(x *Unary, bc *batchCompiler) (*bcompiled, bool) {
 				return bConstFloat(-c.cF), true
 			}
 			fk := c.f
-			return &bcompiled{kind: ckFloat,
+			return &bcompiled{kind: ckFloat, valid: c.valid,
 				f: func(e *batchEval, b engine.ColBatch, sel selVec, out []float64) error {
 					if err := fk(e, b, sel, out); err != nil {
 						return err
@@ -375,8 +557,10 @@ func compileBatchUnary(x *Unary, bc *batchCompiler) (*bcompiled, bool) {
 		if c.kind != ckBool {
 			return nil, false
 		}
+		// NOT propagates validity (NOT NULL is NULL); collapse to false
+		// happens where the bool is consumed as a predicate.
 		bk := c.b
-		return &bcompiled{kind: ckBool,
+		return &bcompiled{kind: ckBool, valid: c.valid,
 			b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
 				if err := bk(e, b, sel, out); err != nil {
 					return err
@@ -424,6 +608,10 @@ func compileBatchLogic(x *Binary, bc *batchCompiler) (*bcompiled, bool) {
 	if !ok || r.kind != ckBool {
 		return nil, false
 	}
+	// AND/OR consume operands in predicate position: a NULL operand is
+	// not true (row lane asBool), so possibly-NULL operands collapse
+	// before the short-circuit machinery sees them.
+	l, r = collapseBool(l, bc), collapseBool(r, bc)
 	lb, rb := l.b, r.b
 	isAnd := x.Op == "AND"
 	subSlot := bc.selSlot()
@@ -489,6 +677,24 @@ func compileBatchArith(op string, l, r *bcompiled, bc *batchCompiler) (*bcompile
 			return bConstFloat(n), true
 		}
 		return nil, false
+	}
+	if l.valid != nil || r.valid != nil {
+		// NULL-aware arithmetic: NULL propagates, so the result's
+		// validity is the AND of the operands' and the op runs only over
+		// the valid sub-selection — a NULL divisor therefore never
+		// faults, exactly like evalArith returning nil before its zero
+		// check.
+		var inner *bcompiled
+		var ok bool
+		if l.kind == ckInt && r.kind == ckInt {
+			inner, ok = batchIntArith(op, l.i, r.i, bc)
+		} else {
+			inner, ok = batchFloatArith(op, l.asF(bc), r.asF(bc), bc)
+		}
+		if !ok {
+			return nil, false
+		}
+		return wrapNullable(inner, validAnd(l.valid, r.valid, bc), bc)
 	}
 	if l.kind == ckInt && r.kind == ckInt {
 		return batchIntArith(op, l.i, r.i, bc)
@@ -824,6 +1030,9 @@ func scmp2(op string, lv, rv []string, out []bool) {
 
 func compileBatchCompare(op string, l, r *bcompiled, bc *batchCompiler) (*bcompiled, bool) {
 	numeric := func(c *bcompiled) bool { return c.kind == ckFloat || c.kind == ckInt }
+	if l.valid != nil || r.valid != nil {
+		return compileBatchNullCompare(op, l, r, bc)
+	}
 	// Typed numeric vs $n parameter: the parameter is a per-execution
 	// scalar, fetched and coerced once per batch — the batch form of the
 	// row lane's typed-vs-dynamic comparison special case.
@@ -942,6 +1151,80 @@ func compileBatchCompare(op string, l, r *bcompiled, bc *batchCompiler) (*bcompi
 	return nil, false
 }
 
+// compileBatchNullCompare lowers a comparison with at least one
+// possibly-NULL side. A comparison with NULL is false — never NULL — so
+// the result collapses to a plain bool lane: default false everywhere,
+// the real comparison evaluated only over the rows where both sides are
+// valid. The row lane routes any such comparison through boxed values
+// (toFloat / compareValues), so the numeric compare domain is float
+// even for int operands — mirrored here for bit parity.
+func compileBatchNullCompare(op string, l, r *bcompiled, bc *batchCompiler) (*bcompiled, bool) {
+	if l.paramIdx > 0 || r.paramIdx > 0 {
+		return nil, false // dynamic vs NULL-able: keep the row lane's generic path
+	}
+	numeric := func(c *bcompiled) bool { return c.kind == ckFloat || c.kind == ckInt }
+	valid := validAnd(l.valid, r.valid, bc)
+	vs := newValidSub(valid, bc)
+	switch {
+	case numeric(l) && numeric(r):
+		lk, rk := l.asF(bc), r.asF(bc)
+		ls, rs := bc.floatSlot(), bc.floatSlot()
+		resSlot := bc.boolSlot()
+		return &bcompiled{kind: ckBool,
+			b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+				for j := range out {
+					out[j] = false
+				}
+				sub, pos, err := vs.split(e, b, sel)
+				if err != nil || len(sub) == 0 {
+					return err
+				}
+				lv, rv := e.f(ls, len(sub)), e.f(rs, len(sub))
+				if err := lk(e, b, sub, lv); err != nil {
+					return err
+				}
+				if err := rk(e, b, sub, rv); err != nil {
+					return err
+				}
+				res := e.b(resSlot, len(sub))
+				fcmp2(op, lv, rv, res)
+				for j2, p := range pos {
+					out[p] = res[j2]
+				}
+				return nil
+			}}, true
+	case l.kind == ckStr && r.kind == ckStr:
+		lk, rk := l.s, r.s
+		ls, rs := bc.strSlot(), bc.strSlot()
+		resSlot := bc.boolSlot()
+		return &bcompiled{kind: ckBool,
+			b: func(e *batchEval, b engine.ColBatch, sel selVec, out []bool) error {
+				for j := range out {
+					out[j] = false
+				}
+				sub, pos, err := vs.split(e, b, sel)
+				if err != nil || len(sub) == 0 {
+					return err
+				}
+				lv, rv := e.s(ls, len(sub)), e.s(rs, len(sub))
+				if err := lk(e, b, sub, lv); err != nil {
+					return err
+				}
+				if err := rk(e, b, sub, rv); err != nil {
+					return err
+				}
+				res := e.b(resSlot, len(sub))
+				scmp2(op, lv, rv, res)
+				for j2, p := range pos {
+					out[p] = res[j2]
+				}
+				return nil
+			}}, true
+	}
+	// NULL-able bools/vectors: row lane.
+	return nil, false
+}
+
 // batchParamCompare compares a typed numeric lane against the $idx
 // parameter value. The parameter is fetched lazily per batch so an empty
 // selection (no surviving rows) raises no error — matching a row lane
@@ -979,7 +1262,10 @@ func compileBatchFuncCall(x *FuncCall, bc *batchCompiler) (*bcompiled, bool) {
 	args := make([]*bcompiled, len(x.Args))
 	for i, a := range x.Args {
 		c, ok := compileBatchExpr(a, bc)
-		if !ok || c.paramIdx > 0 {
+		if !ok || c.paramIdx > 0 || c.valid != nil {
+			// Possibly-NULL argument: the row lane raises "argument is
+			// not numeric" on a NULL at run time; keep that behavior by
+			// not lowering the call.
 			return nil, false
 		}
 		args[i] = c
@@ -1098,5 +1384,5 @@ func compileBatchPredicate(where Expr, bc *batchCompiler) (bBatchKernel, bool) {
 	if !ok || c.kind != ckBool {
 		return nil, false
 	}
-	return c.b, true
+	return collapseBool(c, bc).b, true
 }

@@ -62,7 +62,8 @@
 // LEFT JOIN keeps unmatched left rows. The engine's columnar storage has
 // no NULL representation, so the join materializes a hidden boolean
 // marker column (engine.MatchedCol) and the planner compiles references
-// to right-side columns into NULL-aware closures: on unmatched rows they
+// to right-side columns into NULL-aware closures on the row lane and
+// validity-bitmap kernels on the batch lane: on unmatched rows they
 // evaluate to SQL NULL, which propagates through arithmetic and NOT, is
 // skipped by count(x)/sum/avg/min/max (count(*) still counts the row),
 // and renders empty. Comparisons with NULL are false (three-valued logic
@@ -154,13 +155,24 @@
 // vector, no gather. Kernel scratch is allocated per segment and pooled
 // across executions of a cached plan.
 //
-// Execution is morsel-parallel: the engine's segment drivers hand
-// segments (the morsels) to a pool of up to GOMAXPROCS workers, with
-// per-segment states merged left-to-right in segment order afterwards —
-// so results, including non-associative float sums, are bit-identical
-// to sequential execution and to the row lane. Tables below
+// Execution is morsel-parallel: the engine splits every segment into
+// sub-segment morsels — batch-aligned row spans of up to
+// engine.MorselRows (4096) rows — and hands them to a pool of up to
+// GOMAXPROCS workers, so one oversized segment no longer serializes a
+// scan. Per-morsel states merge left-to-right in morsel order (a
+// refinement of segment order) afterwards, so results, including
+// non-associative float sums, are bit-identical to sequential
+// execution and to the row lane. Tables below
 // engine.ParallelRowThreshold (4096 rows) run inline on the calling
-// goroutine, so small tables never pay goroutine spawn costs.
+// goroutine, so small tables never pay goroutine spawn costs. Sorting
+// — SELECT-level ORDER BY, window partition ordering and the grouped
+// aggregate's output order — goes through engine.(*DB).SortStable,
+// which runs per-worker partial sorts merged by a stable multi-way
+// merge; its output, including the order of ties, is bit-identical to
+// the sequential sort.SliceStable it replaces, and it falls back to
+// that sequential sort below 2*engine.ParallelRowThreshold rows or on
+// a single core. The engine_morsels and engine_sort_parallel /
+// engine_sort_sequential counters make both decisions observable.
 //
 // The row lane lowers the same expressions to typed per-row Go closures
 // with unboxed fast paths. It is the semantic oracle (the differential
@@ -175,14 +187,36 @@
 // aggregate (adapted by folding rows through its transition function,
 // so the WHERE clause still vectorizes and the scan still
 // parallelizes), the WHERE clause batch-compiles, and no GROUP BY key
-// is Vector-typed. Inner JOIN sources vectorize too: the join
-// materializes into an ordinary NULL-free temp table that the batch
-// kernels scan unchanged. The planner provably falls back to the row
-// lane for: Vector-typed operands (array literals, array_get, vector
-// columns), bool min/max, $n parameters anywhere other than one side
-// of a comparison, LEFT JOIN sources (padded right-side columns need
-// NULL-aware closures over the matched marker), SELECT DISTINCT, and
-// window queries (windows fold sequentially by definition);
+// is Vector-typed. Join sources vectorize on both sides of the NULL
+// divide. Inner joins materialize into an ordinary NULL-free temp
+// table that the batch kernels scan unchanged. LEFT JOIN sources
+// vectorize through validity bitmaps: each nullable right-side column
+// gets a per-batch validity lane derived from the hidden matched
+// marker, and the kernels are NULL-aware — comparisons clear
+// selection bits where an operand is NULL, NOT re-evaluates its
+// operand two-valued (NOT (NULL < 2) is true), arithmetic propagates
+// invalidity before it can fault (a NULL-padded zero divisor raises
+// no error), aggregates skip invalid positions (count(*) still counts
+// the row; an all-NULL sum is NULL), and group keys read the raw
+// padded lanes — exactly the row-lane oracle semantics, pinned by the
+// differential harness.
+//
+// Projection also leaves the row lane: scan SELECT items compile to
+// columnar kernels that fill typed lanes per batch and box each
+// output cell once (NULL where the validity bit is clear). SELECT
+// DISTINCT dedupes over that boxed columnar output, and window
+// queries gather their partition/order input through the same kernels
+// before the per-partition fold, which stays row-at-a-time by
+// definition.
+//
+// The planner still provably falls back to the row lane for:
+// Vector-typed operands (array literals, array_get, vector columns —
+// in predicates, projections or window keys), bool min/max, $n
+// parameters anywhere other than one side of a comparison, scalar
+// functions over possibly-NULL arguments (the row lane errors on a
+// NULL argument; kernels cannot reproduce that per-row, so the
+// planner refuses), madlib scalar calls inside expressions, and any
+// expression the batch compiler cannot lower;
 // TestRowLaneShapesPinned pins that decision.
 // Session.SetBatchExecution(false) forces the row lane everywhere.
 //
@@ -195,11 +229,16 @@
 // Exec/Query through one shared session, so callers get plan caching
 // without holding any extra state. BenchmarkSQLSelectAgg tracks the
 // resulting SQL-vs-engine overhead (the paper's §4.4(a) study) with
-// batch-vs-row, parallel and join sub-benchmarks (SQL vs SQLRowLane,
-// SQLParallel, SQLJoinAgg vs SQLJoinAggCached); scripts/bench_sql.sh
-// records them to BENCH_sql.json and scripts/bench_check.sh gates CI on
-// >25% regressions of the SQL, SQLParallel, SQLJoinAgg and
-// SQLJoinAggCached entries.
+// batch-vs-row, parallel, join, projection, LEFT JOIN, window and
+// sort sub-benchmarks; scripts/bench_sql.sh records them to
+// BENCH_sql.json and scripts/bench_check.sh gates CI two ways:
+// absolutely (>25% ns/op regression of the SQL, SQLParallel,
+// SQLJoinAgg, SQLJoinAggCached, SQLProjScan, SQLLeftJoinAgg,
+// SQLWindow or SQLOrderBy entries fails) and relatively (SQLProjScan
+// and SQLLeftJoinAgg must stay at least 1.5x faster than their
+// row-lane companions measured in the same run — a same-hardware
+// ratio that holds on single-core runners, where the win is pure
+// vectorization).
 //
 // # Types
 //
@@ -272,7 +311,8 @@
 // shape (Seq Scan / Hash Join / HashAggregate / WindowAgg / Function
 // Scan / Insert), the execution lane the planner picked (row, batch or
 // fused), the parallel-vs-sequential morsel decision with its reason
-// (worker count, or the row-threshold / GOMAXPROCS fallback), the join
+// (worker and morsel counts, or the row-threshold / GOMAXPROCS
+// fallback), the join
 // strategy with the materialization cache's current hit/miss state, and
 // whether the statement's text already has a cached plan. EXPLAIN
 // probes the plan cache but never populates it. EXPLAIN ANALYZE also

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -433,7 +432,12 @@ func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 		}
 	}
 	if hasWindow {
-		return planWindowSelect(st, ps)
+		pl, err := planWindowSelect(st, ps, s.batchEnabled())
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.lanePicked(planLane(pl))
+		return pl, nil
 	}
 	for _, item := range st.Items {
 		if item.Star {
@@ -474,12 +478,14 @@ func (s *Session) planSelect(st *Select) (stmtPlan, error) {
 			isAgg = true
 		}
 	}
-	// Lane decision: DISTINCT plans and LEFT JOIN sources (whose padded
-	// columns need NULL-aware closures) take the row lane — the semantic
-	// oracle. Plain single-table shapes and inner-join sources may
-	// vectorize: an inner join materializes into an ordinary temp table
-	// with no NULLs, so batch kernels run over it unchanged.
-	batchOK := s.batchEnabled() && !st.Distinct && ps.nullable == nil
+	// Lane decision: every scan and aggregate shape may try the batch
+	// lane. LEFT JOIN sources vectorize through NULL-aware kernels (the
+	// validity bitmap derived from the padding marker); DISTINCT dedupes
+	// boxed output rows, which the columnar projection produces just as
+	// well. Expressions with no batch lowering (Vector operands, madlib
+	// scalar calls, functions over possibly-NULL arguments) still fall
+	// back per plan — the row lane stays the semantic oracle.
+	batchOK := s.batchEnabled()
 	var pl stmtPlan
 	if isAgg {
 		pl, err = planAggSelect(st, ps, batchOK)
@@ -577,10 +583,14 @@ func enginePred(fn boolFn, env *execEnv, errPtr *atomic.Value) func(engine.Row) 
 // scanPlan is a planned projection scan: SELECT exprs FROM t [WHERE]
 // [ORDER BY] [LIMIT], all expressions compiled to closures. When the
 // WHERE clause also lowers to a batch kernel, the scan filters whole
-// column batches through a selection vector and only materializes the
-// surviving rows (batchPred/batchProg non-nil). Join sources materialize
-// a temp table per execution; DISTINCT plans dedupe the projected rows
-// and always stay on the row lane.
+// column batches through a selection vector (batchPred non-nil); when
+// SELECT-list items lower too, the surviving rows materialize through
+// the columnar projection (projItems) — each item evaluated once per
+// batch into a typed lane and boxed column-wise — instead of one
+// compiled closure call per row per item. Items with no batch lowering
+// fall back to their row-lane itemFn individually. Join sources
+// materialize a temp table per execution; DISTINCT dedupes the boxed
+// output rows on either lane.
 type scanPlan struct {
 	src      *planSource
 	distinct bool
@@ -599,16 +609,21 @@ type scanPlan struct {
 
 	batchProg *batchProg
 	batchPred bBatchKernel
-	// batchPool recycles per-segment filter scratch (scanBatchState)
-	// across executions of a cached plan.
+	// projItems, when non-nil, is the columnar projection: one entry per
+	// output item, nil entries falling back to the row lane's itemFns.
+	projItems []*projItem
+	// batchPool recycles per-morsel filter/projection scratch
+	// (scanBatchState) across executions of a cached plan.
 	batchPool sync.Pool
 }
 
-// scanBatchState is one segment's scratch for the vectorized scan
-// filter: the kernel lanes plus the predicate output buffer.
+// scanBatchState is one morsel's scratch for the vectorized scan:
+// the kernel lanes plus the predicate output and selection buffers
+// (nil when the plan has no batch predicate).
 type scanBatchState struct {
 	e       *batchEval
 	predOut []bool
+	selBuf  []int32
 }
 
 func planScanSelect(st *Select, ps *planSource, batchOK bool) (stmtPlan, error) {
@@ -682,11 +697,39 @@ func planScanSelect(st *Select, ps *planSource, batchOK bool) (stmtPlan, error) 
 	if st.Where != nil {
 		p.whereText = st.Where.String()
 	}
-	if batchOK && st.Where != nil {
-		bc := newBatchCompiler(schema)
-		if k, ok := compileBatchPredicate(st.Where, bc); ok && k != nil {
-			p.batchPred = k
-			p.batchProg = bc.prog
+	if batchOK {
+		bc := newSourceBatchCompiler(ps)
+		predOK := true
+		if st.Where != nil {
+			k, ok := compileBatchPredicate(st.Where, bc)
+			if ok && k != nil {
+				p.batchPred = k
+			} else {
+				// The WHERE clause has no batch lowering; the whole scan
+				// stays on the row lane (the batch drivers cannot interleave
+				// a row-lane predicate).
+				predOK = false
+			}
+		}
+		if predOK {
+			nBatch := 0
+			pis := make([]*projItem, len(items))
+			for i, item := range items {
+				if pi, ok := buildProjItem(item.Expr, bc); ok {
+					pis[i] = pi
+					nBatch++
+				}
+			}
+			if nBatch > 0 {
+				p.projItems = pis
+			}
+			if p.batchPred != nil || nBatch > 0 {
+				p.batchProg = bc.prog
+			} else {
+				p.batchPred = nil
+			}
+		} else {
+			p.batchPred = nil
 		}
 	}
 	return p, nil
@@ -702,14 +745,21 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		return nil, err
 	}
 	defer cleanup()
-	// Scan segment-parallel, buffering per segment to keep output
-	// deterministic (segment order, row order within a segment).
-	nseg := len(input.Segments())
-	segRows := make([][][]any, nseg)
-	segKeys := make([][][]any, nseg)
+	// Scan in parallel, buffering per morsel (batch lane) or per segment
+	// (row lane); either way the buffers concatenate in (segment, offset)
+	// order, so output order is deterministic and identical across lanes
+	// and worker counts.
+	batch := p.batchProg != nil
+	nBuf := len(input.Segments())
+	if batch {
+		nBuf = s.db.ScanMorsels(input)
+	}
+	bufRows := make([][][]any, nBuf)
+	bufKeys := make([][][]any, nBuf)
 	ordered := len(p.desc) > 0
-	// emit projects one surviving row into its segment's buffer.
-	emit := func(segIdx int, row engine.Row) error {
+	// emit projects one surviving row into its buffer (row lane, and the
+	// batch lane's per-row fallback is emitBatch below).
+	emit := func(bufIdx int, row engine.Row) error {
 		out := make([]any, len(p.itemFns))
 		for i, fn := range p.itemFns {
 			v, err := fn(row, env)
@@ -718,7 +768,7 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 			}
 			out[i] = v
 		}
-		segRows[segIdx] = append(segRows[segIdx], out)
+		bufRows[bufIdx] = append(bufRows[bufIdx], out)
 		if ordered {
 			keys := make([]any, len(p.desc))
 			for k := range p.desc {
@@ -732,17 +782,18 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 				}
 				keys[k] = v
 			}
-			segKeys[segIdx] = append(segKeys[segIdx], keys)
+			bufKeys[bufIdx] = append(bufKeys[bufIdx], keys)
 		}
 		return nil
 	}
 	var scanErr error
 	var predErr atomic.Value
-	if p.batchPred != nil {
-		// Vectorized filter: evaluate the predicate per batch into a
-		// selection vector, then materialize only the survivors. Scratch
-		// states pool across executions of the (cached) plan.
-		states := make([]*scanBatchState, nseg)
+	if batch {
+		// Vectorized scan: evaluate the predicate per batch into a
+		// selection vector, then materialize the survivors through the
+		// columnar projection. Scratch states pool across executions of
+		// the (cached) plan.
+		states := make([]*scanBatchState, nBuf)
 		defer func() {
 			for _, st := range states {
 				if st != nil {
@@ -751,30 +802,38 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 				}
 			}
 		}()
-		scanErr = s.db.ForEachBatch(input, func(segIdx int, b engine.ColBatch) error {
-			st := states[segIdx]
+		scanErr = s.db.ForEachBatch(input, func(morselIdx int, b engine.ColBatch) error {
+			st := states[morselIdx]
 			if st == nil {
 				st, _ = p.batchPool.Get().(*scanBatchState)
 				if st == nil {
-					st = &scanBatchState{e: p.batchProg.newEval(env), predOut: make([]bool, engine.BatchSize)}
+					st = &scanBatchState{e: p.batchProg.newEval(env)}
+					if p.batchPred != nil {
+						st.predOut = make([]bool, engine.BatchSize)
+						st.selBuf = make([]int32, engine.BatchSize)
+					}
 				}
 				st.e.env = env
-				states[segIdx] = st
+				states[morselIdx] = st
 			}
 			sel := st.e.identSel(b.Len())
-			po := st.predOut[:b.Len()]
-			if err := p.batchPred(st.e, b, sel, po); err != nil {
-				return err
-			}
-			for j, keep := range po {
-				if !keep {
-					continue
-				}
-				if err := emit(segIdx, b.Row(j)); err != nil {
+			if p.batchPred != nil {
+				po := st.predOut[:b.Len()]
+				if err := p.batchPred(st.e, b, sel, po); err != nil {
 					return err
 				}
+				keep := st.selBuf[:0]
+				for j, ok := range po {
+					if ok {
+						keep = append(keep, int32(j))
+					}
+				}
+				sel = keep
 			}
-			return nil
+			if len(sel) == 0 {
+				return nil
+			}
+			return p.emitBatch(st, b, sel, env, morselIdx, bufRows, bufKeys)
 		})
 	} else {
 		pred := enginePred(p.pred, env, &predErr)
@@ -792,20 +851,73 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		return nil, e.(error)
 	}
 	var rows, keys [][]any
-	for i := 0; i < nseg; i++ {
-		rows = append(rows, segRows[i]...)
-		keys = append(keys, segKeys[i]...)
+	for i := 0; i < nBuf; i++ {
+		rows = append(rows, bufRows[i]...)
+		keys = append(keys, bufKeys[i]...)
 	}
 	if p.distinct {
 		rows, keys = dedupeRows(rows, keys)
 	}
 	if ordered {
-		if err := sortRows(rows, keys, p.desc); err != nil {
+		if err := sortRows(s.db, rows, keys, p.desc); err != nil {
 			return nil, err
 		}
 	}
 	rows = applyLimit(rows, p.limit)
 	return &Result{Cols: p.cols, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
+}
+
+// emitBatch materializes one batch's surviving rows on the batch lane:
+// columnar items box lane-at-a-time into the output rows (one backing
+// cell array per batch), per-item fallbacks evaluate row-at-a-time, and
+// ORDER BY keys fill from the boxed output or the compiled key closures.
+func (p *scanPlan) emitBatch(st *scanBatchState, b engine.ColBatch, sel selVec, env *execEnv, bufIdx int, bufRows, bufKeys [][][]any) error {
+	n := len(sel)
+	nItems := len(p.itemFns)
+	rows := make([][]any, n)
+	cells := make([]any, n*nItems)
+	for j := range rows {
+		rows[j] = cells[j*nItems : (j+1)*nItems : (j+1)*nItems]
+	}
+	for i, fn := range p.itemFns {
+		var pi *projItem
+		if p.projItems != nil {
+			pi = p.projItems[i]
+		}
+		if pi != nil {
+			if err := pi.box(st.e, b, sel, rows, i); err != nil {
+				return err
+			}
+			continue
+		}
+		for j, idx := range sel {
+			v, err := fn(b.Row(int(idx)), env)
+			if err != nil {
+				return err
+			}
+			rows[j][i] = v
+		}
+	}
+	bufRows[bufIdx] = append(bufRows[bufIdx], rows...)
+	if len(p.desc) == 0 {
+		return nil
+	}
+	for j, idx := range sel {
+		keys := make([]any, len(p.desc))
+		for k := range p.desc {
+			if ord := p.orderOrds[k]; ord >= 0 {
+				keys[k] = rows[j][ord]
+				continue
+			}
+			v, err := p.orderFns[k](b.Row(int(idx)), env)
+			if err != nil {
+				return err
+			}
+			keys[k] = v
+		}
+		bufKeys[bufIdx] = append(bufKeys[bufIdx], keys)
+	}
+	return nil
 }
 
 // dedupeRows collapses duplicate projected rows (SELECT DISTINCT),
@@ -1051,7 +1163,7 @@ func planAggSelect(st *Select, ps *planSource, batchOK bool) (stmtPlan, error) {
 		p.keyFn = groupKeyFn(schema, p.groupIdx)
 	}
 	if batchOK {
-		p.batch, _ = planBatchAggLane(st, schema, p.calls, p.builders, p.groupIdx)
+		p.batch, _ = planBatchAggLane(st, ps, p.calls, p.builders, p.groupIdx)
 	}
 	return p, nil
 }
@@ -1182,13 +1294,20 @@ func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	}
 	if len(p.groupIdx) > 0 {
 		// Deterministic default order: sort groups by their key values.
+		// Group keys are unique, so the (stable, possibly parallel) sort's
+		// output order is fully determined by the comparator.
+		var mu sync.Mutex
 		var sortErr error
-		sort.Slice(states, func(a, b int) bool {
+		perm := s.db.SortStable(len(states), func(a, b int) bool {
 			ka, kb := states[a].keyVals, states[b].keyVals
 			for i := range ka {
 				c, err := compareValues(ka[i], kb[i])
-				if err != nil && sortErr == nil {
-					sortErr = err
+				if err != nil {
+					mu.Lock()
+					if sortErr == nil {
+						sortErr = err
+					}
+					mu.Unlock()
 				}
 				if c != 0 {
 					return c < 0
@@ -1199,6 +1318,7 @@ func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		if sortErr != nil {
 			return nil, sortErr
 		}
+		reorder(states, perm)
 	}
 	var rows, keys [][]any
 	for _, ms := range states {
@@ -1226,7 +1346,7 @@ func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		for i, k := range st.OrderBy {
 			desc[i] = k.Desc
 		}
-		if err := sortRows(rows, keys, desc); err != nil {
+		if err := sortRows(s.db, rows, keys, desc); err != nil {
 			return nil, err
 		}
 	}
@@ -1588,7 +1708,7 @@ func (p *tvPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		for i, k := range st.OrderBy {
 			desc[i] = k.Desc
 		}
-		if err := sortRows(rows, keys, desc); err != nil {
+		if err := sortRows(s.db, rows, keys, desc); err != nil {
 			return nil, err
 		}
 	}

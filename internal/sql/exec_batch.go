@@ -11,8 +11,8 @@ import (
 // drives it through engine.RunBatched / RunGroupByBatched when present.
 // The lane reuses the row lane's accumulator structs and finalizers
 // (numAccState, fminmaxState, ...) so both lanes produce bit-identical
-// results — per segment, rows fold in the same order, and segment states
-// merge in the same segment order.
+// results — per morsel, rows fold in the same order, and morsel states
+// merge in the same (segment, offset) order the row lane merges in.
 
 // batchAggSpec is one aggregate call lowered to the batch lane. At most
 // one of evalF/evalI/evalS is set for value-folding aggregates; all are
@@ -25,6 +25,12 @@ type batchAggSpec struct {
 	evalS func(e *batchEval, b engine.ColBatch, sel selVec) ([]string, error)
 	// evalDiscard evaluates a count(expr) argument for its errors only.
 	evalDiscard func(e *batchEval, b engine.ColBatch, sel selVec) error
+	// validV, when non-nil, evaluates the argument's validity lane: the
+	// argument can be NULL (it reads the padded side of a LEFT JOIN) and
+	// the aggregate must skip invalid rows, exactly as the row lane's
+	// accumulators skip nil. The value lanes hold don't-care padding at
+	// invalid positions.
+	validV func(e *batchEval, b engine.ColBatch, sel selVec) ([]bool, error)
 
 	init func() any
 	// updF/updI/updS/updN fold one selected row into an accumulator
@@ -98,9 +104,15 @@ func buildBuiltinBatchSpec(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bo
 			},
 			final: func(st any) (any, error) { return st.(*countState).n, nil },
 		}
+		// count(expr) counts non-NULL values: a possibly-NULL argument
+		// contributes its validity lane and only valid rows count.
+		if arg != nil && arg.valid != nil {
+			spec.validV = laneEvalV(arg.valid, bc)
+		}
 		// count(expr) evaluates its argument so runtime errors surface;
 		// constant arguments and bare column references cannot fail and
-		// skip the evaluation (the engine's storage has no NULLs).
+		// skip the evaluation (storage holds no errors, and a NULL-padded
+		// gather is fault-free).
 		isBareCol := false
 		if len(call.Args) == 1 {
 			_, isBareCol = call.Args[0].(*ColumnRef)
@@ -169,7 +181,7 @@ func buildBuiltinBatchSpec(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bo
 					spec.updI(st, v)
 				}
 			}
-			return spec, true
+			return withValidity(spec, arg, bc), true
 		case ckFloat:
 			spec := &batchAggSpec{
 				init: func() any { return &fminmaxState{} },
@@ -200,7 +212,7 @@ func buildBuiltinBatchSpec(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bo
 					spec.updF(st, v)
 				}
 			}
-			return spec, true
+			return withValidity(spec, arg, bc), true
 		case ckStr:
 			spec := &batchAggSpec{
 				init: func() any { return &sminmaxState{} },
@@ -231,7 +243,7 @@ func buildBuiltinBatchSpec(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bo
 					spec.updS(st, v)
 				}
 			}
-			return spec, true
+			return withValidity(spec, arg, bc), true
 		}
 		return nil, false
 	case "sum", "avg", "variance", "stddev":
@@ -262,7 +274,7 @@ func buildBuiltinBatchSpec(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bo
 				}
 				s.n += int64(len(vals))
 			}
-			return spec, true
+			return withValidity(spec, arg, bc), true
 		case ckFloat:
 			spec := &batchAggSpec{
 				init: func() any { return &numAccState{} },
@@ -284,7 +296,7 @@ func buildBuiltinBatchSpec(call *FuncCall, bc *batchCompiler) (*batchAggSpec, bo
 				}
 				s.n += int64(len(vals))
 			}
-			return spec, true
+			return withValidity(spec, arg, bc), true
 		}
 		return nil, false
 	}
@@ -322,6 +334,165 @@ func laneEvalS(sk sBatchKernel, bc *batchCompiler) func(*batchEval, engine.ColBa
 		}
 		return out, nil
 	}
+}
+
+func laneEvalB(bk bBatchKernel, bc *batchCompiler) func(*batchEval, engine.ColBatch, selVec) ([]bool, error) {
+	slot := bc.boolSlot()
+	return func(e *batchEval, b engine.ColBatch, sel selVec) ([]bool, error) {
+		out := e.b(slot, len(sel))
+		if err := bk(e, b, sel, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// laneEvalV is laneEvalB over a validity kernel (a distinct helper only
+// for readability at call sites).
+func laneEvalV(vk bBatchKernel, bc *batchCompiler) func(*batchEval, engine.ColBatch, selVec) ([]bool, error) {
+	return laneEvalB(vk, bc)
+}
+
+// withValidity attaches the argument's validity lane to a value-folding
+// spec so its folds can skip NULL rows.
+func withValidity(spec *batchAggSpec, arg *bcompiled, bc *batchCompiler) *batchAggSpec {
+	if arg != nil && arg.valid != nil {
+		spec.validV = laneEvalV(arg.valid, bc)
+	}
+	return spec
+}
+
+// projItem is one SELECT-list item lowered to the batch lane: a typed
+// lane evaluator plus (for possibly-NULL items) a validity evaluator.
+// The columnar projection evaluates each item once per batch over the
+// surviving selection and boxes the lane column-wise into the output
+// rows — one type switch per column per batch instead of a compiled
+// closure call per row per item. Items with no batch lowering (Vector
+// columns, $n parameters, madlib calls) stay nil and fall back to their
+// row-lane itemFn.
+type projItem struct {
+	evalF func(e *batchEval, b engine.ColBatch, sel selVec) ([]float64, error)
+	evalI func(e *batchEval, b engine.ColBatch, sel selVec) ([]int64, error)
+	evalS func(e *batchEval, b engine.ColBatch, sel selVec) ([]string, error)
+	evalB func(e *batchEval, b engine.ColBatch, sel selVec) ([]bool, error)
+	// validE, when non-nil, marks a possibly-NULL item: invalid rows box
+	// as nil (the row lane's NULL), valid rows box the lane value.
+	validE func(e *batchEval, b engine.ColBatch, sel selVec) ([]bool, error)
+}
+
+// buildProjItem lowers one projection expression; ok=false keeps that
+// item (alone) on the row lane.
+func buildProjItem(expr Expr, bc *batchCompiler) (*projItem, bool) {
+	c, ok := compileBatchExpr(expr, bc)
+	if !ok || c.paramIdx > 0 {
+		return nil, false
+	}
+	pi := &projItem{}
+	switch c.kind {
+	case ckFloat:
+		pi.evalF = laneEvalF(c.f, bc)
+	case ckInt:
+		pi.evalI = laneEvalI(c.i, bc)
+	case ckStr:
+		pi.evalS = laneEvalS(c.s, bc)
+	case ckBool:
+		pi.evalB = laneEvalB(c.b, bc)
+	default:
+		return nil, false
+	}
+	if c.valid != nil {
+		pi.validE = laneEvalV(c.valid, bc)
+	}
+	return pi, true
+}
+
+// box evaluates the item over sel and writes column col of the output
+// rows (rows[j] is the boxed output row of row sel[j]).
+func (pi *projItem) box(e *batchEval, b engine.ColBatch, sel selVec, rows [][]any, col int) error {
+	var vl []bool
+	if pi.validE != nil {
+		var err error
+		vl, err = pi.validE(e, b, sel)
+		if err != nil {
+			return err
+		}
+	}
+	switch {
+	case pi.evalF != nil:
+		vals, err := pi.evalF(e, b, sel)
+		if err != nil {
+			return err
+		}
+		if vl == nil {
+			for j := range vals {
+				rows[j][col] = vals[j]
+			}
+			break
+		}
+		for j := range vals {
+			if vl[j] {
+				rows[j][col] = vals[j]
+			}
+		}
+	case pi.evalI != nil:
+		vals, err := pi.evalI(e, b, sel)
+		if err != nil {
+			return err
+		}
+		if vl == nil {
+			for j := range vals {
+				rows[j][col] = vals[j]
+			}
+			break
+		}
+		for j := range vals {
+			if vl[j] {
+				rows[j][col] = vals[j]
+			}
+		}
+	case pi.evalS != nil:
+		vals, err := pi.evalS(e, b, sel)
+		if err != nil {
+			return err
+		}
+		if vl == nil {
+			for j := range vals {
+				rows[j][col] = vals[j]
+			}
+			break
+		}
+		for j := range vals {
+			if vl[j] {
+				rows[j][col] = vals[j]
+			}
+		}
+	case pi.evalB != nil:
+		vals, err := pi.evalB(e, b, sel)
+		if err != nil {
+			return err
+		}
+		if vl == nil {
+			for j := range vals {
+				rows[j][col] = vals[j]
+			}
+			break
+		}
+		for j := range vals {
+			if vl[j] {
+				rows[j][col] = vals[j]
+			}
+		}
+	}
+	return nil
+}
+
+// newSourceBatchCompiler builds the batch compiler for a plan source,
+// carrying the LEFT JOIN NULL-padding metadata when present.
+func newSourceBatchCompiler(ps *planSource) *batchCompiler {
+	if ps.nullable != nil {
+		return newBatchCompilerNullable(ps.schema, ps.nullable, ps.matchedIdx)
+	}
+	return newBatchCompiler(ps.schema)
 }
 
 // sminmaxState is the batch lane's unboxed text min/max accumulator
@@ -370,6 +541,11 @@ func attachFused(spec *batchAggSpec, call *FuncCall, bc *batchCompiler) {
 	}
 	ci, ok := bc.colIdx[cr.Name]
 	if !ok {
+		return
+	}
+	if bc.nullable != nil && bc.nullable[ci] {
+		// NULL-padded column: the fused kernels fold raw lanes with no
+		// validity mask, so nullable arguments stay on the gather path.
 		return
 	}
 	switch call.Name {
@@ -488,7 +664,7 @@ type batchAggLane struct {
 	keyFillStr func(b engine.ColBatch, sel selVec, keys []string)
 	keyFill    func(b engine.ColBatch, sel selVec, keys []engine.GroupKey)
 
-	// pool recycles batchSegStates (and their scratch lanes) across
+	// pool recycles batchMorselStates (and their scratch lanes) across
 	// executions of this plan, so a cached plan's steady-state execution
 	// allocates only per-group accumulators.
 	pool sync.Pool
@@ -501,10 +677,10 @@ type batchGroup struct {
 	keyVals []any
 }
 
-// batchSegState is the per-segment execution state: the kernel scratch
+// batchMorselState is the per-morsel execution state: the kernel scratch
 // plus top-level buffers for selection, predicate output, keys and
 // group-pointer resolution.
-type batchSegState struct {
+type batchMorselState struct {
 	e       *batchEval
 	selBuf  []int32
 	predOut []bool
@@ -519,10 +695,10 @@ type batchSegState struct {
 	m    map[engine.GroupKey]*batchGroup
 }
 
-func (ln *batchAggLane) newSegState(env *execEnv, grouped bool) *batchSegState {
-	st, _ := ln.pool.Get().(*batchSegState)
+func (ln *batchAggLane) newMorselState(env *execEnv, grouped bool) *batchMorselState {
+	st, _ := ln.pool.Get().(*batchMorselState)
 	if st == nil {
-		st = &batchSegState{e: ln.prog.newEval(env)}
+		st = &batchMorselState{e: ln.prog.newEval(env)}
 		if ln.pred != nil {
 			st.selBuf = make([]int32, engine.BatchSize)
 			st.predOut = make([]bool, engine.BatchSize)
@@ -564,11 +740,11 @@ func (ln *batchAggLane) newSegState(env *execEnv, grouped bool) *batchSegState {
 	return st
 }
 
-// releaseSegState returns a segment state's scratch to the pool. The
+// releaseMorselState returns a segment state's scratch to the pool. The
 // per-execution outputs (accumulators, group map entries) have already
 // escaped into the merged result; drop every reference to them so the
 // pooled scratch cannot pin group memory.
-func (ln *batchAggLane) releaseSegState(st *batchSegState) {
+func (ln *batchAggLane) releaseMorselState(st *batchMorselState) {
 	st.e.env = nil
 	st.accs = nil
 	if st.m != nil {
@@ -594,7 +770,7 @@ func (ln *batchAggLane) releaseSegState(st *batchSegState) {
 
 // select applies the WHERE kernel to one batch and returns the surviving
 // selection (the identity selection when there is no WHERE).
-func (ln *batchAggLane) selectRows(st *batchSegState, b engine.ColBatch) (selVec, error) {
+func (ln *batchAggLane) selectRows(st *batchMorselState, b engine.ColBatch) (selVec, error) {
 	sel := st.e.identSel(b.Len())
 	if ln.pred == nil {
 		return sel, nil
@@ -613,7 +789,7 @@ func (ln *batchAggLane) selectRows(st *batchSegState, b engine.ColBatch) (selVec
 }
 
 // processUngrouped folds one batch into the segment's accumulators.
-func (ln *batchAggLane) processUngrouped(st *batchSegState, b engine.ColBatch) error {
+func (ln *batchAggLane) processUngrouped(st *batchMorselState, b engine.ColBatch) error {
 	if ln.fused != nil {
 		return ln.processFused(st, b)
 	}
@@ -625,6 +801,16 @@ func (ln *batchAggLane) processUngrouped(st *batchSegState, b engine.ColBatch) e
 		return nil
 	}
 	for ai, spec := range ln.specs {
+		// vl is the argument's validity lane; nil means every selected row
+		// folds (the common, NULL-free case).
+		var vl []bool
+		if spec.validV != nil {
+			var err error
+			vl, err = spec.validV(st.e, b, sel)
+			if err != nil {
+				return err
+			}
+		}
 		switch {
 		case spec.updRow != nil:
 			acc := st.accs[ai]
@@ -637,26 +823,60 @@ func (ln *batchAggLane) processUngrouped(st *batchSegState, b engine.ColBatch) e
 			if err != nil {
 				return err
 			}
-			spec.foldF(st.accs[ai], vals)
+			if vl != nil {
+				for j, v := range vals {
+					if vl[j] {
+						spec.updF(st.accs[ai], v)
+					}
+				}
+			} else {
+				spec.foldF(st.accs[ai], vals)
+			}
 		case spec.evalI != nil:
 			vals, err := spec.evalI(st.e, b, sel)
 			if err != nil {
 				return err
 			}
-			spec.foldI(st.accs[ai], vals)
+			if vl != nil {
+				for j, v := range vals {
+					if vl[j] {
+						spec.updI(st.accs[ai], v)
+					}
+				}
+			} else {
+				spec.foldI(st.accs[ai], vals)
+			}
 		case spec.evalS != nil:
 			vals, err := spec.evalS(st.e, b, sel)
 			if err != nil {
 				return err
 			}
-			spec.foldS(st.accs[ai], vals)
+			if vl != nil {
+				for j, v := range vals {
+					if vl[j] {
+						spec.updS(st.accs[ai], v)
+					}
+				}
+			} else {
+				spec.foldS(st.accs[ai], vals)
+			}
 		default:
 			if spec.evalDiscard != nil {
 				if err := spec.evalDiscard(st.e, b, sel); err != nil {
 					return err
 				}
 			}
-			spec.updN(st.accs[ai], int64(len(sel)))
+			if vl != nil {
+				var n int64
+				for _, ok := range vl {
+					if ok {
+						n++
+					}
+				}
+				spec.updN(st.accs[ai], n)
+			} else {
+				spec.updN(st.accs[ai], int64(len(sel)))
+			}
 		}
 	}
 	return nil
@@ -667,7 +887,7 @@ func (ln *batchAggLane) processUngrouped(st *batchSegState, b engine.ColBatch) e
 // column lane against it in one pass — no selection vector, no gather,
 // no per-value closure. Only planned for ungrouped single-aggregate
 // queries whose argument is a bare column reference or count(*).
-func (ln *batchAggLane) processFused(st *batchSegState, b engine.ColBatch) error {
+func (ln *batchAggLane) processFused(st *batchMorselState, b engine.ColBatch) error {
 	var keep []bool
 	if ln.pred != nil {
 		keep = st.predOut[:b.Len()]
@@ -699,7 +919,7 @@ func (ln *batchAggLane) processFused(st *batchSegState, b engine.ColBatch) error
 // processGrouped folds one batch into the segment's per-group
 // accumulators: key lane, one map probe per row, then per-aggregate
 // lane folds against the resolved group pointers.
-func (ln *batchAggLane) processGrouped(st *batchSegState, b engine.ColBatch) error {
+func (ln *batchAggLane) processGrouped(st *batchMorselState, b engine.ColBatch) error {
 	sel, err := ln.selectRows(st, b)
 	if err != nil {
 		return err
@@ -744,6 +964,17 @@ func (ln *batchAggLane) processGrouped(st *batchSegState, b engine.ColBatch) err
 		}
 	}
 	for ai, spec := range ln.specs {
+		// vl is the argument's validity lane; invalid rows still create
+		// their group (the row lane's keyed aggregate sees the row too),
+		// they just don't fold a value.
+		var vl []bool
+		if spec.validV != nil {
+			var err error
+			vl, err = spec.validV(st.e, b, sel)
+			if err != nil {
+				return err
+			}
+		}
 		switch {
 		case spec.updRow != nil:
 			for j, g := range grps {
@@ -756,7 +987,9 @@ func (ln *batchAggLane) processGrouped(st *batchSegState, b engine.ColBatch) err
 			}
 			upd := spec.updF
 			for j, g := range grps {
-				upd(g.accs[ai], vals[j])
+				if vl == nil || vl[j] {
+					upd(g.accs[ai], vals[j])
+				}
 			}
 		case spec.evalI != nil:
 			vals, err := spec.evalI(st.e, b, sel)
@@ -765,7 +998,9 @@ func (ln *batchAggLane) processGrouped(st *batchSegState, b engine.ColBatch) err
 			}
 			upd := spec.updI
 			for j, g := range grps {
-				upd(g.accs[ai], vals[j])
+				if vl == nil || vl[j] {
+					upd(g.accs[ai], vals[j])
+				}
 			}
 		case spec.evalS != nil:
 			vals, err := spec.evalS(st.e, b, sel)
@@ -774,7 +1009,9 @@ func (ln *batchAggLane) processGrouped(st *batchSegState, b engine.ColBatch) err
 			}
 			upd := spec.updS
 			for j, g := range grps {
-				upd(g.accs[ai], vals[j])
+				if vl == nil || vl[j] {
+					upd(g.accs[ai], vals[j])
+				}
 			}
 		default:
 			if spec.evalDiscard != nil {
@@ -783,8 +1020,10 @@ func (ln *batchAggLane) processGrouped(st *batchSegState, b engine.ColBatch) err
 				}
 			}
 			upd := spec.updN
-			for _, g := range grps {
-				upd(g.accs[ai], 1)
+			for j, g := range grps {
+				if vl == nil || vl[j] {
+					upd(g.accs[ai], 1)
+				}
 			}
 		}
 	}
@@ -805,9 +1044,9 @@ func (ln *batchAggLane) newGroup(b engine.ColBatch, idx int32) *batchGroup {
 	return g
 }
 
-// segGroups converts a segment's typed map into the engine's GroupKey
-// map — one conversion per group, after the whole segment is scanned.
-func (ln *batchAggLane) segGroups(st *batchSegState) map[engine.GroupKey]any {
+// morselGroups converts a morsel's typed map into the engine's GroupKey
+// map — one conversion per group, after the whole morsel is scanned.
+func (ln *batchAggLane) morselGroups(st *batchMorselState) map[engine.GroupKey]any {
 	switch ln.keyMode {
 	case keyModeInt:
 		out := make(map[engine.GroupKey]any, len(st.mInt))
@@ -862,28 +1101,30 @@ func (ln *batchAggLane) finalize(g *batchGroup) (*multiState, error) {
 func (p *aggPlan) execBatch(s *Session, env *execEnv, input *engine.Table) ([]*multiState, error) {
 	ln := p.batch
 	grouped := len(p.groupIdx) > 0
-	// Track every segment state so the scratch returns to the pool even
-	// when a kernel errors mid-scan.
-	tracked := make([]*batchSegState, len(input.Segments()))
-	newSeg := func(i int) any {
-		st := ln.newSegState(env, grouped)
+	// Track every morsel state so the scratch returns to the pool even
+	// when a kernel errors mid-scan. States are indexed by morsel — large
+	// segments split into several morsels, so this can exceed the segment
+	// count.
+	tracked := make([]*batchMorselState, s.db.ScanMorsels(input))
+	newMorsel := func(i int) any {
+		st := ln.newMorselState(env, grouped)
 		tracked[i] = st
 		return st
 	}
 	defer func() {
 		for _, st := range tracked {
 			if st != nil {
-				ln.releaseSegState(st)
+				ln.releaseMorselState(st)
 			}
 		}
 	}()
 	if !grouped {
-		v, err := s.db.RunBatched(input, newSeg,
+		v, err := s.db.RunBatched(input, newMorsel,
 			func(state any, b engine.ColBatch) error {
-				return ln.processUngrouped(state.(*batchSegState), b)
+				return ln.processUngrouped(state.(*batchMorselState), b)
 			},
 			func(a, b any) any {
-				sa, sb := a.(*batchSegState), b.(*batchSegState)
+				sa, sb := a.(*batchMorselState), b.(*batchMorselState)
 				for i, spec := range ln.specs {
 					sa.accs[i] = spec.merge(sa.accs[i], sb.accs[i])
 				}
@@ -892,18 +1133,18 @@ func (p *aggPlan) execBatch(s *Session, env *execEnv, input *engine.Table) ([]*m
 		if err != nil {
 			return nil, err
 		}
-		ms, err := ln.finalize(&batchGroup{accs: v.(*batchSegState).accs})
+		ms, err := ln.finalize(&batchGroup{accs: v.(*batchMorselState).accs})
 		if err != nil {
 			return nil, err
 		}
 		return []*multiState{ms}, nil
 	}
-	groups, err := s.db.RunGroupByBatched(input, newSeg,
+	groups, err := s.db.RunGroupByBatched(input, newMorsel,
 		func(state any, b engine.ColBatch) error {
-			return ln.processGrouped(state.(*batchSegState), b)
+			return ln.processGrouped(state.(*batchMorselState), b)
 		},
 		func(state any) map[engine.GroupKey]any {
-			return ln.segGroups(state.(*batchSegState))
+			return ln.morselGroups(state.(*batchMorselState))
 		},
 		func(a, b any) any { return ln.mergeGroups(a.(*batchGroup), b.(*batchGroup)) })
 	if err != nil {
@@ -996,8 +1237,9 @@ func (ln *batchAggLane) bindKeyFill(schema engine.Schema, groupIdx []int) {
 // lane's aggregate-builder list, parallel to calls — the madlib adapter
 // reuses the instances it already built. ok=false leaves the plan on
 // the row lane.
-func planBatchAggLane(st *Select, schema engine.Schema, calls []*FuncCall, builders []aggBuilder, groupIdx []int) (*batchAggLane, bool) {
-	bc := newBatchCompiler(schema)
+func planBatchAggLane(st *Select, ps *planSource, calls []*FuncCall, builders []aggBuilder, groupIdx []int) (*batchAggLane, bool) {
+	schema := ps.schema
+	bc := newSourceBatchCompiler(ps)
 	ln := &batchAggLane{schema: schema, groupIdx: groupIdx}
 	pred, ok := compileBatchPredicate(st.Where, bc)
 	if !ok {
@@ -1030,7 +1272,7 @@ func planBatchAggLane(st *Select, schema engine.Schema, calls []*FuncCall, build
 		// (or a plain count) with no grouping.
 		spec := ln.specs[0]
 		countOnly := spec.updN != nil && spec.updRow == nil && spec.evalDiscard == nil &&
-			spec.evalF == nil && spec.evalI == nil && spec.evalS == nil
+			spec.validV == nil && spec.evalF == nil && spec.evalI == nil && spec.evalS == nil
 		if spec.fusedF != nil || spec.fusedI != nil || countOnly {
 			ln.fused = spec
 		}

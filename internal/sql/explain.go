@@ -93,8 +93,13 @@ func explainLines(s *Session, pl stmtPlan) []string {
 	case *scanPlan:
 		lines := []string{sourceTitle(s, p.src)}
 		lane := "row"
-		if p.batchPred != nil {
+		switch {
+		case p.batchPred != nil && p.projItems != nil:
+			lane = "batch (vectorized filter + columnar projection)"
+		case p.batchPred != nil:
 			lane = "batch (vectorized filter)"
+		case p.projItems != nil:
+			lane = "batch (columnar projection)"
 		}
 		lines = append(lines, "  lane: "+lane)
 		if p.whereText != "" {
@@ -137,9 +142,13 @@ func explainLines(s *Session, pl stmtPlan) []string {
 		for i, spec := range p.specs {
 			names[i] = spec.name
 		}
+		lane := "row (gather and fold per partition)"
+		if p.batch != nil {
+			lane = "batch (vectorized gather, row-lane fold)"
+		}
 		lines = append(lines,
 			"  window functions: "+strings.Join(names, ", "),
-			"  lane: row (window functions fold per partition)",
+			"  lane: "+lane,
 			"  "+sourceTitle(s, p.src))
 		if p.st.Where != nil {
 			lines = append(lines, "    filter: "+p.st.Where.String())
@@ -211,7 +220,7 @@ func sourceDetail(s *Session, ps *planSource, pad string) []string {
 // make for a scan of t right now.
 func executionLine(s *Session, t *engine.Table) string {
 	if w := s.db.ScanWorkers(t); w > 1 {
-		return fmt.Sprintf("execution: parallel (%d workers over %d segment morsels)", w, len(t.Segments()))
+		return fmt.Sprintf("execution: parallel (%d workers over %d morsels)", w, s.db.ScanMorsels(t))
 	}
 	if t.Count() < engine.ParallelRowThreshold {
 		return fmt.Sprintf("execution: sequential (%d rows < parallel threshold %d)",

@@ -62,7 +62,7 @@ func (m *sessionMetrics) lanePicked(lane string) {
 func planLane(pl stmtPlan) string {
 	switch p := pl.(type) {
 	case *scanPlan:
-		if p.batchPred != nil {
+		if p.batchPred != nil || p.projItems != nil {
 			return "batch"
 		}
 		return "row"
@@ -75,7 +75,10 @@ func planLane(pl stmtPlan) string {
 		}
 		return "row"
 	case *windowPlan:
-		return "window"
+		if p.batch != nil {
+			return "batch"
+		}
+		return "row"
 	case *tvPlan:
 		return "function"
 	case *constPlan:

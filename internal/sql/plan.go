@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
+	"sync"
 
 	"madlib/internal/core"
 	"madlib/internal/engine"
@@ -1200,19 +1200,22 @@ func (m *multiAggregate) Final(state any) (any, error) {
 }
 
 // sortRows stable-sorts rows by the given key columns (extracted into
-// keys, parallel to rows).
-func sortRows(rows [][]any, keys [][]any, desc []bool) error {
+// keys, parallel to rows). Large results sort in parallel via the
+// engine's chunked stable sort; the comparator only reads keys, so
+// concurrent calls are safe, with a mutex guarding error capture.
+func sortRows(db *engine.DB, rows [][]any, keys [][]any, desc []bool) error {
+	var mu sync.Mutex
 	var sortErr error
-	idx := make([]int, len(rows))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ka, kb := keys[idx[a]], keys[idx[b]]
+	idx := db.SortStable(len(rows), func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
 		for k := range desc {
 			c, err := compareValues(ka[k], kb[k])
-			if err != nil && sortErr == nil {
-				sortErr = err
+			if err != nil {
+				mu.Lock()
+				if sortErr == nil {
+					sortErr = err
+				}
+				mu.Unlock()
 			}
 			if c != 0 {
 				if desc[k] {

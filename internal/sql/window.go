@@ -28,9 +28,13 @@ import (
 // second pass, so they are rejected instead of emitting running values
 // that depend on storage order.
 //
-// Window plans always execute on the row lane: partitions are folded
-// sequentially by definition, so there is nothing for the batch lane to
-// vectorize.
+// The fold itself is row-at-a-time by definition — each row's output
+// depends on the partition state — but the input side vectorizes: when
+// WHERE and every PARTITION BY / OVER-ORDER BY expression lower onto
+// batch kernels, the gather pass runs morsel-parallel on the batch
+// lane, filtering and evaluating partition/order keys column-wise
+// (windowBatchLane). Shapes with no batch lowering (Vector operands,
+// madlib calls, parameters) keep the staged row-lane gather.
 
 // windowFuncs names the supported window functions.
 var windowFuncs = map[string]bool{
@@ -58,6 +62,11 @@ type windowPlan struct {
 	ordFns  []anyFn
 	ordDesc []bool
 
+	// batch, when non-nil, replaces the staged row-lane gather with the
+	// vectorized gather: WHERE filters through a selection vector and the
+	// partition/order keys evaluate column-wise, morsel-parallel.
+	batch *windowBatchLane
+
 	slotOf map[*FuncCall]int
 	specs  []windowSlotSpec
 
@@ -70,8 +79,10 @@ type windowPlan struct {
 	limit     int64
 }
 
-// planWindowSelect validates and lowers a window query.
-func planWindowSelect(st *Select, ps *planSource) (stmtPlan, error) {
+// planWindowSelect validates and lowers a window query. batchOK allows
+// the vectorized gather lane (disabled per session or under the
+// differential harness's row-lane oracle).
+func planWindowSelect(st *Select, ps *planSource, batchOK bool) (stmtPlan, error) {
 	if len(st.GroupBy) > 0 || st.Having != nil {
 		return nil, execErrf("window functions cannot be combined with GROUP BY or HAVING")
 	}
@@ -180,7 +191,150 @@ func planWindowSelect(st *Select, ps *planSource) (stmtPlan, error) {
 		}
 		p.finalDesc = append(p.finalDesc, key.Desc)
 	}
+	if batchOK {
+		p.batch = planWindowBatchLane(st, ps, over)
+	}
 	return p, nil
+}
+
+// windowBatchLane is the compiled vectorized gather: the WHERE kernel
+// plus one projItem per PARTITION BY and OVER-ORDER BY expression. The
+// lane is all-or-nothing — if any of those fails to lower, the plan
+// keeps the staged row-lane gather (partial vectorization would still
+// pay the staging copy).
+type windowBatchLane struct {
+	prog      *batchProg
+	pred      bBatchKernel // nil when the query has no WHERE
+	partItems []*projItem
+	ordItems  []*projItem
+}
+
+// winBatchState is one morsel's gather scratch.
+type winBatchState struct {
+	e       *batchEval
+	predOut []bool
+	selBuf  []int32
+}
+
+// winRow is one gathered input row: its handle, encoded partition key,
+// and boxed OVER-ORDER BY key tuple.
+type winRow struct {
+	row  engine.Row
+	part string
+	ord  []any
+}
+
+func planWindowBatchLane(st *Select, ps *planSource, over *OverClause) *windowBatchLane {
+	bc := newSourceBatchCompiler(ps)
+	wb := &windowBatchLane{}
+	if st.Where != nil {
+		k, ok := compileBatchPredicate(st.Where, bc)
+		if !ok || k == nil {
+			return nil
+		}
+		wb.pred = k
+	}
+	for _, pe := range over.PartitionBy {
+		pi, ok := buildProjItem(pe, bc)
+		if !ok {
+			return nil
+		}
+		wb.partItems = append(wb.partItems, pi)
+	}
+	for _, key := range over.OrderBy {
+		pi, ok := buildProjItem(key.Expr, bc)
+		if !ok {
+			return nil
+		}
+		wb.ordItems = append(wb.ordItems, pi)
+	}
+	wb.prog = bc.prog
+	return wb
+}
+
+// gatherBatch is the vectorized gather pass: every morsel filters and
+// evaluates its partition/order keys independently, then the per-morsel
+// buffers concatenate in morsel order — the same row order the staged
+// row-lane gather produces, so ORDER BY ties break identically. The
+// order-key tuples land in ordCache for the partition sort comparator.
+func (p *windowPlan) gatherBatch(s *Session, env *execEnv, input *engine.Table, ordCache map[engine.Row][]any) (map[string][]engine.Row, error) {
+	wb := p.batch
+	nMorsels := s.db.ScanMorsels(input)
+	bufs := make([][]winRow, nMorsels)
+	states := make([]*winBatchState, nMorsels)
+	np, no := len(wb.partItems), len(wb.ordItems)
+	w := np + no
+	err := s.db.ForEachBatch(input, func(mi int, b engine.ColBatch) error {
+		st := states[mi]
+		if st == nil {
+			st = &winBatchState{e: wb.prog.newEval(env)}
+			if wb.pred != nil {
+				st.predOut = make([]bool, engine.BatchSize)
+				st.selBuf = make([]int32, engine.BatchSize)
+			}
+			states[mi] = st
+		}
+		sel := st.e.identSel(b.Len())
+		if wb.pred != nil {
+			po := st.predOut[:b.Len()]
+			if err := wb.pred(st.e, b, sel, po); err != nil {
+				return err
+			}
+			keep := st.selBuf[:0]
+			for j, ok := range po {
+				if ok {
+					keep = append(keep, int32(j))
+				}
+			}
+			sel = keep
+		}
+		n := len(sel)
+		if n == 0 {
+			return nil
+		}
+		// Box the partition and order key lanes column-wise. Each row's
+		// cells share one backing array that outlives the batch: the ord
+		// sub-slice is what lands in ordCache.
+		boxed := make([][]any, n)
+		cells := make([]any, n*w)
+		for j := range boxed {
+			boxed[j] = cells[j*w : (j+1)*w : (j+1)*w]
+		}
+		for i, pi := range wb.partItems {
+			if err := pi.box(st.e, b, sel, boxed, i); err != nil {
+				return err
+			}
+		}
+		for i, pi := range wb.ordItems {
+			if err := pi.box(st.e, b, sel, boxed, np+i); err != nil {
+				return err
+			}
+		}
+		var buf []byte
+		out := make([]winRow, n)
+		for j, idx := range sel {
+			buf = buf[:0]
+			for _, v := range boxed[j][:np] {
+				buf = appendValKey(buf, v)
+			}
+			out[j] = winRow{row: b.Row(int(idx)), part: string(buf), ord: boxed[j][np:]}
+		}
+		// A morsel spans several batches, delivered in offset order on
+		// one worker: append, don't assign.
+		bufs[mi] = append(bufs[mi], out...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	parts := map[string][]engine.Row{}
+	for _, buf := range bufs {
+		for _, wr := range buf {
+			parts[wr.part] = append(parts[wr.part], wr.row)
+			ordCache[wr.row] = wr.ord
+		}
+	}
+	return parts, nil
 }
 
 func anySpec(specs []windowSlotSpec, name string) bool {
@@ -222,61 +376,22 @@ func (p *windowPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	}
 	defer cleanup()
 
-	// Stage WHERE first so the window sees only surviving rows.
-	if p.pred != nil {
-		var predErr atomic.Value
-		pred := enginePred(p.pred, env, &predErr)
-		staged, err := s.db.SelectIntoTemp("sql_window", input, pred, nil)
-		if err != nil {
-			return nil, err
-		}
-		defer func(name string) { _ = s.db.DropTable(name) }(staged.Name())
-		if e := predErr.Load(); e != nil {
-			return nil, e.(error)
-		}
-		input = staged
-	}
-
 	// stepErr captures the first evaluation error from inside the
-	// partition/order/step closures (RunWindow's contracts cannot fail).
+	// partition/order/step closures (the engine fold's contracts cannot
+	// fail).
 	var stepErr atomic.Value
 	fail := func(err error) {
 		stepErr.CompareAndSwap(nil, err)
 	}
 
-	// The ORDER BY key tuple of every row is evaluated exactly once,
-	// inside the PartitionBy hook: RunWindow calls it single-threaded
-	// during its gather pass, and the per-partition sort goroutines then
-	// only read the finished cache (O(n) evaluations instead of
-	// O(n log n) closure calls inside the comparator).
+	// ordCache holds every input row's OVER-ORDER BY key tuple, filled
+	// once per row by whichever gather runs (the vectorized gather boxes
+	// the tuples column-wise; the row-lane gather evaluates them inside
+	// the PartitionBy hook). The per-partition sort goroutines then only
+	// read the finished cache — O(n) evaluations instead of O(n log n)
+	// closure calls inside the comparator.
 	ordCache := map[engine.Row][]any{}
-	spec := engine.WindowSpec{}
-	spec.PartitionBy = func(r engine.Row) string {
-		if len(p.ordFns) > 0 {
-			vals := make([]any, len(p.ordFns))
-			for i, fn := range p.ordFns {
-				v, err := fn(r, env)
-				if err != nil {
-					fail(err)
-					vals = nil
-					break
-				}
-				vals[i] = v
-			}
-			ordCache[r] = vals
-		}
-		var buf []byte
-		for _, fn := range p.partFns {
-			v, err := fn(r, env)
-			if err != nil {
-				fail(err)
-				return ""
-			}
-			buf = appendValKey(buf, v)
-		}
-		return string(buf)
-	}
-	spec.OrderBy = func(a, b engine.Row) bool {
+	orderBy := func(a, b engine.Row) bool {
 		av, bv := ordCache[a], ordCache[b]
 		if av == nil || bv == nil {
 			return false // evaluation failed; stepErr already set
@@ -442,9 +557,64 @@ func (p *windowPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		return ws, out
 	}
 
-	parts, err := s.db.RunWindow(input, spec, init, step)
-	if err != nil {
-		return nil, err
+	var parts map[string][]any
+	if p.batch != nil {
+		gathered, err := p.gatherBatch(s, env, input, ordCache)
+		if err != nil {
+			return nil, err
+		}
+		parts, err = s.db.RunWindowGathered(gathered, orderBy, init, step)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Stage WHERE first so the window sees only surviving rows, then
+		// gather row-at-a-time: the PartitionBy hook runs single-threaded
+		// during RunWindow's gather pass and fills ordCache as it goes.
+		if p.pred != nil {
+			var predErr atomic.Value
+			pred := enginePred(p.pred, env, &predErr)
+			staged, err := s.db.SelectIntoTemp("sql_window", input, pred, nil)
+			if err != nil {
+				return nil, err
+			}
+			defer func(name string) { _ = s.db.DropTable(name) }(staged.Name())
+			if e := predErr.Load(); e != nil {
+				return nil, e.(error)
+			}
+			input = staged
+		}
+		spec := engine.WindowSpec{OrderBy: orderBy}
+		spec.PartitionBy = func(r engine.Row) string {
+			if len(p.ordFns) > 0 {
+				vals := make([]any, len(p.ordFns))
+				for i, fn := range p.ordFns {
+					v, err := fn(r, env)
+					if err != nil {
+						fail(err)
+						vals = nil
+						break
+					}
+					vals[i] = v
+				}
+				ordCache[r] = vals
+			}
+			var buf []byte
+			for _, fn := range p.partFns {
+				v, err := fn(r, env)
+				if err != nil {
+					fail(err)
+					return ""
+				}
+				buf = appendValKey(buf, v)
+			}
+			return string(buf)
+		}
+		var rwErr error
+		parts, rwErr = s.db.RunWindow(input, spec, init, step)
+		if rwErr != nil {
+			return nil, rwErr
+		}
 	}
 	if e := stepErr.Load(); e != nil {
 		return nil, e.(error)
@@ -497,7 +667,7 @@ func (p *windowPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		}
 	}
 	if len(p.st.OrderBy) > 0 {
-		if err := sortRows(rows, keys, p.finalDesc); err != nil {
+		if err := sortRows(s.db, rows, keys, p.finalDesc); err != nil {
 			return nil, err
 		}
 	}

@@ -7,12 +7,23 @@
 #
 # Gated entries: SQL (grouped filtered aggregate, batch lane),
 # SQLParallel (morsel-parallel lane on a larger table), SQLJoinAgg
-# (cold joined aggregate: plan + build + probe) and SQLJoinAggCached
-# (steady-state joined aggregate over the cached materialization).
+# (cold joined aggregate: plan + build + probe), SQLJoinAggCached
+# (steady-state joined aggregate over the cached materialization),
+# SQLProjScan (columnar projection scan), SQLLeftJoinAgg (NULL-aware
+# batch aggregate over a LEFT JOIN), SQLWindow (vectorized window
+# gather) and SQLOrderBy (parallel sort).
+#
+# On top of the absolute ns/op gate, the vectorization wins are gated
+# relative to their row-lane companions measured in the same run:
+# SQLProjScan and SQLLeftJoinAgg must stay at least MIN_SPEEDUP times
+# faster than SQLProjScanRowLane / SQLLeftJoinAggRowLane. Same-run
+# ratios are hardware-independent, so this holds on 1-core runners
+# where the gain is pure single-core vectorization.
 #
 # Usage: scripts/bench_check.sh [benchtime] [max_ratio]
 #   benchtime defaults to 0.5s; max_ratio defaults to 1.25 (25% slack for
-#   shared-runner noise).
+#   shared-runner noise). MIN_SPEEDUP overrides the relative gate
+#   (default 1.5).
 #
 # Caveat: the committed baseline is absolute ns/op from the machine that
 # last ran scripts/bench_sql.sh, so the slack also absorbs hardware
@@ -24,10 +35,20 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-0.5s}"
 MAX_RATIO="${2:-1.25}"
-GATED="SQL SQLParallel SQLJoinAgg SQLJoinAggCached"
+MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
+GATED="SQL SQLParallel SQLJoinAgg SQLJoinAggCached SQLProjScan SQLLeftJoinAgg SQLWindow SQLOrderBy"
+COMPANIONS="SQLProjScanRowLane SQLLeftJoinAggRowLane"
 
-out=$(go test -run '^$' -bench "BenchmarkSQLSelectAgg/^($(echo "$GATED" | tr ' ' '|'))\$" -benchtime "$BENCHTIME" .)
+pattern=$(echo "$GATED $COMPANIONS" | tr ' ' '|')
+out=$(go test -run '^$' -bench "BenchmarkSQLSelectAgg/^($pattern)\$" -benchtime "$BENCHTIME" .)
 echo "$out"
+
+ns_of() {
+  echo "$out" | awk -v bench="BenchmarkSQLSelectAgg/$1" '
+    $1 == bench || $1 ~ "^" bench "-[0-9]+$" {
+      for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") print $i
+    }' | head -1
+}
 
 fail=0
 for name in $GATED; do
@@ -36,10 +57,7 @@ for name in $GATED; do
     echo "bench_check: no committed $name ns_per_op in BENCH_sql.json" >&2
     exit 1
   fi
-  current=$(echo "$out" | awk -v bench="BenchmarkSQLSelectAgg/$name" '
-    $1 == bench || $1 ~ "^" bench "-[0-9]+$" {
-      for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") print $i
-    }' | head -1)
+  current=$(ns_of "$name")
   if [ -z "$current" ]; then
     echo "bench_check: benchmark $name produced no ns/op line" >&2
     exit 1
@@ -65,6 +83,28 @@ for name in $GATED; do
     }' | head -1)
   if [ -n "$counters" ]; then
     echo "bench_check: $name cache counters: $counters"
+  fi
+done
+
+# Relative vectorization gates: batch lane vs row-lane companion, same
+# run, same hardware.
+for pair in "SQLProjScan SQLProjScanRowLane" "SQLLeftJoinAgg SQLLeftJoinAggRowLane"; do
+  set -- $pair
+  batch_ns=$(ns_of "$1")
+  row_ns=$(ns_of "$2")
+  if [ -z "$batch_ns" ] || [ -z "$row_ns" ]; then
+    echo "bench_check: missing ns/op for $1 / $2" >&2
+    exit 1
+  fi
+  if ! awk -v b="$batch_ns" -v r="$row_ns" -v name="$1" -v comp="$2" -v min="$MIN_SPEEDUP" 'BEGIN {
+    speedup = r / b
+    printf "bench_check: %s speedup vs %s: %.2fx (min %.2fx)\n", name, comp, speedup, min
+    if (speedup < min) {
+      printf "bench_check: FAIL — %s is less than %.2fx faster than %s\n", name, min, comp
+      exit 1
+    }
+  }'; then
+    fail=1
   fi
 done
 
