@@ -22,10 +22,12 @@ import (
 	"madlib/internal/crf"
 	"madlib/internal/datagen"
 	"madlib/internal/engine"
+	"madlib/internal/igd"
 	"madlib/internal/kmeans"
 	"madlib/internal/linregr"
 	"madlib/internal/sgd"
 	sqlfe "madlib/internal/sql"
+	"madlib/internal/svm"
 	"madlib/internal/text"
 )
 
@@ -157,7 +159,7 @@ func BenchmarkTable2(b *testing.B) {
 		}
 	}
 	onePass := sgd.Options{MaxPasses: 1, Tolerance: 1e-12}
-	run := func(b *testing.B, tbl *engine.Table, extract func(engine.Row) any, m sgd.Model) {
+	run := func(b *testing.B, tbl *engine.Table, extract sgd.Extractor, m sgd.Model) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sgd.Train(db, tbl, extract, m, onePass); err != nil {
@@ -392,8 +394,8 @@ func BenchmarkAblationUpdatePattern(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationSGDAveraging compares per-segment model averaging with
-// a single surviving chain.
+// BenchmarkAblationSGDAveraging compares per-replica model averaging with
+// a single surviving chain, directly on the igd harness.
 func BenchmarkAblationSGDAveraging(b *testing.B) {
 	gen := datagen.NewRegression(6, 20000, 8, 0.1)
 	for _, avg := range []bool{true, false} {
@@ -410,13 +412,91 @@ func BenchmarkAblationSGDAveraging(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, err := sgd.Train(db, tbl, sgd.ExtractLabeled(0, 1), sgd.LeastSquares{K: 8},
-					sgd.Options{MaxPasses: 3, Tolerance: 1e-12, NoAveraging: !avg})
+				_, err := igd.Train(db, tbl, igd.VectorFeatures(0, 1), igd.LeastSquares{K: 8},
+					igd.Options{StepSize: 0.1, Epochs: 3, Tolerance: 1e-12, NoAveraging: !avg})
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// --- Training-harness benchmarks (vectorized vs boxed row lane) ---
+//
+// Each vectorized benchmark has a RowLane companion running the SAME
+// schedule, losses and floating-point operations through boxed
+// row-at-a-time access (one engine.Row cursor, one closure call and one
+// interface boxing per example — the pre-harness access path). The
+// models come out bit-identical; the ns/op ratio is the gather-kernel
+// win in isolation. scripts/bench_check.sh gates the same-run ratio.
+
+const trainBenchRows = 20000
+const trainBenchVars = 4
+
+func trainBenchTable(b *testing.B) (*engine.DB, *engine.Table) {
+	b.Helper()
+	db := engine.Open(4)
+	gen := datagen.NewMargin(41, trainBenchRows, trainBenchVars, 0.4)
+	tbl, err := gen.Load(db, "train")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, tbl
+}
+
+// trainBenchOpts runs two seeded-shuffle epochs — enough to exercise the
+// permutation path without drowning the per-row cost in epoch count.
+var trainBenchOpts = igd.Options{StepSize: 0.1, Epochs: 2, Tolerance: -1, Seed: 7}
+
+func BenchmarkTrainLogregrIGD(b *testing.B) {
+	db, tbl := trainBenchTable(b)
+	loss := igd.Logistic{K: trainBenchVars}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := igd.Train(db, tbl, igd.VectorFeatures(0, 1), loss, trainBenchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainLogregrIGDRowLane(b *testing.B) {
+	db, tbl := trainBenchTable(b)
+	loss := igd.Logistic{K: trainBenchVars}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := igd.TrainRowLane(db, tbl, igd.VectorFeatures(0, 1), loss, trainBenchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainSVM(b *testing.B) {
+	db, tbl := trainBenchTable(b)
+	opts := svm.Options{Passes: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svm.Train(db, tbl, "y", "x", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainSVMRowLane(b *testing.B) {
+	db, tbl := trainBenchTable(b)
+	// The same hinge schedule svm.Train runs (its defaults), on the boxed
+	// row lane.
+	loss := igd.Hinge{K: trainBenchVars, Lambda: 1e-4}
+	opts := igd.Options{StepSize: 0.1, Epochs: 2, Tolerance: -1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := igd.TrainRowLane(db, tbl, igd.VectorFeatures(0, 1), loss, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

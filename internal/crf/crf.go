@@ -295,7 +295,7 @@ func TrainTable(db *engine.DB, table *engine.Table, wordsCol, tagsCol string, op
 			tags:  strings.Split(r.Str(ti), sentenceSep),
 		}
 	}
-	res, err := sgd.Train(db, table, extract, model, sgd.Options{
+	res, err := sgd.Train(db, table, sgd.ExtractFunc(extract), model, sgd.Options{
 		StepSize:  opts.StepSize,
 		L2:        opts.L2,
 		MaxPasses: opts.MaxPasses,

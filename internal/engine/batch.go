@@ -165,6 +165,45 @@ func (db *DB) RunGroupByBatched(t *Table,
 	return merged, nil
 }
 
+// Morsel is the public view of one scheduling morsel: a contiguous run
+// of rows within one segment, the unit of work the scan pool hands a
+// worker. Training harnesses (internal/igd) schedule their own epoch
+// loops over morsels — permuting, partitioning and chaining them —
+// while reading row data through the same ColBatch lanes the query
+// drivers use.
+type Morsel struct {
+	seg *Segment
+	off int
+	n   int
+}
+
+// Len returns the number of rows in the morsel.
+func (m Morsel) Len() int { return m.n }
+
+// ForEachBatch slices the morsel into BatchSize-aligned ColBatch
+// windows in row order — exactly the batches a whole-segment scan would
+// produce for the same rows.
+func (m Morsel) ForEachBatch(fn func(b ColBatch) error) error {
+	return forEachBatchRange(m.seg, m.off, m.n, fn)
+}
+
+// Row returns a row cursor for morsel-local index i, for row-at-a-time
+// fallbacks (and the row-lane training oracle).
+func (m Morsel) Row(i int) Row { return Row{seg: m.seg, idx: m.off + i} }
+
+// Morsels returns the table's scheduling morsels in (segment, offset)
+// order: the same decomposition every scan driver uses, a function of
+// the table's shape only — never of the worker count — so any schedule
+// built over it is deterministic across GOMAXPROCS settings.
+func (t *Table) Morsels() []Morsel {
+	ms := tableMorsels(t)
+	out := make([]Morsel, len(ms))
+	for i, m := range ms {
+		out[i] = Morsel{seg: m.seg, off: m.off, n: m.n}
+	}
+	return out
+}
+
 // ForEachBatch runs fn over every batch of every morsel: parallel
 // across morsels, sequential in row order within one. It is the batched
 // analogue of ForEachSegment, for pipelines that vectorize filtering but

@@ -180,6 +180,58 @@ func (db *DB) runMorsels(t *Table, ms []morsel, fn func(i int, m morsel) error) 
 	return nil
 }
 
+// RunTasks runs fn once per task index in [0, n) on the scan worker
+// pool and collects the first error in task order. It is the scheduling
+// primitive for callers that build their own work decomposition over
+// t.Morsels() — each task typically chains through a private subset of
+// the table's morsels (a model replica in IGD training). The pool is
+// sized like a scan of t: capped by GOMAXPROCS and n, collapsing to an
+// inline sequential loop for tables below ParallelRowThreshold. One
+// RunTasks call counts as one engine query; callers report the rows
+// they gather via AddRowsScanned.
+func (db *DB) RunTasks(t *Table, n int, fn func(task int) error) error {
+	db.queries.Add(1)
+	workers := db.morselWorkers(t, n)
+	if workers <= 1 {
+		db.seqScans.Inc()
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	db.parScans.Inc()
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddRowsScanned reports rows read outside the built-in scan drivers
+// (RunTasks-based training epochs) so engine_rows_scanned stays an
+// accurate account of transition work.
+func (db *DB) AddRowsScanned(n int64) { db.rowsScanned.Add(n) }
+
 // segmentWorkers returns the number of workers for drivers that must
 // keep whole segments on one worker (ForEachSegment, SelectInto, join
 // materialization — anything appending to per-segment output storage):

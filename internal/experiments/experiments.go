@@ -372,7 +372,7 @@ func Table2(rows int) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	addSGDRow := func(name, objective string, table *engine.Table, extract func(engine.Row) any, model sgd.Model, opts sgd.Options) error {
+	addSGDRow := func(name, objective string, table *engine.Table, extract sgd.Extractor, model sgd.Model, opts sgd.Options) error {
 		res, err := sgd.Train(db, table, extract, model, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)

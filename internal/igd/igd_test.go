@@ -1,0 +1,457 @@
+package igd
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"madlib/internal/datagen"
+	"madlib/internal/engine"
+)
+
+func loadMargin(t *testing.T, db *engine.DB, seed int64, n, k int) *engine.Table {
+	t.Helper()
+	tbl, err := datagen.NewMargin(seed, n, k, 0.4).Load(db, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func loadRatings(t *testing.T, db *engine.DB, seed int64, rows, cols, rank, count int) *engine.Table {
+	t.Helper()
+	tbl, err := db.CreateTable("r", engine.Schema{
+		{Name: "i", Kind: engine.Int},
+		{Name: "j", Kind: engine.Int},
+		{Name: "v", Kind: engine.Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range datagen.NewRatings(seed, rows, cols, rank, count, 0.05).Entries {
+		if err := tbl.Insert(int64(e.I), int64(e.J), e.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func wantBitwise(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d] = %v, want %v (bitwise)", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestVectorizedMatchesRowLane is the core differential test: the
+// vectorized gather lane and the boxed row lane execute the same
+// floating-point operations in the same order, so their models and loss
+// histories must match bit for bit — identity morsel order and seeded
+// shuffle, single replica and a replica pool.
+func TestVectorizedMatchesRowLane(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"SingleReplica", Options{StepSize: 0.1, Epochs: 4, Replicas: 1}},
+		{"ReplicaPool", Options{StepSize: 0.1, Epochs: 4, Replicas: 3}},
+		{"SeededShuffle", Options{StepSize: 0.1, Epochs: 4, Replicas: 3, Seed: 99}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db := engine.Open(4)
+			tbl := loadMargin(t, db, 11, 3000, 4)
+			feat := VectorFeatures(0, 1)
+			vec, err := Train(db, tbl, feat, Logistic{K: 4}, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row, err := TrainRowLane(db, tbl, feat, Logistic{K: 4}, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBitwise(t, "Weights", vec.Weights, row.Weights)
+			wantBitwise(t, "LossHistory", vec.LossHistory, row.LossHistory)
+			if vec.NumRows != row.NumRows || vec.Epochs != row.Epochs {
+				t.Fatalf("rows/epochs %d/%d, row lane %d/%d", vec.NumRows, vec.Epochs, row.NumRows, row.Epochs)
+			}
+		})
+	}
+}
+
+// TestColumnFeaturesMatchesRowLane runs the differential check over the
+// scalar-column gather shape (factorization's (i, j) layout), including
+// the Int→Float lane conversion.
+func TestColumnFeaturesMatchesRowLane(t *testing.T) {
+	db := engine.Open(4)
+	tbl := loadRatings(t, db, 5, 20, 15, 2, 2500)
+	feat := ColumnFeatures(2, 0, 1)
+	loss := Factorization{Rows: 20, Cols: 15, Rank: 2, Mu: 0.01}
+	opts := Options{StepSize: 0.05, Epochs: 3, Replicas: 2, Seed: 3, Start: loss.InitWeights(0.5)}
+	vec, err := Train(db, tbl, feat, loss, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := TrainRowLane(db, tbl, feat, loss, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBitwise(t, "Weights", vec.Weights, row.Weights)
+	wantBitwise(t, "LossHistory", vec.LossHistory, row.LossHistory)
+}
+
+// TestDeterministicAcrossRuns: the replica partition is static over the
+// seeded morsel permutation, so repeated runs on the engine worker pool
+// are bit-identical — the schedule depends on (table shape, seed,
+// epoch), never on which worker picks up which replica.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	db := engine.Open(4)
+	tbl := loadMargin(t, db, 21, 4000, 5)
+	opts := Options{StepSize: 0.1, Epochs: 5, Seed: 7}
+	first, err := Train(db, tbl, VectorFeatures(0, 1), Logistic{K: 5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := Train(db, tbl, VectorFeatures(0, 1), Logistic{K: 5}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBitwise(t, "Weights", again.Weights, first.Weights)
+		wantBitwise(t, "LossHistory", again.LossHistory, first.LossHistory)
+	}
+}
+
+// TestStatisticalParityAcrossReplicas: averaged parallel replicas and a
+// single sequential chain are different optimizers step-for-step, but
+// both must land near the same optimum of the same convex objective.
+func TestStatisticalParityAcrossReplicas(t *testing.T) {
+	db := engine.Open(4)
+	// Noisy labels keep the optimum loss bounded away from zero, so the
+	// relative objective comparison is meaningful (separable data would
+	// drive both losses to ~0 and the ratio to noise).
+	tbl, err := datagen.NewLogistic(31, 6000, 4).Load(db, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := VectorFeatures(0, 1)
+	serial, err := Train(db, tbl, feat, Logistic{K: 4}, Options{StepSize: 0.1, Epochs: 20, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Train(db, tbl, feat, Logistic{K: 4}, Options{StepSize: 0.1, Epochs: 20, Replicas: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialLoss, err := Evaluate(db, tbl, feat, Logistic{K: 4}, serial.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooledLoss, err := Evaluate(db, tbl, feat, Logistic{K: 4}, pooled.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(serialLoss-pooledLoss) / serialLoss; rel > 0.05 {
+		t.Fatalf("objective gap %.1f%%: serial %v vs pooled %v", rel*100, serialLoss, pooledLoss)
+	}
+	var dist2, norm2 float64
+	for i := range serial.Weights {
+		d := serial.Weights[i] - pooled.Weights[i]
+		dist2 += d * d
+		norm2 += serial.Weights[i] * serial.Weights[i]
+	}
+	if dist2 > 0.05*norm2 {
+		t.Fatalf("weight distance² %v vs norm² %v", dist2, norm2)
+	}
+}
+
+// TestLossMonotone: with a decaying step on a convex objective the
+// per-epoch mean loss must fall monotonically (tiny tolerance for the
+// averaging merge) and end well below where it started.
+func TestLossMonotone(t *testing.T) {
+	db := engine.Open(4)
+	gen := datagen.NewRegression(41, 4000, 4, 0.05)
+	tbl, err := gen.LoadRegression(db, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(db, tbl, VectorFeatures(0, 1), LeastSquares{K: 4}, Options{StepSize: 0.02, Epochs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.LossHistory
+	for i := 1; i < len(h); i++ {
+		if h[i] > h[i-1]*1.001 {
+			t.Fatalf("loss rose at epoch %d: %v → %v (history %v)", i+1, h[i-1], h[i], h)
+		}
+	}
+	if h[len(h)-1] > h[0]/4 {
+		t.Fatalf("loss %v → %v did not fall enough", h[0], h[len(h)-1])
+	}
+}
+
+// countLoss counts examples into w[0]. Each replica chain ends an epoch
+// with w[0] = rows it saw, which makes the weighted-averaging merge
+// arithmetic exactly predictable from the morsel sizes.
+type countLoss struct{ dim int }
+
+func (c countLoss) Dim() int                                      { return c.dim }
+func (c countLoss) Step(w, x []float64, y, alpha float64) float64 { w[0]++; return 1 }
+func (c countLoss) Objective(w, x []float64, y float64) float64   { return 1 }
+
+// TestMergeWeightedAverage replays Bismarck's merge by hand: replica r
+// owns morsels r, r+R, … of the identity order, so its chain ends with
+// w[0] = nᵣ and the merged model must equal the left-to-right weighted
+// average of those counts, bit for bit.
+func TestMergeWeightedAverage(t *testing.T) {
+	db := engine.Open(4)
+	tbl := loadMargin(t, db, 51, 3000, 2)
+	ms := tbl.Morsels()
+	const replicas = 3
+	if len(ms) < replicas {
+		t.Fatalf("need ≥%d morsels, got %d", replicas, len(ms))
+	}
+	counts := make([]int64, replicas)
+	for i, m := range ms {
+		counts[i%replicas] += int64(m.Len())
+	}
+	var merged float64
+	var n int64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if n == 0 {
+			merged, n = float64(c), c
+			continue
+		}
+		total := n + c
+		merged = float64(n)/float64(total)*merged + float64(c)/float64(total)*float64(c)
+		n = total
+	}
+	res, err := Train(db, tbl, VectorFeatures(0, 1), countLoss{dim: 2}, Options{Epochs: 1, Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights[0] != merged {
+		t.Fatalf("merged w[0] = %v, want %v (counts %v)", res.Weights[0], merged, counts)
+	}
+	if res.NumRows != n {
+		t.Fatalf("NumRows = %d, want %d", res.NumRows, n)
+	}
+	if res.LossHistory[0] != 1 {
+		t.Fatalf("mean loss = %v, want 1", res.LossHistory[0])
+	}
+}
+
+// TestMergeNoAveraging: the ablation mode keeps the first non-empty
+// replica's chain; rows and losses still combine across replicas.
+func TestMergeNoAveraging(t *testing.T) {
+	db := engine.Open(4)
+	tbl := loadMargin(t, db, 51, 3000, 2)
+	ms := tbl.Morsels()
+	const replicas = 3
+	counts := make([]int64, replicas)
+	var total int64
+	for i, m := range ms {
+		counts[i%replicas] += int64(m.Len())
+		total += int64(m.Len())
+	}
+	res, err := Train(db, tbl, VectorFeatures(0, 1), countLoss{dim: 2},
+		Options{Epochs: 1, Replicas: replicas, NoAveraging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights[0] != float64(counts[0]) {
+		t.Fatalf("w[0] = %v, want first replica's count %d", res.Weights[0], counts[0])
+	}
+	if res.NumRows != total {
+		t.Fatalf("NumRows = %d, want %d", res.NumRows, total)
+	}
+}
+
+// TestEpochOrder pins the permutation contract: seed zero is the
+// identity every epoch; a non-zero seed is a deterministic function of
+// (seed, epoch) and reshuffles across epochs.
+func TestEpochOrder(t *testing.T) {
+	for epoch := 1; epoch <= 3; epoch++ {
+		for i, v := range epochOrder(8, 0, epoch) {
+			if v != i {
+				t.Fatalf("seed 0 epoch %d: order[%d] = %d", epoch, i, v)
+			}
+		}
+	}
+	a := epochOrder(64, 7, 1)
+	b := epochOrder(64, 7, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same (seed, epoch) disagreed at %d", i)
+		}
+	}
+	c := epochOrder(64, 7, 2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("epochs 1 and 2 produced the same permutation")
+	}
+}
+
+func TestFeatureValidation(t *testing.T) {
+	db := engine.Open(2)
+	tbl, err := db.CreateTable("v", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+		{Name: "s", Kind: engine.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(1.0, []float64{1, 2}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	for name, feat := range map[string]Features{
+		"YOutOfRange":    VectorFeatures(9, 1),
+		"YWrongKind":     VectorFeatures(2, 1),
+		"XNotVector":     VectorFeatures(0, 2),
+		"BothShapes":     {Y: 0, XVector: 1, XCols: []int{0}},
+		"NoFeatures":     {Y: 0, XVector: -1},
+		"XColWrongKind":  ColumnFeatures(0, 2),
+		"XColOutOfRange": ColumnFeatures(0, -3),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Train(db, tbl, feat, LeastSquares{K: 2}, Options{Epochs: 1}); err == nil {
+				t.Fatal("Train accepted invalid Features")
+			}
+			if _, err := Evaluate(db, tbl, feat, LeastSquares{K: 2}, []float64{0, 0}); err == nil {
+				t.Fatal("Evaluate accepted invalid Features")
+			}
+		})
+	}
+	if _, err := Train(db, tbl, VectorFeatures(0, 1), LeastSquares{K: 2},
+		Options{Epochs: 1, Start: []float64{1, 2, 3}}); err == nil {
+		t.Fatal("Train accepted a Start of the wrong dimension")
+	}
+}
+
+func TestNoData(t *testing.T) {
+	db := engine.Open(2)
+	tbl, err := db.CreateTable("e", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(db, tbl, VectorFeatures(0, 1), LeastSquares{K: 2}, Options{Epochs: 1}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("Train on empty table: %v, want ErrNoData", err)
+	}
+	if _, err := Evaluate(db, tbl, VectorFeatures(0, 1), LeastSquares{K: 2}, []float64{0, 0}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("Evaluate on empty table: %v, want ErrNoData", err)
+	}
+}
+
+// TestEvaluateMeanObjective checks Evaluate against a hand-computed mean
+// squared error.
+func TestEvaluateMeanObjective(t *testing.T) {
+	db := engine.Open(2)
+	tbl, err := db.CreateTable("m", engine.Schema{
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	ys := []float64{1, 2, 4, 5}
+	w := []float64{1.5, 2.5}
+	var want float64
+	for i, x := range xs {
+		if err := tbl.Insert(ys[i], x); err != nil {
+			t.Fatal(err)
+		}
+		r := x[0]*w[0] + x[1]*w[1] - ys[i]
+		want += r * r
+	}
+	want /= float64(len(xs))
+	got, err := Evaluate(db, tbl, VectorFeatures(0, 1), LeastSquares{K: 2}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Evaluate = %v, want %v", got, want)
+	}
+}
+
+// TestWarmStartCopies: Train must copy Start, not alias it.
+func TestWarmStartCopies(t *testing.T) {
+	db := engine.Open(2)
+	tbl := loadMargin(t, db, 61, 500, 2)
+	start := []float64{0.25, -0.5}
+	orig := append([]float64(nil), start...)
+	if _, err := Train(db, tbl, VectorFeatures(0, 1), Logistic{K: 2},
+		Options{StepSize: 0.1, Epochs: 2, Start: start}); err != nil {
+		t.Fatal(err)
+	}
+	wantBitwise(t, "Start", start, orig)
+}
+
+// TestToleranceStopsEarly: a tight tolerance must cut the epoch budget
+// short once the loss plateaus, and ≤0 must disable the check.
+func TestToleranceStopsEarly(t *testing.T) {
+	db := engine.Open(4)
+	tbl := loadMargin(t, db, 71, 2000, 3)
+	feat := VectorFeatures(0, 1)
+	stopped, err := Train(db, tbl, feat, Logistic{K: 3}, Options{StepSize: 0.05, Epochs: 60, Tolerance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped.Epochs >= 60 {
+		t.Fatalf("tolerance did not stop early: ran %d epochs", stopped.Epochs)
+	}
+	full, err := Train(db, tbl, feat, Logistic{K: 3}, Options{StepSize: 0.05, Epochs: 60, Tolerance: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Epochs != 60 {
+		t.Fatalf("negative tolerance still stopped early: %d epochs", full.Epochs)
+	}
+}
+
+// TestTrainMetrics: each run feeds the shared metrics registry —
+// train_epochs, train_rows and the train_loss_micro value.
+func TestTrainMetrics(t *testing.T) {
+	db := engine.Open(4)
+	tbl := loadMargin(t, db, 81, 1000, 2)
+	stat := func(name string) int64 {
+		for _, s := range db.Metrics().Snapshot() {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		return 0
+	}
+	epochs0, rows0, obs0 := stat("train_epochs"), stat("train_rows"), stat("train_loss_micro_count")
+	res, err := Train(db, tbl, VectorFeatures(0, 1), Logistic{K: 2}, Options{StepSize: 0.1, Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stat("train_epochs") - epochs0; got != int64(res.Epochs) {
+		t.Fatalf("train_epochs delta %d, want %d", got, res.Epochs)
+	}
+	wantRows := int64(res.Epochs) * res.NumRows
+	if got := stat("train_rows") - rows0; got != wantRows {
+		t.Fatalf("train_rows delta %d, want %d", got, wantRows)
+	}
+	if got := stat("train_loss_micro_count") - obs0; got != int64(res.Epochs) {
+		t.Fatalf("train_loss_micro_count delta %d, want %d", got, res.Epochs)
+	}
+}

@@ -1,0 +1,232 @@
+package igd
+
+import (
+	"math"
+
+	"madlib/internal/array"
+)
+
+// signOf maps a label to the ±1 convention: y > 0 is the positive
+// class, so both ±1 and 0/1 encodings work.
+func signOf(y float64) float64 {
+	if y > 0 {
+		return 1
+	}
+	return -1
+}
+
+// Logistic is the logistic-regression plug-in: Σ log(1 + exp(−y·xᵀw))
+// with y interpreted through signOf (±1 or 0/1 labels).
+type Logistic struct {
+	// K is the feature dimension.
+	K int
+}
+
+// Dim implements Loss.
+func (l Logistic) Dim() int { return l.K }
+
+// Step implements Loss. One exp serves both the gradient factor
+// σ(−z) = 1/(1+eᶻ) and the loss log(1+e⁻ᶻ) = log1p(1/eᶻ).
+func (l Logistic) Step(w, x []float64, y, alpha float64) float64 {
+	s := signOf(y)
+	z := s * array.Dot(w, x)
+	ez := math.Exp(z)
+	// d/dw log(1+e^{−z}) = −y·σ(−z)·x, so the step adds α·y·σ(−z)·x.
+	array.Axpy(alpha*s/(1+ez), x, w)
+	if z > 0 {
+		return math.Log1p(1 / ez)
+	}
+	return -z + math.Log1p(ez)
+}
+
+// Objective implements Loss.
+func (l Logistic) Objective(w, x []float64, y float64) float64 {
+	return logisticLoss(signOf(y) * array.Dot(w, x))
+}
+
+// logisticLoss is log(1+e^{−z}) computed in the overflow-safe branch.
+func logisticLoss(z float64) float64 {
+	if z > 0 {
+		return math.Log1p(math.Exp(-z))
+	}
+	return -z + math.Log1p(math.Exp(z))
+}
+
+// LeastSquares is the squared-loss plug-in: Σ (xᵀw − y)².
+type LeastSquares struct {
+	// K is the feature dimension.
+	K int
+}
+
+// Dim implements Loss.
+func (l LeastSquares) Dim() int { return l.K }
+
+// Step implements Loss.
+func (l LeastSquares) Step(w, x []float64, y, alpha float64) float64 {
+	r := array.Dot(w, x) - y
+	array.Axpy(-2*alpha*r, x, w)
+	return r * r
+}
+
+// Objective implements Loss.
+func (l LeastSquares) Objective(w, x []float64, y float64) float64 {
+	r := array.Dot(w, x) - y
+	return r * r
+}
+
+// Hinge is the SVM classification plug-in: Σ (1 − y·xᵀw)₊ with
+// per-step L2 shrinkage λ (MADlib's online SVM update). Labels go
+// through signOf.
+type Hinge struct {
+	// K is the feature dimension.
+	K int
+	// Lambda is the L2 shrinkage strength (0 disables).
+	Lambda float64
+}
+
+// Dim implements Loss.
+func (h Hinge) Dim() int { return h.K }
+
+// Step implements Loss.
+func (h Hinge) Step(w, x []float64, y, alpha float64) float64 {
+	if h.Lambda != 0 {
+		array.Scale(1-alpha*h.Lambda, w)
+	}
+	s := signOf(y)
+	if margin := s * array.Dot(w, x); margin < 1 {
+		array.Axpy(alpha*s, x, w)
+		return 1 - margin
+	}
+	return 0
+}
+
+// Objective implements Loss.
+func (h Hinge) Objective(w, x []float64, y float64) float64 {
+	if margin := signOf(y) * array.Dot(w, x); margin < 1 {
+		return 1 - margin
+	}
+	return 0
+}
+
+// Factorization is the low-rank matrix-factorization plug-in:
+// Σ (LᵢᵀRⱼ − Mᵢⱼ)² + μ(‖Lᵢ‖² + ‖Rⱼ‖²) over observed cells. The model
+// packs L (Rows×Rank) followed by R (Cols×Rank); examples arrive
+// through the ColumnFeatures shape with x = (i, j) and y = Mᵢⱼ. Only
+// the two touched factor rows receive gradient mass, so one Step is
+// O(Rank), not O(Dim).
+type Factorization struct {
+	Rows, Cols, Rank int
+	// Mu is the Frobenius regularization weight.
+	Mu float64
+}
+
+// Dim implements Loss.
+func (f Factorization) Dim() int { return (f.Rows + f.Cols) * f.Rank }
+
+func (f Factorization) factors(w []float64, x []float64) (li, rj []float64) {
+	i, j := int(x[0]), int(x[1])
+	off := f.Rows * f.Rank
+	return w[i*f.Rank : (i+1)*f.Rank], w[off+j*f.Rank : off+(j+1)*f.Rank]
+}
+
+// Step implements Loss.
+func (f Factorization) Step(w, x []float64, y, alpha float64) float64 {
+	li, rj := f.factors(w, x)
+	e := array.Dot(li, rj) - y
+	reg := f.Mu * (array.Dot(li, li) + array.Dot(rj, rj))
+	for k := 0; k < f.Rank; k++ {
+		lk, rk := li[k], rj[k]
+		li[k] = lk - alpha*(2*e*rk+2*f.Mu*lk)
+		rj[k] = rk - alpha*(2*e*lk+2*f.Mu*rk)
+	}
+	return e*e + reg
+}
+
+// Objective implements Loss.
+func (f Factorization) Objective(w, x []float64, y float64) float64 {
+	li, rj := f.factors(w, x)
+	e := array.Dot(li, rj) - y
+	return e*e + f.Mu*(array.Dot(li, li)+array.Dot(rj, rj))
+}
+
+// InitWeights returns small deterministic low-discrepancy factors so
+// training does not start at the saddle point w = 0.
+func (f Factorization) InitWeights(scale float64) []float64 {
+	w := make([]float64, f.Dim())
+	x := 0.5
+	for i := range w {
+		x = math.Mod(x*9301.0+49297.0, 233280.0)
+		w[i] = scale * (x/233280.0 - 0.5)
+	}
+	return w
+}
+
+// gradAdapter wraps a GradLoss into a Loss with the standard update:
+// zero the scratch gradient, evaluate loss+gradient at the current
+// weights, apply L2 shrinkage, then take the gradient step — the exact
+// operation order of the pre-harness sgd loop, so refactored learners
+// reproduce their legacy models bit for bit.
+type gradAdapter struct {
+	g    GradLoss
+	l2   float64
+	grad []float64
+}
+
+// FromGrad adapts a gradient-form loss (plus optional per-step L2
+// shrinkage) to the Step form. The returned Loss carries per-instance
+// scratch and implements Cloner, so each replica gets a private copy;
+// if g implements Proximal, the adapter forwards it.
+func FromGrad(g GradLoss, l2 float64) Loss {
+	a := &gradAdapter{g: g, l2: l2, grad: make([]float64, g.Dim())}
+	if p, ok := g.(Proximal); ok {
+		return &gradProxAdapter{gradAdapter: a, p: p}
+	}
+	return a
+}
+
+// Dim implements Loss.
+func (a *gradAdapter) Dim() int { return a.g.Dim() }
+
+// Step implements Loss.
+func (a *gradAdapter) Step(w, x []float64, y, alpha float64) float64 {
+	for i := range a.grad {
+		a.grad[i] = 0
+	}
+	loss := a.g.LossGrad(w, x, y, a.grad)
+	if a.l2 > 0 {
+		shrink := 1 - alpha*a.l2
+		if shrink < 0 {
+			shrink = 0
+		}
+		for i := range w {
+			w[i] *= shrink
+		}
+	}
+	for i := range w {
+		w[i] -= alpha * a.grad[i]
+	}
+	return loss
+}
+
+// Objective implements Loss (the gradient is computed and discarded).
+func (a *gradAdapter) Objective(w, x []float64, y float64) float64 {
+	for i := range a.grad {
+		a.grad[i] = 0
+	}
+	return a.g.LossGrad(w, x, y, a.grad)
+}
+
+// CloneLoss implements Cloner: a fresh adapter with private scratch.
+func (a *gradAdapter) CloneLoss() Loss { return FromGrad(a.g, a.l2) }
+
+// gradProxAdapter is gradAdapter for losses with a proximal operator.
+type gradProxAdapter struct {
+	*gradAdapter
+	p Proximal
+}
+
+// Prox implements Proximal.
+func (a *gradProxAdapter) Prox(w []float64, alpha float64) { a.p.Prox(w, alpha) }
+
+// CloneLoss implements Cloner.
+func (a *gradProxAdapter) CloneLoss() Loss { return FromGrad(a.g, a.l2) }

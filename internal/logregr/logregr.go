@@ -246,8 +246,12 @@ func Run(db *engine.DB, table *engine.Table, yCol, xCol string, opts Options) (*
 		cg := &cgDriver{db: db, t: table, bind: bind, k: k}
 		stepFn = cg.step
 	case IGD:
-		igd := &igdDriver{db: db, t: table, bind: bind, k: k, step0: opts.StepSize}
-		stepFn = igd.step
+		drv := &igdDriver{
+			db: db, t: table,
+			yi: schema.Index(yCol), xi: schema.Index(xCol),
+			k: k, step0: opts.StepSize,
+		}
+		stepFn = drv.step
 		// The IGD state carries the pass log-likelihood as an extra slot;
 		// convergence watches its relative change (see igdDriver.step).
 		stateLen = k + 1

@@ -1,11 +1,13 @@
 package logregr
 
 import (
+	"errors"
 	"math"
 
 	"madlib/internal/array"
 	"madlib/internal/core"
 	"madlib/internal/engine"
+	"madlib/internal/igd"
 )
 
 // gradState accumulates the log-likelihood gradient Σ x(y-μ) at fixed
@@ -132,81 +134,70 @@ func (c *cgDriver) step(prev []float64) ([]float64, error) {
 	return cand, nil
 }
 
-// igdDriver implements incremental gradient descent: within each segment a
-// sequential SGD chain updates a local model row by row; at the end of the
-// pass the per-segment models are averaged (Zinkevich-style model
-// averaging, the paper's reference [47]). One pass is one aggregate query.
+// igdDriver implements incremental gradient descent on the unified igd
+// harness: each pass is one morsel-parallel epoch whose replica chains
+// update local models row by row and merge by weighted model averaging
+// (Zinkevich-style, the paper's reference [47]).
 type igdDriver struct {
-	db    *engine.DB
-	t     *engine.Table
-	bind  *core.Binding
-	k     int
-	step0 float64
-	pass  int
+	db     *engine.DB
+	t      *engine.Table
+	yi, xi int
+	k      int
+	step0  float64
+	pass   int
 }
 
-// igdState carries one segment's local model, row count, and the running
-// log-likelihood evaluated at the pre-update model for each row.
-type igdState struct {
-	model  []float64
-	n      int64
-	loglik float64
+// negLogLik is the logistic log-likelihood as an igd plug-in: Step
+// applies the IGD update α(y−σ(z))x and returns the example's NEGATIVE
+// log-likelihood at the pre-update model (the harness minimizes).
+type negLogLik struct{ k int }
+
+// Dim implements igd.Loss.
+func (l negLogLik) Dim() int { return l.k }
+
+// Step implements igd.Loss.
+func (l negLogLik) Step(w, x []float64, y, alpha float64) float64 {
+	z := array.Dot(w, x)
+	ll := rowLogLik(z, y)
+	array.Axpy(alpha*(y-sigma(z)), x, w)
+	return -ll
 }
 
-// step runs one IGD pass. The returned state is the averaged model with the
-// pass log-likelihood appended as a final element: SGD parameter vectors
-// jitter around the optimum at the step-size scale, so the driver's
-// convergence test watches the log-likelihood (which stabilizes
-// quadratically) instead of the parameters.
+// Objective implements igd.Loss.
+func (l negLogLik) Objective(w, x []float64, y float64) float64 {
+	return -rowLogLik(array.Dot(w, x), y)
+}
+
+// rowLogLik is one example's log-likelihood in the overflow-safe branch.
+func rowLogLik(z, y float64) float64 {
+	if y >= 0.5 {
+		return -math.Log1p(math.Exp(-z))
+	}
+	return -z - math.Log1p(math.Exp(-z))
+}
+
+// step runs one IGD pass as a single harness epoch. The returned state is
+// the averaged model with the pass log-likelihood appended as a final
+// element: SGD parameter vectors jitter around the optimum at the
+// step-size scale, so the driver's convergence test watches the
+// log-likelihood (which stabilizes quadratically) instead of the
+// parameters.
 func (g *igdDriver) step(prev []float64) ([]float64, error) {
 	g.pass++
 	// Decaying step size α/√pass keeps early passes fast and late passes
-	// stable.
-	alpha := g.step0 / math.Sqrt(float64(g.pass))
-	bind := g.bind
-	model := prev[:g.k] // strip the appended log-likelihood slot
-	agg := engine.FuncAggregate{
-		InitFn: func() any { return &igdState{model: array.Clone(model)} },
-		TransitionFn: func(s any, row engine.Row) any {
-			st := s.(*igdState)
-			args := bind.Bridge(row)
-			y := args.Float(0)
-			x := args.Vector(1)
-			z := array.Dot(st.model, x)
-			if y >= 0.5 {
-				st.loglik += -math.Log1p(math.Exp(-z))
-			} else {
-				st.loglik += -z - math.Log1p(math.Exp(-z))
-			}
-			array.Axpy(alpha*(y-sigma(z)), x, st.model)
-			st.n++
-			return st
-		},
-		MergeFn: func(a, b any) any {
-			sa, sb := a.(*igdState), b.(*igdState)
-			// Weighted model averaging by rows seen.
-			total := sa.n + sb.n
-			if total == 0 {
-				return sa
-			}
-			wa := float64(sa.n) / float64(total)
-			wb := float64(sb.n) / float64(total)
-			for i := range sa.model {
-				sa.model[i] = wa*sa.model[i] + wb*sb.model[i]
-			}
-			sa.n = total
-			sa.loglik += sb.loglik
-			return sa
-		},
-		FinalFn: func(s any) (any, error) { return s, nil },
-	}
-	v, err := g.db.Run(g.t, agg)
+	// stable. The harness divides by √epoch; with Epochs=1 the step size
+	// passes through unchanged.
+	res, err := igd.Train(g.db, g.t, igd.VectorFeatures(g.yi, g.xi), negLogLik{k: g.k}, igd.Options{
+		StepSize: g.step0 / math.Sqrt(float64(g.pass)),
+		Epochs:   1,
+		Start:    prev[:g.k], // strip the appended log-likelihood slot
+	})
 	if err != nil {
+		if errors.Is(err, igd.ErrNoData) {
+			return nil, ErrNoData
+		}
 		return nil, err
 	}
-	st := v.(*igdState)
-	if st.n == 0 {
-		return nil, ErrNoData
-	}
-	return append(st.model, st.loglik), nil
+	loglik := -res.LossHistory[0] * float64(res.NumRows)
+	return append(res.Weights, loglik), nil
 }

@@ -74,6 +74,41 @@ func (h *Histogram) SumNanos() int64 { return h.sum.Load() }
 // MaxNanos returns the largest single observation in nanoseconds.
 func (h *Histogram) MaxNanos() int64 { return h.max.Load() }
 
+// Value tracks the count, sum and maximum of observed unitless int64
+// samples — the dimensionless sibling of Histogram, for quantities that
+// are not durations (per-epoch training loss in micro-units, batch
+// sizes). Same cost model: two atomic adds and a CAS loop on the max.
+type Value struct {
+	name  string
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Name returns the value summary's registered name.
+func (v *Value) Name() string { return v.name }
+
+// Observe records one sample.
+func (v *Value) Observe(sample int64) {
+	v.count.Add(1)
+	v.sum.Add(sample)
+	for {
+		cur := v.max.Load()
+		if sample <= cur || v.max.CompareAndSwap(cur, sample) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (v *Value) Count() int64 { return v.count.Load() }
+
+// Sum returns the summed samples.
+func (v *Value) Sum() int64 { return v.sum.Load() }
+
+// Max returns the largest single sample.
+func (v *Value) Max() int64 { return v.max.Load() }
+
 // Stat is one named sample of a Snapshot.
 type Stat struct {
 	Name  string
@@ -86,6 +121,7 @@ type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	histograms map[string]*Histogram
+	values     map[string]*Value
 }
 
 // NewRegistry creates an empty registry.
@@ -93,6 +129,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
 		histograms: make(map[string]*Histogram),
+		values:     make(map[string]*Value),
 	}
 }
 
@@ -122,13 +159,27 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Value returns the value summary registered under name, creating it
+// on first use.
+func (r *Registry) Value(name string) *Value {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.values[name]
+	if !ok {
+		v = &Value{name: name}
+		r.values[name] = v
+	}
+	return v
+}
+
 // Snapshot returns every metric as name/value pairs sorted by name.
 // Histograms expand into three derived entries: <name>_count,
-// <name>_ns_total and <name>_ns_max. The snapshot is not atomic across
-// metrics — each value is an independent atomic load.
+// <name>_ns_total and <name>_ns_max; value summaries expand into
+// <name>_count, <name>_sum and <name>_max. The snapshot is not atomic
+// across metrics — each value is an independent atomic load.
 func (r *Registry) Snapshot() []Stat {
 	r.mu.Lock()
-	out := make([]Stat, 0, len(r.counters)+3*len(r.histograms))
+	out := make([]Stat, 0, len(r.counters)+3*len(r.histograms)+3*len(r.values))
 	for name, c := range r.counters {
 		out = append(out, Stat{Name: name, Value: c.Value()})
 	}
@@ -137,6 +188,13 @@ func (r *Registry) Snapshot() []Stat {
 			Stat{Name: name + "_count", Value: h.Count()},
 			Stat{Name: name + "_ns_total", Value: h.SumNanos()},
 			Stat{Name: name + "_ns_max", Value: h.MaxNanos()},
+		)
+	}
+	for name, v := range r.values {
+		out = append(out,
+			Stat{Name: name + "_count", Value: v.Count()},
+			Stat{Name: name + "_sum", Value: v.Sum()},
+			Stat{Name: name + "_max", Value: v.Max()},
 		)
 	}
 	r.mu.Unlock()

@@ -5,21 +5,34 @@ import (
 
 	"madlib/internal/array"
 	"madlib/internal/engine"
+	"madlib/internal/igd"
 )
 
 // LabeledExample is the (u, y) tuple of the Table-2 regression and
-// classification objectives.
+// classification objectives (boxed lane only).
 type LabeledExample struct {
 	X []float64
 	Y float64
 }
 
 // ExtractLabeled builds an extractor for tables with (y Float, x Vector)
-// columns at the given indexes.
-func ExtractLabeled(yIdx, xIdx int) func(engine.Row) any {
-	return func(r engine.Row) any {
-		return LabeledExample{X: r.Vector(xIdx), Y: r.Float(yIdx)}
+// columns at the given indexes. The shape is vectorizable: models that
+// implement igd.GradLoss train through the batch gather kernels.
+func ExtractLabeled(yIdx, xIdx int) Extractor {
+	return Extractor{
+		features:   igd.VectorFeatures(yIdx, xIdx),
+		vectorized: true,
+		fn: func(r engine.Row) any {
+			return LabeledExample{X: r.Vector(xIdx), Y: r.Float(yIdx)}
+		},
 	}
+}
+
+// ExtractFunc wraps an arbitrary row-to-example closure (structured
+// examples such as CRF sentences); models trained through it use the
+// boxed row-at-a-time lane.
+func ExtractFunc(fn func(engine.Row) any) Extractor {
+	return Extractor{fn: fn}
 }
 
 // LeastSquares is Table 2's "Least Squares": Σ (xᵀu − y)².
@@ -31,12 +44,17 @@ type LeastSquares struct {
 // Dim implements Model.
 func (m LeastSquares) Dim() int { return m.K }
 
+// LossGrad implements igd.GradLoss.
+func (m LeastSquares) LossGrad(w, x []float64, y float64, grad []float64) float64 {
+	r := array.Dot(w, x) - y
+	array.Axpy(2*r, x, grad)
+	return r * r
+}
+
 // LossAndGrad implements Model.
 func (m LeastSquares) LossAndGrad(w []float64, example any, grad []float64) float64 {
 	ex := example.(LabeledExample)
-	r := array.Dot(w, ex.X) - ex.Y
-	array.Axpy(2*r, ex.X, grad)
-	return r * r
+	return m.LossGrad(w, ex.X, ex.Y, grad)
 }
 
 // Lasso is Table 2's "Lasso": Σ (xᵀu − y)² + μ‖x‖₁, with the L1 term
@@ -49,12 +67,17 @@ type Lasso struct {
 // Dim implements Model.
 func (m Lasso) Dim() int { return m.K }
 
-// LossAndGrad implements Model: the smooth part only; L1 enters via Prox.
+// LossGrad implements igd.GradLoss: the smooth part only; L1 enters via Prox.
+func (m Lasso) LossGrad(w, x []float64, y float64, grad []float64) float64 {
+	r := array.Dot(w, x) - y
+	array.Axpy(2*r, x, grad)
+	return r*r + m.Mu*array.Norm1(w)
+}
+
+// LossAndGrad implements Model.
 func (m Lasso) LossAndGrad(w []float64, example any, grad []float64) float64 {
 	ex := example.(LabeledExample)
-	r := array.Dot(w, ex.X) - ex.Y
-	array.Axpy(2*r, ex.X, grad)
-	return r*r + m.Mu*array.Norm1(w)
+	return m.LossGrad(w, ex.X, ex.Y, grad)
 }
 
 // Prox applies soft thresholding at level alpha·Mu.
@@ -81,17 +104,22 @@ type Logistic struct {
 // Dim implements Model.
 func (m Logistic) Dim() int { return m.K }
 
-// LossAndGrad implements Model.
-func (m Logistic) LossAndGrad(w []float64, example any, grad []float64) float64 {
-	ex := example.(LabeledExample)
-	z := ex.Y * array.Dot(w, ex.X)
+// LossGrad implements igd.GradLoss.
+func (m Logistic) LossGrad(w, x []float64, y float64, grad []float64) float64 {
+	z := y * array.Dot(w, x)
 	// d/dw log(1+e^{-z}) = -y x σ(-z)
 	s := 1 / (1 + math.Exp(z))
-	array.Axpy(-ex.Y*s, ex.X, grad)
+	array.Axpy(-y*s, x, grad)
 	if z > 0 {
 		return math.Log1p(math.Exp(-z))
 	}
 	return -z + math.Log1p(math.Exp(z))
+}
+
+// LossAndGrad implements Model.
+func (m Logistic) LossAndGrad(w []float64, example any, grad []float64) float64 {
+	ex := example.(LabeledExample)
+	return m.LossGrad(w, ex.X, ex.Y, grad)
 }
 
 // HingeSVM is Table 2's "Classification (SVM)": Σ (1 − y·xᵀu)₊.
@@ -102,15 +130,20 @@ type HingeSVM struct {
 // Dim implements Model.
 func (m HingeSVM) Dim() int { return m.K }
 
-// LossAndGrad implements Model (subgradient at the hinge point).
-func (m HingeSVM) LossAndGrad(w []float64, example any, grad []float64) float64 {
-	ex := example.(LabeledExample)
-	margin := ex.Y * array.Dot(w, ex.X)
+// LossGrad implements igd.GradLoss (subgradient at the hinge point).
+func (m HingeSVM) LossGrad(w, x []float64, y float64, grad []float64) float64 {
+	margin := y * array.Dot(w, x)
 	if margin >= 1 {
 		return 0
 	}
-	array.Axpy(-ex.Y, ex.X, grad)
+	array.Axpy(-y, x, grad)
 	return 1 - margin
+}
+
+// LossAndGrad implements Model.
+func (m HingeSVM) LossAndGrad(w []float64, example any, grad []float64) float64 {
+	ex := example.(LabeledExample)
+	return m.LossGrad(w, ex.X, ex.Y, grad)
 }
 
 // RatingExample is the (i, j, value) cell of the recommendation objective.
@@ -120,10 +153,15 @@ type RatingExample struct {
 }
 
 // ExtractRating builds an extractor for tables with (i Int, j Int, v Float)
-// columns at the given indexes.
-func ExtractRating(iIdx, jIdx, vIdx int) func(engine.Row) any {
-	return func(r engine.Row) any {
-		return RatingExample{I: int(r.Int(iIdx)), J: int(r.Int(jIdx)), Value: r.Float(vIdx)}
+// columns at the given indexes. Vectorized training gathers the (i, j)
+// pair into the feature scratch and the rating into the label lane.
+func ExtractRating(iIdx, jIdx, vIdx int) Extractor {
+	return Extractor{
+		features:   igd.ColumnFeatures(vIdx, iIdx, jIdx),
+		vectorized: true,
+		fn: func(r engine.Row) any {
+			return RatingExample{I: int(r.Int(iIdx)), J: int(r.Int(jIdx)), Value: r.Float(vIdx)}
+		},
 	}
 }
 
@@ -137,23 +175,30 @@ type LowRank struct {
 // Dim implements Model.
 func (m LowRank) Dim() int { return (m.Rows + m.Cols) * m.Rank }
 
-// LossAndGrad implements Model. Only the touched factor rows receive
-// gradient mass, which is what makes SGD effective here.
-func (m LowRank) LossAndGrad(w []float64, example any, grad []float64) float64 {
-	ex := example.(RatingExample)
-	li := w[ex.I*m.Rank : (ex.I+1)*m.Rank]
+// LossGrad implements igd.GradLoss: x carries the (i, j) cell indexes,
+// y the observed rating. Only the touched factor rows receive gradient
+// mass, which is what makes SGD effective here.
+func (m LowRank) LossGrad(w, x []float64, y float64, grad []float64) float64 {
+	i, j := int(x[0]), int(x[1])
+	li := w[i*m.Rank : (i+1)*m.Rank]
 	off := m.Rows * m.Rank
-	rj := w[off+ex.J*m.Rank : off+(ex.J+1)*m.Rank]
+	rj := w[off+j*m.Rank : off+(j+1)*m.Rank]
 	pred := array.Dot(li, rj)
-	e := pred - ex.Value
-	gl := grad[ex.I*m.Rank : (ex.I+1)*m.Rank]
-	gr := grad[off+ex.J*m.Rank : off+(ex.J+1)*m.Rank]
+	e := pred - y
+	gl := grad[i*m.Rank : (i+1)*m.Rank]
+	gr := grad[off+j*m.Rank : off+(j+1)*m.Rank]
 	for k := 0; k < m.Rank; k++ {
 		gl[k] += 2*e*rj[k] + 2*m.Mu*li[k]
 		gr[k] += 2*e*li[k] + 2*m.Mu*rj[k]
 	}
 	reg := m.Mu * (array.Dot(li, li) + array.Dot(rj, rj))
 	return e*e + reg
+}
+
+// LossAndGrad implements Model.
+func (m LowRank) LossAndGrad(w []float64, example any, grad []float64) float64 {
+	ex := example.(RatingExample)
+	return m.LossGrad(w, []float64{float64(ex.I), float64(ex.J)}, ex.Value, grad)
 }
 
 // Predict returns LᵢᵀRⱼ under weights w.
@@ -180,7 +225,7 @@ func (m LowRank) InitWeights(scale float64) []float64 {
 
 // TrainLowRank is a convenience wrapper that starts from non-zero factors,
 // since w = 0 is a saddle point of the factorization objective.
-func TrainLowRank(db *engine.DB, table *engine.Table, extract func(engine.Row) any, model LowRank, opts Options) (*Result, error) {
+func TrainLowRank(db *engine.DB, table *engine.Table, extract Extractor, model LowRank, opts Options) (*Result, error) {
 	opts.Start = model.InitWeights(0.5)
 	return Train(db, table, extract, model, opts)
 }

@@ -7,6 +7,14 @@
 // of days" — the Table-2 models (least squares, lasso, logistic
 // regression, SVM, low-rank recommendation, CRF labeling) are provided in
 // this package and internal/crf.
+//
+// Training executes on the unified harness of internal/igd: models whose
+// examples fit the (label, features) column shapes run morsel-parallel
+// epochs through vectorized gather kernels, while models with structured
+// examples (CRF sentences, via ExtractFunc) keep the boxed row-at-a-time
+// aggregate loop. Both lanes apply the same update — shrink, gradient
+// step, proximal operator — in the same order, so the refactor preserves
+// legacy models bit for bit on equal schedules.
 package sgd
 
 import (
@@ -16,6 +24,7 @@ import (
 
 	"madlib/internal/core"
 	"madlib/internal/engine"
+	"madlib/internal/igd"
 )
 
 func init() {
@@ -88,7 +97,18 @@ type Result struct {
 	NumRows int64
 }
 
-// chainState is one segment's SGD chain.
+// Extractor names where a model's examples live. ExtractLabeled and
+// ExtractRating describe vectorizable column shapes that train through
+// the igd harness's batch gather kernels; ExtractFunc wraps an arbitrary
+// row-to-example closure for models with structured examples (CRF),
+// which train on the boxed row-at-a-time lane.
+type Extractor struct {
+	features   igd.Features
+	vectorized bool
+	fn         func(engine.Row) any
+}
+
+// chainState is one segment's SGD chain (boxed lane).
 type chainState struct {
 	w    []float64
 	grad []float64 // scratch
@@ -96,15 +116,44 @@ type chainState struct {
 	n    int64
 }
 
-// Train runs IGD over the table. extract converts an engine row into the
-// model's example type; it runs inside the transition function, so it sees
-// zero-copy column data.
-func Train(db *engine.DB, table *engine.Table, extract func(engine.Row) any, model Model, opts Options) (*Result, error) {
+// Train runs IGD over the table. Models implementing igd.GradLoss with a
+// vectorizable Extractor run morsel-parallel vectorized epochs on the
+// igd harness; anything else falls back to the boxed aggregate loop.
+func Train(db *engine.DB, table *engine.Table, ex Extractor, model Model, opts Options) (*Result, error) {
 	opts.defaults()
 	dim := model.Dim()
 	if dim <= 0 {
 		return nil, fmt.Errorf("sgd: model dimension %d", dim)
 	}
+	if g, ok := model.(igd.GradLoss); ok && ex.vectorized {
+		res, err := igd.Train(db, table, ex.features, igd.FromGrad(g, opts.L2), igd.Options{
+			StepSize:    opts.StepSize,
+			Epochs:      opts.MaxPasses,
+			Tolerance:   opts.Tolerance,
+			NoAveraging: opts.NoAveraging,
+			Start:       opts.Start,
+		})
+		if err != nil {
+			if errors.Is(err, igd.ErrNoData) {
+				return nil, ErrNoData
+			}
+			return nil, err
+		}
+		return &Result{
+			Weights:     res.Weights,
+			LossHistory: res.LossHistory,
+			Passes:      res.Epochs,
+			NumRows:     res.NumRows,
+		}, nil
+	}
+	return trainBoxed(db, table, ex.fn, model, opts)
+}
+
+// trainBoxed is the pre-harness aggregate loop: one FuncAggregate query
+// per pass, one boxed example per row. Kept for models whose examples do
+// not fit a dense (x, y) shape.
+func trainBoxed(db *engine.DB, table *engine.Table, extract func(engine.Row) any, model Model, opts Options) (*Result, error) {
+	dim := model.Dim()
 	res := &Result{Weights: make([]float64, dim)}
 	if opts.Start != nil {
 		if len(opts.Start) != dim {
@@ -202,8 +251,20 @@ func Train(db *engine.DB, table *engine.Table, extract func(engine.Row) any, mod
 }
 
 // MeanLoss evaluates the mean per-example loss of weights w over the table
-// without updating them (one aggregate query).
-func MeanLoss(db *engine.DB, table *engine.Table, extract func(engine.Row) any, model Model, w []float64) (float64, error) {
+// without updating them (one query; vectorized when the model and
+// extractor allow it).
+func MeanLoss(db *engine.DB, table *engine.Table, ex Extractor, model Model, w []float64) (float64, error) {
+	if g, ok := model.(igd.GradLoss); ok && ex.vectorized {
+		v, err := igd.Evaluate(db, table, ex.features, igd.FromGrad(g, 0), w)
+		if errors.Is(err, igd.ErrNoData) {
+			return 0, ErrNoData
+		}
+		return v, err
+	}
+	return meanLossBoxed(db, table, ex.fn, model, w)
+}
+
+func meanLossBoxed(db *engine.DB, table *engine.Table, extract func(engine.Row) any, model Model, w []float64) (float64, error) {
 	type acc struct {
 		loss float64
 		n    int64

@@ -286,7 +286,7 @@
 //
 //	SELECT (madlib.linregr(y, x)).* FROM data
 //	SELECT madlib.kmeans(coords, k [, seed]).* FROM points
-//	madlib.logregr(y, x [, solver [, max_iter]])
+//	madlib.logregr(y, x [, solver [, max_iter [, tolerance]]])
 //	madlib.naive_bayes(class, attrs)
 //	madlib.c45(class, attrs)
 //	madlib.svm(y, x [, mode])
@@ -295,6 +295,21 @@
 //	madlib.svdmf(i, j, v, rank [, max_passes])
 //	madlib.lda(doc, word, topics [, iterations [, seed]])
 //	madlib.bootstrap(expr [, iterations [, fraction [, seed]]])
+//	madlib.sgd_train(loss, y, x [, epochs [, step [, seed]]])
+//
+// sgd_train is the generic entry to the unified incremental-gradient
+// harness (internal/igd): it trains any named convex loss — 'logistic',
+// 'hinge' or 'least_squares' over a (label, feature-vector) pair, or
+// 'factorization' over scalar (i, j, v) rating columns plus a rank —
+// with the same morsel-parallel, vectorized epoch loop the dedicated
+// logregr/svm/svdmf trainers run on. It returns one row: the loss name,
+// the trained weights, the final epoch's mean loss, and the exact epoch
+// and row counts. A non-zero seed reshuffles the morsel order every
+// epoch, deterministically — the schedule depends only on (table shape,
+// seed, epoch), never on the worker count:
+//
+//	SELECT (madlib.sgd_train('logistic', y, x, 20, 0.1, 42)).* FROM data
+//	SELECT (madlib.sgd_train('factorization', i, j, v, 10, 30)).* FROM ratings
 //
 // Column arguments may also be computed expressions. For table-valued
 // calls, linregr(y, array[1, x1, x2]) assembles a vector from scalar

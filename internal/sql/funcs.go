@@ -11,6 +11,7 @@ import (
 	"madlib/internal/crf"
 	"madlib/internal/dtree"
 	"madlib/internal/engine"
+	"madlib/internal/igd"
 	"madlib/internal/kmeans"
 	"madlib/internal/lda"
 	"madlib/internal/linregr"
@@ -37,7 +38,7 @@ func init() {
 		},
 		{
 			Name: "logregr", Kind: core.SQLTableValued,
-			Signature: "logregr(y, x [, solver [, max_iter]])",
+			Signature: "logregr(y, x [, solver [, max_iter [, tolerance]]])",
 			Help:      "binary logistic regression; solver irls|cg|igd (§4.2)",
 			Invoke:    invokeLogregr,
 		},
@@ -64,6 +65,12 @@ func init() {
 			Signature: "svm(y, x [, mode])",
 			Help:      "linear SVM; mode classification|regression|novelty",
 			Invoke:    invokeSVM,
+		},
+		{
+			Name: "sgd_train", Kind: core.SQLTableValued,
+			Signature: "sgd_train(loss, y, x [, epochs [, step [, seed]]])",
+			Help:      "unified IGD trainer; loss logistic|hinge|least_squares, or sgd_train('factorization', i, j, v, rank, ...)",
+			Invoke:    invokeSGDTrain,
 		},
 		{
 			Name: "assoc_rules", Kind: core.SQLTableValued,
@@ -489,7 +496,7 @@ func invokeLinregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [
 }
 
 func invokeLogregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
-	if err := wantArgs("logregr", args, 2, 4); err != nil {
+	if err := wantArgs("logregr", args, 2, 5); err != nil {
 		return nil, nil, err
 	}
 	schema := t.Schema()
@@ -518,12 +525,17 @@ func invokeLogregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [
 			return nil, nil, fmt.Errorf("logregr: unknown solver %q (want irls, cg or igd)", solver)
 		}
 	}
-	if len(args) == 4 {
+	if len(args) >= 4 {
 		n, err := intArg("logregr", args, 3)
 		if err != nil {
 			return nil, nil, err
 		}
 		opts.MaxIterations = int(n)
+	}
+	if len(args) == 5 {
+		if opts.Tolerance, err = floatArg("logregr", args, 4); err != nil {
+			return nil, nil, err
+		}
 	}
 	res, err := logregr.Run(db, t, y, x, opts)
 	if err != nil {
@@ -676,6 +688,148 @@ func invokeSVM(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]a
 		{Name: "num_rows", Kind: engine.Int},
 	}
 	return out, [][]any{{m.Weights, loss, m.NumRows}}, nil
+}
+
+// vectorColWidth probes the width of a Vector column straight off
+// segment storage, or -1 when the table is empty.
+func vectorColWidth(t *engine.Table, col int) int {
+	for _, seg := range t.Segments() {
+		if vecs := seg.Vectors(col); len(vecs) > 0 {
+			return len(vecs[0])
+		}
+	}
+	return -1
+}
+
+// invokeSGDTrain is the generic entry to the unified igd harness: any
+// named loss trains over the FROM table with the same morsel-parallel
+// vectorized epoch loop the dedicated learners use.
+//
+//	sgd_train('logistic'|'hinge'|'least_squares', y, x [, epochs [, step [, seed]]])
+//	sgd_train('factorization', i, j, v, rank [, epochs [, step [, seed]]])
+func invokeSGDTrain(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	if err := wantArgs("sgd_train", args, 3, 8); err != nil {
+		return nil, nil, err
+	}
+	lossName, err := strArg("sgd_train", args, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	lname := strings.ToLower(lossName)
+	schema := t.Schema()
+	var feat igd.Features
+	var loss igd.Loss
+	opts := igd.Options{}
+	var next int // index of the first optional argument
+	if lname == "factorization" {
+		if err := wantArgs("sgd_train", args, 5, 8); err != nil {
+			return nil, nil, err
+		}
+		ii, err := colArg("sgd_train", schema, args, 1, engine.Int)
+		if err != nil {
+			return nil, nil, err
+		}
+		ji, err := colArg("sgd_train", schema, args, 2, engine.Int)
+		if err != nil {
+			return nil, nil, err
+		}
+		vi, err := colArg("sgd_train", schema, args, 3, engine.Float)
+		if err != nil {
+			return nil, nil, err
+		}
+		rank, err := intArg("sgd_train", args, 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rank < 1 {
+			return nil, nil, fmt.Errorf("sgd_train: rank must be positive, got %d", rank)
+		}
+		// Probe the factor-matrix dimensions off segment storage.
+		maxI, maxJ := int64(-1), int64(-1)
+		for _, seg := range t.Segments() {
+			for _, v := range seg.Ints(ii) {
+				if v > maxI {
+					maxI = v
+				}
+			}
+			for _, v := range seg.Ints(ji) {
+				if v > maxJ {
+					maxJ = v
+				}
+			}
+		}
+		if maxI < 0 {
+			return nil, nil, igd.ErrNoData
+		}
+		f := igd.Factorization{Rows: int(maxI) + 1, Cols: int(maxJ) + 1, Rank: int(rank)}
+		loss = f
+		opts.Start = f.InitWeights(0.5)
+		feat = igd.ColumnFeatures(vi, ii, ji)
+		next = 5
+	} else {
+		if err := wantArgs("sgd_train", args, 3, 6); err != nil {
+			return nil, nil, err
+		}
+		yi, err := colArg("sgd_train", schema, args, 1, engine.Float)
+		if err != nil {
+			return nil, nil, err
+		}
+		xi, err := colArg("sgd_train", schema, args, 2, engine.Vector)
+		if err != nil {
+			return nil, nil, err
+		}
+		k := vectorColWidth(t, xi)
+		if k < 0 {
+			return nil, nil, igd.ErrNoData
+		}
+		switch lname {
+		case "logistic":
+			loss = igd.Logistic{K: k}
+		case "hinge":
+			loss = igd.Hinge{K: k}
+		case "least_squares":
+			loss = igd.LeastSquares{K: k}
+		default:
+			return nil, nil, fmt.Errorf("sgd_train: unknown loss %q", lossName)
+		}
+		feat = igd.VectorFeatures(yi, xi)
+		next = 3
+	}
+	if len(args) > next {
+		epochs, err := intArg("sgd_train", args, next)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Epochs = int(epochs)
+	}
+	if len(args) > next+1 {
+		if opts.StepSize, err = floatArg("sgd_train", args, next+1); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(args) > next+2 {
+		seed, err := intArg("sgd_train", args, next+2)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Seed = seed
+	}
+	res, err := igd.Train(db, t, feat, loss, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	final := 0.0
+	if len(res.LossHistory) > 0 {
+		final = res.LossHistory[len(res.LossHistory)-1]
+	}
+	out := engine.Schema{
+		{Name: "loss", Kind: engine.String},
+		{Name: "weights", Kind: engine.Vector},
+		{Name: "final_loss", Kind: engine.Float},
+		{Name: "epochs", Kind: engine.Int},
+		{Name: "num_rows", Kind: engine.Int},
+	}
+	return out, [][]any{{lname, res.Weights, final, int64(res.Epochs), res.NumRows}}, nil
 }
 
 func invokeAssocRules(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {

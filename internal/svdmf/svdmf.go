@@ -139,10 +139,16 @@ type noRegModel struct{ lr sgd.LowRank }
 
 func (n noRegModel) Dim() int { return n.lr.Dim() }
 
+// LossGrad implements igd.GradLoss so evaluation runs on the vectorized
+// lane; the gradient is never consumed (MeanLoss discards it).
+func (n noRegModel) LossGrad(w, x []float64, y float64, grad []float64) float64 {
+	d := n.lr.Predict(w, int(x[0]), int(x[1])) - y
+	return d * d
+}
+
 func (n noRegModel) LossAndGrad(w []float64, ex any, grad []float64) float64 {
 	r := ex.(sgd.RatingExample)
-	d := n.lr.Predict(w, r.I, r.J) - r.Value
-	return d * d
+	return n.LossGrad(w, []float64{float64(r.I), float64(r.J)}, r.Value, grad)
 }
 
 // Predict returns the reconstructed cell (i, j).

@@ -1,19 +1,19 @@
 // Package svm implements support vector machines via incremental gradient
 // descent (Table 1), in the three modes MADlib v0.3 shipped: binary
 // classification (hinge loss), regression (ε-insensitive loss), and
-// novelty detection (one-class). Each training pass is one aggregate query
-// with per-segment SGD chains averaged at merge time, the same
-// macro-pattern as logregr's IGD solver.
+// novelty detection (one-class). All three train on the unified igd
+// harness: morsel-parallel epochs with per-replica model chains merged by
+// weighted averaging, fed through the vectorized gather kernels.
 package svm
 
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"madlib/internal/array"
 	"madlib/internal/core"
 	"madlib/internal/engine"
+	"madlib/internal/igd"
 )
 
 func init() {
@@ -84,11 +84,71 @@ type Model struct {
 	NumRows int64
 }
 
-type passState struct {
-	w    []float64
-	rho  float64
-	loss float64
-	n    int64
+// epsilonLoss is the ε-insensitive regression loss Σ (|xᵀw − y| − ε)₊
+// with per-step L2 shrinkage, in igd plug-in form.
+type epsilonLoss struct {
+	k               int
+	lambda, epsilon float64
+}
+
+func (l epsilonLoss) Dim() int { return l.k }
+
+func (l epsilonLoss) Step(w, x []float64, y, alpha float64) float64 {
+	array.Scale(1-alpha*l.lambda, w)
+	diff := array.Dot(w, x) - y
+	if diff > l.epsilon {
+		array.Axpy(-alpha, x, w)
+		return diff - l.epsilon
+	}
+	if diff < -l.epsilon {
+		array.Axpy(alpha, x, w)
+		return -diff - l.epsilon
+	}
+	return 0
+}
+
+func (l epsilonLoss) Objective(w, x []float64, y float64) float64 {
+	diff := array.Dot(w, x) - y
+	if diff > l.epsilon {
+		return diff - l.epsilon
+	}
+	if diff < -l.epsilon {
+		return -diff - l.epsilon
+	}
+	return 0
+}
+
+// noveltyLoss is the one-class objective. The model packs the threshold
+// rho at w[k] so the harness's weighted model averaging merges it exactly
+// like the legacy per-segment chains did; the label lane is ignored.
+type noveltyLoss struct {
+	k          int
+	lambda, nu float64
+}
+
+func (l noveltyLoss) Dim() int { return l.k + 1 }
+
+func (l noveltyLoss) Step(w, x []float64, _, alpha float64) float64 {
+	wk := w[:l.k]
+	array.Scale(1-alpha*l.lambda, wk)
+	score := array.Dot(wk, x)
+	rho := w[l.k]
+	// One-class: maximize margin score ≥ rho while rho grows; slack
+	// when score < rho.
+	if score < rho {
+		array.Axpy(alpha, x, wk)
+		w[l.k] = rho - alpha*l.nu
+		return rho - score
+	}
+	w[l.k] = rho + alpha*(1-l.nu)
+	return 0
+}
+
+func (l noveltyLoss) Objective(w, x []float64, _ float64) float64 {
+	if score := array.Dot(w[:l.k], x); score < w[l.k] {
+		return w[l.k] - score
+	}
+	return 0
 }
 
 // Train fits the model. For Classification, yCol must hold ±1 labels; for
@@ -97,115 +157,60 @@ type passState struct {
 func Train(db *engine.DB, table *engine.Table, yCol, xCol string, opts Options) (*Model, error) {
 	opts.defaults()
 	schema := table.Schema()
-	bind, err := core.BindColumns(schema, yCol, xCol)
-	if err != nil {
+	if _, err := core.BindColumns(schema, yCol, xCol); err != nil {
 		return nil, err
 	}
-	if schema[schema.Index(xCol)].Kind != engine.Vector {
+	yi, xi := schema.Index(yCol), schema.Index(xCol)
+	if schema[xi].Kind != engine.Vector {
 		return nil, fmt.Errorf("svm: column %q must be %s", xCol, engine.Vector)
 	}
-	if schema[schema.Index(yCol)].Kind != engine.Float {
+	if schema[yi].Kind != engine.Float {
 		return nil, fmt.Errorf("svm: column %q must be %s", yCol, engine.Float)
 	}
-	// Probe width. Each segment goroutine writes only its own slot —
-	// a single shared variable would race across segments.
-	widths := make([]int, len(table.Segments()))
-	for i := range widths {
-		widths[i] = -1
-	}
-	err = db.ForEachSegment(table, func(seg int, row engine.Row) error {
-		if widths[seg] < 0 {
-			widths[seg] = len(bind.Bridge(row).Vector(1))
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
+	// Probe the feature width straight off segment storage.
 	k := -1
-	for _, w := range widths {
-		if w >= 0 {
-			k = w
+	for _, seg := range table.Segments() {
+		if vecs := seg.Vectors(xi); len(vecs) > 0 {
+			k = len(vecs[0])
 			break
 		}
 	}
 	if k < 0 {
 		return nil, ErrNoData
 	}
-	m := &Model{Mode: opts.Mode, Weights: make([]float64, k)}
-	for pass := 1; pass <= opts.Passes; pass++ {
-		alpha := opts.StepSize / math.Sqrt(float64(pass))
-		w0 := array.Clone(m.Weights)
-		rho0 := m.Rho
-		agg := engine.FuncAggregate{
-			InitFn: func() any { return &passState{w: array.Clone(w0), rho: rho0} },
-			TransitionFn: func(s any, row engine.Row) any {
-				st := s.(*passState)
-				args := bind.Bridge(row)
-				y := args.Float(0)
-				x := args.Vector(1)
-				st.n++
-				// L2 shrinkage for all modes.
-				array.Scale(1-alpha*opts.Lambda, st.w)
-				score := array.Dot(st.w, x)
-				switch opts.Mode {
-				case Classification:
-					if margin := y * score; margin < 1 {
-						st.loss += 1 - margin
-						array.Axpy(alpha*y, x, st.w)
-					}
-				case Regression:
-					diff := score - y
-					if diff > opts.Epsilon {
-						st.loss += diff - opts.Epsilon
-						array.Axpy(-alpha, x, st.w)
-					} else if diff < -opts.Epsilon {
-						st.loss += -diff - opts.Epsilon
-						array.Axpy(alpha, x, st.w)
-					}
-				case Novelty:
-					// One-class: maximize margin score ≥ rho while rho
-					// grows; slack when score < rho.
-					if score < st.rho {
-						st.loss += st.rho - score
-						array.Axpy(alpha, x, st.w)
-						st.rho -= alpha * opts.Nu
-					} else {
-						st.rho += alpha * (1 - opts.Nu)
-					}
-				}
-				return st
-			},
-			MergeFn: func(a, b any) any {
-				sa, sb := a.(*passState), b.(*passState)
-				total := sa.n + sb.n
-				if total == 0 {
-					return sa
-				}
-				wa := float64(sa.n) / float64(total)
-				wb := float64(sb.n) / float64(total)
-				for i := range sa.w {
-					sa.w[i] = wa*sa.w[i] + wb*sb.w[i]
-				}
-				sa.rho = wa*sa.rho + wb*sb.rho
-				sa.loss += sb.loss
-				sa.n = total
-				return sa
-			},
-			FinalFn: func(s any) (any, error) { return s, nil },
-		}
-		v, err := db.Run(table, agg)
-		if err != nil {
-			return nil, err
-		}
-		st := v.(*passState)
-		if st.n == 0 {
+	var loss igd.Loss
+	switch opts.Mode {
+	case Classification:
+		loss = igd.Hinge{K: k, Lambda: opts.Lambda}
+	case Regression:
+		loss = epsilonLoss{k: k, lambda: opts.Lambda, epsilon: opts.Epsilon}
+	case Novelty:
+		loss = noveltyLoss{k: k, lambda: opts.Lambda, nu: opts.Nu}
+	default:
+		return nil, fmt.Errorf("svm: unknown mode %d", opts.Mode)
+	}
+	res, err := igd.Train(db, table, igd.VectorFeatures(yi, xi), loss, igd.Options{
+		StepSize: opts.StepSize,
+		Epochs:   opts.Passes,
+		// The legacy loop ran every pass with no convergence check;
+		// keep that schedule.
+		Tolerance: -1,
+	})
+	if err != nil {
+		if errors.Is(err, igd.ErrNoData) {
 			return nil, ErrNoData
 		}
-		m.Weights = st.w
-		m.Rho = st.rho
-		m.NumRows = st.n
-		m.LossHistory = append(m.LossHistory, st.loss/float64(st.n))
+		return nil, err
+	}
+	m := &Model{
+		Mode:        opts.Mode,
+		Weights:     res.Weights,
+		LossHistory: res.LossHistory,
+		NumRows:     res.NumRows,
+	}
+	if opts.Mode == Novelty {
+		m.Rho = res.Weights[k]
+		m.Weights = res.Weights[:k]
 	}
 	return m, nil
 }
@@ -232,3 +237,40 @@ func (m *Model) Predict(x []float64) float64 { return array.Dot(m.Weights, x) }
 
 // IsNovel reports whether x falls outside the learned one-class region.
 func (m *Model) IsNovel(x []float64) bool { return m.Score(x) < 0 }
+
+// ScoreTable computes the decision value for every row of xCol in table
+// order, one morsel per task on the worker pool, reading the vector lane
+// straight off segment storage (no per-row boxing).
+func (m *Model) ScoreTable(db *engine.DB, table *engine.Table, xCol string) ([]float64, error) {
+	schema := table.Schema()
+	xi := schema.Index(xCol)
+	if xi < 0 {
+		return nil, fmt.Errorf("svm: no column %q", xCol)
+	}
+	if schema[xi].Kind != engine.Vector {
+		return nil, fmt.Errorf("svm: column %q must be %s", xCol, engine.Vector)
+	}
+	ms := table.Morsels()
+	offsets := make([]int, len(ms))
+	total := 0
+	for i, mo := range ms {
+		offsets[i] = total
+		total += mo.Len()
+	}
+	out := make([]float64, total)
+	err := db.RunTasks(table, len(ms), func(task int) error {
+		pos := offsets[task]
+		return ms[task].ForEachBatch(func(b engine.ColBatch) error {
+			for _, x := range b.Vectors(xi) {
+				out[pos] = m.Score(x)
+				pos++
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.AddRowsScanned(int64(total))
+	return out, nil
+}

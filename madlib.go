@@ -36,6 +36,7 @@ package madlib
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"madlib/internal/assoc"
@@ -185,7 +186,10 @@ const (
 
 // Config configures a database instance.
 type Config struct {
-	// Segments is the shared-nothing parallelism degree (default 4).
+	// Segments is the shared-nothing parallelism degree. Zero picks a
+	// core-aware default: max(4, runtime.NumCPU()), so a database opened
+	// on a bigger machine gets one segment per core and the morsel
+	// workers and per-segment training replicas scale with it.
 	Segments int
 }
 
@@ -196,10 +200,14 @@ type DB struct {
 	sess *sql.Session
 }
 
-// Open creates a database with cfg.Segments segments.
+// Open creates a database with cfg.Segments segments (zero selects the
+// core-aware default).
 func Open(cfg Config) *DB {
 	if cfg.Segments == 0 {
 		cfg.Segments = 4
+		if n := runtime.NumCPU(); n > cfg.Segments {
+			cfg.Segments = n
+		}
 	}
 	eng := engine.Open(cfg.Segments)
 	return &DB{eng: eng, sess: sql.NewSession(eng)}

@@ -20,10 +20,16 @@
 # ratios are hardware-independent, so this holds on 1-core runners
 # where the gain is pure single-core vectorization.
 #
+# The igd training harness is gated the same way: TrainLogregrIGD and
+# TrainSVM run absolute gates against BENCH_sql.json, and their
+# vectorized gather lane must stay at least MIN_SPEEDUP_TRAIN times
+# (default 2.0) faster than the boxed row-lane companions
+# TrainLogregrIGDRowLane / TrainSVMRowLane in the same run.
+#
 # Usage: scripts/bench_check.sh [benchtime] [max_ratio]
 #   benchtime defaults to 0.5s; max_ratio defaults to 1.25 (25% slack for
 #   shared-runner noise). MIN_SPEEDUP overrides the relative gate
-#   (default 1.5).
+#   (default 1.5); MIN_SPEEDUP_TRAIN the training one (default 2.0).
 #
 # Caveat: the committed baseline is absolute ns/op from the machine that
 # last ran scripts/bench_sql.sh, so the slack also absorbs hardware
@@ -36,22 +42,29 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-0.5s}"
 MAX_RATIO="${2:-1.25}"
 MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
+MIN_SPEEDUP_TRAIN="${MIN_SPEEDUP_TRAIN:-2.0}"
 GATED="SQL SQLParallel SQLJoinAgg SQLJoinAggCached SQLProjScan SQLLeftJoinAgg SQLWindow SQLOrderBy"
 COMPANIONS="SQLProjScanRowLane SQLLeftJoinAggRowLane"
+TRAIN_GATED="TrainLogregrIGD TrainSVM"
+TRAIN_COMPANIONS="TrainLogregrIGDRowLane TrainSVMRowLane"
 
 pattern=$(echo "$GATED $COMPANIONS" | tr ' ' '|')
 out=$(go test -run '^$' -bench "BenchmarkSQLSelectAgg/^($pattern)\$" -benchtime "$BENCHTIME" .)
 echo "$out"
+train_pattern=$(for n in $TRAIN_GATED $TRAIN_COMPANIONS; do printf 'Benchmark%s|' "$n"; done | sed 's/|$//')
+tout=$(go test -run '^$' -bench "^($train_pattern)\$" -benchtime "$BENCHTIME" .)
+echo "$tout"
+out=$(printf '%s\n%s\n' "$out" "$tout")
 
 ns_of() {
-  echo "$out" | awk -v bench="BenchmarkSQLSelectAgg/$1" '
-    $1 == bench || $1 ~ "^" bench "-[0-9]+$" {
+  echo "$out" | awk -v bench="BenchmarkSQLSelectAgg/$1" -v flat="Benchmark$1" '
+    $1 == bench || $1 ~ "^" bench "-[0-9]+$" || $1 == flat || $1 ~ "^" flat "-[0-9]+$" {
       for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") print $i
     }' | head -1
 }
 
 fail=0
-for name in $GATED; do
+for name in $GATED $TRAIN_GATED; do
   committed=$(grep -o "\"$name\": {\"ns_per_op\": [0-9]*" BENCH_sql.json | grep -o '[0-9]*$' || true)
   if [ -z "$committed" ]; then
     echo "bench_check: no committed $name ns_per_op in BENCH_sql.json" >&2
@@ -87,8 +100,14 @@ for name in $GATED; do
 done
 
 # Relative vectorization gates: batch lane vs row-lane companion, same
-# run, same hardware.
-for pair in "SQLProjScan SQLProjScanRowLane" "SQLLeftJoinAgg SQLLeftJoinAggRowLane"; do
+# run, same hardware. The training pairs carry their own (stricter)
+# minimum: the vectorized gather lane must hold a 2x win over boxed
+# row-at-a-time access.
+for pair in \
+  "SQLProjScan SQLProjScanRowLane $MIN_SPEEDUP" \
+  "SQLLeftJoinAgg SQLLeftJoinAggRowLane $MIN_SPEEDUP" \
+  "TrainLogregrIGD TrainLogregrIGDRowLane $MIN_SPEEDUP_TRAIN" \
+  "TrainSVM TrainSVMRowLane $MIN_SPEEDUP_TRAIN"; do
   set -- $pair
   batch_ns=$(ns_of "$1")
   row_ns=$(ns_of "$2")
@@ -96,7 +115,7 @@ for pair in "SQLProjScan SQLProjScanRowLane" "SQLLeftJoinAgg SQLLeftJoinAggRowLa
     echo "bench_check: missing ns/op for $1 / $2" >&2
     exit 1
   fi
-  if ! awk -v b="$batch_ns" -v r="$row_ns" -v name="$1" -v comp="$2" -v min="$MIN_SPEEDUP" 'BEGIN {
+  if ! awk -v b="$batch_ns" -v r="$row_ns" -v name="$1" -v comp="$2" -v min="$3" 'BEGIN {
     speedup = r / b
     printf "bench_check: %s speedup vs %s: %.2fx (min %.2fx)\n", name, comp, speedup, min
     if (speedup < min) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# bench_sql.sh — run the SQL front-end overhead benchmarks and record
-# ns/op, B/op and allocs/op per variant to BENCH_sql.json, so the perf
-# trajectory of the declarative surface (paper §4.4a) is tracked across
+# bench_sql.sh — run the SQL front-end overhead benchmarks plus the
+# training-harness benchmarks and record ns/op, B/op and allocs/op per
+# variant to BENCH_sql.json, so the perf trajectory of the declarative
+# surface (paper §4.4a) and the igd training lanes is tracked across
 # PRs in version control.
 #
 # Usage: scripts/bench_sql.sh [benchtime]
@@ -12,6 +13,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1x}"
 out=$(go test -run '^$' -bench BenchmarkSQLSelectAgg -benchmem -benchtime "$BENCHTIME" .)
 echo "$out"
+tout=$(go test -run '^$' -bench '^BenchmarkTrain' -benchmem -benchtime "$BENCHTIME" .)
+echo "$tout"
 
 # Environment metadata, so committed numbers can be judged against the
 # machine that produced them (ns/op from a 2-core runner is not
@@ -20,7 +23,7 @@ go_version=$(go env GOVERSION)
 num_cpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
 gomaxprocs="${GOMAXPROCS:-$num_cpu}"
 
-echo "$out" | awk -v benchtime="$BENCHTIME" \
+printf '%s\n%s\n' "$out" "$tout" | awk -v benchtime="$BENCHTIME" \
   -v go_version="$go_version" -v num_cpu="$num_cpu" -v gomaxprocs="$gomaxprocs" '
   BEGIN {
     printf "{\n  \"benchmark\": \"BenchmarkSQLSelectAgg\",\n"
@@ -29,9 +32,10 @@ echo "$out" | awk -v benchtime="$BENCHTIME" \
     printf "  \"results\": {\n"
     n = 0
   }
-  /^BenchmarkSQLSelectAgg\// {
+  /^BenchmarkSQLSelectAgg\// || /^BenchmarkTrain/ {
     name = $1
     sub(/^BenchmarkSQLSelectAgg\//, "", name)
+    sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
     ns = "null"; bytes = "null"; allocs = "null"
     for (i = 2; i < NF; i++) {
