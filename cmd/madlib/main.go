@@ -46,6 +46,9 @@ func main() {
 	if cmd == "sql" {
 		os.Exit(runSQL(os.Args[2:], os.Stdin, os.Stdout, os.Stderr))
 	}
+	if cmd == "serve" {
+		os.Exit(runServe(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	in := fs.String("in", "", "input CSV file (required)")
 	label := fs.String("label", "", "label/target column")
@@ -214,6 +217,9 @@ func usage() {
       supports CREATE TABLE, INSERT, SELECT with aggregates/GROUP BY, and
       the madlib.* function namespace, e.g.
         SELECT (madlib.linregr(y, x)).* FROM data;
+  madlib serve [-listen :5432] [-segments n] [-max-sessions n] [-statement-timeout-ms n] [-in file.csv [-table name]]
+      serve the engine over the PostgreSQL wire protocol (connect with
+      psql or any Postgres driver; trust auth, text format)
   madlib <linregr|logregr|kmeans|naivebayes|c45|svm|profile|quantile|distinct|assoc> -in file.csv [flags]
       run one method directly over a CSV file`)
 	os.Exit(2)

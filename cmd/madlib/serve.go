@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"madlib"
+	"madlib/internal/pgwire"
+)
+
+// runServe boots the PostgreSQL wire-protocol server over one shared
+// engine: `madlib serve -listen :5432`, then connect with psql or any
+// Postgres driver. SIGINT/SIGTERM drain gracefully: in-flight
+// statements finish (or hit the shutdown deadline), new work is refused
+// with SQLSTATE 57P01.
+func runServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", ":5432", "TCP address to listen on")
+	segments := fs.Int("segments", 4, "engine segments")
+	maxSessions := fs.Int("max-sessions", 64, "max concurrent connections (SQLSTATE 53300 beyond)")
+	timeoutMS := fs.Int("statement-timeout-ms", 0, "abort statements running longer (0 = no limit, SQLSTATE 57014)")
+	drainMS := fs.Int("drain-timeout-ms", 10000, "shutdown grace period for in-flight statements")
+	in := fs.String("in", "", "preload a CSV file (header row required) as a table")
+	table := fs.String("table", "data", "table name for -in")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	db := madlib.Open(madlib.Config{Segments: *segments})
+	if *in != "" {
+		header, records, err := readCSV(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "madlib: %v\n", err)
+			return 1
+		}
+		if err := loadGenericNamed(db, *table, header, records); err != nil {
+			fmt.Fprintf(stderr, "madlib: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "loaded %s as table %q (%d rows)\n", *in, *table, len(records))
+	}
+
+	srv := pgwire.NewServer(db.Engine(), pgwire.Config{
+		Listen:           *listen,
+		MaxSessions:      *maxSessions,
+		StatementTimeout: time.Duration(*timeoutMS) * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		},
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(stderr, "madlib: %v\n", err)
+		return 1
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(stdout, "received %s, draining...\n", s)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainMS)*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "madlib: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -10,6 +10,8 @@ package engine
 // []string / []bool lanes. Batches never span segments, so kernels keep
 // the same no-synchronization contract per segment that Transition has.
 
+import "context"
+
 // BatchSize is the number of rows handed to a batch kernel at a time.
 // Sized so one float lane (8 KiB) plus a few scratch lanes stay inside
 // L1/L2 cache while amortizing the per-batch dispatch overhead.
@@ -103,10 +105,19 @@ func (db *DB) RunBatched(t *Table,
 	process func(state any, b ColBatch) error,
 	merge func(a, b any) any,
 ) (any, error) {
+	return db.RunBatchedCtx(context.Background(), t, newState, process, merge)
+}
+
+// RunBatchedCtx is RunBatched with cancellation at morsel boundaries.
+func (db *DB) RunBatchedCtx(ctx context.Context, t *Table,
+	newState func(morselIdx int) any,
+	process func(state any, b ColBatch) error,
+	merge func(a, b any) any,
+) (any, error) {
 	db.queries.Add(1)
 	ms := tableMorsels(t)
 	states := make([]any, len(ms))
-	err := db.runMorsels(t, ms, func(i int, m morsel) error {
+	err := db.runMorsels(ctx, t, ms, func(i int, m morsel) error {
 		state := newState(i)
 		if err := forEachBatchRange(m.seg, m.off, m.n, func(b ColBatch) error { return process(state, b) }); err != nil {
 			return err
@@ -137,10 +148,21 @@ func (db *DB) RunGroupByBatched(t *Table,
 	groups func(state any) map[GroupKey]any,
 	merge func(a, b any) any,
 ) (map[GroupKey]any, error) {
+	return db.RunGroupByBatchedCtx(context.Background(), t, newState, process, groups, merge)
+}
+
+// RunGroupByBatchedCtx is RunGroupByBatched with cancellation at morsel
+// boundaries.
+func (db *DB) RunGroupByBatchedCtx(ctx context.Context, t *Table,
+	newState func(morselIdx int) any,
+	process func(state any, b ColBatch) error,
+	groups func(state any) map[GroupKey]any,
+	merge func(a, b any) any,
+) (map[GroupKey]any, error) {
 	db.queries.Add(1)
 	ms := tableMorsels(t)
 	partials := make([]map[GroupKey]any, len(ms))
-	err := db.runMorsels(t, ms, func(i int, m morsel) error {
+	err := db.runMorsels(ctx, t, ms, func(i int, m morsel) error {
 		state := newState(i)
 		if err := forEachBatchRange(m.seg, m.off, m.n, func(b ColBatch) error { return process(state, b) }); err != nil {
 			return err
@@ -196,6 +218,7 @@ func (m Morsel) Row(i int) Row { return Row{seg: m.seg, idx: m.off + i} }
 // the table's shape only — never of the worker count — so any schedule
 // built over it is deterministic across GOMAXPROCS settings.
 func (t *Table) Morsels() []Morsel {
+	defer latchRead(t)()
 	ms := tableMorsels(t)
 	out := make([]Morsel, len(ms))
 	for i, m := range ms {
@@ -212,8 +235,14 @@ func (t *Table) Morsels() []Morsel {
 // per-morsel output buffers and concatenate them in order afterwards to
 // recover the table's row order.
 func (db *DB) ForEachBatch(t *Table, fn func(morselIdx int, b ColBatch) error) error {
+	return db.ForEachBatchCtx(context.Background(), t, fn)
+}
+
+// ForEachBatchCtx is ForEachBatch with cancellation at morsel
+// boundaries.
+func (db *DB) ForEachBatchCtx(ctx context.Context, t *Table, fn func(morselIdx int, b ColBatch) error) error {
 	db.queries.Add(1)
-	return db.runMorsels(t, tableMorsels(t), func(i int, m morsel) error {
+	return db.runMorsels(ctx, t, tableMorsels(t), func(i int, m morsel) error {
 		if err := forEachBatchRange(m.seg, m.off, m.n, func(b ColBatch) error { return fn(i, b) }); err != nil {
 			return err
 		}

@@ -179,6 +179,14 @@ type Table struct {
 	nextSeg   int   // round-robin insertion pointer
 	totalRows int64 // maintained on insert for O(1) Count
 
+	// dataMu latches segment storage: mutators (Insert, InsertHashed,
+	// Truncate, UpdateInt/UpdateFloat) hold it exclusively for the whole
+	// mutation; scan drivers hold it shared for the whole scan. The REPL
+	// never needed this — one session, one statement at a time — but the
+	// wire server runs many sessions against one shared engine, where an
+	// append can reallocate a column lane out from under a running scan.
+	dataMu sync.RWMutex
+
 	// version counts data mutations made through the table/engine API
 	// (Insert, InsertHashed, Truncate, UpdateInt, UpdateFloat). Derived
 	// results (the SQL front-end's cached join materializations) compare
@@ -192,6 +200,35 @@ type Table struct {
 // reads with the same *Table pointer mean no API-level mutation happened
 // in between.
 func (t *Table) Version() int64 { return t.version.Load() }
+
+// latchRead takes the shared data latch on every distinct table, in
+// name order so two multi-table readers racing writers cannot deadlock
+// (a queued writer blocks later readers, so unordered acquisition could
+// cycle). The returned func releases all of them.
+func latchRead(tables ...*Table) func() {
+	held := make([]*Table, 0, len(tables))
+	for _, t := range tables {
+		dup := false
+		for _, h := range held {
+			if h == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			held = append(held, t)
+		}
+	}
+	sort.Slice(held, func(i, j int) bool { return held[i].name < held[j].name })
+	for _, t := range held {
+		t.dataMu.RLock()
+	}
+	return func() {
+		for i := len(held) - 1; i >= 0; i-- {
+			held[i].dataMu.RUnlock()
+		}
+	}
+}
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
@@ -287,6 +324,8 @@ func (t *Table) Insert(values ...any) error {
 			return fmt.Errorf("column %q: %w", t.schema[i].Name, err)
 		}
 	}
+	t.dataMu.Lock()
+	defer t.dataMu.Unlock()
 	t.mu.Lock()
 	seg := t.segs[t.nextSeg]
 	t.nextSeg = (t.nextSeg + 1) % len(t.segs)
@@ -315,6 +354,8 @@ func (t *Table) InsertHashed(key uint64, values ...any) error {
 		}
 	}
 	seg := t.segs[int(key%uint64(len(t.segs)))]
+	t.dataMu.Lock()
+	defer t.dataMu.Unlock()
 	t.mu.Lock()
 	t.totalRows++
 	t.mu.Unlock()
@@ -328,6 +369,8 @@ func (t *Table) InsertHashed(key uint64, values ...any) error {
 
 // Truncate removes all rows but keeps the schema and segment structure.
 func (t *Table) Truncate() {
+	t.dataMu.Lock()
+	defer t.dataMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, s := range t.segs {

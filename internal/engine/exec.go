@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -81,6 +82,13 @@ type morsel struct {
 // the per-segment trees of earlier versions); larger segments split at
 // MorselRows boundaries, which are BatchSize-aligned by construction.
 func tableMorsels(t *Table) []morsel {
+	defer latchRead(t)()
+	return tableMorselsLatched(t)
+}
+
+// tableMorselsLatched is tableMorsels for callers already holding t's
+// data latch (the in-place updaters hold it exclusively).
+func tableMorselsLatched(t *Table) []morsel {
 	ms := make([]morsel, 0, len(t.segs))
 	for i, seg := range t.segs {
 		if seg.n <= MorselRows {
@@ -101,6 +109,7 @@ func tableMorsels(t *Table) []morsel {
 // ScanMorsels reports the number of morsels a scan of t would schedule
 // right now. EXPLAIN renders this next to the worker count.
 func (db *DB) ScanMorsels(t *Table) int {
+	defer latchRead(t)()
 	n := 0
 	for _, seg := range t.segs {
 		if seg.n <= MorselRows {
@@ -142,12 +151,27 @@ func (db *DB) morselWorkers(t *Table, nMorsels int) int {
 // worker, and every caller merges the per-morsel states left-to-right
 // in (segment, offset) order afterwards. Tables below
 // ParallelRowThreshold run inline on the calling goroutine.
-func (db *DB) runMorsels(t *Table, ms []morsel, fn func(i int, m morsel) error) error {
+// Cancellation is checked at morsel boundaries: the sequential loop
+// before each morsel, the pool before each claim. A cancelled scan
+// therefore stops within one morsel (at most MorselRows rows per worker)
+// and returns ctx.Err().
+func (db *DB) runMorsels(ctx context.Context, t *Table, ms []morsel, fn func(i int, m morsel) error) error {
+	defer latchRead(t)()
+	return db.runMorselsLatched(ctx, t, ms, fn)
+}
+
+// runMorselsLatched is runMorsels for callers that already hold t's data
+// latch (the in-place updaters hold it exclusively; the join probe holds
+// a shared latch spanning both inputs).
+func (db *DB) runMorselsLatched(ctx context.Context, t *Table, ms []morsel, fn func(i int, m morsel) error) error {
 	db.morsels.Add(int64(len(ms)))
 	workers := db.morselWorkers(t, len(ms))
 	if workers <= 1 {
 		db.seqScans.Inc()
 		for i, m := range ms {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i, m); err != nil {
 				return err
 			}
@@ -163,6 +187,9 @@ func (db *DB) runMorsels(t *Table, ms []morsel, fn func(i int, m morsel) error) 
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= len(ms) {
 					return
@@ -177,7 +204,7 @@ func (db *DB) runMorsels(t *Table, ms []morsel, fn func(i int, m morsel) error) 
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // RunTasks runs fn once per task index in [0, n) on the scan worker
@@ -191,6 +218,7 @@ func (db *DB) runMorsels(t *Table, ms []morsel, fn func(i int, m morsel) error) 
 // they gather via AddRowsScanned.
 func (db *DB) RunTasks(t *Table, n int, fn func(task int) error) error {
 	db.queries.Add(1)
+	defer latchRead(t)()
 	workers := db.morselWorkers(t, n)
 	if workers <= 1 {
 		db.seqScans.Inc()
@@ -262,11 +290,21 @@ func (db *DB) segmentWorkers(t *Table) int {
 // so the parallel-vs-sequential decision is visible before execution.
 func (db *DB) ScanWorkers(t *Table) int { return db.morselWorkers(t, db.ScanMorsels(t)) }
 
-func (db *DB) parallelSegments(t *Table, fn func(segIdx int, seg *Segment) error) error {
+func (db *DB) parallelSegments(ctx context.Context, t *Table, fn func(segIdx int, seg *Segment) error) error {
+	defer latchRead(t)()
+	return db.parallelSegmentsLatched(ctx, t, fn)
+}
+
+// parallelSegmentsLatched is parallelSegments for callers that already
+// hold the data latch on t (and on any other table fn reads).
+func (db *DB) parallelSegmentsLatched(ctx context.Context, t *Table, fn func(segIdx int, seg *Segment) error) error {
 	workers := db.segmentWorkers(t)
 	if workers <= 1 {
 		db.seqScans.Inc()
 		for i, seg := range t.segs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i, seg); err != nil {
 				return err
 			}
@@ -274,11 +312,11 @@ func (db *DB) parallelSegments(t *Table, fn func(segIdx int, seg *Segment) error
 		return nil
 	}
 	db.parScans.Inc()
-	return db.pooledSegments(t, workers, fn)
+	return db.pooledSegments(ctx, t, workers, fn)
 }
 
 // pooledSegments is the worker-pool mode of parallelSegments.
-func (db *DB) pooledSegments(t *Table, workers int, fn func(segIdx int, seg *Segment) error) error {
+func (db *DB) pooledSegments(ctx context.Context, t *Table, workers int, fn func(segIdx int, seg *Segment) error) error {
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	errs := make([]error, len(t.segs))
@@ -287,6 +325,9 @@ func (db *DB) pooledSegments(t *Table, workers int, fn func(segIdx int, seg *Seg
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= len(t.segs) {
 					return
@@ -301,17 +342,23 @@ func (db *DB) pooledSegments(t *Table, workers int, fn func(segIdx int, seg *Seg
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Run executes a user-defined aggregate over the whole table:
 // SELECT agg(...) FROM t. Transition runs morsel-parallel; the per-morsel
 // states are merged left-to-right and the merged state finalized.
 func (db *DB) Run(t *Table, agg Aggregate) (any, error) {
+	return db.RunCtx(context.Background(), t, agg)
+}
+
+// RunCtx is Run with cancellation: ctx is checked at morsel boundaries,
+// and a cancelled scan returns ctx.Err() without finalizing.
+func (db *DB) RunCtx(ctx context.Context, t *Table, agg Aggregate) (any, error) {
 	db.queries.Add(1)
 	ms := tableMorsels(t)
 	states := make([]any, len(ms))
-	err := db.runMorsels(t, ms, func(i int, m morsel) error {
+	err := db.runMorsels(ctx, t, ms, func(i int, m morsel) error {
 		state := agg.Init()
 		end := m.off + m.n
 		for r := m.off; r < end; r++ {
@@ -334,10 +381,15 @@ func (db *DB) Run(t *Table, agg Aggregate) (any, error) {
 // RunFiltered is Run restricted to rows satisfying pred
 // (SELECT agg(...) FROM t WHERE pred).
 func (db *DB) RunFiltered(t *Table, pred func(Row) bool, agg Aggregate) (any, error) {
+	return db.RunFilteredCtx(context.Background(), t, pred, agg)
+}
+
+// RunFilteredCtx is RunFiltered with cancellation at morsel boundaries.
+func (db *DB) RunFilteredCtx(ctx context.Context, t *Table, pred func(Row) bool, agg Aggregate) (any, error) {
 	db.queries.Add(1)
 	ms := tableMorsels(t)
 	states := make([]any, len(ms))
-	err := db.runMorsels(t, ms, func(i int, m morsel) error {
+	err := db.runMorsels(ctx, t, ms, func(i int, m morsel) error {
 		state := agg.Init()
 		end := m.off + m.n
 		for r := m.off; r < end; r++ {
@@ -386,13 +438,19 @@ func (db *DB) RunGroupBy(t *Table, key func(Row) string, agg Aggregate) (map[str
 	return db.RunGroupByFiltered(t, nil, key, agg)
 }
 
+// RunGroupByKeyCtx is RunGroupByKey with cancellation at morsel
+// boundaries.
+func (db *DB) RunGroupByKeyCtx(ctx context.Context, t *Table, pred func(Row) bool, key func(Row) GroupKey, agg Aggregate) (map[GroupKey]any, error) {
+	return runGroupBy(ctx, db, t, pred, key, agg)
+}
+
 // RunGroupByFiltered is RunGroupBy restricted to rows satisfying pred
 // (SELECT key, agg(...) FROM t WHERE pred GROUP BY key). A nil pred keeps
 // every row. Filtering happens before grouping, so groups whose rows are
 // all rejected do not appear in the output — the SQL front-end relies on
 // this for WHERE + GROUP BY queries.
 func (db *DB) RunGroupByFiltered(t *Table, pred func(Row) bool, key func(Row) string, agg Aggregate) (map[string]any, error) {
-	return runGroupBy(db, t, pred, key, agg)
+	return runGroupBy(context.Background(), db, t, pred, key, agg)
 }
 
 // RunGroupByKey is RunGroupByFiltered with a GroupKey-valued key function:
@@ -400,16 +458,16 @@ func (db *DB) RunGroupByFiltered(t *Table, pred func(Row) bool, key func(Row) st
 // column keys as GroupKey{Int: v}, a string column as GroupKey{Str: s};
 // composite keys pack into Str.
 func (db *DB) RunGroupByKey(t *Table, pred func(Row) bool, key func(Row) GroupKey, agg Aggregate) (map[GroupKey]any, error) {
-	return runGroupBy(db, t, pred, key, agg)
+	return runGroupBy(context.Background(), db, t, pred, key, agg)
 }
 
 // runGroupBy is the shared parallel hash-aggregate skeleton under both
 // RunGroupByFiltered (string keys) and RunGroupByKey (struct keys).
-func runGroupBy[K comparable](db *DB, t *Table, pred func(Row) bool, key func(Row) K, agg Aggregate) (map[K]any, error) {
+func runGroupBy[K comparable](ctx context.Context, db *DB, t *Table, pred func(Row) bool, key func(Row) K, agg Aggregate) (map[K]any, error) {
 	db.queries.Add(1)
 	ms := tableMorsels(t)
 	partials := make([]map[K]any, len(ms))
-	err := db.runMorsels(t, ms, func(i int, m morsel) error {
+	err := db.runMorsels(ctx, t, ms, func(i int, m morsel) error {
 		local := make(map[K]any)
 		end := m.off + m.n
 		for r := m.off; r < end; r++ {
@@ -456,8 +514,14 @@ func runGroupBy[K comparable](db *DB, t *Table, pred func(Row) bool, key func(Ro
 // across segments. fn receives every row of its segment in order and may
 // keep segment-local state without locking.
 func (db *DB) ForEachSegment(t *Table, fn func(segIdx int, row Row) error) error {
+	return db.ForEachSegmentCtx(context.Background(), t, fn)
+}
+
+// ForEachSegmentCtx is ForEachSegment with cancellation at segment
+// boundaries.
+func (db *DB) ForEachSegmentCtx(ctx context.Context, t *Table, fn func(segIdx int, row Row) error) error {
 	db.queries.Add(1)
-	return db.parallelSegments(t, func(i int, seg *Segment) error {
+	return db.parallelSegments(ctx, t, func(i int, seg *Segment) error {
 		for r := 0; r < seg.n; r++ {
 			if err := fn(i, Row{seg: seg, idx: r}); err != nil {
 				return err
@@ -473,6 +537,7 @@ func (db *DB) ForEachSegment(t *Table, fn func(segIdx int, row Row) error) error
 // bulk data should stay inside the engine, as §3.1.2 insists.
 func (db *DB) Rows(t *Table) [][]any {
 	db.queries.Add(1)
+	defer latchRead(t)()
 	var out [][]any
 	for _, seg := range t.segs {
 		for r := 0; r < seg.n; r++ {
@@ -503,16 +568,22 @@ func (db *DB) Rows(t *Table) [][]any {
 // column. The projection preserves each row's segment, so no data moves
 // between segments (a local scan, as in Greenplum).
 func (db *DB) SelectInto(dst string, t *Table, pred func(Row) bool, cols []string) (*Table, error) {
-	return db.selectInto(dst, t, pred, cols, t.temp)
+	return db.selectInto(context.Background(), dst, t, pred, cols, t.temp)
 }
 
 // SelectIntoTemp is SelectInto into a uniquely named temporary table
 // (prefix_tmp_N), the staging pattern driver functions use (§3.1.2).
 func (db *DB) SelectIntoTemp(prefix string, t *Table, pred func(Row) bool, cols []string) (*Table, error) {
-	return db.selectInto(db.nextTempName(prefix), t, pred, cols, true)
+	return db.selectInto(context.Background(), db.nextTempName(prefix), t, pred, cols, true)
 }
 
-func (db *DB) selectInto(dst string, t *Table, pred func(Row) bool, cols []string, temp bool) (*Table, error) {
+// SelectIntoTempCtx is SelectIntoTemp with cancellation at segment
+// boundaries.
+func (db *DB) SelectIntoTempCtx(ctx context.Context, prefix string, t *Table, pred func(Row) bool, cols []string) (*Table, error) {
+	return db.selectInto(ctx, db.nextTempName(prefix), t, pred, cols, true)
+}
+
+func (db *DB) selectInto(ctx context.Context, dst string, t *Table, pred func(Row) bool, cols []string, temp bool) (*Table, error) {
 	db.queries.Add(1)
 	var idxs []int
 	if cols == nil {
@@ -539,7 +610,7 @@ func (db *DB) selectInto(dst string, t *Table, pred func(Row) bool, cols []strin
 	}
 	var total int64
 	var mu sync.Mutex
-	err = db.parallelSegments(t, func(i int, seg *Segment) error {
+	err = db.parallelSegments(ctx, t, func(i int, seg *Segment) error {
 		dseg := out.segs[i]
 		var kept int64
 		for r := 0; r < seg.n; r++ {
@@ -571,6 +642,7 @@ func (db *DB) selectInto(dst string, t *Table, pred func(Row) bool, cols []strin
 		return nil
 	})
 	if err != nil {
+		_ = db.DropTable(dst) // don't leak a half-built staging table
 		return nil, err
 	}
 	out.mu.Lock()
@@ -591,7 +663,9 @@ func (db *DB) UpdateInt(t *Table, col string, fn func(Row) int64) error {
 		return fmt.Errorf("%w: %q is %s", ErrType, col, t.schema[ci].Kind)
 	}
 	db.queries.Add(1)
-	err := db.runMorsels(t, tableMorsels(t), func(i int, m morsel) error {
+	t.dataMu.Lock()
+	defer t.dataMu.Unlock()
+	err := db.runMorselsLatched(context.Background(), t, tableMorselsLatched(t), func(i int, m morsel) error {
 		end := m.off + m.n
 		for r := m.off; r < end; r++ {
 			m.seg.cols[ci].ints[r] = fn(Row{seg: m.seg, idx: r})
@@ -613,7 +687,9 @@ func (db *DB) UpdateFloat(t *Table, col string, fn func(Row) float64) error {
 		return fmt.Errorf("%w: %q is %s", ErrType, col, t.schema[ci].Kind)
 	}
 	db.queries.Add(1)
-	err := db.runMorsels(t, tableMorsels(t), func(i int, m morsel) error {
+	t.dataMu.Lock()
+	defer t.dataMu.Unlock()
+	err := db.runMorselsLatched(context.Background(), t, tableMorselsLatched(t), func(i int, m morsel) error {
 		end := m.off + m.n
 		for r := m.off; r < end; r++ {
 			m.seg.cols[ci].floats[r] = fn(Row{seg: m.seg, idx: r})

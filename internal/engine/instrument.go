@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"time"
 )
 
@@ -32,7 +33,7 @@ func (db *DB) RunInstrumented(t *Table, agg Aggregate) (any, QueryStats, error) 
 	start := time.Now()
 	states := make([]any, len(t.segs))
 	segTimes := make([]time.Duration, len(t.segs))
-	err := db.parallelSegments(t, func(i int, seg *Segment) error {
+	err := db.parallelSegments(context.Background(), t, func(i int, seg *Segment) error {
 		segStart := time.Now()
 		state := agg.Init()
 		for r := 0; r < seg.n; r++ {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -59,7 +60,7 @@ func JoinSchema(left, right *Table, outer bool) (Schema, error) {
 // Column-name collisions are resolved by prefixing right-side columns with
 // the right table's name and an underscore (see JoinSchema).
 func (db *DB) HashJoin(dst string, left *Table, leftKey string, right *Table, rightKey string) (*Table, error) {
-	return db.hashJoin(dst, left, leftKey, right, rightKey, left.temp || right.temp, false)
+	return db.hashJoin(context.Background(), dst, left, leftKey, right, rightKey, left.temp || right.temp, false)
 }
 
 // HashJoinTemp materializes a hash join into a uniquely named temporary
@@ -69,10 +70,17 @@ func (db *DB) HashJoin(dst string, left *Table, leftKey string, right *Table, ri
 // MatchedCol marker set to false — the null-padding wrapper the SQL
 // front-end's LEFT JOIN lowers onto.
 func (db *DB) HashJoinTemp(prefix string, left *Table, leftKey string, right *Table, rightKey string, outer bool) (*Table, error) {
-	return db.hashJoin(db.nextTempName(prefix), left, leftKey, right, rightKey, true, outer)
+	return db.hashJoin(context.Background(), db.nextTempName(prefix), left, leftKey, right, rightKey, true, outer)
 }
 
-func (db *DB) hashJoin(dst string, left *Table, leftKey string, right *Table, rightKey string, temp, outer bool) (*Table, error) {
+// HashJoinTempCtx is HashJoinTemp with cancellation during the probe
+// phase (the build side is scanned sequentially and is usually the small
+// table).
+func (db *DB) HashJoinTempCtx(ctx context.Context, prefix string, left *Table, leftKey string, right *Table, rightKey string, outer bool) (*Table, error) {
+	return db.hashJoin(ctx, db.nextTempName(prefix), left, leftKey, right, rightKey, true, outer)
+}
+
+func (db *DB) hashJoin(ctx context.Context, dst string, left *Table, leftKey string, right *Table, rightKey string, temp, outer bool) (*Table, error) {
 	buildStart := time.Now()
 	lk := left.schema.Index(leftKey)
 	if lk < 0 {
@@ -98,6 +106,11 @@ func (db *DB) hashJoin(dst string, left *Table, leftKey string, right *Table, ri
 	if err != nil {
 		return nil, err
 	}
+
+	// Both inputs stay latched for the whole build + probe: the probe
+	// materializes right-side rows through rowRefs captured at build
+	// time, so the right table must not move underneath it either.
+	defer latchRead(left, right)()
 
 	// Build side: broadcast hash table over the right rows, keyed by the
 	// unboxed column value (no per-row interface allocation).
@@ -132,7 +145,7 @@ func (db *DB) hashJoin(dst string, left *Table, leftKey string, right *Table, ri
 	// local to the probe row's segment. Outer joins emit unmatched left
 	// rows once with a nil right ref, which materializes as zero padding
 	// with MatchedCol=false.
-	err = db.parallelSegments(left, func(i int, seg *Segment) error {
+	err = db.parallelSegmentsLatched(ctx, left, func(i int, seg *Segment) error {
 		dseg := out.segs[i]
 		lefts := make([]int32, 0, BatchSize)
 		rights := make([]rowRef, 0, BatchSize)
@@ -174,6 +187,7 @@ func (db *DB) hashJoin(dst string, left *Table, leftKey string, right *Table, ri
 		return nil
 	})
 	if err != nil {
+		_ = db.DropTable(dst) // don't leak a half-built join table
 		return nil, err
 	}
 	var total int64

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -187,7 +188,7 @@ func TestPooledSegmentsErrorOrder(t *testing.T) {
 	tbl := loadParallelTable(t, db, 2*ParallelRowThreshold)
 	boom2 := errors.New("boom segment 2")
 	boom4 := errors.New("boom segment 4")
-	err := db.parallelSegments(tbl, func(i int, seg *Segment) error {
+	err := db.parallelSegments(context.Background(), tbl, func(i int, seg *Segment) error {
 		switch i {
 		case 2:
 			return boom2

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -28,14 +29,26 @@ type WindowSpec struct {
 // Partitions are processed in parallel; within a partition the fold is
 // strictly sequential in the specified order.
 func (db *DB) RunWindow(t *Table, spec WindowSpec, init func() any, step func(state any, row Row) (any, any)) (map[string][]any, error) {
+	return db.RunWindowCtx(context.Background(), t, spec, init, step)
+}
+
+// RunWindowCtx is RunWindow with cancellation checked at segment
+// boundaries during the partition gather.
+func (db *DB) RunWindowCtx(ctx context.Context, t *Table, spec WindowSpec, init func() any, step func(state any, row Row) (any, any)) (map[string][]any, error) {
 	if spec.OrderBy == nil {
 		return nil, fmt.Errorf("engine: RunWindow requires OrderBy")
 	}
 	db.queries.Add(1)
+	// The latch spans gather AND compute: partitions hold Row handles
+	// into segment storage, which must not move until step() is done.
+	defer latchRead(t)()
 	// Gather row handles per partition. Row handles are stable: they
 	// reference (segment, index) positions.
 	parts := map[string][]Row{}
 	for _, seg := range t.segs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for r := 0; r < seg.n; r++ {
 			row := Row{seg: seg, idx: r}
 			key := ""

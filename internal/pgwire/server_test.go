@@ -1,0 +1,580 @@
+package pgwire
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"madlib/internal/engine"
+)
+
+// startServer boots a server on an ephemeral port against a fresh
+// 4-segment engine and tears it down with the test.
+func startServer(t *testing.T, cfg Config) (*Server, *engine.DB, string) {
+	t.Helper()
+	db := engine.Open(4)
+	cfg.Listen = "127.0.0.1:0"
+	srv := NewServer(db, cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, db, srv.Addr().String()
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func cell(r *ClientResult, i, j int) string {
+	if i >= len(r.Rows) || j >= len(r.Rows[i]) {
+		return "<missing>"
+	}
+	if r.Rows[i][j] == nil {
+		return "<null>"
+	}
+	return *r.Rows[i][j]
+}
+
+// seedFanoutTable builds big(v, grp) with grp = v % (rows/256), so a
+// self-join on grp produces 256 matches per row — slow enough to land a
+// cancel or timeout mid-query.
+func seedFanoutTable(t *testing.T, c *Client, db *engine.DB, rows int) {
+	t.Helper()
+	if _, err := c.Query(`CREATE TABLE seed (v bigint)`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table("seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := tbl.Insert(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctas := fmt.Sprintf(`CREATE TABLE big AS SELECT v, v %% %d AS grp FROM seed`, rows/256)
+	if _, err := c.Query(ctas); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeAndSimpleQuery(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+	if c.BackendPID() == 0 {
+		t.Fatal("no backend pid assigned")
+	}
+
+	if _, err := c.Query(`CREATE TABLE t (a bigint, b text)`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Query(`INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tag != "INSERT 0 3" {
+		t.Fatalf("tag = %q", r.Tag)
+	}
+	r, err = c.Query(`SELECT a, b FROM t ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cols) != 2 || r.Cols[0] != "a" || r.Cols[1] != "b" {
+		t.Fatalf("cols = %v", r.Cols)
+	}
+	if r.Tag != "SELECT 3" || len(r.Rows) != 3 {
+		t.Fatalf("tag=%q rows=%d", r.Tag, len(r.Rows))
+	}
+	if cell(r, 0, 0) != "1" || cell(r, 0, 1) != "one" {
+		t.Fatalf("row 0 = %q %q", cell(r, 0, 0), cell(r, 0, 1))
+	}
+
+	// NULL (from an unmatched LEFT JOIN row) travels as the -1 length
+	// sentinel, not as an empty string.
+	if _, err := c.Query(`CREATE TABLE u (a bigint, w text)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(`INSERT INTO u VALUES (1, 'x')`); err != nil {
+		t.Fatal(err)
+	}
+	r, err = c.Query(`SELECT t.b, u.w FROM t LEFT JOIN u ON t.a = u.a ORDER BY t.a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 || r.Rows[0][1] == nil || *r.Rows[0][1] != "x" {
+		t.Fatalf("join rows = %v", r.Rows)
+	}
+	if r.Rows[1][1] != nil || r.Rows[2][1] != nil {
+		t.Fatalf("want NULL for unmatched rows, got %v", r.Rows)
+	}
+
+	// Multi-statement simple query returns the last result.
+	r, err = c.Query(`SELECT 1; SELECT count(*) AS n FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cols[0] != "n" || cell(r, 0, 0) != "3" {
+		t.Fatalf("multi-statement result = %v %q", r.Cols, cell(r, 0, 0))
+	}
+
+	// Empty query string gets EmptyQueryResponse, not an error.
+	if _, err := c.Query(`  ;  `); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorKeepsConnectionUsable(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+
+	_, err := c.Query(`SELEC syntax error`)
+	var we *WireError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v, want *WireError", err)
+	}
+	if we.Code != "42601" {
+		t.Fatalf("sqlstate = %q, want 42601 (got message %q)", we.Code, we.Message)
+	}
+
+	_, err = c.Query(`SELECT * FROM no_such_table`)
+	if !errors.As(err, &we) || we.Code != "XX000" {
+		t.Fatalf("err = %v, want XX000", err)
+	}
+
+	// The same connection still answers queries.
+	r, err := c.Query(`SELECT 42 AS v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(r, 0, 0) != "42" {
+		t.Fatalf("v = %q", cell(r, 0, 0))
+	}
+
+	// An integer literal beyond int64 errors loudly instead of
+	// silently becoming a float.
+	if _, err := c.Query(`SELECT 99999999999999999999`); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("overflow literal err = %v", err)
+	}
+}
+
+func TestExtendedQueryWithParams(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+
+	if _, err := c.Query(`CREATE TABLE kv (k bigint, v double precision)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// INSERT through the extended protocol with $n parameters.
+	if err := c.Prepare("ins", `INSERT INTO kv VALUES ($1, $2)`, []int32{oidInt8, oidFloat8}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		k, v := fmt.Sprint(i), fmt.Sprintf("%g", float64(i)*1.5)
+		r, err := c.Execute("ins", []*string{&k, &v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Tag != "INSERT 0 1" {
+			t.Fatalf("tag = %q", r.Tag)
+		}
+	}
+
+	// SELECT with a parameter; types inferred (no declared OIDs).
+	if err := c.Prepare("sel", `SELECT count(*) AS n, sum(v) AS s FROM kv WHERE k < $1`, nil); err != nil {
+		t.Fatal(err)
+	}
+	arg := "4"
+	r, err := c.Execute("sel", []*string{&arg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cols) != 2 || r.Cols[0] != "n" || r.Cols[1] != "s" {
+		t.Fatalf("cols = %v", r.Cols)
+	}
+	if cell(r, 0, 0) != "4" || cell(r, 0, 1) != "9" {
+		t.Fatalf("row = %q %q", cell(r, 0, 0), cell(r, 0, 1))
+	}
+
+	// Re-executing the same portal-less statement works repeatedly.
+	arg = "100"
+	r, err = c.Execute("sel", []*string{&arg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(r, 0, 0) != "10" {
+		t.Fatalf("count = %q", cell(r, 0, 0))
+	}
+
+	// NULLs produced by a LEFT JOIN cross the extended protocol too.
+	if _, err := c.Query(`CREATE TABLE tags (k bigint, name text)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(`INSERT INTO tags VALUES (0, 'zero')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepare("selj",
+		`SELECT a.k, b.name FROM kv a LEFT JOIN tags b ON a.k = b.k WHERE a.k < $1 ORDER BY a.k`,
+		[]int32{oidInt8}); err != nil {
+		t.Fatal(err)
+	}
+	arg = "2"
+	r, err = c.Execute("selj", []*string{&arg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || r.Rows[0][1] == nil || *r.Rows[0][1] != "zero" {
+		t.Fatalf("join rows = %v", r.Rows)
+	}
+	if r.Rows[1][1] != nil {
+		t.Fatalf("want NULL for unmatched row, got %q", *r.Rows[1][1])
+	}
+
+	// Unknown prepared statement errors but keeps the connection.
+	if _, err := c.Execute("nope", nil); err == nil {
+		t.Fatal("want error for unknown statement")
+	}
+	if _, err := c.Query(`SELECT 1`); err != nil {
+		t.Fatalf("connection unusable after extended-protocol error: %v", err)
+	}
+
+	// ClosePrepared releases the name for reuse.
+	if err := c.ClosePrepared("sel"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepare("sel", `SELECT k FROM kv WHERE k = $1`, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreparedStatementErrorAtParse(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+	// Planning is eager: a bad table name fails at Parse, not Execute.
+	err := c.Prepare("bad", `SELECT * FROM missing_table`, nil)
+	var we *WireError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v, want *WireError", err)
+	}
+	// Duplicate named statement is rejected.
+	if err := c.Prepare("dup", `SELECT 1`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepare("dup", `SELECT 2`, nil); err == nil {
+		t.Fatal("want duplicate-name error")
+	}
+}
+
+func TestCancelMidScan(t *testing.T) {
+	_, db, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+
+	total := 16 * engine.MorselRows
+	seedFanoutTable(t, c, db, total)
+
+	// A fan-out self-join (each row matches 256 others) keeps the probe
+	// busy long enough for the cancel to land mid-scan.
+	before := db.RowsScanned()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Query(`SELECT count(*) FROM big a JOIN big b ON a.grp = b.grp`)
+		errc <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := c.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	select {
+	case err = <-errc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("query did not return after cancel")
+	}
+	fullOutput := int64(total) * 256 // join rows a completed query scans for count(*)
+	var we *WireError
+	if errors.As(err, &we) {
+		if we.Code != "57014" {
+			t.Fatalf("sqlstate = %q (%s), want 57014", we.Code, we.Message)
+		}
+		// The scan stopped early: a completed query would have scanned
+		// both join inputs plus the full materialized join output.
+		if scanned := db.RowsScanned() - before; scanned >= fullOutput {
+			t.Fatalf("scanned %d rows, want < %d (cancel did not stop the scan)", scanned, fullOutput)
+		}
+	} else if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	} // else: the query finished before the cancel landed — legal race.
+
+	// The connection survives the cancel.
+	r, err := c.Query(`SELECT count(*) FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(r, 0, 0) != fmt.Sprint(total) {
+		t.Fatalf("count = %q", cell(r, 0, 0))
+	}
+}
+
+func TestStatementTimeout(t *testing.T) {
+	_, db, addr := startServer(t, Config{StatementTimeout: 50 * time.Millisecond})
+	c := dialT(t, addr)
+
+	seedFanoutTable(t, c, db, 16*engine.MorselRows)
+	_, err := c.Query(`SELECT count(*) FROM big a JOIN big b ON a.grp = b.grp`)
+	var we *WireError
+	if !errors.As(err, &we) || we.Code != "57014" {
+		t.Fatalf("err = %v, want SQLSTATE 57014", err)
+	}
+	// Fast statements still succeed under the same timeout.
+	if _, err := c.Query(`SELECT 1`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionPoolExhaustion(t *testing.T) {
+	_, _, addr := startServer(t, Config{MaxSessions: 2})
+	c1 := dialT(t, addr)
+	c2 := dialT(t, addr)
+	if _, err := c1.Query(`SELECT 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Query(`SELECT 1`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Dial(addr)
+	var we *WireError
+	if !errors.As(err, &we) || we.Code != "53300" {
+		t.Fatalf("third connection err = %v, want SQLSTATE 53300", err)
+	}
+	// Closing one connection frees a slot (give the server a moment to
+	// recycle the session).
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c3, err := Dial(addr)
+		if err == nil {
+			defer c3.Close()
+			if _, err := c3.Query(`SELECT 1`); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSessionRecycleDropsPrepared(t *testing.T) {
+	_, _, addr := startServer(t, Config{MaxSessions: 1})
+	c1 := dialT(t, addr)
+	if err := c1.Prepare("mine", `SELECT 1`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Query(`PREPARE plain AS SELECT 2`); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c2, err := Dial(addr)
+		if err == nil {
+			// The recycled session must not leak c1's statements.
+			if _, err := c2.Query(`EXECUTE plain`); err == nil {
+				t.Fatal("prepared statement leaked across connections")
+			}
+			c2.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never recycled: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSSLRequestNegotiation(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// SSLRequest: len 8, code 80877103 → server answers 'N' and waits
+	// for a plaintext startup.
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], 8)
+	binary.BigEndian.PutUint32(buf[4:], sslRequestCode)
+	if _, err := nc.Write(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	var reply [1]byte
+	if _, err := nc.Read(reply[:]); err != nil {
+		t.Fatal(err)
+	}
+	if reply[0] != 'N' {
+		t.Fatalf("SSLRequest reply = %q, want 'N'", reply[0])
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	db := engine.Open(4)
+	srv := NewServer(db, Config{Listen: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(`CREATE TABLE t (v bigint)`); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// New connections are refused after shutdown.
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	_, _, addr := startServer(t, Config{MaxSessions: 32})
+	setup := dialT(t, addr)
+	if _, err := setup.Query(`CREATE TABLE acc (id bigint, bal double precision)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := setup.Query(fmt.Sprintf(`INSERT INTO acc VALUES (%d, %d)`, i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			stmt := fmt.Sprintf("w%d", w)
+			if err := c.Prepare(stmt, `SELECT count(*) AS n FROM acc WHERE id < $1`, []int32{oidInt8}); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < iters; i++ {
+				switch i % 3 {
+				case 0: // read, simple protocol
+					r, err := c.Query(`SELECT sum(bal) FROM acc WHERE id < 50`)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(r.Rows) != 1 {
+						errs <- fmt.Errorf("worker %d: %d rows", w, len(r.Rows))
+						return
+					}
+				case 1: // write
+					if _, err := c.Query(fmt.Sprintf(`INSERT INTO acc VALUES (%d, 0)`, 1000+w*iters+i)); err != nil {
+						errs <- err
+						return
+					}
+				case 2: // extended-protocol EXECUTE
+					arg := "50"
+					r, err := c.Execute(stmt, []*string{&arg})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if cell(r, 0, 0) != "50" {
+						errs <- fmt.Errorf("worker %d: count = %q", w, cell(r, 0, 0))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// All writes landed: 100 seed rows + workers*ceil(iters/3) inserts.
+	inserts := 0
+	for i := 0; i < iters; i++ {
+		if i%3 == 1 {
+			inserts++
+		}
+	}
+	r, err := setup.Query(`SELECT count(*) FROM acc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(100 + workers*inserts)
+	if cell(r, 0, 0) != want {
+		t.Fatalf("final count = %q, want %s", cell(r, 0, 0), want)
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	_, db, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+	if _, err := c.Query(`SELECT 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(`this is not sql`); err == nil {
+		t.Fatal("want error")
+	}
+	reg := db.Metrics()
+	if v := reg.Counter("pgwire_connections").Value(); v < 1 {
+		t.Fatalf("pgwire_connections = %d", v)
+	}
+	if v := reg.Counter("pgwire_queries").Value(); v < 1 {
+		t.Fatalf("pgwire_queries = %d", v)
+	}
+	if v := reg.Counter("pgwire_errors").Value(); v < 1 {
+		t.Fatalf("pgwire_errors = %d", v)
+	}
+	// The counters surface through the SQL metrics view too.
+	r, err := c.Query(`SELECT count(*) FROM madlib_stats_counters WHERE name = 'pgwire_queries'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(r, 0, 0) != "1" {
+		t.Fatalf("pgwire_queries missing from madlib_stats_counters: %q", cell(r, 0, 0))
+	}
+}

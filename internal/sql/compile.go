@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -18,10 +19,13 @@ import (
 // goroutine concurrently.
 
 // execEnv carries the per-execution bindings of a plan: the $n parameter
-// values supplied by EXECUTE. It is read-only during a query. A nil env is
-// valid and means "no parameters bound".
+// values supplied by EXECUTE, and the context governing this execution
+// (cancellation / statement timeout — checked by the engine's scan
+// drivers at morsel boundaries). It is read-only during a query. A nil
+// env is valid and means "no parameters bound, background context".
 type execEnv struct {
 	params []any
+	ctx    context.Context
 }
 
 func (env *execEnv) param(idx int) (any, error) {
@@ -29,6 +33,14 @@ func (env *execEnv) param(idx int) (any, error) {
 		return nil, execErrf("there is no parameter $%d", idx)
 	}
 	return env.params[idx-1], nil
+}
+
+// context returns the execution's context, nil-safe.
+func (env *execEnv) context() context.Context {
+	if env == nil || env.ctx == nil {
+		return context.Background()
+	}
+	return env.ctx
 }
 
 // paramList returns the bound parameter values (nil-safe), for handing to

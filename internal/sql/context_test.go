@@ -1,0 +1,96 @@
+package sql
+
+// Context plumbing: Session.ExecContext/QueryContext hand their context
+// to the engine's scan drivers, so cancellation reaches a running scan.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+func bigIntTable(t *testing.T, s *Session, rows int) {
+	t.Helper()
+	tbl, err := s.DB().CreateTable("big", engine.Schema{
+		{Name: "v", Kind: engine.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := tbl.Insert(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQueryContextCancelled(t *testing.T) {
+	s := newSession(t)
+	bigIntTable(t, s, 4*engine.MorselRows)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := s.DB().RowsScanned()
+	_, err := s.QueryContext(ctx, `SELECT sum(v) FROM big`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := s.DB().RowsScanned() - before; got != 0 {
+		t.Fatalf("scanned %d rows under a cancelled context", got)
+	}
+	// The session stays usable after a cancelled query.
+	r, err := s.QueryContext(context.Background(), `SELECT count(*) FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].(int64) != int64(4*engine.MorselRows) {
+		t.Fatalf("count = %v", r.Rows[0][0])
+	}
+}
+
+func TestExecutePreparedContext(t *testing.T) {
+	s := newSession(t)
+	bigIntTable(t, s, 100)
+	mustExec(t, s, `PREPARE q AS SELECT count(*) FROM big WHERE v < $1`)
+	r, err := s.ExecutePreparedContext(context.Background(), "q", []any{int64(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].(int64) != 50 {
+		t.Fatalf("count = %v", r.Rows[0][0])
+	}
+	// Wrong arity errors; cancelled context aborts.
+	if _, err := s.ExecutePreparedContext(context.Background(), "q", nil); err == nil {
+		t.Fatal("want arity error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ExecutePreparedContext(ctx, "q", []any{int64(50)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDescribePrepared(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE pt (a bigint, b text)`)
+	mustExec(t, s, `PREPARE sel AS SELECT a, b AS label FROM pt WHERE a > $1`)
+	n, cols, err := s.DescribePrepared("sel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(cols) != 2 || cols[0] != "a" || cols[1] != "label" {
+		t.Fatalf("describe = %d params, cols %v", n, cols)
+	}
+	mustExec(t, s, `PREPARE ins AS INSERT INTO pt VALUES ($1, $2)`)
+	n, cols, err = s.DescribePrepared("ins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || cols != nil {
+		t.Fatalf("insert describe = %d params, cols %v", n, cols)
+	}
+	if _, _, err := s.DescribePrepared("nope"); err == nil {
+		t.Fatal("want error for unknown prepared statement")
+	}
+}

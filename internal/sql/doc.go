@@ -68,8 +68,10 @@
 // skipped by count(x)/sum/avg/min/max (count(*) still counts the row),
 // and renders empty. Comparisons with NULL are false (three-valued logic
 // collapsed to its predicate meaning: padded rows drop out of WHERE and
-// HAVING in either comparison direction), while in ORDER BY NULLs sort
-// before every non-NULL value. GROUP BY and madlib.* arguments over
+// HAVING in either comparison direction), while ORDER BY follows the
+// Postgres placement rule: NULL sorts as the largest value, so NULLs
+// come last on ascending keys and first under DESC (compareOrderKeys;
+// pinned by the logictest corpus). GROUP BY and madlib.* arguments over
 // nullable right-side columns are rejected at plan time rather than
 // silently reading the zero padding.
 //
@@ -359,6 +361,37 @@
 // logs everything, and `madlib sql --slow-query-ms N` wires this up in
 // the REPL, where \stats prints the counters view).
 //
+// # Cancellation
+//
+// Every entry point has a context-threaded form — ExecContext,
+// QueryContext, RunContext, ExecutePreparedContext — and the plain
+// forms delegate to them with context.Background(). The context flows
+// through the compiled plan's execEnv into the engine's ...Ctx drivers,
+// which poll ctx.Err() at morsel boundaries: a scan stops within one
+// morsel (engine.MorselRows = 4096 rows) of cancellation, partial
+// per-morsel states are discarded, and the statement returns the
+// context's error (context.Canceled or DeadlineExceeded) instead of
+// results. rows_scanned only advances for completed morsels, so the
+// engine's scan counters stay exact under cancellation. The gather
+// phases that are not morsel-driven — the window partition gather and
+// the join build — check the context at segment boundaries instead.
+// Cancellation is cooperative and cheap (one atomic load per morsel),
+// so leaving the plain forms on Background costs nothing.
+//
+// This is what makes the statement a unit of interruption for callers:
+// internal/pgwire maps a dropped client connection, a wire-protocol
+// CancelRequest and the server's statement timeout onto one context
+// cancel per active statement (surfaced to clients as SQLSTATE 57014),
+// and a cancelled statement leaves the session reusable — prepared
+// statements, plan cache and catalog bindings are untouched.
+//
+// Sessions are safe for concurrent use, and many Sessions may share
+// one engine.DB. Data consistency across concurrent statements comes
+// from the engine's per-table reader/writer latches (scan drivers hold
+// a shared latch for the whole scan; Insert/Truncate/Update hold it
+// exclusively), so a wire server can run a session pool against one
+// shared database without torn reads.
+//
 // # Testing
 //
 // Behavior is pinned three ways: the golden-file SQL logic tests
@@ -370,6 +403,7 @@
 //
 // # Not yet supported
 //
-// Multi-way (>2 table) joins, subqueries, UPDATE/DELETE and a wire
-// protocol are tracked as ROADMAP open items.
+// Multi-way (>2 table) joins, subqueries and UPDATE/DELETE are tracked
+// as ROADMAP open items. (The Postgres wire protocol is served by
+// internal/pgwire via `madlib serve`.)
 package sql

@@ -143,6 +143,11 @@ type stmtPlan interface {
 	// materialization — when the plan leaves the session's plan cache or
 	// prepared-statement store, or when a one-shot plan finishes.
 	release(db *engine.DB)
+	// columns returns the plan's output column names, nil when the
+	// statement produces no row set (INSERT) or when the shape is only
+	// known at execution time (table-valued madlib.* calls). The wire
+	// server's Describe path renders RowDescription from this.
+	columns() []string
 }
 
 // planStmt lowers a SELECT or INSERT into an executable plan.
@@ -338,6 +343,8 @@ func (p *insertPlan) valid(db *engine.DB) bool {
 
 func (p *insertPlan) release(*engine.DB) {}
 
+func (p *insertPlan) columns() []string { return nil }
+
 func (p *insertPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	schema := p.table.Schema()
 	ctx := &evalCtx{params: env.paramList()}
@@ -530,6 +537,14 @@ func planConstSelect(st *Select) (stmtPlan, error) {
 func (p *constPlan) valid(*engine.DB) bool { return true }
 
 func (p *constPlan) release(*engine.DB) {}
+
+func (p *constPlan) columns() []string {
+	cols := make([]string, len(p.st.Items))
+	for i, item := range p.st.Items {
+		cols[i] = outputName(item)
+	}
+	return cols
+}
 
 func (p *constPlan) exec(_ *Session, env *execEnv) (*Result, error) {
 	st := p.st
@@ -739,8 +754,10 @@ func (p *scanPlan) valid(db *engine.DB) bool { return p.src.valid(db) }
 
 func (p *scanPlan) release(db *engine.DB) { p.src.release(db) }
 
+func (p *scanPlan) columns() []string { return p.cols }
+
 func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
-	input, cleanup, err := p.src.acquire(s)
+	input, cleanup, err := p.src.acquire(s, env.context())
 	if err != nil {
 		return nil, err
 	}
@@ -802,7 +819,7 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 				}
 			}
 		}()
-		scanErr = s.db.ForEachBatch(input, func(morselIdx int, b engine.ColBatch) error {
+		scanErr = s.db.ForEachBatchCtx(env.context(), input, func(morselIdx int, b engine.ColBatch) error {
 			st := states[morselIdx]
 			if st == nil {
 				st, _ = p.batchPool.Get().(*scanBatchState)
@@ -837,7 +854,7 @@ func (p *scanPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		})
 	} else {
 		pred := enginePred(p.pred, env, &predErr)
-		scanErr = s.db.ForEachSegment(input, func(segIdx int, row engine.Row) error {
+		scanErr = s.db.ForEachSegmentCtx(env.context(), input, func(segIdx int, row engine.Row) error {
 			if pred != nil && !pred(row) {
 				return nil
 			}
@@ -1172,6 +1189,8 @@ func (p *aggPlan) valid(db *engine.DB) bool { return p.src.valid(db) }
 
 func (p *aggPlan) release(db *engine.DB) { p.src.release(db) }
 
+func (p *aggPlan) columns() []string { return p.outNames }
+
 // evalGroup evaluates one group's output row (and ORDER BY keys) from its
 // finalized slot values. This stage runs once per group, so it stays on
 // the interpreter.
@@ -1229,9 +1248,9 @@ func (p *aggPlan) execRowLane(s *Session, env *execEnv, input *engine.Table) ([]
 		var v any
 		var err error
 		if pred == nil {
-			v, err = s.db.Run(input, multi)
+			v, err = s.db.RunCtx(env.context(), input, multi)
 		} else {
-			v, err = s.db.RunFiltered(input, pred, multi)
+			v, err = s.db.RunFilteredCtx(env.context(), input, pred, multi)
 		}
 		if err != nil {
 			return nil, err
@@ -1241,7 +1260,7 @@ func (p *aggPlan) execRowLane(s *Session, env *execEnv, input *engine.Table) ([]
 		}
 		return []*multiState{v.(*multiState)}, nil
 	}
-	groups, err := s.db.RunGroupByKey(input, pred, p.keyFn, multi)
+	groups, err := s.db.RunGroupByKeyCtx(env.context(), input, pred, p.keyFn, multi)
 	if err != nil {
 		return nil, err
 	}
@@ -1278,7 +1297,7 @@ func (p *aggPlan) evalHaving(ms *multiState, env *execEnv) (bool, error) {
 
 func (p *aggPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	st := p.st
-	input, cleanup, err := p.src.acquire(s)
+	input, cleanup, err := p.src.acquire(s, env.context())
 	if err != nil {
 		return nil, err
 	}
@@ -1592,6 +1611,10 @@ func (p *tvPlan) valid(db *engine.DB) bool {
 
 func (p *tvPlan) release(*engine.DB) {}
 
+// columns is nil for table-valued madlib.* calls: the output shape is
+// produced by the method at execution time.
+func (p *tvPlan) columns() []string { return nil }
+
 func (p *tvPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	st, t, call := p.st, p.table, p.call
 	var predErr atomic.Value
@@ -1612,7 +1635,7 @@ func (p *tvPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		// Evaluate segment-parallel into per-segment buffers (the scan and
 		// the expression work dominate), then append sequentially.
 		segVals := make([][][]any, len(t.Segments()))
-		err = s.db.ForEachSegment(t, func(segIdx int, row engine.Row) error {
+		err = s.db.ForEachSegmentCtx(env.context(), t, func(segIdx int, row engine.Row) error {
 			if pred != nil && !pred(row) {
 				return nil
 			}
@@ -1649,7 +1672,7 @@ func (p *tvPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		}
 		input = staged
 	case st.Where != nil:
-		staged, err := s.db.SelectIntoTemp("sql_stage", t, pred, nil)
+		staged, err := s.db.SelectIntoTempCtx(env.context(), "sql_stage", t, pred, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -1119,7 +1119,7 @@ func (p *aggPlan) execBatch(s *Session, env *execEnv, input *engine.Table) ([]*m
 		}
 	}()
 	if !grouped {
-		v, err := s.db.RunBatched(input, newMorsel,
+		v, err := s.db.RunBatchedCtx(env.context(), input, newMorsel,
 			func(state any, b engine.ColBatch) error {
 				return ln.processUngrouped(state.(*batchMorselState), b)
 			},
@@ -1139,7 +1139,7 @@ func (p *aggPlan) execBatch(s *Session, env *execEnv, input *engine.Table) ([]*m
 		}
 		return []*multiState{ms}, nil
 	}
-	groups, err := s.db.RunGroupByBatched(input, newMorsel,
+	groups, err := s.db.RunGroupByBatchedCtx(env.context(), input, newMorsel,
 		func(state any, b engine.ColBatch) error {
 			return ln.processGrouped(state.(*batchMorselState), b)
 		},

@@ -747,6 +747,14 @@ func (p *parser) parseUnary() (Expr, error) {
 	t := p.peek()
 	if t.Kind == TokOp && (t.Text == "-" || t.Text == "+") {
 		p.pos++
+		// Fold a minus directly into a following numeric literal so
+		// -9223372036854775808 (min int64, whose positive magnitude does
+		// not fit in int64) parses as an exact integer.
+		if t.Text == "-" && p.peek().Kind == TokNumber {
+			nt := p.peek()
+			p.pos++
+			return negNumberLiteral(nt)
+		}
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
@@ -946,14 +954,31 @@ func (p *parser) parseCallArgs(call *FuncCall) (Expr, error) {
 func numberLiteral(t Token) (Expr, error) {
 	if !strings.ContainsAny(t.Text, ".eE") {
 		n, err := strconv.ParseInt(t.Text, 10, 64)
-		if err == nil {
-			return &Literal{Val: n, Pos: t.Pos}, nil
+		if err != nil {
+			return nil, syntaxErrf(t.Pos, "integer %q out of range for bigint", t.Text)
 		}
-		// Fall through to float for out-of-range integers.
+		return &Literal{Val: n, Pos: t.Pos}, nil
 	}
 	f, err := strconv.ParseFloat(t.Text, 64)
 	if err != nil {
 		return nil, syntaxErrf(t.Pos, "invalid number %q", t.Text)
 	}
 	return &Literal{Val: f, Pos: t.Pos}, nil
+}
+
+// negNumberLiteral parses a numeric token with a unary minus folded in,
+// keeping -9223372036854775808 exact instead of widening to float64.
+func negNumberLiteral(t Token) (Expr, error) {
+	if !strings.ContainsAny(t.Text, ".eE") {
+		n, err := strconv.ParseInt("-"+t.Text, 10, 64)
+		if err != nil {
+			return nil, syntaxErrf(t.Pos, "integer %q out of range for bigint", "-"+t.Text)
+		}
+		return &Literal{Val: n, Pos: t.Pos}, nil
+	}
+	f, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return nil, syntaxErrf(t.Pos, "invalid number %q", t.Text)
+	}
+	return &Literal{Val: -f, Pos: t.Pos}, nil
 }

@@ -76,8 +76,8 @@ func TestParseInsert(t *testing.T) {
 	if _, ok := ins.Rows[1][1].(*ArrayLit); !ok {
 		t.Fatalf("ARRAY[...] literal parsed as %T", ins.Rows[1][1])
 	}
-	if _, ok := ins.Rows[1][0].(*Unary); !ok {
-		t.Fatalf("negative literal parsed as %T", ins.Rows[1][0])
+	if lit, ok := ins.Rows[1][0].(*Literal); !ok || lit.Val != int64(-2) {
+		t.Fatalf("negative literal parsed as %T (%+v)", ins.Rows[1][0], ins.Rows[1][0])
 	}
 }
 

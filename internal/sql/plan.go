@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"madlib/internal/core"
 	"madlib/internal/engine"
@@ -216,9 +217,9 @@ func evalBinary(x *Binary, ctx *evalCtx) (any, error) {
 		return evalArith(x.Op, l, r)
 	case "=", "<>", "<", "<=", ">", ">=":
 		// SQL three-valued logic, collapsed: a comparison with NULL is
-		// false, so padded LEFT JOIN rows drop out of predicates. (nil
-		// still orders first in ORDER BY, which goes through
-		// compareValues directly.)
+		// false, so padded LEFT JOIN rows drop out of predicates. (ORDER
+		// BY goes through compareOrderKeys instead, where NULL sorts as
+		// the largest value.)
 		if l == nil || r == nil {
 			return false, nil
 		}
@@ -337,6 +338,20 @@ func compareValues(a, b any) (int, error) {
 			return -1, nil
 		default:
 			return 1, nil
+		}
+	}
+	if ai, ok := a.(int64); ok {
+		if bi, ok := b.(int64); ok {
+			// Compare int64 pairs exactly: widening through float64 loses
+			// precision above 2^53 and would conflate or mis-order values.
+			switch {
+			case ai < bi:
+				return -1, nil
+			case ai > bi:
+				return 1, nil
+			default:
+				return 0, nil
+			}
 		}
 	}
 	if af, ok := toFloat(a); ok {
@@ -1199,23 +1214,49 @@ func (m *multiAggregate) Final(state any) (any, error) {
 	return out, nil
 }
 
+// compareOrderKeys orders two ORDER BY key values with Postgres NULL
+// placement: NULL sorts as the largest value, which yields NULLS LAST on
+// ascending keys and NULLS FIRST when the comparison is flipped for DESC.
+// Non-NULL pairs defer to compareValues.
+func compareOrderKeys(a, b any) (int, error) {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0, nil
+		case a == nil:
+			return 1, nil
+		default:
+			return -1, nil
+		}
+	}
+	return compareValues(a, b)
+}
+
 // sortRows stable-sorts rows by the given key columns (extracted into
 // keys, parallel to rows). Large results sort in parallel via the
 // engine's chunked stable sort; the comparator only reads keys, so
-// concurrent calls are safe, with a mutex guarding error capture.
+// concurrent calls are safe, with a mutex guarding error capture. Once a
+// comparison error is recorded further comparisons short-circuit — the
+// sort result is discarded anyway.
 func sortRows(db *engine.DB, rows [][]any, keys [][]any, desc []bool) error {
 	var mu sync.Mutex
 	var sortErr error
+	var failed atomic.Bool
 	idx := db.SortStable(len(rows), func(a, b int) bool {
+		if failed.Load() {
+			return false
+		}
 		ka, kb := keys[a], keys[b]
 		for k := range desc {
-			c, err := compareValues(ka[k], kb[k])
+			c, err := compareOrderKeys(ka[k], kb[k])
 			if err != nil {
+				failed.Store(true)
 				mu.Lock()
 				if sortErr == nil {
 					sortErr = err
 				}
 				mu.Unlock()
+				return false
 			}
 			if c != 0 {
 				if desc[k] {

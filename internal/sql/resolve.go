@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -93,7 +94,7 @@ func (ps *planSource) valid(db *engine.DB) bool {
 // drops the stale table. cleanup is always a no-op for the caller —
 // the cached table's lifetime is managed by acquire itself and by
 // release when the plan is evicted.
-func (ps *planSource) acquire(s *Session) (*engine.Table, func(), error) {
+func (ps *planSource) acquire(s *Session, ctx context.Context) (*engine.Table, func(), error) {
 	if ps.virtual {
 		t, err := s.buildSystemView(ps.name)
 		if err != nil {
@@ -136,7 +137,7 @@ func (ps *planSource) acquire(s *Session) (*engine.Table, func(), error) {
 	// must still be externally serialized — versions only make cache
 	// staleness detectable, not concurrent writes safe.)
 	lv, rv := j.left.Version(), j.right.Version()
-	t, err := s.db.HashJoinTemp("sql_join", j.left, j.leftKey, j.right, j.rightKey, j.outer)
+	t, err := s.db.HashJoinTempCtx(ctx, "sql_join", j.left, j.leftKey, j.right, j.rightKey, j.outer)
 	if err != nil {
 		return nil, nil, err
 	}

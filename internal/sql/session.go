@@ -2,6 +2,7 @@ package sql
 
 import (
 	"container/list"
+	"context"
 	"log/slog"
 	"sort"
 	"sync"
@@ -270,9 +271,16 @@ func (s *Session) invalidatePlans() {
 // cache: the second execution of the same SELECT/INSERT skips parse and
 // plan entirely.
 func (s *Session) Exec(text string) ([]*Result, error) {
+	return s.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec under a context: cancellation or deadline expiry
+// stops running scans at morsel boundaries and aborts the remaining
+// statements.
+func (s *Session) ExecContext(ctx context.Context, text string) ([]*Result, error) {
 	t0 := time.Now()
 	if pl, ok := s.cachedPlan(text); ok {
-		r, err := pl.exec(s, nil)
+		r, err := pl.exec(s, &execEnv{ctx: ctx})
 		tm := Timing{Exec: time.Since(t0), CacheHit: true}
 		s.setTiming(tm)
 		if err != nil {
@@ -293,7 +301,7 @@ func (s *Session) Exec(text string) ([]*Result, error) {
 	var out []*Result
 	total := Timing{Parse: parseD}
 	for _, st := range stmts {
-		r, tm, err := s.runTimed(st, cacheKey)
+		r, tm, err := s.runTimed(ctx, st, cacheKey)
 		total.Plan += tm.Plan
 		total.Exec += tm.Exec
 		total.CacheHit = tm.CacheHit
@@ -309,9 +317,14 @@ func (s *Session) Exec(text string) ([]*Result, error) {
 
 // Query runs a single statement and requires it to produce a rowset.
 func (s *Session) Query(text string) (*Result, error) {
+	return s.QueryContext(context.Background(), text)
+}
+
+// QueryContext is Query under a context (see ExecContext).
+func (s *Session) QueryContext(ctx context.Context, text string) (*Result, error) {
 	t0 := time.Now()
 	if pl, ok := s.cachedPlan(text); ok {
-		r, err := pl.exec(s, nil)
+		r, err := pl.exec(s, &execEnv{ctx: ctx})
 		tm := Timing{Exec: time.Since(t0), CacheHit: true}
 		s.setTiming(tm)
 		if err != nil {
@@ -328,7 +341,7 @@ func (s *Session) Query(text string) (*Result, error) {
 		return nil, err
 	}
 	parseD := time.Since(t0)
-	r, tm, err := s.runTimed(st, text)
+	r, tm, err := s.runTimed(ctx, st, text)
 	tm.Parse = parseD
 	s.setTiming(tm)
 	if err != nil {
@@ -344,7 +357,12 @@ func (s *Session) Query(text string) (*Result, error) {
 // fresh (there is no source text to cache under); prepared statements and
 // EXECUTE still work.
 func (s *Session) Run(st Statement) (*Result, error) {
-	r, tm, err := s.runTimed(st, "")
+	return s.RunContext(context.Background(), st)
+}
+
+// RunContext is Run under a context (see ExecContext).
+func (s *Session) RunContext(ctx context.Context, st Statement) (*Result, error) {
+	r, tm, err := s.runTimed(ctx, st, "")
 	s.setTiming(tm)
 	return r, err
 }
@@ -352,7 +370,7 @@ func (s *Session) Run(st Statement) (*Result, error) {
 // runTimed plans (or reuses) and executes one statement, reporting the
 // plan/exec phase split. cacheKey, when non-empty, is the statement's
 // exact source text and enables plan caching for SELECT/INSERT.
-func (s *Session) runTimed(st Statement, cacheKey string) (*Result, Timing, error) {
+func (s *Session) runTimed(ctx context.Context, st Statement, cacheKey string) (*Result, Timing, error) {
 	t0 := time.Now()
 	var tm Timing
 	switch x := st.(type) {
@@ -376,7 +394,7 @@ func (s *Session) runTimed(st Statement, cacheKey string) (*Result, Timing, erro
 		tm.Plan = time.Since(t0)
 		return r, tm, err
 	case *Execute:
-		return s.execExecute(x)
+		return s.execExecute(ctx, x)
 	case *Deallocate:
 		r, err := s.execDeallocate(x)
 		tm.Exec = time.Since(t0)
@@ -396,7 +414,7 @@ func (s *Session) runTimed(st Statement, cacheKey string) (*Result, Timing, erro
 			s.cachePlan(cacheKey, pl)
 		}
 		tExec := time.Now()
-		r, err := pl.exec(s, nil)
+		r, err := pl.exec(s, &execEnv{ctx: ctx})
 		tm.Exec = time.Since(tExec)
 		if cacheKey == "" {
 			// One-shot plan (Run, multi-statement Exec): nothing holds it
@@ -445,22 +463,8 @@ func (s *Session) execPrepare(st *Prepare) (*Result, error) {
 // execExecute runs a prepared statement with bound parameter values. If
 // the plan's table bindings went stale (DROP + re-CREATE since PREPARE),
 // the statement is replanned against the current catalog first.
-func (s *Session) execExecute(st *Execute) (*Result, Timing, error) {
+func (s *Session) execExecute(ctx context.Context, st *Execute) (*Result, Timing, error) {
 	var tm Timing
-	s.mu.Lock()
-	p, ok := s.prepared[st.Name]
-	var pl stmtPlan
-	if ok {
-		pl = p.plan
-	}
-	s.mu.Unlock()
-	if !ok {
-		return nil, tm, execErrf("prepared statement %q does not exist", st.Name)
-	}
-	if len(st.Args) != p.NumParams {
-		return nil, tm, execErrf("wrong number of parameters for prepared statement %q: want %d, got %d",
-			p.Name, p.NumParams, len(st.Args))
-	}
 	params := make([]any, len(st.Args))
 	for i, a := range st.Args {
 		v, err := evalExpr(a, &evalCtx{})
@@ -468,6 +472,34 @@ func (s *Session) execExecute(st *Execute) (*Result, Timing, error) {
 			return nil, tm, execErrf("EXECUTE parameter $%d: %v", i+1, err)
 		}
 		params[i] = v
+	}
+	return s.executePrepared(ctx, st.Name, params, st.String())
+}
+
+// ExecutePreparedContext runs a prepared statement with already-evaluated
+// parameter values — the extended-query protocol's Bind/Execute path,
+// where parameters arrive as wire values rather than SQL expressions.
+func (s *Session) ExecutePreparedContext(ctx context.Context, name string, params []any) (*Result, error) {
+	r, tm, err := s.executePrepared(ctx, name, params, "EXECUTE "+name)
+	s.setTiming(tm)
+	return r, err
+}
+
+func (s *Session) executePrepared(ctx context.Context, name string, params []any, obsText string) (*Result, Timing, error) {
+	var tm Timing
+	s.mu.Lock()
+	p, ok := s.prepared[name]
+	var pl stmtPlan
+	if ok {
+		pl = p.plan
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, tm, execErrf("prepared statement %q does not exist", name)
+	}
+	if len(params) != p.NumParams {
+		return nil, tm, execErrf("wrong number of parameters for prepared statement %q: want %d, got %d",
+			p.Name, p.NumParams, len(params))
 	}
 	t0 := time.Now()
 	tm.CacheHit = true
@@ -486,7 +518,7 @@ func (s *Session) execExecute(st *Execute) (*Result, Timing, error) {
 		// new plan must not be installed on the orphaned struct: run it
 		// this once and release it when done.
 		s.mu.Lock()
-		orphaned := s.prepared[st.Name] != p
+		orphaned := s.prepared[name] != p
 		var displaced stmtPlan
 		if !orphaned {
 			displaced = p.plan
@@ -504,12 +536,34 @@ func (s *Session) execExecute(st *Execute) (*Result, Timing, error) {
 	}
 	tm.Plan = time.Since(t0)
 	tExec := time.Now()
-	r, err := pl.exec(s, &execEnv{params: params})
+	r, err := pl.exec(s, &execEnv{params: params, ctx: ctx})
 	tm.Exec = time.Since(tExec)
 	if err == nil {
-		s.observe(st.String(), pl, r, tm)
+		s.observe(obsText, pl, r, tm)
 	}
 	return r, tm, err
+}
+
+// DescribePrepared reports a prepared statement's parameter count and
+// output column names (nil for statements that return no rows), the
+// metadata the extended-query protocol's Describe message needs for
+// ParameterDescription and RowDescription.
+func (s *Session) DescribePrepared(name string) (numParams int, cols []string, err error) {
+	s.mu.Lock()
+	p, ok := s.prepared[name]
+	var pl stmtPlan
+	if ok {
+		pl = p.plan
+		numParams = p.NumParams
+	}
+	s.mu.Unlock()
+	if !ok {
+		return 0, nil, execErrf("prepared statement %q does not exist", name)
+	}
+	if pl != nil {
+		cols = pl.columns()
+	}
+	return numParams, cols, nil
 }
 
 func (s *Session) execDeallocate(st *Deallocate) (*Result, error) {

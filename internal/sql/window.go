@@ -264,7 +264,7 @@ func (p *windowPlan) gatherBatch(s *Session, env *execEnv, input *engine.Table, 
 	states := make([]*winBatchState, nMorsels)
 	np, no := len(wb.partItems), len(wb.ordItems)
 	w := np + no
-	err := s.db.ForEachBatch(input, func(mi int, b engine.ColBatch) error {
+	err := s.db.ForEachBatchCtx(env.context(), input, func(mi int, b engine.ColBatch) error {
 		st := states[mi]
 		if st == nil {
 			st = &winBatchState{e: wb.prog.newEval(env)}
@@ -350,6 +350,8 @@ func (p *windowPlan) valid(db *engine.DB) bool { return p.src.valid(db) }
 
 func (p *windowPlan) release(db *engine.DB) { p.src.release(db) }
 
+func (p *windowPlan) columns() []string { return p.outNames }
+
 // windowRowOut is one emitted output row with its final sort keys.
 // partVals carries the partition's key values on the partition's first
 // row only (the default output order sorts partitions by value).
@@ -370,7 +372,7 @@ type windowState struct {
 }
 
 func (p *windowPlan) exec(s *Session, env *execEnv) (*Result, error) {
-	input, cleanup, err := p.src.acquire(s)
+	input, cleanup, err := p.src.acquire(s, env.context())
 	if err != nil {
 		return nil, err
 	}
@@ -397,7 +399,7 @@ func (p *windowPlan) exec(s *Session, env *execEnv) (*Result, error) {
 			return false // evaluation failed; stepErr already set
 		}
 		for i := range av {
-			c, err := compareValues(av[i], bv[i])
+			c, err := compareOrderKeys(av[i], bv[i])
 			if err != nil {
 				fail(err)
 				return false
@@ -574,7 +576,7 @@ func (p *windowPlan) exec(s *Session, env *execEnv) (*Result, error) {
 		if p.pred != nil {
 			var predErr atomic.Value
 			pred := enginePred(p.pred, env, &predErr)
-			staged, err := s.db.SelectIntoTemp("sql_window", input, pred, nil)
+			staged, err := s.db.SelectIntoTempCtx(env.context(), "sql_window", input, pred, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -611,7 +613,7 @@ func (p *windowPlan) exec(s *Session, env *execEnv) (*Result, error) {
 			return string(buf)
 		}
 		var rwErr error
-		parts, rwErr = s.db.RunWindow(input, spec, init, step)
+		parts, rwErr = s.db.RunWindowCtx(env.context(), input, spec, init, step)
 		if rwErr != nil {
 			return nil, rwErr
 		}
@@ -642,7 +644,7 @@ func (p *windowPlan) exec(s *Session, env *execEnv) (*Result, error) {
 	sort.Slice(partKeys, func(a, b int) bool {
 		av, bv := partValsOf(partKeys[a]), partValsOf(partKeys[b])
 		for i := 0; i < len(av) && i < len(bv); i++ {
-			c, err := compareValues(av[i], bv[i])
+			c, err := compareOrderKeys(av[i], bv[i])
 			if err != nil && sortErr == nil {
 				sortErr = err
 			}

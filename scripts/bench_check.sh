@@ -26,6 +26,11 @@
 # (default 2.0) faster than the boxed row-lane companions
 # TrainLogregrIGDRowLane / TrainSVMRowLane in the same run.
 #
+# The wire server is gated absolutely too: PGWireConcurrent (N TCP
+# connections, mixed simple reads, writes and extended-protocol EXECUTE
+# against one shared engine) keeps the serving path — protocol framing,
+# session pool, data latches — from silently regressing.
+#
 # Usage: scripts/bench_check.sh [benchtime] [max_ratio]
 #   benchtime defaults to 0.5s; max_ratio defaults to 1.25 (25% slack for
 #   shared-runner noise). MIN_SPEEDUP overrides the relative gate
@@ -47,6 +52,7 @@ GATED="SQL SQLParallel SQLJoinAgg SQLJoinAggCached SQLProjScan SQLLeftJoinAgg SQ
 COMPANIONS="SQLProjScanRowLane SQLLeftJoinAggRowLane"
 TRAIN_GATED="TrainLogregrIGD TrainSVM"
 TRAIN_COMPANIONS="TrainLogregrIGDRowLane TrainSVMRowLane"
+PGWIRE_GATED="PGWireConcurrent"
 
 pattern=$(echo "$GATED $COMPANIONS" | tr ' ' '|')
 out=$(go test -run '^$' -bench "BenchmarkSQLSelectAgg/^($pattern)\$" -benchtime "$BENCHTIME" .)
@@ -54,7 +60,10 @@ echo "$out"
 train_pattern=$(for n in $TRAIN_GATED $TRAIN_COMPANIONS; do printf 'Benchmark%s|' "$n"; done | sed 's/|$//')
 tout=$(go test -run '^$' -bench "^($train_pattern)\$" -benchtime "$BENCHTIME" .)
 echo "$tout"
-out=$(printf '%s\n%s\n' "$out" "$tout")
+wire_pattern=$(for n in $PGWIRE_GATED; do printf 'Benchmark%s|' "$n"; done | sed 's/|$//')
+wout=$(go test -run '^$' -bench "^($wire_pattern)\$" -benchtime "$BENCHTIME" .)
+echo "$wout"
+out=$(printf '%s\n%s\n%s\n' "$out" "$tout" "$wout")
 
 ns_of() {
   echo "$out" | awk -v bench="BenchmarkSQLSelectAgg/$1" -v flat="Benchmark$1" '
@@ -64,7 +73,7 @@ ns_of() {
 }
 
 fail=0
-for name in $GATED $TRAIN_GATED; do
+for name in $GATED $TRAIN_GATED $PGWIRE_GATED; do
   committed=$(grep -o "\"$name\": {\"ns_per_op\": [0-9]*" BENCH_sql.json | grep -o '[0-9]*$' || true)
   if [ -z "$committed" ]; then
     echo "bench_check: no committed $name ns_per_op in BENCH_sql.json" >&2

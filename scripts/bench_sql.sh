@@ -15,6 +15,8 @@ out=$(go test -run '^$' -bench BenchmarkSQLSelectAgg -benchmem -benchtime "$BENC
 echo "$out"
 tout=$(go test -run '^$' -bench '^BenchmarkTrain' -benchmem -benchtime "$BENCHTIME" .)
 echo "$tout"
+wout=$(go test -run '^$' -bench '^BenchmarkPGWire' -benchmem -benchtime "$BENCHTIME" .)
+echo "$wout"
 
 # Environment metadata, so committed numbers can be judged against the
 # machine that produced them (ns/op from a 2-core runner is not
@@ -23,7 +25,7 @@ go_version=$(go env GOVERSION)
 num_cpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
 gomaxprocs="${GOMAXPROCS:-$num_cpu}"
 
-printf '%s\n%s\n' "$out" "$tout" | awk -v benchtime="$BENCHTIME" \
+printf '%s\n%s\n%s\n' "$out" "$tout" "$wout" | awk -v benchtime="$BENCHTIME" \
   -v go_version="$go_version" -v num_cpu="$num_cpu" -v gomaxprocs="$gomaxprocs" '
   BEGIN {
     printf "{\n  \"benchmark\": \"BenchmarkSQLSelectAgg\",\n"
@@ -32,7 +34,7 @@ printf '%s\n%s\n' "$out" "$tout" | awk -v benchtime="$BENCHTIME" \
     printf "  \"results\": {\n"
     n = 0
   }
-  /^BenchmarkSQLSelectAgg\// || /^BenchmarkTrain/ {
+  /^BenchmarkSQLSelectAgg\// || /^BenchmarkTrain/ || /^BenchmarkPGWire/ {
     name = $1
     sub(/^BenchmarkSQLSelectAgg\//, "", name)
     sub(/^Benchmark/, "", name)
