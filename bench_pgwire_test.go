@@ -109,3 +109,91 @@ func BenchmarkPGWireConcurrent(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPGWirePredict measures end-to-end model-serving throughput:
+// concurrent wire clients scoring a catalog-persisted model through a
+// prepared statement whose threshold parameter travels in binary
+// float8. One op = one scoring round-trip, so ns/op is the QPS bound
+// for predict-over-pgwire on this box.
+func BenchmarkPGWirePredict(b *testing.B) {
+	const clients = 8
+
+	db := engine.Open(4)
+	tbl, err := db.CreateTable("pts", engine.Schema{
+		{Name: "y", Kind: engine.Float}, {Name: "x", Kind: engine.Vector},
+		{Name: "x1", Kind: engine.Float}, {Name: "x2", Kind: engine.Float},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchRows; i++ {
+		f1 := float64(i%97) / 97
+		f2 := float64(i%61) / 61
+		if err := tbl.Insert(f1+2*f2, []float64{f1, f2}, f1, f2); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	srv := pgwire.NewServer(db, pgwire.Config{Listen: "127.0.0.1:0", MaxSessions: clients + 2})
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	addr := srv.Addr().String()
+
+	conns := make([]*pgwire.Client, clients)
+	for i := range conns {
+		c, err := pgwire.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	// Train and persist once over the wire, then prepare the scoring
+	// statement on every connection (sessions are per-connection).
+	if _, err := conns[0].Query(`SELECT (madlib.linregr('m', y, x)).* FROM pts`); err != nil {
+		b.Fatal(err)
+	}
+	const score = `SELECT count(*) FROM pts WHERE madlib.predict('m', x1, x2) > $1`
+	for _, c := range conns {
+		if err := c.Prepare("score", score, []int32{pgwire.OidFloat8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var failed atomic.Value
+	per := b.N / clients
+	extra := b.N % clients
+	for w := 0; w < clients; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(c *pgwire.Client, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				r, err := c.ExecuteParams("score", []pgwire.WireParam{
+					pgwire.Float8Param(float64(i%3) / 2),
+				})
+				if err != nil {
+					failed.Store(err)
+					return
+				}
+				if len(r.Rows) != 1 {
+					failed.Store(fmt.Errorf("rows = %d", len(r.Rows)))
+					return
+				}
+			}
+		}(conns[w], n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := failed.Load(); err != nil {
+		b.Fatal(err)
+	}
+}

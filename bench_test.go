@@ -892,3 +892,62 @@ func mustParse(b *testing.B, query string) sqlfe.Statement {
 	}
 	return st
 }
+
+// --- Model-serving benchmarks (vectorized predict vs row lane) ---
+//
+// Both benchmarks score the same persisted model over the same table
+// through the same cached plan; the only difference is the execution
+// lane. scripts/bench_check.sh gates the same-run ratio at >= 2x.
+
+func predictBenchSession(b *testing.B) *sqlfe.Session {
+	b.Helper()
+	db := engine.Open(4)
+	tbl, err := db.CreateTable("pts", engine.Schema{
+		{Name: "y", Kind: engine.Float}, {Name: "x", Kind: engine.Vector},
+		{Name: "x1", Kind: engine.Float}, {Name: "x2", Kind: engine.Float},
+		{Name: "x3", Kind: engine.Float}, {Name: "x4", Kind: engine.Float},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchRows; i++ {
+		f1 := float64(i%97) / 97
+		f2 := float64(i%61) / 61
+		f3 := float64(i%43) / 43
+		f4 := float64(i%29) / 29
+		y := f1 + 2*f2 - f3 + 0.5*f4
+		if err := tbl.Insert(y, []float64{f1, f2, f3, f4}, f1, f2, f3, f4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sess := sqlfe.NewSession(db)
+	if _, err := sess.Query(`SELECT (madlib.linregr('m', y, x)).* FROM pts`); err != nil {
+		b.Fatal(err)
+	}
+	return sess
+}
+
+const predictBenchQuery = `SELECT count(*) FROM pts WHERE madlib.predict('m', x1, x2, x3, x4) > 1`
+
+func benchSQLPredict(b *testing.B, batch bool) {
+	sess := predictBenchSession(b)
+	sess.SetBatchExecution(batch)
+	// Warm the plan cache so iterations measure compiled scoring only.
+	if _, err := sess.Query(predictBenchQuery); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.Query(predictBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkSQLPredictBatch(b *testing.B)   { benchSQLPredict(b, true) }
+func BenchmarkSQLPredictRowLane(b *testing.B) { benchSQLPredict(b, false) }

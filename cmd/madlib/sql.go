@@ -12,6 +12,7 @@ import (
 
 	"madlib"
 	"madlib/internal/core"
+	"madlib/internal/model"
 )
 
 // runSQL implements `madlib sql`: an interactive REPL over the SQL
@@ -178,6 +179,8 @@ func (r *repl) metaCommand(cmd string) bool {
 		}
 	case "\\df":
 		r.listFunctions()
+	case "\\dm":
+		r.listModels()
 	case "\\stats":
 		r.showStats()
 	case "\\prepare":
@@ -197,6 +200,8 @@ func (r *repl) metaCommand(cmd string) bool {
                   (row counts and data versions)
   \d NAME         describe a table
   \df             list madlib.* SQL functions
+  \dm             list models persisted in madlib_models
+                  (train with a leading name: madlib.linregr('m', y, x))
   \prepare        list prepared statements
   \stats          show engine and session metric counters
                   (also queryable: SELECT * FROM madlib_stats_counters)
@@ -281,10 +286,27 @@ func (r *repl) listFunctions() {
 	res := &madlib.SQLResult{Cols: []string{"function", "kind", "description"}}
 	for _, f := range core.SQLFuncs() {
 		kind := "aggregate"
-		if f.Kind == core.SQLTableValued {
+		switch f.Kind {
+		case core.SQLTableValued:
 			kind = "table-valued"
+		case core.SQLScalar:
+			kind = "scalar"
 		}
 		res.Rows = append(res.Rows, []any{"madlib." + f.Signature, kind, f.Help})
+	}
+	fmt.Fprint(r.out, res.Format())
+}
+
+// listModels prints the madlib_models catalog the way \d prints tables.
+func (r *repl) listModels() {
+	models, err := model.List(r.db.Engine())
+	if err != nil {
+		fmt.Fprintf(r.errOut, "ERROR: %v\n", err)
+		return
+	}
+	res := &madlib.SQLResult{Cols: []string{"name", "kind", "features", "rows", "version", "trained_at"}}
+	for _, m := range models {
+		res.Rows = append(res.Rows, []any{m.Name, m.Kind, len(m.Coef), m.NumRows, m.Version, m.TrainedAt})
 	}
 	fmt.Fprint(r.out, res.Format())
 }

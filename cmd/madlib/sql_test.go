@@ -328,3 +328,30 @@ SELECT 2
 		t.Fatalf("stdout:\n%s\nwant:\n%s", stdout, want)
 	}
 }
+
+func TestSQLDmListsModels(t *testing.T) {
+	// Empty catalog: headers only, no error.
+	stdout, stderr, code := runSQLTest(t, "\\dm\n\\q\n")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "name") || !strings.Contains(stdout, "version") {
+		t.Fatalf("\\dm header missing:\n%s", stdout)
+	}
+
+	// Train with a leading model name, then \dm shows the catalog row
+	// and madlib.predict is listed as a scalar function.
+	in := "CREATE TABLE pts (y double precision, x double precision[]);\n" +
+		"INSERT INTO pts VALUES (3, ARRAY[1]), (6, ARRAY[2]), (9, ARRAY[3]);\n" +
+		"SELECT (madlib.linregr('m', y, x)).* FROM pts;\n" +
+		"\\dm\n\\df\n\\q\n"
+	stdout, stderr, code = runSQLTest(t, in)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+	for _, want := range []string{"m", "linregr", "madlib.predict", "scalar"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("\\dm/\\df output missing %q:\n%s", want, stdout)
+		}
+	}
+}

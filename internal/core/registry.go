@@ -84,6 +84,11 @@ const (
 	// SQLTableValued functions consume a whole input table and emit a
 	// result relation of their own (the driver-function methods).
 	SQLTableValued
+	// SQLScalar functions compute one value per row (madlib.predict).
+	// They are compiled directly by the SQL front-end's expression
+	// lowering; registration here only publishes the signature for \df
+	// and keeps the name out of the aggregate/table-valued dispatch.
+	SQLScalar
 )
 
 // ColumnArg marks a SQL function argument that referenced a column of the

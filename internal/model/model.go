@@ -1,0 +1,198 @@
+// Package model is the model catalog: fitted models persisted as rows
+// of an ordinary engine table (madlib_models), queryable like any other
+// table and shared by every session of one engine. This is the "models
+// as data" half of the train/serve loop — madlib.logregr('name', ...)
+// writes a row here, madlib.predict('name', features...) resolves it at
+// plan time and scores against the frozen coefficients.
+//
+// The engine has no row-level UPDATE or DELETE, so Save rewrites the
+// whole catalog table (drop + recreate with the replaced row). That is
+// exactly what the SQL plan cache wants: the *Table pointer changes on
+// every save, so any cached plan holding a resolved model fails its
+// validity check and replans against the new coefficients — the same
+// pointer-identity protocol ordinary table scans already use.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"madlib/internal/engine"
+)
+
+// TableName is the catalog table every persisted model lives in.
+const TableName = "madlib_models"
+
+// Model is one persisted fitted model.
+type Model struct {
+	Name string
+	// Kind identifies the trainer and thereby the link function:
+	// "logregr", "linregr", "svm", or "sgd:<loss>".
+	Kind string
+	// Coef is the fitted coefficient vector; predict takes exactly
+	// len(Coef) feature arguments.
+	Coef []float64
+	// NumRows is the number of training rows the model was fitted on.
+	NumRows int64
+	// TrainedAt is the UTC training timestamp (RFC 3339).
+	TrainedAt string
+	// Version starts at 1 and increments each time a model with the same
+	// name is saved over it.
+	Version int64
+}
+
+// CatalogSchema is the schema of the madlib_models table.
+func CatalogSchema() engine.Schema {
+	return engine.Schema{
+		{Name: "name", Kind: engine.String},
+		{Name: "kind", Kind: engine.String},
+		{Name: "coef", Kind: engine.Vector},
+		{Name: "dims", Kind: engine.Int},
+		{Name: "num_rows", Kind: engine.Int},
+		{Name: "trained_at", Kind: engine.String},
+		{Name: "version", Kind: engine.Int},
+	}
+}
+
+// saveMu serializes catalog rewrites: Save is read-modify-write over
+// the whole table, and concurrent wire sessions share one engine.
+var saveMu sync.Mutex
+
+// Save persists m, replacing any model of the same name (its Version
+// becomes old+1; new names start at 1). TrainedAt is stamped here when
+// empty. Returns the model as saved.
+func Save(db *engine.DB, m Model) (Model, error) {
+	if m.Name == "" {
+		return Model{}, fmt.Errorf("model name must not be empty")
+	}
+	if len(m.Coef) == 0 {
+		return Model{}, fmt.Errorf("model %q has no coefficients to persist", m.Name)
+	}
+	if m.TrainedAt == "" {
+		m.TrainedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	saveMu.Lock()
+	defer saveMu.Unlock()
+
+	existing, _, err := loadAll(db)
+	if err != nil {
+		return Model{}, err
+	}
+	m.Version = 1
+	kept := make([]Model, 0, len(existing)+1)
+	for _, e := range existing {
+		if e.Name == m.Name {
+			m.Version = e.Version + 1
+			continue
+		}
+		kept = append(kept, e)
+	}
+	m.Coef = append([]float64(nil), m.Coef...)
+	kept = append(kept, m)
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Name < kept[j].Name })
+
+	// Rewrite the catalog. Dropping only removes the catalog entry; plans
+	// still scanning the old table hold its pointer and finish safely.
+	if _, err := db.Table(TableName); err == nil {
+		if err := db.DropTable(TableName); err != nil {
+			return Model{}, err
+		}
+	}
+	t, err := db.CreateTable(TableName, CatalogSchema())
+	if err != nil {
+		return Model{}, err
+	}
+	for _, e := range kept {
+		if err := t.Insert(e.Name, e.Kind, e.Coef, int64(len(e.Coef)), e.NumRows, e.TrainedAt, e.Version); err != nil {
+			return Model{}, err
+		}
+	}
+	return m, nil
+}
+
+// Load resolves one model by name. It also returns the catalog table
+// binding and its version at resolution time, so a plan that froze the
+// model can detect any later catalog change (Save swaps the table
+// pointer; a direct INSERT bumps its version).
+func Load(db *engine.DB, name string) (Model, *engine.Table, int64, error) {
+	models, t, err := loadAll(db)
+	if err != nil {
+		return Model{}, nil, 0, err
+	}
+	if t == nil {
+		return Model{}, nil, 0, fmt.Errorf("unknown model %q (no models have been persisted)", name)
+	}
+	ver := t.Version()
+	for _, m := range models {
+		if m.Name == name {
+			return m, t, ver, nil
+		}
+	}
+	return Model{}, nil, 0, fmt.Errorf("unknown model %q", name)
+}
+
+// List returns every persisted model, sorted by name. A missing catalog
+// table is an empty list, not an error.
+func List(db *engine.DB) ([]Model, error) {
+	models, _, err := loadAll(db)
+	return models, err
+}
+
+// loadAll reads the catalog table; (nil, nil, nil) when it doesn't exist.
+func loadAll(db *engine.DB) ([]Model, *engine.Table, error) {
+	t, err := db.Table(TableName)
+	if err != nil {
+		return nil, nil, nil
+	}
+	var models []Model
+	for _, row := range db.Rows(t) {
+		m, err := fromRow(row)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s is corrupt: %w", TableName, err)
+		}
+		models = append(models, m)
+	}
+	sort.Slice(models, func(i, j int) bool { return models[i].Name < models[j].Name })
+	return models, t, nil
+}
+
+// fromRow decodes one catalog row. The table is ordinary SQL-visible
+// data, so a hand-written INSERT can produce any shape; decode
+// defensively instead of panicking on assertion.
+func fromRow(row []any) (Model, error) {
+	if len(row) != 7 {
+		return Model{}, fmt.Errorf("expected 7 columns, got %d", len(row))
+	}
+	name, ok1 := row[0].(string)
+	kind, ok2 := row[1].(string)
+	coef, ok3 := row[2].([]float64)
+	numRows, ok4 := row[4].(int64)
+	trainedAt, ok5 := row[5].(string)
+	version, ok6 := row[6].(int64)
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 {
+		return Model{}, fmt.Errorf("row has unexpected column types")
+	}
+	// Copy: storage lanes are shared with concurrent scans of the table.
+	coef = append([]float64(nil), coef...)
+	return Model{Name: name, Kind: kind, Coef: coef, NumRows: numRows, TrainedAt: trainedAt, Version: version}, nil
+}
+
+// Link returns the model kind's inverse link function — applied to the
+// dot product of coefficients and features — plus its display name.
+// Logistic models squash through the sigmoid; everything else (linear
+// regression, SVM decision values, hinge/least-squares SGD) scores the
+// raw linear response.
+func Link(kind string) (func(float64) float64, string) {
+	switch kind {
+	case "logregr", "sgd:logistic":
+		return sigmoid, "sigmoid"
+	default:
+		return identity, "identity"
+	}
+}
+
+func sigmoid(x float64) float64  { return 1.0 / (1.0 + math.Exp(-x)) }
+func identity(x float64) float64 { return x }

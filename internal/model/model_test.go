@@ -1,0 +1,116 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := engine.Open(2)
+	saved, err := Save(db, Model{Name: "m1", Kind: "logregr", Coef: []float64{0.5, -1.25, 3}, NumRows: 100})
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if saved.Version != 1 {
+		t.Fatalf("first save version = %d, want 1", saved.Version)
+	}
+	if saved.TrainedAt == "" {
+		t.Fatalf("Save did not stamp TrainedAt")
+	}
+	got, tbl, ver, err := Load(db, "m1")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if tbl == nil || ver != tbl.Version() {
+		t.Fatalf("Load table binding: tbl=%v ver=%d", tbl, ver)
+	}
+	if got.Kind != "logregr" || got.NumRows != 100 || len(got.Coef) != 3 {
+		t.Fatalf("Load mismatch: %+v", got)
+	}
+	for i, want := range []float64{0.5, -1.25, 3} {
+		if got.Coef[i] != want {
+			t.Fatalf("coef[%d] = %v, want %v", i, got.Coef[i], want)
+		}
+	}
+}
+
+func TestSaveOverwriteBumpsVersionAndTable(t *testing.T) {
+	db := engine.Open(2)
+	if _, err := Save(db, Model{Name: "m", Kind: "linregr", Coef: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	_, tbl1, _, _ := Load(db, "m")
+	saved, err := Save(db, Model{Name: "m", Kind: "linregr", Coef: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Version != 2 {
+		t.Fatalf("overwrite version = %d, want 2", saved.Version)
+	}
+	got, tbl2, _, err := Load(db, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Coef[0] != 2 {
+		t.Fatalf("overwrite not visible: coef = %v", got.Coef)
+	}
+	if tbl1 == tbl2 {
+		t.Fatalf("Save must swap the catalog table pointer so cached plans invalidate")
+	}
+}
+
+func TestSaveKeepsOtherModels(t *testing.T) {
+	db := engine.Open(2)
+	if _, err := Save(db, Model{Name: "b", Kind: "svm", Coef: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Save(db, Model{Name: "a", Kind: "logregr", Coef: []float64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	models, err := List(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 || models[0].Name != "a" || models[1].Name != "b" {
+		t.Fatalf("List = %+v", models)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	db := engine.Open(2)
+	if _, _, _, err := Load(db, "nope"); err == nil || !strings.Contains(err.Error(), `unknown model "nope"`) {
+		t.Fatalf("Load on empty catalog: %v", err)
+	}
+	if _, err := Save(db, Model{Name: "m", Kind: "svm", Coef: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Load(db, "nope"); err == nil || !strings.Contains(err.Error(), `unknown model "nope"`) {
+		t.Fatalf("Load unknown name: %v", err)
+	}
+	if _, err := Save(db, Model{Name: "", Kind: "svm", Coef: []float64{1}}); err == nil {
+		t.Fatalf("Save with empty name must fail")
+	}
+	if _, err := Save(db, Model{Name: "x", Kind: "svm"}); err == nil {
+		t.Fatalf("Save with no coefficients must fail")
+	}
+}
+
+func TestLink(t *testing.T) {
+	sig, name := Link("logregr")
+	if name != "sigmoid" || math.Abs(sig(0)-0.5) > 1e-15 {
+		t.Fatalf("logregr link: %s sig(0)=%v", name, sig(0))
+	}
+	if _, name := Link("sgd:logistic"); name != "sigmoid" {
+		t.Fatalf("sgd:logistic link = %s", name)
+	}
+	id, name := Link("linregr")
+	if name != "identity" || id(3.25) != 3.25 {
+		t.Fatalf("linregr link: %s", name)
+	}
+	if _, name := Link("sgd:hinge"); name != "identity" {
+		t.Fatalf("sgd:hinge link = %s", name)
+	}
+}

@@ -2,8 +2,10 @@ package pgwire
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"time"
 )
@@ -229,6 +231,69 @@ func (c *Client) Execute(name string, params []*string) (*ClientResult, error) {
 		}
 		m.int32(int32(len(*p)))
 		m.bytes([]byte(*p))
+	}
+	m.int16(0) // all results text
+	m.writeTo(c.w)
+	m = newMsg(msgDescribe)
+	m.byte('P')
+	m.cstring("")
+	m.writeTo(c.w)
+	m = newMsg(msgExecute)
+	m.cstring("")
+	m.int32(0)
+	m.writeTo(c.w)
+	c.sync()
+	return c.collect()
+}
+
+// WireParam is one Bind parameter with an explicit per-parameter wire
+// format, for exercising the binary-format path.
+type WireParam struct {
+	Binary bool
+	Data   []byte // raw wire bytes; nil = NULL
+}
+
+// TextParam builds a text-format parameter.
+func TextParam(s string) WireParam { return WireParam{Data: []byte(s)} }
+
+// Int8Param builds a binary-format int8 parameter (network byte order).
+func Int8Param(v int64) WireParam {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(v))
+	return WireParam{Binary: true, Data: b}
+}
+
+// Float8Param builds a binary-format float8 parameter (IEEE-754 bits in
+// network byte order).
+func Float8Param(v float64) WireParam {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, math.Float64bits(v))
+	return WireParam{Binary: true, Data: b}
+}
+
+// ExecuteParams is Execute with per-parameter format codes: each
+// parameter travels in the format its WireParam declares. Results stay
+// text.
+func (c *Client) ExecuteParams(name string, params []WireParam) (*ClientResult, error) {
+	m := newMsg(msgBind)
+	m.cstring("") // unnamed portal
+	m.cstring(name)
+	m.int16(int16(len(params)))
+	for _, p := range params {
+		if p.Binary {
+			m.int16(1)
+		} else {
+			m.int16(0)
+		}
+	}
+	m.int16(int16(len(params)))
+	for _, p := range params {
+		if p.Data == nil {
+			m.int32(-1)
+			continue
+		}
+		m.int32(int32(len(p.Data)))
+		m.bytes(p.Data)
 	}
 	m.int16(0) // all results text
 	m.writeTo(c.w)

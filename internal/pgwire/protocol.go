@@ -68,6 +68,18 @@ const (
 	oidFloat8Array = 1022
 )
 
+// Exported parameter-type OIDs for Client.Prepare callers (pg_type.oid);
+// declaring one of these enables binary-format Bind for that parameter.
+const (
+	OidBool   int32 = oidBool
+	OidInt2   int32 = oidInt2
+	OidInt4   int32 = oidInt4
+	OidInt8   int32 = oidInt8
+	OidText   int32 = oidText
+	OidFloat4 int32 = oidFloat4
+	OidFloat8 int32 = oidFloat8
+)
+
 // SQLSTATE codes the server emits.
 const (
 	codeSyntaxError       = "42601"

@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"strconv"
 	"strings"
@@ -778,10 +779,22 @@ func (c *conn) handleBind(body []byte) bool {
 		c.writeError(codeProtocolViolation, "malformed Bind", false)
 		return false
 	}
-	for _, f := range fmts {
-		if f != 0 && len(raw) > 0 {
-			c.writeError(codeProtocolViolation, "binary parameter format not supported", false)
-			return false
+	// Per-parameter format resolution, as the protocol specifies: zero
+	// codes means all-text, a single code applies to every parameter,
+	// otherwise one code per parameter.
+	if len(fmts) > 1 && len(fmts) != len(raw) {
+		c.writeError(codeProtocolViolation,
+			fmt.Sprintf("bind message has %d parameter formats but %d parameters", len(fmts), len(raw)), false)
+		return false
+	}
+	fmtFor := func(i int) int16 {
+		switch len(fmts) {
+		case 0:
+			return 0
+		case 1:
+			return fmts[0]
+		default:
+			return fmts[i]
 		}
 	}
 	ps, ok := c.prepared[stmtName]
@@ -799,7 +812,16 @@ func (c *conn) handleBind(body []byte) bool {
 		if i < len(ps.paramOIDs) {
 			oid = ps.paramOIDs[i]
 		}
-		v, err := decodeParam(string(rv), oid)
+		var v any
+		var err error
+		switch fmtFor(i) {
+		case 0:
+			v, err = decodeParam(string(rv), oid)
+		case 1:
+			v, err = decodeBinaryParam(rv, oid)
+		default:
+			err = fmt.Errorf("unknown format code %d", fmtFor(i))
+		}
 		if err != nil {
 			c.writeQueryError(fmt.Errorf("parameter $%d: %w", i+1, err))
 			return false
@@ -844,6 +866,53 @@ func decodeParam(s string, oid int32) (any, error) {
 	default:
 		// Unknown declared type: pass the text through.
 		return s, nil
+	}
+}
+
+// decodeBinaryParam converts one binary-format parameter (network byte
+// order, per the protocol) to an engine value. Only the fixed-width
+// scalar types have a binary representation here; other OIDs must be
+// sent in text format.
+func decodeBinaryParam(b []byte, oid int32) (any, error) {
+	want := func(n int, name string) error {
+		if len(b) != n {
+			return fmt.Errorf("binary %s must be %d bytes, got %d", name, n, len(b))
+		}
+		return nil
+	}
+	switch oid {
+	case oidInt2:
+		if err := want(2, "int2"); err != nil {
+			return nil, err
+		}
+		return int64(int16(binary.BigEndian.Uint16(b))), nil
+	case oidInt4:
+		if err := want(4, "int4"); err != nil {
+			return nil, err
+		}
+		return int64(int32(binary.BigEndian.Uint32(b))), nil
+	case oidInt8:
+		if err := want(8, "int8"); err != nil {
+			return nil, err
+		}
+		return int64(binary.BigEndian.Uint64(b)), nil
+	case oidFloat4:
+		if err := want(4, "float4"); err != nil {
+			return nil, err
+		}
+		return float64(math.Float32frombits(binary.BigEndian.Uint32(b))), nil
+	case oidFloat8:
+		if err := want(8, "float8"); err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+	case oidBool:
+		if err := want(1, "bool"); err != nil {
+			return nil, err
+		}
+		return b[0] != 0, nil
+	default:
+		return nil, fmt.Errorf("binary format not supported for parameter type OID %d", oid)
 	}
 }
 

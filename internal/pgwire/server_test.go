@@ -578,3 +578,111 @@ func TestMetricsCounters(t *testing.T) {
 		t.Fatalf("pgwire_queries missing from madlib_stats_counters: %q", cell(r, 0, 0))
 	}
 }
+
+func TestBinaryBindParams(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+
+	if _, err := c.Query(`CREATE TABLE kv (k bigint, v double precision)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepare("ins", `INSERT INTO kv VALUES ($1, $2)`, []int32{oidInt8, oidFloat8}); err != nil {
+		t.Fatal(err)
+	}
+
+	// int8 and float8 travel as raw network-order bytes; the float is
+	// chosen to be inexact in decimal so a text round-trip would differ
+	// if the server re-parsed rather than taking the IEEE-754 bits.
+	if _, err := c.ExecuteParams("ins", []WireParam{Int8Param(-7), Float8Param(0.1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Mixed formats in one Bind: binary int8, text float8.
+	if _, err := c.ExecuteParams("ins", []WireParam{Int8Param(8), TextParam("2.5")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Prepare("sel", `SELECT v FROM kv WHERE k = $1`, []int32{oidInt8}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.ExecuteParams("sel", []WireParam{Int8Param(-7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(r, 0, 0) != "0.1" {
+		t.Fatalf("binary float8 round trip = %q, want 0.1", cell(r, 0, 0))
+	}
+	if r, err = c.ExecuteParams("sel", []WireParam{Int8Param(8)}); err != nil || cell(r, 0, 0) != "2.5" {
+		t.Fatalf("mixed-format row = %v (err %v)", r, err)
+	}
+	// NULL in a binary-format position decodes to NULL before any codec
+	// runs.
+	if err := c.Prepare("echo", `SELECT $1`, []int32{oidFloat8}); err != nil {
+		t.Fatal(err)
+	}
+	if r, err = c.ExecuteParams("echo", []WireParam{{Binary: true}}); err != nil || len(r.Rows) != 1 || r.Rows[0][0] != nil {
+		t.Fatalf("binary NULL param rows = %v (err %v)", r, err)
+	}
+
+	// Wrong width is rejected with a clean error; connection survives.
+	if _, err := c.ExecuteParams("sel", []WireParam{{Binary: true, Data: []byte{1, 2, 3}}}); err == nil {
+		t.Fatal("want error for 3-byte binary int8")
+	} else if !strings.Contains(err.Error(), "8 bytes") {
+		t.Fatalf("error = %v", err)
+	}
+
+	// Binary format for a type with no binary codec is rejected.
+	if err := c.Prepare("selt", `SELECT count(*) FROM kv WHERE k = $1`, []int32{oidText}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteParams("selt", []WireParam{{Binary: true, Data: []byte("x")}}); err == nil {
+		t.Fatal("want error for binary text param")
+	} else if !strings.Contains(err.Error(), "binary format not supported") {
+		t.Fatalf("error = %v", err)
+	}
+
+	if _, err := c.Query(`SELECT 1`); err != nil {
+		t.Fatalf("connection unusable after binary-param errors: %v", err)
+	}
+}
+
+func TestPredictOverWire(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+
+	for _, q := range []string{
+		`CREATE TABLE pts (y double precision, x double precision[], x1 double precision)`,
+		`INSERT INTO pts VALUES (3, ARRAY[1], 1), (6, ARRAY[2], 2), (9, ARRAY[3], 3), (12, ARRAY[4], 4)`,
+	} {
+		if _, err := c.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Train and persist over the wire; the ack row carries the catalog
+	// metadata.
+	r, err := c.Query(`SELECT (madlib.linregr('m', y, x)).* FROM pts`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(r, 0, 0) != "m" || cell(r, 0, 1) != "linregr" {
+		t.Fatalf("persist ack = %v", r.Rows)
+	}
+
+	// Serve predictions through a prepared statement whose threshold
+	// arrives as a binary float8. The fit is y = 3x, so scores are
+	// ~{3, 6, 9, 12}.
+	if err := c.Prepare("score",
+		`SELECT count(*) FROM pts WHERE madlib.predict('m', x1) > $1`, []int32{oidFloat8}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		thresh float64
+		want   string
+	}{{0, "4"}, {5, "3"}, {10, "1"}, {100, "0"}} {
+		r, err := c.ExecuteParams("score", []WireParam{Float8Param(tc.thresh)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cell(r, 0, 0) != tc.want {
+			t.Fatalf("predict > %g: count = %q, want %s", tc.thresh, cell(r, 0, 0), tc.want)
+		}
+	}
+}

@@ -260,6 +260,11 @@ type compileCtx struct {
 	colIdx     map[string]int
 	nullable   []bool
 	matchedIdx int
+	// src is the plan source being compiled against, when there is one.
+	// It supplies the engine handle for plan-time madlib.predict model
+	// resolution and accumulates the resulting model dependencies; a nil
+	// src (TVF staging columns, INSERT values) rejects predict.
+	src *planSource
 }
 
 func newCompileCtx(schema engine.Schema) *compileCtx {
@@ -846,6 +851,12 @@ func compileFuncCall(x *FuncCall, cc *compileCtx) (*compiled, error) {
 	}
 	if isTableValuedCall(x) {
 		return nil, execErrf("table-valued function %s(...) is not allowed here", x.Name)
+	}
+	if x.Name == "predict" {
+		// Model scoring: resolved against the catalog at plan time, so it
+		// compiles before the generic argument lowering (the model name
+		// literal is consumed by resolution, not evaluated per row).
+		return compilePredictRow(x, cc)
 	}
 	args := make([]*compiled, len(x.Args))
 	for i, a := range x.Args {

@@ -92,6 +92,9 @@ type batchCompiler struct {
 	// plain tables.
 	nullable   []bool
 	matchedIdx int
+	// src mirrors compileCtx.src: the plan source (and thereby the engine
+	// handle plus accumulated model dependencies) for madlib.predict.
+	src *planSource
 }
 
 // batchProg records the scratch-slot footprint of a fully compiled batch
@@ -1256,6 +1259,9 @@ func batchParamCompare(op string, l *bcompiled, idx int, bc *batchCompiler) *bco
 }
 
 func compileBatchFuncCall(x *FuncCall, bc *batchCompiler) (*bcompiled, bool) {
+	if x.Name == "predict" && !x.Star && (x.Schema == "" || x.Schema == "madlib") {
+		return compileBatchPredict(x, bc)
+	}
 	if x.Schema != "" || x.Star || isAggregateCall(x) || isTableValuedCall(x) {
 		return nil, false
 	}

@@ -361,6 +361,34 @@
 // logs everything, and `madlib sql --slow-query-ms N` wires this up in
 // the REPL, where \stats prints the counters view).
 //
+// # Models as data
+//
+// Coefficient-vector trainers take a persist form: a leading string
+// argument names the model, and the fitted coefficients are written to
+// the madlib_models catalog table instead of returning the stats
+// relation —
+//
+//	SELECT (madlib.logregr('churn', y, x)).* FROM train_set;
+//	-- model | kind | dims | num_rows | version
+//
+// linregr, logregr, svm and sgd_train all persist (sgd_train's model
+// name precedes the loss; factorization refuses, having no coefficient
+// vector). madlib.predict('name', f1, ...) scores rows in any query
+// position with a FROM clause: the model is resolved once at plan
+// time via internal/model.Load, the plan embeds the coefficients and
+// a modelDep {catalog table pointer, version}, and planSource.valid
+// checks it alongside the table versions — retraining (or hand-editing
+// madlib_models, which is an ordinary table) invalidates every cached
+// plan that froze the old model. Scoring lowers onto the batch lane as
+// a fused dot-product kernel over float64 feature lanes with the
+// model's link function (sigmoid for logregr and sgd:logistic,
+// identity otherwise) applied per batch; when a feature expression has
+// no batch lowering, a compiled row closure runs the identical
+// float-op sequence, so the two lanes agree bitwise. EXPLAIN prints
+// each frozen model and its scoring lane (with the fallback reason),
+// EXPLAIN ANALYZE adds a rows-scored delta, and the predict_rows /
+// predict_batches counters land in the metrics registry.
+//
 // # Cancellation
 //
 // Every entry point has a context-threaded form — ExecContext,

@@ -489,10 +489,13 @@ func (pi *projItem) box(e *batchEval, b engine.ColBatch, sel selVec, rows [][]an
 // newSourceBatchCompiler builds the batch compiler for a plan source,
 // carrying the LEFT JOIN NULL-padding metadata when present.
 func newSourceBatchCompiler(ps *planSource) *batchCompiler {
+	bc := newBatchCompiler(ps.schema)
 	if ps.nullable != nil {
-		return newBatchCompilerNullable(ps.schema, ps.nullable, ps.matchedIdx)
+		bc.nullable = ps.nullable
+		bc.matchedIdx = ps.matchedIdx
 	}
-	return newBatchCompiler(ps.schema)
+	bc.src = ps
+	return bc
 }
 
 // sminmaxState is the batch lane's unboxed text min/max accumulator

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"madlib/internal/engine"
+	"madlib/internal/model"
 )
 
 // EXPLAIN renders the plan the session would run for a statement as a
@@ -55,6 +56,7 @@ func (s *Session) execExplain(st *Explain) (*Result, Timing, error) {
 		_, _ = Parse(st.Text)
 		parseD := time.Since(pt0)
 		scanned0 := s.db.RowsScanned()
+		scored0 := s.db.Metrics().Counter("predict_rows").Value()
 		tExec := time.Now()
 		r, err := pl.exec(s, nil)
 		execD := time.Since(tExec)
@@ -67,7 +69,11 @@ func (s *Session) execExplain(st *Explain) (*Result, Timing, error) {
 		}
 		lines = append(lines,
 			fmt.Sprintf("actual rows: %d", len(r.Rows)),
-			fmt.Sprintf("rows scanned: %d", s.db.RowsScanned()-scanned0),
+			fmt.Sprintf("rows scanned: %d", s.db.RowsScanned()-scanned0))
+		if len(planModelDeps(pl)) > 0 {
+			lines = append(lines, fmt.Sprintf("rows scored: %d", s.db.Metrics().Counter("predict_rows").Value()-scored0))
+		}
+		lines = append(lines,
 			fmt.Sprintf("Parse Time: %s", fmtMillis(parseD)),
 			fmt.Sprintf("Planning Time: %s", fmtMillis(planD)),
 			fmt.Sprintf("Execution Time: %s", fmtMillis(execD)),
@@ -102,6 +108,7 @@ func explainLines(s *Session, pl stmtPlan) []string {
 			lane = "batch (columnar projection)"
 		}
 		lines = append(lines, "  lane: "+lane)
+		lines = append(lines, predictLines(p.src, "  ")...)
 		if p.whereText != "" {
 			lines = append(lines, "  filter: "+p.whereText)
 		}
@@ -128,6 +135,7 @@ func explainLines(s *Session, pl stmtPlan) []string {
 			}
 		}
 		lines = append(lines, "  lane: "+lane)
+		lines = append(lines, predictLines(p.src, "  ")...)
 		if p.st.Having != nil {
 			lines = append(lines, "  having: "+p.st.Having.String())
 		}
@@ -148,8 +156,9 @@ func explainLines(s *Session, pl stmtPlan) []string {
 		}
 		lines = append(lines,
 			"  window functions: "+strings.Join(names, ", "),
-			"  lane: "+lane,
-			"  "+sourceTitle(s, p.src))
+			"  lane: "+lane)
+		lines = append(lines, predictLines(p.src, "  ")...)
+		lines = append(lines, "  "+sourceTitle(s, p.src))
 		if p.st.Where != nil {
 			lines = append(lines, "    filter: "+p.st.Where.String())
 		}
@@ -171,6 +180,41 @@ func explainLines(s *Session, pl stmtPlan) []string {
 		return []string{fmt.Sprintf("Insert on %s (%d rows)", p.name, len(p.rows))}
 	}
 	return []string{fmt.Sprintf("plan: %T", pl)}
+}
+
+// predictLines renders the models a plan froze at compile time and the
+// scoring lane each one landed on, with the fallback reason when the
+// batch kernel could not be built.
+func predictLines(ps *planSource, pad string) []string {
+	var lines []string
+	for _, dep := range ps.models {
+		_, link := model.Link(dep.m.Kind)
+		lines = append(lines, fmt.Sprintf("%spredict: model %q v%d (%s, %d features, link=%s)",
+			pad, dep.m.Name, dep.m.Version, dep.m.Kind, len(dep.m.Coef), link))
+		switch {
+		case dep.batch:
+			lines = append(lines, pad+"  scoring: batch kernel (fused dot product over feature lanes)")
+		case dep.reason != "":
+			lines = append(lines, pad+"  scoring: row fallback ("+dep.reason+")")
+		default:
+			lines = append(lines, pad+"  scoring: row fallback (batch lane not planned)")
+		}
+	}
+	return lines
+}
+
+// planModelDeps returns the model dependencies of a plan, if its shape
+// can carry any.
+func planModelDeps(pl stmtPlan) []*modelDep {
+	switch p := pl.(type) {
+	case *scanPlan:
+		return p.src.models
+	case *aggPlan:
+		return p.src.models
+	case *windowPlan:
+		return p.src.models
+	}
+	return nil
 }
 
 // sourceTitle is a planSource's operator line: a sequential scan, a hash

@@ -16,6 +16,7 @@ import (
 	"madlib/internal/lda"
 	"madlib/internal/linregr"
 	"madlib/internal/logregr"
+	"madlib/internal/model"
 	"madlib/internal/profile"
 	"madlib/internal/quantile"
 	"madlib/internal/sketch"
@@ -32,15 +33,20 @@ func init() {
 	for _, f := range []core.SQLFunc{
 		{
 			Name: "linregr", Kind: core.SQLTableValued,
-			Signature: "linregr(y, x)",
-			Help:      "ordinary-least-squares linear regression with inference (§4.1)",
+			Signature: "linregr(['model',] y, x)",
+			Help:      "ordinary-least-squares linear regression with inference (§4.1); leading name persists the model",
 			Invoke:    invokeLinregr,
 		},
 		{
 			Name: "logregr", Kind: core.SQLTableValued,
-			Signature: "logregr(y, x [, solver [, max_iter [, tolerance]]])",
-			Help:      "binary logistic regression; solver irls|cg|igd (§4.2)",
+			Signature: "logregr(['model',] y, x [, solver [, max_iter [, tolerance]]])",
+			Help:      "binary logistic regression; solver irls|cg|igd (§4.2); leading name persists the model",
 			Invoke:    invokeLogregr,
+		},
+		{
+			Name: "predict", Kind: core.SQLScalar,
+			Signature: "predict('model', f1, f2, ...)",
+			Help:      "score rows against a model persisted in madlib_models (compiled + vectorized; dot product through the model's link function)",
 		},
 		{
 			Name: "kmeans", Kind: core.SQLTableValued,
@@ -62,14 +68,14 @@ func init() {
 		},
 		{
 			Name: "svm", Kind: core.SQLTableValued,
-			Signature: "svm(y, x [, mode])",
-			Help:      "linear SVM; mode classification|regression|novelty",
+			Signature: "svm(['model',] y, x [, mode])",
+			Help:      "linear SVM; mode classification|regression|novelty; leading name persists the model",
 			Invoke:    invokeSVM,
 		},
 		{
 			Name: "sgd_train", Kind: core.SQLTableValued,
-			Signature: "sgd_train(loss, y, x [, epochs [, step [, seed]]])",
-			Help:      "unified IGD trainer; loss logistic|hinge|least_squares, or sgd_train('factorization', i, j, v, rank, ...)",
+			Signature: "sgd_train(['model',] loss, y, x [, epochs [, step [, seed]]])",
+			Help:      "unified IGD trainer; loss logistic|hinge|least_squares, or sgd_train('factorization', i, j, v, rank, ...); leading name persists the model",
 			Invoke:    invokeSGDTrain,
 		},
 		{
@@ -466,7 +472,40 @@ func strArg(fn string, args []any, i int) (string, error) {
 
 // Table-valued bindings.
 
+// persistModelName detects a trainer's persist call form — a leading
+// string argument naming the model — and splits the name off. The
+// normal forms of linregr/logregr/svm start with a column reference, so
+// a leading plain string is unambiguous. (sgd_train, whose normal form
+// starts with the loss string, detects the two-leading-strings shape
+// inline instead.)
+func persistModelName(args []any) (string, []any, bool) {
+	if len(args) >= 2 {
+		if s, ok := args[0].(string); ok {
+			return s, args[1:], true
+		}
+	}
+	return "", args, false
+}
+
+// persistResult writes the fitted model into the madlib_models catalog
+// and returns the acknowledgment relation of the persist call form.
+func persistResult(db *engine.DB, m model.Model) (engine.Schema, [][]any, error) {
+	saved, err := model.Save(db, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := engine.Schema{
+		{Name: "model", Kind: engine.String},
+		{Name: "kind", Kind: engine.String},
+		{Name: "dims", Kind: engine.Int},
+		{Name: "num_rows", Kind: engine.Int},
+		{Name: "version", Kind: engine.Int},
+	}
+	return out, [][]any{{saved.Name, saved.Kind, int64(len(saved.Coef)), saved.NumRows, saved.Version}}, nil
+}
+
 func invokeLinregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	modelName, args, persist := persistModelName(args)
 	if err := wantArgs("linregr", args, 2, 2); err != nil {
 		return nil, nil, err
 	}
@@ -483,6 +522,9 @@ func invokeLinregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [
 	if err != nil {
 		return nil, nil, err
 	}
+	if persist {
+		return persistResult(db, model.Model{Name: modelName, Kind: "linregr", Coef: res.Coef, NumRows: t.Count()})
+	}
 	out := engine.Schema{
 		{Name: "coef", Kind: engine.Vector},
 		{Name: "r2", Kind: engine.Float},
@@ -496,6 +538,7 @@ func invokeLinregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [
 }
 
 func invokeLogregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	modelName, args, persist := persistModelName(args)
 	if err := wantArgs("logregr", args, 2, 5); err != nil {
 		return nil, nil, err
 	}
@@ -540,6 +583,9 @@ func invokeLogregr(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [
 	res, err := logregr.Run(db, t, y, x, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if persist {
+		return persistResult(db, model.Model{Name: modelName, Kind: "logregr", Coef: res.Coef, NumRows: t.Count()})
 	}
 	out := engine.Schema{
 		{Name: "coef", Kind: engine.Vector},
@@ -645,6 +691,7 @@ func invokeC45(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]a
 }
 
 func invokeSVM(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	modelName, args, persist := persistModelName(args)
 	if err := wantArgs("svm", args, 2, 3); err != nil {
 		return nil, nil, err
 	}
@@ -678,6 +725,9 @@ func invokeSVM(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]a
 	if err != nil {
 		return nil, nil, err
 	}
+	if persist {
+		return persistResult(db, model.Model{Name: modelName, Kind: "svm", Coef: m.Weights, NumRows: m.NumRows})
+	}
 	loss := 0.0
 	if len(m.LossHistory) > 0 {
 		loss = m.LossHistory[len(m.LossHistory)-1]
@@ -708,6 +758,17 @@ func vectorColWidth(t *engine.Table, col int) int {
 //	sgd_train('logistic'|'hinge'|'least_squares', y, x [, epochs [, step [, seed]]])
 //	sgd_train('factorization', i, j, v, rank [, epochs [, step [, seed]]])
 func invokeSGDTrain(db *engine.DB, t *engine.Table, args []any) (engine.Schema, [][]any, error) {
+	// Persist form: the normal form already leads with the loss string,
+	// so the model name is detected as TWO leading strings.
+	var modelName string
+	persist := false
+	if len(args) >= 2 {
+		if s0, ok0 := args[0].(string); ok0 {
+			if _, ok1 := args[1].(string); ok1 {
+				modelName, args, persist = s0, args[1:], true
+			}
+		}
+	}
 	if err := wantArgs("sgd_train", args, 3, 8); err != nil {
 		return nil, nil, err
 	}
@@ -716,6 +777,9 @@ func invokeSGDTrain(db *engine.DB, t *engine.Table, args []any) (engine.Schema, 
 		return nil, nil, err
 	}
 	lname := strings.ToLower(lossName)
+	if persist && lname == "factorization" {
+		return nil, nil, fmt.Errorf("sgd_train: a factorization model is not a coefficient vector and cannot be persisted for predict")
+	}
 	schema := t.Schema()
 	var feat igd.Features
 	var loss igd.Loss
@@ -817,6 +881,9 @@ func invokeSGDTrain(db *engine.DB, t *engine.Table, args []any) (engine.Schema, 
 	res, err := igd.Train(db, t, feat, loss, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if persist {
+		return persistResult(db, model.Model{Name: modelName, Kind: "sgd:" + lname, Coef: res.Weights, NumRows: res.NumRows})
 	}
 	final := 0.0
 	if len(res.LossHistory) > 0 {

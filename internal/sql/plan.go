@@ -420,6 +420,11 @@ func evalScalarFunc(x *FuncCall, ctx *evalCtx) (any, error) {
 	if isAggregateCall(x) {
 		return nil, execErrf("aggregate function %s(...) is not allowed here", x.Name)
 	}
+	if x.Name == "predict" {
+		// The interpreter has no engine handle to resolve models against;
+		// scoring is a compiled path only.
+		return nil, execErrf("madlib.predict requires a FROM clause (models are resolved when compiling a table scan)")
+	}
 	args := make([]any, len(x.Args))
 	for i, a := range x.Args {
 		v, err := evalExpr(a, ctx)

@@ -1,0 +1,355 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"madlib/internal/engine"
+)
+
+// newPredictDB builds a feature table with unrolled scalar feature
+// columns (plus the vector column the trainers consume) spread over
+// enough segments that batch scoring runs morsel-parallel.
+func newPredictDB(t testing.TB, rows int) *engine.DB {
+	t.Helper()
+	db := engine.Open(4)
+	tbl, err := db.CreateTable("pts", engine.Schema{
+		{Name: "id", Kind: engine.Int},
+		{Name: "y", Kind: engine.Float},
+		{Name: "x", Kind: engine.Vector},
+		{Name: "x1", Kind: engine.Float},
+		{Name: "x2", Kind: engine.Float},
+		{Name: "x3", Kind: engine.Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < rows; i++ {
+		x1 := rng.NormFloat64()
+		x2 := rng.NormFloat64()
+		x3 := rng.NormFloat64()
+		// Draw labels from the logistic probability so the classes
+		// overlap — perfectly separable data makes IRLS diverge.
+		y := 0.0
+		if rng.Float64() < 1.0/(1.0+math.Exp(-(x1+2*x2-x3))) {
+			y = 1.0
+		}
+		if err := tbl.Insert(int64(i), y, []float64{x1, x2, x3}, x1, x2, x3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func trainModel(t testing.TB, s *Session, stmt string) {
+	t.Helper()
+	if _, err := s.Query(stmt); err != nil {
+		t.Fatalf("train %s: %v", stmt, err)
+	}
+}
+
+// TestPredictBatchRowParity scores the same table on both lanes under
+// GOMAXPROCS=4 and demands bit-identical results: the batch kernel
+// accumulates coef[i]*feature_i in the row lane's argument order and
+// applies the same link function, so not even the last ulp may differ.
+func TestPredictBatchRowParity(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	db := newPredictDB(t, 4000)
+	batchSess := NewSession(db)
+	rowSess := NewSession(db)
+	rowSess.SetBatchExecution(false)
+	trainModel(t, batchSess, `SELECT (madlib.logregr('lm', y, x)).* FROM pts`)
+	trainModel(t, batchSess, `SELECT (madlib.linregr('lin', y, x)).* FROM pts`)
+	trainModel(t, batchSess, `SELECT (madlib.svm('sv', y, x)).* FROM pts`)
+	trainModel(t, batchSess, `SELECT (madlib.sgd_train('sg', 'logistic', y, x, 3, 0.1, 42)).* FROM pts`)
+
+	queries := []string{
+		`SELECT id, madlib.predict('lm', x1, x2, x3) FROM pts ORDER BY id`,
+		`SELECT id, madlib.predict('lin', x1, x2, x3) FROM pts ORDER BY id`,
+		`SELECT id, madlib.predict('sv', x1, x2, x3) FROM pts ORDER BY id`,
+		`SELECT id, madlib.predict('sg', x1, x2, x3) FROM pts ORDER BY id`,
+		// predict inside WHERE and aggregates, and over expressions.
+		`SELECT count(*) FROM pts WHERE madlib.predict('lm', x1, x2, x3) > 0.5`,
+		`SELECT sum(madlib.predict('lin', x1, x2, x3)) FROM pts`,
+		`SELECT avg(madlib.predict('lm', x1 * 2, x2 - 1, abs(x3))) FROM pts`,
+	}
+	for _, q := range queries {
+		br, err := batchSess.Query(q)
+		if err != nil {
+			t.Fatalf("batch %s: %v", q, err)
+		}
+		rr, err := rowSess.Query(q)
+		if err != nil {
+			t.Fatalf("row %s: %v", q, err)
+		}
+		if len(br.Rows) != len(rr.Rows) {
+			t.Fatalf("%s: batch %d rows, row %d rows", q, len(br.Rows), len(rr.Rows))
+		}
+		for i := range br.Rows {
+			for j := range br.Rows[i] {
+				bv, rv := br.Rows[i][j], rr.Rows[i][j]
+				bf, bok := bv.(float64)
+				rf, rok := rv.(float64)
+				if bok && rok {
+					if math.Float64bits(bf) != math.Float64bits(rf) {
+						t.Fatalf("%s row %d col %d: batch %v (%x) vs row %v (%x)",
+							q, i, j, bf, math.Float64bits(bf), rf, math.Float64bits(rf))
+					}
+					continue
+				}
+				if fmt.Sprint(bv) != fmt.Sprint(rv) {
+					t.Fatalf("%s row %d col %d: batch %v vs row %v", q, i, j, bv, rv)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictScoresMatchModel checks the scores against a hand-computed
+// dot product + sigmoid of the persisted coefficients.
+func TestPredictScoresMatchModel(t *testing.T) {
+	db := newPredictDB(t, 500)
+	s := NewSession(db)
+	trainModel(t, s, `SELECT (madlib.logregr('m', y, x)).* FROM pts`)
+	coefRes, err := s.Query(`SELECT coef FROM madlib_models WHERE name = 'm'`)
+	if err != nil || len(coefRes.Rows) != 1 {
+		t.Fatalf("model row: %v %v", coefRes, err)
+	}
+	coef := coefRes.Rows[0][0].([]float64)
+	res, err := s.Query(`SELECT x1, x2, x3, madlib.predict('m', x1, x2, x3) FROM pts ORDER BY id LIMIT 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.Rows {
+		z := coef[0]*row[0].(float64) + coef[1]*row[1].(float64) + coef[2]*row[2].(float64)
+		want := 1.0 / (1.0 + math.Exp(-z))
+		if got := row[3].(float64); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("row %d: predict = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestPredictPlanInvalidation retrains a model under the same name and
+// checks that a cached plan (same query text) picks up the new
+// coefficients on its next execution — the table-version protocol
+// extended to models.
+func TestPredictPlanInvalidation(t *testing.T) {
+	db := newPredictDB(t, 300)
+	s := NewSession(db)
+	trainModel(t, s, `SELECT (madlib.logregr('m', y, x)).* FROM pts`)
+	q := `SELECT sum(madlib.predict('m', x1, x2, x3)) FROM pts`
+	before, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached execution while the model is unchanged must reuse the plan.
+	hits0 := db.Metrics().Counter("sql_plan_cache_hits").Value()
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if db.Metrics().Counter("sql_plan_cache_hits").Value() == hits0 {
+		t.Fatalf("second execution did not hit the plan cache")
+	}
+	// Overwrite with a different trainer: scores must change.
+	trainModel(t, s, `SELECT (madlib.linregr('m', y, x)).* FROM pts`)
+	after, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := before.Rows[0][0].(float64)
+	a := after.Rows[0][0].(float64)
+	if math.Float64bits(a) == math.Float64bits(b) {
+		t.Fatalf("cached plan kept stale model: before %v after %v", b, a)
+	}
+	// A prepared statement revalidates the same way.
+	if _, err := s.Exec(`PREPARE sc AS SELECT sum(madlib.predict('m', x1, x2, x3)) FROM pts`); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := s.Query(`EXECUTE sc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainModel(t, s, `SELECT (madlib.svm('m', y, x)).* FROM pts`)
+	p2, err := s.Query(`EXECUTE sc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(p1.Rows[0][0].(float64)) == math.Float64bits(p2.Rows[0][0].(float64)) {
+		t.Fatalf("prepared plan kept stale model")
+	}
+}
+
+// TestPredictCTAS materializes scores morsel-parallel into a new table.
+func TestPredictCTAS(t *testing.T) {
+	db := newPredictDB(t, 400)
+	s := NewSession(db)
+	trainModel(t, s, `SELECT (madlib.logregr('m', y, x)).* FROM pts`)
+	if _, err := s.Exec(`CREATE TABLE scores AS SELECT id, madlib.predict('m', x1, x2, x3) AS p FROM pts`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`SELECT count(*), min(p), max(p) FROM scores`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 400 {
+		t.Fatalf("scores rows = %v", res.Rows[0][0])
+	}
+	lo, hi := res.Rows[0][1].(float64), res.Rows[0][2].(float64)
+	if lo < 0 || hi > 1 || lo >= hi {
+		t.Fatalf("sigmoid scores out of range: [%v, %v]", lo, hi)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	db := newPredictDB(t, 100)
+	s := NewSession(db)
+	cases := []struct{ q, want string }{
+		{`SELECT madlib.predict('nope', x1) FROM pts`, `unknown model "nope"`},
+		{`SELECT madlib.predict(x1, x2) FROM pts`, "must be a string literal"},
+		{`SELECT madlib.predict('m') FROM pts`, "at least one feature"},
+		{`SELECT madlib.predict('m', 1, 2)`, "requires a FROM clause"},
+	}
+	for _, c := range cases {
+		if _, err := s.Query(c.q); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want %q", c.q, err, c.want)
+		}
+	}
+	trainModel(t, s, `SELECT (madlib.logregr('m', y, x)).* FROM pts`)
+	cases = []struct{ q, want string }{
+		{`SELECT madlib.predict('m', x1) FROM pts`, "scores 3 feature(s), got 1"},
+		{`SELECT madlib.predict('m', x1, x2, x) FROM pts`, "not numeric"},
+		{`PREPARE p1 AS SELECT madlib.predict($1, x1, x2, x3) FROM pts`, "must be a string literal"},
+	}
+	for _, c := range cases {
+		var err error
+		if strings.HasPrefix(c.q, "PREPARE") {
+			_, err = s.Exec(c.q)
+		} else {
+			_, err = s.Query(c.q)
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want %q", c.q, err, c.want)
+		}
+	}
+}
+
+// TestPredictMetrics: the predict_rows counter reports rows scored on
+// either lane; predict_batches ticks only on the batch lane.
+func TestPredictMetrics(t *testing.T) {
+	db := newPredictDB(t, 256)
+	s := NewSession(db)
+	trainModel(t, s, `SELECT (madlib.logregr('m', y, x)).* FROM pts`)
+	rows0 := db.Metrics().Counter("predict_rows").Value()
+	batches0 := db.Metrics().Counter("predict_batches").Value()
+	if _, err := s.Query(`SELECT sum(madlib.predict('m', x1, x2, x3)) FROM pts`); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Metrics().Counter("predict_rows").Value() - rows0; got != 256 {
+		t.Fatalf("predict_rows delta = %d, want 256", got)
+	}
+	if db.Metrics().Counter("predict_batches").Value() == batches0 {
+		t.Fatalf("batch scoring did not tick predict_batches")
+	}
+	rs := NewSession(db)
+	rs.SetBatchExecution(false)
+	rows1 := db.Metrics().Counter("predict_rows").Value()
+	batches1 := db.Metrics().Counter("predict_batches").Value()
+	if _, err := rs.Query(`SELECT sum(madlib.predict('m', x1, x2, x3)) FROM pts`); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Metrics().Counter("predict_rows").Value() - rows1; got != 256 {
+		t.Fatalf("row-lane predict_rows delta = %d, want 256", got)
+	}
+	if db.Metrics().Counter("predict_batches").Value() != batches1 {
+		t.Fatalf("row lane must not tick predict_batches")
+	}
+}
+
+// TestPredictExplain: EXPLAIN names the frozen model and scoring lane;
+// EXPLAIN ANALYZE adds the rows-scored count; the row fallback carries
+// its reason.
+func TestPredictExplain(t *testing.T) {
+	db := newPredictDB(t, 300)
+	s := NewSession(db)
+	trainModel(t, s, `SELECT (madlib.logregr('m', y, x)).* FROM pts`)
+	explain := func(q string) string {
+		res, err := s.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		var b strings.Builder
+		for _, row := range res.Rows {
+			b.WriteString(row[0].(string))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	out := explain(`EXPLAIN SELECT id, madlib.predict('m', x1, x2, x3) FROM pts`)
+	for _, want := range []string{`predict: model "m" v1 (logregr, 3 features, link=sigmoid)`, "scoring: batch kernel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+	out = explain(`EXPLAIN ANALYZE SELECT sum(madlib.predict('m', x1, x2, x3)) FROM pts`)
+	if !strings.Contains(out, "rows scored: 300") {
+		t.Fatalf("EXPLAIN ANALYZE missing rows scored:\n%s", out)
+	}
+	// A $n feature has no batch lowering; the reason shows up.
+	if _, err := s.Exec(`PREPARE pe AS SELECT madlib.predict('m', x1, x2, $1) FROM pts`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(`EXECUTE pe(0.5)`); err != nil {
+		t.Fatal(err)
+	}
+	rs := NewSession(db)
+	rs.SetBatchExecution(false)
+	res, err := rs.Query(`EXPLAIN SELECT madlib.predict('m', x1, x2, x3) FROM pts`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.WriteString(row[0].(string) + "\n")
+	}
+	if !strings.Contains(b.String(), "scoring: row fallback") {
+		t.Fatalf("row-lane EXPLAIN missing fallback line:\n%s", b.String())
+	}
+}
+
+// TestPredictOverJoin scores features coming through a join, including
+// the NULL-padded side of a LEFT JOIN (NULL feature in, NULL score out).
+func TestPredictOverJoin(t *testing.T) {
+	db := newPredictDB(t, 200)
+	s := NewSession(db)
+	trainModel(t, s, `SELECT (madlib.logregr('m', y, x)).* FROM pts`)
+	if _, err := s.Exec(`CREATE TABLE extra AS SELECT id, x1 AS e1 FROM pts WHERE id < 100`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`SELECT count(*) FROM pts JOIN extra ON pts.id = extra.id WHERE madlib.predict('m', e1, x2, x3) >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 100 {
+		t.Fatalf("join predicted rows = %v, want 100", res.Rows[0][0])
+	}
+	// LEFT JOIN: unmatched rows have NULL e1, so the score is NULL and
+	// NULL >= 0 is not true.
+	left, err := s.Query(`SELECT madlib.predict('m', e1, x2, x3) AS sc FROM pts LEFT JOIN extra ON pts.id = extra.id ORDER BY pts.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nulls := 0
+	for _, row := range left.Rows {
+		if row[0] == nil {
+			nulls++
+		}
+	}
+	if nulls != 100 {
+		t.Fatalf("LEFT JOIN NULL scores = %d, want 100", nulls)
+	}
+}

@@ -43,6 +43,13 @@ type planSource struct {
 	// catalog table, so the plan is never stale and the ordinary scan
 	// machinery runs unchanged over live engine statistics.
 	virtual bool
+
+	// db is the engine the source was resolved against; compilation uses
+	// it to resolve madlib.predict model names at plan time.
+	db *engine.DB
+	// models are the predict models this plan froze at compile time; the
+	// plan is stale as soon as any of them changes in the catalog.
+	models []*modelDep
 }
 
 // joinSource carries the resolved two-table equi-join, plus the plan's
@@ -74,6 +81,11 @@ type joinSource struct {
 // valid reports whether every table binding of the source is still
 // current, so cached plans over joins revalidate both sides.
 func (ps *planSource) valid(db *engine.DB) bool {
+	for _, dep := range ps.models {
+		if !dep.valid(db) {
+			return false
+		}
+	}
 	if ps.virtual {
 		// System views carry no catalog bindings; their schema is fixed.
 		return true
@@ -186,6 +198,7 @@ func (ps *planSource) newCompileCtx() *compileCtx {
 	cc := newCompileCtx(ps.schema)
 	cc.nullable = ps.nullable
 	cc.matchedIdx = ps.matchedIdx
+	cc.src = ps
 	return cc
 }
 
@@ -324,7 +337,7 @@ func (s *Session) resolveSelect(st *Select) (*planSource, *Select, error) {
 		}
 		return nil, nil, err
 	}
-	ps := &planSource{matchedIdx: -1}
+	ps := &planSource{matchedIdx: -1, db: s.db}
 	sc := &scope{
 		quals:    map[string]map[string]string{},
 		qualCols: map[string][]string{},
@@ -428,6 +441,7 @@ func (s *Session) resolveSystemView(st *Select, schema engine.Schema) (*planSour
 		schema:     schema,
 		visible:    len(schema),
 		virtual:    true,
+		db:         s.db,
 	}
 	sc := &scope{
 		quals:    map[string]map[string]string{},

@@ -29,7 +29,13 @@
 # The wire server is gated absolutely too: PGWireConcurrent (N TCP
 # connections, mixed simple reads, writes and extended-protocol EXECUTE
 # against one shared engine) keeps the serving path — protocol framing,
-# session pool, data latches — from silently regressing.
+# session pool, data latches — from silently regressing, and
+# PGWirePredict does the same for model scoring over the wire.
+#
+# Model serving is gated like training: SQLPredictBatch runs an
+# absolute gate, and the vectorized scoring kernel must stay at least
+# MIN_SPEEDUP_TRAIN times faster than SQLPredictRowLane in the same
+# run.
 #
 # Usage: scripts/bench_check.sh [benchtime] [max_ratio]
 #   benchtime defaults to 0.5s; max_ratio defaults to 1.25 (25% slack for
@@ -52,7 +58,9 @@ GATED="SQL SQLParallel SQLJoinAgg SQLJoinAggCached SQLProjScan SQLLeftJoinAgg SQ
 COMPANIONS="SQLProjScanRowLane SQLLeftJoinAggRowLane"
 TRAIN_GATED="TrainLogregrIGD TrainSVM"
 TRAIN_COMPANIONS="TrainLogregrIGDRowLane TrainSVMRowLane"
-PGWIRE_GATED="PGWireConcurrent"
+PGWIRE_GATED="PGWireConcurrent PGWirePredict"
+PREDICT_GATED="SQLPredictBatch"
+PREDICT_COMPANIONS="SQLPredictRowLane"
 
 pattern=$(echo "$GATED $COMPANIONS" | tr ' ' '|')
 out=$(go test -run '^$' -bench "BenchmarkSQLSelectAgg/^($pattern)\$" -benchtime "$BENCHTIME" .)
@@ -63,7 +71,10 @@ echo "$tout"
 wire_pattern=$(for n in $PGWIRE_GATED; do printf 'Benchmark%s|' "$n"; done | sed 's/|$//')
 wout=$(go test -run '^$' -bench "^($wire_pattern)\$" -benchtime "$BENCHTIME" .)
 echo "$wout"
-out=$(printf '%s\n%s\n%s\n' "$out" "$tout" "$wout")
+predict_pattern=$(for n in $PREDICT_GATED $PREDICT_COMPANIONS; do printf 'Benchmark%s|' "$n"; done | sed 's/|$//')
+pout=$(go test -run '^$' -bench "^($predict_pattern)\$" -benchtime "$BENCHTIME" .)
+echo "$pout"
+out=$(printf '%s\n%s\n%s\n%s\n' "$out" "$tout" "$wout" "$pout")
 
 ns_of() {
   echo "$out" | awk -v bench="BenchmarkSQLSelectAgg/$1" -v flat="Benchmark$1" '
@@ -73,7 +84,7 @@ ns_of() {
 }
 
 fail=0
-for name in $GATED $TRAIN_GATED $PGWIRE_GATED; do
+for name in $GATED $TRAIN_GATED $PGWIRE_GATED $PREDICT_GATED; do
   committed=$(grep -o "\"$name\": {\"ns_per_op\": [0-9]*" BENCH_sql.json | grep -o '[0-9]*$' || true)
   if [ -z "$committed" ]; then
     echo "bench_check: no committed $name ns_per_op in BENCH_sql.json" >&2
@@ -116,7 +127,8 @@ for pair in \
   "SQLProjScan SQLProjScanRowLane $MIN_SPEEDUP" \
   "SQLLeftJoinAgg SQLLeftJoinAggRowLane $MIN_SPEEDUP" \
   "TrainLogregrIGD TrainLogregrIGDRowLane $MIN_SPEEDUP_TRAIN" \
-  "TrainSVM TrainSVMRowLane $MIN_SPEEDUP_TRAIN"; do
+  "TrainSVM TrainSVMRowLane $MIN_SPEEDUP_TRAIN" \
+  "SQLPredictBatch SQLPredictRowLane $MIN_SPEEDUP_TRAIN"; do
   set -- $pair
   batch_ns=$(ns_of "$1")
   row_ns=$(ns_of "$2")

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench_sql.sh — run the SQL front-end overhead benchmarks plus the
-# training-harness benchmarks and record ns/op, B/op and allocs/op per
-# variant to BENCH_sql.json, so the perf trajectory of the declarative
-# surface (paper §4.4a) and the igd training lanes is tracked across
+# training-harness, wire-server and model-serving (predict) benchmarks
+# and record ns/op, B/op and allocs/op per variant to BENCH_sql.json,
+# so the perf trajectory of the declarative surface (paper §4.4a), the
+# igd training lanes and the predict scoring lanes is tracked across
 # PRs in version control.
 #
 # Usage: scripts/bench_sql.sh [benchtime]
@@ -17,6 +18,8 @@ tout=$(go test -run '^$' -bench '^BenchmarkTrain' -benchmem -benchtime "$BENCHTI
 echo "$tout"
 wout=$(go test -run '^$' -bench '^BenchmarkPGWire' -benchmem -benchtime "$BENCHTIME" .)
 echo "$wout"
+pout=$(go test -run '^$' -bench '^BenchmarkSQLPredict' -benchmem -benchtime "$BENCHTIME" .)
+echo "$pout"
 
 # Environment metadata, so committed numbers can be judged against the
 # machine that produced them (ns/op from a 2-core runner is not
@@ -25,7 +28,7 @@ go_version=$(go env GOVERSION)
 num_cpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
 gomaxprocs="${GOMAXPROCS:-$num_cpu}"
 
-printf '%s\n%s\n%s\n' "$out" "$tout" "$wout" | awk -v benchtime="$BENCHTIME" \
+printf '%s\n%s\n%s\n%s\n' "$out" "$tout" "$wout" "$pout" | awk -v benchtime="$BENCHTIME" \
   -v go_version="$go_version" -v num_cpu="$num_cpu" -v gomaxprocs="$gomaxprocs" '
   BEGIN {
     printf "{\n  \"benchmark\": \"BenchmarkSQLSelectAgg\",\n"
@@ -34,7 +37,7 @@ printf '%s\n%s\n%s\n' "$out" "$tout" "$wout" | awk -v benchtime="$BENCHTIME" \
     printf "  \"results\": {\n"
     n = 0
   }
-  /^BenchmarkSQLSelectAgg\// || /^BenchmarkTrain/ || /^BenchmarkPGWire/ {
+  /^BenchmarkSQLSelectAgg\// || /^BenchmarkTrain/ || /^BenchmarkPGWire/ || /^BenchmarkSQLPredict/ {
     name = $1
     sub(/^BenchmarkSQLSelectAgg\//, "", name)
     sub(/^Benchmark/, "", name)
